@@ -1,0 +1,160 @@
+(* nksim: command-line driver for the nested-kernel simulator.
+
+     nksim boot    [-c CONFIG]          boot and report system state
+     nksim attacks [-c CONFIG] [-a NAME] run the attack suite
+     nksim audit   [-c CONFIG]          boot, stress, audit invariants
+     nksim list                         list configurations and attacks *)
+
+open Cmdliner
+open Outer_kernel
+
+let config_arg =
+  let parse s =
+    match Config.of_name s with
+    | Some c -> Ok c
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown configuration %S (try: %s)" s
+               (String.concat ", " (List.map Config.name Config.all))))
+  in
+  let print ppf c = Format.pp_print_string ppf (Config.name c) in
+  Arg.conv (parse, print)
+
+let config =
+  Arg.(
+    value
+    & opt config_arg Config.Perspicuos
+    & info [ "c"; "config" ] ~docv:"CONFIG"
+        ~doc:"System configuration: native, perspicuos, append-only, \
+              write-once or write-log.")
+
+let boot_cmd =
+  let run config =
+    let k = Os.boot config in
+    let m = k.Kernel.machine in
+    Printf.printf "booted %s\n" (Config.name config);
+    Printf.printf "  physical frames : %d\n"
+      (Nkhw.Phys_mem.num_frames m.Nkhw.Machine.mem);
+    Printf.printf "  free outer pool : %d frames\n"
+      (Nkhw.Frame_alloc.free_count k.Kernel.falloc);
+    Printf.printf "  CR state        : %s\n"
+      (Format.asprintf "%a" Nkhw.Cr.pp m.Nkhw.Machine.cr);
+    Printf.printf "  boot cycles     : %d\n"
+      (Nkhw.Clock.cycles m.Nkhw.Machine.clock);
+    (match k.Kernel.nk with
+    | Some nk ->
+        Printf.printf "  nested kernel   : %d frames reserved, audit %s\n"
+          (Nested_kernel.Api.outer_first_frame nk)
+          (if Nested_kernel.Api.audit_ok nk then "clean" else "VIOLATIONS")
+    | None -> Printf.printf "  nested kernel   : (none)\n");
+    0
+  in
+  Cmd.v (Cmd.info "boot" ~doc:"Boot a kernel and report system state")
+    Term.(const run $ config)
+
+let attack_name =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "a"; "attack" ] ~docv:"NAME" ~doc:"Run a single attack by name.")
+
+let attacks_cmd =
+  let run config name =
+    let selected =
+      match name with
+      | None -> Nk_attacks.All.attacks
+      | Some n ->
+          List.filter
+            (fun (a : Nk_attacks.Attack.t) -> a.Nk_attacks.Attack.name = n)
+            Nk_attacks.All.attacks
+    in
+    if selected = [] then begin
+      Printf.eprintf "no such attack; try: nksim list\n";
+      1
+    end
+    else begin
+      let failures = ref 0 in
+      List.iter
+        (fun (a : Nk_attacks.Attack.t) ->
+          let k = Os.boot config in
+          let outcome = a.Nk_attacks.Attack.run k in
+          let expected = Nk_attacks.All.expected_defended config a.name in
+          if Nk_attacks.Attack.defended outcome <> expected then incr failures;
+          Printf.printf "%-26s [%s] %s\n" a.Nk_attacks.Attack.name
+            a.Nk_attacks.Attack.paper_ref
+            (Format.asprintf "%a" Nk_attacks.Attack.pp_outcome outcome))
+        selected;
+      if !failures > 0 then begin
+        Printf.printf "\n%d outcome(s) deviate from the paper's matrix\n"
+          !failures;
+        1
+      end
+      else 0
+    end
+  in
+  Cmd.v
+    (Cmd.info "attacks" ~doc:"Run the rootkit/exploit suite against a config")
+    Term.(const run $ config $ attack_name)
+
+let audit_cmd =
+  let run config =
+    let k = Os.boot config in
+    let p = Kernel.current_proc k in
+    (* Stress: process churn, mmap churn, module cycle. *)
+    for _ = 1 to 8 do
+      match Syscalls.fork k p with
+      | Ok pid ->
+          let c = Option.get (Kernel.proc k pid) in
+          ignore (Kernel.switch_to k pid);
+          ignore (Syscalls.execve k c "/bin/sh");
+          ignore (Syscalls.exit_ k c 0);
+          ignore (Kernel.switch_to k 1);
+          ignore (Syscalls.wait k p)
+      | Error _ -> ()
+    done;
+    (match Syscalls.mmap k p ~len:(64 * 4096) ~rw:true ~populate:true () with
+    | Ok va -> ignore (Syscalls.munmap k p va)
+    | Error _ -> ());
+    match k.Kernel.nk with
+    | None ->
+        print_endline "native configuration: nothing to audit";
+        0
+    | Some nk ->
+        let violations = Nested_kernel.Api.audit nk in
+        if violations = [] then begin
+          print_endline "all nested-kernel invariants hold after stress";
+          0
+        end
+        else begin
+          List.iter
+            (fun v ->
+              Format.printf "%a@." Nested_kernel.Invariants.pp_violation v)
+            violations;
+          1
+        end
+  in
+  Cmd.v (Cmd.info "audit" ~doc:"Boot, stress the kernel, audit invariants")
+    Term.(const run $ config)
+
+let list_cmd =
+  let run () =
+    print_endline "configurations:";
+    List.iter (fun c -> Printf.printf "  %s\n" (Config.name c)) Config.all;
+    print_endline "attacks:";
+    List.iter
+      (fun (a : Nk_attacks.Attack.t) ->
+        Printf.printf "  %-26s %s\n" a.Nk_attacks.Attack.name
+          a.Nk_attacks.Attack.description)
+      Nk_attacks.All.attacks;
+    0
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List configurations and attacks")
+    Term.(const run $ const ())
+
+let () =
+  let info =
+    Cmd.info "nksim" ~version:"1.0.0"
+      ~doc:"Nested Kernel (ASPLOS'15) simulator driver"
+  in
+  exit (Cmd.eval' (Cmd.group info [ boot_cmd; attacks_cmd; audit_cmd; list_cmd ]))

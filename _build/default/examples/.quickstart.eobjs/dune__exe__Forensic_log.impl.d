@@ -1,0 +1,1 @@
+examples/forensic_log.ml: Bytes Config Fault Format Kernel List Machine Nested_kernel Nkhw Option Os Outer_kernel Printf Proclist Result Shadow_proc String Syscalls

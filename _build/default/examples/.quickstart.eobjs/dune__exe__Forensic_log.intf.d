@@ -1,0 +1,1 @@
+examples/forensic_log.mli:

@@ -1,0 +1,1 @@
+examples/module_loading.ml: Addr Cpu_state Cr Exec Fault Format Frame_alloc Insn List Machine Nested_kernel Nk_workloads Nkhw Printf String

@@ -1,0 +1,1 @@
+examples/protected_services.ml: Clock Config Fault Format Guarded_alloc Kernel Ktypes List Mac Machine Mmu Nested_kernel Nkhw Option Os Outer_kernel Printf Result String Syscall_table

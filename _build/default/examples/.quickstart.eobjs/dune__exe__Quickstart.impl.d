@@ -1,0 +1,1 @@
+examples/quickstart.ml: Addr Bytes Clock Fault Format List Machine Nested_kernel Nkhw Printf Pte Result

@@ -1,0 +1,1 @@
+examples/rootkit_defense.ml: Config Format Kernel List Nested_kernel Nk_attacks Option Os Outer_kernel Printf Proclist Result String Syscalls

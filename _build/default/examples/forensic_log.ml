@@ -1,0 +1,80 @@
+(* Tamper-evident logging: the append-only system-call log (paper
+   4.1.2) and write-log forensics (4.1.3).
+
+     dune exec examples/forensic_log.exe *)
+
+open Nkhw
+open Outer_kernel
+
+let banner title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '-')
+
+let () =
+  banner "Guaranteed-invocation syscall logging (append-only policy)";
+  let k = Os.boot Config.Append_only in
+  let p = Kernel.current_proc k in
+  (* Some activity worth auditing. *)
+  let fd = Result.get_ok (Syscalls.open_ k p "/bin/sh") in
+  ignore (Syscalls.read k p fd 512);
+  ignore (Syscalls.close k p fd);
+  let sl = Option.get k.Kernel.syslog in
+  Printf.printf
+    "every syscall logged entry+exit into protected memory: %d events\n"
+    sl.Kernel.sl_events;
+
+  banner "The log cannot be scrubbed";
+  (match Machine.kwrite_bytes k.Kernel.machine sl.Kernel.sl_base (Bytes.make 16 '\xff') with
+  | Error f -> Format.printf "direct store       -> %a@." Fault.pp f
+  | Ok () -> print_endline "BUG: direct store succeeded");
+  (match
+     Nested_kernel.Api.nk_write sl.Kernel.sl_nk sl.Kernel.sl_wd
+       ~dest:sl.Kernel.sl_base (Bytes.make 16 '\xff')
+   with
+  | Error e ->
+      Printf.printf "nk_write rewind    -> %s\n"
+        (Nested_kernel.Nk_error.to_string e)
+  | Ok () -> print_endline "BUG: rewind accepted");
+  Printf.printf "log still holds %d events; tail at byte %d\n" sl.Kernel.sl_events
+    (Nested_kernel.Policy.tail sl.Kernel.sl_state);
+
+  banner "Write-log forensics on the shadow process list";
+  let k = Os.boot Config.Write_log in
+  let p = Kernel.current_proc k in
+  let victim = Result.get_ok (Syscalls.fork k p) in
+  let bystander = Result.get_ok (Syscalls.fork k p) in
+  Printf.printf "processes: init=1 victim=%d bystander=%d\n" victim bystander;
+  (* The bystander exits legitimately. *)
+  let b = Option.get (Kernel.proc k bystander) in
+  ignore (Kernel.switch_to k bystander);
+  ignore (Syscalls.exit_ k b 0);
+  ignore (Kernel.switch_to k 1);
+  ignore (Syscalls.wait k p);
+  (* The rootkit hides the victim, scrubbing both lists. *)
+  let shadow = Option.get k.Kernel.shadow in
+  let node = Option.get (Proclist.find k.Kernel.allproc victim) in
+  ignore
+    (Proclist.unlink_raw k.Kernel.machine
+       ~head_va:(Proclist.head_va k.Kernel.allproc)
+       ~node);
+  ignore (Shadow_proc.on_remove shadow victim);
+  Printf.printf "rootkit hid pid %d from allproc AND the shadow list\n" victim;
+
+  print_endline "\nforensic replay of the protected write log:";
+  List.iter
+    (fun (pid, seq) ->
+      let legit = List.mem pid k.Kernel.legit_exits in
+      Printf.printf "  shadow removal of pid %d at log seq %d: %s\n" pid seq
+        (if legit then "matches a reaped exit (benign)"
+         else "NO matching exit -> hidden process!"))
+    (Shadow_proc.removal_history shadow);
+
+  let suspicious =
+    List.filter
+      (fun (pid, _) -> not (List.mem pid k.Kernel.legit_exits))
+      (Shadow_proc.removal_history shadow)
+  in
+  Printf.printf "\nverdict: %s\n"
+    (match suspicious with
+    | [ (pid, _) ] when pid = victim ->
+        Printf.sprintf "rootkit detected; it was hiding pid %d" pid
+    | _ -> "unexpected forensic result")

@@ -1,0 +1,79 @@
+(* Quickstart: boot a machine with the nested kernel and use the
+   write-protection service (paper Table 1) directly.
+
+     dune exec examples/quickstart.exe *)
+
+open Nkhw
+module NK = Nested_kernel.Api
+module Policy = Nested_kernel.Policy
+
+let step fmt = Printf.printf ("\n== " ^^ fmt ^^ " ==\n")
+
+let () =
+  step "boot";
+  let machine = Machine.create ~frames:2048 () in
+  let nk = NK.boot_exn machine in
+  Printf.printf
+    "nested kernel booted: paging on, WP armed, %d frames reserved for the \
+     trusted domain\n"
+    (NK.outer_first_frame nk);
+
+  step "allocate protected memory (nk_alloc)";
+  let wd, region =
+    match NK.nk_alloc nk ~size:128 Policy.unrestricted with
+    | Ok v -> v
+    | Error e -> failwith (Nested_kernel.Nk_error.to_string e)
+  in
+  Printf.printf "128 protected bytes at %#x (write descriptor #%d)\n" region
+    wd.Nested_kernel.State.wd_id;
+
+  step "mediated writes work";
+  (match NK.nk_write nk wd ~dest:region (Bytes.of_string "hello, nested kernel")
+   with
+  | Ok () -> print_endline "nk_write: ok"
+  | Error e -> Printf.printf "nk_write failed: %s\n" (Nested_kernel.Nk_error.to_string e));
+  (match NK.nk_read nk wd ~src:region ~len:20 with
+  | Ok b -> Printf.printf "nk_read : %S\n" (Bytes.to_string b)
+  | Error e -> Printf.printf "nk_read failed: %s\n" (Nested_kernel.Nk_error.to_string e));
+
+  step "direct stores take a protection fault";
+  (match Machine.kwrite_u64 machine region 0xdead with
+  | Ok () -> print_endline "BUG: direct store succeeded"
+  | Error f -> Format.printf "direct store -> %a@." Fault.pp f);
+
+  step "bounds are enforced";
+  (match NK.nk_write nk wd ~dest:(region + 120) (Bytes.make 16 'x') with
+  | Error e -> Printf.printf "overflow rejected: %s\n" (Nested_kernel.Nk_error.to_string e)
+  | Ok () -> print_endline "BUG: overflow accepted");
+
+  step "a write-once region";
+  let wo, once =
+    Result.get_ok
+      (NK.nk_alloc nk ~size:64 (Policy.write_once (Policy.write_once_state ~size:64)))
+  in
+  ignore (NK.nk_write nk wo ~dest:once (Bytes.of_string "initialized"));
+  (match NK.nk_write nk wo ~dest:once (Bytes.of_string "overwritten") with
+  | Error e -> Printf.printf "second write rejected: %s\n" (Nested_kernel.Nk_error.to_string e)
+  | Ok () -> print_endline "BUG: write-once violated");
+
+  step "the vMMU mediates page-table updates";
+  let frame = NK.outer_first_frame nk in
+  (match NK.declare_ptp nk ~level:1 frame with
+  | Ok () -> Printf.printf "frame %d declared as a page-table page\n" frame
+  | Error e -> Printf.printf "declare failed: %s\n" (Nested_kernel.Nk_error.to_string e));
+  (match
+     NK.write_pte nk ~ptp:frame ~index:0
+       (Pte.make ~frame:(frame + 1) Pte.user_rw_nx)
+   with
+  | Ok () -> print_endline "nk_write_PTE: mapping installed"
+  | Error e -> Printf.printf "write_pte failed: %s\n" (Nested_kernel.Nk_error.to_string e));
+  (match Machine.kwrite_u64 machine (Addr.kva_of_frame frame) 0 with
+  | Error f -> Format.printf "direct PTE store -> %a@." Fault.pp f
+  | Ok () -> print_endline "BUG: direct PTE store succeeded");
+
+  step "invariant audit";
+  let violations = NK.audit nk in
+  Printf.printf "%d violations (paper invariants I1-I13 all hold)\n"
+    (List.length violations);
+  Printf.printf "\ncycles consumed on the simulated clock: %d\n"
+    (Clock.cycles machine.Machine.clock)

@@ -1,0 +1,1 @@
+lib/attacks/all.ml: Attack Config Extensions Injection List Mmu_attacks Outer_kernel Peripheral Rootkit

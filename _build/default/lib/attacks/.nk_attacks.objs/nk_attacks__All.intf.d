@@ -1,0 +1,1 @@
+lib/attacks/all.mli: Attack Config Kernel Outer_kernel

@@ -1,0 +1,1 @@
+lib/attacks/attack.ml: Format Kernel Outer_kernel

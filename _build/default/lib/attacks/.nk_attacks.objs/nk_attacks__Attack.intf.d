@@ -1,0 +1,1 @@
+lib/attacks/attack.mli: Format Kernel Outer_kernel

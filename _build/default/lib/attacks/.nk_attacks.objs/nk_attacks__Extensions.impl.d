@@ -1,0 +1,1 @@
+lib/attacks/extensions.ml: Addr Attack Fault Format Frame_alloc Guarded_alloc Kernel Ktypes Mac Machine Mmu Mmu_backend Nested_kernel Nkhw Outer_kernel Page_table Pte Syscall_table Syscalls

@@ -1,0 +1,1 @@
+lib/attacks/extensions.mli: Attack

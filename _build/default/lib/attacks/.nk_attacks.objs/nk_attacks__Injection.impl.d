@@ -1,0 +1,1 @@
+lib/attacks/injection.ml: Addr Attack Bytes Cpu_state Cr Exec Fault Format Frame_alloc Insn Kernel Machine Nested_kernel Nkhw Outer_kernel Phys_mem

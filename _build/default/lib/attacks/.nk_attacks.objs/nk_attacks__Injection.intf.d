@@ -1,0 +1,1 @@
+lib/attacks/injection.mli: Attack

@@ -1,0 +1,1 @@
+lib/attacks/mmu_attacks.ml: Addr Attack Cpu_state Cr Exec Fault Format Frame_alloc Insn Kernel Machine Mmu_backend Nested_kernel Nkhw Outer_kernel Page_table Phys_mem

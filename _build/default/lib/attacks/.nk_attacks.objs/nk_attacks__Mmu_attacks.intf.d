@@ -1,0 +1,1 @@
+lib/attacks/mmu_attacks.mli: Attack

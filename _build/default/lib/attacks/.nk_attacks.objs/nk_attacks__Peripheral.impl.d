@@ -1,0 +1,1 @@
+lib/attacks/peripheral.ml: Addr Attack Bytes Cr Dma Fault Format Kernel Machine Nested_kernel Nkhw Outer_kernel Phys_mem Smm Syscalls

@@ -1,0 +1,1 @@
+lib/attacks/peripheral.mli: Attack

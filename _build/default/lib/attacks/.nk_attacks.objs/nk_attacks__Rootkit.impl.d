@@ -1,0 +1,1 @@
+lib/attacks/rootkit.ml: Attack Fault Format Kernel Ktypes List Machine Nkhw Outer_kernel Printf Proclist Shadow_proc Syscall_table Syscalls

@@ -1,0 +1,1 @@
+lib/attacks/rootkit.mli: Attack

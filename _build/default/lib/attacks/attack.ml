@@ -1,0 +1,24 @@
+open Outer_kernel
+
+type outcome =
+  | Succeeded of string
+  | Blocked of string
+  | Detected of string
+  | Crashed of string
+
+let defended = function
+  | Succeeded _ -> false
+  | Blocked _ | Detected _ | Crashed _ -> true
+
+type t = {
+  name : string;
+  description : string;
+  paper_ref : string;
+  run : Kernel.t -> outcome;
+}
+
+let pp_outcome ppf = function
+  | Succeeded m -> Format.fprintf ppf "SUCCEEDED: %s" m
+  | Blocked m -> Format.fprintf ppf "blocked: %s" m
+  | Detected m -> Format.fprintf ppf "detected: %s" m
+  | Crashed m -> Format.fprintf ppf "crashed: %s" m

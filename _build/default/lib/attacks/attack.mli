@@ -1,0 +1,30 @@
+open Outer_kernel
+
+(** Common attack vocabulary.
+
+    Every attack runs against a booted kernel (in any configuration)
+    and reports how far it got.  The same attack code runs on the
+    native baseline — where it generally succeeds — and on the nested
+    kernel configurations, where it must be blocked, detected or
+    rendered harmless. *)
+
+type outcome =
+  | Succeeded of string  (** the attacker achieved the goal *)
+  | Blocked of string
+      (** a protection fault or nested-kernel rejection stopped it *)
+  | Detected of string
+      (** the write went through but left tamper-evident traces *)
+  | Crashed of string
+      (** the machine wedged; the attacker gained nothing *)
+
+val defended : outcome -> bool
+(** True for every outcome except [Succeeded]. *)
+
+type t = {
+  name : string;
+  description : string;
+  paper_ref : string;  (** section of the paper motivating the attack *)
+  run : Kernel.t -> outcome;
+}
+
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,0 +1,243 @@
+open Nkhw
+open Outer_kernel
+
+let rogue_handler_id = 7777
+let rogue_value = 424242
+
+(* Allocate-free-corrupt-allocate-allocate: if the allocator trusts
+   in-band links, the second allocation lands on the attacker's chosen
+   address — here, the getpid slot of the system-call table. *)
+let heap_metadata_corruption =
+  {
+    Attack.name = "heap-metadata-corruption";
+    description =
+      "redirect a slab free list through a use-after-free write and hook \
+       getpid via the resulting arbitrary-write allocation";
+    paper_ref = "6 (allocator in the NK); cites Phrack 0x42";
+    run =
+      (fun k ->
+        let m = k.Kernel.machine in
+        Kernel.register_handler k rogue_handler_id (fun _ _ _ -> Ok rogue_value);
+        let allocator =
+          match k.Kernel.nk with
+          | None -> Guarded_alloc.create_inline m k.Kernel.falloc ~chunk_size:64
+          | Some nk -> (
+              match
+                Guarded_alloc.create_guarded m k.Kernel.falloc nk ~chunk_size:64
+              with
+              | Ok a -> a
+              | Error _ ->
+                  Guarded_alloc.create_inline m k.Kernel.falloc ~chunk_size:64)
+        in
+        let target = Syscall_table.entry_va k.Kernel.syscall_table Ktypes.sys_getpid in
+        match Guarded_alloc.alloc allocator with
+        | Error _ -> Attack.Blocked "allocation failed"
+        | Ok chunk -> (
+            ignore (Guarded_alloc.free allocator chunk);
+            (* Use-after-free: scribble a fake free-list link. *)
+            (match Machine.kwrite_u64 m chunk target with
+            | Ok () -> ()
+            | Error _ -> ());
+            let a1 = Guarded_alloc.alloc allocator in
+            let a2 = Guarded_alloc.alloc allocator in
+            match (a1, a2) with
+            | Ok _, Ok second when second = target -> (
+                (* The allocator handed out the syscall table; "initialize
+                   the object" = install the rogue handler id. *)
+                match Machine.kwrite_u64 m second rogue_handler_id with
+                | Ok () -> (
+                    let p = Kernel.current_proc k in
+                    match Syscalls.getpid k p with
+                    | Ok v when v = rogue_value ->
+                        Attack.Succeeded
+                          "free-list redirection hooked getpid through the \
+                           allocator"
+                    | Ok _ | Error _ ->
+                        Attack.Blocked "write landed but hook ineffective")
+                | Error f ->
+                    Attack.Blocked
+                      (Format.asprintf "write through rogue chunk faulted (%a)"
+                         Fault.pp f))
+            | Ok _, Ok _ ->
+                Attack.Blocked
+                  "guarded metadata ignored the corrupted chunk; allocations \
+                   stayed inside the slab"
+            | _ -> Attack.Blocked "allocator refused"));
+  }
+
+let mac_label_elevation =
+  {
+    Attack.name = "mac-label-elevation";
+    description =
+      "raise a compromised process's integrity label with a direct store, \
+       then write a high-integrity file";
+    paper_ref = "6 (access control in the NK)";
+    run =
+      (fun k ->
+        let m = k.Kernel.machine in
+        let mac =
+          match k.Kernel.nk with
+          | None -> Ok (Mac.create_unprotected m k.Kernel.falloc)
+          | Some nk -> (
+              match Mac.create_protected nk with
+              | Ok mac -> Ok mac
+              | Error e -> Error (Nested_kernel.Nk_error.to_string e))
+        in
+        match mac with
+        | Error e -> Attack.Blocked ("mac setup failed: " ^ e)
+        | Ok mac -> (
+            (* Legitimate setup: a trusted object, a low subject. *)
+            (match
+               ( Mac.set_object mac "/etc/trusted" 10,
+                 Mac.set_subject mac 2 3 )
+             with
+            | Ok (), Ok () -> ()
+            | _ -> ());
+            (match Mac.check_write mac 2 "/etc/trusted" with
+            | Error Ktypes.Eacces -> ()
+            | _ -> ());
+            (* The exploit: write 15 over the subject's label byte. *)
+            let label_va = Mac.subject_label_va mac 2 in
+            let direct = Machine.write_u8 m ~ring:Mmu.Supervisor label_va 15 in
+            let via_policy = Mac.set_subject mac 2 15 in
+            match (direct, via_policy) with
+            | Ok (), _ -> (
+                match Mac.check_write mac 2 "/etc/trusted" with
+                | Ok () ->
+                    Attack.Succeeded
+                      "label elevated in place; low process writes trusted \
+                       file"
+                | Error _ -> Attack.Blocked "store landed but checks held")
+            | Error f, Error e ->
+                Attack.Blocked
+                  (Format.asprintf
+                     "direct store faulted (%a); mediated raise refused: %s"
+                     Fault.pp f e)
+            | Error _, Ok () -> (
+                match Mac.check_write mac 2 "/etc/trusted" with
+                | Ok () -> Attack.Succeeded "policy allowed re-elevation"
+                | Error _ -> Attack.Blocked "elevation ineffective")));
+  }
+
+let recursive_ptp_map =
+  {
+    Attack.name = "recursive-ptp-map";
+    description =
+      "install a self-referencing page-table entry to edit PTEs through \
+       their own mapping";
+    paper_ref = "3.4 (I5)";
+    run =
+      (fun k ->
+        let m = k.Kernel.machine in
+        match k.Kernel.nk with
+        | None -> (
+            (* Native: point a PT entry at the PT itself, writable, and
+               write a hostile PTE through the virtual window. *)
+            let f = Frame_alloc.alloc_exn k.Kernel.falloc in
+            match
+              k.Kernel.backend.Mmu_backend.declare_ptp ~level:1 f
+            with
+            | Error e -> Attack.Blocked e
+            | Ok () ->
+                ignore
+                  (k.Kernel.backend.Mmu_backend.write_pte ~ptp:f ~index:0
+                     (Pte.make ~frame:f Pte.kernel_rw));
+                Attack.Succeeded
+                  "self-map installed writable; PTEs editable through it"
+          )
+        | Some nk -> (
+            let f = Frame_alloc.alloc_exn k.Kernel.falloc in
+            match Nested_kernel.Api.declare_ptp nk ~level:1 f with
+            | Error e -> Attack.Blocked (Nested_kernel.Nk_error.to_string e)
+            | Ok () -> (
+                match
+                  Nested_kernel.Api.write_pte nk ~ptp:f ~index:0
+                    (Pte.make ~frame:f Pte.kernel_rw)
+                with
+                | Error e ->
+                    Attack.Blocked (Nested_kernel.Nk_error.to_string e)
+                | Ok () ->
+                    let e = Page_table.get_entry m.Machine.mem ~ptp:f ~index:0 in
+                    if Pte.is_writable e then
+                      Attack.Succeeded "writable self-map accepted"
+                    else
+                      Attack.Blocked
+                        "self-map forced read-only (I5): no write window")));
+  }
+
+let stale_tlb_window =
+  {
+    Attack.name = "stale-tlb-window";
+    description =
+      "warm a writable translation, have the kernel protect the page, and \
+       write through the stale TLB entry";
+    paper_ref = "2.3 (active-mapping discipline)";
+    run =
+      (fun k ->
+        let m = k.Kernel.machine in
+        match k.Kernel.nk with
+        | None ->
+            Attack.Succeeded
+              "no mediation: nothing ever downgrades the mapping at all"
+        | Some nk -> (
+            let frame = Frame_alloc.alloc_exn k.Kernel.falloc in
+            let va = Addr.kva_of_frame frame in
+            (* Attacker warms the TLB with the still-writable mapping. *)
+            (match Machine.kwrite_u64 m va 0x41 with Ok () -> () | Error _ -> ());
+            (* The kernel now hands the page to the protection service. *)
+            match
+              Nested_kernel.Api.nk_declare nk ~base:va ~size:64
+                Nested_kernel.Policy.no_write
+            with
+            | Error e -> Attack.Blocked (Nested_kernel.Nk_error.to_string e)
+            | Ok _ -> (
+                match Machine.kwrite_u64 m va 0x42 with
+                | Ok () ->
+                    Attack.Succeeded
+                      "stale TLB entry survived the downgrade: protected \
+                       memory written"
+                | Error f ->
+                    Attack.Blocked
+                      (Format.asprintf
+                         "shootdown closed the window; write faulted (%a)"
+                         Fault.pp f))));
+  }
+
+let large_page_smuggle =
+  {
+    Attack.name = "large-page-smuggle";
+    description =
+      "map a writable 2 MiB page whose 512-frame span swallows the nested \
+       kernel's memory";
+    paper_ref = "3.4 (I5, large pages)";
+    run =
+      (fun k ->
+        let m = k.Kernel.machine in
+        let f = Frame_alloc.alloc_exn k.Kernel.falloc in
+        match k.Kernel.nk with
+        | None -> (
+            match k.Kernel.backend.Mmu_backend.declare_ptp ~level:2 f with
+            | Error e -> Attack.Blocked e
+            | Ok () ->
+                ignore
+                  (k.Kernel.backend.Mmu_backend.write_pte ~ptp:f ~index:0
+                     (Pte.make ~frame:0 { Pte.kernel_rw with large = true }));
+                Attack.Succeeded
+                  "2 MiB writable window over low physical memory installed")
+        | Some nk -> (
+            match Nested_kernel.Api.declare_ptp nk ~level:2 f with
+            | Error e -> Attack.Blocked (Nested_kernel.Nk_error.to_string e)
+            | Ok () -> (
+                match
+                  Nested_kernel.Api.write_pte nk ~ptp:f ~index:0
+                    (Pte.make ~frame:0 { Pte.kernel_rw with large = true })
+                with
+                | Error e -> Attack.Blocked (Nested_kernel.Nk_error.to_string e)
+                | Ok () ->
+                    let e = Page_table.get_entry m.Machine.mem ~ptp:f ~index:0 in
+                    if Pte.is_writable e then
+                      Attack.Succeeded "writable large page over the NK accepted"
+                    else
+                      Attack.Blocked
+                        "span validated: the large page was forced read-only")));
+  }

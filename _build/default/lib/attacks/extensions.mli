@@ -1,0 +1,30 @@
+(** Attacks on the section-6 extensions: allocator metadata, protected
+    access control, and the vMMU's residual corners. *)
+
+val heap_metadata_corruption : Attack.t
+(** The Phrack-style UMA exploit the paper cites: overwrite a freed
+    chunk's in-band free-list link so a later allocation returns a
+    pointer into the system-call table, then hook it through the
+    "heap".  Defeated by the nested-kernel-guarded allocator. *)
+
+val mac_label_elevation : Attack.t
+(** A compromised low-integrity process elevates its own label with a
+    single kernel store, then writes a high-integrity file.  Defeated
+    by protected label storage with the monotone-decrease policy. *)
+
+val recursive_ptp_map : Attack.t
+(** Map a page-table page writable through a self-referencing entry —
+    the classic recursive-page-table trick for editing PTEs through
+    the mapping itself.  The vMMU forces any mapping of a PTP
+    read-only (I5). *)
+
+val stale_tlb_window : Attack.t
+(** Race the protection downgrade: keep a warm writable TLB entry for
+    a page the nested kernel is about to protect and write through it
+    afterwards.  The vMMU's shootdown discipline must close the
+    window. *)
+
+val large_page_smuggle : Attack.t
+(** Install a writable 2 MiB mapping whose 512-frame span covers
+    nested-kernel memory even though its first frame is harmless; the
+    vMMU must validate the whole span. *)

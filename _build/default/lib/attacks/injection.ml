@@ -1,0 +1,143 @@
+open Nkhw
+open Outer_kernel
+
+let callout_done = 99
+
+(* Shellcode that clears CR0.WP and hands control back. *)
+let wp_shellcode () =
+  Insn.assemble_raw
+    [
+      Insn.Mov_from_cr (Insn.RAX, Insn.CR0);
+      Insn.And_ri (Insn.RAX, lnot Cr.cr0_wp);
+      Insn.Mov_to_cr (Insn.CR0, Insn.RAX);
+      Insn.Callout callout_done;
+    ]
+
+(* A module whose instruction stream is benign, but whose 64-bit
+   immediate embeds the bytes 0F 22 C0 (mov %rax, %cr0) at offset 5 of
+   the instruction, followed by a callout opcode byte so the attacker
+   regains control after the hidden instruction executes. *)
+let gadget_module () =
+  let hidden =
+    (0x0F lsl 32) lor (0x22 lsl 40) lor (0xC0 lsl 48) lor (0xCD lsl 56)
+  in
+  let tail = Insn.assemble_raw [ Insn.Nop; Insn.Nop; Insn.Nop; Insn.Nop; Insn.Ret ] in
+  let head = Insn.assemble_raw [ Insn.Mov_ri (Insn.RBX, hidden) ] in
+  Bytes.cat head tail
+
+let gadget_offset = 5 (* opcode byte + 4 immediate bytes *)
+
+(* Run injected bytes on a native kernel: copy them into a fresh frame
+   (native direct map is writable and executable) and jump. *)
+let run_native_payload k code ~entry_off ~rax =
+  let m = k.Kernel.machine in
+  let frame = Frame_alloc.alloc_exn k.Kernel.falloc in
+  Phys_mem.write_bytes m.Machine.mem (Addr.pa_of_frame frame) code;
+  let cpu = m.Machine.cpu in
+  Cpu_state.set cpu Insn.RAX rax;
+  cpu.Cpu_state.rip <- Addr.kva_of_frame frame + entry_off;
+  Exec.run ~fuel:50 m
+
+let inject_wp_shellcode =
+  {
+    Attack.name = "inject-wp-shellcode";
+    description = "load a kernel module that disables CR0.WP";
+    paper_ref = "3.5";
+    run =
+      (fun k ->
+        let code = wp_shellcode () in
+        match k.Kernel.nk with
+        | None ->
+            let m = k.Kernel.machine in
+            let stop = run_native_payload k code ~entry_off:0 ~rax:0 in
+            if not (Cr.wp_enabled m.Machine.cr) then begin
+              m.Machine.cr.Cr.cr0 <- m.Machine.cr.Cr.cr0 lor Cr.cr0_wp;
+              Attack.Succeeded
+                (Format.asprintf "module ran and cleared WP (%a)" Exec.pp_stop
+                   stop)
+            end
+            else Attack.Blocked "shellcode ran but WP still set"
+        | Some nk -> (
+            let frames = [ Frame_alloc.alloc_exn k.Kernel.falloc ] in
+            match Nested_kernel.Api.install_code nk ~frames code with
+            | Error e ->
+                Attack.Blocked
+                  ("module rejected at load: "
+                  ^ Nested_kernel.Nk_error.to_string e)
+            | Ok () -> Attack.Succeeded "hostile module accepted"));
+  }
+
+let unaligned_gadget =
+  {
+    Attack.name = "unaligned-gadget";
+    description =
+      "hide mov-to-CR0 bytes inside an immediate and jump mid-instruction";
+    paper_ref = "3.5 / 5.2";
+    run =
+      (fun k ->
+        let code = gadget_module () in
+        match k.Kernel.nk with
+        | None ->
+            let m = k.Kernel.machine in
+            let rax = m.Machine.cr.Cr.cr0 land lnot Cr.cr0_wp in
+            let stop =
+              run_native_payload k code ~entry_off:gadget_offset ~rax
+            in
+            if not (Cr.wp_enabled m.Machine.cr) then begin
+              m.Machine.cr.Cr.cr0 <- m.Machine.cr.Cr.cr0 lor Cr.cr0_wp;
+              Attack.Succeeded
+                (Format.asprintf
+                   "hidden instruction executed at unaligned offset (%a)"
+                   Exec.pp_stop stop)
+            end
+            else Attack.Blocked "gadget ran but WP still set"
+        | Some nk -> (
+            let frames = [ Frame_alloc.alloc_exn k.Kernel.falloc ] in
+            match Nested_kernel.Api.install_code nk ~frames code with
+            | Error e ->
+                Attack.Blocked
+                  ("unaligned pattern caught by the scanner: "
+                  ^ Nested_kernel.Nk_error.to_string e)
+            | Ok () -> Attack.Succeeded "gadget module accepted"));
+  }
+
+let patch_kernel_code =
+  {
+    Attack.name = "patch-kernel-code";
+    description = "overwrite already-loaded, validated kernel module code";
+    paper_ref = "3.5";
+    run =
+      (fun k ->
+        let benign =
+          Insn.assemble_raw [ Insn.Nop; Insn.Nop; Insn.Ret ]
+        in
+        let m = k.Kernel.machine in
+        match k.Kernel.nk with
+        | None -> (
+            let frame = Frame_alloc.alloc_exn k.Kernel.falloc in
+            Phys_mem.write_bytes m.Machine.mem (Addr.pa_of_frame frame) benign;
+            match
+              Machine.kwrite_bytes m (Addr.kva_of_frame frame) (wp_shellcode ())
+            with
+            | Ok () -> Attack.Succeeded "kernel code patched in place"
+            | Error f ->
+                Attack.Blocked (Format.asprintf "patch faulted (%a)" Fault.pp f))
+        | Some nk -> (
+            let frame = Frame_alloc.alloc_exn k.Kernel.falloc in
+            match Nested_kernel.Api.install_code nk ~frames:[ frame ] benign with
+            | Error e ->
+                Attack.Blocked
+                  ("benign module unexpectedly rejected: "
+                  ^ Nested_kernel.Nk_error.to_string e)
+            | Ok () -> (
+                match
+                  Machine.kwrite_bytes m (Addr.kva_of_frame frame)
+                    (wp_shellcode ())
+                with
+                | Ok () -> Attack.Succeeded "validated code page overwritten"
+                | Error f ->
+                    Attack.Blocked
+                      (Format.asprintf
+                         "lifetime code integrity: patch faulted (%a)" Fault.pp
+                         f))));
+  }

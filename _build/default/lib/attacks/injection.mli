@@ -1,0 +1,16 @@
+(** Code-injection attacks, defeated by lifetime kernel code integrity
+    (paper section 3.5). *)
+
+val inject_wp_shellcode : Attack.t
+(** Load a "kernel module" whose code body disables CR0.WP.  The
+    nested kernel's load-time scan rejects it; a native kernel runs
+    it. *)
+
+val unaligned_gadget : Attack.t
+(** Load a module whose {e visible} instructions are benign but whose
+    immediate bytes hide a mov-to-CR0 at an unaligned offset, then
+    jump into the middle of the instruction.  The scanner's
+    every-byte-offset scan is what catches this. *)
+
+val patch_kernel_code : Attack.t
+(** Overwrite validated, already-executable kernel code in place. *)

@@ -1,0 +1,204 @@
+open Nkhw
+open Outer_kernel
+
+(* Byte offset of the first instruction matching [pred] in an
+   assembled gate routine. *)
+let offset_of items pred =
+  let rec go off = function
+    | [] -> None
+    | Insn.Lbl _ :: rest -> go off rest
+    | Insn.Ins i :: rest ->
+        if pred i then Some off else go (off + Insn.encoded_length i) rest
+  in
+  go 0 items
+
+let is_mov_to_cr0 = function
+  | Insn.Mov_to_cr (Insn.CR0, _) -> true
+  | _ -> false
+
+let scratch_stack k =
+  (* A writable outer-kernel page to serve as the attacker's stack. *)
+  let frame = Frame_alloc.alloc_exn k.Kernel.falloc in
+  Addr.kva_of_frame (frame + 1)
+
+let direct_pte_write =
+  {
+    Attack.name = "direct-pte-write";
+    description = "store a hostile entry into the active top-level page table";
+    paper_ref = "2.3 / 3.4";
+    run =
+      (fun k ->
+        let m = k.Kernel.machine in
+        let root = Cr.root_frame m.Machine.cr in
+        let entry_va =
+          Addr.kva_of_pa (Page_table.entry_pa ~ptp:root ~index:511)
+        in
+        match Machine.kwrite_u64 m entry_va 0 with
+        | Ok () -> Attack.Succeeded "page-table entry written directly"
+        | Error f ->
+            Attack.Blocked
+              (Format.asprintf "PTE store faulted (%a)" Fault.pp f));
+  }
+
+let rogue_cr3 =
+  {
+    Attack.name = "rogue-cr3";
+    description =
+      "build a fake PML4 in ordinary writable memory and load it into CR3";
+    paper_ref = "3.2 (I6)";
+    run =
+      (fun k ->
+        let m = k.Kernel.machine in
+        let saved_root = Cr.root_frame m.Machine.cr in
+        let fake = Frame_alloc.alloc_exn k.Kernel.falloc in
+        Phys_mem.zero_frame m.Machine.mem fake;
+        (* Keep the kernel half so the attacker's world keeps running:
+           copy the current root's upper links. *)
+        for index = 256 to Addr.entries_per_table - 1 do
+          let e = Page_table.get_entry m.Machine.mem ~ptp:saved_root ~index in
+          Page_table.set_entry m.Machine.mem ~ptp:fake ~index e
+        done;
+        match k.Kernel.backend.Mmu_backend.load_cr3 fake with
+        | Ok () ->
+            (* Undo so the harness can keep using the kernel. *)
+            ignore (k.Kernel.backend.Mmu_backend.load_cr3 saved_root);
+            Attack.Succeeded "CR3 now points at attacker-controlled tables"
+        | Error e -> Attack.Blocked ("CR3 load rejected: " ^ e));
+  }
+
+let wp_disable_gate_jump =
+  {
+    Attack.name = "wp-disable-gate-jump";
+    description =
+      "jump directly at the exit gate's mov-to-CR0 with a WP-clearing RAX";
+    paper_ref = "3.7 (I8)";
+    run =
+      (fun k ->
+        let m = k.Kernel.machine in
+        match k.Kernel.nk with
+        | None ->
+            (* Nothing stops native kernel code from clearing WP. *)
+            m.Machine.cr.Cr.cr0 <- m.Machine.cr.Cr.cr0 land lnot Cr.cr0_wp;
+            if Cr.wp_enabled m.Machine.cr then
+              Attack.Blocked "WP unexpectedly still set"
+            else begin
+              m.Machine.cr.Cr.cr0 <- m.Machine.cr.Cr.cr0 lor Cr.cr0_wp;
+              Attack.Succeeded "WP cleared by unmediated kernel code"
+            end
+        | Some nk -> (
+            let gate = nk.Nested_kernel.State.gate in
+            match
+              offset_of (Nested_kernel.Gate.exit_gate_code ()) is_mov_to_cr0
+            with
+            | None -> Attack.Blocked "no mov-to-CR0 in the exit gate"
+            | Some off ->
+                let cpu = m.Machine.cpu in
+                Cpu_state.set cpu Insn.RAX
+                  (m.Machine.cr.Cr.cr0 land lnot Cr.cr0_wp);
+                Cpu_state.set cpu Insn.RSP (scratch_stack k - 64);
+                cpu.Cpu_state.rip <- gate.Nested_kernel.Gate.exit_va + off;
+                let stop = Exec.run ~fuel:100 m in
+                if Cr.wp_enabled m.Machine.cr then
+                  Attack.Blocked
+                    (Format.asprintf
+                       "WP-restore loop forced WP back on (run ended: %a)"
+                       Exec.pp_stop stop)
+                else begin
+                  m.Machine.cr.Cr.cr0 <- m.Machine.cr.Cr.cr0 lor Cr.cr0_wp;
+                  Attack.Succeeded "exit-gate jump left WP clear"
+                end));
+  }
+
+let pg_disable_gate_jump =
+  {
+    Attack.name = "pg-disable-gate-jump";
+    description =
+      "jump at the gate's mov-to-CR0 with CR0.PG cleared in RAX, trying to \
+       turn translation off";
+    paper_ref = "3.7 (I9)";
+    run =
+      (fun k ->
+        let m = k.Kernel.machine in
+        match k.Kernel.nk with
+        | None ->
+            Attack.Succeeded
+              "native kernel code can clear CR0.PG (and every protection \
+               with it)"
+        | Some nk -> (
+            let gate = nk.Nested_kernel.State.gate in
+            match
+              offset_of
+                (Nested_kernel.Gate.entry_gate_code
+                   ~secure_stack_top:gate.Nested_kernel.Gate.secure_stack_top)
+                is_mov_to_cr0
+            with
+            | None -> Attack.Blocked "no mov-to-CR0 in the entry gate"
+            | Some off ->
+                let saved_cr0 = m.Machine.cr.Cr.cr0 in
+                let cpu = m.Machine.cpu in
+                Cpu_state.set cpu Insn.RAX
+                  (saved_cr0 land lnot (Cr.cr0_pg lor Cr.cr0_wp));
+                Cpu_state.set cpu Insn.RSP (scratch_stack k - 64);
+                cpu.Cpu_state.rip <- gate.Nested_kernel.Gate.entry_va + off;
+                let stop = Exec.run ~fuel:100 m in
+                let wedged =
+                  match stop with
+                  | Exec.Stopped_fault _ | Exec.Fuel_exhausted -> true
+                  | Exec.Halted | Exec.Callout _ -> false
+                in
+                (* Restore so the harness survives; the simulated attacker
+                   got no further. *)
+                m.Machine.cr.Cr.cr0 <- saved_cr0;
+                if wedged then
+                  Attack.Crashed
+                    (Format.asprintf
+                       "paging off: next fetch decodes physical garbage (%a); \
+                        no attacker control"
+                       Exec.pp_stop stop)
+                else
+                  Attack.Succeeded
+                    (Format.asprintf "execution continued (%a)" Exec.pp_stop
+                       stop)));
+  }
+
+let idt_overwrite =
+  {
+    Attack.name = "idt-overwrite";
+    description = "redirect IDT vector 14 (#PF) at attacker code";
+    paper_ref = "3.2 (I12)";
+    run =
+      (fun k ->
+        let m = k.Kernel.machine in
+        match m.Machine.idtr with
+        | None -> Attack.Blocked "no IDT loaded"
+        | Some base -> (
+            match Machine.kwrite_u64 m (base + (14 * 8)) 0xbad000 with
+            | Ok () -> Attack.Succeeded "page-fault vector hijacked"
+            | Error f ->
+                Attack.Blocked
+                  (Format.asprintf "IDT store faulted (%a)" Fault.pp f)));
+  }
+
+let nk_stack_tamper =
+  {
+    Attack.name = "nk-stack-tamper";
+    description =
+      "overwrite the nested kernel's secure stack from outer-kernel context";
+    paper_ref = "3.6.3 (I13)";
+    run =
+      (fun k ->
+        match k.Kernel.nk with
+        | None ->
+            Attack.Succeeded
+              "native kernel has no protected stacks: any stack is writable"
+        | Some nk -> (
+            let gate = nk.Nested_kernel.State.gate in
+            let m = k.Kernel.machine in
+            let target = gate.Nested_kernel.Gate.secure_stack_top - 8 in
+            match Machine.kwrite_u64 m target 0x41414141 with
+            | Ok () -> Attack.Succeeded "secure stack overwritten"
+            | Error f ->
+                Attack.Blocked
+                  (Format.asprintf "secure-stack store faulted (%a)" Fault.pp
+                     f)));
+  }

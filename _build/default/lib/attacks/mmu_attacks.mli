@@ -1,0 +1,25 @@
+(** Attacks on the MMU protection state itself: the threats of the
+    paper's sections 3.6 and 3.7. *)
+
+val direct_pte_write : Attack.t
+(** Store straight into the active PML4, bypassing the vMMU. *)
+
+val rogue_cr3 : Attack.t
+(** Craft page tables in writable memory and point CR3 at them. *)
+
+val wp_disable_gate_jump : Attack.t
+(** Jump into the exit gate's [mov %rax, %cr0] with a WP-clearing RAX;
+    the gate's verify-and-loop must leave WP set (section 3.7). *)
+
+val pg_disable_gate_jump : Attack.t
+(** Same entry point, but clearing CR0.PG: paging off means the next
+    fetch is interpreted physically, and the machine wedges with no
+    protection bypass (Invariant I9). *)
+
+val idt_overwrite : Attack.t
+(** Redirect an IDT vector at attacker code (defeats I12 if
+    writable). *)
+
+val nk_stack_tamper : Attack.t
+(** Overwrite the nested kernel's secure stack from outer-kernel
+    context (the cross-CPU threat behind Invariant I13). *)

@@ -1,0 +1,152 @@
+open Nkhw
+open Outer_kernel
+
+let dma_to_page_tables =
+  {
+    Attack.name = "dma-to-page-tables";
+    description = "DMA a hostile entry into the active PML4";
+    paper_ref = "2.5";
+    run =
+      (fun k ->
+        let m = k.Kernel.machine in
+        let root = Cr.root_frame m.Machine.cr in
+        let payload = Bytes.make 8 '\000' in
+        match
+          Dma.write m ~pa:(Addr.pa_of_frame root + (511 * 8)) payload
+        with
+        | Ok () -> Attack.Succeeded "device wrote into the page tables"
+        | Error e ->
+            Attack.Blocked (Format.asprintf "%a" Dma.pp_error e));
+  }
+
+let smm_handler_abuse =
+  {
+    Attack.name = "smm-handler-abuse";
+    description =
+      "install an SMI handler that rewrites page tables with raw physical \
+       access";
+    paper_ref = "3.2 (I10)";
+    run =
+      (fun k ->
+        let m = k.Kernel.machine in
+        let payload (mach : Machine.t) =
+          let root = Cr.root_frame mach.Machine.cr in
+          Phys_mem.write_u64 mach.Machine.mem
+            (Addr.pa_of_frame root + (511 * 8))
+            0xbad
+        in
+        match Smm.install_handler m payload with
+        | Error e -> Attack.Blocked ("SMI handler install rejected: " ^ e)
+        | Ok () -> (
+            match Smm.trigger_smi m with
+            | Smm.Executed ->
+                Attack.Succeeded "SMI payload ran with raw physical access"
+            | Smm.Suppressed ->
+                Attack.Blocked "nested kernel owns SMM; payload never ran"
+            | Smm.No_handler -> Attack.Blocked "no handler installed"));
+  }
+
+let log_tamper =
+  {
+    Attack.name = "log-tamper";
+    description = "scrub the oldest records of the system-call event log";
+    paper_ref = "4.1.2";
+    run =
+      (fun k ->
+        (* Generate some events worth scrubbing first. *)
+        let p = Kernel.current_proc k in
+        for _ = 1 to 8 do
+          ignore (Syscalls.getpid k p)
+        done;
+        match k.Kernel.syslog with
+        | None ->
+            Attack.Succeeded
+              "event log lives in plain kernel memory; records scrubbed"
+        | Some sl -> (
+            let m = k.Kernel.machine in
+            let junk = Bytes.make 16 '\xff' in
+            match Machine.kwrite_bytes m sl.Kernel.sl_base junk with
+            | Ok () -> Attack.Succeeded "log overwritten with a direct store"
+            | Error f -> (
+                (* Fall back to the legitimate channel: rewind the
+                   append-only buffer. *)
+                match
+                  Nested_kernel.Api.nk_write sl.Kernel.sl_nk sl.Kernel.sl_wd
+                    ~dest:sl.Kernel.sl_base junk
+                with
+                | Ok () ->
+                    Attack.Succeeded "append-only log accepted a rewind"
+                | Error e ->
+                    Attack.Blocked
+                      (Format.asprintf
+                         "direct store faulted (%a); nk_write refused: %s"
+                         Fault.pp f
+                         (Nested_kernel.Nk_error.to_string e)))));
+  }
+
+let free_then_write =
+  {
+    Attack.name = "free-then-write";
+    description = "nk_free a protected region and overwrite it afterwards";
+    paper_ref = "2.4";
+    run =
+      (fun k ->
+        let m = k.Kernel.machine in
+        match k.Kernel.nk with
+        | None ->
+            Attack.Succeeded
+              "no protected allocator: freed kernel memory is writable by \
+               anyone"
+        | Some nk -> (
+            match
+              Nested_kernel.Api.nk_alloc nk ~size:256
+                Nested_kernel.Policy.unrestricted
+            with
+            | Error e ->
+                Attack.Blocked (Nested_kernel.Nk_error.to_string e)
+            | Ok (wd, va) -> (
+                (match Nested_kernel.Api.nk_free nk wd with
+                | Ok () -> ()
+                | Error _ -> ());
+                match Machine.kwrite_u64 m va 0xdead with
+                | Ok () -> Attack.Succeeded "freed protected memory overwritten"
+                | Error f ->
+                    Attack.Blocked
+                      (Format.asprintf
+                         "freed memory is retained protected (%a)" Fault.pp f))));
+  }
+
+let nk_write_overflow =
+  {
+    Attack.name = "nk-write-overflow";
+    description =
+      "overflow a legitimate write descriptor into the neighbouring \
+       protected object";
+    paper_ref = "2.4 (Table 1 bounds check)";
+    run =
+      (fun k ->
+        match k.Kernel.nk with
+        | None ->
+            Attack.Succeeded
+              "no mediated writes: a memcpy overflow corrupts the neighbour"
+        | Some nk -> (
+            match
+              ( Nested_kernel.Api.nk_alloc nk ~size:64
+                  Nested_kernel.Policy.unrestricted,
+                Nested_kernel.Api.nk_alloc nk ~size:64
+                  Nested_kernel.Policy.no_write )
+            with
+            | Ok (wd_a, va_a), Ok (_, _) -> (
+                (* Write 128 bytes through the 64-byte descriptor. *)
+                match
+                  Nested_kernel.Api.nk_write nk wd_a ~dest:va_a
+                    (Bytes.make 128 'A')
+                with
+                | Ok () ->
+                    Attack.Succeeded "overflow crossed into the neighbour"
+                | Error e ->
+                    Attack.Blocked
+                      ("bounds check: " ^ Nested_kernel.Nk_error.to_string e))
+            | Error e, _ | _, Error e ->
+                Attack.Blocked (Nested_kernel.Nk_error.to_string e)));
+  }

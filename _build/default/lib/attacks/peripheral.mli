@@ -1,0 +1,21 @@
+(** Attacks from outside the CPU's normal store path, plus abuses of
+    the write-protection service itself. *)
+
+val dma_to_page_tables : Attack.t
+(** Device DMA aimed at the active PML4 (paper section 2.5). *)
+
+val smm_handler_abuse : Attack.t
+(** Install an SMI handler that patches protected memory with paging
+    semantics off (Invariant I10). *)
+
+val log_tamper : Attack.t
+(** Scrub the protected system-call log: direct stores fault and the
+    append-only policy refuses rewinds (paper section 4.1.2). *)
+
+val free_then_write : Attack.t
+(** [nk_free] a protected region, then store to it: freed protected
+    memory must stay protected (paper section 2.4). *)
+
+val nk_write_overflow : Attack.t
+(** Use a legitimate write descriptor to write beyond its bounds into
+    the adjacent protected object. *)

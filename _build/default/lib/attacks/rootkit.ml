@@ -1,0 +1,155 @@
+open Nkhw
+open Outer_kernel
+
+let rogue_handler_id = 6666
+let rogue_getpid_value = 31337
+
+(* Spawn a victim process the rootkit wants to hide. *)
+let spawn_malware k =
+  let init = Kernel.current_proc k in
+  match Kernel.fork_proc k init with
+  | Ok pid -> Ok pid
+  | Error e -> Error (Ktypes.errno_to_string e)
+
+let visible_in_ps k pid = List.mem_assoc pid (Kernel.ps k)
+
+let syscall_hook =
+  {
+    Attack.name = "syscall-table-hook";
+    description =
+      "overwrite the getpid entry of the system-call table with a rogue \
+       handler id using a plain kernel store";
+    paper_ref = "4.1.1";
+    run =
+      (fun k ->
+        let m = k.Kernel.machine in
+        Kernel.register_handler k rogue_handler_id (fun _ _ _ ->
+            Ok rogue_getpid_value);
+        let entry = Syscall_table.entry_va k.Kernel.syscall_table Ktypes.sys_getpid in
+        match Machine.kwrite_u64 m entry rogue_handler_id with
+        | Error f ->
+            Attack.Blocked
+              (Format.asprintf "store to syscall table faulted (%a)" Fault.pp f)
+        | Ok () -> (
+            let p = Kernel.current_proc k in
+            match Syscalls.getpid k p with
+            | Ok v when v = rogue_getpid_value ->
+                Attack.Succeeded "getpid dispatches to rootkit handler"
+            | Ok _ | Error _ ->
+                Attack.Blocked "table store landed but dispatch unaffected"));
+  }
+
+let syscall_hook_via_legit_path =
+  {
+    Attack.name = "syscall-hook-legit-path";
+    description =
+      "re-install the getpid table entry through the kernel's own \
+       Syscall_table.set path (second write of the same entry)";
+    paper_ref = "4.1.1";
+    run =
+      (fun k ->
+        Kernel.register_handler k rogue_handler_id (fun _ _ _ ->
+            Ok rogue_getpid_value);
+        match
+          Kernel.install_syscall k ~sysno:Ktypes.sys_getpid
+            ~handler_id:rogue_handler_id
+        with
+        | Error msg -> Attack.Blocked ("table update rejected: " ^ msg)
+        | Ok () -> (
+            let p = Kernel.current_proc k in
+            match Syscalls.getpid k p with
+            | Ok v when v = rogue_getpid_value ->
+                Attack.Succeeded "getpid rebound through the legitimate path"
+            | Ok _ | Error _ -> Attack.Blocked "rebinding ineffective"));
+  }
+
+let dkom_hide_process =
+  {
+    Attack.name = "dkom-hide-process";
+    description =
+      "unlink a process from allproc with two pointer stores so ps no \
+       longer reports it";
+    paper_ref = "4.1.3";
+    run =
+      (fun k ->
+        match spawn_malware k with
+        | Error e -> Attack.Blocked ("could not spawn victim: " ^ e)
+        | Ok pid -> (
+            let node =
+              match Proclist.find k.Kernel.allproc pid with
+              | Some n -> n
+              | None -> 0
+            in
+            match
+              Proclist.unlink_raw k.Kernel.machine
+                ~head_va:(Proclist.head_va k.Kernel.allproc)
+                ~node
+            with
+            | Error f ->
+                Attack.Blocked
+                  (Format.asprintf "unlink stores faulted (%a)" Fault.pp f)
+            | Ok () ->
+                if visible_in_ps k pid then
+                  Attack.Blocked "process still visible in ps"
+                else (
+                  match Kernel.ps_shadow k with
+                  | Some shadow_pids when List.mem pid shadow_pids ->
+                      Attack.Detected
+                        (Printf.sprintf
+                           "hidden from allproc, but the shadow list still \
+                            reports pid %d"
+                           pid)
+                  | Some _ | None ->
+                      Attack.Succeeded
+                        (Printf.sprintf "pid %d hidden from ps" pid))));
+  }
+
+let dkom_scrub_shadow =
+  {
+    Attack.name = "dkom-scrub-shadow";
+    description =
+      "hide a process from allproc and additionally remove its shadow-list \
+       entry through nk_write";
+    paper_ref = "4.1.3";
+    run =
+      (fun k ->
+        match spawn_malware k with
+        | Error e -> Attack.Blocked ("could not spawn victim: " ^ e)
+        | Ok pid -> (
+            let node =
+              match Proclist.find k.Kernel.allproc pid with Some n -> n | None -> 0
+            in
+            ignore
+              (Proclist.unlink_raw k.Kernel.machine
+                 ~head_va:(Proclist.head_va k.Kernel.allproc)
+                 ~node);
+            match k.Kernel.shadow with
+            | None ->
+                if visible_in_ps k pid then
+                  Attack.Blocked "process still visible in ps"
+                else Attack.Succeeded (Printf.sprintf "pid %d hidden" pid)
+            | Some shadow -> (
+                (* The only way to alter the shadow list is the logged
+                   nk_write path. *)
+                match Shadow_proc.on_remove shadow pid with
+                | Error e ->
+                    Attack.Blocked ("shadow scrub rejected: " ^ e)
+                | Ok () ->
+                    let in_shadow =
+                      List.mem pid (Shadow_proc.pids shadow)
+                    in
+                    let removals = Shadow_proc.removal_history shadow in
+                    let logged = List.mem_assoc pid removals in
+                    let legit = List.mem pid k.Kernel.legit_exits in
+                    if in_shadow then
+                      Attack.Blocked "shadow entry survived the scrub"
+                    else if logged && not legit then
+                      Attack.Detected
+                        (Printf.sprintf
+                           "shadow scrub of pid %d is in the write log with \
+                            no matching exit"
+                           pid)
+                    else
+                      Attack.Succeeded
+                        (Printf.sprintf "pid %d scrubbed without trace" pid))));
+  }

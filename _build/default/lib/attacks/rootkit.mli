@@ -1,0 +1,21 @@
+(** Rootkit techniques from Kong's {e Designing BSD Rootkits}, as the
+    paper's section 4 catalogs them: system-call hooking and direct
+    kernel object manipulation (DKOM). *)
+
+val syscall_hook : Attack.t
+(** Overwrite a system-call table entry to point at attacker-chosen
+    handler code.  Defeated only by the write-once table policy. *)
+
+val syscall_hook_via_legit_path : Attack.t
+(** Re-install a table entry through the kernel's own update path —
+    on a write-once table the second write is denied. *)
+
+val dkom_hide_process : Attack.t
+(** Unlink a process from [allproc] with two pointer stores.  Succeeds
+    mechanically everywhere; the shadow-list configuration still sees
+    the process. *)
+
+val dkom_scrub_shadow : Attack.t
+(** The stronger rootkit: also remove the shadow-list entry via
+    [nk_write].  The write-logging policy records it, so forensics
+    reconstructs the hidden pid. *)

@@ -1,0 +1,1 @@
+lib/hw/cpu_state.ml: Addr Array Format Insn List Mmu

@@ -1,0 +1,1 @@
+lib/hw/cpu_state.mli: Addr Format Insn Mmu

@@ -1,0 +1,1 @@
+lib/hw/dma.ml: Addr Bytes Format Iommu Machine Phys_mem

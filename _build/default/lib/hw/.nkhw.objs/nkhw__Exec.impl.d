@@ -1,0 +1,1 @@
+lib/hw/exec.ml: Addr Buffer Char Costs Cpu_state Cr Fault Format Hashtbl Insn Machine Mmu Option Phys_mem Printf Result Tlb

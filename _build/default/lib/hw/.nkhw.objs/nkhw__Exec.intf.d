@@ -1,0 +1,1 @@
+lib/hw/exec.mli: Fault Format Machine

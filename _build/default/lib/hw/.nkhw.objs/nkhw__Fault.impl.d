@@ -1,0 +1,1 @@
+lib/hw/fault.ml: Addr Format Printexc Printf

@@ -1,0 +1,1 @@
+lib/hw/fault.mli: Addr Format

@@ -1,0 +1,1 @@
+lib/hw/insn.ml: Buffer Bytes Char Format Hashtbl Int32 Int64 List Option

@@ -1,0 +1,1 @@
+lib/hw/machine.ml: Addr Bytes Clock Costs Cpu_state Cr Fault Format Hashtbl Iommu List Mmu Phys_mem Result Tlb

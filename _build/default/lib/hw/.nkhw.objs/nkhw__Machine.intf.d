@@ -1,0 +1,1 @@
+lib/hw/machine.mli: Addr Clock Costs Cpu_state Cr Fault Format Hashtbl Iommu Mmu Phys_mem Tlb

@@ -1,0 +1,1 @@
+lib/hw/mmu.ml: Addr Cr Fault Format Page_table Phys_mem Tlb

@@ -1,0 +1,1 @@
+lib/hw/mmu.mli: Addr Cr Fault Format Phys_mem Tlb

@@ -1,0 +1,1 @@
+lib/hw/phys_mem.ml: Addr Array Bytes Char Int64 Printf

@@ -1,0 +1,1 @@
+lib/hw/pt_builder.ml: Addr Page_table Phys_mem Printf Pte

@@ -1,0 +1,1 @@
+lib/hw/pt_builder.mli: Addr Phys_mem Pte

@@ -1,0 +1,1 @@
+lib/hw/smm.ml: Machine

@@ -1,0 +1,1 @@
+lib/hw/smp.ml: Cpu_state Cr List Machine Printf Tlb

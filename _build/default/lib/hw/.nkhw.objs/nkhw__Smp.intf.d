@@ -1,0 +1,1 @@
+lib/hw/smp.mli: Machine

@@ -1,0 +1,38 @@
+let cr0_pe = 1
+let cr0_wp = 1 lsl 16
+let cr0_pg = 1 lsl 31
+let cr4_pae = 1 lsl 5
+let cr4_smep = 1 lsl 20
+let efer_lme = 1 lsl 8
+let efer_nx = 1 lsl 11
+
+type t = {
+  mutable cr0 : int;
+  mutable cr3 : int;
+  mutable cr4 : int;
+  mutable efer : int;
+}
+
+let create () = { cr0 = 0; cr3 = 0; cr4 = 0; efer = 0 }
+let copy t = { cr0 = t.cr0; cr3 = t.cr3; cr4 = t.cr4; efer = t.efer }
+
+let long_mode_paging t =
+  t.cr0 land cr0_pe <> 0
+  && t.cr0 land cr0_pg <> 0
+  && t.cr4 land cr4_pae <> 0
+  && t.efer land efer_lme <> 0
+
+let wp_enabled t = t.cr0 land cr0_wp <> 0
+let smep_enabled t = t.cr4 land cr4_smep <> 0
+let nx_enabled t = t.efer land efer_nx <> 0
+let paging_enabled t = t.cr0 land cr0_pg <> 0 && t.cr0 land cr0_pe <> 0
+let root_frame t = Addr.frame_of_pa t.cr3
+
+let pp ppf t =
+  Format.fprintf ppf "CR0=%#x(PE=%b PG=%b WP=%b) CR3=%#x CR4=%#x(SMEP=%b) EFER=%#x(LME=%b NX=%b)"
+    t.cr0
+    (t.cr0 land cr0_pe <> 0)
+    (t.cr0 land cr0_pg <> 0)
+    (wp_enabled t) t.cr3 t.cr4 (smep_enabled t) t.efer
+    (t.efer land efer_lme <> 0)
+    (nx_enabled t)

@@ -1,0 +1,38 @@
+(** Control registers of the simulated machine.
+
+    These carry exactly the bits the nested kernel's security argument
+    depends on (paper section 3.2): CR0.{PE,PG,WP}, CR4.{PAE,SMEP},
+    EFER.{LME,NX}.  CR3 holds the physical address of the active
+    top-level page-table page (PML4). *)
+
+val cr0_pe : int
+val cr0_wp : int
+val cr0_pg : int
+val cr4_pae : int
+val cr4_smep : int
+val efer_lme : int
+val efer_nx : int
+(** Bit masks, at their x86-64 positions. *)
+
+type t = {
+  mutable cr0 : int;
+  mutable cr3 : int;  (** physical address of the root PTP *)
+  mutable cr4 : int;
+  mutable efer : int;
+}
+
+val create : unit -> t
+(** All registers zero: real-mode-like reset state, paging off. *)
+
+val copy : t -> t
+
+val long_mode_paging : t -> bool
+(** True when translation is active: PE, PG, PAE and LME all set. *)
+
+val wp_enabled : t -> bool
+val smep_enabled : t -> bool
+val nx_enabled : t -> bool
+val paging_enabled : t -> bool
+val root_frame : t -> Addr.frame
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,17 @@
+(** DMA engine: device-initiated writes to physical memory.
+
+    DMA bypasses the CPU's MMU entirely; the only thing standing
+    between a device and a protected page is the IOMMU.  This is the
+    attack surface of paper section 2.5. *)
+
+type error = Blocked_by_iommu of Addr.frame | Out_of_range of Addr.pa
+
+val write :
+  Machine.t -> pa:Addr.pa -> bytes -> (unit, error) result
+(** Write device data at [pa].  Checked frame-by-frame against the
+    IOMMU; a blocked frame aborts the transfer before any byte of that
+    frame is written. *)
+
+val read : Machine.t -> pa:Addr.pa -> len:int -> (bytes, error) result
+
+val pp_error : Format.formatter -> error -> unit

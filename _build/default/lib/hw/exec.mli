@@ -1,0 +1,36 @@
+(** Instruction interpreter.
+
+    Executes machine code (gates, attack shellcode, scanned binaries)
+    on a {!Machine.t}, with faithful fault semantics:
+
+    - every fetch, load and store goes through the MMU with the CPU's
+      current ring and the machine's control-register state, so a
+      supervisor store to a read-only page faults iff CR0.WP is set;
+    - faults and external interrupts are delivered through the IDT:
+      RFLAGS and RIP are pushed on the current stack, IF is cleared and
+      control transfers to the handler (instruction-restart semantics
+      for faults);
+    - a fault that cannot be delivered (no IDT, unreadable IDT entry,
+      null handler) stops execution with [Stopped_fault] — the moral
+      equivalent of a triple fault.
+
+    Higher-level kernel logic is OCaml; machine code hands control back
+    to it via the [Callout] instruction. *)
+
+type stop =
+  | Halted  (** HLT executed *)
+  | Callout of int  (** control handed back to OCaml code *)
+  | Stopped_fault of Fault.t  (** undeliverable fault: machine wedged *)
+  | Fuel_exhausted
+
+val run : ?fuel:int -> Machine.t -> stop
+(** Execute from the CPU's current RIP until a stop condition.  [fuel]
+    bounds the instruction count (default 1_000_000). *)
+
+val deliver_trap :
+  Machine.t -> vector:int -> fault:Fault.t option -> (unit, Fault.t) result
+(** Deliver a trap as the hardware would: look up the handler in the
+    IDT, push RFLAGS and the interrupted RIP on the current stack,
+    clear IF, and jump.  Records the event in [machine.last_trap]. *)
+
+val pp_stop : Format.formatter -> stop -> unit

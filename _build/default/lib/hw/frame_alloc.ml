@@ -1,0 +1,42 @@
+type t = {
+  first : Addr.frame;
+  count : int;
+  free_set : Bytes.t; (* 1 = free *)
+  mutable free_list : Addr.frame list;
+  mutable free_count : int;
+}
+
+let create ~first ~count =
+  if first < 0 || count <= 0 then invalid_arg "Frame_alloc.create";
+  let free_set = Bytes.make count '\001' in
+  let free_list = List.init count (fun i -> first + i) in
+  { first; count; free_set; free_list; free_count = count }
+
+let owns t f = f >= t.first && f < t.first + t.count
+let is_free t f = owns t f && Bytes.get t.free_set (f - t.first) = '\001'
+
+let alloc t =
+  match t.free_list with
+  | [] -> None
+  | f :: rest ->
+      t.free_list <- rest;
+      Bytes.set t.free_set (f - t.first) '\000';
+      t.free_count <- t.free_count - 1;
+      Some f
+
+let alloc_exn t =
+  match alloc t with
+  | Some f -> f
+  | None -> failwith "Frame_alloc.alloc_exn: out of physical frames"
+
+let free t f =
+  if not (owns t f) then
+    invalid_arg "Frame_alloc.free: frame outside allocator range";
+  if is_free t f then invalid_arg "Frame_alloc.free: double free";
+  Bytes.set t.free_set (f - t.first) '\001';
+  t.free_list <- f :: t.free_list;
+  t.free_count <- t.free_count + 1
+
+let free_count t = t.free_count
+let total t = t.count
+let first_frame t = t.first

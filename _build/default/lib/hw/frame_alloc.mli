@@ -1,0 +1,26 @@
+(** Physical-frame allocator.
+
+    A simple free-list allocator over a contiguous frame range.  The
+    nested kernel and the outer kernel each own an instance over
+    disjoint ranges of physical memory, so neither can hand out the
+    other's frames. *)
+
+type t
+
+val create : first:Addr.frame -> count:int -> t
+(** Allocator owning frames [first .. first + count - 1], all free. *)
+
+val alloc : t -> Addr.frame option
+(** Pop a free frame; [None] when exhausted. *)
+
+val alloc_exn : t -> Addr.frame
+
+val free : t -> Addr.frame -> unit
+(** Return a frame.  Raises [Invalid_argument] if the frame is outside
+    the allocator's range or already free. *)
+
+val is_free : t -> Addr.frame -> bool
+val owns : t -> Addr.frame -> bool
+val free_count : t -> int
+val total : t -> int
+val first_frame : t -> Addr.frame

@@ -1,0 +1,145 @@
+type smm_owner = Smm_nested_kernel | Smm_unprotected
+
+type t = {
+  mem : Phys_mem.t;
+  mutable cr : Cr.t;
+  mutable tlb : Tlb.t;
+  clock : Clock.t;
+  costs : Costs.t;
+  iommu : Iommu.t;
+  mutable cpu : Cpu_state.t;
+  mutable peer_tlbs : Tlb.t list;
+  msrs : (int, int) Hashtbl.t;
+  mutable idtr : Addr.va option;
+  mutable pending_interrupts : int list;
+  mutable smm_owner : smm_owner;
+  mutable smi_handler : (t -> unit) option;
+  mutable in_nested_kernel : bool;
+  mutable last_trap : (int * Fault.t option) option;
+}
+
+let msr_efer = 0xC0000080
+
+let create ?(frames = 8192) ?(costs = Costs.default) () =
+  {
+    mem = Phys_mem.create ~frames;
+    cr = Cr.create ();
+    tlb = Tlb.create ();
+    clock = Clock.create ();
+    costs;
+    iommu = Iommu.create ();
+    cpu = Cpu_state.create ();
+    msrs = Hashtbl.create 8;
+    peer_tlbs = [];
+    idtr = None;
+    pending_interrupts = [];
+    smm_owner = Smm_unprotected;
+    smi_handler = None;
+    in_nested_kernel = false;
+    last_trap = None;
+  }
+
+let charge t c = Clock.charge t.clock c
+let count t name = Clock.count t.clock name
+
+let translate t ~ring ~kind va =
+  match Mmu.access t.mem t.cr t.tlb ~ring ~kind va with
+  | Ok { pa; tlb_hit } ->
+      charge t (if tlb_hit then t.costs.mem_insn else t.costs.mem_insn + t.costs.tlb_miss_walk);
+      Ok pa
+  | Error f -> Error f
+
+let ( let* ) = Result.bind
+
+let read_u8 t ~ring va =
+  let* pa = translate t ~ring ~kind:Fault.Read va in
+  Ok (Phys_mem.read_u8 t.mem pa)
+
+let write_u8 t ~ring va v =
+  let* pa = translate t ~ring ~kind:Fault.Write va in
+  Ok (Phys_mem.write_u8 t.mem pa v)
+
+(* A word access that straddles a page boundary must check both pages. *)
+let word_pa t ~ring ~kind va =
+  let* pa = translate t ~ring ~kind va in
+  if Addr.page_offset va <= Addr.page_size - 8 then Ok pa
+  else
+    let* _ = translate t ~ring ~kind (Addr.align_up (va + 1)) in
+    Ok pa
+
+let read_u64 t ~ring va =
+  let* pa = word_pa t ~ring ~kind:Fault.Read va in
+  Ok (Phys_mem.read_u64 t.mem pa)
+
+let write_u64 t ~ring va v =
+  let* pa = word_pa t ~ring ~kind:Fault.Write va in
+  Ok (Phys_mem.write_u64 t.mem pa v)
+
+(* Bulk access: process page by page, permission-checking each page
+   once and charging bulk-copy costs rather than per-word costs. *)
+let bulk t ~ring ~kind va len f =
+  if len < 0 then invalid_arg "Machine: negative length";
+  let rec go va remaining off =
+    if remaining = 0 then Ok ()
+    else
+      match Mmu.access t.mem t.cr t.tlb ~ring ~kind va with
+      | Error fault -> Error fault
+      | Ok { pa; tlb_hit } ->
+          if not tlb_hit then charge t t.costs.tlb_miss_walk;
+          let chunk = min remaining (Addr.page_size - Addr.page_offset va) in
+          charge t (t.costs.byte_copy_x8 * ((chunk + 7) / 8));
+          f ~pa ~off ~chunk;
+          go (va + chunk) (remaining - chunk) (off + chunk)
+  in
+  go va len 0
+
+let read_bytes t ~ring va len =
+  let buf = Bytes.create len in
+  let* () =
+    bulk t ~ring ~kind:Fault.Read va len (fun ~pa ~off ~chunk ->
+        Phys_mem.blit_to_bytes t.mem pa buf off chunk)
+  in
+  Ok buf
+
+let write_bytes t ~ring va buf =
+  bulk t ~ring ~kind:Fault.Write va (Bytes.length buf)
+    (fun ~pa ~off ~chunk -> Phys_mem.blit_from_bytes buf off t.mem pa chunk)
+
+let kread_u64 t va = read_u64 t ~ring:Mmu.Supervisor va
+let kwrite_u64 t va v = write_u64 t ~ring:Mmu.Supervisor va v
+let kread_bytes t va len = read_bytes t ~ring:Mmu.Supervisor va len
+let kwrite_bytes t va b = write_bytes t ~ring:Mmu.Supervisor va b
+
+let shootdown_page t ~vpage =
+  Tlb.flush_page t.tlb ~vpage;
+  charge t t.costs.Costs.invlpg;
+  List.iter
+    (fun tlb ->
+      Tlb.flush_page tlb ~vpage;
+      charge t t.costs.Costs.ipi_shootdown)
+    t.peer_tlbs
+
+let shootdown_all t =
+  Tlb.flush_all t.tlb;
+  charge t t.costs.Costs.tlb_flush_full;
+  List.iter
+    (fun tlb ->
+      Tlb.flush_all tlb;
+      charge t t.costs.Costs.ipi_shootdown)
+    t.peer_tlbs
+
+let raise_interrupt t vector =
+  t.pending_interrupts <- t.pending_interrupts @ [ vector ]
+
+let idt_entry_va t vector =
+  match t.idtr with None -> None | Some base -> Some (base + (vector * 8))
+
+let read_idt_entry t vector =
+  match idt_entry_va t vector with
+  | None -> Error (Fault.General_protection "no IDT loaded")
+  | Some va -> kread_u64 t va
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%a@,%a@,cycles=%d tlb(h=%d m=%d)@]" Cr.pp t.cr
+    Cpu_state.pp t.cpu (Clock.cycles t.clock) (Tlb.hits t.tlb)
+    (Tlb.misses t.tlb)

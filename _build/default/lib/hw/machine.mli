@@ -1,0 +1,85 @@
+(** The machine: physical memory, control registers, MMU + TLB, one
+    CPU, an IDT register, an IOMMU, pending-interrupt state, the SMM
+    handler owner, and a cycle clock.
+
+    All memory accessors here go {e through the MMU} with full
+    permission checking and cost accounting — they model loads and
+    stores executed by code running on the CPU at the given ring.  Raw
+    physical access (DRAM, devices) lives in {!Phys_mem} and {!Dma}. *)
+
+type smm_owner =
+  | Smm_nested_kernel  (** the nested kernel controls the SMI handler *)
+  | Smm_unprotected  (** anybody may install an SMI handler (native) *)
+
+type t = {
+  mem : Phys_mem.t;
+  mutable cr : Cr.t;  (** the {e active} CPU's control registers *)
+  mutable tlb : Tlb.t;  (** the active CPU's TLB *)
+  clock : Clock.t;
+  costs : Costs.t;
+  iommu : Iommu.t;
+  mutable cpu : Cpu_state.t;  (** the active CPU's architectural state *)
+  mutable peer_tlbs : Tlb.t list;
+      (** TLBs of the other (inactive) CPUs; protection downgrades
+          shoot these down too *)
+  msrs : (int, int) Hashtbl.t;
+  mutable idtr : Addr.va option;  (** base VA of the 256-entry IDT *)
+  mutable pending_interrupts : int list;
+  mutable smm_owner : smm_owner;
+  mutable smi_handler : (t -> unit) option;
+      (** installed SMI payload; runs with paging semantics off *)
+  mutable in_nested_kernel : bool;
+      (** diagnostic marker maintained by the gates; carries no
+          enforcement power *)
+  mutable last_trap : (int * Fault.t option) option;
+      (** vector and cause of the most recently delivered trap *)
+}
+
+val create : ?frames:int -> ?costs:Costs.t -> unit -> t
+(** Fresh machine with paging disabled; [frames] defaults to 8192
+    (32 MiB). *)
+
+val msr_efer : int
+
+val charge : t -> int -> unit
+val count : t -> string -> unit
+
+val translate :
+  t -> ring:Mmu.ring -> kind:Fault.access_kind -> Addr.va -> (Addr.pa, Fault.t) result
+(** Permission-checked translation; charges a memory access and any
+    walk cost. *)
+
+val read_u8 : t -> ring:Mmu.ring -> Addr.va -> (int, Fault.t) result
+val write_u8 : t -> ring:Mmu.ring -> Addr.va -> int -> (unit, Fault.t) result
+val read_u64 : t -> ring:Mmu.ring -> Addr.va -> (int, Fault.t) result
+val write_u64 : t -> ring:Mmu.ring -> Addr.va -> int -> (unit, Fault.t) result
+
+val read_bytes : t -> ring:Mmu.ring -> Addr.va -> int -> (bytes, Fault.t) result
+val write_bytes : t -> ring:Mmu.ring -> Addr.va -> bytes -> (unit, Fault.t) result
+(** Bulk accesses check permissions on every page they touch and charge
+    bulk-copy costs. *)
+
+val kread_u64 : t -> Addr.va -> (int, Fault.t) result
+val kwrite_u64 : t -> Addr.va -> int -> (unit, Fault.t) result
+val kread_bytes : t -> Addr.va -> int -> (bytes, Fault.t) result
+val kwrite_bytes : t -> Addr.va -> bytes -> (unit, Fault.t) result
+(** Supervisor-ring shorthands: accesses issued by kernel code. *)
+
+val shootdown_page : t -> vpage:int -> unit
+(** Flush one page from the local TLB and IPI every peer CPU to do the
+    same (charging the per-peer shootdown cost). *)
+
+val shootdown_all : t -> unit
+(** Full local flush plus a broadcast shootdown. *)
+
+val raise_interrupt : t -> int -> unit
+(** Queue an external interrupt vector. *)
+
+val idt_entry_va : t -> int -> Addr.va option
+(** VA of IDT slot [vector], when an IDT is loaded. *)
+
+val read_idt_entry : t -> int -> (Addr.va, Fault.t) result
+(** Handler address stored in IDT slot [vector]; a supervisor read
+    through the MMU, as the hardware performs at delivery. *)
+
+val pp : Format.formatter -> t -> unit

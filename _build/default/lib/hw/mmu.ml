@@ -1,0 +1,68 @@
+type ring = Supervisor | User
+
+type ok = { pa : Addr.pa; tlb_hit : bool }
+
+let pp_ring ppf r =
+  Format.pp_print_string ppf
+    (match r with Supervisor -> "supervisor" | User -> "user")
+
+let check_perms ~(cr : Cr.t) ~ring ~kind ~va ~(e : Tlb.entry) =
+  let user_mode = ring = User in
+  let fail () =
+    Error (Fault.page_fault ~user:user_mode ~present:true va kind)
+  in
+  match (kind : Fault.access_kind) with
+  | Read -> if user_mode && not e.user then fail () else Ok ()
+  | Write ->
+      if user_mode then if e.user && e.writable then Ok () else fail ()
+      else if (not e.writable) && Cr.wp_enabled cr then fail ()
+      else Ok ()
+  | Exec ->
+      if e.nx && Cr.nx_enabled cr then fail ()
+      else if user_mode && not e.user then fail ()
+      else if (not user_mode) && e.user && Cr.smep_enabled cr then fail ()
+      else Ok ()
+
+let access mem cr tlb ~ring ~kind va =
+  if not (Cr.paging_enabled cr) then
+    (* Real-address-style access: va is pa, no protection whatsoever. *)
+    if Phys_mem.valid_pa mem va then Ok { pa = va; tlb_hit = false }
+    else Error (Fault.General_protection "physical access out of range")
+  else
+    let vpage = Addr.vpage va in
+    let entry, tlb_hit =
+      match Tlb.lookup tlb ~vpage with
+      | Some e -> (Some e, true)
+      | None -> (
+          Tlb.record_miss tlb;
+          match Page_table.walk mem ~root:(Cr.root_frame cr) va with
+          | Page_table.Not_mapped _ -> (None, false)
+          | Page_table.Mapped w ->
+              (* A 2 MiB leaf covers 512 consecutive virtual pages; cache
+                 the one page we touched. *)
+              let frame =
+                if w.level = 2 then w.frame + (vpage land 0x1ff) else w.frame
+              in
+              let e =
+                Tlb.
+                  {
+                    frame;
+                    writable = w.writable;
+                    user = w.user;
+                    nx = w.nx;
+                    global = false;
+                  }
+              in
+              Tlb.insert tlb ~vpage e;
+              (Some e, false))
+    in
+    match entry with
+    | None ->
+        Error (Fault.page_fault ~user:(ring = User) ~present:false va kind)
+    | Some e -> (
+        match check_perms ~cr ~ring ~kind ~va ~e with
+        | Error f -> Error f
+        | Ok () ->
+            let pa = Addr.pa_of_frame e.frame lor (va land (Addr.page_size - 1)) in
+            if Phys_mem.valid_pa mem pa then Ok { pa; tlb_hit }
+            else Error (Fault.General_protection "translated pa out of range"))

@@ -1,0 +1,85 @@
+type t = { pages : Bytes.t array }
+
+let create ~frames =
+  if frames <= 0 then invalid_arg "Phys_mem.create: frames must be positive";
+  { pages = Array.init frames (fun _ -> Bytes.make Addr.page_size '\000') }
+
+let num_frames t = Array.length t.pages
+let size_bytes t = num_frames t * Addr.page_size
+let valid_pa t pa = pa >= 0 && pa < size_bytes t
+let valid_frame t f = f >= 0 && f < num_frames t
+
+let check t pa len =
+  if pa < 0 || pa + len > size_bytes t then
+    invalid_arg
+      (Printf.sprintf "Phys_mem: access [0x%x, +%d) out of range" pa len)
+
+let read_u8 t pa =
+  check t pa 1;
+  Char.code (Bytes.get t.pages.(Addr.frame_of_pa pa) (Addr.page_offset pa))
+
+let write_u8 t pa v =
+  check t pa 1;
+  Bytes.set t.pages.(Addr.frame_of_pa pa) (Addr.page_offset pa)
+    (Char.chr (v land 0xff))
+
+let read_u64 t pa =
+  check t pa 8;
+  let off = Addr.page_offset pa in
+  if off <= Addr.page_size - 8 then
+    let v =
+      Bytes.get_int64_le t.pages.(Addr.frame_of_pa pa) off
+    in
+    Int64.to_int (Int64.logand v 0x7FFF_FFFF_FFFF_FFFFL)
+  else
+    (* Straddles a page boundary: assemble byte by byte. *)
+    let v = ref 0 in
+    for i = 7 downto 0 do
+      v := (!v lsl 8) lor read_u8 t (pa + i)
+    done;
+    !v land max_int
+
+let write_u64 t pa v =
+  check t pa 8;
+  let off = Addr.page_offset pa in
+  if off <= Addr.page_size - 8 then
+    Bytes.set_int64_le t.pages.(Addr.frame_of_pa pa) off (Int64.of_int v)
+  else
+    for i = 0 to 7 do
+      write_u8 t (pa + i) ((v lsr (8 * i)) land 0xff)
+    done
+
+let blit_to_bytes t pa dst dst_off len =
+  check t pa len;
+  let remaining = ref len and src = ref pa and doff = ref dst_off in
+  while !remaining > 0 do
+    let off = Addr.page_offset !src in
+    let chunk = min !remaining (Addr.page_size - off) in
+    Bytes.blit t.pages.(Addr.frame_of_pa !src) off dst !doff chunk;
+    src := !src + chunk;
+    doff := !doff + chunk;
+    remaining := !remaining - chunk
+  done
+
+let blit_from_bytes src src_off t pa len =
+  check t pa len;
+  let remaining = ref len and dst = ref pa and soff = ref src_off in
+  while !remaining > 0 do
+    let off = Addr.page_offset !dst in
+    let chunk = min !remaining (Addr.page_size - off) in
+    Bytes.blit src !soff t.pages.(Addr.frame_of_pa !dst) off chunk;
+    dst := !dst + chunk;
+    soff := !soff + chunk;
+    remaining := !remaining - chunk
+  done
+
+let read_bytes t pa len =
+  let b = Bytes.create len in
+  blit_to_bytes t pa b 0 len;
+  b
+
+let write_bytes t pa b = blit_from_bytes b 0 t pa (Bytes.length b)
+let zero_frame t f = Bytes.fill t.pages.(f) 0 Addr.page_size '\000'
+
+let frame_copy t ~src ~dst =
+  Bytes.blit t.pages.(src) 0 t.pages.(dst) 0 Addr.page_size

@@ -1,0 +1,33 @@
+(** Physical memory: an array of 4 KiB page frames.
+
+    All accessors take raw physical addresses and perform no permission
+    checking — this is DRAM, not the MMU.  Multi-byte accesses may cross
+    page boundaries.  Words are stored little-endian; the machine's word
+    values always fit in 62 bits, so reads return non-negative ints. *)
+
+type t
+
+val create : frames:int -> t
+(** [create ~frames] makes a memory of [frames] zero-filled pages. *)
+
+val num_frames : t -> int
+val size_bytes : t -> int
+
+val read_u8 : t -> Addr.pa -> int
+val write_u8 : t -> Addr.pa -> int -> unit
+
+val read_u64 : t -> Addr.pa -> int
+(** Read 8 little-endian bytes as an OCaml int (bit 63 discarded). *)
+
+val write_u64 : t -> Addr.pa -> int -> unit
+
+val read_bytes : t -> Addr.pa -> int -> bytes
+val write_bytes : t -> Addr.pa -> bytes -> unit
+val blit_to_bytes : t -> Addr.pa -> bytes -> int -> int -> unit
+val blit_from_bytes : bytes -> int -> t -> Addr.pa -> int -> unit
+
+val zero_frame : t -> Addr.frame -> unit
+val frame_copy : t -> src:Addr.frame -> dst:Addr.frame -> unit
+
+val valid_pa : t -> Addr.pa -> bool
+val valid_frame : t -> Addr.frame -> bool

@@ -1,0 +1,20 @@
+(** System Management Mode.
+
+    SMM code runs outside the paging regime: an SMI handler gets raw
+    physical-memory access, so whoever controls the handler controls
+    the machine (Invariant I10).  On a machine whose SMI handler is
+    owned by the nested kernel, attacker payloads are never invoked;
+    on an unprotected machine the installed payload runs with full
+    physical access. *)
+
+type outcome =
+  | Suppressed  (** nested kernel owns SMM; payload not executed *)
+  | Executed  (** payload ran with raw physical access *)
+  | No_handler
+
+val install_handler :
+  Machine.t -> (Machine.t -> unit) -> (unit, string) result
+(** Attempt to install an SMI payload.  Rejected when the nested
+    kernel owns SMM. *)
+
+val trigger_smi : Machine.t -> outcome

@@ -1,0 +1,62 @@
+type cpu_id = int
+
+type ctx = { cpu : Cpu_state.t; cr : Cr.t; tlb : Tlb.t }
+
+type t = {
+  machine : Machine.t;
+  mutable parked : (cpu_id * ctx) list;
+  mutable active : cpu_id;
+  mutable next_id : cpu_id;
+}
+
+let create machine = { machine; parked = []; active = 0; next_id = 1 }
+
+let add_cpu t =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let ctx =
+    {
+      cpu = Cpu_state.create ();
+      (* APs come up with the control registers the nested kernel (or
+         native boot) established. *)
+      cr = Cr.copy t.machine.Machine.cr;
+      tlb = Tlb.create ();
+    }
+  in
+  t.parked <- (id, ctx) :: t.parked;
+  t.machine.Machine.peer_tlbs <- ctx.tlb :: t.machine.Machine.peer_tlbs;
+  id
+
+let cpu_count t = 1 + List.length t.parked
+let active t = t.active
+
+let activate t id =
+  if id = t.active then ()
+  else
+    match List.assoc_opt id t.parked with
+    | None -> invalid_arg (Printf.sprintf "Smp.activate: no CPU %d" id)
+    | Some target ->
+        let m = t.machine in
+        let parked_self =
+          { cpu = m.Machine.cpu; cr = m.Machine.cr; tlb = m.Machine.tlb }
+        in
+        m.Machine.cpu <- target.cpu;
+        m.Machine.cr <- target.cr;
+        m.Machine.tlb <- target.tlb;
+        t.parked <-
+          (t.active, parked_self) :: List.remove_assoc id t.parked;
+        t.active <- id;
+        (* The peer set is every TLB except the active one. *)
+        m.Machine.peer_tlbs <- List.map (fun (_, c) -> c.tlb) t.parked;
+        Machine.count m "cpu_migration"
+
+let with_cpu t id f =
+  let prev = t.active in
+  activate t id;
+  match f () with
+  | v ->
+      activate t prev;
+      v
+  | exception exn ->
+      activate t prev;
+      raise exn

@@ -1,0 +1,34 @@
+(** SMP-lite: multiple logical CPUs multiplexed over one machine.
+
+    Each CPU has its own architectural state — registers, control
+    registers (so CR0.WP is genuinely per-CPU, the fact Invariant I13
+    turns on), and TLB.  Exactly one CPU is {e active} at a time; the
+    rest are parked with their state saved, and their TLBs stay live as
+    shootdown targets.  This models the uniprocessor-with-SMP-hazards
+    setting the paper's section 3.6.3 reasons about: while CPU 1 runs
+    inside the nested kernel with WP clear, CPU 0 still has WP set and
+    its stores to nested-kernel memory fault. *)
+
+type cpu_id = int
+
+type t
+
+val create : Machine.t -> t
+(** Wrap the machine's boot CPU as CPU 0 (active). *)
+
+val add_cpu : t -> cpu_id
+(** Bring up another CPU: it inherits the current control-register
+    values (the nested kernel configured them at boot) but gets fresh
+    registers and an empty TLB, which from now on receives
+    shootdowns. *)
+
+val cpu_count : t -> int
+val active : t -> cpu_id
+
+val activate : t -> cpu_id -> unit
+(** Park the active CPU and resume [cpu_id]: swaps register file,
+    control registers and TLB on the machine, and fixes up the peer-TLB
+    list.  Raises [Invalid_argument] for unknown ids. *)
+
+val with_cpu : t -> cpu_id -> (unit -> 'a) -> 'a
+(** Run [f] with [cpu_id] active, then switch back. *)

@@ -1,0 +1,35 @@
+type entry = {
+  frame : Addr.frame;
+  writable : bool;
+  user : bool;
+  nx : bool;
+  global : bool;
+}
+
+type t = {
+  table : (int, entry) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create () = { table = Hashtbl.create 1024; hits = 0; misses = 0 }
+
+let lookup t ~vpage =
+  match Hashtbl.find_opt t.table vpage with
+  | Some e ->
+      t.hits <- t.hits + 1;
+      Some e
+  | None -> None
+
+let insert t ~vpage e = Hashtbl.replace t.table vpage e
+
+let flush_all t =
+  let keep = Hashtbl.fold (fun k e acc -> if e.global then (k, e) :: acc else acc) t.table [] in
+  Hashtbl.reset t.table;
+  List.iter (fun (k, e) -> Hashtbl.replace t.table k e) keep
+
+let flush_page t ~vpage = Hashtbl.remove t.table vpage
+let hits t = t.hits
+let misses t = t.misses
+let record_miss t = t.misses <- t.misses + 1
+let size t = Hashtbl.length t.table

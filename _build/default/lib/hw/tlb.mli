@@ -1,0 +1,32 @@
+(** Translation lookaside buffer.
+
+    Caches (virtual page -> translation) with the permissions that were
+    in force when the walk was performed.  This matters for security
+    fidelity: a mapping change without a TLB shootdown leaves a stale
+    entry that the MMU will happily keep using — exactly the hazard the
+    nested kernel must handle by flushing after protection downgrades. *)
+
+type entry = {
+  frame : Addr.frame;
+  writable : bool;
+  user : bool;
+  nx : bool;
+  global : bool;
+}
+
+type t
+
+val create : unit -> t
+val lookup : t -> vpage:int -> entry option
+val insert : t -> vpage:int -> entry -> unit
+
+val flush_all : t -> unit
+(** Full flush, as a CR3 reload performs (non-global entries). *)
+
+val flush_page : t -> vpage:int -> unit
+(** INVLPG. *)
+
+val hits : t -> int
+val misses : t -> int
+val record_miss : t -> unit
+val size : t -> int

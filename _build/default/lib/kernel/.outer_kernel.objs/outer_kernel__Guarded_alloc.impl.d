@@ -1,0 +1,1 @@
+lib/kernel/guarded_alloc.ml: Addr Bytes Frame_alloc Int64 Ktypes Machine Nested_kernel Nkhw

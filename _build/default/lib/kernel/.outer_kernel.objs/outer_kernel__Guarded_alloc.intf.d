@@ -1,0 +1,1 @@
+lib/kernel/guarded_alloc.mli: Addr Frame_alloc Ktypes Machine Nested_kernel Nkhw

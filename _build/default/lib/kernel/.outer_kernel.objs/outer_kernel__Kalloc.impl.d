@@ -1,0 +1,1 @@
+lib/kernel/kalloc.ml: Addr Costs Frame_alloc Machine Nkhw Phys_mem

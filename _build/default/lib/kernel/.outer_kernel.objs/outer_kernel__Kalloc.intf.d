@@ -1,0 +1,1 @@
+lib/kernel/kalloc.mli: Addr Frame_alloc Machine Nkhw

@@ -1,0 +1,1 @@
+lib/kernel/kernel.mli: Addr Config Fault Frame_alloc Hashtbl Kalloc Ktypes Machine Mmu_backend Nested_kernel Nkhw Proc Proclist Shadow_proc Syscall_table Vfs Vmspace

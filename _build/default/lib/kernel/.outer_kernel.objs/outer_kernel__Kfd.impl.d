@@ -1,0 +1,1 @@
+lib/kernel/kfd.ml: Pipe Vfs

@@ -1,0 +1,1 @@
+lib/kernel/kfd.mli: Ktypes Pipe Vfs

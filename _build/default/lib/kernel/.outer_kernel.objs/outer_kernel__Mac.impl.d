@@ -1,0 +1,1 @@
+lib/kernel/mac.ml: Addr Bytes Char Fault Frame_alloc Hashtbl Ktypes Machine Mmu Nested_kernel Nkhw Phys_mem

@@ -1,0 +1,1 @@
+lib/kernel/mac.mli: Addr Frame_alloc Ktypes Machine Nested_kernel Nkhw

@@ -1,0 +1,1 @@
+lib/kernel/mmu_backend.mli: Addr Machine Nested_kernel Nkhw Pte

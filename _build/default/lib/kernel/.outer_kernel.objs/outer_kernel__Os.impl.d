@@ -1,0 +1,1 @@
+lib/kernel/os.ml: Kernel List Syscalls Vfs

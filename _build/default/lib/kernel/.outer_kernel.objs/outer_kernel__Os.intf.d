@@ -1,0 +1,1 @@
+lib/kernel/os.mli: Config Kernel

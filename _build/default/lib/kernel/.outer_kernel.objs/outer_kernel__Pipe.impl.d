@@ -1,0 +1,1 @@
+lib/kernel/pipe.ml: Addr Bytes Char Costs Frame_alloc Ktypes Machine Nkhw Phys_mem

@@ -1,0 +1,1 @@
+lib/kernel/pipe.mli: Frame_alloc Ktypes Machine Nkhw

@@ -1,0 +1,1 @@
+lib/kernel/proc.ml: Format Hashtbl Kfd Ktypes Nkhw Vmspace

@@ -1,0 +1,1 @@
+lib/kernel/proc.mli: Addr Format Hashtbl Kfd Ktypes Nkhw Vmspace

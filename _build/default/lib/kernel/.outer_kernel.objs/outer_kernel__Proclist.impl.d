@@ -1,0 +1,1 @@
+lib/kernel/proclist.ml: Addr Fault Kalloc Ktypes List Machine Nkhw Result

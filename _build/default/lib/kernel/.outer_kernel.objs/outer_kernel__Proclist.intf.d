@@ -1,0 +1,1 @@
+lib/kernel/proclist.mli: Addr Fault Kalloc Ktypes Machine Nkhw

@@ -1,0 +1,1 @@
+lib/kernel/sched.ml: Kernel Ktypes List Nkhw Proc

@@ -1,0 +1,1 @@
+lib/kernel/shadow_proc.ml: Addr Bytes Fault Int64 List Machine Nested_kernel Nkhw Option String

@@ -1,0 +1,1 @@
+lib/kernel/shadow_proc.mli: Addr Ktypes Nested_kernel Nkhw

@@ -1,0 +1,1 @@
+lib/kernel/syscall_table.ml: Addr Bytes Fault Int64 Ktypes Machine Nested_kernel Nkhw

@@ -1,0 +1,1 @@
+lib/kernel/syscall_table.mli: Addr Ktypes Machine Nested_kernel Nkhw

@@ -1,0 +1,1 @@
+lib/kernel/syscalls.ml: Bytes Hashtbl Kernel Kfd Ktypes List Nkhw Pipe Printf Proc Result Vfs Vmspace

@@ -1,0 +1,1 @@
+lib/kernel/vfs.ml: Bytes Costs Hashtbl Ktypes Machine Nkhw Option

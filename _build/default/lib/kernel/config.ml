@@ -1,0 +1,17 @@
+type t = Native | Perspicuos | Append_only | Write_once | Write_log
+
+let all = [ Native; Perspicuos; Append_only; Write_once; Write_log ]
+
+let name = function
+  | Native -> "native"
+  | Perspicuos -> "perspicuos"
+  | Append_only -> "append-only"
+  | Write_once -> "write-once"
+  | Write_log -> "write-log"
+
+let is_nested = function
+  | Native -> false
+  | Perspicuos | Append_only | Write_once | Write_log -> true
+
+let of_name s =
+  List.find_opt (fun c -> name c = String.lowercase_ascii s) all

@@ -1,0 +1,17 @@
+(** The five system configurations the paper evaluates (section 5):
+    unmodified FreeBSD (native), base PerspicuOS, and PerspicuOS with
+    each intra-kernel policy application enabled. *)
+
+type t =
+  | Native  (** direct MMU writes, no nested kernel *)
+  | Perspicuos  (** nested kernel mediating all MMU updates *)
+  | Append_only
+      (** + system-call entry/exit logging into an append-only
+          protected buffer *)
+  | Write_once  (** + system-call table under the write-once policy *)
+  | Write_log  (** + shadow process list with write logging *)
+
+val all : t list
+val name : t -> string
+val is_nested : t -> bool
+val of_name : string -> t option

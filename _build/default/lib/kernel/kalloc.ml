@@ -1,0 +1,44 @@
+open Nkhw
+
+type t = {
+  machine : Machine.t;
+  falloc : Frame_alloc.t;
+  chunk_size : int;
+  mutable free_list : Addr.va list;
+  mutable live : int;
+}
+
+let create machine falloc ~chunk_size =
+  if chunk_size <= 0 || Addr.page_size mod chunk_size <> 0 then
+    invalid_arg "Kalloc.create: chunk size must divide the page size";
+  { machine; falloc; chunk_size; free_list = []; live = 0 }
+
+let grow t =
+  match Frame_alloc.alloc t.falloc with
+  | None -> false
+  | Some frame ->
+      Phys_mem.zero_frame t.machine.Machine.mem frame;
+      Machine.charge t.machine t.machine.Machine.costs.Costs.page_zero;
+      let base = Addr.kva_of_frame frame in
+      for i = (Addr.page_size / t.chunk_size) - 1 downto 0 do
+        t.free_list <- (base + (i * t.chunk_size)) :: t.free_list
+      done;
+      true
+
+let alloc t =
+  (match t.free_list with [] -> ignore (grow t) | _ -> ());
+  match t.free_list with
+  | [] -> None
+  | va :: rest ->
+      t.free_list <- rest;
+      t.live <- t.live + 1;
+      Machine.charge t.machine 40;
+      Some va
+
+let free t va =
+  t.free_list <- va :: t.free_list;
+  t.live <- t.live - 1;
+  Machine.charge t.machine 25
+
+let chunk_size t = t.chunk_size
+let live_chunks t = t.live

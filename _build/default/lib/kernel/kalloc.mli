@@ -1,0 +1,21 @@
+open Nkhw
+
+(** Slab-style kernel object allocator.
+
+    Carves fixed-size chunks out of physical frames taken from the
+    outer kernel's pool and hands them out as kernel virtual addresses
+    (direct map).  Process-list nodes and other kernel structures that
+    must live in {e simulated} memory — so that attacks can corrupt
+    them — are allocated here. *)
+
+type t
+
+val create : Machine.t -> Frame_alloc.t -> chunk_size:int -> t
+(** [chunk_size] must divide the page size. *)
+
+val alloc : t -> Addr.va option
+(** A zeroed chunk, or [None] when the frame pool is exhausted. *)
+
+val free : t -> Addr.va -> unit
+val chunk_size : t -> int
+val live_chunks : t -> int

@@ -1,0 +1,394 @@
+open Nkhw
+
+type t = {
+  machine : Machine.t;
+  config : Config.t;
+  nk : Nested_kernel.State.t option;
+  backend : Mmu_backend.t;
+  env : Vmspace.env;
+  falloc : Frame_alloc.t;
+  kalloc : Kalloc.t;
+  vfs : Vfs.t;
+  kernel_root : Addr.frame;
+  allproc : Proclist.t;
+  shadow : Shadow_proc.t option;
+  syscall_table : Syscall_table.t;
+  handlers : (int, handler) Hashtbl.t;
+  syslog : syscall_log option;
+  procs : (Ktypes.pid, Proc.t) Hashtbl.t;
+  mutable next_pid : Ktypes.pid;
+  mutable current : Ktypes.pid;
+  mutable legit_exits : Ktypes.pid list;
+  mutable syscall_seq : int;
+}
+
+and handler = t -> Proc.t -> Ktypes.sysarg list -> (int, Ktypes.errno) result
+
+and syscall_log = {
+  sl_nk : Nested_kernel.State.t;
+  sl_wd : Nested_kernel.State.wd;
+  sl_base : Addr.va;
+  sl_state : Nested_kernel.Policy.append_state;
+  mutable sl_events : int;
+  mutable sl_flushes : int;
+}
+
+(* Kernel-work constants (identical across configurations). *)
+let cost_proc_create = 2200
+let cost_proc_exit = 900
+let cost_proc_reap = 600
+let cost_sig_frame = 380
+let cost_sig_handler_run = 280
+let cost_exec_load = 1500
+
+let syslog_bytes = 64 * 1024
+let event_bytes = 16
+
+let ( let* ) = Result.bind
+
+(* --- boot ------------------------------------------------------- *)
+
+let boot_native_paging (m : Machine.t) falloc =
+  let root = Frame_alloc.alloc_exn falloc in
+  Phys_mem.zero_frame m.Machine.mem root;
+  let alloc_ptp () = Frame_alloc.alloc_exn falloc in
+  Pt_builder.build_direct_map m.Machine.mem ~root ~alloc_ptp
+    ~frames:(Phys_mem.num_frames m.Machine.mem)
+    Pte.kernel_rw;
+  m.Machine.cr.Cr.cr3 <- Addr.pa_of_frame root;
+  m.Machine.cr.Cr.cr4 <- Cr.cr4_pae lor Cr.cr4_smep;
+  m.Machine.cr.Cr.efer <- Cr.efer_lme lor Cr.efer_nx;
+  m.Machine.cr.Cr.cr0 <- Cr.cr0_pe lor Cr.cr0_pg lor Cr.cr0_wp;
+  Tlb.flush_all m.Machine.tlb;
+  (* Native trap stub: hand faults straight back to OCaml kernel code. *)
+  let stub_frame = Frame_alloc.alloc_exn falloc in
+  let stub = Insn.assemble_raw [ Insn.Callout 3 ] in
+  Phys_mem.write_bytes m.Machine.mem (Addr.pa_of_frame stub_frame) stub;
+  let idt_frame = Frame_alloc.alloc_exn falloc in
+  let idt_pa = Addr.pa_of_frame idt_frame in
+  for vector = 0 to 255 do
+    Phys_mem.write_u64 m.Machine.mem (idt_pa + (vector * 8))
+      (Addr.kva_of_frame stub_frame)
+  done;
+  m.Machine.idtr <- Some (Addr.kva_of_frame idt_frame);
+  root
+
+let boot ?(frames = 8192) ?(batched = false) config =
+  let m = Machine.create ~frames () in
+  let nk, falloc, backend, kernel_root =
+    if Config.is_nested config then begin
+      let nk = Nested_kernel.Api.boot_exn m in
+      let first = Nested_kernel.Api.outer_first_frame nk in
+      let falloc = Frame_alloc.create ~first ~count:(frames - first) in
+      let backend =
+        if batched then Mmu_backend.nested_batched nk else Mmu_backend.nested nk
+      in
+      (Some nk, falloc, backend, (nk).Nested_kernel.State.root_pml4)
+    end
+    else begin
+      let falloc = Frame_alloc.create ~first:1 ~count:(frames - 1) in
+      let backend = Mmu_backend.native m in
+      let root = boot_native_paging m falloc in
+      (None, falloc, backend, root)
+    end
+  in
+  (* Kernel stack for the boot CPU. *)
+  let kstack = Frame_alloc.alloc_exn falloc in
+  Cpu_state.set m.Machine.cpu Insn.RSP (Addr.kva_of_frame (kstack + 1));
+  let kalloc = Kalloc.create m falloc ~chunk_size:64 in
+  let kdata = Frame_alloc.alloc_exn falloc in
+  Phys_mem.zero_frame m.Machine.mem kdata;
+  let head_va = Addr.kva_of_frame kdata in
+  let allproc = Proclist.create m kalloc ~head_va in
+  let syscall_table =
+    match (config, nk) with
+    | Config.Write_once, Some nk -> (
+        match Syscall_table.create_protected nk with
+        | Ok table -> table
+        | Error e ->
+            failwith
+              ("boot: protected syscall table: "
+              ^ Nested_kernel.Nk_error.to_string e))
+    | _ -> Syscall_table.create_native m ~table_va:(head_va + 2048)
+  in
+  let shadow =
+    match (config, nk) with
+    | Config.Write_log, Some nk -> (
+        match Shadow_proc.create nk ~capacity:256 with
+        | Ok s -> Some s
+        | Error e ->
+            failwith
+              ("boot: shadow process list: "
+              ^ Nested_kernel.Nk_error.to_string e))
+    | _ -> None
+  in
+  let syslog =
+    match (config, nk) with
+    | Config.Append_only, Some nk -> (
+        let st = Nested_kernel.Policy.append_state ~size:syslog_bytes () in
+        let policy = Nested_kernel.Policy.append_only st in
+        match Nested_kernel.Api.nk_alloc nk ~size:syslog_bytes policy with
+        | Ok (wd, base) ->
+            Some
+              {
+                sl_nk = nk;
+                sl_wd = wd;
+                sl_base = base;
+                sl_state = st;
+                sl_events = 0;
+                sl_flushes = 0;
+              }
+        | Error e ->
+            failwith
+              ("boot: protected syscall log: "
+              ^ Nested_kernel.Nk_error.to_string e))
+    | _ -> None
+  in
+  let env =
+    { Vmspace.machine = m; backend; falloc; share = Hashtbl.create 256 }
+  in
+  let t =
+    {
+      machine = m;
+      config;
+      nk;
+      backend;
+      env;
+      falloc;
+      kalloc;
+      vfs = Vfs.create m;
+      kernel_root;
+      allproc;
+      shadow;
+      syscall_table;
+      handlers = Hashtbl.create 64;
+      syslog;
+      procs = Hashtbl.create 64;
+      next_pid = 1;
+      current = 1;
+      legit_exits = [];
+      syscall_seq = 0;
+    }
+  in
+  (* init (pid 1) *)
+  (match
+     let* vm = Vmspace.create env ~kernel_root in
+     let* () =
+       Vmspace.exec_reset env vm ~text_pages:16 ~data_pages:8 ~stack_pages:8
+     in
+     let* node = Proclist.insert allproc 1 in
+     Ok (vm, node)
+   with
+  | Ok (vm, node) ->
+      let p = Proc.make ~pid:1 ~parent:0 ~vm ~node_va:node in
+      Hashtbl.replace t.procs 1 p;
+      t.next_pid <- 2;
+      (match shadow with
+      | Some s -> (
+          match Shadow_proc.on_insert s 1 ~node_va:node with
+          | Ok () -> ()
+          | Error e -> failwith ("boot: shadow insert: " ^ e))
+      | None -> ());
+      ignore (t.backend.Mmu_backend.load_cr3 vm.Vmspace.root)
+  | Error e -> failwith ("boot: init process: " ^ Ktypes.errno_to_string e));
+  t
+
+(* --- processes --------------------------------------------------- *)
+
+let current_proc t =
+  match Hashtbl.find_opt t.procs t.current with
+  | Some p -> p
+  | None -> failwith "kernel: current process missing"
+
+let proc t pid = Hashtbl.find_opt t.procs pid
+
+let switch_to t pid =
+  match Hashtbl.find_opt t.procs pid with
+  | None -> Error Ktypes.Esrch
+  | Some p -> (
+      match t.backend.Mmu_backend.load_cr3 p.Proc.vm.Vmspace.root with
+      | Ok () ->
+          t.current <- pid;
+          Machine.count t.machine "context_switch";
+          Ok ()
+      | Error _ -> Error Ktypes.Efault)
+
+let fork_proc t (parent : Proc.t) =
+  Machine.charge t.machine cost_proc_create;
+  let* vm = Vmspace.fork t.env parent.Proc.vm in
+  let pid = t.next_pid in
+  t.next_pid <- pid + 1;
+  let* node =
+    match Proclist.insert t.allproc pid with
+    | Ok node -> Ok node
+    | Error e ->
+        Vmspace.destroy t.env vm;
+        Error e
+  in
+  let child = Proc.make ~pid ~parent:parent.Proc.pid ~vm ~node_va:node in
+  Hashtbl.replace t.procs pid child;
+  (match t.shadow with
+  | Some s -> ignore (Shadow_proc.on_insert s pid ~node_va:node)
+  | None -> ());
+  Machine.count t.machine "fork";
+  Ok pid
+
+let exec_proc t (p : Proc.t) ~text_pages ~data_pages ~stack_pages =
+  Machine.charge t.machine cost_exec_load;
+  Vmspace.exec_reset t.env p.Proc.vm ~text_pages ~data_pages ~stack_pages
+
+let exit_proc t (p : Proc.t) code =
+  Machine.charge t.machine cost_proc_exit;
+  Hashtbl.iter (fun _ h -> ignore (Kfd.close t.vfs h)) p.Proc.fds;
+  Hashtbl.reset p.Proc.fds;
+  (* Switch to the kernel pmap before tearing down the dying address
+     space — CR3 must never point into retired page tables. *)
+  if Cr.root_frame t.machine.Machine.cr = p.Proc.vm.Vmspace.root then
+    ignore (t.backend.Mmu_backend.load_cr3 t.kernel_root);
+  Vmspace.destroy t.env p.Proc.vm;
+  p.Proc.pstate <- Proc.Zombie;
+  p.Proc.exit_code <- Some code;
+  ignore (Proclist.set_state t.allproc ~node:p.Proc.node_va 1);
+  Machine.count t.machine "exit"
+
+let wait_proc t (parent : Proc.t) =
+  Machine.charge t.machine cost_proc_reap;
+  let zombie =
+    Hashtbl.fold
+      (fun _ (p : Proc.t) acc ->
+        match acc with
+        | Some _ -> acc
+        | None ->
+            if p.Proc.parent = parent.Proc.pid && p.Proc.pstate = Proc.Zombie
+            then Some p
+            else None)
+      t.procs None
+  in
+  match zombie with
+  | None -> Error Ktypes.Echild
+  | Some child ->
+      child.Proc.pstate <- Proc.Reaped;
+      ignore (Proclist.remove t.allproc ~node:child.Proc.node_va);
+      (match t.shadow with
+      | Some s -> ignore (Shadow_proc.on_remove s child.Proc.pid)
+      | None -> ());
+      t.legit_exits <- child.Proc.pid :: t.legit_exits;
+      Hashtbl.remove t.procs child.Proc.pid;
+      Ok child.Proc.pid
+
+(* --- syscall logging (Append_only) -------------------------------- *)
+
+let log_sys_event t (p : Proc.t) sysno dir =
+  match t.syslog with
+  | None -> ()
+  | Some sl ->
+      if Nested_kernel.Policy.remaining sl.sl_state < event_bytes then begin
+        (* Model of flushing the full log to stable storage. *)
+        Nested_kernel.Policy.reset_append sl.sl_state;
+        sl.sl_flushes <- sl.sl_flushes + 1;
+        Machine.charge t.machine 5_000;
+        Machine.count t.machine "syslog_flush"
+      end;
+      let record = Bytes.create event_bytes in
+      t.syscall_seq <- t.syscall_seq + 1;
+      Bytes.set_int64_le record 0 (Int64.of_int t.syscall_seq);
+      let tag =
+        (p.Proc.pid lsl 16) lor (sysno lsl 1)
+        lor (match dir with `Entry -> 0 | `Exit -> 1)
+      in
+      Bytes.set_int64_le record 8 (Int64.of_int tag);
+      let dest = sl.sl_base + Nested_kernel.Policy.tail sl.sl_state in
+      (match Nested_kernel.Api.nk_write sl.sl_nk sl.sl_wd ~dest record with
+      | Ok () -> sl.sl_events <- sl.sl_events + 1
+      | Error _ -> ());
+      Machine.count t.machine "syslog_event"
+
+(* --- dispatch ----------------------------------------------------- *)
+
+let register_handler t id fn = Hashtbl.replace t.handlers id fn
+
+let install_syscall t ~sysno ~handler_id =
+  Syscall_table.set t.syscall_table ~sysno ~handler_id
+
+(* Dispatcher work beyond the bare SYSCALL/SYSRET boundary: argument
+   copyin, credential checks, table indexing. *)
+let cost_dispatch = 140
+
+let syscall t (p : Proc.t) sysno args =
+  Machine.charge t.machine
+    (t.machine.Machine.costs.Costs.syscall_roundtrip + cost_dispatch);
+  Machine.count t.machine "syscall";
+  log_sys_event t p sysno `Entry;
+  let result =
+    match Syscall_table.get t.syscall_table ~sysno with
+    | Error e -> Error e
+    | Ok id -> (
+        match Hashtbl.find_opt t.handlers id with
+        | None -> Error Ktypes.Enosys
+        | Some h -> h t p args)
+  in
+  log_sys_event t p sysno `Exit;
+  result
+
+(* --- user memory and faults -------------------------------------- *)
+
+let trap_cost t =
+  t.machine.Machine.costs.Costs.trap_roundtrip
+  +
+  match t.nk with
+  | Some nk -> Nested_kernel.Api.trap_overhead nk
+  | None -> 0
+
+let touch_user t (p : Proc.t) va kind =
+  let attempt () =
+    match kind with
+    | Fault.Read | Fault.Exec ->
+        Result.map (fun (_ : int) -> ()) (Machine.read_u8 t.machine ~ring:Mmu.User va)
+    | Fault.Write -> Machine.write_u8 t.machine ~ring:Mmu.User va 0xAB
+  in
+  let rec go tries =
+    match attempt () with
+    | Ok () -> Ok ()
+    | Error _ when tries > 0 -> (
+        Machine.charge t.machine (trap_cost t);
+        match Vmspace.handle_fault t.env p.Proc.vm va kind with
+        | Ok () -> go (tries - 1)
+        | Error e -> Error e)
+    | Error _ -> Error Ktypes.Efault
+  in
+  go 2
+
+let user_write_bytes t (p : Proc.t) va data =
+  let rec go va data tries =
+    match Machine.write_bytes t.machine ~ring:Mmu.User va data with
+    | Ok () -> Ok ()
+    | Error (Fault.Page_fault { va = fva; _ }) when tries > 0 -> (
+        Machine.charge t.machine (trap_cost t);
+        match Vmspace.handle_fault t.env p.Proc.vm fva Fault.Write with
+        | Ok () -> go va data (tries - 1)
+        | Error e -> Error e)
+    | Error _ -> Error Ktypes.Efault
+  in
+  go va data (2 + (Bytes.length data / Addr.page_size))
+
+(* --- signals ------------------------------------------------------ *)
+
+let deliver_signal t (p : Proc.t) signal =
+  match Hashtbl.find_opt p.Proc.sighandlers signal with
+  | None -> Ok () (* default action: ignore, for the benchmark's purposes *)
+  | Some _tag ->
+      Machine.charge t.machine (trap_cost t + cost_sig_frame);
+      (* Push the signal frame onto the user stack. *)
+      let frame = Bytes.make 128 '\000' in
+      let sp = Vmspace.user_stack_top - 512 in
+      let* () = user_write_bytes t p sp frame in
+      Machine.charge t.machine cost_sig_handler_run;
+      (* sigreturn *)
+      Machine.charge t.machine t.machine.Machine.costs.Costs.syscall_roundtrip;
+      Machine.count t.machine "signal_delivered";
+      Ok ()
+
+(* --- inspection --------------------------------------------------- *)
+
+let ps t = Proclist.pids t.allproc
+let ps_shadow t = Option.map Shadow_proc.pids t.shadow

@@ -1,0 +1,91 @@
+open Nkhw
+
+(** The outer kernel: a small monolithic kernel over the simulated
+    machine, bootable in each of the paper's five configurations.
+
+    The kernel owns process management, the VM subsystem, the VFS, the
+    system-call table and dispatcher, and signals; all of its MMU
+    updates flow through the configured {!Mmu_backend}. *)
+
+type t = {
+  machine : Machine.t;
+  config : Config.t;
+  nk : Nested_kernel.State.t option;
+  backend : Mmu_backend.t;
+  env : Vmspace.env;
+  falloc : Frame_alloc.t;
+  kalloc : Kalloc.t;
+  vfs : Vfs.t;
+  kernel_root : Addr.frame;
+  allproc : Proclist.t;
+  shadow : Shadow_proc.t option;  (** Write_log configuration *)
+  syscall_table : Syscall_table.t;
+  handlers : (int, handler) Hashtbl.t;
+  syslog : syscall_log option;  (** Append_only configuration *)
+  procs : (Ktypes.pid, Proc.t) Hashtbl.t;
+  mutable next_pid : Ktypes.pid;
+  mutable current : Ktypes.pid;
+  mutable legit_exits : Ktypes.pid list;
+  mutable syscall_seq : int;
+}
+
+and handler = t -> Proc.t -> Ktypes.sysarg list -> (int, Ktypes.errno) result
+
+and syscall_log = {
+  sl_nk : Nested_kernel.State.t;
+  sl_wd : Nested_kernel.State.wd;
+  sl_base : Addr.va;
+  sl_state : Nested_kernel.Policy.append_state;
+  mutable sl_events : int;
+  mutable sl_flushes : int;
+}
+
+val boot : ?frames:int -> ?batched:bool -> Config.t -> t
+(** Boot the machine and kernel in the given configuration.  The
+    system-call table is empty; {!Syscalls.install_all} (or {!Os.boot})
+    populates it.  [batched] selects the batched vMMU backend
+    (section 5.4 ablation; nested configurations only). *)
+
+val current_proc : t -> Proc.t
+val proc : t -> Ktypes.pid -> Proc.t option
+
+val register_handler : t -> int -> handler -> unit
+val install_syscall : t -> sysno:int -> handler_id:int -> (unit, string) result
+
+val syscall :
+  t -> Proc.t -> int -> Ktypes.sysarg list -> (int, Ktypes.errno) result
+(** Full dispatch path: boundary cost, (configured) entry/exit event
+    logging, table lookup, handler execution. *)
+
+val switch_to : t -> Ktypes.pid -> (unit, Ktypes.errno) result
+(** Context switch: load the target's address-space root. *)
+
+val fork_proc : t -> Proc.t -> (Ktypes.pid, Ktypes.errno) result
+val exec_proc :
+  t -> Proc.t -> text_pages:int -> data_pages:int -> stack_pages:int ->
+  (unit, Ktypes.errno) result
+val exit_proc : t -> Proc.t -> int -> unit
+val wait_proc : t -> Proc.t -> (Ktypes.pid, Ktypes.errno) result
+
+val touch_user :
+  t -> Proc.t -> Addr.va -> Fault.access_kind -> (unit, Ktypes.errno) result
+(** One user-mode access with full fault handling: a miss costs a trap
+    (plus the nested-kernel trap-gate overhead when active) and runs
+    the VM fault handler, then retries. *)
+
+val user_write_bytes :
+  t -> Proc.t -> Addr.va -> bytes -> (unit, Ktypes.errno) result
+
+val deliver_signal : t -> Proc.t -> int -> (unit, Ktypes.errno) result
+(** Signal delivery to the current process: trap cost, signal-frame
+    push onto the user stack, handler execution, sigreturn. *)
+
+val ps : t -> (Ktypes.pid * int) list
+(** Stock ps: walks [allproc]. *)
+
+val ps_shadow : t -> Ktypes.pid list option
+(** Shadow-aware ps (Write_log configuration only). *)
+
+val log_sys_event : t -> Proc.t -> int -> [ `Entry | `Exit ] -> unit
+(** Append a record to the protected syscall log (no-op outside the
+    Append_only configuration). *)

@@ -1,0 +1,15 @@
+type t =
+  | File of Vfs.handle
+  | Pipe_read of Pipe.t
+  | Pipe_write of Pipe.t
+
+let close vfs = function
+  | File h -> Vfs.close vfs h
+  | Pipe_read p ->
+      Pipe.drop_reader p;
+      Pipe.release p;
+      Ok ()
+  | Pipe_write p ->
+      Pipe.drop_writer p;
+      Pipe.release p;
+      Ok ()

@@ -1,0 +1,9 @@
+(** What a file descriptor can refer to. *)
+
+type t =
+  | File of Vfs.handle
+  | Pipe_read of Pipe.t
+  | Pipe_write of Pipe.t
+
+val close : Vfs.t -> t -> (unit, Ktypes.errno) result
+(** Release the underlying resource (file handle or pipe end). *)

@@ -1,0 +1,57 @@
+type pid = int
+type fd = int
+
+type errno =
+  | Enoent
+  | Ebadf
+  | Enomem
+  | Einval
+  | Efault
+  | Echild
+  | Enosys
+  | Eexist
+  | Eacces
+  | Esrch
+
+let errno_to_string = function
+  | Enoent -> "ENOENT"
+  | Ebadf -> "EBADF"
+  | Enomem -> "ENOMEM"
+  | Einval -> "EINVAL"
+  | Efault -> "EFAULT"
+  | Echild -> "ECHILD"
+  | Enosys -> "ENOSYS"
+  | Eexist -> "EEXIST"
+  | Eacces -> "EACCES"
+  | Esrch -> "ESRCH"
+
+type sysarg = Int of int | Str of string | Buf of bytes
+
+let nth args i = List.nth_opt args i
+
+let arg_int args i =
+  match nth args i with Some (Int v) -> Ok v | _ -> Error Einval
+
+let arg_str args i =
+  match nth args i with Some (Str s) -> Ok s | _ -> Error Einval
+
+let arg_buf args i =
+  match nth args i with Some (Buf b) -> Ok b | _ -> Error Einval
+
+let sys_getpid = 1
+let sys_open = 2
+let sys_close = 3
+let sys_read = 4
+let sys_write = 5
+let sys_mmap = 6
+let sys_munmap = 7
+let sys_fork = 8
+let sys_exit = 9
+let sys_execve = 10
+let sys_sigaction = 11
+let sys_kill = 12
+let sys_wait = 13
+let sys_unlink = 14
+let sys_getppid = 15
+let sys_pipe = 16
+let max_syscall = 64

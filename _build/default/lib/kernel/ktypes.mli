@@ -1,0 +1,45 @@
+(** Basic outer-kernel types: identifiers, error numbers, syscall
+    numbers and argument marshalling. *)
+
+type pid = int
+type fd = int
+
+type errno =
+  | Enoent
+  | Ebadf
+  | Enomem
+  | Einval
+  | Efault
+  | Echild
+  | Enosys
+  | Eexist
+  | Eacces
+  | Esrch
+
+val errno_to_string : errno -> string
+
+type sysarg = Int of int | Str of string | Buf of bytes
+
+val arg_int : sysarg list -> int -> (int, errno) result
+val arg_str : sysarg list -> int -> (string, errno) result
+val arg_buf : sysarg list -> int -> (bytes, errno) result
+
+(** Syscall numbers (indices into the system-call table). *)
+
+val sys_getpid : int
+val sys_open : int
+val sys_close : int
+val sys_read : int
+val sys_write : int
+val sys_mmap : int
+val sys_munmap : int
+val sys_fork : int
+val sys_exit : int
+val sys_execve : int
+val sys_sigaction : int
+val sys_kill : int
+val sys_wait : int
+val sys_unlink : int
+val sys_getppid : int
+val sys_pipe : int
+val max_syscall : int

@@ -1,0 +1,120 @@
+open Nkhw
+
+type level = int
+
+let max_subjects = 2048
+let table_bytes = 4096
+
+type store =
+  | Plain of Machine.t
+  | Protected of Nested_kernel.State.t * Nested_kernel.State.wd
+
+type t = {
+  machine : Machine.t;
+  base : Addr.va;
+  store : store;
+  objects : (string, int) Hashtbl.t;  (* name -> slot *)
+  mutable next_object : int;
+}
+
+(* Mediation for protected labels: a label byte may be set once and
+   thereafter only lowered — integrity levels never rise. *)
+let monotone_policy =
+  {
+    Nested_kernel.Policy.name = "mac-monotone";
+    mediate =
+      (fun ~offset:_ ~old ~data ->
+        let ok = ref true in
+        Bytes.iteri
+          (fun i b ->
+            let prev = Char.code (Bytes.get old i) in
+            let next = Char.code b in
+            if next > 15 then ok := false
+            else if prev <> 0 && next > prev then ok := false)
+          data;
+        if !ok then Nested_kernel.Policy.Allow
+        else Nested_kernel.Policy.Deny "labels may only decrease")
+      [@warning "-27"];
+    commit = (fun ~offset:_ ~old:_ ~data:_ -> ());
+  }
+
+let create_unprotected machine falloc =
+  let frame = Frame_alloc.alloc_exn falloc in
+  Phys_mem.zero_frame machine.Machine.mem frame;
+  {
+    machine;
+    base = Addr.kva_of_frame frame;
+    store = Plain machine;
+    objects = Hashtbl.create 32;
+    next_object = 0;
+  }
+
+let create_protected nk =
+  match Nested_kernel.Api.nk_alloc nk ~size:table_bytes monotone_policy with
+  | Error e -> Error e
+  | Ok (wd, base) ->
+      Ok
+        {
+          machine = (nk).Nested_kernel.State.machine;
+          base;
+          store = Protected (nk, wd);
+          objects = Hashtbl.create 32;
+          next_object = 0;
+        }
+
+let protected_labels t =
+  match t.store with Protected _ -> true | Plain _ -> false
+
+let subject_label_va t pid =
+  if pid < 0 || pid >= max_subjects then invalid_arg "Mac: pid out of range";
+  t.base + pid
+
+let object_slot t name =
+  match Hashtbl.find_opt t.objects name with
+  | Some slot -> slot
+  | None ->
+      let slot = t.next_object in
+      if max_subjects + slot >= table_bytes then failwith "Mac: object table full";
+      t.next_object <- slot + 1;
+      Hashtbl.replace t.objects name slot;
+      slot
+
+let object_label_va t name = t.base + max_subjects + object_slot t name
+
+let read_label t va =
+  Machine.charge t.machine 25;
+  match Machine.read_u8 t.machine ~ring:Mmu.Supervisor va with
+  | Ok v -> v land 0xF
+  | Error _ -> 0
+
+let write_label t va level =
+  if level < 0 || level > 15 then Error "Mac: level out of range"
+  else
+    match t.store with
+    | Plain m -> (
+        (* Convention only: the code path lowers, nothing enforces it. *)
+        match Machine.write_u8 m ~ring:Mmu.Supervisor va level with
+        | Ok () -> Ok ()
+        | Error f -> Error (Fault.to_string f))
+    | Protected (nk, wd) -> (
+        match
+          Nested_kernel.Api.nk_write nk wd ~dest:va
+            (Bytes.make 1 (Char.chr level))
+        with
+        | Ok () -> Ok ()
+        | Error e -> Error (Nested_kernel.Nk_error.to_string e))
+
+let set_subject t pid level = write_label t (subject_label_va t pid) level
+let set_object t name level = write_label t (object_label_va t name) level
+let subject_level t pid = read_label t (subject_label_va t pid)
+let object_level t name = read_label t (object_label_va t name)
+
+let check_write t pid name =
+  Machine.charge t.machine 60;
+  if object_level t name > subject_level t pid then Error Ktypes.Eacces
+  else Ok ()
+
+let check_read t pid name =
+  Machine.charge t.machine 60;
+  if object_level t name < subject_level t pid then Error Ktypes.Eacces
+  else Ok ()

@@ -1,0 +1,49 @@
+open Nkhw
+
+(** Integrity-label access control with nested-kernel-protected label
+    storage (paper section 6: "we could move the access control
+    functionality into the nested kernel, thereby ensuring that attacks
+    on the operating system kernel cannot subvert its access
+    controls").
+
+    A Biba-style integrity model: subjects (processes) and objects
+    (files) carry integrity levels; a subject may write an object only
+    at or below its own level and read only at or above it.  The label
+    table is the attack surface: in the unprotected variant it lives in
+    ordinary kernel memory and one store elevates a compromised
+    process; in the protected variant every label lives in
+    nested-kernel memory and changes only through a mediated,
+    monotone-decrease policy. *)
+
+type level = int
+(** Higher = more trusted.  Levels are in [0, 15]. *)
+
+type t
+
+val create_unprotected : Machine.t -> Frame_alloc.t -> t
+val create_protected : Nested_kernel.State.t -> (t, Nested_kernel.Nk_error.t) result
+
+val protected_labels : t -> bool
+
+val set_subject : t -> Ktypes.pid -> level -> (unit, string) result
+(** Through the legitimate path: levels may only be lowered once set
+    (no re-elevation), mirroring integrity-model discipline.  The
+    protected variant enforces this in a mediation function; the
+    unprotected variant merely follows convention. *)
+
+val set_object : t -> string -> level -> (unit, string) result
+
+val subject_level : t -> Ktypes.pid -> level
+val object_level : t -> string -> level
+(** Unlabelled subjects/objects default to level 0. *)
+
+val subject_label_va : t -> Ktypes.pid -> Addr.va
+val object_label_va : t -> string -> Addr.va
+(** Where a pid's / object's label byte lives — what an attacker aims
+    a kernel write at. *)
+
+val check_write : t -> Ktypes.pid -> string -> (unit, Ktypes.errno) result
+(** No write-up: [Eacces] when the object outranks the subject. *)
+
+val check_read : t -> Ktypes.pid -> string -> (unit, Ktypes.errno) result
+(** No read-down. *)

@@ -1,0 +1,93 @@
+open Nkhw
+
+type t = {
+  name : string;
+  declare_ptp : level:int -> Addr.frame -> (unit, string) result;
+  write_pte :
+    ?va:Addr.va -> ptp:Addr.frame -> index:int -> Pte.t -> (unit, string) result;
+  write_pte_batch :
+    (Addr.frame * int * Pte.t * Addr.va option) list -> (unit, string) result;
+  remove_ptp : Addr.frame -> (unit, string) result;
+  load_cr3 : Addr.frame -> (unit, string) result;
+  batched : bool;
+}
+
+let is_downgrade ~old ~fresh =
+  Pte.is_present old
+  && ((not (Pte.is_present fresh))
+     || Pte.frame old <> Pte.frame fresh
+     || (Pte.is_writable old && not (Pte.is_writable fresh)))
+
+let native (m : Machine.t) =
+  let costs = m.Machine.costs in
+  let write_pte ?va ~ptp ~index pte =
+    let old = Page_table.get_entry m.Machine.mem ~ptp ~index in
+    Page_table.set_entry m.Machine.mem ~ptp ~index pte;
+    Machine.charge m costs.Costs.mem_insn;
+    Machine.count m "pte_write";
+    if is_downgrade ~old ~fresh:pte then begin
+      match va with
+      | Some va -> Machine.shootdown_page m ~vpage:(Addr.vpage va)
+      | None -> Machine.shootdown_all m
+    end;
+    Ok ()
+  in
+  {
+    name = "native";
+    declare_ptp =
+      (fun ~level:_ frame ->
+        Phys_mem.zero_frame m.Machine.mem frame;
+        Machine.charge m costs.Costs.page_zero;
+        Machine.count m "declare_ptp";
+        Ok ());
+    write_pte;
+    write_pte_batch =
+      (fun updates ->
+        List.iter
+          (fun (ptp, index, pte, va) ->
+            match write_pte ?va ~ptp ~index pte with
+            | Ok () -> ()
+            | Error _ -> ())
+          updates;
+        Ok ());
+    remove_ptp = (fun _ -> Ok ());
+    load_cr3 =
+      (fun frame ->
+        m.Machine.cr.Cr.cr3 <- Addr.pa_of_frame frame;
+        Tlb.flush_all m.Machine.tlb;
+        Machine.charge m (costs.Costs.cr_write + costs.Costs.tlb_flush_full);
+        Machine.count m "load_cr3";
+        Ok ());
+    batched = false;
+  }
+
+let err_string = function
+  | Ok v -> Ok v
+  | Error e -> Error (Nested_kernel.Nk_error.to_string e)
+
+let nested_gen ~batched (st : Nested_kernel.State.t) =
+  let module Api = Nested_kernel.Api in
+  {
+    name = (if batched then "nested-batched" else "nested");
+    declare_ptp = (fun ~level frame -> err_string (Api.declare_ptp st ~level frame));
+    write_pte =
+      (fun ?va ~ptp ~index pte -> err_string (Api.write_pte st ?va ~ptp ~index pte));
+    write_pte_batch =
+      (fun updates ->
+        if batched then err_string (Api.write_pte_batch st updates)
+        else
+          let rec go = function
+            | [] -> Ok ()
+            | (ptp, index, pte, va) :: rest -> (
+                match err_string (Api.write_pte st ?va ~ptp ~index pte) with
+                | Ok () -> go rest
+                | Error e -> Error e)
+          in
+          go updates);
+    remove_ptp = (fun frame -> err_string (Api.remove_ptp st frame));
+    load_cr3 = (fun frame -> err_string (Api.load_cr3 st frame));
+    batched;
+  }
+
+let nested st = nested_gen ~batched:false st
+let nested_batched st = nested_gen ~batched:true st

@@ -1,0 +1,34 @@
+open Nkhw
+
+(** The outer kernel's interface to translation updates.
+
+    The virtual-memory subsystem is written once against this record;
+    plugging in {!native} gives the unprotected baseline (direct PTE
+    stores, as stock FreeBSD performs) and {!nested} routes every
+    update through the nested kernel's vMMU — exactly the porting
+    surface the paper describes (section 3.10: "we replaced all
+    instances of writes to PTPs to use the appropriate nested kernel
+    API function"). *)
+
+type t = {
+  name : string;
+  declare_ptp : level:int -> Addr.frame -> (unit, string) result;
+  write_pte :
+    ?va:Addr.va -> ptp:Addr.frame -> index:int -> Pte.t -> (unit, string) result;
+  write_pte_batch :
+    (Addr.frame * int * Pte.t * Addr.va option) list -> (unit, string) result;
+  remove_ptp : Addr.frame -> (unit, string) result;
+  load_cr3 : Addr.frame -> (unit, string) result;
+  batched : bool;
+      (** whether [write_pte_batch] actually amortizes gate crossings *)
+}
+
+val native : Machine.t -> t
+(** Unmediated: raw entry stores with normal TLB maintenance costs. *)
+
+val nested : Nested_kernel.State.t -> t
+(** Every operation crosses the nested-kernel gates. *)
+
+val nested_batched : Nested_kernel.State.t -> t
+(** The section-5.4 extension: callers that present batches get a
+    single gate crossing per batch. *)

@@ -1,0 +1,76 @@
+open Nkhw
+
+let capacity = Addr.page_size
+
+type t = {
+  machine : Machine.t;
+  falloc : Frame_alloc.t;
+  frame : Addr.frame;
+  mutable rpos : int;
+  mutable len : int;
+  mutable readers : int;
+  mutable writers : int;
+  mutable released : bool;
+}
+
+let create machine falloc =
+  match Frame_alloc.alloc falloc with
+  | None -> Error Ktypes.Enomem
+  | Some frame ->
+      Phys_mem.zero_frame machine.Machine.mem frame;
+      Ok
+        {
+          machine;
+          falloc;
+          frame;
+          rpos = 0;
+          len = 0;
+          readers = 1;
+          writers = 1;
+          released = false;
+        }
+
+let buffered t = t.len
+let space t = capacity - t.len
+
+let charge_copy t n =
+  Machine.charge t.machine
+    (250 + (t.machine.Machine.costs.Costs.byte_copy_x8 * ((n + 7) / 8)))
+
+let write t data =
+  let n = min (Bytes.length data) (space t) in
+  let base = Addr.pa_of_frame t.frame in
+  for i = 0 to n - 1 do
+    let pos = (t.rpos + t.len + i) mod capacity in
+    Phys_mem.write_u8 t.machine.Machine.mem (base + pos)
+      (Char.code (Bytes.get data i))
+  done;
+  t.len <- t.len + n;
+  charge_copy t n;
+  n
+
+let read t want =
+  let n = min want t.len in
+  let base = Addr.pa_of_frame t.frame in
+  let out = Bytes.create n in
+  for i = 0 to n - 1 do
+    let pos = (t.rpos + i) mod capacity in
+    Bytes.set out i (Char.chr (Phys_mem.read_u8 t.machine.Machine.mem (base + pos)))
+  done;
+  t.rpos <- (t.rpos + n) mod capacity;
+  t.len <- t.len - n;
+  charge_copy t n;
+  out
+
+let add_reader t = t.readers <- t.readers + 1
+let add_writer t = t.writers <- t.writers + 1
+let drop_reader t = t.readers <- max 0 (t.readers - 1)
+let drop_writer t = t.writers <- max 0 (t.writers - 1)
+let readers t = t.readers
+let writers t = t.writers
+
+let release t =
+  if (not t.released) && t.readers = 0 && t.writers = 0 then begin
+    t.released <- true;
+    Frame_alloc.free t.falloc t.frame
+  end

@@ -1,0 +1,39 @@
+type pstate = Running | Zombie | Reaped
+
+type t = {
+  pid : Ktypes.pid;
+  mutable parent : Ktypes.pid;
+  mutable pstate : pstate;
+  vm : Vmspace.t;
+  node_va : Nkhw.Addr.va;
+  fds : (Ktypes.fd, Kfd.t) Hashtbl.t;
+  mutable next_fd : int;
+  sighandlers : (int, string) Hashtbl.t;
+  mutable exit_code : int option;
+}
+
+let make ~pid ~parent ~vm ~node_va =
+  {
+    pid;
+    parent;
+    pstate = Running;
+    vm;
+    node_va;
+    fds = Hashtbl.create 8;
+    next_fd = 3;
+    sighandlers = Hashtbl.create 4;
+    exit_code = None;
+  }
+
+let add_fd t h =
+  let fd = t.next_fd in
+  t.next_fd <- fd + 1;
+  Hashtbl.replace t.fds fd h;
+  fd
+
+let fd_handle t fd = Hashtbl.find_opt t.fds fd
+let drop_fd t fd = Hashtbl.remove t.fds fd
+
+let pp_state ppf s =
+  Format.pp_print_string ppf
+    (match s with Running -> "running" | Zombie -> "zombie" | Reaped -> "reaped")

@@ -1,0 +1,24 @@
+open Nkhw
+
+(** Process control block (OCaml-side bookkeeping; the corresponding
+    [allproc] node lives in simulated kernel memory). *)
+
+type pstate = Running | Zombie | Reaped
+
+type t = {
+  pid : Ktypes.pid;
+  mutable parent : Ktypes.pid;
+  mutable pstate : pstate;
+  vm : Vmspace.t;
+  node_va : Addr.va;  (** this process's allproc node *)
+  fds : (Ktypes.fd, Kfd.t) Hashtbl.t;
+  mutable next_fd : int;
+  sighandlers : (int, string) Hashtbl.t;  (** signal -> handler tag *)
+  mutable exit_code : int option;
+}
+
+val make : pid:Ktypes.pid -> parent:Ktypes.pid -> vm:Vmspace.t -> node_va:Addr.va -> t
+val add_fd : t -> Kfd.t -> Ktypes.fd
+val fd_handle : t -> Ktypes.fd -> Kfd.t option
+val drop_fd : t -> Ktypes.fd -> unit
+val pp_state : Format.formatter -> pstate -> unit

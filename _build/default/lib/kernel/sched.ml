@@ -1,0 +1,43 @@
+type t = { k : Kernel.t; mutable queue : Ktypes.pid list }
+
+let create k = { k; queue = [ k.Kernel.current ] }
+let queue t = t.queue
+
+let add t pid = if not (List.mem pid t.queue) then t.queue <- t.queue @ [ pid ]
+let remove t pid = t.queue <- List.filter (fun p -> p <> pid) t.queue
+
+let alive t pid =
+  match Kernel.proc t.k pid with
+  | Some p -> p.Proc.pstate = Proc.Running
+  | None -> false
+
+let rec yield t =
+  match t.queue with
+  | [] -> Error Ktypes.Esrch
+  | pid :: rest ->
+      if not (alive t pid) then begin
+        t.queue <- rest;
+        yield t
+      end
+      else begin
+        t.queue <- rest @ [ pid ];
+        match t.queue with
+        | next :: _ when next <> t.k.Kernel.current && alive t next -> (
+            (* Scheduler bookkeeping plus the address-space switch. *)
+            Nkhw.Machine.charge t.k.Kernel.machine 350;
+            match Kernel.switch_to t.k next with
+            | Ok () -> Ok next
+            | Error _ -> Error Ktypes.Esrch)
+        | next :: _ -> Ok next
+        | [] -> Error Ktypes.Esrch
+      end
+
+let run_until t ~steps f =
+  let rec go n =
+    if n >= steps then n
+    else
+      match yield t with
+      | Error _ -> n
+      | Ok pid -> if f pid then go (n + 1) else n + 1
+  in
+  go 0

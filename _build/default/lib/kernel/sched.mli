@@ -1,0 +1,26 @@
+(** Round-robin scheduler.
+
+    Context switches go through the kernel's MMU backend ([load_cr3]),
+    so under the nested kernel every switch pays a mediated
+    control-register load — the cost the paper's section 3.7 design
+    (map/execute/unmap of the CR3-writing code page) puts on the
+    address-space switch path. *)
+
+type t
+
+val create : Kernel.t -> t
+(** Run queue seeded with the current process. *)
+
+val add : t -> Ktypes.pid -> unit
+val remove : t -> Ktypes.pid -> unit
+val queue : t -> Ktypes.pid list
+
+val yield : t -> (Ktypes.pid, Ktypes.errno) result
+(** Rotate to the next runnable process and switch address spaces.
+    Returns the pid now running.  Dead processes found at the head of
+    the queue are dropped. *)
+
+val run_until : t -> steps:int -> (Ktypes.pid -> bool) -> int
+(** Yield repeatedly — up to [steps] times — running the callback for
+    the process that just got the CPU, until it returns false.
+    Returns the number of switches performed. *)

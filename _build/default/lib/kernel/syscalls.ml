@@ -1,0 +1,209 @@
+let handler_id sysno = 100 + sysno
+
+let ( let* ) = Result.bind
+
+(* Handler bodies.  Each charges only through the kernel services it
+   invokes; the dispatcher has already charged the boundary cost. *)
+
+let h_getpid (_ : Kernel.t) (p : Proc.t) (_ : Ktypes.sysarg list) =
+  Ok p.Proc.pid
+
+let h_getppid (_ : Kernel.t) (p : Proc.t) (_ : Ktypes.sysarg list) =
+  Ok p.Proc.parent
+
+let h_open (k : Kernel.t) (p : Proc.t) args =
+  let* path = Ktypes.arg_str args 0 in
+  let* create = Ktypes.arg_int args 1 in
+  let* h = Vfs.open_ k.Kernel.vfs path ~create:(create <> 0) in
+  Ok (Proc.add_fd p (Kfd.File h))
+
+let h_close (k : Kernel.t) (p : Proc.t) args =
+  let* fd = Ktypes.arg_int args 0 in
+  match Proc.fd_handle p fd with
+  | None -> Error Ktypes.Ebadf
+  | Some h ->
+      Proc.drop_fd p fd;
+      let* () = Kfd.close k.Kernel.vfs h in
+      Ok 0
+
+let h_read (k : Kernel.t) (p : Proc.t) args =
+  let* fd = Ktypes.arg_int args 0 in
+  let* n = Ktypes.arg_int args 1 in
+  match Proc.fd_handle p fd with
+  | None -> Error Ktypes.Ebadf
+  | Some (Kfd.File h) -> Vfs.read k.Kernel.vfs h n
+  | Some (Kfd.Pipe_read pipe) -> Ok (Bytes.length (Pipe.read pipe n))
+  | Some (Kfd.Pipe_write _) -> Error Ktypes.Ebadf
+
+let h_write (k : Kernel.t) (p : Proc.t) args =
+  let* fd = Ktypes.arg_int args 0 in
+  let* buf = Ktypes.arg_buf args 1 in
+  match Proc.fd_handle p fd with
+  | None -> Error Ktypes.Ebadf
+  | Some (Kfd.File h) -> Vfs.write k.Kernel.vfs h buf
+  | Some (Kfd.Pipe_write pipe) -> Ok (Pipe.write pipe buf)
+  | Some (Kfd.Pipe_read _) -> Error Ktypes.Ebadf
+
+let h_mmap (k : Kernel.t) (p : Proc.t) args =
+  let* len = Ktypes.arg_int args 0 in
+  let* rw = Ktypes.arg_int args 1 in
+  let* populate = Ktypes.arg_int args 2 in
+  let kind =
+    match Ktypes.arg_int args 3 with
+    | Ok 1 -> Vmspace.File
+    | Ok _ | Error _ -> Vmspace.Anon
+  in
+  let prot = if rw <> 0 then Vmspace.Rw else Vmspace.Ro in
+  Vmspace.map_region k.Kernel.env p.Proc.vm ~len prot kind
+    ~populate:(populate <> 0)
+
+let h_munmap (k : Kernel.t) (p : Proc.t) args =
+  let* va = Ktypes.arg_int args 0 in
+  let* () = Vmspace.unmap_region k.Kernel.env p.Proc.vm va in
+  Ok 0
+
+let h_fork (k : Kernel.t) (p : Proc.t) (_ : Ktypes.sysarg list) =
+  Kernel.fork_proc k p
+
+let h_exit (k : Kernel.t) (p : Proc.t) args =
+  let code = Result.value ~default:0 (Ktypes.arg_int args 0) in
+  Kernel.exit_proc k p code;
+  Ok 0
+
+let h_execve (k : Kernel.t) (p : Proc.t) args =
+  let* path = Ktypes.arg_str args 0 in
+  if not (Vfs.exists k.Kernel.vfs path) then Error Ktypes.Enoent
+  else
+    let text = Result.value ~default:16 (Ktypes.arg_int args 1) in
+    let data = Result.value ~default:8 (Ktypes.arg_int args 2) in
+    let stack = Result.value ~default:8 (Ktypes.arg_int args 3) in
+    let* () =
+      Kernel.exec_proc k p ~text_pages:text ~data_pages:data ~stack_pages:stack
+    in
+    Ok 0
+
+let h_sigaction (_ : Kernel.t) (p : Proc.t) args =
+  let* signal = Ktypes.arg_int args 0 in
+  let* tag = Ktypes.arg_str args 1 in
+  if signal <= 0 || signal > 64 then Error Ktypes.Einval
+  else begin
+    Hashtbl.replace p.Proc.sighandlers signal tag;
+    Ok 0
+  end
+
+let h_kill (k : Kernel.t) (p : Proc.t) args =
+  let* target = Ktypes.arg_int args 0 in
+  let* signal = Ktypes.arg_int args 1 in
+  if target = p.Proc.pid then
+    let* () = Kernel.deliver_signal k p signal in
+    Ok 0
+  else
+    match Kernel.proc k target with
+    | None -> Error Ktypes.Esrch
+    | Some q ->
+        (* Cross-process: deliver on the target's next resumption; the
+           sender only pays the posting cost. *)
+        ignore q;
+        Nkhw.Machine.charge k.Kernel.machine 400;
+        Ok 0
+
+let h_wait (k : Kernel.t) (p : Proc.t) (_ : Ktypes.sysarg list) =
+  Kernel.wait_proc k p
+
+let h_pipe (k : Kernel.t) (p : Proc.t) (_ : Ktypes.sysarg list) =
+  let* pipe =
+    match Pipe.create k.Kernel.machine k.Kernel.falloc with
+    | Ok pipe -> Ok pipe
+    | Error e -> Error e
+  in
+  let rfd = Proc.add_fd p (Kfd.Pipe_read pipe) in
+  let wfd = Proc.add_fd p (Kfd.Pipe_write pipe) in
+  (* fds are sequential; the wrapper exposes both ends. *)
+  assert (wfd = rfd + 1);
+  Ok rfd
+
+let h_unlink (k : Kernel.t) (_ : Proc.t) args =
+  let* path = Ktypes.arg_str args 0 in
+  let* () = Vfs.unlink k.Kernel.vfs path in
+  Ok 0
+
+let table =
+  [
+    (Ktypes.sys_getpid, h_getpid);
+    (Ktypes.sys_getppid, h_getppid);
+    (Ktypes.sys_open, h_open);
+    (Ktypes.sys_close, h_close);
+    (Ktypes.sys_read, h_read);
+    (Ktypes.sys_write, h_write);
+    (Ktypes.sys_mmap, h_mmap);
+    (Ktypes.sys_munmap, h_munmap);
+    (Ktypes.sys_fork, h_fork);
+    (Ktypes.sys_exit, h_exit);
+    (Ktypes.sys_execve, h_execve);
+    (Ktypes.sys_sigaction, h_sigaction);
+    (Ktypes.sys_kill, h_kill);
+    (Ktypes.sys_wait, h_wait);
+    (Ktypes.sys_unlink, h_unlink);
+    (Ktypes.sys_pipe, h_pipe);
+  ]
+
+let install_all k =
+  List.iter
+    (fun (sysno, fn) ->
+      Kernel.register_handler k (handler_id sysno) fn;
+      match Kernel.install_syscall k ~sysno ~handler_id:(handler_id sysno) with
+      | Ok () -> ()
+      | Error e ->
+          failwith (Printf.sprintf "install_all: syscall %d: %s" sysno e))
+    table
+
+(* Wrappers going through the full dispatch path. *)
+
+let getpid k p = Kernel.syscall k p Ktypes.sys_getpid []
+let getppid k p = Kernel.syscall k p Ktypes.sys_getppid []
+
+let open_ k p path =
+  Kernel.syscall k p Ktypes.sys_open [ Ktypes.Str path; Ktypes.Int 1 ]
+
+let close k p fd = Kernel.syscall k p Ktypes.sys_close [ Ktypes.Int fd ]
+
+let read k p fd n =
+  Kernel.syscall k p Ktypes.sys_read [ Ktypes.Int fd; Ktypes.Int n ]
+
+let write k p fd buf =
+  Kernel.syscall k p Ktypes.sys_write [ Ktypes.Int fd; Ktypes.Buf buf ]
+
+let mmap k p ?(file = false) ~len ~rw ~populate () =
+  Kernel.syscall k p Ktypes.sys_mmap
+    [
+      Ktypes.Int len;
+      Ktypes.Int (if rw then 1 else 0);
+      Ktypes.Int (if populate then 1 else 0);
+      Ktypes.Int (if file then 1 else 0);
+    ]
+
+let munmap k p va = Kernel.syscall k p Ktypes.sys_munmap [ Ktypes.Int va ]
+let fork k p = Kernel.syscall k p Ktypes.sys_fork []
+let exit_ k p code = Kernel.syscall k p Ktypes.sys_exit [ Ktypes.Int code ]
+
+let execve k p ?(text_pages = 16) ?(data_pages = 8) ?(stack_pages = 8) path =
+  Kernel.syscall k p Ktypes.sys_execve
+    [
+      Ktypes.Str path;
+      Ktypes.Int text_pages;
+      Ktypes.Int data_pages;
+      Ktypes.Int stack_pages;
+    ]
+
+let sigaction k p signal tag =
+  Kernel.syscall k p Ktypes.sys_sigaction [ Ktypes.Int signal; Ktypes.Str tag ]
+
+let kill k p target signal =
+  Kernel.syscall k p Ktypes.sys_kill [ Ktypes.Int target; Ktypes.Int signal ]
+
+let wait k p = Kernel.syscall k p Ktypes.sys_wait []
+
+let pipe k p =
+  (* Returns (read_fd, write_fd). *)
+  Result.map (fun rfd -> (rfd, rfd + 1)) (Kernel.syscall k p Ktypes.sys_pipe [])
+let unlink k p path = Kernel.syscall k p Ktypes.sys_unlink [ Ktypes.Str path ]

@@ -1,0 +1,43 @@
+(** System-call handlers and their installation.
+
+    Handler identifiers are [100 + syscall number]; the dispatcher
+    resolves the identifier found in the (possibly protected)
+    system-call table through the kernel's registry. *)
+
+val handler_id : int -> int
+(** Identifier conventionally registered for a syscall number. *)
+
+val install_all : Kernel.t -> unit
+(** Register every handler and populate the system-call table.  In the
+    Write_once configuration this performs the single permitted write
+    of each table entry. *)
+
+(** Convenience wrappers used by workloads, examples and tests; each
+    goes through the full dispatch path. *)
+
+val getpid : Kernel.t -> Proc.t -> (int, Ktypes.errno) result
+val open_ : Kernel.t -> Proc.t -> string -> (int, Ktypes.errno) result
+val close : Kernel.t -> Proc.t -> int -> (int, Ktypes.errno) result
+val read : Kernel.t -> Proc.t -> int -> int -> (int, Ktypes.errno) result
+val write : Kernel.t -> Proc.t -> int -> bytes -> (int, Ktypes.errno) result
+
+val mmap :
+  Kernel.t -> Proc.t -> ?file:bool -> len:int -> rw:bool -> populate:bool ->
+  unit -> (int, Ktypes.errno) result
+
+val munmap : Kernel.t -> Proc.t -> int -> (int, Ktypes.errno) result
+val fork : Kernel.t -> Proc.t -> (int, Ktypes.errno) result
+val exit_ : Kernel.t -> Proc.t -> int -> (int, Ktypes.errno) result
+
+val execve :
+  Kernel.t -> Proc.t -> ?text_pages:int -> ?data_pages:int -> ?stack_pages:int ->
+  string -> (int, Ktypes.errno) result
+
+val sigaction : Kernel.t -> Proc.t -> int -> string -> (int, Ktypes.errno) result
+val kill : Kernel.t -> Proc.t -> int -> int -> (int, Ktypes.errno) result
+val wait : Kernel.t -> Proc.t -> (int, Ktypes.errno) result
+
+(** [pipe] returns (read end, write end). *)
+val pipe : Kernel.t -> Proc.t -> (int * int, Ktypes.errno) result
+val unlink : Kernel.t -> Proc.t -> string -> (int, Ktypes.errno) result
+val getppid : Kernel.t -> Proc.t -> (int, Ktypes.errno) result

@@ -1,0 +1,134 @@
+open Nkhw
+
+type file = {
+  mutable data : Bytes.t option;  (* None = sparse (size only) *)
+  mutable size : int;
+}
+
+type t = {
+  machine : Machine.t;
+  files : (string, file) Hashtbl.t;
+  mutable next_handle : int;
+  handles : (int, string * int ref) Hashtbl.t;
+}
+
+type handle = int
+
+(* Cycle costs of the VFS paths (native kernel work, identical in
+   every configuration). *)
+let cost_lookup = 600
+let cost_open = 500
+let cost_close = 320
+let cost_rw_base = 250
+let cost_unlink = 700
+
+let create machine =
+  {
+    machine;
+    files = Hashtbl.create 64;
+    next_handle = 1;
+    handles = Hashtbl.create 64;
+  }
+
+let add_file t name data =
+  Hashtbl.replace t.files name { data = Some data; size = Bytes.length data }
+
+let add_sized_file t name size =
+  Hashtbl.replace t.files name { data = None; size }
+
+let exists t name = Hashtbl.mem t.files name
+
+let file_size t name =
+  Option.map (fun f -> f.size) (Hashtbl.find_opt t.files name)
+
+let open_ t name ~create:do_create =
+  Machine.charge t.machine (cost_lookup + cost_open);
+  match Hashtbl.find_opt t.files name with
+  | None when not do_create -> Error Ktypes.Enoent
+  | None ->
+      Hashtbl.replace t.files name { data = Some Bytes.empty; size = 0 };
+      let h = t.next_handle in
+      t.next_handle <- h + 1;
+      Hashtbl.replace t.handles h (name, ref 0);
+      Ok h
+  | Some _ ->
+      let h = t.next_handle in
+      t.next_handle <- h + 1;
+      Hashtbl.replace t.handles h (name, ref 0);
+      Ok h
+
+let close t h =
+  Machine.charge t.machine cost_close;
+  if Hashtbl.mem t.handles h then begin
+    Hashtbl.remove t.handles h;
+    Ok ()
+  end
+  else Error Ktypes.Ebadf
+
+let with_handle t h f =
+  match Hashtbl.find_opt t.handles h with
+  | None -> Error Ktypes.Ebadf
+  | Some (name, pos) -> (
+      match Hashtbl.find_opt t.files name with
+      | None -> Error Ktypes.Enoent
+      | Some file -> f file pos)
+
+let charge_copy t n =
+  Machine.charge t.machine
+    (cost_rw_base + (t.machine.Machine.costs.Costs.byte_copy_x8 * ((n + 7) / 8)))
+
+let read t h n =
+  with_handle t h (fun file pos ->
+      let available = max 0 (file.size - !pos) in
+      let got = min n available in
+      pos := !pos + got;
+      charge_copy t got;
+      Ok got)
+
+let read_bytes t h n =
+  with_handle t h (fun file pos ->
+      let available = max 0 (file.size - !pos) in
+      let got = min n available in
+      let out =
+        match file.data with
+        | Some data -> Bytes.sub data !pos got
+        | None -> Bytes.make got '\000'
+      in
+      pos := !pos + got;
+      charge_copy t got;
+      Ok out)
+
+let write t h data =
+  with_handle t h (fun file pos ->
+      let n = Bytes.length data in
+      let new_size = max file.size (!pos + n) in
+      (match file.data with
+      | Some old when Bytes.length old < new_size ->
+          let grown = Bytes.make new_size '\000' in
+          Bytes.blit old 0 grown 0 (Bytes.length old);
+          Bytes.blit data 0 grown !pos n;
+          file.data <- Some grown
+      | Some old -> Bytes.blit data 0 old !pos n
+      | None -> ());
+      file.size <- new_size;
+      pos := !pos + n;
+      charge_copy t n;
+      Ok n)
+
+let seek t h off =
+  with_handle t h (fun file pos ->
+      if off < 0 || off > file.size then Error Ktypes.Einval
+      else begin
+        pos := off;
+        Ok ()
+      end)
+
+let unlink t name =
+  Machine.charge t.machine cost_unlink;
+  if Hashtbl.mem t.files name then begin
+    Hashtbl.remove t.files name;
+    Ok ()
+  end
+  else Error Ktypes.Enoent
+
+let file_count t = Hashtbl.length t.files

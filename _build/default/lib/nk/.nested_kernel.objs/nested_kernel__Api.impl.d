@@ -1,0 +1,1 @@
+lib/nk/api.ml: Code_integrity Gate Init Invariants State Vmmu Wp_service

@@ -1,0 +1,1 @@
+lib/nk/api.mli: Addr Init Invariants Machine Nk_error Nkhw Policy Pte State

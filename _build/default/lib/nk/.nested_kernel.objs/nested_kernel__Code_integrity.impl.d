@@ -1,0 +1,1 @@
+lib/nk/code_integrity.ml: Addr Bytes Costs Insn Iommu List Machine Nk_error Nkhw Page_table Pgdesc Phys_mem Pte State

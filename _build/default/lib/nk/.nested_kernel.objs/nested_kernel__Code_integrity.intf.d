@@ -1,0 +1,1 @@
+lib/nk/code_integrity.mli: Addr Nk_error Nkhw State

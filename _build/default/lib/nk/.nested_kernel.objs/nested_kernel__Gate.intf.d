@@ -1,0 +1,1 @@
+lib/nk/gate.mli: Addr Exec Format Insn Machine Nkhw Phys_mem

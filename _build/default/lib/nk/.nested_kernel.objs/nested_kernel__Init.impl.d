@@ -1,0 +1,1 @@
+lib/nk/init.ml: Addr Cpu_state Cr Frame_alloc Gate Hashtbl Insn Iommu List Machine Nkhw Page_table Pgdesc Pheap Phys_mem Pt_builder Pte State Tlb

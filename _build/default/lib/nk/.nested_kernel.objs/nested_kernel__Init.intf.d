@@ -1,0 +1,1 @@
+lib/nk/init.mli: Addr Machine Nkhw State

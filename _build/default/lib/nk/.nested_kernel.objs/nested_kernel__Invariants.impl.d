@@ -1,0 +1,1 @@
+lib/nk/invariants.ml: Addr Cr Format Gate Iommu List Machine Nkhw Page_table Pgdesc Pte State

@@ -1,0 +1,1 @@
+lib/nk/invariants.mli: Format State

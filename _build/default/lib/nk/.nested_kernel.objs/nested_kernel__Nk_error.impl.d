@@ -1,0 +1,1 @@
+lib/nk/nk_error.ml: Addr Fault Format Nkhw

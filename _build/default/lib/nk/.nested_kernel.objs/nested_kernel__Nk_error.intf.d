@@ -1,0 +1,1 @@
+lib/nk/nk_error.mli: Addr Fault Format Nkhw

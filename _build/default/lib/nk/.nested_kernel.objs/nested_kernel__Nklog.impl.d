@@ -1,0 +1,1 @@
+lib/nk/nklog.ml: Bytes Format List String

@@ -1,0 +1,1 @@
+lib/nk/nklog.mli: Format

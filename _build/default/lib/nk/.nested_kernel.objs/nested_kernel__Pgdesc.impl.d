@@ -1,0 +1,1 @@
+lib/nk/pgdesc.ml: Addr Array Format List Nkhw Printf

@@ -1,0 +1,1 @@
+lib/nk/pgdesc.mli: Addr Format Nkhw

@@ -1,0 +1,1 @@
+lib/nk/pheap.ml: Addr Hashtbl Nkhw

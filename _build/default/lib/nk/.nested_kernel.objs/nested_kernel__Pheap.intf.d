@@ -1,0 +1,1 @@
+lib/nk/pheap.mli: Addr Nkhw

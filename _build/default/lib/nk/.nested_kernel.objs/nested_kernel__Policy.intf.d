@@ -1,0 +1,1 @@
+lib/nk/policy.mli: Nklog

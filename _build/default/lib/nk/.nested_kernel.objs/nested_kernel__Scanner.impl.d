@@ -1,0 +1,1 @@
+lib/nk/scanner.ml: Format Fun Hashtbl Insn List Nkhw Option Printf

@@ -1,0 +1,1 @@
+lib/nk/scanner.mli: Format Insn Nkhw

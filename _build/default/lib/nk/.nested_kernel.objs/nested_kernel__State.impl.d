@@ -1,0 +1,1 @@
+lib/nk/state.ml: Addr Format Gate Hashtbl Machine Nk_error Nkhw Page_table Pgdesc Pheap Policy

@@ -1,0 +1,1 @@
+lib/nk/state.mli: Addr Gate Hashtbl Machine Nk_error Nkhw Pgdesc Pheap Policy

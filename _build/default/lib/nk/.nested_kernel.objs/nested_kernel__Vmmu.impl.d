@@ -1,0 +1,1 @@
+lib/nk/vmmu.ml: Addr Costs Cr Iommu List Machine Nk_error Nkhw Page_table Pgdesc Phys_mem Pte Result State Tlb

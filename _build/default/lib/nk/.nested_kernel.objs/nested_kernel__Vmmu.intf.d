@@ -1,0 +1,1 @@
+lib/nk/vmmu.mli: Addr Nk_error Nkhw Pte State

@@ -1,0 +1,1 @@
+lib/nk/wp_service.ml: Addr Bytes Costs Hashtbl Iommu List Machine Nk_error Nkhw Page_table Pgdesc Pheap Policy Pte Result State

@@ -1,0 +1,1 @@
+lib/nk/wp_service.mli: Addr Nk_error Nkhw Policy State

@@ -1,0 +1,41 @@
+type t = State.t
+type wd = State.wd
+
+let boot = Init.boot
+
+let boot_exn ?layout m =
+  match Init.boot ?layout m with
+  | Ok st -> st
+  | Error msg -> failwith ("Nested kernel boot failed: " ^ msg)
+
+let declare_ptp = Vmmu.declare_ptp
+let write_pte = Vmmu.write_pte
+let write_pte_batch = Vmmu.write_pte_batch
+let remove_ptp = Vmmu.remove_ptp
+let load_cr0 = Vmmu.load_cr0
+let load_cr3 = Vmmu.load_cr3
+let load_cr4 = Vmmu.load_cr4
+let load_efer = Vmmu.load_efer
+
+let nk_declare st ~base ~size policy = Wp_service.declare st ~base ~size policy
+let nk_alloc st ~size policy = Wp_service.alloc st ~size policy
+let nk_free = Wp_service.free
+let nk_write st wd ~dest data = Wp_service.write st wd ~dest data
+let nk_read st wd ~src ~len = Wp_service.read st wd ~src ~len
+
+let nk_emulate_colocated_write st ~dest data =
+  Wp_service.emulate_colocated_write st ~dest data
+
+let validate_code = Code_integrity.validate
+let install_code st ~frames code = Code_integrity.install_code st ~frames code
+let retire_code st ~frames = Code_integrity.retire_code st ~frames
+
+let audit = Invariants.audit
+let audit_ok = Invariants.audit_ok
+let machine (st : t) = st.State.machine
+let trap_gate_va (st : t) = st.State.gate.Gate.trap_va
+let outer_first_frame = Init.outer_first_frame
+let denied_writes (st : t) = st.State.denied_writes
+let trap_overhead (st : t) = Gate.trap_overhead st.State.machine st.State.gate
+let nk_null st = State.with_gate st (fun () -> Ok ())
+let strict_gates (st : t) v = st.State.gate.Gate.strict <- v

@@ -1,0 +1,76 @@
+open Nkhw
+
+(** Facade over the nested kernel: the public API an outer kernel (or
+    an example program) uses day to day.  Thin re-exports of {!Init},
+    {!Vmmu} and {!Wp_service} plus a few convenience wrappers. *)
+
+type t = State.t
+type wd = State.wd
+
+val boot : ?layout:Init.boot_layout -> Machine.t -> (t, string) result
+val boot_exn : ?layout:Init.boot_layout -> Machine.t -> t
+
+(** {1 vMMU (paper Table 2)} *)
+
+val declare_ptp : t -> level:int -> Addr.frame -> (unit, Nk_error.t) result
+
+val write_pte :
+  t -> ?va:Addr.va -> ptp:Addr.frame -> index:int -> Pte.t ->
+  (unit, Nk_error.t) result
+
+val write_pte_batch :
+  t -> (Addr.frame * int * Pte.t * Addr.va option) list ->
+  (unit, Nk_error.t) result
+
+val remove_ptp : t -> Addr.frame -> (unit, Nk_error.t) result
+val load_cr0 : t -> int -> (unit, Nk_error.t) result
+val load_cr3 : t -> Addr.frame -> (unit, Nk_error.t) result
+val load_cr4 : t -> int -> (unit, Nk_error.t) result
+val load_efer : t -> int -> (unit, Nk_error.t) result
+
+(** {1 Write-protection service (paper Table 1)} *)
+
+val nk_declare :
+  t -> base:Addr.va -> size:int -> Policy.t -> (wd, Nk_error.t) result
+
+val nk_alloc :
+  t -> size:int -> Policy.t -> (wd * Addr.va, Nk_error.t) result
+
+val nk_free : t -> wd -> (unit, Nk_error.t) result
+val nk_write : t -> wd -> dest:Addr.va -> bytes -> (unit, Nk_error.t) result
+val nk_read : t -> wd -> src:Addr.va -> len:int -> (bytes, Nk_error.t) result
+
+val nk_emulate_colocated_write :
+  t -> dest:Addr.va -> bytes -> (unit, Nk_error.t) result
+(** Trap-and-emulate for unprotected data co-located on protected
+    pages (paper section 3.8) — see {!Wp_service.emulate_colocated_write}. *)
+
+(** {1 Code integrity} *)
+
+val validate_code : bytes -> (unit, Nk_error.t) result
+
+val install_code :
+  t -> frames:Addr.frame list -> bytes -> (unit, Nk_error.t) result
+
+val retire_code : t -> frames:Addr.frame list -> (unit, Nk_error.t) result
+
+(** {1 Introspection} *)
+
+val audit : t -> Invariants.violation list
+val audit_ok : t -> bool
+val machine : t -> Machine.t
+val trap_gate_va : t -> Addr.va
+val outer_first_frame : t -> Addr.frame
+val denied_writes : t -> int
+
+val trap_overhead : t -> int
+(** Cycle cost the trap gate adds to every interrupt/trap delivery. *)
+
+val nk_null : t -> (unit, Nk_error.t) result
+(** An empty nested-kernel operation: a full entry/exit gate crossing
+    around a null body — the paper's Table 3 microbenchmark. *)
+
+val strict_gates : t -> bool -> unit
+(** Force every gate crossing to be interpreted instruction by
+    instruction (slower, used by security tests), or allow the
+    measured-cost fast path (default). *)

@@ -1,0 +1,222 @@
+open Nkhw
+
+type t = {
+  entry_va : Addr.va;
+  exit_va : Addr.va;
+  trap_va : Addr.va;
+  secure_stack_top : Addr.va;
+  code_len : int;
+  mutable strict : bool;
+  mutable entry_cost : int option;
+  mutable exit_cost : int option;
+  mutable trap_cost : int option;
+  mutable crossings : int;
+  mutable fast_saved : (Addr.va * int) list;
+}
+
+let callout_entry_done = 1
+let callout_exit_done = 2
+let callout_trap = 3
+
+let wp = Cr.cr0_wp
+
+(* Figure 2 of the paper.  RCX carries the caller's post-pushfq stack
+   pointer across the stack switch so the spilled registers can be
+   recovered from the old stack. *)
+let entry_gate_code ~secure_stack_top =
+  Insn.
+    [
+      Ins Pushfq;
+      Ins Cli;
+      Ins (Store (RSP, -8, RAX));
+      Ins (Store (RSP, -16, RCX));
+      Ins (Mov_rr (RCX, RSP));
+      Ins (Mov_from_cr (RAX, CR0));
+      Ins (And_ri (RAX, lnot wp));
+      Ins (Mov_to_cr (CR0, RAX));
+      Ins Cli;
+      Ins (Mov_ri (RSP, secure_stack_top));
+      Ins (Push RCX);
+      Ins (Load (RAX, RCX, -8));
+      Ins (Load (RCX, RCX, -16));
+      Ins (Callout callout_entry_done);
+    ]
+
+(* Figure 3.  The or/mov/test/jz loop guarantees that control cannot
+   leave this code with WP clear even if an attacker jumps straight at
+   the mov-to-CR0 with a hostile RAX. *)
+let exit_gate_code () =
+  Insn.
+    [
+      Ins (Load (RSP, RSP, 0));
+      Ins (Push RAX);
+      Ins (Mov_from_cr (RAX, CR0));
+      Lbl "wp_loop";
+      Ins (Or_ri (RAX, wp));
+      Ins (Mov_to_cr (CR0, RAX));
+      Ins (Test_ri (RAX, wp));
+      Ins (Jz (Label "wp_loop"));
+      Ins (Pop RAX);
+      Ins Popfq;
+      Ins (Callout callout_exit_done);
+    ]
+
+(* Invariant I11: all interrupts and traps land here first; WP is
+   forced back on (same loop as the exit gate) before any outer-kernel
+   handler code can run. *)
+let trap_gate_code () =
+  Insn.
+    [
+      Ins (Push RAX);
+      Ins (Mov_from_cr (RAX, CR0));
+      Lbl "wp_loop";
+      Ins (Or_ri (RAX, wp));
+      Ins (Mov_to_cr (CR0, RAX));
+      Ins (Test_ri (RAX, wp));
+      Ins (Jz (Label "wp_loop"));
+      Ins (Pop RAX);
+      Ins (Callout callout_trap);
+    ]
+
+let install mem ~code_base_pa ~code_base_va ~secure_stack_top =
+  let entry = Insn.assemble (entry_gate_code ~secure_stack_top) in
+  let exit_ = Insn.assemble (exit_gate_code ()) in
+  let trap = Insn.assemble (trap_gate_code ()) in
+  let entry_off = 0 in
+  let exit_off = Bytes.length entry in
+  let trap_off = exit_off + Bytes.length exit_ in
+  Phys_mem.write_bytes mem (code_base_pa + entry_off) entry;
+  Phys_mem.write_bytes mem (code_base_pa + exit_off) exit_;
+  Phys_mem.write_bytes mem (code_base_pa + trap_off) trap;
+  {
+    entry_va = code_base_va + entry_off;
+    exit_va = code_base_va + exit_off;
+    trap_va = code_base_va + trap_off;
+    secure_stack_top;
+    code_len = trap_off + Bytes.length trap;
+    strict = false;
+    entry_cost = None;
+    exit_cost = None;
+    trap_cost = None;
+    crossings = 0;
+    fast_saved = [];
+  }
+
+type crossing_error = Unexpected_stop of Exec.stop
+
+let pp_crossing_error ppf (Unexpected_stop s) =
+  Format.fprintf ppf "gate crossing stopped unexpectedly: %a" Exec.pp_stop s
+
+let interpret (m : Machine.t) va ~expect =
+  m.Machine.cpu.Cpu_state.rip <- va;
+  match Exec.run ~fuel:200 m with
+  | Exec.Callout c when c = expect -> Ok ()
+  | other -> Error (Unexpected_stop other)
+
+(* Warm-up crossings are interpreted; the cost memoized from the
+   second (TLB-warm) crossing onward is replayed by the fast path. *)
+let want_interpretation t = t.strict || t.crossings < 2
+
+let enter (m : Machine.t) t =
+  t.crossings <- t.crossings + 1;
+  let cpu = m.Machine.cpu in
+  let result =
+    if want_interpretation t || t.entry_cost = None then begin
+      let before = Clock.cycles m.clock in
+      match interpret m t.entry_va ~expect:callout_entry_done with
+      | Ok () ->
+          if t.crossings >= 2 then
+            t.entry_cost <- Some (Clock.cycles m.clock - before);
+          Ok `Interpreted
+      | Error e -> Error e
+    end
+    else begin
+      let cost = Option.get t.entry_cost in
+      Machine.charge m cost;
+      t.fast_saved <-
+        (Cpu_state.get cpu Insn.RSP, Cpu_state.flags_word cpu)
+        :: t.fast_saved;
+      m.cr.Cr.cr0 <- m.cr.Cr.cr0 land lnot wp;
+      cpu.Cpu_state.intf <- false;
+      Cpu_state.set cpu Insn.RSP (t.secure_stack_top - 8);
+      Ok `Fast
+    end
+  in
+  match result with
+  | Ok _ ->
+      m.Machine.in_nested_kernel <- true;
+      Machine.count m "nk_enter";
+      Ok ()
+  | Error e -> Error e
+
+let exit_ (m : Machine.t) t =
+  let cpu = m.Machine.cpu in
+  (* An exit must mirror its matching enter: a fast-path enter left no
+     state in simulated memory, so its exit must be fast too — even if
+     [strict] was flipped in between. *)
+  let fast_frame, interpreted =
+    match t.fast_saved with
+    | frame :: rest -> (Some (frame, rest), false)
+    | [] -> (None, true)
+  in
+  let result =
+    if interpreted || t.exit_cost = None then begin
+      let before = Clock.cycles m.clock in
+      match interpret m t.exit_va ~expect:callout_exit_done with
+      | Ok () ->
+          if t.crossings >= 2 then
+            t.exit_cost <- Some (Clock.cycles m.clock - before);
+          Ok ()
+      | Error e -> Error e
+    end
+    else begin
+      let (rsp, flags), rest = Option.get fast_frame in
+      Machine.charge m (Option.get t.exit_cost);
+      t.fast_saved <- rest;
+      m.cr.Cr.cr0 <- m.cr.Cr.cr0 lor wp;
+      Cpu_state.set cpu Insn.RSP rsp;
+      Cpu_state.set_flags_word cpu flags;
+      Ok ()
+    end
+  in
+  match result with
+  | Ok () ->
+      m.Machine.in_nested_kernel <- false;
+      Ok ()
+  | Error e -> Error e
+
+let trap_overhead (m : Machine.t) t =
+  match t.trap_cost with
+  | Some c -> c
+  | None ->
+      (* Measure by interpreting the trap gate once on a scratch run:
+         preserve CPU state, point RSP at the secure stack (writable
+         with WP on?  the trap gate only pushes/pops one register and
+         the secure stack is NK-protected, so run it with WP briefly
+         cleared exactly as a real delivery during an NK operation
+         would). *)
+      let cpu = m.Machine.cpu in
+      let saved = Cpu_state.copy cpu in
+      let saved_cr0 = m.cr.Cr.cr0 in
+      m.cr.Cr.cr0 <- m.cr.Cr.cr0 land lnot wp;
+      Cpu_state.set cpu Insn.RSP t.secure_stack_top;
+      let before = Clock.cycles m.clock in
+      let cost =
+        match interpret m t.trap_va ~expect:callout_trap with
+        | Ok () -> Clock.cycles m.clock - before
+        | Error _ ->
+            (* Fall back to a static estimate if the machine is not in
+               a runnable state; should not happen after boot. *)
+            m.costs.Costs.cr_write + m.costs.Costs.cr_read + 10
+      in
+      (* Undo the measurement's side effects. *)
+      m.cr.Cr.cr0 <- saved_cr0;
+      cpu.Cpu_state.rip <- saved.Cpu_state.rip;
+      cpu.Cpu_state.zf <- saved.Cpu_state.zf;
+      cpu.Cpu_state.intf <- saved.Cpu_state.intf;
+      cpu.Cpu_state.ring <- saved.Cpu_state.ring;
+      Array.blit saved.Cpu_state.regs 0 cpu.Cpu_state.regs 0
+        (Array.length saved.Cpu_state.regs);
+      Clock.charge m.clock (before - Clock.cycles m.clock + cost);
+      t.trap_cost <- Some cost;
+      cost

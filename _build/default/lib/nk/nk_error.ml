@@ -1,0 +1,52 @@
+open Nkhw
+
+type t =
+  | Not_a_ptp of Addr.frame
+  | Wrong_level of { frame : Addr.frame; expected : int; actual : int }
+  | Already_declared of Addr.frame
+  | Not_declarable of { frame : Addr.frame; why : string }
+  | Ptp_in_use of { frame : Addr.frame; references : int }
+  | Invalid_cr0 of int
+  | Invalid_cr3 of Addr.frame
+  | Invalid_cr4 of int
+  | Invalid_efer of int
+  | Bad_bounds of { dest : Addr.va; size : int }
+  | Policy_violation of { policy : string; reason : string }
+  | Descriptor_inactive
+  | Out_of_protected_memory
+  | Unvalidated_code of { offset : int }
+  | Reentrant_call
+  | Gate_failure of string
+  | Hardware of Fault.t
+
+let pp ppf = function
+  | Not_a_ptp f -> Format.fprintf ppf "frame %d is not a declared PTP" f
+  | Wrong_level { frame; expected; actual } ->
+      Format.fprintf ppf "frame %d is a level-%d PTP, expected level %d" frame
+        actual expected
+  | Already_declared f -> Format.fprintf ppf "frame %d already declared" f
+  | Not_declarable { frame; why } ->
+      Format.fprintf ppf "frame %d cannot be declared: %s" frame why
+  | Ptp_in_use { frame; references } ->
+      Format.fprintf ppf "PTP %d still has %d active references" frame
+        references
+  | Invalid_cr0 v -> Format.fprintf ppf "CR0 value %#x clears WP/PG/PE" v
+  | Invalid_cr3 f -> Format.fprintf ppf "frame %d is not a declared PML4" f
+  | Invalid_cr4 v -> Format.fprintf ppf "CR4 value %#x clears SMEP" v
+  | Invalid_efer v -> Format.fprintf ppf "EFER value %#x clears NX/LME" v
+  | Bad_bounds { dest; size } ->
+      Format.fprintf ppf "write [%a, +%d) outside descriptor bounds"
+        Addr.pp_va dest size
+  | Policy_violation { policy; reason } ->
+      Format.fprintf ppf "policy %s rejected write: %s" policy reason
+  | Descriptor_inactive -> Format.pp_print_string ppf "write descriptor freed"
+  | Out_of_protected_memory ->
+      Format.pp_print_string ppf "protected heap exhausted"
+  | Unvalidated_code { offset } ->
+      Format.fprintf ppf "protected instruction in code at offset %#x" offset
+  | Reentrant_call ->
+      Format.pp_print_string ppf "nested kernel entered reentrantly"
+  | Gate_failure msg -> Format.fprintf ppf "gate crossing failed: %s" msg
+  | Hardware f -> Format.fprintf ppf "hardware fault: %a" Fault.pp f
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,33 @@
+open Nkhw
+
+(** Errors returned by nested-kernel operations.
+
+    Every rejected operation maps to the invariant it would have
+    violated (paper section 3.2). *)
+
+type t =
+  | Not_a_ptp of Addr.frame  (** I4: write target is not a declared PTP *)
+  | Wrong_level of { frame : Addr.frame; expected : int; actual : int }
+      (** I4: PTE points to a PTP declared for a different level *)
+  | Already_declared of Addr.frame
+  | Not_declarable of { frame : Addr.frame; why : string }
+      (** frame is nested-kernel-owned, protected, or out of range *)
+  | Ptp_in_use of { frame : Addr.frame; references : int }
+      (** I4/I5/I6: removing a PTP still referenced by active tables *)
+  | Invalid_cr0 of int  (** I7/I8: WP, PG or PE would be cleared *)
+  | Invalid_cr3 of Addr.frame  (** I6: not a declared PML4 PTP *)
+  | Invalid_cr4 of int  (** SMEP would be cleared (code integrity) *)
+  | Invalid_efer of int  (** NX or LME would be cleared *)
+  | Bad_bounds of { dest : Addr.va; size : int }
+      (** nk_write outside the write descriptor's region *)
+  | Policy_violation of { policy : string; reason : string }
+  | Descriptor_inactive
+  | Out_of_protected_memory
+  | Unvalidated_code of { offset : int }
+      (** module/code page contains a protected instruction *)
+  | Reentrant_call  (** nested-kernel stack lock already held *)
+  | Gate_failure of string  (** a gate crossing did not complete *)
+  | Hardware of Fault.t
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,97 @@
+type decision = Allow | Deny of string
+
+type t = {
+  name : string;
+  mediate : offset:int -> old:bytes -> data:bytes -> decision;
+  commit : offset:int -> old:bytes -> data:bytes -> unit;
+}
+
+let allow_all ~offset:_ ~old:_ ~data:_ = Allow
+let no_commit ~offset:_ ~old:_ ~data:_ = ()
+
+let unrestricted = { name = "unrestricted"; mediate = allow_all; commit = no_commit }
+
+let no_write =
+  {
+    name = "no-write";
+    mediate = (fun ~offset:_ ~old:_ ~data:_ -> Deny "region is constant");
+    commit = no_commit;
+  }
+
+type write_once_state = { bitmap : Bytes.t; mutable written : int }
+
+let write_once_state ~size =
+  if size < 0 then invalid_arg "Policy.write_once_state";
+  { bitmap = Bytes.make size '\000'; written = 0 }
+
+let written_bytes s = s.written
+
+let write_once s =
+  let mediate ~offset ~old:_ ~data =
+    let len = Bytes.length data in
+    if offset < 0 || offset + len > Bytes.length s.bitmap then
+      Deny "write outside write-once bitmap"
+    else
+      let rec check i =
+        if i = len then Allow
+        else if Bytes.get s.bitmap (offset + i) <> '\000' then
+          Deny (Printf.sprintf "byte %d already written" (offset + i))
+        else check (i + 1)
+      in
+      check 0
+  in
+  let commit ~offset ~old:_ ~data =
+    let len = Bytes.length data in
+    Bytes.fill s.bitmap offset len '\001';
+    s.written <- s.written + len
+  in
+  { name = "write-once"; mediate; commit }
+
+type append_state = { size : int; allow_gaps : bool; mutable tail : int }
+
+let append_state ?(allow_gaps = false) ~size () =
+  if size < 0 then invalid_arg "Policy.append_state";
+  { size; allow_gaps; tail = 0 }
+
+let tail s = s.tail
+let remaining s = s.size - s.tail
+let reset_append s = s.tail <- 0
+
+let append_only s =
+  let mediate ~offset ~old:_ ~data =
+    let len = Bytes.length data in
+    if offset < s.tail then
+      Deny
+        (Printf.sprintf "write at %d would overwrite log tail %d" offset
+           s.tail)
+    else if (not s.allow_gaps) && offset > s.tail then
+      Deny (Printf.sprintf "gap: write at %d, tail at %d" offset s.tail)
+    else if offset + len > s.size then Deny "append-only buffer full"
+    else Allow
+  in
+  let commit ~offset ~old:_ ~data =
+    s.tail <- offset + Bytes.length data
+  in
+  { name = "append-only"; mediate; commit }
+
+let write_log log =
+  {
+    name = "write-log";
+    mediate = allow_all;
+    commit =
+      (fun ~offset ~old ~data -> Nklog.append log ~offset ~old ~data);
+  }
+
+let both a b =
+  {
+    name = a.name ^ "+" ^ b.name;
+    mediate =
+      (fun ~offset ~old ~data ->
+        match a.mediate ~offset ~old ~data with
+        | Deny _ as d -> d
+        | Allow -> b.mediate ~offset ~old ~data);
+    commit =
+      (fun ~offset ~old ~data ->
+        a.commit ~offset ~old ~data;
+        b.commit ~offset ~old ~data);
+  }

@@ -1,0 +1,57 @@
+(** Mediation policies for the write-protection service (paper
+    sections 2.4 and 4.1).
+
+    A policy is consulted by [nk_write] before any byte is modified
+    ([mediate]) and informed after a permitted write has been performed
+    ([commit]).  Policies are trusted code inside the nested kernel's
+    TCB, as in the paper's prototype (section 3.9); they never write to
+    protected memory themselves. *)
+
+type decision = Allow | Deny of string
+
+type t = {
+  name : string;
+  mediate : offset:int -> old:bytes -> data:bytes -> decision;
+  commit : offset:int -> old:bytes -> data:bytes -> unit;
+}
+
+val unrestricted : t
+(** Every write through [nk_write] is permitted.  Still valuable: all
+    other stores to the region fault, so stray memory-corrupting
+    writes are stopped (paper section 2.4). *)
+
+val no_write : t
+(** Constant data: reject everything. *)
+
+type write_once_state
+
+val write_once_state : size:int -> write_once_state
+val write_once : write_once_state -> t
+(** Byte-granularity write-once: a per-byte bitmap tracks which bytes
+    have been written; a write is allowed only if none of its target
+    bytes has been written before (paper section 4.1.1). *)
+
+val written_bytes : write_once_state -> int
+
+type append_state
+
+val append_state : ?allow_gaps:bool -> size:int -> unit -> append_state
+val append_only : append_state -> t
+(** Writes must land at (or, with [allow_gaps], beyond) the current
+    tail; existing data can never be overwritten (paper section
+    4.1.2). *)
+
+val tail : append_state -> int
+val remaining : append_state -> int
+
+val reset_append : append_state -> unit
+(** Model of "flush to disk when full": empties the buffer.  Invoked
+    by nested-kernel code only. *)
+
+val write_log : Nklog.t -> t
+(** Allow all writes but record each one — offset, old bytes, new
+    bytes — in the nested-kernel log (paper section 4.1.3). *)
+
+val both : t -> t -> t
+(** Conjunction: allowed only if both policies allow; both commits
+    run. *)

@@ -1,0 +1,62 @@
+open Nkhw
+
+type wd = {
+  wd_id : int;
+  wd_base : Addr.va;
+  wd_size : int;
+  wd_policy : Policy.t;
+  mutable wd_active : bool;
+  wd_from_heap : bool;
+}
+
+type t = {
+  machine : Machine.t;
+  gate : Gate.t;
+  descs : Pgdesc.t;
+  heap : Pheap.t;
+  root_pml4 : Addr.frame;
+  idt_va : Addr.va;
+  nk_first_frame : Addr.frame;
+  nk_frame_count : int;
+  write_descriptors : (int, wd) Hashtbl.t;
+  mutable next_wd_id : int;
+  mutable lock_held : bool;
+  mutable denied_writes : int;
+}
+
+let is_nk_frame t f =
+  f >= t.nk_first_frame && f < t.nk_first_frame + t.nk_frame_count
+
+let crossing_error e =
+  Nk_error.Gate_failure (Format.asprintf "%a" Gate.pp_crossing_error e)
+
+let with_gate t body =
+  if t.lock_held then Error Nk_error.Reentrant_call
+  else begin
+    t.lock_held <- true;
+    match Gate.enter t.machine t.gate with
+    | Error e ->
+        t.lock_held <- false;
+        Error (crossing_error e)
+    | Ok () ->
+        let result =
+          match body () with
+          | result -> result
+          | exception exn ->
+              (* Never leave the machine with WP clear. *)
+              ignore (Gate.exit_ t.machine t.gate);
+              t.lock_held <- false;
+              raise exn
+        in
+        let exit_result = Gate.exit_ t.machine t.gate in
+        t.lock_held <- false;
+        (match exit_result with
+        | Ok () -> result
+        | Error e -> ( match result with Error _ -> result | Ok _ -> Error (crossing_error e)))
+  end
+
+let register_wd t wd = Hashtbl.replace t.write_descriptors wd.wd_id wd
+let find_wd t id = Hashtbl.find_opt t.write_descriptors id
+
+let entry_va_of_pte ~ptp ~index =
+  Addr.kva_of_pa (Page_table.entry_pa ~ptp ~index)

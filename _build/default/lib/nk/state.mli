@@ -1,0 +1,52 @@
+open Nkhw
+
+(** Nested-kernel state: everything the trusted domain owns.
+
+    One value of this type exists per machine after {!Init.boot}; the
+    outer kernel holds a reference but can only act on it through the
+    mediated operations in {!Vmmu} and {!Wp_service} — every mutation
+    of protected physical state happens between a gate entry and a gate
+    exit with the nested-kernel stack lock held. *)
+
+type wd = {
+  wd_id : int;
+  wd_base : Addr.va;  (** first byte of the protected region *)
+  wd_size : int;
+  wd_policy : Policy.t;
+  mutable wd_active : bool;
+  wd_from_heap : bool;  (** allocated by [nk_alloc] (vs declared) *)
+}
+(** A write descriptor (paper Table 1). *)
+
+type t = {
+  machine : Machine.t;
+  gate : Gate.t;
+  descs : Pgdesc.t;
+  heap : Pheap.t;
+  root_pml4 : Addr.frame;
+  idt_va : Addr.va;
+  nk_first_frame : Addr.frame;
+  nk_frame_count : int;
+  write_descriptors : (int, wd) Hashtbl.t;
+  mutable next_wd_id : int;
+  mutable lock_held : bool;
+  mutable denied_writes : int;
+      (** mediation rejections observed (diagnostics) *)
+}
+
+val is_nk_frame : t -> Addr.frame -> bool
+(** Frame inside the nested kernel's reserved physical range. *)
+
+val with_gate :
+  t -> (unit -> ('a, Nk_error.t) result) -> ('a, Nk_error.t) result
+(** Run a nested-kernel operation body between an entry-gate and
+    exit-gate crossing, holding the nested-kernel stack lock.  Fails
+    with [Reentrant_call] if the lock is already held and
+    [Gate_failure] if a crossing does not complete. *)
+
+val register_wd : t -> wd -> unit
+val find_wd : t -> int -> wd option
+
+val entry_va_of_pte : ptp:Addr.frame -> index:int -> Addr.va
+(** Kernel direct-map virtual address of a page-table entry; nested
+    kernel internals write PTEs through this mapping. *)

@@ -1,0 +1,272 @@
+open Nkhw
+
+let ( let* ) = Result.bind
+
+let hw_result = function Ok v -> Ok v | Error f -> Error (Nk_error.Hardware f)
+
+(* An entry in a level-L table is a leaf translation if L = 1, or if
+   L = 2 with the large-page bit set; otherwise it links a child PTP. *)
+let entry_is_leaf ~level pte = level = 1 || (level = 2 && Pte.is_large pte)
+
+let mapping_kind ~level pte : Pgdesc.mapping_kind =
+  if entry_is_leaf ~level pte then Pgdesc.Data_map else Pgdesc.Table_link
+
+(* Validate a PTE the outer kernel wants installed and return the
+   (possibly downgraded) value that will actually be written. *)
+let validate_and_adjust (st : State.t) ~level pte =
+  if not (Pte.is_present pte) then Ok pte
+  else
+    let target = Pte.frame pte in
+    if not (Phys_mem.valid_frame st.machine.Machine.mem target) then
+      Error
+        (Nk_error.Not_declarable { frame = target; why = "beyond physical memory" })
+    else if not (entry_is_leaf ~level pte) then
+      (* Non-leaf: must link a declared PTP of the next level down (I4). *)
+      match Pgdesc.ptp_level st.descs target with
+      | Some l when l = level - 1 -> Ok pte
+      | Some l ->
+          Error (Nk_error.Wrong_level { frame = target; expected = level - 1; actual = l })
+      | None -> Error (Nk_error.Not_a_ptp target)
+    else begin
+      (* Leaf: downgrade according to the target page's type.  A 2 MiB
+         large page covers 512 consecutive frames — every one of them
+         must satisfy the protection rules, not just the first. *)
+      let span = if Pte.is_large pte then Addr.entries_per_table else 1 in
+      if not (Phys_mem.valid_frame st.machine.Machine.mem (target + span - 1))
+      then
+        Error
+          (Nk_error.Not_declarable
+             { frame = target + span - 1; why = "beyond physical memory" })
+      else begin
+        let adjust_for frame pte =
+          match Pgdesc.page_type st.descs frame with
+          | Pgdesc.Ptp _ | Pgdesc.Nk_data | Pgdesc.Nk_stack
+          | Pgdesc.Protected_data ->
+              Pte.set_nx (Pte.set_writable pte false) true
+          | Pgdesc.Nk_code -> Pte.set_writable pte false
+          | Pgdesc.Outer_code ->
+              let pte = Pte.set_writable pte false in
+              if Pgdesc.is_validated st.descs frame then pte
+              else Pte.set_nx pte true
+          | Pgdesc.Outer_data -> Pte.set_nx pte true
+          | Pgdesc.User -> pte
+          | Pgdesc.Unused ->
+              if Pte.is_user pte then pte else Pte.set_nx pte true
+        in
+        let adjusted = ref pte in
+        for f = target to target + span - 1 do
+          adjusted := adjust_for f !adjusted
+        done;
+        Ok !adjusted
+      end
+    end
+
+let is_protection_downgrade ~old ~fresh =
+  Pte.is_present old
+  && ((not (Pte.is_present fresh))
+     || Pte.frame old <> Pte.frame fresh
+     || (Pte.is_writable old && not (Pte.is_writable fresh))
+     || (Pte.is_user old && not (Pte.is_user fresh))
+     || ((not (Pte.is_nx old)) && Pte.is_nx fresh))
+
+(* Perform one validated PTE update inside the gate: maintain reverse
+   maps, write through the direct map (WP is clear, so the read-only
+   PTP mapping accepts the supervisor store), and keep the TLB
+   coherent on downgrades. *)
+let apply_update (st : State.t) ?va ~ptp ~index ~level fresh =
+  let m = st.machine in
+  let old = Page_table.get_entry m.Machine.mem ~ptp ~index in
+  let* () =
+    hw_result (Machine.kwrite_u64 m (State.entry_va_of_pte ~ptp ~index) fresh)
+  in
+  Machine.count m "pte_write";
+  if Pte.is_present old then begin
+    let kind = mapping_kind ~level old in
+    Pgdesc.remove_mapping st.descs (Pte.frame old)
+      { Pgdesc.ptp; index; kind }
+  end;
+  if Pte.is_present fresh then begin
+    let target = Pte.frame fresh in
+    (match Pgdesc.page_type st.descs target with
+    | Pgdesc.Unused ->
+        Pgdesc.set_type st.descs target
+          (if Pte.is_user fresh then Pgdesc.User else Pgdesc.Outer_data)
+    | _ -> ());
+    Pgdesc.add_mapping st.descs target
+      { Pgdesc.ptp; index; kind = mapping_kind ~level fresh }
+  end;
+  if is_protection_downgrade ~old ~fresh then begin
+    match va with
+    | Some va -> Machine.shootdown_page m ~vpage:(Addr.vpage va)
+    | None -> Machine.shootdown_all m
+  end;
+  Ok ()
+
+let check_ptp (st : State.t) ptp =
+  match Pgdesc.ptp_level st.descs ptp with
+  | Some level -> Ok level
+  | None -> Error (Nk_error.Not_a_ptp ptp)
+
+let write_pte st ?va ~ptp ~index pte =
+  State.with_gate st (fun () ->
+      let* level = check_ptp st ptp in
+      let* fresh = validate_and_adjust st ~level pte in
+      apply_update st ?va ~ptp ~index ~level fresh)
+
+let write_pte_batch st updates =
+  State.with_gate st (fun () ->
+      let rec go = function
+        | [] -> Ok ()
+        | (ptp, index, pte, va) :: rest ->
+            let* level = check_ptp st ptp in
+            let* fresh = validate_and_adjust st ~level pte in
+            let* () = apply_update st ?va ~ptp ~index ~level fresh in
+            go rest
+      in
+      Machine.count st.machine "pte_write_batch";
+      go updates)
+
+let declare_ptp st ~level frame =
+  State.with_gate st (fun () ->
+      let m = st.machine in
+      if level < 1 || level > 4 then
+        Error (Nk_error.Not_declarable { frame; why = "invalid paging level" })
+      else if not (Phys_mem.valid_frame m.Machine.mem frame) then
+        Error (Nk_error.Not_declarable { frame; why = "beyond physical memory" })
+      else if State.is_nk_frame st frame then
+        Error (Nk_error.Not_declarable { frame; why = "nested-kernel-owned" })
+      else
+        match Pgdesc.page_type st.descs frame with
+        | Pgdesc.Ptp _ -> Error (Nk_error.Already_declared frame)
+        | Pgdesc.Nk_code | Pgdesc.Nk_data | Pgdesc.Nk_stack
+        | Pgdesc.Protected_data | Pgdesc.Outer_code ->
+            Error (Nk_error.Not_declarable { frame; why = "protected page type" })
+        | Pgdesc.Unused | Pgdesc.Outer_data | Pgdesc.User ->
+            if Pgdesc.table_links st.descs frame <> [] then
+              Error
+                (Nk_error.Not_declarable { frame; why = "still linked in a page table" })
+            else if List.length (Pgdesc.data_maps st.descs frame) > 1 then
+              Error
+                (Nk_error.Not_declarable
+                   { frame; why = "mapped beyond the direct map" })
+            else begin
+              (* Zero stale contents, then write-protect every existing
+                 mapping (the direct-map leaf) — I5. *)
+              Phys_mem.zero_frame m.Machine.mem frame;
+              Machine.charge m m.Machine.costs.Costs.page_zero;
+              List.iter
+                (fun (mp : Pgdesc.mapping) ->
+                  let e =
+                    Page_table.get_entry m.Machine.mem ~ptp:mp.ptp ~index:mp.index
+                  in
+                  let e' = Pte.set_nx (Pte.set_writable e false) true in
+                  ignore
+                    (Machine.kwrite_u64 m
+                       (State.entry_va_of_pte ~ptp:mp.ptp ~index:mp.index)
+                       e'))
+                (Pgdesc.data_maps st.descs frame);
+              Machine.shootdown_page m
+                ~vpage:(Addr.vpage (Addr.kva_of_frame frame));
+              Pgdesc.set_type st.descs frame (Pgdesc.Ptp level);
+              Iommu.protect_frame m.Machine.iommu frame;
+              Machine.count m "declare_ptp";
+              Ok ()
+            end)
+
+let remove_ptp st frame =
+  State.with_gate st (fun () ->
+      let m = st.machine in
+      let* level = check_ptp st frame in
+      ignore level;
+      if Cr.root_frame m.Machine.cr = frame then
+        Error (Nk_error.Ptp_in_use { frame; references = 1 })
+      else
+        let links = Pgdesc.table_links st.descs frame in
+        if links <> [] then
+          Error (Nk_error.Ptp_in_use { frame; references = List.length links })
+        else begin
+          let present = ref 0 in
+          for i = 0 to Addr.entries_per_table - 1 do
+            if Pte.is_present (Page_table.get_entry m.Machine.mem ~ptp:frame ~index:i)
+            then incr present
+          done;
+          if !present > 0 then
+            Error (Nk_error.Ptp_in_use { frame; references = !present })
+          else begin
+            Pgdesc.set_type st.descs frame Pgdesc.Unused;
+            Iommu.unprotect_frame m.Machine.iommu frame;
+            (* Hand the page back to the outer kernel: its direct-map
+               mapping becomes writable (and stays non-executable). *)
+            List.iter
+              (fun (mp : Pgdesc.mapping) ->
+                let e =
+                  Page_table.get_entry m.Machine.mem ~ptp:mp.ptp ~index:mp.index
+                in
+                let e' = Pte.set_nx (Pte.set_writable e true) true in
+                ignore
+                  (Machine.kwrite_u64 m
+                     (State.entry_va_of_pte ~ptp:mp.ptp ~index:mp.index)
+                     e'))
+              (Pgdesc.data_maps st.descs frame);
+            Tlb.flush_page m.Machine.tlb
+              ~vpage:(Addr.vpage (Addr.kva_of_frame frame));
+            Machine.charge m m.Machine.costs.Costs.invlpg;
+            Machine.count m "remove_ptp";
+            Ok ()
+          end
+        end)
+
+let load_cr0 st v =
+  State.with_gate st (fun () ->
+      let required = Cr.cr0_pe lor Cr.cr0_pg lor Cr.cr0_wp in
+      if v land required <> required then Error (Nk_error.Invalid_cr0 v)
+      else begin
+        let m = st.machine in
+        m.Machine.cr.Cr.cr0 <- v;
+        Machine.charge m m.Machine.costs.Costs.cr_write;
+        Machine.count m "load_cr0";
+        Ok ()
+      end)
+
+let load_cr3 st frame =
+  State.with_gate st (fun () ->
+      let m = st.machine in
+      match Pgdesc.ptp_level st.descs frame with
+      | Some 4 ->
+          (* The mov-to-CR3 instruction lives in a normally unmapped
+             nested-kernel page (section 3.7): charge the PTE update
+             and shootdown that map and unmap it, then the serializing
+             CR3 write itself. *)
+          let costs = m.Machine.costs in
+          Machine.charge m
+            ((2 * costs.Costs.mem_insn) + (2 * costs.Costs.invlpg));
+          m.Machine.cr.Cr.cr3 <- Addr.pa_of_frame frame;
+          Machine.charge m (costs.Costs.cr_write + costs.Costs.tlb_flush_full);
+          Tlb.flush_all m.Machine.tlb;
+          Machine.count m "load_cr3";
+          Ok ()
+      | Some _ | None -> Error (Nk_error.Invalid_cr3 frame))
+
+let load_cr4 st v =
+  State.with_gate st (fun () ->
+      let required = Cr.cr4_smep lor Cr.cr4_pae in
+      if v land required <> required then Error (Nk_error.Invalid_cr4 v)
+      else begin
+        let m = st.machine in
+        m.Machine.cr.Cr.cr4 <- v;
+        Machine.charge m m.Machine.costs.Costs.cr_write;
+        Machine.count m "load_cr4";
+        Ok ()
+      end)
+
+let load_efer st v =
+  State.with_gate st (fun () ->
+      let required = Cr.efer_nx lor Cr.efer_lme in
+      if v land required <> required then Error (Nk_error.Invalid_efer v)
+      else begin
+        let m = st.machine in
+        m.Machine.cr.Cr.efer <- v;
+        Machine.charge m m.Machine.costs.Costs.wrmsr;
+        Machine.count m "load_efer";
+        Ok ()
+      end)

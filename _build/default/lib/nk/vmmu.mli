@@ -1,0 +1,67 @@
+open Nkhw
+
+(** The virtual MMU: nested-kernel operations (paper Table 2).
+
+    These are the only ways the outer kernel can affect translation
+    state.  Each operation crosses the entry gate, validates its
+    arguments against the physical-page descriptors, performs the
+    update with write protection disabled, restores protection through
+    the exit gate, and maintains the TLB-coherence discipline
+    (protection downgrades are followed by a shootdown).
+
+    Validation enforces the paper's invariants:
+    - I4: non-leaf entries may only point at declared PTPs of the
+      correct level; CR3 may only be loaded with a declared PML4;
+    - I5: any leaf mapping of a PTP (or of nested-kernel or protected
+      memory) is silently downgraded to read-only;
+    - I6/I7/I8: control-register updates cannot clear WP, PG, PE,
+      SMEP, NX or LME;
+    - lifetime code integrity: mappings of unvalidated code pages are
+      forced non-executable, validated kernel code is forced
+      read-only, and plain data is forced NX. *)
+
+val declare_ptp :
+  State.t -> level:int -> Addr.frame -> (unit, Nk_error.t) result
+(** [nk_declare_PTP]: register a physical page for use as a page-table
+    page at the given paging level (4 = PML4).  Zeroes the page and
+    write-protects every existing mapping to it. *)
+
+val write_pte :
+  State.t ->
+  ?va:Addr.va ->
+  ptp:Addr.frame ->
+  index:int ->
+  Pte.t ->
+  (unit, Nk_error.t) result
+(** [nk_write_PTE]: update one page-table entry.  [va] is the virtual
+    page the entry translates (when the caller knows it) and scopes the
+    TLB shootdown to one page; without it a protection downgrade costs
+    a full flush. *)
+
+val write_pte_batch :
+  State.t ->
+  (Addr.frame * int * Pte.t * Addr.va option) list ->
+  (unit, Nk_error.t) result
+(** Batched updates under a single gate crossing — the extension the
+    paper's section 5.4 measures (>60% overhead reduction on
+    mmap-heavy paths).  Validation is per-entry; the first rejection
+    aborts the remainder. *)
+
+val remove_ptp : State.t -> Addr.frame -> (unit, Nk_error.t) result
+(** [nk_remove_PTP]: retire a PTP.  All 512 of its entries must be
+    clear and no table may still link it; its direct-map mapping
+    becomes writable again. *)
+
+val load_cr0 : State.t -> int -> (unit, Nk_error.t) result
+(** Rejected unless PE, PG and WP are all set in the new value (I7/I8). *)
+
+val load_cr3 : State.t -> Addr.frame -> (unit, Nk_error.t) result
+(** Switch address spaces; the frame must be a declared PML4 (I6).
+    Charges the map/execute/unmap cost of the hidden CR3-writing code
+    page (paper section 3.7). *)
+
+val load_cr4 : State.t -> int -> (unit, Nk_error.t) result
+(** Rejected unless SMEP and PAE remain set. *)
+
+val load_efer : State.t -> int -> (unit, Nk_error.t) result
+(** Rejected unless NX and LME remain set. *)

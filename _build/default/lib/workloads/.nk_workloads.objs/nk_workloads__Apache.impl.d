@@ -1,0 +1,1 @@
+lib/workloads/apache.ml: Clock Config Costs Float Kernel Ktypes List Machine Nkhw Os Outer_kernel Printf Proc Stats Syscalls

@@ -1,0 +1,1 @@
+lib/workloads/apache.mli: Config Outer_kernel Stats

@@ -1,0 +1,1 @@
+lib/workloads/binary_gen.ml: Array Cpu_state Exec Format Insn List Machine Nkhw Phys_mem Printf

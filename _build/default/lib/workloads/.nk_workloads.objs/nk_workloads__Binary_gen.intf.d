@@ -1,0 +1,1 @@
+lib/workloads/binary_gen.mli: Insn Nkhw

@@ -1,0 +1,1 @@
+lib/workloads/boundary.ml: Clock Config Costs Kernel Machine Nested_kernel Nkhw Option Os Outer_kernel Printf Stats

@@ -1,0 +1,1 @@
+lib/workloads/kbuild.ml: Addr Bytes Clock Config Costs Fault Kernel Ktypes List Machine Nkhw Option Os Outer_kernel Printf Proc Result Stats Syscalls

@@ -1,0 +1,1 @@
+lib/workloads/kbuild.mli: Config Outer_kernel Stats

@@ -1,0 +1,1 @@
+lib/workloads/lmbench.ml: Addr Clock Config Costs Fault Kernel Ktypes List Machine Nkhw Option Os Outer_kernel Printf Proc Result Stats Syscalls Vmspace

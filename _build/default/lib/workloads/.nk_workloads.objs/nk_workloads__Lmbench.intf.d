@@ -1,0 +1,1 @@
+lib/workloads/lmbench.mli: Config Kernel Outer_kernel Proc Stats

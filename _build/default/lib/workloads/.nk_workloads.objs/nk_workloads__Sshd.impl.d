@@ -1,0 +1,1 @@
+lib/workloads/sshd.ml: Clock Config Costs Kernel Ktypes List Machine Nkhw Option Os Outer_kernel Printf Proc Result Stats Syscalls

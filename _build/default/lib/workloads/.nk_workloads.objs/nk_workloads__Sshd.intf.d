@@ -1,0 +1,1 @@
+lib/workloads/sshd.mli: Config Outer_kernel Stats

@@ -1,0 +1,1 @@
+lib/workloads/stats.ml: Float Format List Printf String

@@ -1,0 +1,1 @@
+lib/workloads/stats.mli: Format

@@ -1,0 +1,29 @@
+open Outer_kernel
+
+(** Apache/ab throughput model (paper Figure 6).
+
+    [ab]-style load: many requests over 32 concurrent keep-alive
+    connections on a 1 Gbps network.  Per request the pre-forked server
+    performs accept, open, a sendfile-style read/copy loop and close —
+    no fork, which is why Apache shows negligible nested-kernel
+    overhead in the paper.  With 32-way concurrency the server CPU
+    overlaps the wire, so elapsed time is the max of aggregate wire
+    time and aggregate (single-core) CPU time. *)
+
+type point = {
+  size_kb : int;
+  native_mb_s : float;
+  relative : (Config.t * float) list;
+  cpu_overhead_pct : float;
+      (** hidden server-CPU overhead of base PerspicuOS — visible only
+          when the CPU, not the wire, is the bottleneck *)
+}
+
+val sizes_kb : int list
+(** 1 KB .. 1 GB, the x-axis of Figure 6. *)
+
+val run : ?requests:int -> unit -> point list
+(** [requests] at the smallest size; scaled down for large files
+    (paper: 10000 requests; default 64 — deterministic clock). *)
+
+val to_table : point list -> Stats.table

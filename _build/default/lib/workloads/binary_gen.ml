@@ -1,0 +1,126 @@
+open Nkhw
+
+(* Deterministic linear-congruential generator so binaries are
+   reproducible across runs. *)
+type rng = { mutable state : int }
+
+let rng seed = { state = (seed * 2654435761) land 0x3FFFFFFF }
+
+let next r bound =
+  r.state <- ((r.state * 1103515245) + 12345) land 0x3FFFFFFF;
+  r.state mod bound
+
+(* Benign immediates: 16-bit values that cannot contain a protected
+   byte pattern (the only 2-byte prefix danger is 0x300F). *)
+let benign_imm r =
+  let v = next r 0xFFFF in
+  if v = 0x300F || v = 0x220F then v + 1 else v
+
+let data_regs = Insn.[ RAX; RBX; RCX; RDX; RSI; RDI ]
+let pick_reg r = List.nth data_regs (next r (List.length data_regs))
+
+(* One benign block: a label, some ALU traffic, and a short forward
+   branch whose displacement stays below 4096 (so its bytes cannot
+   form a pattern). *)
+let benign_block r index =
+  let l = Printf.sprintf "blk%d" index in
+  let reg = pick_reg r in
+  let reg2 = pick_reg r in
+  Insn.
+    [
+      Lbl l;
+      Ins (Mov_ri (reg, benign_imm r));
+      Ins (Add_ri (reg, benign_imm r));
+      Ins (Mov_rr (reg2, reg));
+      Ins (Xor_rr (reg2, reg));
+      Ins (Test_ri (reg, 1));
+      Ins (Jz (Label (Printf.sprintf "blk%d" (index + 1))));
+      Ins (Add_ri (reg2, benign_imm r));
+      Ins Nop;
+    ]
+
+(* Plant a protected byte pattern inside a Mov_ri immediate at byte
+   position [pos] (0..4 for the 3-byte CR0 pattern, 0..6 for wrmsr). *)
+let plant_imm r ~pattern ~pos =
+  let bytes = Array.init 8 (fun _ -> 0x11 + next r 0x60) in
+  List.iteri (fun i b -> bytes.(pos + i) <- b) pattern;
+  (* Keep the sign bit clear so the OCaml int round-trips exactly. *)
+  bytes.(7) <- bytes.(7) land 0x7F;
+  let imm = ref 0 in
+  for i = 7 downto 0 do
+    imm := (!imm lsl 8) lor bytes.(i)
+  done;
+  !imm
+
+let cr0_pattern = [ 0x0F; 0x22; 0xC0 ] (* mov %rax, %cr0 *)
+let wrmsr_pattern = [ 0x0F; 0x30 ]
+
+let rec planted_imm r ~pattern ~pos ~want =
+  let imm = plant_imm r ~pattern ~pos in
+  let probe = Insn.assemble_raw [ Insn.Mov_ri (Insn.RBX, imm) ] in
+  (* Exactly the wanted occurrences, no accidental extras. *)
+  if List.length (Insn.find_protected_patterns probe) = want then imm
+  else planted_imm r ~pattern ~pos ~want
+
+let seeded_mov r ~pattern =
+  let pos = next r (7 - List.length pattern) + 1 in
+  let imm = planted_imm r ~pattern ~pos ~want:1 in
+  Insn.Ins (Insn.Mov_ri (pick_reg r, imm))
+
+(* A Load whose displacement bytes encode the 2-byte wrmsr pattern:
+   disp = 0x??300F?? forms (0F, 30) in little-endian order. *)
+let seeded_load r =
+  let disp = 0x300F lor (next r 0x70 + 0x10) lsl 16 in
+  Insn.Ins (Insn.Load (Insn.RSI, Insn.RBP, disp))
+
+let generate ?(seed = 42) ?(benign_blocks = 400) ~implicit_cr0 ~implicit_wrmsr ()
+    =
+  let r = rng seed in
+  let blocks = Array.init benign_blocks (fun i -> benign_block r i) in
+  (* Spread the seeded instructions across the blocks. *)
+  let seeds =
+    List.init implicit_cr0 (fun _ -> seeded_mov r ~pattern:cr0_pattern)
+    @ List.init implicit_wrmsr (fun i ->
+          if i mod 5 = 4 then seeded_load r
+          else seeded_mov r ~pattern:wrmsr_pattern)
+  in
+  let out = ref [] in
+  let n_seeds = List.length seeds in
+  List.iteri
+    (fun i seed_ins ->
+      let at = if n_seeds = 0 then 0 else i * benign_blocks / n_seeds in
+      blocks.(min at (benign_blocks - 1)) <-
+        blocks.(min at (benign_blocks - 1)) @ [ seed_ins ])
+    seeds;
+  Array.iter (fun b -> out := b :: !out) blocks;
+  let body = List.concat (List.rev !out) in
+  body @ Insn.[ Lbl (Printf.sprintf "blk%d" benign_blocks); Ins Ret ]
+
+let paper_kernel () = generate ~implicit_cr0:2 ~implicit_wrmsr:38 ()
+
+let sample_outputs items =
+  (* Execute until the first branch on a scratch machine with paging
+     off; register state then reflects the constant arithmetic. *)
+  let straight =
+    let rec take acc = function
+      | [] -> List.rev acc
+      | Insn.Ins (Insn.Jz _ | Insn.Jnz _ | Insn.Jmp _ | Insn.Call _ | Insn.Ret)
+        :: _ ->
+          List.rev acc
+      | Insn.Ins i :: rest -> take (i :: acc) rest
+      | Insn.Lbl _ :: rest -> take acc rest
+    in
+    take [] items
+  in
+  let code = Insn.assemble_raw (straight @ [ Insn.Hlt ]) in
+  let m = Machine.create ~frames:64 () in
+  Phys_mem.write_bytes m.Machine.mem 0x1000 code;
+  m.Machine.cpu.Cpu_state.rip <- 0x1000;
+  Cpu_state.set m.Machine.cpu Insn.RSP 0x8000;
+  Cpu_state.set m.Machine.cpu Insn.RBP 0x4000;
+  (match Exec.run ~fuel:10_000 m with
+  | Exec.Halted -> ()
+  | other ->
+      failwith
+        (Format.asprintf "Binary_gen.sample_outputs: %a" Exec.pp_stop other));
+  List.map (fun reg -> (reg, Cpu_state.get m.Machine.cpu reg)) data_regs

@@ -1,0 +1,29 @@
+open Nkhw
+
+(** Synthetic outer-kernel binary generator for the de-privileging
+    scanner experiment (paper section 5.2).
+
+    Produces a large, benign instruction stream seeded with a chosen
+    number of {e implicit} protected-instruction byte patterns —
+    mov-to-CR0 sequences and wrmsr sequences hidden inside 64-bit
+    immediates and 32-bit displacements, never as actual instructions.
+    The generator is careful that the benign portion is pattern-free,
+    so a scan finds exactly the seeded occurrences. *)
+
+val generate :
+  ?seed:int ->
+  ?benign_blocks:int ->
+  implicit_cr0:int ->
+  implicit_wrmsr:int ->
+  unit ->
+  Insn.asm_item list
+
+val paper_kernel : unit -> Insn.asm_item list
+(** The configuration the paper reports: 2 implicit CR0 writes and 38
+    implicit wrmsr occurrences in the compiled FreeBSD kernel. *)
+
+val sample_outputs : Insn.asm_item list -> (Insn.reg * int) list
+(** Architectural effects of the program's constant loads, for
+    checking that the de-privileging rewrite preserved semantics: runs
+    the straight-line prefix of the program on a scratch machine and
+    returns the final register values. *)

@@ -1,0 +1,24 @@
+(** Privilege-boundary microbenchmark (paper Table 3).
+
+    Measures the round-trip cost of a null call across each privilege
+    boundary: a nested-kernel call (entry gate + empty body + exit
+    gate), a system call (SYSCALL/SYSRET into a handler that
+    immediately returns), and a hypercall (VMCALL round trip into a
+    VMM that immediately resumes the guest). *)
+
+type result = {
+  nk_call_us : float;
+  syscall_us : float;
+  vmcall_us : float;
+  iterations : int;
+}
+
+val run : ?iterations:int -> unit -> result
+(** Default 100_000 iterations per boundary (the paper used 1M; the
+    simulated clock is deterministic, so fewer repetitions measure the
+    same steady-state cost). *)
+
+val paper : result
+(** The values reported in Table 3. *)
+
+val to_table : result -> Stats.table

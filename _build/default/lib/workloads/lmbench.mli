@@ -1,0 +1,42 @@
+open Outer_kernel
+
+(** LMBench-style OS microbenchmarks (paper Figure 4).
+
+    The eight benchmarks of the paper's Figure 4, run against any
+    system configuration.  Each performs real kernel work in the
+    simulator — system-call dispatch, VFS operations, page-table
+    updates through the configured MMU backend, trap delivery — so the
+    per-configuration differences come from the mediation machinery,
+    not from baked-in factors. *)
+
+type bench = {
+  name : string;
+  iterations : int;  (** default repetition count *)
+  setup : Kernel.t -> Proc.t -> unit -> unit;
+      (** performs one-time preparation and returns the per-iteration
+          thunk *)
+}
+
+val benches : bench list
+(** null syscall, open/close, mmap, page fault, signal install,
+    signal delivery, fork+exit, fork+exec — in the paper's order. *)
+
+val measure :
+  ?iterations:int -> Config.t -> batched:bool -> bench ->
+  float
+(** Simulated microseconds per iteration on a freshly booted system. *)
+
+type figure4_row = {
+  bench_name : string;
+  native_us : float;
+  relative : (Config.t * float) list;
+      (** time relative to native, per nested configuration *)
+}
+
+val figure4 : ?batched:bool -> unit -> figure4_row list
+
+val paper_figure4 : (string * float) list
+(** Approximate relative slowdowns read off the paper's Figure 4 for
+    the base PerspicuOS bars (used for shape comparison). *)
+
+val to_table : figure4_row list -> Stats.table

@@ -1,0 +1,75 @@
+let mean = function
+  | [] -> nan
+  | xs -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let stddev = function
+  | [] | [ _ ] -> 0.
+  | xs ->
+      let m = mean xs in
+      let var =
+        List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.)) 0. xs
+        /. float_of_int (List.length xs - 1)
+      in
+      sqrt var
+
+let pct_overhead ~native ~sys = (sys -. native) /. native *. 100.
+let relative ~native ~sys = sys /. native
+
+type table = {
+  title : string;
+  columns : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+let render ppf t =
+  let widths =
+    List.fold_left
+      (fun acc row ->
+        List.mapi
+          (fun i cell ->
+            let cur = try List.nth acc i with _ -> 0 in
+            max cur (String.length cell))
+          row)
+      (List.map String.length t.columns)
+      t.rows
+  in
+  let pad i cell =
+    let w = try List.nth widths i with _ -> String.length cell in
+    if i = 0 then Printf.sprintf "%-*s" w cell else Printf.sprintf "%*s" w cell
+  in
+  let line row = String.concat "  " (List.mapi pad row) in
+  Format.fprintf ppf "@.== %s ==@." t.title;
+  Format.fprintf ppf "%s@." (line t.columns);
+  Format.fprintf ppf "%s@."
+    (String.make (String.length (line t.columns)) '-');
+  List.iter (fun row -> Format.fprintf ppf "%s@." (line row)) t.rows;
+  List.iter (fun n -> Format.fprintf ppf "  note: %s@." n) t.notes
+
+let print t = render Format.std_formatter t
+let f2 x = Printf.sprintf "%.2f" x
+let f1 x = Printf.sprintf "%.1f" x
+
+let bar_chart ~title ?max_value rows ppf =
+  let width = 46 in
+  let peak =
+    match max_value with
+    | Some v -> v
+    | None -> List.fold_left (fun acc (_, v) -> Float.max acc v) 0.01 rows
+  in
+  let label_w =
+    List.fold_left (fun acc (l, _) -> max acc (String.length l)) 0 rows
+  in
+  Format.fprintf ppf "@.-- %s --@." title;
+  List.iter
+    (fun (label, v) ->
+      let n =
+        max 0 (min width (int_of_float (Float.round (v /. peak *. float_of_int width))))
+      in
+      Format.fprintf ppf "%-*s |%s%s %.2f@." label_w label (String.make n '#')
+        (String.make (width - n) ' ')
+        v)
+    rows
+
+let print_bar_chart ~title ?max_value rows =
+  bar_chart ~title ?max_value rows Format.std_formatter

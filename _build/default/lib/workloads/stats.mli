@@ -1,0 +1,34 @@
+(** Small statistics and table-formatting helpers for the evaluation
+    harness. *)
+
+val mean : float list -> float
+val stddev : float list -> float
+
+val pct_overhead : native:float -> sys:float -> float
+(** [(sys - native) / native * 100] — positive means slower. *)
+
+val relative : native:float -> sys:float -> float
+(** [sys /. native]. *)
+
+type table = {
+  title : string;
+  columns : string list;  (** first column is the row label *)
+  rows : string list list;
+  notes : string list;
+}
+
+val render : Format.formatter -> table -> unit
+val print : table -> unit
+val f2 : float -> string
+val f1 : float -> string
+
+val bar_chart :
+  title:string ->
+  ?max_value:float ->
+  (string * float) list ->
+  Format.formatter ->
+  unit
+(** Horizontal ASCII bars, labelled with their values — used to render
+    the paper's figures in terminal output. *)
+
+val print_bar_chart : title:string -> ?max_value:float -> (string * float) list -> unit

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Fault Format Machine Nested_kernel Nkhw Outer_kernel QCheck2 QCheck_alcotest

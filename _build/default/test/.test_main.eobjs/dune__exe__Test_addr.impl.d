@@ -1,0 +1,1 @@
+test/test_addr.ml: Addr Alcotest Helpers List Nkhw Printf QCheck2

@@ -1,0 +1,1 @@
+test/test_attacks.ml: Alcotest Config Format Helpers Kernel List Nested_kernel Nk_attacks Option Outer_kernel Printf Proclist Result Shadow_proc Syscalls

@@ -1,0 +1,1 @@
+test/test_code_integrity.ml: Addr Alcotest Api Bytes Cpu_state Exec Frame_alloc Helpers Insn Iommu Machine Nested_kernel Nk_error Nkhw Phys_mem Pte

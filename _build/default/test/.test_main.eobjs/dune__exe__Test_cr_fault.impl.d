@@ -1,0 +1,1 @@
+test/test_cr_fault.ml: Addr Alcotest Astring_contains Bytes Cr Fault Helpers Ktypes List Nested_kernel Nk_error Nkhw Outer_kernel

@@ -1,0 +1,1 @@
+test/test_exec.ml: Alcotest Cpu_state Cr Exec Fault Insn Machine Nkhw Phys_mem Tlb

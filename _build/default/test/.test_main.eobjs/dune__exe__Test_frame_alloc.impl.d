@@ -1,0 +1,1 @@
+test/test_frame_alloc.ml: Alcotest Frame_alloc Helpers List Nkhw QCheck2

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Addr Array Bytes Config Cr Frame_alloc Helpers Insn Kernel List Machine Nested_kernel Nkhw Option Outer_kernel Pte QCheck2 Syscalls

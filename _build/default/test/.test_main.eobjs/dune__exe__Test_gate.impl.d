@@ -1,0 +1,1 @@
+test/test_gate.ml: Addr Alcotest Api Clock Cpu_state Cr Exec Fault Gate Helpers Insn Machine Nested_kernel Nkhw Phys_mem Printf State

@@ -1,0 +1,1 @@
+test/test_init.ml: Addr Alcotest Api Cr Gate Helpers Init Iommu Machine Nested_kernel Nk_error Nkhw Page_table Pgdesc Phys_mem Policy Result State

@@ -1,0 +1,1 @@
+test/test_insn.ml: Alcotest Array Buffer Bytes Helpers Insn List Nkhw QCheck2

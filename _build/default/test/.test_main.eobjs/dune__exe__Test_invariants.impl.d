@@ -1,0 +1,1 @@
+test/test_invariants.ml: Addr Alcotest Api Cr Helpers Invariants Iommu List Machine Nested_kernel Nkhw Page_table Phys_mem Pte State

@@ -1,0 +1,1 @@
+test/test_kalloc_backend.ml: Addr Alcotest Config Frame_alloc Helpers Kalloc Kernel Ktypes List Machine Mmu_backend Nkhw Option Outer_kernel Phys_mem Pte String Syscall_table Tlb

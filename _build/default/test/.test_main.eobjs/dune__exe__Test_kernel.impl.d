@@ -1,0 +1,1 @@
+test/test_kernel.ml: Addr Alcotest Clock Config Fault Frame_alloc Helpers Kernel Ktypes List Machine Nested_kernel Nkhw Option Outer_kernel Result Syscall_table Syscalls

@@ -1,0 +1,1 @@
+test/test_machine.ml: Addr Alcotest Bytes Clock Costs Helpers Machine Mmu Nested_kernel Nkhw QCheck2 Result

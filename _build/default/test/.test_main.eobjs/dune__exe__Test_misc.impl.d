@@ -1,0 +1,1 @@
+test/test_misc.ml: Addr Alcotest Config Cpu_state Exec Format Helpers Insn Kernel Kfd List Machine Nested_kernel Nk_workloads Nkhw Os Outer_kernel Phys_mem Proc Result String Syscalls Vfs

@@ -1,0 +1,1 @@
+test/test_mmu.ml: Addr Alcotest Cr Fault Mmu Nkhw Page_table Phys_mem Pt_builder Pte Tlb

@@ -1,0 +1,1 @@
+test/test_nklog.ml: Alcotest Bytes Helpers List Nested_kernel Nklog QCheck2

@@ -1,0 +1,1 @@
+test/test_page_table.ml: Addr Alcotest Helpers Nkhw Page_table Phys_mem Pt_builder Pte QCheck2

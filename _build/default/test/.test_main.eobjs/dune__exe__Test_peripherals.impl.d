@@ -1,0 +1,1 @@
+test/test_peripherals.ml: Alcotest Bytes Char Clock Costs Dma Helpers Iommu Machine Nkhw Phys_mem Smm

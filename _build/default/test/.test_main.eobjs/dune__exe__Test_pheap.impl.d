@@ -1,0 +1,1 @@
+test/test_pheap.ml: Alcotest Helpers List Nested_kernel Option Pheap QCheck2

@@ -1,0 +1,1 @@
+test/test_phys_mem.ml: Alcotest Bytes Char Helpers Nkhw Phys_mem QCheck2 String

@@ -1,0 +1,1 @@
+test/test_policy.ml: Alcotest Array Bytes Fun Helpers List Nested_kernel Nklog Policy QCheck2

@@ -1,0 +1,1 @@
+test/test_proclist.ml: Alcotest Config Hashtbl Helpers Kernel List Machine Nkhw Option Outer_kernel Proclist QCheck2 Result

@@ -1,0 +1,1 @@
+test/test_pte.ml: Alcotest Helpers Nkhw Pte QCheck2

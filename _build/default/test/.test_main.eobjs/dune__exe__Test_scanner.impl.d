@@ -1,0 +1,1 @@
+test/test_scanner.ml: Alcotest Array Cpu_state Exec Helpers Insn List Machine Nested_kernel Nk_workloads Nkhw Phys_mem QCheck2 Scanner

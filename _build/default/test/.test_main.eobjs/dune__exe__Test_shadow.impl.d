@@ -1,0 +1,1 @@
+test/test_shadow.ml: Alcotest Helpers List Nested_kernel Nkhw Option Outer_kernel Result Shadow_proc

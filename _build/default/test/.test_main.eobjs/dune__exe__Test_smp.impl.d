@@ -1,0 +1,1 @@
+test/test_smp.ml: Addr Alcotest Api Clock Costs Cpu_state Cr Gate Helpers Insn List Machine Nested_kernel Nk_error Nkhw Phys_mem Printf Pte Result Smp State

@@ -1,0 +1,1 @@
+test/test_tlb.ml: Alcotest Helpers Nkhw Option QCheck2 Tlb

@@ -1,0 +1,1 @@
+test/test_vfs.ml: Alcotest Bytes Clock Helpers Ktypes List Machine Nkhw Outer_kernel QCheck2 Result String Vfs

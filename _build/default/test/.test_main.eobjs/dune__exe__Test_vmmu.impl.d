@@ -1,0 +1,1 @@
+test/test_vmmu.ml: Addr Alcotest Api Clock Cr Helpers Iommu List Machine Nested_kernel Nk_error Nkhw Page_table Phys_mem Pte State Tlb

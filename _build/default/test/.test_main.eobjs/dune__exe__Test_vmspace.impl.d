@@ -1,0 +1,1 @@
+test/test_vmspace.ml: Addr Alcotest Config Fault Frame_alloc Helpers Kernel Ktypes List Machine Mmu Nested_kernel Nkhw Os Outer_kernel Page_table Phys_mem Proc Pte Result Vmspace

@@ -1,0 +1,1 @@
+test/test_workload_units.ml: Alcotest Apache Astring_contains Binary_gen Boundary Bytes Config Format List Lmbench Nested_kernel Nk_workloads Nkhw Outer_kernel Sshd Stats

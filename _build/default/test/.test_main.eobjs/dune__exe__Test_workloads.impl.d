@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Apache Binary_gen Boundary Config Kbuild List Lmbench Nested_kernel Nk_workloads Nkhw Outer_kernel Printf Sshd

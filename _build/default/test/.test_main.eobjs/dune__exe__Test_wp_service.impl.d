@@ -1,0 +1,1 @@
+test/test_wp_service.ml: Addr Alcotest Api Bytes Helpers Iommu List Machine Nested_kernel Nk_error Nkhw Policy QCheck2 Result

@@ -1,0 +1,82 @@
+open Nkhw
+
+let test_constants () =
+  Alcotest.(check int) "page size" 4096 Addr.page_size;
+  Alcotest.(check int) "entries per table" 512 Addr.entries_per_table;
+  Alcotest.(check int) "kernbase pml4 slot" 256 (Addr.pml4_index Addr.kernbase)
+
+let test_frame_pa () =
+  Alcotest.(check int) "frame of pa" 3 (Addr.frame_of_pa 0x3fff);
+  Alcotest.(check int) "pa of frame" 0x3000 (Addr.pa_of_frame 3);
+  Alcotest.(check int) "offset" 0xfff (Addr.page_offset 0x3fff)
+
+let test_kva () =
+  Alcotest.(check int) "kva of frame 0" Addr.kernbase (Addr.kva_of_frame 0);
+  Alcotest.(check bool) "kernel va" true (Addr.is_kernel_va Addr.kernbase);
+  Alcotest.(check bool) "user va" false (Addr.is_kernel_va 0x1000)
+
+let test_indices () =
+  let va = Addr.make_va ~pml4:256 ~pdpt:1 ~pd:2 ~pt:3 ~offset:42 in
+  Alcotest.(check int) "pml4" 256 (Addr.pml4_index va);
+  Alcotest.(check int) "pdpt" 1 (Addr.pdpt_index va);
+  Alcotest.(check int) "pd" 2 (Addr.pd_index va);
+  Alcotest.(check int) "pt" 3 (Addr.pt_index va);
+  Alcotest.(check int) "offset" 42 (Addr.page_offset va)
+
+let test_index_at_level () =
+  let va = Addr.make_va ~pml4:7 ~pdpt:6 ~pd:5 ~pt:4 ~offset:0 in
+  List.iter
+    (fun (level, expected) ->
+      Alcotest.(check int)
+        (Printf.sprintf "level %d" level)
+        expected
+        (Addr.index_at_level ~level va))
+    [ (4, 7); (3, 6); (2, 5); (1, 4) ];
+  Alcotest.check_raises "level 0 rejected"
+    (Invalid_argument "Addr.index_at_level: level must be in 1..4") (fun () ->
+      ignore (Addr.index_at_level ~level:0 va))
+
+let test_alignment () =
+  Alcotest.(check int) "align down" 0x1000 (Addr.align_down 0x1fff);
+  Alcotest.(check int) "align up" 0x2000 (Addr.align_up 0x1001);
+  Alcotest.(check int) "align up exact" 0x1000 (Addr.align_up 0x1000);
+  Alcotest.(check bool) "aligned" true (Addr.is_page_aligned 0x2000);
+  Alcotest.(check bool) "unaligned" false (Addr.is_page_aligned 0x2001)
+
+let test_make_va_bounds () =
+  Alcotest.check_raises "index out of range"
+    (Invalid_argument "Addr.make_va: component out of range") (fun () ->
+      ignore (Addr.make_va ~pml4:512 ~pdpt:0 ~pd:0 ~pt:0 ~offset:0))
+
+let prop_roundtrip =
+  let gen =
+    QCheck2.Gen.(
+      quad (int_range 0 511) (int_range 0 511) (int_range 0 511)
+        (int_range 0 511))
+  in
+  Helpers.qtest "make_va/index round trip" gen (fun (a, b, c, d) ->
+      let va = Addr.make_va ~pml4:a ~pdpt:b ~pd:c ~pt:d ~offset:0 in
+      Addr.pml4_index va = a
+      && Addr.pdpt_index va = b
+      && Addr.pd_index va = c
+      && Addr.pt_index va = d)
+
+let prop_align =
+  Helpers.qtest "align_down <= va < align_down + page"
+    QCheck2.Gen.(int_range 0 max_int)
+    (fun va ->
+      let d = Addr.align_down va in
+      d <= va && va < d + Addr.page_size && Addr.is_page_aligned d)
+
+let suite =
+  [
+    Alcotest.test_case "constants" `Quick test_constants;
+    Alcotest.test_case "frame/pa conversions" `Quick test_frame_pa;
+    Alcotest.test_case "kernel direct map addresses" `Quick test_kva;
+    Alcotest.test_case "va component extraction" `Quick test_indices;
+    Alcotest.test_case "index_at_level" `Quick test_index_at_level;
+    Alcotest.test_case "alignment" `Quick test_alignment;
+    Alcotest.test_case "make_va bounds" `Quick test_make_va_bounds;
+    prop_roundtrip;
+    prop_align;
+  ]

@@ -1,0 +1,94 @@
+open Outer_kernel
+
+(* The full attack x configuration matrix, one test case per cell: the
+   outcome of every attack must match the paper's defense story for
+   that configuration (Nk_attacks.All.expected_defended). *)
+
+let cell config (attack : Nk_attacks.Attack.t) () =
+  let k = Helpers.kernel config in
+  let outcome = attack.Nk_attacks.Attack.run k in
+  let expected = Nk_attacks.All.expected_defended config attack.name in
+  let actual = Nk_attacks.Attack.defended outcome in
+  if actual <> expected then
+    Alcotest.failf "%s on %s: expected %s, attack reports %s"
+      attack.Nk_attacks.Attack.name (Config.name config)
+      (if expected then "defended" else "successful")
+      (Format.asprintf "%a" Nk_attacks.Attack.pp_outcome outcome)
+
+let matrix =
+  List.concat_map
+    (fun config ->
+      List.map
+        (fun (a : Nk_attacks.Attack.t) ->
+          Alcotest.test_case
+            (Printf.sprintf "%s vs %s" a.Nk_attacks.Attack.name
+               (Config.name config))
+            `Quick (cell config a))
+        Nk_attacks.All.attacks)
+    Config.all
+
+(* A few attack-specific depth checks beyond the binary verdict. *)
+
+let test_machine_survives_blocked_attacks () =
+  (* After every defended attack the nested kernel still audits clean
+     and the kernel still works. *)
+  List.iter
+    (fun (a : Nk_attacks.Attack.t) ->
+      let k = Helpers.kernel Config.Perspicuos in
+      ignore (a.Nk_attacks.Attack.run k);
+      let p = Kernel.current_proc k in
+      (match Syscalls.getpid k p with
+      | Ok 1 -> ()
+      | _ -> Alcotest.failf "%s left the kernel broken" a.name);
+      match k.Kernel.nk with
+      | Some nk ->
+          if not (Nested_kernel.Api.audit_ok nk) then
+            Alcotest.failf "%s left invariant violations" a.name
+      | None -> ())
+    (List.filter
+       (fun (a : Nk_attacks.Attack.t) ->
+         (* The PG attack intentionally wedges a hypothetical CPU; the
+            harness restores CR0, so it is included too. *)
+         Nk_attacks.All.expected_defended Config.Perspicuos a.name)
+       Nk_attacks.All.attacks)
+
+let test_hook_then_detect_via_shadow () =
+  (* Full rootkit story on the write-log system: hide a process, then
+     run the forensic reconstruction and find it. *)
+  let k = Helpers.kernel Config.Write_log in
+  let p = Kernel.current_proc k in
+  let pid = Result.get_ok (Syscalls.fork k p) in
+  let node = Option.get (Proclist.find k.Kernel.allproc pid) in
+  ignore
+    (Proclist.unlink_raw k.Kernel.machine
+       ~head_va:(Proclist.head_va k.Kernel.allproc)
+       ~node);
+  let shadow = Option.get k.Kernel.shadow in
+  ignore (Shadow_proc.on_remove shadow pid);
+  let suspicious =
+    List.filter
+      (fun (hidden_pid, _) -> not (List.mem hidden_pid k.Kernel.legit_exits))
+      (Shadow_proc.removal_history shadow)
+  in
+  Alcotest.(check (list int)) "forensics names the hidden pid" [ pid ]
+    (List.map fst suspicious)
+
+let test_denied_writes_counted_under_attack () =
+  let k = Helpers.kernel Config.Write_once in
+  ignore (Nk_attacks.Rootkit.syscall_hook_via_legit_path.Nk_attacks.Attack.run k);
+  match k.Kernel.nk with
+  | Some nk ->
+      Alcotest.(check bool) "mediation denial recorded" true
+        (Nested_kernel.Api.denied_writes nk >= 1)
+  | None -> Alcotest.fail "no nested kernel"
+
+let suite =
+  matrix
+  @ [
+      Alcotest.test_case "machine survives every blocked attack" `Slow
+        test_machine_survives_blocked_attacks;
+      Alcotest.test_case "forensic reconstruction end-to-end" `Quick
+        test_hook_then_detect_via_shadow;
+      Alcotest.test_case "denials counted" `Quick
+        test_denied_writes_counted_under_attack;
+    ]

@@ -1,0 +1,107 @@
+open Nkhw
+
+(* Control-register helpers and fault plumbing. *)
+
+let test_cr_predicates () =
+  let cr = Cr.create () in
+  Alcotest.(check bool) "reset: nothing enabled" false (Cr.paging_enabled cr);
+  cr.Cr.cr0 <- Cr.cr0_pe lor Cr.cr0_pg;
+  Alcotest.(check bool) "paging" true (Cr.paging_enabled cr);
+  Alcotest.(check bool) "but not long mode" false (Cr.long_mode_paging cr);
+  cr.Cr.cr4 <- Cr.cr4_pae;
+  cr.Cr.efer <- Cr.efer_lme;
+  Alcotest.(check bool) "long mode" true (Cr.long_mode_paging cr);
+  Alcotest.(check bool) "wp off" false (Cr.wp_enabled cr);
+  cr.Cr.cr0 <- cr.Cr.cr0 lor Cr.cr0_wp;
+  Alcotest.(check bool) "wp on" true (Cr.wp_enabled cr)
+
+let test_cr_copy_is_deep () =
+  let cr = Cr.create () in
+  cr.Cr.cr0 <- 0x11;
+  let snap = Cr.copy cr in
+  cr.Cr.cr0 <- 0x22;
+  Alcotest.(check int) "copy unaffected" 0x11 snap.Cr.cr0
+
+let test_root_frame () =
+  let cr = Cr.create () in
+  cr.Cr.cr3 <- Addr.pa_of_frame 77;
+  Alcotest.(check int) "root frame" 77 (Cr.root_frame cr)
+
+let test_fault_vectors () =
+  Alcotest.(check int) "#PF" 14 (Fault.vector (Fault.page_fault 0 Fault.Read));
+  Alcotest.(check int) "#GP" 13 (Fault.vector (Fault.General_protection "x"));
+  Alcotest.(check int) "#UD" 6 (Fault.vector (Fault.Invalid_opcode { va = 0 }))
+
+let test_fault_code_construction () =
+  match Fault.page_fault ~user:true ~present:true 0x1234 Fault.Write with
+  | Fault.Page_fault { va; code } ->
+      Alcotest.(check int) "va" 0x1234 va;
+      Alcotest.(check bool) "present" true code.Fault.present;
+      Alcotest.(check bool) "write" true code.Fault.write;
+      Alcotest.(check bool) "user" true code.Fault.user;
+      Alcotest.(check bool) "not ifetch" false code.Fault.instruction_fetch
+  | _ -> Alcotest.fail "constructor"
+
+let test_fault_pp () =
+  let s = Fault.to_string (Fault.page_fault ~present:true 0x42000 Fault.Write) in
+  Alcotest.(check bool) "mentions the address" true
+    (Astring_contains.contains s "42000");
+  Alcotest.(check bool) "mentions write" true (Astring_contains.contains s "write")
+
+let test_errno_strings () =
+  let open Outer_kernel in
+  List.iter
+    (fun (e, s) -> Alcotest.(check string) s s (Ktypes.errno_to_string e))
+    [
+      (Ktypes.Enoent, "ENOENT");
+      (Ktypes.Ebadf, "EBADF");
+      (Ktypes.Enomem, "ENOMEM");
+      (Ktypes.Einval, "EINVAL");
+      (Ktypes.Efault, "EFAULT");
+      (Ktypes.Echild, "ECHILD");
+      (Ktypes.Enosys, "ENOSYS");
+      (Ktypes.Eacces, "EACCES");
+      (Ktypes.Esrch, "ESRCH");
+    ]
+
+let test_sysarg_marshalling () =
+  let open Outer_kernel in
+  let args = Ktypes.[ Int 7; Str "path"; Buf (Bytes.make 2 'x') ] in
+  Alcotest.(check (result int Helpers.errno)) "int" (Ok 7) (Ktypes.arg_int args 0);
+  Alcotest.(check (result string Helpers.errno)) "str" (Ok "path")
+    (Ktypes.arg_str args 1);
+  Alcotest.(check bool) "buf" true (Ktypes.arg_buf args 2 = Ok (Bytes.make 2 'x'));
+  Alcotest.(check (result int Helpers.errno)) "wrong kind" (Error Ktypes.Einval)
+    (Ktypes.arg_int args 1);
+  Alcotest.(check (result int Helpers.errno)) "missing" (Error Ktypes.Einval)
+    (Ktypes.arg_int args 9)
+
+let test_nk_error_messages () =
+  let open Nested_kernel in
+  List.iter
+    (fun (e, fragment) ->
+      let s = Nk_error.to_string e in
+      if not (Astring_contains.contains s fragment) then
+        Alcotest.failf "%S does not mention %S" s fragment)
+    [
+      (Nk_error.Not_a_ptp 5, "not a declared PTP");
+      (Nk_error.Invalid_cr3 9, "not a declared PML4");
+      (Nk_error.Reentrant_call, "reentrantly");
+      (Nk_error.Out_of_protected_memory, "exhausted");
+      ( Nk_error.Policy_violation { policy = "p"; reason = "r" },
+        "policy p rejected" );
+      (Nk_error.Unvalidated_code { offset = 3 }, "protected instruction");
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "cr predicates" `Quick test_cr_predicates;
+    Alcotest.test_case "cr copy depth" `Quick test_cr_copy_is_deep;
+    Alcotest.test_case "cr3 root frame" `Quick test_root_frame;
+    Alcotest.test_case "fault vectors" `Quick test_fault_vectors;
+    Alcotest.test_case "fault code construction" `Quick test_fault_code_construction;
+    Alcotest.test_case "fault printing" `Quick test_fault_pp;
+    Alcotest.test_case "errno strings" `Quick test_errno_strings;
+    Alcotest.test_case "sysarg marshalling" `Quick test_sysarg_marshalling;
+    Alcotest.test_case "nk error messages" `Quick test_nk_error_messages;
+  ]

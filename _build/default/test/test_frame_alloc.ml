@@ -1,0 +1,75 @@
+open Nkhw
+
+let test_basic () =
+  let a = Frame_alloc.create ~first:10 ~count:5 in
+  Alcotest.(check int) "total" 5 (Frame_alloc.total a);
+  Alcotest.(check int) "free" 5 (Frame_alloc.free_count a);
+  let f = Frame_alloc.alloc_exn a in
+  Alcotest.(check bool) "in range" true (f >= 10 && f < 15);
+  Alcotest.(check int) "free after alloc" 4 (Frame_alloc.free_count a);
+  Frame_alloc.free a f;
+  Alcotest.(check int) "free after free" 5 (Frame_alloc.free_count a)
+
+let test_exhaustion () =
+  let a = Frame_alloc.create ~first:0 ~count:2 in
+  ignore (Frame_alloc.alloc_exn a);
+  ignore (Frame_alloc.alloc_exn a);
+  Alcotest.(check bool) "exhausted" true (Frame_alloc.alloc a = None)
+
+let test_double_free () =
+  let a = Frame_alloc.create ~first:0 ~count:2 in
+  let f = Frame_alloc.alloc_exn a in
+  Frame_alloc.free a f;
+  Alcotest.check_raises "double free"
+    (Invalid_argument "Frame_alloc.free: double free") (fun () ->
+      Frame_alloc.free a f)
+
+let test_foreign_frame () =
+  let a = Frame_alloc.create ~first:10 ~count:2 in
+  Alcotest.(check bool) "owns" true (Frame_alloc.owns a 11);
+  Alcotest.(check bool) "does not own" false (Frame_alloc.owns a 9);
+  Alcotest.check_raises "free foreign"
+    (Invalid_argument "Frame_alloc.free: frame outside allocator range")
+    (fun () -> Frame_alloc.free a 9)
+
+let prop_unique_allocations =
+  Helpers.qtest "allocations are unique and in range"
+    QCheck2.Gen.(int_range 1 64)
+    (fun n ->
+      let a = Frame_alloc.create ~first:100 ~count:n in
+      let frames = List.init n (fun _ -> Frame_alloc.alloc_exn a) in
+      let sorted = List.sort_uniq compare frames in
+      List.length sorted = n
+      && List.for_all (fun f -> f >= 100 && f < 100 + n) frames
+      && Frame_alloc.alloc a = None)
+
+let prop_free_restores =
+  Helpers.qtest "free/alloc conserves the pool"
+    QCheck2.Gen.(list_size (int_range 1 50) bool)
+    (fun ops ->
+      let a = Frame_alloc.create ~first:0 ~count:8 in
+      let held = ref [] in
+      List.iter
+        (fun alloc ->
+          if alloc then (
+            match Frame_alloc.alloc a with
+            | Some f -> held := f :: !held
+            | None -> ())
+          else
+            match !held with
+            | f :: rest ->
+                Frame_alloc.free a f;
+                held := rest
+            | [] -> ())
+        ops;
+      Frame_alloc.free_count a = 8 - List.length !held)
+
+let suite =
+  [
+    Alcotest.test_case "alloc and free" `Quick test_basic;
+    Alcotest.test_case "exhaustion" `Quick test_exhaustion;
+    Alcotest.test_case "double free rejected" `Quick test_double_free;
+    Alcotest.test_case "foreign frames rejected" `Quick test_foreign_frame;
+    prop_unique_allocations;
+    prop_free_restores;
+  ]

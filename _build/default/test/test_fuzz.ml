@@ -1,0 +1,157 @@
+open Nkhw
+open Outer_kernel
+
+(* Invariant fuzzing: drive random sequences of vMMU and
+   write-protection operations against a live nested kernel, then
+   check that (a) every invariant I1..I13 still holds and (b) no
+   frame the descriptors call protected is writable from outer-kernel
+   context.  This is the state-machine analogue of the unit tests: the
+   operations are arbitrary, only the security property is fixed. *)
+
+type op =
+  | Declare of int * int (* frame offset, level *)
+  | Write_pte of int * int * int * bool (* ptp offset, index, target offset, writable *)
+  | Clear_pte of int * int
+  | Remove of int
+  | Alloc of int
+  | Write_prot of int * int (* descriptor index, offset *)
+  | Free of int
+  | Load_cr0_bad
+  | Load_cr4_bad
+  | Batch of (int * int * int * bool) list
+  | Install_code of int * bool (* frame offset, hostile? *)
+  | Retire_code of int
+  | Emulate of int (* byte offset into a protected frame *)
+
+let gen_op =
+  QCheck2.Gen.(
+    oneof
+      [
+        map2 (fun f l -> Declare (f, l)) (int_range 0 15) (int_range 1 4);
+        map
+          (fun (((p, i), t), w) -> Write_pte (p, i, t, w))
+          (pair (pair (pair (int_range 0 15) (int_range 0 30)) (int_range 0 30)) bool);
+        map2 (fun p i -> Clear_pte (p, i)) (int_range 0 15) (int_range 0 30);
+        map (fun f -> Remove f) (int_range 0 15);
+        map (fun s -> Alloc (8 + s)) (int_range 0 200);
+        map2 (fun d o -> Write_prot (d, o)) (int_range 0 7) (int_range 0 63);
+        map (fun d -> Free d) (int_range 0 7);
+        return Load_cr0_bad;
+        return Load_cr4_bad;
+        map
+          (fun l -> Batch l)
+          (list_size (int_range 1 8)
+             (quad (int_range 0 15) (int_range 0 30) (int_range 0 30) bool));
+        map2 (fun f h -> Install_code (f, h)) (int_range 16 23) bool;
+        map (fun f -> Retire_code f) (int_range 16 23);
+        map (fun off -> Emulate off) (int_range 0 4088);
+      ])
+
+let apply nk ~f0 descriptors op =
+  let module Api = Nested_kernel.Api in
+  match op with
+  | Declare (f, l) -> ignore (Api.declare_ptp nk ~level:l (f0 + f))
+  | Write_pte (p, i, t, w) ->
+      let flags = if w then Pte.user_rw_nx else Pte.user_ro_nx in
+      ignore (Api.write_pte nk ~ptp:(f0 + p) ~index:i (Pte.make ~frame:(f0 + t) flags))
+  | Clear_pte (p, i) -> ignore (Api.write_pte nk ~ptp:(f0 + p) ~index:i Pte.empty)
+  | Remove f -> ignore (Api.remove_ptp nk (f0 + f))
+  | Alloc size -> (
+      match Api.nk_alloc nk ~size Nested_kernel.Policy.unrestricted with
+      | Ok (wd, va) ->
+          if Array.length !descriptors < 8 then
+            descriptors := Array.append !descriptors [| (wd, va, size) |]
+      | Error _ -> ())
+  | Write_prot (d, off) ->
+      if d < Array.length !descriptors then begin
+        let wd, va, size = !descriptors.(d) in
+        if off < size then
+          ignore (Api.nk_write nk wd ~dest:(va + off) (Bytes.make 1 'f'))
+      end
+  | Free d ->
+      if d < Array.length !descriptors then begin
+        let wd, _, _ = !descriptors.(d) in
+        ignore (Api.nk_free nk wd)
+      end
+  | Load_cr0_bad ->
+      let m = Api.machine nk in
+      ignore (Api.load_cr0 nk (m.Machine.cr.Cr.cr0 land lnot Cr.cr0_wp))
+  | Load_cr4_bad ->
+      let m = Api.machine nk in
+      ignore (Api.load_cr4 nk (m.Machine.cr.Cr.cr4 land lnot Cr.cr4_smep))
+  | Batch updates ->
+      let module Api = Nested_kernel.Api in
+      ignore
+        (Api.write_pte_batch nk
+           (List.map
+              (fun (p, i, t, w) ->
+                let flags = if w then Pte.user_rw_nx else Pte.user_ro_nx in
+                (f0 + p, i, Pte.make ~frame:(f0 + t) flags, None))
+              updates))
+  | Install_code (f, hostile) ->
+      let module Api = Nested_kernel.Api in
+      let code =
+        if hostile then
+          Insn.assemble_raw Insn.[ Mov_to_cr (CR0, RAX); Ret ]
+        else Insn.assemble_raw Insn.[ Nop; Ret ]
+      in
+      ignore (Api.install_code nk ~frames:[ f0 + f ] code)
+  | Retire_code f ->
+      ignore (Nested_kernel.Api.retire_code nk ~frames:[ f0 + f ])
+  | Emulate off ->
+      ignore
+        (Nested_kernel.Api.nk_emulate_colocated_write nk
+           ~dest:(Addr.kva_of_frame (f0 + 24) + off)
+           (Bytes.make 4 'z'))
+
+let protected_frames_unwritable nk =
+  let m = Nested_kernel.Api.machine nk in
+  let st : Nested_kernel.State.t = nk in
+  let bad = ref 0 in
+  Nested_kernel.Pgdesc.iter st.Nested_kernel.State.descs (fun f d ->
+      let must_hold =
+        match d.Nested_kernel.Pgdesc.ptype with
+        | Nested_kernel.Pgdesc.Ptp _ | Nested_kernel.Pgdesc.Nk_code
+        | Nested_kernel.Pgdesc.Nk_data | Nested_kernel.Pgdesc.Nk_stack
+        | Nested_kernel.Pgdesc.Protected_data ->
+            true
+        | _ -> false
+      in
+      if must_hold then
+        match Machine.kwrite_u64 m (Addr.kva_of_frame f) 0 with
+        | Ok () -> incr bad
+        | Error _ -> ());
+  !bad = 0
+
+let prop_invariants_survive_fuzzing =
+  Helpers.qtest ~count:25 "random op sequences never break an invariant"
+    QCheck2.Gen.(list_size (int_range 5 60) gen_op)
+    (fun ops ->
+      let _, nk = Helpers.booted_nk () in
+      let f0 = Nested_kernel.Api.outer_first_frame nk in
+      let descriptors = ref [||] in
+      List.iter (fun op -> apply nk ~f0 descriptors op) ops;
+      Nested_kernel.Api.audit_ok nk && protected_frames_unwritable nk)
+
+let prop_kernel_survives_fuzzing =
+  Helpers.qtest ~count:10 "the outer kernel keeps working after fuzzing"
+    QCheck2.Gen.(list_size (int_range 5 40) gen_op)
+    (fun ops ->
+      let k = Helpers.kernel Config.Perspicuos in
+      let nk = Option.get k.Kernel.nk in
+      (* Fuzz against frames the kernel has not allocated. *)
+      let f0 = Frame_alloc.first_frame k.Kernel.falloc + 400 in
+      let descriptors = ref [||] in
+      List.iter (fun op -> apply nk ~f0 descriptors op) ops;
+      let p = Kernel.current_proc k in
+      (match Syscalls.fork k p with
+      | Ok pid ->
+          let c = Option.get (Kernel.proc k pid) in
+          ignore (Kernel.switch_to k pid);
+          ignore (Syscalls.exit_ k c 0);
+          ignore (Kernel.switch_to k 1);
+          ignore (Syscalls.wait k p)
+      | Error _ -> ());
+      Nested_kernel.Api.audit_ok nk)
+
+let suite = [ prop_invariants_survive_fuzzing; prop_kernel_survives_fuzzing ]

@@ -1,0 +1,162 @@
+open Nkhw
+
+let gen_reg = QCheck2.Gen.oneofl Insn.all_regs
+let gen_cr = QCheck2.Gen.oneofl Insn.[ CR0; CR3; CR4 ]
+let gen_imm = QCheck2.Gen.int_range 0 0x3FFF_FFFF_FFFF_FFFF
+let gen_disp = QCheck2.Gen.int_range (-0x7FFFFFFF) 0x7FFFFFFF
+let gen_rel = QCheck2.Gen.int_range (-100000) 100000
+
+let gen_insn =
+  QCheck2.Gen.(
+    oneof
+      [
+        return Insn.Nop;
+        return Insn.Hlt;
+        return Insn.Pushfq;
+        return Insn.Popfq;
+        return Insn.Cli;
+        return Insn.Sti;
+        return Insn.Ret;
+        return Insn.Wrmsr;
+        return Insn.Rdmsr;
+        map (fun r -> Insn.Push r) gen_reg;
+        map (fun r -> Insn.Pop r) gen_reg;
+        map2 (fun r i -> Insn.Mov_ri (r, i)) gen_reg gen_imm;
+        map2 (fun a b -> Insn.Mov_rr (a, b)) gen_reg gen_reg;
+        map3 (fun a b d -> Insn.Load (a, b, d)) gen_reg gen_reg gen_disp;
+        map3 (fun a d b -> Insn.Store (a, d, b)) gen_reg gen_disp gen_reg;
+        map2 (fun r i -> Insn.And_ri (r, i)) gen_reg gen_imm;
+        map2 (fun r i -> Insn.Or_ri (r, i)) gen_reg gen_imm;
+        map2 (fun r i -> Insn.Add_ri (r, i)) gen_reg gen_imm;
+        map2 (fun a b -> Insn.Add_rr (a, b)) gen_reg gen_reg;
+        map2 (fun r i -> Insn.Sub_ri (r, i)) gen_reg gen_imm;
+        map2 (fun a b -> Insn.Xor_rr (a, b)) gen_reg gen_reg;
+        map2 (fun r i -> Insn.Test_ri (r, i)) gen_reg gen_imm;
+        map2 (fun r i -> Insn.Cmp_ri (r, i)) gen_reg gen_imm;
+        map2 (fun a b -> Insn.Test_rr (a, b)) gen_reg gen_reg;
+        map2 (fun a b -> Insn.Cmp_rr (a, b)) gen_reg gen_reg;
+        map (fun d -> Insn.Jz (Insn.Rel d)) gen_rel;
+        map (fun d -> Insn.Jnz (Insn.Rel d)) gen_rel;
+        map (fun d -> Insn.Jmp (Insn.Rel d)) gen_rel;
+        map (fun d -> Insn.Call (Insn.Rel d)) gen_rel;
+        map (fun c -> Insn.Callout c) (int_range 0 1000);
+        map2 (fun c r -> Insn.Mov_to_cr (c, r)) gen_cr gen_reg;
+        map2 (fun r c -> Insn.Mov_from_cr (r, c)) gen_reg gen_cr;
+        map (fun r -> Insn.Invlpg r) gen_reg;
+      ])
+
+let prop_encode_decode =
+  Helpers.qtest ~count:500 "encode/decode round trip" gen_insn (fun insn ->
+      let b = Buffer.create 16 in
+      Insn.encode b insn;
+      let code = Buffer.to_bytes b in
+      match Insn.decode code 0 with
+      | Some (insn', len) ->
+          insn' = insn
+          && len = Bytes.length code
+          && len = Insn.encoded_length insn
+      | None -> false)
+
+let prop_disassemble_stream =
+  Helpers.qtest ~count:200 "linear disassembly recovers the stream"
+    QCheck2.Gen.(list_size (int_range 1 30) gen_insn)
+    (fun insns ->
+      let code = Insn.assemble_raw insns in
+      let decoded = List.map snd (Insn.disassemble code) in
+      decoded = insns)
+
+let test_label_assembly () =
+  let prog =
+    Insn.
+      [
+        Ins (Mov_ri (RAX, 0));
+        Lbl "loop";
+        Ins (Add_ri (RAX, 1));
+        Ins (Cmp_ri (RAX, 3));
+        Ins (Jnz (Label "loop"));
+        Ins Hlt;
+      ]
+  in
+  let code = Insn.assemble prog in
+  (* The backward branch displacement must bring us back to the add. *)
+  match Insn.disassemble code with
+  | [ _; _; _; (_, Insn.Jnz (Insn.Rel d)); _ ] ->
+      Alcotest.(check int) "backward displacement" (-25) d
+  | _ -> Alcotest.fail "unexpected disassembly"
+
+let test_duplicate_label () =
+  Alcotest.(check bool) "duplicate label rejected" true
+    (try
+       ignore (Insn.assemble Insn.[ Lbl "a"; Lbl "a"; Ins Hlt ]);
+       false
+     with Failure _ -> true)
+
+let test_undefined_label () =
+  Alcotest.(check bool) "undefined label rejected" true
+    (try
+       ignore (Insn.assemble Insn.[ Ins (Insn.Jmp (Insn.Label "nowhere")) ]);
+       false
+     with Failure _ -> true)
+
+let test_protected_classification () =
+  Alcotest.(check bool) "mov-to-cr protected" true
+    (Insn.is_protected (Insn.Mov_to_cr (Insn.CR0, Insn.RAX)));
+  Alcotest.(check bool) "wrmsr protected" true (Insn.is_protected Insn.Wrmsr);
+  Alcotest.(check bool) "mov-from-cr fine" false
+    (Insn.is_protected (Insn.Mov_from_cr (Insn.RAX, Insn.CR0)));
+  Alcotest.(check bool) "rdmsr fine" false (Insn.is_protected Insn.Rdmsr)
+
+let test_find_explicit_patterns () =
+  let code =
+    Insn.assemble_raw
+      Insn.[ Nop; Mov_to_cr (CR0, RAX); Nop; Wrmsr; Mov_to_cr (CR3, RBX) ]
+  in
+  let found = Insn.find_protected_patterns code in
+  Alcotest.(check int) "three hits" 3 (List.length found);
+  Alcotest.(check bool) "kinds" true
+    (List.map snd found
+    = Insn.[ P_mov_cr CR0; P_wrmsr; P_mov_cr CR3 ])
+
+let test_find_implicit_pattern () =
+  (* 0F 30 hidden inside an immediate. *)
+  let imm = 0x300F lsl 16 in
+  let code = Insn.assemble_raw Insn.[ Mov_ri (RBX, imm) ] in
+  match Insn.find_protected_patterns code with
+  | [ (off, Insn.P_wrmsr) ] -> Alcotest.(check int) "offset inside imm" 3 off
+  | _ -> Alcotest.fail "expected exactly one implicit wrmsr"
+
+let prop_planted_pattern_found =
+  Helpers.qtest ~count:300 "planted pattern is always found"
+    QCheck2.Gen.(pair (int_range 0 5) (int_range 0 2))
+    (fun (pos, which) ->
+      let pattern =
+        match which with
+        | 0 -> [ 0x0F; 0x30 ]
+        | 1 -> [ 0x0F; 0x22; 0xC0 ]
+        | _ -> [ 0x0F; 0x22; 0xD8 ]
+      in
+      if pos + List.length pattern > 7 then true
+      else begin
+        let bytes = Array.make 8 0x41 in
+        List.iteri (fun i b -> bytes.(pos + i) <- b) pattern;
+        let imm = ref 0 in
+        for i = 6 downto 0 do
+          imm := (!imm lsl 8) lor bytes.(i)
+        done;
+        let code = Insn.assemble_raw Insn.[ Mov_ri (RBX, !imm) ] in
+        Insn.find_protected_patterns code <> []
+      end)
+
+let suite =
+  [
+    prop_encode_decode;
+    prop_disassemble_stream;
+    Alcotest.test_case "label assembly" `Quick test_label_assembly;
+    Alcotest.test_case "duplicate labels" `Quick test_duplicate_label;
+    Alcotest.test_case "undefined labels" `Quick test_undefined_label;
+    Alcotest.test_case "protected classification" `Quick
+      test_protected_classification;
+    Alcotest.test_case "explicit pattern scan" `Quick test_find_explicit_patterns;
+    Alcotest.test_case "implicit pattern scan" `Quick test_find_implicit_pattern;
+    prop_planted_pattern_found;
+  ]

@@ -1,0 +1,128 @@
+open Nkhw
+open Outer_kernel
+
+(* Kalloc, Syscall_table and the Mmu_backend record. *)
+
+let setup_kalloc () =
+  let m = Machine.create ~frames:64 () in
+  let falloc = Frame_alloc.create ~first:1 ~count:32 in
+  (m, falloc, Kalloc.create m falloc ~chunk_size:64)
+
+let test_kalloc_basic () =
+  let _, _, ka = setup_kalloc () in
+  let a = Option.get (Kalloc.alloc ka) in
+  let b = Option.get (Kalloc.alloc ka) in
+  Alcotest.(check bool) "distinct chunks" true (a <> b);
+  Alcotest.(check bool) "aligned" true (a mod 64 = 0);
+  Alcotest.(check int) "live" 2 (Kalloc.live_chunks ka);
+  Kalloc.free ka a;
+  Alcotest.(check int) "live after free" 1 (Kalloc.live_chunks ka)
+
+let test_kalloc_zeroed () =
+  let m, _, ka = setup_kalloc () in
+  let a = Option.get (Kalloc.alloc ka) in
+  Alcotest.(check int) "fresh chunks are zero" 0
+    (Phys_mem.read_u64 m.Machine.mem (a - Addr.kernbase))
+
+let test_kalloc_reuse () =
+  let _, _, ka = setup_kalloc () in
+  let a = Option.get (Kalloc.alloc ka) in
+  Kalloc.free ka a;
+  let b = Option.get (Kalloc.alloc ka) in
+  Alcotest.(check int) "chunk recycled" a b
+
+let test_kalloc_grows () =
+  let _, falloc, ka = setup_kalloc () in
+  let before = Frame_alloc.free_count falloc in
+  (* One page holds 64 chunks; allocating 65 takes a second frame. *)
+  let chunks = List.init 65 (fun _ -> Option.get (Kalloc.alloc ka)) in
+  Alcotest.(check int) "two frames consumed" (before - 2)
+    (Frame_alloc.free_count falloc);
+  Alcotest.(check int) "all distinct" 65
+    (List.length (List.sort_uniq compare chunks))
+
+let test_kalloc_bad_chunk_size () =
+  let m = Machine.create ~frames:8 () in
+  let falloc = Frame_alloc.create ~first:1 ~count:4 in
+  Alcotest.check_raises "chunk size must divide page"
+    (Invalid_argument "Kalloc.create: chunk size must divide the page size")
+    (fun () -> ignore (Kalloc.create m falloc ~chunk_size:100))
+
+let test_native_backend_semantics () =
+  let k = Helpers.kernel Config.Native in
+  let b = k.Kernel.backend in
+  Alcotest.(check string) "name" "native" b.Mmu_backend.name;
+  Alcotest.(check bool) "unbatched" false b.Mmu_backend.batched;
+  let f = Frame_alloc.alloc_exn k.Kernel.falloc in
+  Helpers.check_ok "declare" (b.Mmu_backend.declare_ptp ~level:1 f);
+  Helpers.check_ok "write anything, no validation"
+    (b.Mmu_backend.write_pte ~ptp:f ~index:0
+       (Pte.make ~frame:1 Pte.kernel_rw))
+
+let test_native_backend_tlb_maintenance () =
+  let k = Helpers.kernel Config.Native in
+  let m = k.Kernel.machine in
+  let b = k.Kernel.backend in
+  let f = Frame_alloc.alloc_exn k.Kernel.falloc in
+  Helpers.check_ok "declare" (b.Mmu_backend.declare_ptp ~level:1 f);
+  let va = 0x4000_0000 in
+  Helpers.check_ok "map"
+    (b.Mmu_backend.write_pte ~va ~ptp:f ~index:0
+       (Pte.make ~frame:(f + 1) Pte.user_rw_nx));
+  Tlb.insert m.Machine.tlb ~vpage:(Addr.vpage va)
+    { Tlb.frame = f + 1; writable = true; user = true; nx = true; global = false };
+  Helpers.check_ok "unmap (downgrade)"
+    (b.Mmu_backend.write_pte ~va ~ptp:f ~index:0 Pte.empty);
+  Alcotest.(check bool) "stale entry flushed" true
+    (Tlb.lookup m.Machine.tlb ~vpage:(Addr.vpage va) = None)
+
+let test_nested_backend_validates () =
+  let k = Helpers.kernel Config.Perspicuos in
+  let b = k.Kernel.backend in
+  let f = Frame_alloc.alloc_exn k.Kernel.falloc in
+  (match b.Mmu_backend.write_pte ~ptp:f ~index:0 Pte.empty with
+  | Error msg ->
+      Alcotest.(check bool) "names the rejection" true (String.length msg > 0)
+  | Ok () -> Alcotest.fail "write to undeclared PTP accepted");
+  Helpers.check_ok "declare" (b.Mmu_backend.declare_ptp ~level:1 f);
+  Helpers.check_ok "now accepted" (b.Mmu_backend.write_pte ~ptp:f ~index:0 Pte.empty)
+
+let test_syscall_table_native_rw () =
+  let k = Helpers.kernel Config.Native in
+  let t = k.Kernel.syscall_table in
+  Alcotest.(check bool) "not write-once" false (Syscall_table.is_write_once t);
+  Helpers.check_ok "set" (Syscall_table.set t ~sysno:40 ~handler_id:7);
+  Alcotest.(check (result int Helpers.errno)) "get" (Ok 7)
+    (Syscall_table.get t ~sysno:40);
+  Helpers.check_ok "overwrite allowed natively"
+    (Syscall_table.set t ~sysno:40 ~handler_id:8)
+
+let test_syscall_table_bounds () =
+  let k = Helpers.kernel Config.Native in
+  let t = k.Kernel.syscall_table in
+  (match Syscall_table.set t ~sysno:(-1) ~handler_id:1 with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "negative sysno");
+  (match Syscall_table.get t ~sysno:64 with
+  | Error Ktypes.Enosys -> ()
+  | _ -> Alcotest.fail "out-of-range get");
+  match Syscall_table.get t ~sysno:39 with
+  | Error Ktypes.Enosys -> () (* empty entry *)
+  | _ -> Alcotest.fail "empty entry should be ENOSYS"
+
+let suite =
+  [
+    Alcotest.test_case "kalloc basics" `Quick test_kalloc_basic;
+    Alcotest.test_case "kalloc zeroes" `Quick test_kalloc_zeroed;
+    Alcotest.test_case "kalloc reuse" `Quick test_kalloc_reuse;
+    Alcotest.test_case "kalloc grows by frames" `Quick test_kalloc_grows;
+    Alcotest.test_case "kalloc chunk size" `Quick test_kalloc_bad_chunk_size;
+    Alcotest.test_case "native backend semantics" `Quick
+      test_native_backend_semantics;
+    Alcotest.test_case "native backend TLB maintenance" `Quick
+      test_native_backend_tlb_maintenance;
+    Alcotest.test_case "nested backend validates" `Quick
+      test_nested_backend_validates;
+    Alcotest.test_case "syscall table native" `Quick test_syscall_table_native_rw;
+    Alcotest.test_case "syscall table bounds" `Quick test_syscall_table_bounds;
+  ]

@@ -1,0 +1,236 @@
+open Nkhw
+open Outer_kernel
+
+let ok_int name r =
+  match r with
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: %s" name (Ktypes.errno_to_string e)
+
+let each_config f = List.iter (fun c -> f c (Helpers.kernel c)) Config.all
+
+let test_dispatch_basic () =
+  each_config (fun c k ->
+      let p = Kernel.current_proc k in
+      Alcotest.(check int)
+        (Config.name c ^ ": getpid")
+        1
+        (ok_int "getpid" (Syscalls.getpid k p)))
+
+let test_unknown_syscall () =
+  let k = Helpers.kernel Config.Native in
+  let p = Kernel.current_proc k in
+  (match Kernel.syscall k p 63 [] with
+  | Error Ktypes.Enosys -> ()
+  | _ -> Alcotest.fail "expected ENOSYS");
+  match Kernel.syscall k p 9999 [] with
+  | Error Ktypes.Enosys -> ()
+  | _ -> Alcotest.fail "expected ENOSYS for out-of-range"
+
+let test_fd_lifecycle () =
+  let k = Helpers.kernel Config.Perspicuos in
+  let p = Kernel.current_proc k in
+  let fd = ok_int "open" (Syscalls.open_ k p "/bin/sh") in
+  let n = ok_int "read" (Syscalls.read k p fd 4096) in
+  Alcotest.(check int) "read a page" 4096 n;
+  ignore (ok_int "close" (Syscalls.close k p fd));
+  match Syscalls.read k p fd 1 with
+  | Error Ktypes.Ebadf -> ()
+  | _ -> Alcotest.fail "closed fd usable"
+
+let test_fork_tree () =
+  each_config (fun c k ->
+      let name = Config.name c in
+      let p = Kernel.current_proc k in
+      let pid_a = ok_int "fork a" (Syscalls.fork k p) in
+      let pid_b = ok_int "fork b" (Syscalls.fork k p) in
+      Alcotest.(check bool) (name ^ ": distinct pids") true (pid_a <> pid_b);
+      let ps = List.map fst (Kernel.ps k) in
+      Alcotest.(check bool)
+        (name ^ ": all in allproc")
+        true
+        (List.for_all (fun pid -> List.mem pid ps) [ 1; pid_a; pid_b ]);
+      let a = Option.get (Kernel.proc k pid_a) in
+      Alcotest.(check int) (name ^ ": parentage") 1
+        (ok_int "getppid" (Syscalls.getppid k a)))
+
+let test_wait_reaps () =
+  let k = Helpers.kernel Config.Perspicuos in
+  let p = Kernel.current_proc k in
+  (match Syscalls.wait k p with
+  | Error Ktypes.Echild -> ()
+  | _ -> Alcotest.fail "wait with no children");
+  let pid = ok_int "fork" (Syscalls.fork k p) in
+  let child = Option.get (Kernel.proc k pid) in
+  ignore (ok_int "switch" (Result.map_error (fun _ -> Ktypes.Esrch) (Kernel.switch_to k pid) |> Result.map (fun () -> 0)));
+  ignore (ok_int "exit" (Syscalls.exit_ k child 0));
+  ignore (Kernel.switch_to k 1);
+  Alcotest.(check bool) "zombie still listed" true
+    (List.mem_assoc pid (Kernel.ps k));
+  let reaped = ok_int "wait" (Syscalls.wait k p) in
+  Alcotest.(check int) "reaped the child" pid reaped;
+  Alcotest.(check bool) "gone from allproc" false
+    (List.mem_assoc pid (Kernel.ps k));
+  Alcotest.(check bool) "recorded as legit exit" true
+    (List.mem pid k.Kernel.legit_exits)
+
+let test_exec_missing_binary () =
+  let k = Helpers.kernel Config.Native in
+  let p = Kernel.current_proc k in
+  match Syscalls.execve k p "/bin/missing" with
+  | Error Ktypes.Enoent -> ()
+  | _ -> Alcotest.fail "expected ENOENT"
+
+let test_signal_roundtrip () =
+  each_config (fun c k ->
+      let name = Config.name c in
+      let p = Kernel.current_proc k in
+      ignore (ok_int "sigaction" (Syscalls.sigaction k p 10 "h"));
+      ignore (ok_int "kill self" (Syscalls.kill k p 1 10));
+      Alcotest.(check int)
+        (name ^ ": delivery counted")
+        1
+        (Clock.counter k.Kernel.machine.Machine.clock "signal_delivered"))
+
+let test_signal_to_missing_process () =
+  let k = Helpers.kernel Config.Native in
+  let p = Kernel.current_proc k in
+  match Syscalls.kill k p 42 9 with
+  | Error Ktypes.Esrch -> ()
+  | _ -> Alcotest.fail "expected ESRCH"
+
+let test_touch_user_faults_and_retries () =
+  let k = Helpers.kernel Config.Perspicuos in
+  let p = Kernel.current_proc k in
+  let va =
+    ok_int "mmap" (Syscalls.mmap k p ~len:Addr.page_size ~rw:true ~populate:false ())
+  in
+  Helpers.check_ok_errno "touch populates" (Kernel.touch_user k p va Fault.Write);
+  (match Kernel.touch_user k p 0x7777_0000 Fault.Write with
+  | Error Ktypes.Efault -> ()
+  | _ -> Alcotest.fail "wild touch succeeded");
+  Alcotest.(check int) "vm faults counted" 2
+    (Clock.counter k.Kernel.machine.Machine.clock "vm_fault")
+
+let test_syslog_only_append_only_config () =
+  List.iter
+    (fun c ->
+      let k = Helpers.kernel c in
+      let p = Kernel.current_proc k in
+      ignore (Syscalls.getpid k p);
+      match (c, k.Kernel.syslog) with
+      | Config.Append_only, Some sl ->
+          Alcotest.(check bool) "events recorded" true (sl.Kernel.sl_events >= 2)
+      | Config.Append_only, None -> Alcotest.fail "append-only lost its log"
+      | _, None -> ()
+      | _, Some _ -> Alcotest.fail "unexpected syslog")
+    Config.all
+
+let test_syslog_flush_cycle () =
+  let k = Helpers.kernel Config.Append_only in
+  let p = Kernel.current_proc k in
+  (* 64 KiB / 16 bytes = 4096 events; drive past it to force a flush. *)
+  for _ = 1 to 2500 do
+    ignore (Syscalls.getpid k p)
+  done;
+  match k.Kernel.syslog with
+  | Some sl ->
+      Alcotest.(check bool) "events kept flowing" true (sl.Kernel.sl_events > 4500);
+      Alcotest.(check bool) "flushed at least once" true (sl.Kernel.sl_flushes >= 1);
+      Alcotest.(check bool) "no denial storms" true
+        (match k.Kernel.nk with
+        | Some nk -> Nested_kernel.Api.denied_writes nk = 0
+        | None -> false)
+  | None -> Alcotest.fail "no syslog"
+
+let test_write_once_table_locked_after_boot () =
+  let k = Helpers.kernel Config.Write_once in
+  Alcotest.(check bool) "table is write-once" true
+    (Syscall_table.is_write_once k.Kernel.syscall_table);
+  match Kernel.install_syscall k ~sysno:Ktypes.sys_getpid ~handler_id:999 with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "second install accepted"
+
+let test_shadow_tracks_lifecycle () =
+  let k = Helpers.kernel Config.Write_log in
+  let p = Kernel.current_proc k in
+  let pid = ok_int "fork" (Syscalls.fork k p) in
+  (match Kernel.ps_shadow k with
+  | Some pids -> Alcotest.(check bool) "child in shadow" true (List.mem pid pids)
+  | None -> Alcotest.fail "no shadow list");
+  let child = Option.get (Kernel.proc k pid) in
+  ignore (Kernel.switch_to k pid);
+  ignore (ok_int "exit" (Syscalls.exit_ k child 0));
+  ignore (Kernel.switch_to k 1);
+  ignore (ok_int "wait" (Syscalls.wait k p));
+  match Kernel.ps_shadow k with
+  | Some pids -> Alcotest.(check bool) "reaped from shadow" false (List.mem pid pids)
+  | None -> Alcotest.fail "no shadow list"
+
+let test_audit_after_process_churn () =
+  List.iter
+    (fun c ->
+      let k = Helpers.kernel c in
+      let p = Kernel.current_proc k in
+      for _ = 1 to 5 do
+        let pid = ok_int "fork" (Syscalls.fork k p) in
+        let child = Option.get (Kernel.proc k pid) in
+        ignore (Kernel.switch_to k pid);
+        ignore (Syscalls.execve k child "/bin/sh");
+        ignore (Syscalls.exit_ k child 0);
+        ignore (Kernel.switch_to k 1);
+        ignore (Syscalls.wait k p)
+      done;
+      match k.Kernel.nk with
+      | Some nk ->
+          Alcotest.(check int)
+            (Config.name c ^ ": violations")
+            0
+            (List.length (Nested_kernel.Api.audit nk))
+      | None -> ())
+    [ Config.Perspicuos; Config.Append_only; Config.Write_once; Config.Write_log ]
+
+let test_frames_conserved_across_lifecycle () =
+  let k = Helpers.kernel Config.Perspicuos in
+  let p = Kernel.current_proc k in
+  (* Warm-up allocates kalloc slabs etc. *)
+  let cycle () =
+    let pid = ok_int "fork" (Syscalls.fork k p) in
+    let child = Option.get (Kernel.proc k pid) in
+    ignore (Kernel.switch_to k pid);
+    ignore (Syscalls.exit_ k child 0);
+    ignore (Kernel.switch_to k 1);
+    ignore (Syscalls.wait k p)
+  in
+  cycle ();
+  let free0 = Frame_alloc.free_count k.Kernel.falloc in
+  for _ = 1 to 10 do
+    cycle ()
+  done;
+  Alcotest.(check int) "no frame leak over 10 fork cycles" free0
+    (Frame_alloc.free_count k.Kernel.falloc)
+
+let suite =
+  [
+    Alcotest.test_case "dispatch on every config" `Quick test_dispatch_basic;
+    Alcotest.test_case "unknown syscalls" `Quick test_unknown_syscall;
+    Alcotest.test_case "fd lifecycle" `Quick test_fd_lifecycle;
+    Alcotest.test_case "fork tree" `Quick test_fork_tree;
+    Alcotest.test_case "wait reaps zombies" `Quick test_wait_reaps;
+    Alcotest.test_case "exec missing binary" `Quick test_exec_missing_binary;
+    Alcotest.test_case "signal roundtrip" `Quick test_signal_roundtrip;
+    Alcotest.test_case "signal to missing process" `Quick
+      test_signal_to_missing_process;
+    Alcotest.test_case "touch_user fault/retry" `Quick
+      test_touch_user_faults_and_retries;
+    Alcotest.test_case "syslog config wiring" `Quick
+      test_syslog_only_append_only_config;
+    Alcotest.test_case "syslog flush cycle" `Quick test_syslog_flush_cycle;
+    Alcotest.test_case "write-once table locked" `Quick
+      test_write_once_table_locked_after_boot;
+    Alcotest.test_case "shadow tracks lifecycle" `Quick
+      test_shadow_tracks_lifecycle;
+    Alcotest.test_case "audit clean after churn" `Quick
+      test_audit_after_process_churn;
+    Alcotest.test_case "frames conserved" `Quick
+      test_frames_conserved_across_lifecycle;
+  ]

@@ -1,0 +1,143 @@
+open Nkhw
+open Outer_kernel
+
+(* Odds and ends: double faults, process bookkeeping, printer
+   coverage, boot variants, determinism of the application models. *)
+
+let test_undeliverable_fault_wedges () =
+  (* A fault with no IDT is the moral triple fault: execution stops
+     with the fault surfaced, nothing resumes. *)
+  let m = Machine.create ~frames:16 () in
+  Phys_mem.write_u8 m.Machine.mem 0x1000 0xFF;
+  m.Machine.cpu.Cpu_state.rip <- 0x1000;
+  (match Exec.run ~fuel:10 m with
+  | Exec.Stopped_fault _ -> ()
+  | other -> Alcotest.failf "expected wedge, got %a" Exec.pp_stop other);
+  (* IDT present but the handler slot is empty: same outcome. *)
+  let m = Machine.create ~frames:16 () in
+  m.Machine.idtr <- Some 0x2000;
+  Phys_mem.write_u8 m.Machine.mem 0x1000 0xFF;
+  m.Machine.cpu.Cpu_state.rip <- 0x1000;
+  match Exec.run ~fuel:10 m with
+  | Exec.Stopped_fault _ -> ()
+  | other -> Alcotest.failf "expected wedge on null vector, got %a" Exec.pp_stop other
+
+let test_fault_during_delivery () =
+  (* The handler address points into unmapped space under paging: the
+     second fault cannot be delivered either. *)
+  let m = Machine.create ~frames:32 () in
+  (* paging off; IDT at 0x2000 but handler points out of range *)
+  m.Machine.idtr <- Some 0x2000;
+  Phys_mem.write_u64 m.Machine.mem (0x2000 + (6 * 8)) 0xFFFF_0000;
+  Phys_mem.write_u8 m.Machine.mem 0x1000 0xFF;
+  m.Machine.cpu.Cpu_state.rip <- 0x1000;
+  Cpu_state.set m.Machine.cpu Insn.RSP 0x8000;
+  match Exec.run ~fuel:10 m with
+  | Exec.Stopped_fault _ -> ()
+  | other -> Alcotest.failf "expected wedge, got %a" Exec.pp_stop other
+
+let test_proc_bookkeeping () =
+  let k = Helpers.kernel Config.Native in
+  let p = Kernel.current_proc k in
+  let h = Result.get_ok (Vfs.open_ k.Kernel.vfs "/bin/sh" ~create:false) in
+  let fd1 = Proc.add_fd p (Kfd.File h) in
+  let fd2 = Proc.add_fd p (Kfd.File h) in
+  Alcotest.(check bool) "fds ascend" true (fd2 = fd1 + 1);
+  Alcotest.(check bool) "lookup" true (Proc.fd_handle p fd1 <> None);
+  Proc.drop_fd p fd1;
+  Alcotest.(check bool) "dropped" true (Proc.fd_handle p fd1 = None);
+  Alcotest.(check string) "state printer" "running"
+    (Format.asprintf "%a" Proc.pp_state p.Proc.pstate)
+
+let test_insn_printers () =
+  (* Every constructor prints something non-empty and distinct from
+     its neighbours — keeps the disassembler output usable. *)
+  let printed =
+    List.map
+      (fun i -> Format.asprintf "%a" Insn.pp i)
+      Insn.
+        [
+          Nop;
+          Hlt;
+          Pushfq;
+          Popfq;
+          Cli;
+          Sti;
+          Push RAX;
+          Pop RBX;
+          Mov_ri (RCX, 5);
+          Mov_rr (RDX, RSI);
+          Load (RDI, RBP, 8);
+          Store (RSP, -8, RAX);
+          And_ri (RAX, 1);
+          Or_ri (RAX, 2);
+          Add_ri (RAX, 3);
+          Add_rr (RAX, RBX);
+          Sub_ri (RAX, 4);
+          Xor_rr (RAX, RAX);
+          Test_ri (RAX, 5);
+          Cmp_ri (RAX, 6);
+          Test_rr (RAX, RBX);
+          Cmp_rr (RAX, RBX);
+          Jz (Rel 1);
+          Jnz (Rel 2);
+          Jmp (Rel 3);
+          Call (Rel 4);
+          Ret;
+          Mov_to_cr (CR0, RAX);
+          Mov_from_cr (RAX, CR3);
+          Wrmsr;
+          Rdmsr;
+          Invlpg RAX;
+          Callout 7;
+        ]
+  in
+  Alcotest.(check bool) "all non-empty" true
+    (List.for_all (fun s -> String.length s > 0) printed);
+  Alcotest.(check int) "all distinct" (List.length printed)
+    (List.length (List.sort_uniq compare printed))
+
+let test_boot_with_files () =
+  let k = Os.boot_with_files Config.Native [ ("/data/a", 100); ("/data/b", 200) ] in
+  Alcotest.(check (option int)) "a" (Some 100) (Vfs.file_size k.Kernel.vfs "/data/a");
+  Alcotest.(check (option int)) "b" (Some 200) (Vfs.file_size k.Kernel.vfs "/data/b");
+  Alcotest.(check bool) "stock binaries present" true
+    (Vfs.exists k.Kernel.vfs "/bin/sh" && Vfs.exists k.Kernel.vfs "/bin/cc")
+
+let test_application_models_deterministic () =
+  let a = Nk_workloads.Kbuild.run ~units:3 () in
+  let b = Nk_workloads.Kbuild.run ~units:3 () in
+  Alcotest.(check bool) "kbuild deterministic" true
+    (List.for_all2
+       (fun (x : Nk_workloads.Kbuild.result) (y : Nk_workloads.Kbuild.result) ->
+         x.Nk_workloads.Kbuild.elapsed_s = y.Nk_workloads.Kbuild.elapsed_s)
+       a b)
+
+let test_nksim_style_audit_path () =
+  (* The audit flow the CLI exposes: stress then audit, per config. *)
+  List.iter
+    (fun config ->
+      let k = Helpers.kernel config in
+      let p = Kernel.current_proc k in
+      ignore (Syscalls.mmap k p ~len:(8 * Addr.page_size) ~rw:true ~populate:true ());
+      match k.Kernel.nk with
+      | Some nk ->
+          Alcotest.(check bool)
+            (Config.name config ^ " audits clean")
+            true
+            (Nested_kernel.Api.audit_ok nk)
+      | None -> ())
+    Config.all
+
+let suite =
+  [
+    Alcotest.test_case "undeliverable faults wedge" `Quick
+      test_undeliverable_fault_wedges;
+    Alcotest.test_case "fault during delivery" `Quick test_fault_during_delivery;
+    Alcotest.test_case "proc fd bookkeeping" `Quick test_proc_bookkeeping;
+    Alcotest.test_case "instruction printers" `Quick test_insn_printers;
+    Alcotest.test_case "boot with files" `Quick test_boot_with_files;
+    Alcotest.test_case "application models deterministic" `Quick
+      test_application_models_deterministic;
+    Alcotest.test_case "audit path per config" `Quick test_nksim_style_audit_path;
+  ]

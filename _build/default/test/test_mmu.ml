@@ -1,0 +1,136 @@
+open Nkhw
+
+(* A machine with paging on and a few hand-built mappings exercising
+   every permission combination the paper's invariants rely on. *)
+let setup () =
+  let mem = Phys_mem.create ~frames:64 in
+  let cr = Cr.create () in
+  let tlb = Tlb.create () in
+  let next = ref 1 in
+  let alloc_ptp () =
+    let f = !next in
+    incr next;
+    f
+  in
+  let root = alloc_ptp () in
+  let map va frame flags =
+    Pt_builder.map_page mem ~root ~alloc_ptp va (Pte.make ~frame flags)
+  in
+  map 0x10000 40 Pte.user_rw_nx;
+  map 0x11000 41 Pte.user_ro_nx;
+  map 0x12000 42 Pte.user_rx;
+  map 0x13000 43 Pte.kernel_rw;
+  map 0x14000 44 Pte.kernel_ro;
+  map 0x15000 45 Pte.kernel_ro_nx;
+  cr.Cr.cr3 <- Addr.pa_of_frame root;
+  cr.Cr.cr0 <- Cr.cr0_pe lor Cr.cr0_pg lor Cr.cr0_wp;
+  cr.Cr.cr4 <- Cr.cr4_pae lor Cr.cr4_smep;
+  cr.Cr.efer <- Cr.efer_lme lor Cr.efer_nx;
+  (mem, cr, tlb)
+
+let access (mem, cr, tlb) ~ring ~kind va = Mmu.access mem cr tlb ~ring ~kind va
+
+let is_ok = function Ok _ -> true | Error _ -> false
+
+let check name expected result =
+  Alcotest.(check bool) name expected (is_ok result)
+
+let test_supervisor_write_wp () =
+  let ((_, cr, _) as s) = setup () in
+  check "supervisor write to RW page" true
+    (access s ~ring:Mmu.Supervisor ~kind:Fault.Write 0x13000);
+  check "supervisor write to RO page blocked by WP" false
+    (access s ~ring:Mmu.Supervisor ~kind:Fault.Write 0x14000);
+  (* Clearing WP is exactly what lets the nested kernel write. *)
+  cr.Cr.cr0 <- cr.Cr.cr0 land lnot Cr.cr0_wp;
+  check "supervisor write to RO page with WP clear" true
+    (access s ~ring:Mmu.Supervisor ~kind:Fault.Write 0x14000)
+
+let test_user_protections () =
+  let s = setup () in
+  check "user read own page" true (access s ~ring:Mmu.User ~kind:Fault.Read 0x10000);
+  check "user write RO page" false
+    (access s ~ring:Mmu.User ~kind:Fault.Write 0x11000);
+  check "user read supervisor page" false
+    (access s ~ring:Mmu.User ~kind:Fault.Read 0x13000);
+  (* WP only governs supervisor writes; user writes to RO always fault. *)
+  let _, cr, _ = s in
+  cr.Cr.cr0 <- cr.Cr.cr0 land lnot Cr.cr0_wp;
+  check "user write RO page even with WP clear" false
+    (access s ~ring:Mmu.User ~kind:Fault.Write 0x11000)
+
+let test_nx () =
+  let ((_, cr, _) as s) = setup () in
+  check "exec of NX page" false (access s ~ring:Mmu.User ~kind:Fault.Exec 0x10000);
+  check "exec of X page" true (access s ~ring:Mmu.User ~kind:Fault.Exec 0x12000);
+  cr.Cr.efer <- cr.Cr.efer land lnot Cr.efer_nx;
+  check "NX ignored when EFER.NX clear" true
+    (access s ~ring:Mmu.User ~kind:Fault.Exec 0x10000)
+
+let test_smep () =
+  let ((_, cr, _) as s) = setup () in
+  check "supervisor exec of user page blocked by SMEP" false
+    (access s ~ring:Mmu.Supervisor ~kind:Fault.Exec 0x12000);
+  cr.Cr.cr4 <- cr.Cr.cr4 land lnot Cr.cr4_smep;
+  check "allowed when SMEP disabled" true
+    (access s ~ring:Mmu.Supervisor ~kind:Fault.Exec 0x12000);
+  check "supervisor exec of kernel RO page" true
+    (access s ~ring:Mmu.Supervisor ~kind:Fault.Exec 0x14000)
+
+let test_not_present () =
+  let s = setup () in
+  match access s ~ring:Mmu.User ~kind:Fault.Read 0x99000 with
+  | Error (Fault.Page_fault { code; _ }) ->
+      Alcotest.(check bool) "not-present bit" false code.Fault.present;
+      Alcotest.(check bool) "user bit" true code.Fault.user
+  | Ok _ | Error _ -> Alcotest.fail "expected a page fault"
+
+let test_fault_code_bits () =
+  let s = setup () in
+  match access s ~ring:Mmu.Supervisor ~kind:Fault.Write 0x14000 with
+  | Error (Fault.Page_fault { code; va }) ->
+      Alcotest.(check bool) "present protection fault" true code.Fault.present;
+      Alcotest.(check bool) "write" true code.Fault.write;
+      Alcotest.(check bool) "supervisor" false code.Fault.user;
+      Alcotest.(check int) "va" 0x14000 va
+  | Ok _ | Error _ -> Alcotest.fail "expected a page fault"
+
+let test_paging_off_identity () =
+  let mem, cr, tlb = setup () in
+  cr.Cr.cr0 <- 0;
+  (match Mmu.access mem cr tlb ~ring:Mmu.Supervisor ~kind:Fault.Write 0x3456 with
+  | Ok { pa; _ } -> Alcotest.(check int) "identity" 0x3456 pa
+  | Error _ -> Alcotest.fail "raw access should succeed");
+  match Mmu.access mem cr tlb ~ring:Mmu.Supervisor ~kind:Fault.Read 0x4000_0000 with
+  | Error (Fault.General_protection _) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "out-of-range physical access"
+
+let test_stale_tlb_bypasses_update () =
+  (* The hazard the nested kernel's shootdown discipline exists for: a
+     downgraded PTE is not enforced until the TLB entry dies. *)
+  let ((mem, cr, tlb) as s) = setup () in
+  check "warm the TLB" true (access s ~ring:Mmu.Supervisor ~kind:Fault.Write 0x13000);
+  (match Page_table.walk mem ~root:(Cr.root_frame cr) 0x13000 with
+  | Page_table.Mapped w ->
+      Page_table.set_entry mem ~ptp:w.Page_table.leaf_ptp
+        ~index:w.Page_table.leaf_index
+        (Pte.make ~frame:43 Pte.kernel_ro)
+  | Page_table.Not_mapped _ -> Alcotest.fail "mapping disappeared");
+  check "stale entry still allows the write" true
+    (access s ~ring:Mmu.Supervisor ~kind:Fault.Write 0x13000);
+  Tlb.flush_page tlb ~vpage:(Addr.vpage 0x13000);
+  check "after shootdown the downgrade holds" false
+    (access s ~ring:Mmu.Supervisor ~kind:Fault.Write 0x13000)
+
+let suite =
+  [
+    Alcotest.test_case "WP on supervisor writes" `Quick test_supervisor_write_wp;
+    Alcotest.test_case "user protections" `Quick test_user_protections;
+    Alcotest.test_case "NX enforcement" `Quick test_nx;
+    Alcotest.test_case "SMEP enforcement" `Quick test_smep;
+    Alcotest.test_case "not-present faults" `Quick test_not_present;
+    Alcotest.test_case "fault code bits" `Quick test_fault_code_bits;
+    Alcotest.test_case "paging off = identity" `Quick test_paging_off_identity;
+    Alcotest.test_case "stale TLB bypasses PTE update" `Quick
+      test_stale_tlb_bypasses_update;
+  ]

@@ -1,0 +1,62 @@
+open Nested_kernel
+
+let b = Bytes.of_string
+
+let test_append_and_order () =
+  let log = Nklog.create () in
+  Nklog.append log ~offset:0 ~old:(b "xx") ~data:(b "ab");
+  Nklog.append log ~offset:2 ~old:(b "yy") ~data:(b "cd");
+  Alcotest.(check int) "length" 2 (Nklog.length log);
+  match Nklog.records log with
+  | [ r0; r1 ] ->
+      Alcotest.(check int) "seq order" 0 r0.Nklog.seq;
+      Alcotest.(check int) "seq order" 1 r1.Nklog.seq
+  | _ -> Alcotest.fail "expected two records"
+
+let test_replay () =
+  let log = Nklog.create () in
+  Nklog.append log ~offset:0 ~old:(b "....") ~data:(b "abcd");
+  Nklog.append log ~offset:2 ~old:(b "cd") ~data:(b "ZW");
+  let initial = Bytes.of_string "...." in
+  Alcotest.(check string) "replay none" "...."
+    (Bytes.to_string (Nklog.replay log ~initial ~upto:0));
+  Alcotest.(check string) "replay one" "abcd"
+    (Bytes.to_string (Nklog.replay log ~initial ~upto:1));
+  Alcotest.(check string) "replay all" "abZW"
+    (Bytes.to_string (Nklog.replay log ~initial ~upto:2))
+
+let test_writes_touching () =
+  let log = Nklog.create () in
+  Nklog.append log ~offset:0 ~old:(b "..") ~data:(b "aa");
+  Nklog.append log ~offset:10 ~old:(b "..") ~data:(b "bb");
+  Alcotest.(check int) "range hit" 1
+    (List.length (Nklog.writes_touching log ~offset:9 ~len:2));
+  Alcotest.(check int) "range miss" 0
+    (List.length (Nklog.writes_touching log ~offset:4 ~len:4))
+
+let prop_replay_equals_sequential =
+  Helpers.qtest "replay equals sequential application"
+    QCheck2.Gen.(
+      list_size (int_range 1 40)
+        (pair (int_range 0 28) (string_size ~gen:printable (int_range 1 4))))
+    (fun writes ->
+      let log = Nklog.create () in
+      let shadow = Bytes.make 32 '.' in
+      List.iter
+        (fun (offset, s) ->
+          let data = Bytes.of_string s in
+          let old = Bytes.sub shadow offset (Bytes.length data) in
+          Nklog.append log ~offset ~old ~data;
+          Bytes.blit data 0 shadow offset (Bytes.length data))
+        writes;
+      Bytes.equal
+        (Nklog.replay log ~initial:(Bytes.make 32 '.') ~upto:(Nklog.length log))
+        shadow)
+
+let suite =
+  [
+    Alcotest.test_case "append and order" `Quick test_append_and_order;
+    Alcotest.test_case "replay prefixes" `Quick test_replay;
+    Alcotest.test_case "writes_touching" `Quick test_writes_touching;
+    prop_replay_equals_sequential;
+  ]

@@ -1,0 +1,102 @@
+open Nested_kernel
+
+let base = 0x1000
+
+let test_alloc_free () =
+  let h = Pheap.create ~base ~size:1024 in
+  let a = Option.get (Pheap.alloc h 100) in
+  Alcotest.(check bool) "in range" true (Pheap.contains h a);
+  Alcotest.(check (option int)) "block size aligned" (Some 104)
+    (Pheap.block_size h a);
+  Alcotest.(check int) "allocated" 104 (Pheap.allocated_bytes h);
+  Pheap.free h a;
+  Alcotest.(check int) "all free again" 1024 (Pheap.free_bytes h)
+
+let test_exhaustion () =
+  let h = Pheap.create ~base ~size:64 in
+  let _ = Option.get (Pheap.alloc h 64) in
+  Alcotest.(check (option int)) "exhausted" None
+    (Option.map (fun _ -> 0) (Pheap.alloc h 1))
+
+let test_no_overlap () =
+  let h = Pheap.create ~base ~size:4096 in
+  let blocks = List.init 16 (fun _ -> Option.get (Pheap.alloc h 100)) in
+  let sorted = List.sort compare blocks in
+  let rec disjoint = function
+    | a :: (b :: _ as rest) -> a + 104 <= b && disjoint rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "blocks disjoint" true (disjoint sorted)
+
+let test_coalescing () =
+  let h = Pheap.create ~base ~size:300 in
+  let a = Option.get (Pheap.alloc h 100) in
+  let b = Option.get (Pheap.alloc h 100) in
+  let c = Option.get (Pheap.alloc h 88) in
+  Alcotest.(check (option int)) "full" None
+    (Option.map (fun _ -> 0) (Pheap.alloc h 8));
+  Pheap.free h a;
+  Pheap.free h b;
+  (* Freed neighbours coalesce into one 208-byte block. *)
+  let big = Pheap.alloc h 200 in
+  Alcotest.(check bool) "coalesced block serves 200 bytes" true (big <> None);
+  Pheap.free h c;
+  Pheap.free h (Option.get big)
+
+let test_bad_free () =
+  let h = Pheap.create ~base ~size:128 in
+  Alcotest.check_raises "free of non-allocation"
+    (Invalid_argument "Pheap.free: not a live allocation") (fun () ->
+      Pheap.free h (base + 8))
+
+let prop_random_alloc_free =
+  Helpers.qtest "random alloc/free keeps accounting exact"
+    QCheck2.Gen.(list_size (int_range 1 80) (int_range 1 120))
+    (fun sizes ->
+      let h = Pheap.create ~base ~size:8192 in
+      let live = ref [] in
+      List.iteri
+        (fun i sz ->
+          if i mod 3 = 2 then (
+            match !live with
+            | (va, _) :: rest ->
+                Pheap.free h va;
+                live := rest
+            | [] -> ())
+          else
+            match Pheap.alloc h sz with
+            | Some va -> live := (va, sz) :: !live
+            | None -> ())
+        sizes;
+      let expected =
+        List.fold_left (fun acc (_, sz) -> acc + ((sz + 7) / 8 * 8)) 0 !live
+      in
+      Pheap.allocated_bytes h = expected
+      && Pheap.free_bytes h = 8192 - expected)
+
+let prop_alloc_disjoint =
+  Helpers.qtest "live blocks never overlap"
+    QCheck2.Gen.(list_size (int_range 2 40) (int_range 1 200))
+    (fun sizes ->
+      let h = Pheap.create ~base ~size:16384 in
+      let blocks =
+        List.filter_map (fun sz -> Option.map (fun va -> (va, sz)) (Pheap.alloc h sz)) sizes
+      in
+      let sorted = List.sort compare blocks in
+      let rec disjoint = function
+        | (a, sa) :: ((b, _) :: _ as rest) ->
+            a + ((sa + 7) / 8 * 8) <= b && disjoint rest
+        | _ -> true
+      in
+      disjoint sorted)
+
+let suite =
+  [
+    Alcotest.test_case "alloc and free" `Quick test_alloc_free;
+    Alcotest.test_case "exhaustion" `Quick test_exhaustion;
+    Alcotest.test_case "no overlap" `Quick test_no_overlap;
+    Alcotest.test_case "coalescing" `Quick test_coalescing;
+    Alcotest.test_case "bad free rejected" `Quick test_bad_free;
+    prop_random_alloc_free;
+    prop_alloc_disjoint;
+  ]

@@ -1,0 +1,79 @@
+open Nkhw
+
+let test_create () =
+  let mem = Phys_mem.create ~frames:4 in
+  Alcotest.(check int) "frames" 4 (Phys_mem.num_frames mem);
+  Alcotest.(check int) "bytes" (4 * 4096) (Phys_mem.size_bytes mem);
+  Alcotest.(check int) "zeroed" 0 (Phys_mem.read_u8 mem 0x2fff)
+
+let test_u8 () =
+  let mem = Phys_mem.create ~frames:2 in
+  Phys_mem.write_u8 mem 100 0xAB;
+  Alcotest.(check int) "read back" 0xAB (Phys_mem.read_u8 mem 100);
+  Phys_mem.write_u8 mem 100 0x1FF;
+  Alcotest.(check int) "truncated to byte" 0xFF (Phys_mem.read_u8 mem 100)
+
+let test_u64 () =
+  let mem = Phys_mem.create ~frames:2 in
+  Phys_mem.write_u64 mem 0x100 0x1122334455667788;
+  Alcotest.(check int) "read back" 0x1122334455667788
+    (Phys_mem.read_u64 mem 0x100);
+  Alcotest.(check int) "little endian low byte" 0x88 (Phys_mem.read_u8 mem 0x100)
+
+let test_u64_straddle () =
+  let mem = Phys_mem.create ~frames:2 in
+  let pa = 4096 - 3 in
+  Phys_mem.write_u64 mem pa 0x0102030405060708;
+  Alcotest.(check int) "straddling read" 0x0102030405060708
+    (Phys_mem.read_u64 mem pa);
+  Alcotest.(check int) "byte in next frame" 0x05 (Phys_mem.read_u8 mem 4096)
+
+let test_bytes_straddle () =
+  let mem = Phys_mem.create ~frames:3 in
+  let data = Bytes.init 6000 (fun i -> Char.chr (i land 0xff)) in
+  Phys_mem.write_bytes mem 3000 data;
+  let back = Phys_mem.read_bytes mem 3000 6000 in
+  Alcotest.(check bytes) "bulk round trip across frames" data back
+
+let test_bounds () =
+  let mem = Phys_mem.create ~frames:1 in
+  Alcotest.check_raises "read oob"
+    (Invalid_argument "Phys_mem: access [0x1000, +1) out of range") (fun () ->
+      ignore (Phys_mem.read_u8 mem 4096))
+
+let test_zero_copy_frame () =
+  let mem = Phys_mem.create ~frames:3 in
+  Phys_mem.write_u64 mem 0x1010 42;
+  Phys_mem.frame_copy mem ~src:1 ~dst:2;
+  Alcotest.(check int) "copied" 42 (Phys_mem.read_u64 mem 0x2010);
+  Phys_mem.zero_frame mem 2;
+  Alcotest.(check int) "zeroed" 0 (Phys_mem.read_u64 mem 0x2010)
+
+let prop_u64_roundtrip =
+  Helpers.qtest "u64 round trip at arbitrary offsets"
+    QCheck2.Gen.(pair (int_range 0 (2 * 4096 - 8)) (int_range 0 max_int))
+    (fun (pa, v) ->
+      let mem = Phys_mem.create ~frames:2 in
+      Phys_mem.write_u64 mem pa v;
+      Phys_mem.read_u64 mem pa = v land max_int)
+
+let prop_bytes_roundtrip =
+  Helpers.qtest "bytes round trip"
+    QCheck2.Gen.(pair (int_range 0 4096) (string_size (int_range 0 5000)))
+    (fun (pa, s) ->
+      let mem = Phys_mem.create ~frames:3 in
+      Phys_mem.write_bytes mem pa (Bytes.of_string s);
+      Bytes.to_string (Phys_mem.read_bytes mem pa (String.length s)) = s)
+
+let suite =
+  [
+    Alcotest.test_case "create" `Quick test_create;
+    Alcotest.test_case "byte access" `Quick test_u8;
+    Alcotest.test_case "word access" `Quick test_u64;
+    Alcotest.test_case "word straddling frames" `Quick test_u64_straddle;
+    Alcotest.test_case "bulk straddling frames" `Quick test_bytes_straddle;
+    Alcotest.test_case "bounds checking" `Quick test_bounds;
+    Alcotest.test_case "zero and copy frames" `Quick test_zero_copy_frame;
+    prop_u64_roundtrip;
+    prop_bytes_roundtrip;
+  ]

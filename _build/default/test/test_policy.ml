@@ -1,0 +1,145 @@
+open Nested_kernel
+
+let no_old n = Bytes.make n '\000'
+
+let mediate (p : Policy.t) ~offset data =
+  p.Policy.mediate ~offset ~old:(no_old (Bytes.length data)) ~data
+
+let commit (p : Policy.t) ~offset data =
+  p.Policy.commit ~offset ~old:(no_old (Bytes.length data)) ~data
+
+let write p ~offset data =
+  match mediate p ~offset data with
+  | Policy.Allow ->
+      commit p ~offset data;
+      true
+  | Policy.Deny _ -> false
+
+let test_unrestricted () =
+  Alcotest.(check bool) "allows" true
+    (write Policy.unrestricted ~offset:5 (Bytes.make 3 'x'))
+
+let test_no_write () =
+  Alcotest.(check bool) "denies" false
+    (write Policy.no_write ~offset:0 (Bytes.make 1 'x'))
+
+let test_write_once_basic () =
+  let p = Policy.write_once (Policy.write_once_state ~size:16) in
+  Alcotest.(check bool) "first write" true (write p ~offset:0 (Bytes.make 8 'a'));
+  Alcotest.(check bool) "rewrite denied" false
+    (write p ~offset:4 (Bytes.make 2 'b'));
+  Alcotest.(check bool) "fresh bytes fine" true
+    (write p ~offset:8 (Bytes.make 8 'c'));
+  Alcotest.(check bool) "out of bitmap" false
+    (write p ~offset:12 (Bytes.make 8 'd'))
+
+let test_write_once_counter () =
+  let st = Policy.write_once_state ~size:16 in
+  let p = Policy.write_once st in
+  ignore (write p ~offset:0 (Bytes.make 5 'x'));
+  Alcotest.(check int) "written counter" 5 (Policy.written_bytes st)
+
+let test_append_only_basic () =
+  let st = Policy.append_state ~size:32 () in
+  let p = Policy.append_only st in
+  Alcotest.(check bool) "append at tail" true
+    (write p ~offset:0 (Bytes.make 8 'a'));
+  Alcotest.(check int) "tail advanced" 8 (Policy.tail st);
+  Alcotest.(check bool) "rewind denied" false
+    (write p ~offset:0 (Bytes.make 4 'b'));
+  Alcotest.(check bool) "gap denied" false
+    (write p ~offset:16 (Bytes.make 4 'b'));
+  Alcotest.(check bool) "next append" true (write p ~offset:8 (Bytes.make 24 'c'));
+  Alcotest.(check bool) "full" false (write p ~offset:32 (Bytes.make 1 'd'));
+  Alcotest.(check int) "remaining" 0 (Policy.remaining st)
+
+let test_append_only_gaps_allowed () =
+  let st = Policy.append_state ~allow_gaps:true ~size:32 () in
+  let p = Policy.append_only st in
+  Alcotest.(check bool) "gap allowed" true
+    (write p ~offset:16 (Bytes.make 4 'a'));
+  Alcotest.(check bool) "but never backwards" false
+    (write p ~offset:8 (Bytes.make 4 'b'))
+
+let test_append_reset () =
+  let st = Policy.append_state ~size:16 () in
+  let p = Policy.append_only st in
+  ignore (write p ~offset:0 (Bytes.make 16 'a'));
+  Policy.reset_append st;
+  Alcotest.(check bool) "writable after flush" true
+    (write p ~offset:0 (Bytes.make 8 'b'))
+
+let test_write_log_records () =
+  let log = Nklog.create () in
+  let p = Policy.write_log log in
+  let old = Bytes.of_string "aaaa" in
+  (match p.Policy.mediate ~offset:4 ~old ~data:(Bytes.of_string "bbbb") with
+  | Policy.Allow -> p.Policy.commit ~offset:4 ~old ~data:(Bytes.of_string "bbbb")
+  | Policy.Deny _ -> Alcotest.fail "write-log must allow");
+  match Nklog.records log with
+  | [ r ] ->
+      Alcotest.(check int) "offset" 4 r.Nklog.offset;
+      Alcotest.(check string) "old" "aaaa" r.Nklog.old;
+      Alcotest.(check string) "new" "bbbb" r.Nklog.data
+  | _ -> Alcotest.fail "expected one record"
+
+let test_both () =
+  let log = Nklog.create () in
+  let st = Policy.append_state ~size:8 () in
+  let p = Policy.both (Policy.append_only st) (Policy.write_log log) in
+  Alcotest.(check bool) "conjunction allows" true
+    (write p ~offset:0 (Bytes.make 4 'x'));
+  Alcotest.(check bool) "conjunction denies" false
+    (write p ~offset:0 (Bytes.make 4 'y'));
+  Alcotest.(check int) "only allowed write logged" 1 (Nklog.length log)
+
+let prop_write_once_no_byte_twice =
+  Helpers.qtest "write-once never lets a byte be written twice"
+    QCheck2.Gen.(list_size (int_range 1 60) (pair (int_range 0 31) (int_range 1 8)))
+    (fun writes ->
+      let p = Policy.write_once (Policy.write_once_state ~size:32) in
+      let written = Array.make 32 false in
+      List.for_all
+        (fun (offset, len) ->
+          let data = Bytes.make len 'x' in
+          let fresh =
+            offset + len <= 32
+            && List.for_all
+                 (fun i -> not written.(offset + i))
+                 (List.init len Fun.id)
+          in
+          let allowed = write p ~offset data in
+          if allowed then
+            for i = offset to offset + len - 1 do
+              written.(i) <- true
+            done;
+          allowed = fresh)
+        writes)
+
+let prop_append_only_contiguous =
+  Helpers.qtest "append-only accepts exactly tail-contiguous writes"
+    QCheck2.Gen.(list_size (int_range 1 60) (pair (int_range 0 63) (int_range 1 8)))
+    (fun writes ->
+      let st = Policy.append_state ~size:64 () in
+      let p = Policy.append_only st in
+      List.for_all
+        (fun (offset, len) ->
+          let tail = Policy.tail st in
+          let should = offset = tail && offset + len <= 64 in
+          write p ~offset (Bytes.make len 'x') = should)
+        writes)
+
+let suite =
+  [
+    Alcotest.test_case "unrestricted" `Quick test_unrestricted;
+    Alcotest.test_case "no-write" `Quick test_no_write;
+    Alcotest.test_case "write-once" `Quick test_write_once_basic;
+    Alcotest.test_case "write-once counter" `Quick test_write_once_counter;
+    Alcotest.test_case "append-only" `Quick test_append_only_basic;
+    Alcotest.test_case "append-only with gaps" `Quick test_append_only_gaps_allowed;
+    Alcotest.test_case "append flush" `Quick test_append_reset;
+    Alcotest.test_case "write-log records" `Quick test_write_log_records;
+    Alcotest.test_case "policy conjunction" `Quick test_both;
+    prop_write_once_no_byte_twice;
+    prop_append_only_contiguous;
+  ]

@@ -1,0 +1,100 @@
+open Nkhw
+open Outer_kernel
+
+let setup () =
+  let k = Helpers.kernel Config.Native in
+  (k.Kernel.machine, k.Kernel.allproc)
+
+let test_boot_has_init () =
+  let _, pl = setup () in
+  Alcotest.(check (list (pair int int))) "init present" [ (1, 0) ]
+    (Proclist.pids pl)
+
+let test_insert_order () =
+  let _, pl = setup () in
+  ignore (Result.get_ok (Proclist.insert pl 2));
+  ignore (Result.get_ok (Proclist.insert pl 3));
+  Alcotest.(check (list int)) "head insertion order" [ 3; 2; 1 ]
+    (List.map fst (Proclist.pids pl))
+
+let test_find () =
+  let _, pl = setup () in
+  let node = Result.get_ok (Proclist.insert pl 7) in
+  Alcotest.(check (option int)) "find" (Some node) (Proclist.find pl 7);
+  Alcotest.(check (option int)) "missing" None (Proclist.find pl 99)
+
+let test_set_state () =
+  let _, pl = setup () in
+  let node = Result.get_ok (Proclist.insert pl 7) in
+  ignore (Proclist.set_state pl ~node 1);
+  Alcotest.(check (option int)) "state visible" (Some 1)
+    (List.assoc_opt 7 (Proclist.pids pl))
+
+let test_remove_middle () =
+  let _, pl = setup () in
+  ignore (Result.get_ok (Proclist.insert pl 2));
+  let n3 = Result.get_ok (Proclist.insert pl 3) in
+  ignore (Result.get_ok (Proclist.insert pl 4));
+  ignore n3;
+  let node2 = Option.get (Proclist.find pl 2) in
+  Helpers.check_ok "remove" (Proclist.remove pl ~node:node2);
+  Alcotest.(check (list int)) "2 gone, links intact" [ 4; 3; 1 ]
+    (List.map fst (Proclist.pids pl))
+
+let test_remove_head () =
+  let _, pl = setup () in
+  ignore (Result.get_ok (Proclist.insert pl 2));
+  let head = Option.get (Proclist.find pl 2) in
+  Helpers.check_ok "remove head" (Proclist.remove pl ~node:head);
+  Alcotest.(check (list int)) "1 remains" [ 1 ] (List.map fst (Proclist.pids pl))
+
+let test_unlink_raw_is_dkom () =
+  (* The rootkit primitive: after unlink_raw the walker misses the
+     process but the node's memory still holds its pid. *)
+  let m, pl = setup () in
+  ignore (Result.get_ok (Proclist.insert pl 66));
+  let node = Option.get (Proclist.find pl 66) in
+  Helpers.check_ok "unlink"
+    (Proclist.unlink_raw m ~head_va:(Proclist.head_va pl) ~node);
+  Alcotest.(check (option int)) "hidden" None (Proclist.find pl 66);
+  Alcotest.(check int) "node memory still holds the pid" 66
+    (Result.get_ok (Machine.kread_u64 m node))
+
+let prop_insert_remove_random =
+  Helpers.qtest ~count:40 "random insert/remove keeps the list consistent"
+    QCheck2.Gen.(list_size (int_range 1 30) (int_range 2 20))
+    (fun pids ->
+      let _, pl = setup () in
+      let live = Hashtbl.create 8 in
+      Hashtbl.replace live 1 ();
+      List.for_all
+        (fun pid ->
+          (if Hashtbl.mem live pid then begin
+             (match Proclist.find pl pid with
+             | Some node -> ignore (Proclist.remove pl ~node)
+             | None -> ());
+             Hashtbl.remove live pid
+           end
+           else begin
+             ignore (Proclist.insert pl pid);
+             Hashtbl.replace live pid ()
+           end);
+          let walked = List.sort compare (List.map fst (Proclist.pids pl)) in
+          let expected =
+            List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) live [])
+          in
+          walked = expected)
+        pids)
+
+let suite =
+  [
+    Alcotest.test_case "boot has init" `Quick test_boot_has_init;
+    Alcotest.test_case "insert order" `Quick test_insert_order;
+    Alcotest.test_case "find" `Quick test_find;
+    Alcotest.test_case "set state" `Quick test_set_state;
+    Alcotest.test_case "remove middle" `Quick test_remove_middle;
+    Alcotest.test_case "remove head" `Quick test_remove_head;
+    Alcotest.test_case "unlink_raw hides but leaves bytes" `Quick
+      test_unlink_raw_is_dkom;
+    prop_insert_remove_random;
+  ]

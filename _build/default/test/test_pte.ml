@@ -1,0 +1,86 @@
+open Nkhw
+
+let test_empty () =
+  Alcotest.(check bool) "empty not present" false (Pte.is_present Pte.empty)
+
+let test_make_accessors () =
+  let pte = Pte.make ~frame:1234 Pte.kernel_rw in
+  Alcotest.(check int) "frame" 1234 (Pte.frame pte);
+  Alcotest.(check bool) "present" true (Pte.is_present pte);
+  Alcotest.(check bool) "writable" true (Pte.is_writable pte);
+  Alcotest.(check bool) "not user" false (Pte.is_user pte);
+  Alcotest.(check bool) "executable" false (Pte.is_nx pte)
+
+let test_flag_presets () =
+  Alcotest.(check bool) "kernel_ro not writable" false
+    (Pte.is_writable (Pte.make ~frame:1 Pte.kernel_ro));
+  Alcotest.(check bool) "kernel_ro_nx nx" true
+    (Pte.is_nx (Pte.make ~frame:1 Pte.kernel_ro_nx));
+  Alcotest.(check bool) "user_rw_nx user" true
+    (Pte.is_user (Pte.make ~frame:1 Pte.user_rw_nx));
+  Alcotest.(check bool) "user_rx executable" false
+    (Pte.is_nx (Pte.make ~frame:1 Pte.user_rx))
+
+let test_setters () =
+  let pte = Pte.make ~frame:7 Pte.kernel_rw in
+  let ro = Pte.set_writable pte false in
+  Alcotest.(check bool) "downgraded" false (Pte.is_writable ro);
+  Alcotest.(check int) "frame preserved" 7 (Pte.frame ro);
+  let nx = Pte.set_nx ro true in
+  Alcotest.(check bool) "nx set" true (Pte.is_nx nx);
+  let gone = Pte.set_present nx false in
+  Alcotest.(check bool) "cleared" false (Pte.is_present gone)
+
+let test_accessed_dirty () =
+  let pte = Pte.make ~frame:7 Pte.kernel_rw in
+  let pte = Pte.set_dirty (Pte.set_accessed pte) in
+  Alcotest.(check bool) "accessed" true (Pte.flags pte).Pte.accessed;
+  Alcotest.(check bool) "dirty" true (Pte.flags pte).Pte.dirty
+
+let gen_flags =
+  QCheck2.Gen.(
+    let* present = bool in
+    let* writable = bool in
+    let* user = bool in
+    let* accessed = bool in
+    let* dirty = bool in
+    let* large = bool in
+    let* global = bool in
+    let* nx = bool in
+    return
+      {
+        Pte.present;
+        writable;
+        user;
+        accessed;
+        dirty;
+        large;
+        global;
+        nx;
+      })
+
+let prop_roundtrip =
+  Helpers.qtest "make/flags/frame round trip"
+    QCheck2.Gen.(pair (int_range 0 0xFFFFFF) gen_flags)
+    (fun (frame, flags) ->
+      let pte = Pte.make ~frame flags in
+      Pte.frame pte = frame && Pte.flags pte = flags)
+
+let prop_with_flags =
+  Helpers.qtest "with_flags replaces only flags"
+    QCheck2.Gen.(triple (int_range 0 0xFFFFFF) gen_flags gen_flags)
+    (fun (frame, f1, f2) ->
+      let pte = Pte.make ~frame f1 in
+      let pte' = Pte.with_flags pte f2 in
+      Pte.frame pte' = frame && Pte.flags pte' = f2)
+
+let suite =
+  [
+    Alcotest.test_case "empty entry" `Quick test_empty;
+    Alcotest.test_case "make and accessors" `Quick test_make_accessors;
+    Alcotest.test_case "flag presets" `Quick test_flag_presets;
+    Alcotest.test_case "setters" `Quick test_setters;
+    Alcotest.test_case "accessed/dirty" `Quick test_accessed_dirty;
+    prop_roundtrip;
+    prop_with_flags;
+  ]

@@ -1,0 +1,77 @@
+open Outer_kernel
+
+let setup () =
+  let _, nk = Helpers.booted_nk () in
+  (nk, Result.get_ok (Shadow_proc.create nk ~capacity:8))
+
+let test_insert_and_pids () =
+  let _, s = setup () in
+  Helpers.check_ok "insert" (Shadow_proc.on_insert s 5 ~node_va:0x1000);
+  Helpers.check_ok "insert" (Shadow_proc.on_insert s 9 ~node_va:0x2000);
+  Alcotest.(check (list int)) "pids" [ 5; 9 ] (List.sort compare (Shadow_proc.pids s));
+  Alcotest.(check int) "count" 2 (Shadow_proc.entry_count s)
+
+let test_remove () =
+  let _, s = setup () in
+  Helpers.check_ok "insert" (Shadow_proc.on_insert s 5 ~node_va:0x1000);
+  Helpers.check_ok "remove" (Shadow_proc.on_remove s 5);
+  Alcotest.(check (list int)) "empty" [] (Shadow_proc.pids s);
+  (match Shadow_proc.on_remove s 5 with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "double remove accepted")
+
+let test_capacity () =
+  let _, s = setup () in
+  for pid = 1 to 8 do
+    Helpers.check_ok "fill" (Shadow_proc.on_insert s pid ~node_va:(pid * 0x1000))
+  done;
+  (match Shadow_proc.on_insert s 9 ~node_va:0x9000 with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "overflow accepted");
+  (* Slots are recycled after removal. *)
+  Helpers.check_ok "remove" (Shadow_proc.on_remove s 3);
+  Helpers.check_ok "slot reused" (Shadow_proc.on_insert s 9 ~node_va:0x9000)
+
+let test_slot_of_pid () =
+  let _, s = setup () in
+  Helpers.check_ok "insert" (Shadow_proc.on_insert s 5 ~node_va:0x1000);
+  Alcotest.(check bool) "slot found" true (Shadow_proc.slot_of_pid s 5 <> None);
+  Alcotest.(check (option int)) "missing pid" None (Shadow_proc.slot_of_pid s 6)
+
+let test_every_update_logged () =
+  let _, s = setup () in
+  Helpers.check_ok "insert" (Shadow_proc.on_insert s 5 ~node_va:0x1000);
+  Helpers.check_ok "remove" (Shadow_proc.on_remove s 5);
+  Alcotest.(check int) "two logged writes" 2
+    (Nested_kernel.Nklog.length (Shadow_proc.log s))
+
+let test_removal_history () =
+  let _, s = setup () in
+  Helpers.check_ok "insert 5" (Shadow_proc.on_insert s 5 ~node_va:0x1000);
+  Helpers.check_ok "insert 7" (Shadow_proc.on_insert s 7 ~node_va:0x2000);
+  Helpers.check_ok "remove 5" (Shadow_proc.on_remove s 5);
+  Helpers.check_ok "remove 7" (Shadow_proc.on_remove s 7);
+  (* Slot reuse must not confuse the forensic replay. *)
+  Helpers.check_ok "insert 11" (Shadow_proc.on_insert s 11 ~node_va:0x3000);
+  Helpers.check_ok "remove 11" (Shadow_proc.on_remove s 11);
+  Alcotest.(check (list int)) "reconstructed removals in order" [ 5; 7; 11 ]
+    (List.map fst (Shadow_proc.removal_history s))
+
+let test_direct_store_fails () =
+  let nk, s = setup () in
+  Helpers.check_ok "insert" (Shadow_proc.on_insert s 5 ~node_va:0x1000);
+  let slot = Option.get (Shadow_proc.slot_of_pid s 5) in
+  Helpers.expect_fault "shadow list is protected memory"
+    (Nkhw.Machine.kwrite_u64 (Nested_kernel.Api.machine nk) slot 0)
+
+let suite =
+  [
+    Alcotest.test_case "insert and pids" `Quick test_insert_and_pids;
+    Alcotest.test_case "remove" `Quick test_remove;
+    Alcotest.test_case "capacity and recycling" `Quick test_capacity;
+    Alcotest.test_case "slot lookup" `Quick test_slot_of_pid;
+    Alcotest.test_case "every update logged" `Quick test_every_update_logged;
+    Alcotest.test_case "removal history with slot reuse" `Quick
+      test_removal_history;
+    Alcotest.test_case "direct stores fault" `Quick test_direct_store_fails;
+  ]

@@ -1,0 +1,147 @@
+open Nkhw
+open Nested_kernel
+
+let setup () =
+  let m, nk = Helpers.booted_nk () in
+  let smp = Smp.create m in
+  (m, nk, smp)
+
+(* Give an application processor a kernel stack (the last outer frames
+   double as per-CPU idle stacks in these tests). *)
+let give_stack m ~id =
+  let top = Phys_mem.num_frames m.Machine.mem - 1 - id in
+  Cpu_state.set m.Machine.cpu Insn.RSP (Addr.kva_of_frame top + Addr.page_size)
+
+let test_bring_up () =
+  let m, _, smp = setup () in
+  Alcotest.(check int) "one cpu at boot" 1 (Smp.cpu_count smp);
+  let ap = Smp.add_cpu smp in
+  Alcotest.(check int) "two cpus" 2 (Smp.cpu_count smp);
+  Alcotest.(check int) "bsp active" 0 (Smp.active smp);
+  Alcotest.(check int) "one peer tlb" 1 (List.length m.Machine.peer_tlbs);
+  Smp.activate smp ap;
+  Alcotest.(check int) "ap active" ap (Smp.active smp);
+  Alcotest.(check bool) "ap inherited paging-on CRs" true
+    (Cr.long_mode_paging m.Machine.cr && Cr.wp_enabled m.Machine.cr)
+
+let test_register_isolation () =
+  let m, _, smp = setup () in
+  let ap = Smp.add_cpu smp in
+  Cpu_state.set m.Machine.cpu Insn.RAX 111;
+  Smp.activate smp ap;
+  Alcotest.(check int) "fresh registers" 0 (Cpu_state.get m.Machine.cpu Insn.RAX);
+  Cpu_state.set m.Machine.cpu Insn.RAX 222;
+  Smp.activate smp 0;
+  Alcotest.(check int) "bsp registers restored" 111
+    (Cpu_state.get m.Machine.cpu Insn.RAX);
+  Smp.activate smp ap;
+  Alcotest.(check int) "ap registers survived parking" 222
+    (Cpu_state.get m.Machine.cpu Insn.RAX)
+
+let test_cr_is_per_cpu () =
+  let m, _, smp = setup () in
+  let ap = Smp.add_cpu smp in
+  (* Clear WP on the AP; the BSP must be unaffected. *)
+  Smp.activate smp ap;
+  m.Machine.cr.Cr.cr0 <- m.Machine.cr.Cr.cr0 land lnot Cr.cr0_wp;
+  Smp.activate smp 0;
+  Alcotest.(check bool) "bsp WP still set" true (Cr.wp_enabled m.Machine.cr);
+  Smp.activate smp ap;
+  Alcotest.(check bool) "ap WP still clear" false (Cr.wp_enabled m.Machine.cr)
+
+let test_i13_cross_cpu_stack_write () =
+  (* The exact attack of section 3.6.3: CPU 1 is inside the nested
+     kernel (its WP clear); CPU 0, running outer-kernel code with WP
+     set, tries to corrupt the nested-kernel stack so CPU 1 returns
+     into attacker-chosen code.  The store must fault. *)
+  let m, nk, smp = setup () in
+  let ap = Smp.add_cpu smp in
+  Smp.activate smp ap;
+  give_stack m ~id:ap;
+  (match Gate.enter m nk.State.gate with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "enter on the AP");
+  Alcotest.(check bool) "AP has WP clear inside the NK" false
+    (Cr.wp_enabled m.Machine.cr);
+  let stack_slot = nk.State.gate.Gate.secure_stack_top - 8 in
+  Smp.with_cpu smp 0 (fun () ->
+      Helpers.expect_fault "CPU 0 cannot touch the NK stack (I13)"
+        (Machine.kwrite_u64 m stack_slot 0x41414141));
+  (* CPU 1 exits unharmed. *)
+  (match Gate.exit_ m nk.State.gate with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "exit on the AP");
+  Alcotest.(check bool) "audit clean" true (Api.audit_ok nk)
+
+let test_shootdown_reaches_parked_cpus () =
+  let m, nk, smp = setup () in
+  let ap = Smp.add_cpu smp in
+  let frame = Api.outer_first_frame nk in
+  let va = Addr.kva_of_frame frame in
+  (* The AP warms a writable translation, then parks. *)
+  Smp.with_cpu smp ap (fun () ->
+      Helpers.check_ok "warm write" (Machine.kwrite_u64 m va 1));
+  (* The BSP asks the nested kernel to protect the page: the
+     downgrade must shoot down the parked AP's TLB too. *)
+  let _ =
+    Result.get_ok
+      (Api.nk_declare nk ~base:va ~size:32 Nested_kernel.Policy.no_write)
+  in
+  Smp.with_cpu smp ap (fun () ->
+      Helpers.expect_fault "no stale entry on the AP"
+        (Machine.kwrite_u64 m va 2))
+
+let test_shootdown_cost_scales_with_cpus () =
+  let m, nk, smp = setup () in
+  ignore (Smp.add_cpu smp);
+  ignore (Smp.add_cpu smp);
+  ignore (Smp.add_cpu smp);
+  let frame = Api.outer_first_frame nk in
+  ignore (Result.get_ok (Api.declare_ptp nk ~level:1 frame));
+  (* A downgrade (unmap) pays one IPI per peer CPU. *)
+  ignore
+    (Result.get_ok
+       (Api.write_pte nk ~va:0x5000 ~ptp:frame ~index:0
+          (Pte.make ~frame:(frame + 1) Pte.user_rw_nx)));
+  let snap = Clock.snapshot m.Machine.clock in
+  ignore
+    (Result.get_ok (Api.write_pte nk ~va:0x5000 ~ptp:frame ~index:0 Pte.empty));
+  let cost = Clock.cycles_since m.Machine.clock snap in
+  Alcotest.(check bool)
+    (Printf.sprintf "3 IPIs charged (got %d cycles)" cost)
+    true
+    (cost >= 3 * m.Machine.costs.Costs.ipi_shootdown)
+
+let test_nk_lock_excludes_second_cpu () =
+  (* Paper 3.10: one nested-kernel stack protected by a lock. *)
+  let m, nk, smp = setup () in
+  let ap = Smp.add_cpu smp in
+  Smp.activate smp ap;
+  give_stack m ~id:ap;
+  (match Gate.enter m nk.State.gate with
+  | Ok () -> nk.State.lock_held <- true
+  | Error _ -> Alcotest.fail "enter");
+  Smp.with_cpu smp 0 (fun () ->
+      match Api.nk_null nk with
+      | Error Nk_error.Reentrant_call -> ()
+      | Ok () | Error _ ->
+          Alcotest.fail "second CPU entered the NK concurrently");
+  nk.State.lock_held <- false;
+  match Gate.exit_ m nk.State.gate with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "exit"
+
+let suite =
+  [
+    Alcotest.test_case "bring-up" `Quick test_bring_up;
+    Alcotest.test_case "register isolation" `Quick test_register_isolation;
+    Alcotest.test_case "CR0 is per-CPU" `Quick test_cr_is_per_cpu;
+    Alcotest.test_case "I13: cross-CPU stack write faults" `Quick
+      test_i13_cross_cpu_stack_write;
+    Alcotest.test_case "shootdowns reach parked CPUs" `Quick
+      test_shootdown_reaches_parked_cpus;
+    Alcotest.test_case "shootdown cost scales" `Quick
+      test_shootdown_cost_scales_with_cpus;
+    Alcotest.test_case "NK stack lock excludes other CPUs" `Quick
+      test_nk_lock_excludes_second_cpu;
+  ]

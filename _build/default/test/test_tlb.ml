@@ -1,0 +1,59 @@
+open Nkhw
+
+let entry ?(writable = true) ?(global = false) frame =
+  { Tlb.frame; writable; user = false; nx = false; global }
+
+let test_miss_then_hit () =
+  let tlb = Tlb.create () in
+  Alcotest.(check (option reject)) "initial miss" None
+    (Option.map ignore (Tlb.lookup tlb ~vpage:5));
+  Tlb.insert tlb ~vpage:5 (entry 42);
+  (match Tlb.lookup tlb ~vpage:5 with
+  | Some e -> Alcotest.(check int) "hit frame" 42 e.Tlb.frame
+  | None -> Alcotest.fail "expected hit");
+  Alcotest.(check int) "hits" 1 (Tlb.hits tlb)
+
+let test_flush_page () =
+  let tlb = Tlb.create () in
+  Tlb.insert tlb ~vpage:1 (entry 10);
+  Tlb.insert tlb ~vpage:2 (entry 20);
+  Tlb.flush_page tlb ~vpage:1;
+  Alcotest.(check bool) "flushed gone" true (Tlb.lookup tlb ~vpage:1 = None);
+  Alcotest.(check bool) "other survives" true (Tlb.lookup tlb ~vpage:2 <> None)
+
+let test_flush_all_keeps_global () =
+  let tlb = Tlb.create () in
+  Tlb.insert tlb ~vpage:1 (entry 10);
+  Tlb.insert tlb ~vpage:2 (entry ~global:true 20);
+  Tlb.flush_all tlb;
+  Alcotest.(check bool) "non-global gone" true (Tlb.lookup tlb ~vpage:1 = None);
+  Alcotest.(check bool) "global kept" true (Tlb.lookup tlb ~vpage:2 <> None)
+
+let test_stale_entry_semantics () =
+  (* The TLB intentionally serves whatever was inserted — staleness is
+     the caller's problem, exactly as on hardware. *)
+  let tlb = Tlb.create () in
+  Tlb.insert tlb ~vpage:9 (entry ~writable:true 1);
+  Tlb.insert tlb ~vpage:9 (entry ~writable:false 1);
+  match Tlb.lookup tlb ~vpage:9 with
+  | Some e -> Alcotest.(check bool) "latest wins" false e.Tlb.writable
+  | None -> Alcotest.fail "entry missing"
+
+let prop_insert_lookup =
+  Helpers.qtest "insert/lookup"
+    QCheck2.Gen.(pair (int_range 0 1_000_000) (int_range 0 10_000))
+    (fun (vpage, frame) ->
+      let tlb = Tlb.create () in
+      Tlb.insert tlb ~vpage (entry frame);
+      match Tlb.lookup tlb ~vpage with
+      | Some e -> e.Tlb.frame = frame
+      | None -> false)
+
+let suite =
+  [
+    Alcotest.test_case "miss then hit" `Quick test_miss_then_hit;
+    Alcotest.test_case "flush page" `Quick test_flush_page;
+    Alcotest.test_case "full flush keeps globals" `Quick test_flush_all_keeps_global;
+    Alcotest.test_case "stale entries served" `Quick test_stale_entry_semantics;
+    prop_insert_lookup;
+  ]

@@ -1,0 +1,83 @@
+open Nkhw
+open Outer_kernel
+
+let setup () =
+  let m = Machine.create ~frames:64 () in
+  (m, Vfs.create m)
+
+let test_open_missing () =
+  let _, fs = setup () in
+  match Vfs.open_ fs "/nope" ~create:false with
+  | Error Ktypes.Enoent -> ()
+  | _ -> Alcotest.fail "expected ENOENT"
+
+let test_create_write_read () =
+  let _, fs = setup () in
+  let h = Result.get_ok (Vfs.open_ fs "/f" ~create:true) in
+  Alcotest.(check (result int Helpers.errno)) "write" (Ok 5)
+    (Vfs.write fs h (Bytes.of_string "hello"));
+  Helpers.check_ok "seek" (Vfs.seek fs h 0);
+  (match Vfs.read_bytes fs h 5 with
+  | Ok b -> Alcotest.(check string) "read" "hello" (Bytes.to_string b)
+  | Error _ -> Alcotest.fail "read");
+  Alcotest.(check (result int Helpers.errno)) "eof" (Ok 0) (Vfs.read fs h 10);
+  Helpers.check_ok "close" (Vfs.close fs h)
+
+let test_sparse_file () =
+  let _, fs = setup () in
+  Vfs.add_sized_file fs "/big" (1 lsl 20);
+  Alcotest.(check (option int)) "size" (Some (1 lsl 20)) (Vfs.file_size fs "/big");
+  let h = Result.get_ok (Vfs.open_ fs "/big" ~create:false) in
+  Alcotest.(check (result int Helpers.errno)) "read chunk" (Ok 8192)
+    (Vfs.read fs h 8192);
+  Alcotest.(check (result int Helpers.errno)) "next chunk advances" (Ok 8192)
+    (Vfs.read fs h 8192)
+
+let test_costs_charged () =
+  let m, fs = setup () in
+  let before = Clock.cycles m.Machine.clock in
+  let h = Result.get_ok (Vfs.open_ fs "/f" ~create:true) in
+  ignore (Vfs.write fs h (Bytes.make 8192 'x'));
+  Alcotest.(check bool) "lookup + copy costs accumulated" true
+    (Clock.cycles m.Machine.clock - before > 1000)
+
+let test_unlink () =
+  let _, fs = setup () in
+  ignore (Vfs.open_ fs "/f" ~create:true);
+  Helpers.check_ok "unlink" (Vfs.unlink fs "/f");
+  Alcotest.(check bool) "gone" false (Vfs.exists fs "/f");
+  match Vfs.unlink fs "/f" with
+  | Error Ktypes.Enoent -> ()
+  | _ -> Alcotest.fail "double unlink"
+
+let test_stale_handle () =
+  let _, fs = setup () in
+  let h = Result.get_ok (Vfs.open_ fs "/f" ~create:true) in
+  Helpers.check_ok "close" (Vfs.close fs h);
+  match Vfs.read fs h 1 with
+  | Error Ktypes.Ebadf -> ()
+  | _ -> Alcotest.fail "expected EBADF"
+
+let prop_write_read_roundtrip =
+  Helpers.qtest ~count:60 "positioned writes read back"
+    QCheck2.Gen.(list_size (int_range 1 10) (string_size ~gen:printable (int_range 1 64)))
+    (fun chunks ->
+      let _, fs = setup () in
+      let h = Result.get_ok (Vfs.open_ fs "/f" ~create:true) in
+      List.iter (fun s -> ignore (Vfs.write fs h (Bytes.of_string s))) chunks;
+      ignore (Vfs.seek fs h 0);
+      let expected = String.concat "" chunks in
+      match Vfs.read_bytes fs h (String.length expected) with
+      | Ok b -> Bytes.to_string b = expected
+      | Error _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "open missing" `Quick test_open_missing;
+    Alcotest.test_case "create/write/read" `Quick test_create_write_read;
+    Alcotest.test_case "sparse files" `Quick test_sparse_file;
+    Alcotest.test_case "costs charged" `Quick test_costs_charged;
+    Alcotest.test_case "unlink" `Quick test_unlink;
+    Alcotest.test_case "stale handle" `Quick test_stale_handle;
+    prop_write_read_roundtrip;
+  ]

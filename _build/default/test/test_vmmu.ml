@@ -1,0 +1,258 @@
+open Nkhw
+open Nested_kernel
+
+let setup () =
+  let m, nk = Helpers.booted_nk () in
+  (m, nk, Api.outer_first_frame nk)
+
+let declare_ok nk ~level f = Helpers.check_ok "declare" (Api.declare_ptp nk ~level f)
+
+let test_declare_and_write () =
+  let m, nk, f0 = setup () in
+  declare_ok nk ~level:1 f0;
+  Helpers.check_ok "write_pte"
+    (Api.write_pte nk ~ptp:f0 ~index:0 (Pte.make ~frame:(f0 + 1) Pte.user_rw_nx));
+  let e = Page_table.get_entry m.Machine.mem ~ptp:f0 ~index:0 in
+  Alcotest.(check int) "entry installed" (f0 + 1) (Pte.frame e);
+  Alcotest.(check bool) "audit clean" true (Api.audit_ok nk)
+
+let test_declare_zeroes () =
+  let m, nk, f0 = setup () in
+  Phys_mem.write_u64 m.Machine.mem (Addr.pa_of_frame f0) 0xDEAD;
+  declare_ok nk ~level:1 f0;
+  Alcotest.(check int) "stale data gone" 0
+    (Phys_mem.read_u64 m.Machine.mem (Addr.pa_of_frame f0))
+
+let test_declare_write_protects_dmap () =
+  let m, nk, f0 = setup () in
+  Helpers.check_ok "write to plain frame"
+    (Machine.kwrite_u64 m (Addr.kva_of_frame f0) 1);
+  declare_ok nk ~level:1 f0;
+  Helpers.expect_fault "direct store to declared PTP"
+    (Machine.kwrite_u64 m (Addr.kva_of_frame f0) 2)
+
+let test_declare_rejections () =
+  let _, nk, f0 = setup () in
+  declare_ok nk ~level:1 f0;
+  Helpers.expect_error "already declared" (Api.declare_ptp nk ~level:1 f0);
+  Helpers.expect_error "nk-owned frame" (Api.declare_ptp nk ~level:1 2);
+  Helpers.expect_error "bad level" (Api.declare_ptp nk ~level:5 (f0 + 1));
+  Helpers.expect_error "out of range"
+    (Api.declare_ptp nk ~level:1 100_000_000)
+
+let test_write_pte_rejections () =
+  let _, nk, f0 = setup () in
+  declare_ok nk ~level:2 f0;
+  declare_ok nk ~level:1 (f0 + 1);
+  Helpers.expect_error "target not a PTP"
+    (Api.write_pte nk ~ptp:(f0 + 5) ~index:0 Pte.empty);
+  (* Non-leaf entry in a level-2 table must link a level-1 PTP. *)
+  Helpers.expect_error "link to plain data"
+    (Api.write_pte nk ~ptp:f0 ~index:0 (Pte.make ~frame:(f0 + 9) Pte.kernel_rw));
+  Helpers.check_ok "link to declared level-1"
+    (Api.write_pte nk ~ptp:f0 ~index:0 (Pte.make ~frame:(f0 + 1) Pte.kernel_rw));
+  (* Wrong level: a level-2 PTP linked from a level-2 table. *)
+  declare_ok nk ~level:2 (f0 + 2);
+  Helpers.expect_error "wrong level link"
+    (Api.write_pte nk ~ptp:f0 ~index:1 (Pte.make ~frame:(f0 + 2) Pte.kernel_rw))
+
+let test_mapping_of_ptp_downgraded () =
+  let m, nk, f0 = setup () in
+  declare_ok nk ~level:1 f0;
+  declare_ok nk ~level:1 (f0 + 1);
+  (* Try to map PTP (f0+1) writable through PT f0: forced read-only. *)
+  Helpers.check_ok "write accepted"
+    (Api.write_pte nk ~ptp:f0 ~index:7
+       (Pte.make ~frame:(f0 + 1) Pte.user_rw_nx));
+  let e = Page_table.get_entry m.Machine.mem ~ptp:f0 ~index:7 in
+  Alcotest.(check bool) "silently downgraded to RO (I5)" false (Pte.is_writable e);
+  Alcotest.(check bool) "audit still clean" true (Api.audit_ok nk)
+
+let test_mapping_of_nk_memory_downgraded () =
+  let m, nk, f0 = setup () in
+  declare_ok nk ~level:1 f0;
+  (* Frame 3 is nested-kernel stack memory. *)
+  Helpers.check_ok "write accepted"
+    (Api.write_pte nk ~ptp:f0 ~index:8 (Pte.make ~frame:3 Pte.user_rw_nx));
+  let e = Page_table.get_entry m.Machine.mem ~ptp:f0 ~index:8 in
+  Alcotest.(check bool) "forced RO" false (Pte.is_writable e);
+  Alcotest.(check bool) "forced NX" true (Pte.is_nx e)
+
+let test_data_mapping_forced_nx () =
+  let m, nk, f0 = setup () in
+  declare_ok nk ~level:1 f0;
+  (* Supervisor data mapping loses executability (code integrity). *)
+  Helpers.check_ok "write accepted"
+    (Api.write_pte nk ~ptp:f0 ~index:9
+       (Pte.make ~frame:(f0 + 3) Pte.kernel_rw));
+  let e = Page_table.get_entry m.Machine.mem ~ptp:f0 ~index:9 in
+  Alcotest.(check bool) "NX forced on data" true (Pte.is_nx e)
+
+let test_clear_entry_and_remove () =
+  let _, nk, f0 = setup () in
+  declare_ok nk ~level:1 f0;
+  Helpers.check_ok "map"
+    (Api.write_pte nk ~ptp:f0 ~index:0 (Pte.make ~frame:(f0 + 1) Pte.user_rw_nx));
+  Helpers.expect_error "remove while entries present" (Api.remove_ptp nk f0);
+  Helpers.check_ok "clear" (Api.write_pte nk ~ptp:f0 ~index:0 Pte.empty);
+  Helpers.check_ok "remove" (Api.remove_ptp nk f0)
+
+let test_remove_restores_write_access () =
+  let m, nk, f0 = setup () in
+  declare_ok nk ~level:1 f0;
+  Helpers.check_ok "remove" (Api.remove_ptp nk f0);
+  Helpers.check_ok "frame writable again"
+    (Machine.kwrite_u64 m (Addr.kva_of_frame f0) 0xAB);
+  Alcotest.(check bool) "no longer IOMMU-protected" false
+    (Iommu.is_protected m.Machine.iommu f0)
+
+let test_remove_linked_ptp_rejected () =
+  let _, nk, f0 = setup () in
+  declare_ok nk ~level:2 f0;
+  declare_ok nk ~level:1 (f0 + 1);
+  Helpers.check_ok "link"
+    (Api.write_pte nk ~ptp:f0 ~index:0 (Pte.make ~frame:(f0 + 1) Pte.kernel_rw));
+  Helpers.expect_error "remove linked child" (Api.remove_ptp nk (f0 + 1));
+  Helpers.expect_error "remove active root"
+    (Api.remove_ptp nk (Cr.root_frame (Api.machine nk).Machine.cr))
+
+let test_load_cr3 () =
+  let m, nk, f0 = setup () in
+  let old_root = Cr.root_frame m.Machine.cr in
+  declare_ok nk ~level:4 f0;
+  (* Keep the kernel half alive in the new root. *)
+  for index = 256 to 511 do
+    let e = Page_table.get_entry m.Machine.mem ~ptp:old_root ~index in
+    if Pte.is_present e then
+      Helpers.check_ok "copy kernel link" (Api.write_pte nk ~ptp:f0 ~index e)
+  done;
+  Helpers.check_ok "load declared PML4" (Api.load_cr3 nk f0);
+  Alcotest.(check int) "CR3 switched" f0 (Cr.root_frame m.Machine.cr);
+  Helpers.expect_error "undeclared PML4 rejected (I6)"
+    (Api.load_cr3 nk (f0 + 1));
+  declare_ok nk ~level:1 (f0 + 1);
+  Helpers.expect_error "wrong-level PTP rejected" (Api.load_cr3 nk (f0 + 1));
+  Alcotest.(check bool) "audit clean on new root" true (Api.audit_ok nk)
+
+let test_control_register_policies () =
+  let m, nk, _ = setup () in
+  let cr0 = m.Machine.cr.Cr.cr0 in
+  Helpers.expect_error "CR0 without WP (I8)"
+    (Api.load_cr0 nk (cr0 land lnot Cr.cr0_wp));
+  Helpers.expect_error "CR0 without PG (I7)"
+    (Api.load_cr0 nk (cr0 land lnot Cr.cr0_pg));
+  Helpers.check_ok "benign CR0" (Api.load_cr0 nk cr0);
+  let cr4 = m.Machine.cr.Cr.cr4 in
+  Helpers.expect_error "CR4 without SMEP"
+    (Api.load_cr4 nk (cr4 land lnot Cr.cr4_smep));
+  Helpers.check_ok "benign CR4" (Api.load_cr4 nk cr4);
+  let efer = m.Machine.cr.Cr.efer in
+  Helpers.expect_error "EFER without NX"
+    (Api.load_efer nk (efer land lnot Cr.efer_nx));
+  Helpers.expect_error "EFER without LME"
+    (Api.load_efer nk (efer land lnot Cr.efer_lme));
+  Helpers.check_ok "benign EFER" (Api.load_efer nk efer)
+
+let test_batch_one_crossing () =
+  let m, nk, f0 = setup () in
+  declare_ok nk ~level:1 f0;
+  let updates =
+    List.init 16 (fun i ->
+        (f0, i, Pte.make ~frame:(f0 + 1 + i) Pte.user_rw_nx, None))
+  in
+  let snap = Clock.snapshot m.Machine.clock in
+  Helpers.check_ok "batch" (Api.write_pte_batch nk updates);
+  Alcotest.(check int) "one gate crossing" 1
+    (Clock.counter_since m.Machine.clock snap "nk_enter");
+  Alcotest.(check int) "all entries written" 16
+    (Clock.counter_since m.Machine.clock snap "pte_write");
+  Alcotest.(check bool) "audit clean" true (Api.audit_ok nk)
+
+let test_batch_validates_each () =
+  let _, nk, f0 = setup () in
+  declare_ok nk ~level:2 f0;
+  Helpers.expect_error "second update invalid"
+    (Api.write_pte_batch nk
+       [
+         (f0, 0, Pte.empty, None);
+         (f0, 1, Pte.make ~frame:(f0 + 9) Pte.kernel_rw, None);
+       ])
+
+let test_large_page_span_validated () =
+  (* A 2 MiB leaf covers 512 frames; if any of them is protected the
+     whole mapping is forced read-only. *)
+  let m, nk, f0 = setup () in
+  declare_ok nk ~level:2 f0;
+  (* Frame 0 starts a span that covers the whole nested kernel. *)
+  Helpers.check_ok "large mapping accepted"
+    (Api.write_pte nk ~ptp:f0 ~index:0
+       (Pte.make ~frame:0 { Pte.user_rw_nx with large = true }));
+  let e = Page_table.get_entry m.Machine.mem ~ptp:f0 ~index:0 in
+  Alcotest.(check bool) "forced read-only across the span" false
+    (Pte.is_writable e);
+  Alcotest.(check bool) "audit clean" true (Api.audit_ok nk);
+  (* A large page over plain outer memory stays writable. *)
+  let plain = ((f0 + 511) / 512 * 512) + 512 in
+  if Phys_mem.valid_frame m.Machine.mem (plain + 511) then begin
+    Helpers.check_ok "plain large mapping"
+      (Api.write_pte nk ~ptp:f0 ~index:1
+         (Pte.make ~frame:plain { Pte.user_rw_nx with large = true }));
+    let e = Page_table.get_entry m.Machine.mem ~ptp:f0 ~index:1 in
+    Alcotest.(check bool) "still writable" true (Pte.is_writable e)
+  end
+
+let test_reentrancy_lock () =
+  let _, nk, _ = setup () in
+  nk.State.lock_held <- true;
+  (match Api.nk_null nk with
+  | Error Nk_error.Reentrant_call -> ()
+  | Ok () | Error _ -> Alcotest.fail "expected Reentrant_call");
+  nk.State.lock_held <- false;
+  Helpers.check_ok "recovered" (Api.nk_null nk)
+
+let test_tlb_shootdown_on_downgrade () =
+  let m, nk, f0 = setup () in
+  declare_ok nk ~level:1 f0;
+  let data = f0 + 1 in
+  let va = 0x7000 in
+  Helpers.check_ok "map rw"
+    (Api.write_pte nk ~va ~ptp:f0 ~index:7 (Pte.make ~frame:data Pte.user_rw_nx));
+  (* Warm a TLB entry through a user-style walk of this PT; simulate by
+     inserting what the MMU would cache. *)
+  Tlb.insert m.Machine.tlb ~vpage:(Addr.vpage va)
+    { Tlb.frame = data; writable = true; user = true; nx = true; global = false };
+  Helpers.check_ok "downgrade to ro"
+    (Api.write_pte nk ~va ~ptp:f0 ~index:7 (Pte.make ~frame:data Pte.user_ro_nx));
+  Alcotest.(check bool) "stale entry shot down" true
+    (Tlb.lookup m.Machine.tlb ~vpage:(Addr.vpage va) = None)
+
+let suite =
+  [
+    Alcotest.test_case "declare and write" `Quick test_declare_and_write;
+    Alcotest.test_case "declare zeroes the page" `Quick test_declare_zeroes;
+    Alcotest.test_case "declare write-protects the direct map" `Quick
+      test_declare_write_protects_dmap;
+    Alcotest.test_case "declare rejections" `Quick test_declare_rejections;
+    Alcotest.test_case "write_pte rejections (I4)" `Quick test_write_pte_rejections;
+    Alcotest.test_case "PTP mappings forced RO (I5)" `Quick
+      test_mapping_of_ptp_downgraded;
+    Alcotest.test_case "NK memory mappings forced RO" `Quick
+      test_mapping_of_nk_memory_downgraded;
+    Alcotest.test_case "data mappings forced NX" `Quick test_data_mapping_forced_nx;
+    Alcotest.test_case "clear then remove PTP" `Quick test_clear_entry_and_remove;
+    Alcotest.test_case "remove restores write access" `Quick
+      test_remove_restores_write_access;
+    Alcotest.test_case "remove of linked/active PTP rejected" `Quick
+      test_remove_linked_ptp_rejected;
+    Alcotest.test_case "load_cr3 validation (I6)" `Quick test_load_cr3;
+    Alcotest.test_case "control-register policies (I7/I8)" `Quick
+      test_control_register_policies;
+    Alcotest.test_case "batch under one crossing" `Quick test_batch_one_crossing;
+    Alcotest.test_case "batch validates every entry" `Quick
+      test_batch_validates_each;
+    Alcotest.test_case "large-page span validation (I5)" `Quick
+      test_large_page_span_validated;
+    Alcotest.test_case "reentrancy lock" `Quick test_reentrancy_lock;
+    Alcotest.test_case "TLB shootdown on downgrade" `Quick
+      test_tlb_shootdown_on_downgrade;
+  ]

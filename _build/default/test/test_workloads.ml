@@ -1,0 +1,161 @@
+open Outer_kernel
+open Nk_workloads
+
+(* Shape tests: the reproduction's job is to match who wins and by
+   roughly what factor, so the assertions are tolerance bands around
+   the paper's reported values. *)
+
+let within name ~tolerance expected actual =
+  if abs_float (actual -. expected) > tolerance then
+    Alcotest.failf "%s: expected %.3f +/- %.3f, got %.3f" name expected
+      tolerance actual
+
+let test_table3 () =
+  let r = Boundary.run ~iterations:5000 () in
+  within "nk call us" ~tolerance:0.005 Boundary.paper.Boundary.nk_call_us
+    r.Boundary.nk_call_us;
+  within "syscall us" ~tolerance:0.005 Boundary.paper.Boundary.syscall_us
+    r.Boundary.syscall_us;
+  within "vmcall us" ~tolerance:0.01 Boundary.paper.Boundary.vmcall_us
+    r.Boundary.vmcall_us;
+  within "vmcall/nk ratio" ~tolerance:0.2 3.69
+    (r.Boundary.vmcall_us /. r.Boundary.nk_call_us)
+
+let find_bench name =
+  List.find (fun (b : Lmbench.bench) -> b.Lmbench.name = name) Lmbench.benches
+
+let rel config bench_name =
+  let b = find_bench bench_name in
+  let native = Lmbench.measure ~iterations:20 Config.Native ~batched:false b in
+  let sys = Lmbench.measure ~iterations:20 config ~batched:false b in
+  sys /. native
+
+let test_figure4_mmap_fork_heavy () =
+  let mmap = rel Config.Perspicuos "mmap" in
+  Alcotest.(check bool)
+    (Printf.sprintf "mmap in the paper's 2.5-3x band (got %.2f)" mmap)
+    true
+    (mmap > 2.2 && mmap < 3.3);
+  let fork = rel Config.Perspicuos "fork + exit" in
+  Alcotest.(check bool)
+    (Printf.sprintf "fork+exit in band (got %.2f)" fork)
+    true
+    (fork > 2.1 && fork < 3.2)
+
+let test_figure4_cheap_paths () =
+  let null = rel Config.Perspicuos "null syscall" in
+  Alcotest.(check bool)
+    (Printf.sprintf "null syscall near 1x (got %.2f)" null)
+    true (null < 1.15);
+  let sig_install = rel Config.Perspicuos "signal handler install" in
+  Alcotest.(check bool) "signal install near 1x" true (sig_install < 1.15)
+
+let test_figure4_append_only_null_worst () =
+  let base = rel Config.Perspicuos "null syscall" in
+  let append = rel Config.Append_only "null syscall" in
+  Alcotest.(check bool)
+    (Printf.sprintf "append-only null syscall is its worst case (%.2f)" append)
+    true
+    (append > 2.5 && append > base +. 1.0)
+
+let test_figure4_policy_configs_match_base () =
+  (* Paper: write-once and write-log incur the same overheads as base
+     PerspicuOS on the microbenchmarks. *)
+  List.iter
+    (fun bench_name ->
+      let base = rel Config.Perspicuos bench_name in
+      let wo = rel Config.Write_once bench_name in
+      within (bench_name ^ ": write-once tracks base") ~tolerance:0.15 base wo)
+    [ "null syscall"; "mmap" ]
+
+let test_figure5_shape () =
+  let points = Sshd.run ~transfers:3 () in
+  let rel_at size =
+    let p = List.find (fun p -> p.Sshd.size_kb = size) points in
+    List.assoc Config.Perspicuos p.Sshd.relative
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "1KB shows the worst reduction (%.2f)" (rel_at 1))
+    true
+    (rel_at 1 < 0.9);
+  Alcotest.(check bool) "64KB within 5%" true (rel_at 64 > 0.95);
+  Alcotest.(check bool) "16MB within 1%" true (rel_at 16384 > 0.99);
+  Alcotest.(check bool) "monotone recovery with size" true
+    (rel_at 1 <= rel_at 16 && rel_at 16 <= rel_at 1024)
+
+let test_figure6_negligible () =
+  let points = Apache.run ~requests:24 () in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun (c, r) ->
+          if r < 0.98 then
+            Alcotest.failf "apache %s at %dKB dropped to %.3f" (Config.name c)
+              p.Apache.size_kb r)
+        p.Apache.relative)
+    points
+
+let test_table4_band () =
+  let results = Kbuild.run ~units:8 () in
+  let overhead c =
+    (List.find (fun r -> r.Kbuild.config = c) results).Kbuild.overhead_pct
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "perspicuos near 2.6%% (got %.2f)" (overhead Config.Perspicuos))
+    true
+    (overhead Config.Perspicuos > 1.5 && overhead Config.Perspicuos < 4.5);
+  Alcotest.(check bool) "append-only slightly higher" true
+    (overhead Config.Append_only > overhead Config.Perspicuos)
+
+let test_batching_ablation () =
+  List.iter
+    (fun bench_name ->
+      let b = find_bench bench_name in
+      let native = Lmbench.measure ~iterations:20 Config.Native ~batched:false b in
+      let un = Lmbench.measure ~iterations:20 Config.Perspicuos ~batched:false b in
+      let ba = Lmbench.measure ~iterations:20 Config.Perspicuos ~batched:true b in
+      let cut = (un -. ba) /. (un -. native) *. 100. in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s overhead cut >60%% (got %.0f%%)" bench_name cut)
+        true (cut > 60.))
+    [ "mmap"; "fork + exit" ]
+
+let test_scanner_experiment_counts () =
+  let program = Binary_gen.paper_kernel () in
+  let s =
+    Nested_kernel.Scanner.summarize
+      (Nested_kernel.Scanner.scan (Nkhw.Insn.assemble program))
+  in
+  Alcotest.(check int) "2 implicit cr0" 2 s.Nested_kernel.Scanner.implicit_cr0;
+  Alcotest.(check int) "38 implicit wrmsr" 38
+    s.Nested_kernel.Scanner.implicit_wrmsr;
+  Alcotest.(check int) "0 explicit" 0 s.Nested_kernel.Scanner.explicit_count
+
+let test_boundary_determinism () =
+  let a = Boundary.run ~iterations:2000 () in
+  let b = Boundary.run ~iterations:2000 () in
+  Alcotest.(check bool) "simulated clock is deterministic" true
+    (a.Boundary.nk_call_us = b.Boundary.nk_call_us
+    && a.Boundary.syscall_us = b.Boundary.syscall_us)
+
+let suite =
+  [
+    Alcotest.test_case "Table 3 values" `Quick test_table3;
+    Alcotest.test_case "Figure 4: vMMU-heavy band" `Slow
+      test_figure4_mmap_fork_heavy;
+    Alcotest.test_case "Figure 4: cheap paths near 1x" `Quick
+      test_figure4_cheap_paths;
+    Alcotest.test_case "Figure 4: append-only worst on null syscall" `Quick
+      test_figure4_append_only_null_worst;
+    Alcotest.test_case "Figure 4: policies track base" `Slow
+      test_figure4_policy_configs_match_base;
+    Alcotest.test_case "Figure 5 shape" `Slow test_figure5_shape;
+    Alcotest.test_case "Figure 6 negligible" `Slow test_figure6_negligible;
+    Alcotest.test_case "Table 4 band" `Slow test_table4_band;
+    Alcotest.test_case "Section 5.4 batching ablation" `Slow
+      test_batching_ablation;
+    Alcotest.test_case "Section 5.2 scan counts" `Quick
+      test_scanner_experiment_counts;
+    Alcotest.test_case "deterministic measurements" `Quick
+      test_boundary_determinism;
+  ]
