@@ -13,6 +13,23 @@ open Outer_kernel
 
 let section title = Printf.printf "\n#### %s ####\n" title
 
+(* --- machine-readable output (--json) ----------------------------- *)
+
+let json_fields : (string * string) list ref = ref []
+let json_add key value = json_fields := (key, value) :: !json_fields
+
+let json_obj kvs =
+  "{"
+  ^ String.concat ", "
+      (List.map (fun (k, v) -> Printf.sprintf "%S: %s" k v) kvs)
+  ^ "}"
+
+let write_json path =
+  let oc = open_out path in
+  output_string oc (json_obj (List.rev !json_fields));
+  output_char oc '\n';
+  close_out oc
+
 (* --- E1: section 5.1, TCB and porting effort ---------------------- *)
 
 let count_lines path =
@@ -133,7 +150,15 @@ let table_scan () =
 
 let table_3 () =
   section "Table 3: privilege boundary crossing costs";
-  Stats.print (Boundary.to_table (Boundary.run ()))
+  let r = Boundary.run () in
+  json_add "table3_us"
+    (json_obj
+       [
+         ("nk_call", Printf.sprintf "%.4f" r.Boundary.nk_call_us);
+         ("syscall", Printf.sprintf "%.4f" r.Boundary.syscall_us);
+         ("vmcall", Printf.sprintf "%.4f" r.Boundary.vmcall_us);
+       ]);
+  Stats.print (Boundary.to_table r)
 
 let figure_4 () =
   section "Figure 4: LMBench microbenchmarks";
@@ -305,8 +330,9 @@ let ablation_granularity () =
 
 let extra_ctx_switch () =
   section "Extra: context-switch latency (not in the paper's figures)";
-  let measure config =
-    let k = Os.boot config in
+  let n = 100 in
+  let measure ~pcid config =
+    let k = Os.boot ~pcid config in
     let p = Kernel.current_proc k in
     let sched = Sched.create k in
     (match Syscalls.fork k p with
@@ -314,29 +340,72 @@ let extra_ctx_switch () =
     | Error _ -> ());
     ignore (Sched.yield sched);
     ignore (Sched.yield sched);
-    let n = 100 in
-    let snap = Nkhw.Clock.snapshot k.Kernel.machine.Nkhw.Machine.clock in
+    let clock = k.Kernel.machine.Nkhw.Machine.clock in
+    let snap = Nkhw.Clock.snapshot clock in
     for _ = 1 to n do
       ignore (Sched.yield sched)
     done;
-    Nkhw.Costs.cycles_to_us
-      (Nkhw.Clock.cycles_since k.Kernel.machine.Nkhw.Machine.clock snap)
-    /. float_of_int n
+    let cycles = Nkhw.Clock.cycles_since clock snap in
+    let us = Nkhw.Costs.cycles_to_us cycles /. float_of_int n in
+    let full = Nkhw.Clock.counter_since clock snap "tlb_flush_full" in
+    let asid = Nkhw.Clock.counter_since clock snap "tlb_flush_asid" in
+    (us, cycles / n, full, asid)
   in
-  let native = measure Config.Native in
+  let rows =
+    List.concat_map
+      (fun c ->
+        [ (Config.name c, measure ~pcid:true c, true) ]
+        @
+        (* PCID ablation: the no-tag baseline for the two headline
+           systems, every switch paying the full flush. *)
+        if c = Config.Native || c = Config.Perspicuos then
+          [ (Config.name c ^ " (no PCID)", measure ~pcid:false c, false) ]
+        else [])
+      Config.all
+  in
+  let native_us =
+    match List.find_opt (fun (name, _, _) -> name = "native") rows with
+    | Some (_, (us, _, _, _), _) -> us
+    | None -> 1.0
+  in
+  json_add "ctx_switch"
+    (json_obj
+       (List.map
+          (fun (name, (us, cyc, full, asid), pcid) ->
+            ( name,
+              json_obj
+                [
+                  ("us_per_switch", Printf.sprintf "%.4f" us);
+                  ("cycles_per_switch", string_of_int cyc);
+                  ("tlb_flush_full", string_of_int full);
+                  ("tlb_flush_asid", string_of_int asid);
+                  ("switches", string_of_int n);
+                  ("pcid", string_of_bool pcid);
+                ] ))
+          rows));
   Stats.print
     {
       Stats.title = "2-process ping-pong context switch (us per switch)";
-      columns = [ "system"; "us/switch"; "relative" ];
+      columns =
+        [
+          "system"; "us/switch"; "relative"; "full flushes"; "ASID flushes";
+        ];
       rows =
         List.map
-          (fun c ->
-            let us = if c = Config.Native then native else measure c in
-            [ Config.name c; Printf.sprintf "%.3f" us; Stats.f2 (us /. native) ])
-          Config.all;
+          (fun (name, (us, _, full, asid), _) ->
+            [
+              name;
+              Printf.sprintf "%.3f" us;
+              Stats.f2 (us /. native_us);
+              Printf.sprintf "%d/%d" full n;
+              Printf.sprintf "%d/%d" asid n;
+            ])
+          rows;
       notes =
         [
           "every mediated switch pays a gate crossing plus the hidden CR3-code page map/unmap (section 3.7)";
+          "with PCID the clean-pair switch skips the full TLB flush; the \
+           no-PCID rows are the ablation baseline";
         ];
     }
 
@@ -456,11 +525,22 @@ let bechamel () =
   in
   let results = Analyze.all ols Instance.monotonic_clock raw in
   let names = Hashtbl.fold (fun k _ acc -> k :: acc) results [] in
+  let estimates =
+    List.filter_map
+      (fun name ->
+        match Analyze.OLS.estimates (Hashtbl.find results name) with
+        | Some (est :: _) -> Some (name, est)
+        | Some [] | None -> None)
+      (List.sort compare names)
+  in
+  json_add "bechamel_ns_per_run"
+    (json_obj
+       (List.map (fun (n, est) -> (n, Printf.sprintf "%.0f" est)) estimates));
   List.iter
     (fun name ->
-      match Analyze.OLS.estimates (Hashtbl.find results name) with
-      | Some (est :: _) -> Printf.printf "  %-45s %12.0f ns/run\n" name est
-      | Some [] | None -> Printf.printf "  %-45s (no estimate)\n" name)
+      match List.assoc_opt name estimates with
+      | Some est -> Printf.printf "  %-45s %12.0f ns/run\n" name est
+      | None -> Printf.printf "  %-45s (no estimate)\n" name)
     (List.sort compare names)
 
 let experiments =
@@ -485,7 +565,9 @@ let () =
   let args =
     match Array.to_list Sys.argv with _ :: rest -> rest | [] -> []
   in
-  match args with
+  let json = List.mem "--json" args in
+  let args = List.filter (fun a -> a <> "--json") args in
+  (match args with
   | [] | [ "all" ] ->
       print_endline
         "Nested Kernel reproduction: regenerating every table and figure";
@@ -499,4 +581,8 @@ let () =
           | None ->
               Printf.eprintf "unknown experiment %s (try: list)\n" name;
               exit 1)
-        names
+        names);
+  if json then begin
+    write_json "BENCH_nksim.json";
+    print_endline "\nwrote BENCH_nksim.json"
+  end

@@ -24,6 +24,7 @@ let attacks =
     Extensions.mac_label_elevation;
     Extensions.recursive_ptp_map;
     Extensions.stale_tlb_window;
+    Extensions.stale_tlb_across_asid;
     Extensions.large_page_smuggle;
   ]
 

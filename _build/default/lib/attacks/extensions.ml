@@ -203,6 +203,112 @@ let stale_tlb_window =
                          Fault.pp f))));
   }
 
+(* PCID refinement of [stale_tlb_window]: the writable translation is
+   parked in an ASID that is *inactive* when the kernel revokes write
+   access, then revisited through the clean-pair switch that deliberately
+   skips the TLB flush.  Sound only if the vMMU invalidates stale
+   translations in every ASID (not just the live one) when it accepts a
+   downgrade. *)
+let stale_tlb_across_asid =
+  {
+    Attack.name = "stale-tlb-across-asid";
+    description =
+      "park a writable translation under one ASID, downgrade the PTE while \
+       another ASID is live, then return on the no-flush clean-pair switch \
+       and write through the parked entry";
+    paper_ref = "3.4 (I1, I7); PCID extension";
+    run =
+      (fun k ->
+        let m = k.Kernel.machine in
+        let backend = k.Kernel.backend in
+        let root = Cr.root_frame m.Machine.cr in
+        let home_pcid = Cr.pcid m.Machine.cr in
+        let away_pcid = if home_pcid = Cr.max_pcid then Cr.max_pcid - 1 else Cr.max_pcid in
+        (* Splice a fresh writable, non-global mapping into an unused
+           kernel-half PML4 slot of the live root. *)
+        let rec free_slot i =
+          if i >= Addr.entries_per_table then None
+          else if
+            Pte.is_present (Page_table.get_entry m.Machine.mem ~ptp:root ~index:i)
+          then free_slot (i + 1)
+          else Some i
+        in
+        match free_slot 257 with
+        | None -> Attack.Crashed "no free kernel-half PML4 slot"
+        | Some slot -> (
+            let alloc () = Frame_alloc.alloc_exn k.Kernel.falloc in
+            let l3 = alloc () in
+            let l2 = alloc () in
+            let l1 = alloc () in
+            let victim = alloc () in
+            let va = Addr.make_va ~pml4:slot ~pdpt:0 ~pd:0 ~pt:0 ~offset:0 in
+            let setup =
+              let ( let* ) = Result.bind in
+              let* () = backend.Mmu_backend.declare_ptp ~level:3 l3 in
+              let* () = backend.Mmu_backend.declare_ptp ~level:2 l2 in
+              let* () = backend.Mmu_backend.declare_ptp ~level:1 l1 in
+              let* () =
+                backend.Mmu_backend.write_pte ~ptp:root ~index:slot
+                  (Pte.make ~frame:l3 Pte.kernel_rw)
+              in
+              let* () =
+                backend.Mmu_backend.write_pte ~ptp:l3 ~index:0
+                  (Pte.make ~frame:l2 Pte.kernel_rw)
+              in
+              let* () =
+                backend.Mmu_backend.write_pte ~ptp:l2 ~index:0
+                  (Pte.make ~frame:l1 Pte.kernel_rw)
+              in
+              backend.Mmu_backend.write_pte ~va ~ptp:l1 ~index:0
+                (Pte.make ~frame:victim Pte.kernel_rw_nx)
+            in
+            match setup with
+            | Error e -> Attack.Blocked ("mapping setup refused: " ^ e)
+            | Ok () -> (
+                (* Park the writable translation under the home ASID. *)
+                (match Machine.kwrite_u64 m va 0x41 with
+                | Ok () -> ()
+                | Error _ -> ());
+                match backend.Mmu_backend.load_cr3_pcid ~pcid:away_pcid root with
+                | Error e -> Attack.Blocked ("pcid switch refused: " ^ e)
+                | Ok () -> (
+                    (* The kernel revokes write access while the home ASID
+                       is parked. *)
+                    let ro = Pte.make ~frame:victim Pte.kernel_ro_nx in
+                    (match k.Kernel.nk with
+                    | Some _ ->
+                        (* Mediated: the vMMU decides how far the
+                           shootdown reaches. *)
+                        ignore
+                          (backend.Mmu_backend.write_pte ~va ~ptp:l1 ~index:0 ro)
+                    | None ->
+                        (* Unmediated kernel: the PTE store is a plain
+                           write; nothing forces a cross-ASID shootdown. *)
+                        Page_table.set_entry m.Machine.mem ~ptp:l1 ~index:0 ro);
+                    match
+                      backend.Mmu_backend.load_cr3_pcid ~pcid:home_pcid root
+                    with
+                    | Error e -> Attack.Crashed ("return switch refused: " ^ e)
+                    | Ok () -> (
+                        match Machine.kwrite_u64 m va 0x42 with
+                        | Ok ()
+                          when Phys_mem.read_u64 m.Machine.mem
+                                 (Addr.pa_of_frame victim)
+                               = 0x42 ->
+                            Attack.Succeeded
+                              "stale translation survived in the parked ASID: \
+                               revoked page written"
+                        | Ok () ->
+                            Attack.Blocked
+                              "write claimed to land but memory is unchanged"
+                        | Error f ->
+                            Attack.Blocked
+                              (Format.asprintf
+                                 "cross-ASID shootdown closed the window; \
+                                  write faulted (%a)"
+                                 Fault.pp f))))));
+  }
+
 let large_page_smuggle =
   {
     Attack.name = "large-page-smuggle";

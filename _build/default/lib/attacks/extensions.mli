@@ -24,6 +24,13 @@ val stale_tlb_window : Attack.t
     afterwards.  The vMMU's shootdown discipline must close the
     window. *)
 
+val stale_tlb_across_asid : Attack.t
+(** PCID refinement of {!stale_tlb_window}: the warm writable entry is
+    parked in an ASID that is inactive during the downgrade, then
+    revisited through the clean-pair switch that skips the TLB flush.
+    The vMMU must shoot stale translations down in every ASID, not
+    just the live one. *)
+
 val large_page_smuggle : Attack.t
 (** Install a writable 2 MiB mapping whose 512-frame span covers
     nested-kernel memory even though its first frame is harmless; the

@@ -1,1 +1,1 @@
-lib/hw/tlb.ml: Addr Hashtbl List
+lib/hw/tlb.ml: Addr Hashtbl List Option

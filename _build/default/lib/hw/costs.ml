@@ -8,6 +8,7 @@ type t = {
   wrmsr : int;
   tlb_miss_walk : int;
   invlpg : int;
+  invpcid : int;
   tlb_flush_full : int;
   ipi_shootdown : int;
   syscall_roundtrip : int;
@@ -34,6 +35,7 @@ let default =
     wrmsr = 140;
     tlb_miss_walk = 40;
     invlpg = 120;
+    invpcid = 220;
     tlb_flush_full = 400;
     ipi_shootdown = 1400;
     syscall_roundtrip = 298;

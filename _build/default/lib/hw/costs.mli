@@ -18,6 +18,7 @@ type t = {
   wrmsr : int;
   tlb_miss_walk : int;  (** extra cycles for a 4-level table walk *)
   invlpg : int;
+  invpcid : int;  (** single-context (per-PCID) TLB invalidation *)
   tlb_flush_full : int;
   ipi_shootdown : int;  (** cross-CPU TLB shootdown, per remote CPU *)
   syscall_roundtrip : int;  (** SYSCALL + SYSRET + entry/exit glue *)

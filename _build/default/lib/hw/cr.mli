@@ -9,10 +9,17 @@ val cr0_pe : int
 val cr0_wp : int
 val cr0_pg : int
 val cr4_pae : int
+val cr4_pcide : int
 val cr4_smep : int
 val efer_lme : int
 val efer_nx : int
 (** Bit masks, at their x86-64 positions. *)
+
+val pcid_bits : int
+(** Width of a process-context identifier (12). *)
+
+val max_pcid : int
+(** Largest valid PCID (4095). *)
 
 type t = {
   mutable cr0 : int;
@@ -33,6 +40,21 @@ val wp_enabled : t -> bool
 val smep_enabled : t -> bool
 val nx_enabled : t -> bool
 val paging_enabled : t -> bool
+val pcid_enabled : t -> bool
+
 val root_frame : t -> Addr.frame
+(** Frame of the active root PTP.  With CR4.PCIDE set the low 12 bits
+    of CR3 hold the PCID instead of address bits; they are masked off
+    either way. *)
+
+val pcid : t -> int
+(** Low 12 bits of CR3 — meaningful only when [pcid_enabled]. *)
+
+val asid : t -> int
+(** The address-space tag translations are cached under: the PCID when
+    CR4.PCIDE is set, 0 otherwise (pre-PCID behaviour). *)
+
+val cr3_value : frame:Addr.frame -> pcid:int -> int
+(** CR3 image selecting [frame] as root with the given PCID tag. *)
 
 val pp : Format.formatter -> t -> unit

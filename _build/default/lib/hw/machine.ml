@@ -110,21 +110,39 @@ let kwrite_u64 t va v = write_u64 t ~ring:Mmu.Supervisor va v
 let kread_bytes t va len = read_bytes t ~ring:Mmu.Supervisor va len
 let kwrite_bytes t va b = write_bytes t ~ring:Mmu.Supervisor va b
 
+let flush_full t =
+  Tlb.flush_all t.tlb;
+  charge t t.costs.Costs.tlb_flush_full;
+  count t "tlb_flush_full"
+
+let flush_asid t ~asid =
+  Tlb.flush_asid t.tlb ~asid;
+  charge t t.costs.Costs.invpcid;
+  count t "tlb_flush_asid"
+
+(* INVLPG reaches every ASID and the globals, so a single-page
+   shootdown needs no extra cross-ASID work. *)
 let shootdown_page t ~vpage =
   Tlb.flush_page t.tlb ~vpage;
   charge t t.costs.Costs.invlpg;
+  count t "tlb_flush_page";
   List.iter
     (fun tlb ->
       Tlb.flush_page tlb ~vpage;
       charge t t.costs.Costs.ipi_shootdown)
     t.peer_tlbs
 
+(* A broadcast shootdown backs protection downgrades whose VA is
+   unknown; it must kill stale translations in every ASID {e and} the
+   global set, or a downgraded kernel mapping could survive in the
+   TLB. *)
 let shootdown_all t =
-  Tlb.flush_all t.tlb;
+  Tlb.flush_global_too t.tlb;
   charge t t.costs.Costs.tlb_flush_full;
+  count t "tlb_flush_full";
   List.iter
     (fun tlb ->
-      Tlb.flush_all tlb;
+      Tlb.flush_global_too tlb;
       charge t t.costs.Costs.ipi_shootdown)
     t.peer_tlbs
 

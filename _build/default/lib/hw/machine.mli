@@ -65,12 +65,22 @@ val kread_bytes : t -> Addr.va -> int -> (bytes, Fault.t) result
 val kwrite_bytes : t -> Addr.va -> bytes -> (unit, Fault.t) result
 (** Supervisor-ring shorthands: accesses issued by kernel code. *)
 
+val flush_full : t -> unit
+(** Local CR3-reload-style flush: non-global entries of every ASID.
+    Charges [tlb_flush_full] and counts ["tlb_flush_full"]. *)
+
+val flush_asid : t -> asid:int -> unit
+(** Local INVPCID single-context flush.  Charges [invpcid] and counts
+    ["tlb_flush_asid"]. *)
+
 val shootdown_page : t -> vpage:int -> unit
 (** Flush one page from the local TLB and IPI every peer CPU to do the
     same (charging the per-peer shootdown cost). *)
 
 val shootdown_all : t -> unit
-(** Full local flush plus a broadcast shootdown. *)
+(** Full local flush — all ASIDs {e and} global entries, since a
+    downgrade with unknown VA may affect kernel mappings — plus a
+    broadcast shootdown. *)
 
 val raise_interrupt : t -> int -> unit
 (** Queue an external interrupt vector. *)

@@ -30,8 +30,9 @@ let access mem cr tlb ~ring ~kind va =
     else Error (Fault.General_protection "physical access out of range")
   else
     let vpage = Addr.vpage va in
+    let asid = Cr.asid cr in
     let entry, tlb_hit =
-      match Tlb.lookup tlb ~vpage with
+      match Tlb.lookup tlb ~asid ~vpage with
       | Some e -> (Some e, true)
       | None -> (
           Tlb.record_miss tlb;
@@ -50,10 +51,10 @@ let access mem cr tlb ~ring ~kind va =
                     writable = w.writable;
                     user = w.user;
                     nx = w.nx;
-                    global = false;
+                    global = w.global;
                   }
               in
-              Tlb.insert tlb ~vpage e;
+              Tlb.insert tlb ~asid ~vpage e;
               (Some e, false))
     in
     match entry with

@@ -77,6 +77,7 @@ let is_present t = t land bit_p <> 0
 let is_writable t = t land bit_rw <> 0
 let is_user t = t land bit_us <> 0
 let is_large t = t land bit_ps <> 0
+let is_global t = t land bit_g <> 0
 let is_nx t = t land bit_nx <> 0
 let with_flags t f = (t land frame_mask) lor bits_of_flags f
 

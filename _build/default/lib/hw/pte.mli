@@ -55,6 +55,7 @@ val is_present : t -> bool
 val is_writable : t -> bool
 val is_user : t -> bool
 val is_large : t -> bool
+val is_global : t -> bool
 val is_nx : t -> bool
 
 val with_flags : t -> flags -> t

@@ -6,30 +6,108 @@ type entry = {
   global : bool;
 }
 
+(* Entries are never eagerly erased on flush: each non-global slot
+   remembers the epoch and per-ASID generation current when it was
+   filled, and is live only while both still match.  A full flush is
+   an epoch bump, a per-ASID flush a generation bump — both O(1), the
+   way real hardware retags rather than walks its arrays.  Stale slots
+   are reclaimed lazily on lookup and in bulk once enough inserts have
+   accumulated, so the hashtables cannot grow without bound. *)
+
+type slot = { s_entry : entry; s_epoch : int; s_gen : int }
+type gslot = { g_entry : entry; g_gen : int }
+
 type t = {
-  table : (int, entry) Hashtbl.t;
+  table : (int * int, slot) Hashtbl.t; (* (asid, vpage) -> slot *)
+  globals : (int, gslot) Hashtbl.t; (* vpage -> gslot *)
+  gens : (int, int) Hashtbl.t; (* asid -> generation *)
+  mutable epoch : int;
+  mutable global_gen : int;
+  mutable inserts : int;
   mutable hits : int;
   mutable misses : int;
 }
 
-let create () = { table = Hashtbl.create 1024; hits = 0; misses = 0 }
+let sweep_interval = 4096
 
-let lookup t ~vpage =
-  match Hashtbl.find_opt t.table vpage with
-  | Some e ->
+let create () =
+  {
+    table = Hashtbl.create 1024;
+    globals = Hashtbl.create 64;
+    gens = Hashtbl.create 16;
+    epoch = 0;
+    global_gen = 0;
+    inserts = 0;
+    hits = 0;
+    misses = 0;
+  }
+
+let gen t asid = Option.value (Hashtbl.find_opt t.gens asid) ~default:0
+let slot_live t ~asid s = s.s_epoch = t.epoch && s.s_gen = gen t asid
+let gslot_live t g = g.g_gen = t.global_gen
+
+let sweep t =
+  let dead =
+    Hashtbl.fold
+      (fun ((asid, _) as k) s acc -> if slot_live t ~asid s then acc else k :: acc)
+      t.table []
+  in
+  List.iter (Hashtbl.remove t.table) dead;
+  let gdead =
+    Hashtbl.fold (fun k g acc -> if gslot_live t g then acc else k :: acc) t.globals []
+  in
+  List.iter (Hashtbl.remove t.globals) gdead
+
+let lookup t ~asid ~vpage =
+  match Hashtbl.find_opt t.globals vpage with
+  | Some g when gslot_live t g ->
       t.hits <- t.hits + 1;
-      Some e
-  | None -> None
+      Some g.g_entry
+  | other -> (
+      (match other with
+      | Some _ -> Hashtbl.remove t.globals vpage
+      | None -> ());
+      match Hashtbl.find_opt t.table (asid, vpage) with
+      | Some s when slot_live t ~asid s ->
+          t.hits <- t.hits + 1;
+          Some s.s_entry
+      | Some _ ->
+          Hashtbl.remove t.table (asid, vpage);
+          None
+      | None -> None)
 
-let insert t ~vpage e = Hashtbl.replace t.table vpage e
+let insert t ~asid ~vpage e =
+  if e.global then Hashtbl.replace t.globals vpage { g_entry = e; g_gen = t.global_gen }
+  else
+    Hashtbl.replace t.table (asid, vpage)
+      { s_entry = e; s_epoch = t.epoch; s_gen = gen t asid };
+  t.inserts <- t.inserts + 1;
+  if t.inserts mod sweep_interval = 0 then sweep t
 
-let flush_all t =
-  let keep = Hashtbl.fold (fun k e acc -> if e.global then (k, e) :: acc else acc) t.table [] in
-  Hashtbl.reset t.table;
-  List.iter (fun (k, e) -> Hashtbl.replace t.table k e) keep
+let flush_all t = t.epoch <- t.epoch + 1
 
-let flush_page t ~vpage = Hashtbl.remove t.table vpage
+let flush_global_too t =
+  t.epoch <- t.epoch + 1;
+  t.global_gen <- t.global_gen + 1
+
+let flush_asid t ~asid = Hashtbl.replace t.gens asid (gen t asid + 1)
+
+(* INVLPG invalidates the page in every PCID and in the globals — an
+   O(entries) scan here, but it models a single-page hardware op and
+   is the hook shootdowns rely on for cross-ASID coherence. *)
+let flush_page t ~vpage =
+  let dead =
+    Hashtbl.fold
+      (fun ((_, vp) as k) _ acc -> if vp = vpage then k :: acc else acc)
+      t.table []
+  in
+  List.iter (Hashtbl.remove t.table) dead;
+  Hashtbl.remove t.globals vpage
+
 let hits t = t.hits
 let misses t = t.misses
 let record_miss t = t.misses <- t.misses + 1
-let size t = Hashtbl.length t.table
+
+let size t =
+  Hashtbl.fold (fun (asid, _) s n -> if slot_live t ~asid s then n + 1 else n) t.table 0
+  + Hashtbl.fold (fun _ g n -> if gslot_live t g then n + 1 else n) t.globals 0

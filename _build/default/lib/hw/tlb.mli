@@ -1,10 +1,16 @@
 (** Translation lookaside buffer.
 
-    Caches (virtual page -> translation) with the permissions that were
-    in force when the walk was performed.  This matters for security
-    fidelity: a mapping change without a TLB shootdown leaves a stale
-    entry that the MMU will happily keep using — exactly the hazard the
-    nested kernel must handle by flushing after protection downgrades. *)
+    Caches (ASID, virtual page) -> translation with the permissions
+    that were in force when the walk was performed.  This matters for
+    security fidelity: a mapping change without a TLB shootdown leaves
+    a stale entry that the MMU will happily keep using — exactly the
+    hazard the nested kernel must handle by flushing after protection
+    downgrades.
+
+    Entries are tagged with the address-space identifier (the PCID on
+    x86 with CR4.PCIDE) active when they were filled; global entries
+    are shared across all ASIDs and survive [flush_all].  Flushes are
+    O(1) generation bumps; stale slots are reclaimed lazily. *)
 
 type entry = {
   frame : Addr.frame;
@@ -17,16 +23,32 @@ type entry = {
 type t
 
 val create : unit -> t
-val lookup : t -> vpage:int -> entry option
-val insert : t -> vpage:int -> entry -> unit
+
+val lookup : t -> asid:int -> vpage:int -> entry option
+(** Hit only on a live entry tagged [asid] or a live global entry. *)
+
+val insert : t -> asid:int -> vpage:int -> entry -> unit
+(** Fill under the given ASID; entries with [global = true] go to the
+    shared global set instead. *)
 
 val flush_all : t -> unit
-(** Full flush, as a CR3 reload performs (non-global entries). *)
+(** Full flush, as a CR3 reload performs: invalidates every non-global
+    entry in every ASID.  O(1). *)
+
+val flush_asid : t -> asid:int -> unit
+(** INVPCID single-context: invalidate one ASID's non-global entries.
+    O(1). *)
+
+val flush_global_too : t -> unit
+(** Everything including globals — the CR4.PGE-toggle style flush a
+    shootdown of kernel mappings needs.  O(1). *)
 
 val flush_page : t -> vpage:int -> unit
-(** INVLPG. *)
+(** INVLPG: invalidate the page in every ASID and in the global set. *)
 
 val hits : t -> int
 val misses : t -> int
 val record_miss : t -> unit
+
 val size : t -> int
+(** Number of live entries (all ASIDs plus globals). *)

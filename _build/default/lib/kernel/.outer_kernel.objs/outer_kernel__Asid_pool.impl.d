@@ -1,0 +1,1 @@
+lib/kernel/asid_pool.ml: Array Machine Nkhw

@@ -1,0 +1,1 @@
+lib/kernel/asid_pool.mli: Machine Nkhw

@@ -1,1 +1,1 @@
-lib/kernel/mmu_backend.ml: Addr Costs Cr List Machine Nested_kernel Nkhw Page_table Phys_mem Pte Tlb
+lib/kernel/mmu_backend.ml: Addr Costs Cr Hashtbl List Machine Nested_kernel Nkhw Page_table Phys_mem Pte

@@ -1,1 +1,1 @@
-lib/kernel/vmspace.ml: Addr Costs Fault Frame_alloc Hashtbl Ktypes List Machine Mmu_backend Nkhw Option Page_table Phys_mem Pte Result Tlb
+lib/kernel/vmspace.ml: Addr Asid_pool Costs Fault Frame_alloc Hashtbl Ktypes List Machine Mmu_backend Nkhw Option Page_table Phys_mem Pte Result Tlb

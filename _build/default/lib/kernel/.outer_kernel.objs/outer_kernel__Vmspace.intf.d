@@ -1,1 +1,1 @@
-lib/kernel/vmspace.mli: Addr Fault Frame_alloc Hashtbl Ktypes Machine Mmu_backend Nkhw
+lib/kernel/vmspace.mli: Addr Asid_pool Fault Frame_alloc Hashtbl Ktypes Machine Mmu_backend Nkhw

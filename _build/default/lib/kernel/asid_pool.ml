@@ -1,0 +1,42 @@
+open Nkhw
+
+type t = {
+  machine : Machine.t;
+  slots : int array; (* stamp owning each ASID; 0 = free *)
+  mutable next_stamp : int;
+  mutable hand : int;
+}
+
+let kernel_asid = 0
+
+let create ?(size = 8) machine =
+  if size < 2 then invalid_arg "Asid_pool.create: size must be at least 2";
+  { machine; slots = Array.make size 0; next_stamp = 1; hand = 1 }
+
+let size t = Array.length t.slots
+
+let alloc t =
+  let stamp = t.next_stamp in
+  t.next_stamp <- stamp + 1;
+  let n = Array.length t.slots in
+  let rec find i = if i >= n then None else if t.slots.(i) = 0 then Some i else find (i + 1) in
+  let asid =
+    match find 1 with
+    | Some a -> a
+    | None ->
+        (* Steal the slot under the clock hand.  The previous owner's
+           stamp stops validating, and the ASID's stale translations
+           are flushed before it serves a new address space. *)
+        let a = t.hand in
+        t.hand <- (if t.hand + 1 >= n then 1 else t.hand + 1);
+        Machine.flush_asid t.machine ~asid:a;
+        Machine.count t.machine "asid_recycle";
+        a
+  in
+  t.slots.(asid) <- stamp;
+  (asid, stamp)
+
+let valid t ~asid ~stamp =
+  asid > 0 && asid < Array.length t.slots && stamp <> 0 && t.slots.(asid) = stamp
+
+let free t ~asid ~stamp = if valid t ~asid ~stamp then t.slots.(asid) <- 0

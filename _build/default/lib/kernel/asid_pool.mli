@@ -1,0 +1,32 @@
+open Nkhw
+
+(** A small recycling pool of address-space identifiers (PCIDs).
+
+    Hardware offers 4095 usable PCIDs but real kernels keep a handful
+    live and recycle them, because every slot held widens the set of
+    stale translations a shootdown must consider.  The pool hands out
+    (asid, stamp) pairs; when all slots are taken it steals one
+    round-robin, flushing the stolen ASID's TLB entries so the new
+    owner starts clean.  The previous owner notices the steal because
+    its stamp no longer validates, and re-allocates on its next
+    switch. *)
+
+type t
+
+val kernel_asid : int
+(** ASID 0, permanently reserved for the kernel's own root. *)
+
+val create : ?size:int -> Machine.t -> t
+(** Pool of [size] slots (default 8); slot 0 is the kernel's. *)
+
+val size : t -> int
+
+val alloc : t -> int * int
+(** [(asid, stamp)].  Steals (with a per-ASID flush and an
+    ["asid_recycle"] count) when no slot is free. *)
+
+val valid : t -> asid:int -> stamp:int -> bool
+(** Whether the pair still owns its slot. *)
+
+val free : t -> asid:int -> stamp:int -> unit
+(** Release the slot if the pair still owns it. *)

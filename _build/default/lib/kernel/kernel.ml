@@ -46,17 +46,36 @@ let event_bytes = 16
 
 let ( let* ) = Result.bind
 
+(* --- address-space switching ------------------------------------- *)
+
+(* Switch to a process root under its ASID tag when the pool is
+   active: a clean (pcid, root) pair skips the full TLB flush. *)
+let load_vm_root t (vm : Vmspace.t) =
+  match Vmspace.ensure_asid t.env vm with
+  | Some pcid -> t.backend.Mmu_backend.load_cr3_pcid ~pcid vm.Vmspace.root
+  | None -> t.backend.Mmu_backend.load_cr3 vm.Vmspace.root
+
+let load_kernel_root t =
+  match t.env.Vmspace.asids with
+  | Some _ ->
+      t.backend.Mmu_backend.load_cr3_pcid ~pcid:Asid_pool.kernel_asid
+        t.kernel_root
+  | None -> t.backend.Mmu_backend.load_cr3 t.kernel_root
+
 (* --- boot ------------------------------------------------------- *)
 
-let boot_native_paging (m : Machine.t) falloc =
+let boot_native_paging (m : Machine.t) falloc ~pcid =
   let root = Frame_alloc.alloc_exn falloc in
   Phys_mem.zero_frame m.Machine.mem root;
   let alloc_ptp () = Frame_alloc.alloc_exn falloc in
+  (* The direct map is identical in every address space, so its leaves
+     are global and survive CR3 reloads. *)
   Pt_builder.build_direct_map m.Machine.mem ~root ~alloc_ptp
     ~frames:(Phys_mem.num_frames m.Machine.mem)
-    Pte.kernel_rw;
+    { Pte.kernel_rw with Pte.global = true };
   m.Machine.cr.Cr.cr3 <- Addr.pa_of_frame root;
-  m.Machine.cr.Cr.cr4 <- Cr.cr4_pae lor Cr.cr4_smep;
+  m.Machine.cr.Cr.cr4 <-
+    (Cr.cr4_pae lor Cr.cr4_smep lor if pcid then Cr.cr4_pcide else 0);
   m.Machine.cr.Cr.efer <- Cr.efer_lme lor Cr.efer_nx;
   m.Machine.cr.Cr.cr0 <- Cr.cr0_pe lor Cr.cr0_pg lor Cr.cr0_wp;
   Tlb.flush_all m.Machine.tlb;
@@ -73,11 +92,21 @@ let boot_native_paging (m : Machine.t) falloc =
   m.Machine.idtr <- Some (Addr.kva_of_frame idt_frame);
   root
 
-let boot ?(frames = 8192) ?(batched = false) config =
+let boot ?(frames = 8192) ?(batched = false) ?(pcid = true) config =
   let m = Machine.create ~frames () in
   let nk, falloc, backend, kernel_root =
     if Config.is_nested config then begin
       let nk = Nested_kernel.Api.boot_exn m in
+      if pcid then begin
+        (* CR4 updates are mediated; PCIDE is outside the protected
+           bit set, so the nested kernel permits enabling it. *)
+        match
+          Nested_kernel.Api.load_cr4 nk (m.Machine.cr.Cr.cr4 lor Cr.cr4_pcide)
+        with
+        | Ok () -> ()
+        | Error e ->
+            failwith ("boot: enable PCID: " ^ Nested_kernel.Nk_error.to_string e)
+      end;
       let first = Nested_kernel.Api.outer_first_frame nk in
       let falloc = Frame_alloc.create ~first ~count:(frames - first) in
       let backend =
@@ -88,7 +117,7 @@ let boot ?(frames = 8192) ?(batched = false) config =
     else begin
       let falloc = Frame_alloc.create ~first:1 ~count:(frames - 1) in
       let backend = Mmu_backend.native m in
-      let root = boot_native_paging m falloc in
+      let root = boot_native_paging m falloc ~pcid in
       (None, falloc, backend, root)
     end
   in
@@ -145,7 +174,13 @@ let boot ?(frames = 8192) ?(batched = false) config =
     | _ -> None
   in
   let env =
-    { Vmspace.machine = m; backend; falloc; share = Hashtbl.create 256 }
+    {
+      Vmspace.machine = m;
+      backend;
+      falloc;
+      share = Hashtbl.create 256;
+      asids = (if pcid then Some (Asid_pool.create m) else None);
+    }
   in
   let t =
     {
@@ -189,7 +224,7 @@ let boot ?(frames = 8192) ?(batched = false) config =
           | Ok () -> ()
           | Error e -> failwith ("boot: shadow insert: " ^ e))
       | None -> ());
-      ignore (t.backend.Mmu_backend.load_cr3 vm.Vmspace.root)
+      ignore (load_vm_root t vm)
   | Error e -> failwith ("boot: init process: " ^ Ktypes.errno_to_string e));
   t
 
@@ -206,7 +241,7 @@ let switch_to t pid =
   match Hashtbl.find_opt t.procs pid with
   | None -> Error Ktypes.Esrch
   | Some p -> (
-      match t.backend.Mmu_backend.load_cr3 p.Proc.vm.Vmspace.root with
+      match load_vm_root t p.Proc.vm with
       | Ok () ->
           t.current <- pid;
           Machine.count t.machine "context_switch";
@@ -244,7 +279,7 @@ let exit_proc t (p : Proc.t) code =
   (* Switch to the kernel pmap before tearing down the dying address
      space — CR3 must never point into retired page tables. *)
   if Cr.root_frame t.machine.Machine.cr = p.Proc.vm.Vmspace.root then
-    ignore (t.backend.Mmu_backend.load_cr3 t.kernel_root);
+    ignore (load_kernel_root t);
   Vmspace.destroy t.env p.Proc.vm;
   p.Proc.pstate <- Proc.Zombie;
   p.Proc.exit_code <- Some code;

@@ -40,11 +40,20 @@ and syscall_log = {
   mutable sl_flushes : int;
 }
 
-val boot : ?frames:int -> ?batched:bool -> Config.t -> t
+val boot : ?frames:int -> ?batched:bool -> ?pcid:bool -> Config.t -> t
 (** Boot the machine and kernel in the given configuration.  The
     system-call table is empty; {!Syscalls.install_all} (or {!Os.boot})
     populates it.  [batched] selects the batched vMMU backend
-    (section 5.4 ablation; nested configurations only). *)
+    (section 5.4 ablation; nested configurations only).  [pcid]
+    (default on) enables CR4.PCIDE and tagged address-space switching
+    backed by an ASID pool; turn it off for the ablation baseline. *)
+
+val load_vm_root : t -> Vmspace.t -> (unit, string) result
+(** Load an address space's root through the backend, tagged with its
+    (revalidated) ASID when PCID is on. *)
+
+val load_kernel_root : t -> (unit, string) result
+(** Switch to the kernel's own root (ASID 0 when PCID is on). *)
 
 val current_proc : t -> Proc.t
 val proc : t -> Ktypes.pid -> Proc.t option

@@ -9,6 +9,7 @@ type t = {
     (Addr.frame * int * Pte.t * Addr.va option) list -> (unit, string) result;
   remove_ptp : Addr.frame -> (unit, string) result;
   load_cr3 : Addr.frame -> (unit, string) result;
+  load_cr3_pcid : pcid:int -> Addr.frame -> (unit, string) result;
   batched : bool;
 }
 
@@ -20,6 +21,33 @@ let is_downgrade ~old ~fresh =
 
 let native (m : Machine.t) =
   let costs = m.Machine.costs in
+  (* Same clean-pair discipline as the vMMU keeps, tracked here since
+     there is no nested kernel to do it. *)
+  let pcid_roots : (int, Addr.frame) Hashtbl.t = Hashtbl.create 8 in
+  let load_cr3 frame =
+    m.Machine.cr.Cr.cr3 <- Addr.pa_of_frame frame;
+    Machine.charge m costs.Costs.cr_write;
+    Machine.flush_full m;
+    Hashtbl.reset pcid_roots;
+    Hashtbl.replace pcid_roots 0 frame;
+    Machine.count m "load_cr3";
+    Ok ()
+  in
+  let load_cr3_pcid ~pcid frame =
+    if pcid < 0 || pcid > Cr.max_pcid then Error "pcid out of range"
+    else if not (Cr.pcid_enabled m.Machine.cr) then load_cr3 frame
+    else begin
+      m.Machine.cr.Cr.cr3 <- Cr.cr3_value ~frame ~pcid;
+      Machine.charge m costs.Costs.cr_write;
+      (match Hashtbl.find_opt pcid_roots pcid with
+      | Some bound when bound = frame -> ()
+      | _ ->
+          Machine.flush_asid m ~asid:pcid;
+          Hashtbl.replace pcid_roots pcid frame);
+      Machine.count m "load_cr3_pcid";
+      Ok ()
+    end
+  in
   let write_pte ?va ~ptp ~index pte =
     let old = Page_table.get_entry m.Machine.mem ~ptp ~index in
     Page_table.set_entry m.Machine.mem ~ptp ~index pte;
@@ -51,13 +79,8 @@ let native (m : Machine.t) =
           updates;
         Ok ());
     remove_ptp = (fun _ -> Ok ());
-    load_cr3 =
-      (fun frame ->
-        m.Machine.cr.Cr.cr3 <- Addr.pa_of_frame frame;
-        Tlb.flush_all m.Machine.tlb;
-        Machine.charge m (costs.Costs.cr_write + costs.Costs.tlb_flush_full);
-        Machine.count m "load_cr3";
-        Ok ());
+    load_cr3;
+    load_cr3_pcid;
     batched = false;
   }
 
@@ -86,6 +109,8 @@ let nested_gen ~batched (st : Nested_kernel.State.t) =
           go updates);
     remove_ptp = (fun frame -> err_string (Api.remove_ptp st frame));
     load_cr3 = (fun frame -> err_string (Api.load_cr3 st frame));
+    load_cr3_pcid =
+      (fun ~pcid frame -> err_string (Api.load_cr3_pcid st ~pcid frame));
     batched;
   }
 

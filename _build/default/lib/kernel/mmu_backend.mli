@@ -19,6 +19,10 @@ type t = {
     (Addr.frame * int * Pte.t * Addr.va option) list -> (unit, string) result;
   remove_ptp : Addr.frame -> (unit, string) result;
   load_cr3 : Addr.frame -> (unit, string) result;
+  load_cr3_pcid : pcid:int -> Addr.frame -> (unit, string) result;
+      (** PCID-tagged switch: skips the TLB flush when the (pcid, root)
+          pair was the last one loaded under that tag; falls back to
+          [load_cr3] semantics when CR4.PCIDE is clear *)
   batched : bool;
       (** whether [write_pte_batch] actually amortizes gate crossings *)
 }

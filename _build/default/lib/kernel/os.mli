@@ -1,11 +1,12 @@
 (** One-call system bring-up: machine + nested kernel (when
     configured) + outer kernel + system-call table. *)
 
-val boot : ?frames:int -> ?batched:bool -> Config.t -> Kernel.t
+val boot : ?frames:int -> ?batched:bool -> ?pcid:bool -> Config.t -> Kernel.t
 (** Boot and install all system calls.  [frames] sizes physical memory
     (default 8192 = 32 MiB); [batched] enables the batched-vMMU
-    ablation backend. *)
+    ablation backend; [pcid] (default on) enables PCID-tagged
+    address-space switching. *)
 
-val boot_with_files : ?frames:int -> ?batched:bool -> Config.t ->
+val boot_with_files : ?frames:int -> ?batched:bool -> ?pcid:bool -> Config.t ->
   (string * int) list -> Kernel.t
 (** Boot and pre-create sparse files (name, size) in the VFS. *)

@@ -5,6 +5,7 @@ type env = {
   backend : Mmu_backend.t;
   falloc : Frame_alloc.t;
   share : (Addr.frame, int) Hashtbl.t;
+  asids : Asid_pool.t option;
 }
 
 type prot = Ro | Rw
@@ -16,6 +17,8 @@ type t = {
   root : Addr.frame;
   mutable regions : region list;
   mutable next_mmap : Addr.va;
+  mutable asid : int;
+  mutable asid_stamp : int;
 }
 
 let user_text_base = 0x0040_0000
@@ -75,7 +78,27 @@ let create env ~kernel_root =
           in
           let* () = copy 256 in
           charge env cost_region_setup;
-          Ok { root; regions = []; next_mmap = user_mmap_base })
+          let asid, asid_stamp =
+            match env.asids with
+            | Some pool -> Asid_pool.alloc pool
+            | None -> (0, 0)
+          in
+          Ok { root; regions = []; next_mmap = user_mmap_base; asid; asid_stamp })
+
+(* The ASID to switch under, revalidated against the pool: if the slot
+   was stolen since the last switch, take a fresh one (the steal
+   already flushed the stale translations).  [None] means untagged
+   switching (no pool, PCID off). *)
+let ensure_asid env vm =
+  match env.asids with
+  | None -> None
+  | Some pool ->
+      if not (Asid_pool.valid pool ~asid:vm.asid ~stamp:vm.asid_stamp) then begin
+        let asid, stamp = Asid_pool.alloc pool in
+        vm.asid <- asid;
+        vm.asid_stamp <- stamp
+      end;
+      Some vm.asid
 
 (* Walk down to the page table covering [va], allocating and declaring
    intermediate PTPs as needed.  Returns the level-1 PTP. *)
@@ -445,6 +468,9 @@ let destroy env vm =
   done;
   ignore (env.backend.Mmu_backend.remove_ptp vm.root);
   if Frame_alloc.owns env.falloc vm.root then Frame_alloc.free env.falloc vm.root;
+  (match env.asids with
+  | Some pool -> Asid_pool.free pool ~asid:vm.asid ~stamp:vm.asid_stamp
+  | None -> ());
   Machine.count env.machine "vm_destroy"
 
 let exec_reset env vm ~text_pages ~data_pages ~stack_pages =

@@ -14,6 +14,8 @@ type env = {
   falloc : Frame_alloc.t;
   share : (Addr.frame, int) Hashtbl.t;
       (** copy-on-write share counts; absent means sole owner *)
+  asids : Asid_pool.t option;
+      (** PCID pool; [None] disables tagged switching *)
 }
 
 type prot = Ro | Rw
@@ -30,6 +32,8 @@ type t = {
   root : Addr.frame;  (** this address space's PML4 *)
   mutable regions : region list;
   mutable next_mmap : Addr.va;
+  mutable asid : int;  (** PCID this space last switched under *)
+  mutable asid_stamp : int;  (** pool stamp proving [asid] is still ours *)
 }
 
 val user_text_base : Addr.va
@@ -37,7 +41,12 @@ val user_mmap_base : Addr.va
 val user_stack_top : Addr.va
 
 val create : env -> kernel_root:Addr.frame -> (t, Ktypes.errno) result
-(** New address space sharing the kernel half of [kernel_root]. *)
+(** New address space sharing the kernel half of [kernel_root];
+    allocates an ASID when the env carries a pool. *)
+
+val ensure_asid : env -> t -> int option
+(** The ASID to tag the next switch with, re-allocating if the pool
+    recycled this space's slot.  [None] when tagged switching is off. *)
 
 val map_region :
   env ->

@@ -1,1 +1,1 @@
-lib/nk/gate.ml: Addr Array Bytes Clock Costs Cpu_state Cr Exec Format Insn Machine Nkhw Option Phys_mem
+lib/nk/gate.ml: Addr Array Bytes Clock Costs Cpu_state Cr Exec Format Insn Machine Nkhw Option Phys_mem Tlb

@@ -1,1 +1,1 @@
-lib/nk/vmmu.ml: Addr Costs Cr Iommu List Machine Nk_error Nkhw Page_table Pgdesc Phys_mem Pte Result State Tlb
+lib/nk/vmmu.ml: Addr Costs Cr Hashtbl Iommu List Machine Nk_error Nkhw Page_table Pgdesc Phys_mem Pte Result State Tlb

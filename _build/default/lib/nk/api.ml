@@ -14,6 +14,7 @@ let write_pte_batch = Vmmu.write_pte_batch
 let remove_ptp = Vmmu.remove_ptp
 let load_cr0 = Vmmu.load_cr0
 let load_cr3 = Vmmu.load_cr3
+let load_cr3_pcid = Vmmu.load_cr3_pcid
 let load_cr4 = Vmmu.load_cr4
 let load_efer = Vmmu.load_efer
 

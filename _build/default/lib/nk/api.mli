@@ -25,6 +25,11 @@ val write_pte_batch :
 val remove_ptp : t -> Addr.frame -> (unit, Nk_error.t) result
 val load_cr0 : t -> int -> (unit, Nk_error.t) result
 val load_cr3 : t -> Addr.frame -> (unit, Nk_error.t) result
+
+val load_cr3_pcid : t -> pcid:int -> Addr.frame -> (unit, Nk_error.t) result
+(** Tagged switch: no TLB flush when the (pcid, root) pair is clean —
+    see {!Vmmu.load_cr3_pcid}. *)
+
 val load_cr4 : t -> int -> (unit, Nk_error.t) result
 val load_efer : t -> int -> (unit, Nk_error.t) result
 

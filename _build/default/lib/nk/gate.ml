@@ -113,8 +113,11 @@ let interpret (m : Machine.t) va ~expect =
   | Exec.Callout c when c = expect -> Ok ()
   | other -> Error (Unexpected_stop other)
 
-(* Warm-up crossings are interpreted; the cost memoized from the
-   second (TLB-warm) crossing onward is replayed by the fast path. *)
+(* Warm-up crossings are interpreted; once an interpretation completes
+   with zero TLB misses its (purely architectural) cost is memoized and
+   replayed by the fast path.  Gating on a fully warm crossing keeps the
+   memoized cost independent of which stack or code pages happened to be
+   cold during boot. *)
 let want_interpretation t = t.strict || t.crossings < 2
 
 let enter (m : Machine.t) t =
@@ -123,9 +126,10 @@ let enter (m : Machine.t) t =
   let result =
     if want_interpretation t || t.entry_cost = None then begin
       let before = Clock.cycles m.clock in
+      let misses = Tlb.misses m.Machine.tlb in
       match interpret m t.entry_va ~expect:callout_entry_done with
       | Ok () ->
-          if t.crossings >= 2 then
+          if t.crossings >= 2 && Tlb.misses m.Machine.tlb = misses then
             t.entry_cost <- Some (Clock.cycles m.clock - before);
           Ok `Interpreted
       | Error e -> Error e
@@ -162,9 +166,10 @@ let exit_ (m : Machine.t) t =
   let result =
     if interpreted || t.exit_cost = None then begin
       let before = Clock.cycles m.clock in
+      let misses = Tlb.misses m.Machine.tlb in
       match interpret m t.exit_va ~expect:callout_exit_done with
       | Ok () ->
-          if t.crossings >= 2 then
+          if t.crossings >= 2 && Tlb.misses m.Machine.tlb = misses then
             t.exit_cost <- Some (Clock.cycles m.clock - before);
           Ok ()
       | Error e -> Error e

@@ -53,8 +53,11 @@ let boot ?layout (m : Machine.t) =
     let root = alloc_ptp () in
     Phys_mem.zero_frame m.Machine.mem root;
     ptps := [ (root, 4) ];
+    (* Direct-map leaves are global: the kernel half is identical in
+       every address space, so its translations survive CR3 reloads. *)
     Pt_builder.build_direct_map m.Machine.mem ~root ~alloc_ptp ~on_new_ptp
-      ~frames:total Pte.kernel_rw_nx;
+      ~frames:total
+      { Pte.kernel_rw_nx with Pte.global = true };
     (* Assign page types. *)
     Pgdesc.set_type descs 0 Pgdesc.Nk_data;
     for f = gate_first to gate_first + l.gate_frames - 1 do
@@ -76,7 +79,8 @@ let boot ?layout (m : Machine.t) =
       if Frame_alloc.is_free ptp_pool f then Pgdesc.set_type descs f Pgdesc.Nk_data
     done;
     register_tree descs m.Machine.mem ~root;
-    (* Protection pass: rewrite direct-map leaf flags per page type. *)
+    (* Protection pass: rewrite direct-map leaf flags per page type,
+       keeping every leaf global. *)
     for f = 0 to total - 1 do
       let flags =
         match Pgdesc.page_type descs f with
@@ -89,7 +93,8 @@ let boot ?layout (m : Machine.t) =
             Pte.kernel_rw_nx
       in
       match
-        Pt_builder.set_leaf_flags m.Machine.mem ~root (Addr.kva_of_frame f) flags
+        Pt_builder.set_leaf_flags m.Machine.mem ~root (Addr.kva_of_frame f)
+          { flags with Pte.global = true }
       with
       | Ok () -> ()
       | Error msg -> failwith ("Init.boot: " ^ msg)
@@ -144,6 +149,10 @@ let boot ?layout (m : Machine.t) =
         nk_first_frame = nk_first;
         nk_frame_count = nk_count;
         write_descriptors = Hashtbl.create 32;
+        pcid_roots =
+          (let h = Hashtbl.create 8 in
+           Hashtbl.replace h 0 root;
+           h);
         next_wd_id = 1;
         lock_held = false;
         denied_writes = 0;

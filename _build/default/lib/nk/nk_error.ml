@@ -10,6 +10,7 @@ type t =
   | Invalid_cr3 of Addr.frame
   | Invalid_cr4 of int
   | Invalid_efer of int
+  | Invalid_pcid of int
   | Bad_bounds of { dest : Addr.va; size : int }
   | Policy_violation of { policy : string; reason : string }
   | Descriptor_inactive
@@ -34,6 +35,7 @@ let pp ppf = function
   | Invalid_cr3 f -> Format.fprintf ppf "frame %d is not a declared PML4" f
   | Invalid_cr4 v -> Format.fprintf ppf "CR4 value %#x clears SMEP" v
   | Invalid_efer v -> Format.fprintf ppf "EFER value %#x clears NX/LME" v
+  | Invalid_pcid v -> Format.fprintf ppf "PCID %d out of range" v
   | Bad_bounds { dest; size } ->
       Format.fprintf ppf "write [%a, +%d) outside descriptor bounds"
         Addr.pp_va dest size

@@ -18,6 +18,7 @@ type t =
   | Invalid_cr3 of Addr.frame  (** I6: not a declared PML4 PTP *)
   | Invalid_cr4 of int  (** SMEP would be cleared (code integrity) *)
   | Invalid_efer of int  (** NX or LME would be cleared *)
+  | Invalid_pcid of int  (** tagged CR3 load with a PCID beyond 12 bits *)
   | Bad_bounds of { dest : Addr.va; size : int }
       (** nk_write outside the write descriptor's region *)
   | Policy_violation of { policy : string; reason : string }

@@ -19,6 +19,7 @@ type t = {
   nk_first_frame : Addr.frame;
   nk_frame_count : int;
   write_descriptors : (int, wd) Hashtbl.t;
+  pcid_roots : (int, Addr.frame) Hashtbl.t;
   mutable next_wd_id : int;
   mutable lock_held : bool;
   mutable denied_writes : int;

@@ -28,6 +28,9 @@ type t = {
   nk_first_frame : Addr.frame;
   nk_frame_count : int;
   write_descriptors : (int, wd) Hashtbl.t;
+  pcid_roots : (int, Addr.frame) Hashtbl.t;
+      (** last root loaded under each PCID; a tagged switch back to the
+          same (pcid, root) pair needs no TLB flush *)
   mutable next_wd_id : int;
   mutable lock_held : bool;
   mutable denied_writes : int;

@@ -228,24 +228,69 @@ let load_cr0 st v =
         Ok ()
       end)
 
+(* The mov-to-CR3 instruction lives in a normally unmapped
+   nested-kernel page (section 3.7): charge the PTE update and
+   shootdown that map and unmap it, before the serializing CR3 write
+   itself. *)
+let charge_hidden_cr3_page (m : Machine.t) =
+  let costs = m.Machine.costs in
+  Machine.charge m ((2 * costs.Costs.mem_insn) + (2 * costs.Costs.invlpg))
+
+(* Legacy (untagged) switch: full flush, and every cached (pcid, root)
+   pairing is forgotten so later tagged switches re-flush before
+   trusting their tag. *)
+let switch_untagged (st : State.t) frame =
+  let m = st.machine in
+  charge_hidden_cr3_page m;
+  m.Machine.cr.Cr.cr3 <- Addr.pa_of_frame frame;
+  Machine.charge m m.Machine.costs.Costs.cr_write;
+  Machine.flush_full m;
+  Hashtbl.reset st.State.pcid_roots;
+  Hashtbl.replace st.State.pcid_roots 0 frame;
+  Machine.count m "load_cr3"
+
 let load_cr3 st frame =
   State.with_gate st (fun () ->
-      let m = st.machine in
       match Pgdesc.ptp_level st.descs frame with
       | Some 4 ->
-          (* The mov-to-CR3 instruction lives in a normally unmapped
-             nested-kernel page (section 3.7): charge the PTE update
-             and shootdown that map and unmap it, then the serializing
-             CR3 write itself. *)
-          let costs = m.Machine.costs in
-          Machine.charge m
-            ((2 * costs.Costs.mem_insn) + (2 * costs.Costs.invlpg));
-          m.Machine.cr.Cr.cr3 <- Addr.pa_of_frame frame;
-          Machine.charge m (costs.Costs.cr_write + costs.Costs.tlb_flush_full);
-          Tlb.flush_all m.Machine.tlb;
-          Machine.count m "load_cr3";
+          switch_untagged st frame;
           Ok ()
       | Some _ | None -> Error (Nk_error.Invalid_cr3 frame))
+
+let load_cr3_pcid st ~pcid frame =
+  State.with_gate st (fun () ->
+      let m = st.machine in
+      if pcid < 0 || pcid > Cr.max_pcid then Error (Nk_error.Invalid_pcid pcid)
+      else
+        match Pgdesc.ptp_level st.descs frame with
+        | Some 4 ->
+            if not (Cr.pcid_enabled m.Machine.cr) then begin
+              (* Tag is inert without CR4.PCIDE: legacy semantics. *)
+              switch_untagged st frame;
+              Ok ()
+            end
+            else begin
+              charge_hidden_cr3_page m;
+              m.Machine.cr.Cr.cr3 <- Cr.cr3_value ~frame ~pcid;
+              Machine.charge m m.Machine.costs.Costs.cr_write;
+              (match Hashtbl.find_opt st.State.pcid_roots pcid with
+              | Some bound when bound = frame ->
+                  (* Clean pair — the no-flush fast path.  Safe because
+                     every protection downgrade shoots stale
+                     translations out of {e all} ASIDs, so entries
+                     cached under this tag can never be more permissive
+                     than the tree they were filled from. *)
+                  ()
+              | _ ->
+                  (* First use or rebind of the tag: entries cached
+                     under it belong to another address space and must
+                     die before this one runs. *)
+                  Machine.flush_asid m ~asid:pcid;
+                  Hashtbl.replace st.State.pcid_roots pcid frame);
+              Machine.count m "load_cr3_pcid";
+              Ok ()
+            end
+        | Some _ | None -> Error (Nk_error.Invalid_cr3 frame))
 
 let load_cr4 st v =
   State.with_gate st (fun () ->

@@ -58,7 +58,19 @@ val load_cr0 : State.t -> int -> (unit, Nk_error.t) result
 val load_cr3 : State.t -> Addr.frame -> (unit, Nk_error.t) result
 (** Switch address spaces; the frame must be a declared PML4 (I6).
     Charges the map/execute/unmap cost of the hidden CR3-writing code
-    page (paper section 3.7). *)
+    page (paper section 3.7) plus a full TLB flush, and forgets all
+    cached (pcid, root) pairings. *)
+
+val load_cr3_pcid :
+  State.t -> pcid:int -> Addr.frame -> (unit, Nk_error.t) result
+(** Tagged address-space switch.  The frame must be a declared PML4
+    and the PCID within 12 bits.  With CR4.PCIDE set, switching back
+    to a (pcid, root) pair that is still bound skips the TLB flush
+    entirely; a first use or rebind of the tag pays only an INVPCID
+    single-context flush.  Protection downgrades elsewhere in the vMMU
+    shoot stale translations out of every ASID, which is what makes
+    the no-flush path sound.  Without PCIDE this degrades to
+    [load_cr3] semantics. *)
 
 val load_cr4 : State.t -> int -> (unit, Nk_error.t) result
 (** Rejected unless SMEP and PAE remain set. *)

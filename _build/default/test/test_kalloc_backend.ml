@@ -69,12 +69,12 @@ let test_native_backend_tlb_maintenance () =
   Helpers.check_ok "map"
     (b.Mmu_backend.write_pte ~va ~ptp:f ~index:0
        (Pte.make ~frame:(f + 1) Pte.user_rw_nx));
-  Tlb.insert m.Machine.tlb ~vpage:(Addr.vpage va)
+  Tlb.insert m.Machine.tlb ~asid:0 ~vpage:(Addr.vpage va)
     { Tlb.frame = f + 1; writable = true; user = true; nx = true; global = false };
   Helpers.check_ok "unmap (downgrade)"
     (b.Mmu_backend.write_pte ~va ~ptp:f ~index:0 Pte.empty);
   Alcotest.(check bool) "stale entry flushed" true
-    (Tlb.lookup m.Machine.tlb ~vpage:(Addr.vpage va) = None)
+    (Tlb.lookup m.Machine.tlb ~asid:0 ~vpage:(Addr.vpage va) = None)
 
 let test_nested_backend_validates () =
   let k = Helpers.kernel Config.Perspicuos in

@@ -6,48 +6,180 @@ let entry ?(writable = true) ?(global = false) frame =
 let test_miss_then_hit () =
   let tlb = Tlb.create () in
   Alcotest.(check (option reject)) "initial miss" None
-    (Option.map ignore (Tlb.lookup tlb ~vpage:5));
-  Tlb.insert tlb ~vpage:5 (entry 42);
-  (match Tlb.lookup tlb ~vpage:5 with
+    (Option.map ignore (Tlb.lookup tlb ~asid:0 ~vpage:5));
+  Tlb.insert tlb ~asid:0 ~vpage:5 (entry 42);
+  (match Tlb.lookup tlb ~asid:0 ~vpage:5 with
   | Some e -> Alcotest.(check int) "hit frame" 42 e.Tlb.frame
   | None -> Alcotest.fail "expected hit");
   Alcotest.(check int) "hits" 1 (Tlb.hits tlb)
 
 let test_flush_page () =
   let tlb = Tlb.create () in
-  Tlb.insert tlb ~vpage:1 (entry 10);
-  Tlb.insert tlb ~vpage:2 (entry 20);
+  Tlb.insert tlb ~asid:0 ~vpage:1 (entry 10);
+  Tlb.insert tlb ~asid:0 ~vpage:2 (entry 20);
   Tlb.flush_page tlb ~vpage:1;
-  Alcotest.(check bool) "flushed gone" true (Tlb.lookup tlb ~vpage:1 = None);
-  Alcotest.(check bool) "other survives" true (Tlb.lookup tlb ~vpage:2 <> None)
+  Alcotest.(check bool) "flushed gone" true
+    (Tlb.lookup tlb ~asid:0 ~vpage:1 = None);
+  Alcotest.(check bool) "other survives" true
+    (Tlb.lookup tlb ~asid:0 ~vpage:2 <> None)
 
 let test_flush_all_keeps_global () =
   let tlb = Tlb.create () in
-  Tlb.insert tlb ~vpage:1 (entry 10);
-  Tlb.insert tlb ~vpage:2 (entry ~global:true 20);
+  Tlb.insert tlb ~asid:0 ~vpage:1 (entry 10);
+  Tlb.insert tlb ~asid:0 ~vpage:2 (entry ~global:true 20);
   Tlb.flush_all tlb;
-  Alcotest.(check bool) "non-global gone" true (Tlb.lookup tlb ~vpage:1 = None);
-  Alcotest.(check bool) "global kept" true (Tlb.lookup tlb ~vpage:2 <> None)
+  Alcotest.(check bool) "non-global gone" true
+    (Tlb.lookup tlb ~asid:0 ~vpage:1 = None);
+  Alcotest.(check bool) "global kept" true
+    (Tlb.lookup tlb ~asid:0 ~vpage:2 <> None)
 
 let test_stale_entry_semantics () =
   (* The TLB intentionally serves whatever was inserted — staleness is
      the caller's problem, exactly as on hardware. *)
   let tlb = Tlb.create () in
-  Tlb.insert tlb ~vpage:9 (entry ~writable:true 1);
-  Tlb.insert tlb ~vpage:9 (entry ~writable:false 1);
-  match Tlb.lookup tlb ~vpage:9 with
+  Tlb.insert tlb ~asid:0 ~vpage:9 (entry ~writable:true 1);
+  Tlb.insert tlb ~asid:0 ~vpage:9 (entry ~writable:false 1);
+  match Tlb.lookup tlb ~asid:0 ~vpage:9 with
   | Some e -> Alcotest.(check bool) "latest wins" false e.Tlb.writable
   | None -> Alcotest.fail "entry missing"
 
+let test_asid_isolation () =
+  let tlb = Tlb.create () in
+  Tlb.insert tlb ~asid:1 ~vpage:5 (entry 11);
+  Tlb.insert tlb ~asid:2 ~vpage:5 (entry 22);
+  (match Tlb.lookup tlb ~asid:1 ~vpage:5 with
+  | Some e -> Alcotest.(check int) "asid 1 frame" 11 e.Tlb.frame
+  | None -> Alcotest.fail "asid 1 miss");
+  (match Tlb.lookup tlb ~asid:2 ~vpage:5 with
+  | Some e -> Alcotest.(check int) "asid 2 frame" 22 e.Tlb.frame
+  | None -> Alcotest.fail "asid 2 miss");
+  Alcotest.(check bool) "asid 3 misses" true
+    (Tlb.lookup tlb ~asid:3 ~vpage:5 = None)
+
+let test_global_visible_in_all_asids () =
+  let tlb = Tlb.create () in
+  Tlb.insert tlb ~asid:1 ~vpage:7 (entry ~global:true 70);
+  Alcotest.(check bool) "asid 2 sees global" true
+    (Tlb.lookup tlb ~asid:2 ~vpage:7 <> None);
+  Alcotest.(check bool) "asid 0 sees global" true
+    (Tlb.lookup tlb ~asid:0 ~vpage:7 <> None)
+
+let test_flush_asid () =
+  let tlb = Tlb.create () in
+  Tlb.insert tlb ~asid:1 ~vpage:1 (entry 10);
+  Tlb.insert tlb ~asid:2 ~vpage:1 (entry 20);
+  Tlb.insert tlb ~asid:1 ~vpage:3 (entry ~global:true 30);
+  Tlb.flush_asid tlb ~asid:1;
+  Alcotest.(check bool) "asid 1 flushed" true
+    (Tlb.lookup tlb ~asid:1 ~vpage:1 = None);
+  Alcotest.(check bool) "asid 2 untouched" true
+    (Tlb.lookup tlb ~asid:2 ~vpage:1 <> None);
+  Alcotest.(check bool) "global untouched" true
+    (Tlb.lookup tlb ~asid:1 ~vpage:3 <> None)
+
+let test_flush_all_covers_every_asid () =
+  let tlb = Tlb.create () in
+  Tlb.insert tlb ~asid:1 ~vpage:1 (entry 10);
+  Tlb.insert tlb ~asid:2 ~vpage:2 (entry 20);
+  Tlb.flush_all tlb;
+  Alcotest.(check bool) "asid 1 gone" true
+    (Tlb.lookup tlb ~asid:1 ~vpage:1 = None);
+  Alcotest.(check bool) "asid 2 gone" true
+    (Tlb.lookup tlb ~asid:2 ~vpage:2 = None)
+
+let test_flush_global_too () =
+  let tlb = Tlb.create () in
+  Tlb.insert tlb ~asid:1 ~vpage:1 (entry 10);
+  Tlb.insert tlb ~asid:1 ~vpage:2 (entry ~global:true 20);
+  Tlb.flush_global_too tlb;
+  Alcotest.(check bool) "non-global gone" true
+    (Tlb.lookup tlb ~asid:1 ~vpage:1 = None);
+  Alcotest.(check bool) "global gone too" true
+    (Tlb.lookup tlb ~asid:1 ~vpage:2 = None)
+
+let test_flush_page_all_asids () =
+  let tlb = Tlb.create () in
+  Tlb.insert tlb ~asid:1 ~vpage:4 (entry 10);
+  Tlb.insert tlb ~asid:2 ~vpage:4 (entry 20);
+  Tlb.insert tlb ~asid:3 ~vpage:4 (entry ~global:true 30);
+  Tlb.insert tlb ~asid:1 ~vpage:5 (entry 50);
+  Tlb.flush_page tlb ~vpage:4;
+  Alcotest.(check bool) "asid 1 gone" true
+    (Tlb.lookup tlb ~asid:1 ~vpage:4 = None);
+  Alcotest.(check bool) "asid 2 gone" true
+    (Tlb.lookup tlb ~asid:2 ~vpage:4 = None);
+  Alcotest.(check bool) "global gone" true
+    (Tlb.lookup tlb ~asid:3 ~vpage:4 = None);
+  Alcotest.(check bool) "other page survives" true
+    (Tlb.lookup tlb ~asid:1 ~vpage:5 <> None)
+
+let test_size_counts_live_entries () =
+  let tlb = Tlb.create () in
+  Tlb.insert tlb ~asid:1 ~vpage:1 (entry 10);
+  Tlb.insert tlb ~asid:2 ~vpage:1 (entry 20);
+  Tlb.insert tlb ~asid:1 ~vpage:2 (entry ~global:true 30);
+  Alcotest.(check int) "3 live" 3 (Tlb.size tlb);
+  Tlb.flush_asid tlb ~asid:1;
+  Alcotest.(check int) "asid 1 dropped" 2 (Tlb.size tlb);
+  Tlb.flush_all tlb;
+  Alcotest.(check int) "globals only" 1 (Tlb.size tlb);
+  Tlb.flush_global_too tlb;
+  Alcotest.(check int) "empty" 0 (Tlb.size tlb)
+
+let test_refill_after_generation_flush () =
+  (* The generation trick must not resurrect or shadow entries:
+     insert, flush, re-insert must serve the new entry. *)
+  let tlb = Tlb.create () in
+  Tlb.insert tlb ~asid:1 ~vpage:8 (entry 80);
+  Tlb.flush_all tlb;
+  Alcotest.(check bool) "stale invisible" true
+    (Tlb.lookup tlb ~asid:1 ~vpage:8 = None);
+  Tlb.insert tlb ~asid:1 ~vpage:8 (entry 81);
+  (match Tlb.lookup tlb ~asid:1 ~vpage:8 with
+  | Some e -> Alcotest.(check int) "fresh frame" 81 e.Tlb.frame
+  | None -> Alcotest.fail "refill lost");
+  Tlb.flush_asid tlb ~asid:1;
+  Tlb.insert tlb ~asid:1 ~vpage:8 (entry 82);
+  match Tlb.lookup tlb ~asid:1 ~vpage:8 with
+  | Some e -> Alcotest.(check int) "post-asid-flush frame" 82 e.Tlb.frame
+  | None -> Alcotest.fail "refill after asid flush lost"
+
+let test_many_flushes_stay_cheap () =
+  (* 100k flush_all calls with a populated table: feasible only if the
+     flush is O(1).  Completes instantly with the generation scheme,
+     would take noticeable time rebuilding a hashtable per call. *)
+  let tlb = Tlb.create () in
+  for vpage = 0 to 255 do
+    Tlb.insert tlb ~asid:(vpage land 7) ~vpage (entry vpage)
+  done;
+  for _ = 1 to 100_000 do
+    Tlb.flush_all tlb
+  done;
+  Alcotest.(check int) "all dead" 0 (Tlb.size tlb)
+
 let prop_insert_lookup =
   Helpers.qtest "insert/lookup"
-    QCheck2.Gen.(pair (int_range 0 1_000_000) (int_range 0 10_000))
-    (fun (vpage, frame) ->
+    QCheck2.Gen.(
+      triple (int_range 0 1_000_000) (int_range 0 10_000) (int_range 0 4095))
+    (fun (vpage, frame, asid) ->
       let tlb = Tlb.create () in
-      Tlb.insert tlb ~vpage (entry frame);
-      match Tlb.lookup tlb ~vpage with
+      Tlb.insert tlb ~asid ~vpage (entry frame);
+      match Tlb.lookup tlb ~asid ~vpage with
       | Some e -> e.Tlb.frame = frame
       | None -> false)
+
+let prop_asid_flush_isolated =
+  Helpers.qtest "flush_asid leaves other asids intact"
+    QCheck2.Gen.(
+      triple (int_range 0 1_000_000) (int_range 1 4095) (int_range 1 4095))
+    (fun (vpage, a, b) ->
+      QCheck2.assume (a <> b);
+      let tlb = Tlb.create () in
+      Tlb.insert tlb ~asid:a ~vpage (entry 1);
+      Tlb.insert tlb ~asid:b ~vpage (entry 2);
+      Tlb.flush_asid tlb ~asid:a;
+      Tlb.lookup tlb ~asid:a ~vpage = None
+      && Tlb.lookup tlb ~asid:b ~vpage <> None)
 
 let suite =
   [
@@ -55,5 +187,21 @@ let suite =
     Alcotest.test_case "flush page" `Quick test_flush_page;
     Alcotest.test_case "full flush keeps globals" `Quick test_flush_all_keeps_global;
     Alcotest.test_case "stale entries served" `Quick test_stale_entry_semantics;
+    Alcotest.test_case "asid isolation" `Quick test_asid_isolation;
+    Alcotest.test_case "globals visible in all asids" `Quick
+      test_global_visible_in_all_asids;
+    Alcotest.test_case "flush asid" `Quick test_flush_asid;
+    Alcotest.test_case "full flush covers every asid" `Quick
+      test_flush_all_covers_every_asid;
+    Alcotest.test_case "flush global too" `Quick test_flush_global_too;
+    Alcotest.test_case "flush page hits all asids" `Quick
+      test_flush_page_all_asids;
+    Alcotest.test_case "size counts live entries" `Quick
+      test_size_counts_live_entries;
+    Alcotest.test_case "refill after generation flush" `Quick
+      test_refill_after_generation_flush;
+    Alcotest.test_case "100k flushes stay cheap" `Quick
+      test_many_flushes_stay_cheap;
     prop_insert_lookup;
+    prop_asid_flush_isolated;
   ]

@@ -219,12 +219,80 @@ let test_tlb_shootdown_on_downgrade () =
     (Api.write_pte nk ~va ~ptp:f0 ~index:7 (Pte.make ~frame:data Pte.user_rw_nx));
   (* Warm a TLB entry through a user-style walk of this PT; simulate by
      inserting what the MMU would cache. *)
-  Tlb.insert m.Machine.tlb ~vpage:(Addr.vpage va)
+  Tlb.insert m.Machine.tlb ~asid:0 ~vpage:(Addr.vpage va)
     { Tlb.frame = data; writable = true; user = true; nx = true; global = false };
   Helpers.check_ok "downgrade to ro"
     (Api.write_pte nk ~va ~ptp:f0 ~index:7 (Pte.make ~frame:data Pte.user_ro_nx));
   Alcotest.(check bool) "stale entry shot down" true
-    (Tlb.lookup m.Machine.tlb ~vpage:(Addr.vpage va) = None)
+    (Tlb.lookup m.Machine.tlb ~asid:0 ~vpage:(Addr.vpage va) = None)
+
+let test_load_cr3_pcid () =
+  let m, nk, f0 = setup () in
+  let old_root = Cr.root_frame m.Machine.cr in
+  Helpers.check_ok "enable PCIDE"
+    (Api.load_cr4 nk (m.Machine.cr.Cr.cr4 lor Cr.cr4_pcide));
+  declare_ok nk ~level:4 f0;
+  for index = 256 to 511 do
+    let e = Page_table.get_entry m.Machine.mem ~ptp:old_root ~index in
+    if Pte.is_present e then
+      Helpers.check_ok "copy kernel link" (Api.write_pte nk ~ptp:f0 ~index e)
+  done;
+  Helpers.expect_error "pcid out of range"
+    (Api.load_cr3_pcid nk ~pcid:(Cr.max_pcid + 1) f0);
+  Helpers.expect_error "undeclared root rejected (I6)"
+    (Api.load_cr3_pcid nk ~pcid:3 (f0 + 1));
+  let clock = m.Machine.clock in
+  let asid_flushes () = Clock.counter clock "tlb_flush_asid" in
+  let full_flushes () = Clock.counter clock "tlb_flush_full" in
+  let a0 = asid_flushes () in
+  let full0 = full_flushes () in
+  Helpers.check_ok "first tagged switch" (Api.load_cr3_pcid nk ~pcid:3 f0);
+  Alcotest.(check int) "first use of the pair flushes the ASID" (a0 + 1)
+    (asid_flushes ());
+  Alcotest.(check int) "CR3 root" f0 (Cr.root_frame m.Machine.cr);
+  Alcotest.(check int) "CR3 pcid" 3 (Cr.pcid m.Machine.cr);
+  Helpers.check_ok "switch home" (Api.load_cr3_pcid nk ~pcid:0 old_root);
+  Helpers.check_ok "clean-pair switch" (Api.load_cr3_pcid nk ~pcid:3 f0);
+  Alcotest.(check int) "clean pairs skip the flush" (a0 + 1) (asid_flushes ());
+  Helpers.check_ok "rebind pcid 3" (Api.load_cr3_pcid nk ~pcid:3 old_root);
+  Alcotest.(check int) "rebinding the pcid flushes it" (a0 + 2)
+    (asid_flushes ());
+  Alcotest.(check int) "tagged switches never flush everything" full0
+    (full_flushes ());
+  (* An untagged switch forgets every binding: the old clean pair must
+     re-flush on its next use. *)
+  Helpers.check_ok "untagged switch" (Api.load_cr3 nk old_root);
+  Helpers.check_ok "re-tagged switch" (Api.load_cr3_pcid nk ~pcid:3 f0);
+  Alcotest.(check int) "binding was dropped" (a0 + 3) (asid_flushes ());
+  Alcotest.(check bool) "audit clean" true (Api.audit_ok nk)
+
+let test_cross_asid_shootdown () =
+  let m, nk, f0 = setup () in
+  declare_ok nk ~level:1 f0;
+  let data = f0 + 1 in
+  let va = 0x7000 in
+  Helpers.check_ok "map rw"
+    (Api.write_pte nk ~va ~ptp:f0 ~index:7 (Pte.make ~frame:data Pte.user_rw_nx));
+  let entry =
+    { Tlb.frame = data; writable = true; user = true; nx = true; global = false }
+  in
+  (* Translations parked in inactive ASIDs... *)
+  Tlb.insert m.Machine.tlb ~asid:5 ~vpage:(Addr.vpage va) entry;
+  Tlb.insert m.Machine.tlb ~asid:9 ~vpage:(Addr.vpage va) entry;
+  Helpers.check_ok "downgrade to ro"
+    (Api.write_pte nk ~va ~ptp:f0 ~index:7 (Pte.make ~frame:data Pte.user_ro_nx));
+  (* ...must not survive the downgrade in ANY of them. *)
+  Alcotest.(check bool) "asid 5 entry shot down" true
+    (Tlb.lookup m.Machine.tlb ~asid:5 ~vpage:(Addr.vpage va) = None);
+  Alcotest.(check bool) "asid 9 entry shot down" true
+    (Tlb.lookup m.Machine.tlb ~asid:9 ~vpage:(Addr.vpage va) = None);
+  (* A downgrade with no known VA falls back to the global-too full
+     flush: even global entries must die. *)
+  Tlb.insert m.Machine.tlb ~asid:0 ~vpage:0x9999
+    { entry with Tlb.global = true };
+  Helpers.check_ok "unmap without va" (Api.write_pte nk ~ptp:f0 ~index:7 Pte.empty);
+  Alcotest.(check bool) "global entry flushed by blind downgrade" true
+    (Tlb.lookup m.Machine.tlb ~asid:42 ~vpage:0x9999 = None)
 
 let suite =
   [
@@ -255,4 +323,8 @@ let suite =
     Alcotest.test_case "reentrancy lock" `Quick test_reentrancy_lock;
     Alcotest.test_case "TLB shootdown on downgrade" `Quick
       test_tlb_shootdown_on_downgrade;
+    Alcotest.test_case "load_cr3_pcid validation and clean pairs" `Quick
+      test_load_cr3_pcid;
+    Alcotest.test_case "cross-ASID shootdown on downgrade" `Quick
+      test_cross_asid_shootdown;
   ]

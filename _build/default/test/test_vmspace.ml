@@ -255,6 +255,53 @@ let test_batched_backend_equivalence () =
         (Nested_kernel.Api.audit_ok nk)
   | None -> ()
 
+let test_asid_pool_recycling () =
+  let k = Helpers.kernel Config.Perspicuos in
+  let env = k.Kernel.env in
+  let pool = Option.get env.Vmspace.asids in
+  let p = Kernel.current_proc k in
+  let vm0 = p.Proc.vm in
+  let a0 = Option.get (Vmspace.ensure_asid env vm0) in
+  Alcotest.(check bool) "user space gets a non-kernel asid" true
+    (a0 <> Asid_pool.kernel_asid);
+  Alcotest.(check int) "asid stable while the slot is ours" a0
+    (Option.get (Vmspace.ensure_asid env vm0));
+  let clock = k.Kernel.machine.Machine.clock in
+  let recycles () = Clock.counter clock "asid_recycle" in
+  let r0 = recycles () in
+  (* Exhaust the pool: each new space takes a slot, and once the free
+     slots run out the pool steals one (flushing the stolen ASID). *)
+  let spaces =
+    List.init (Asid_pool.size pool - 1) (fun _ ->
+        Result.get_ok (Vmspace.create env ~kernel_root:k.Kernel.kernel_root))
+  in
+  Alcotest.(check bool) "exhaustion recycles at least one slot" true
+    (recycles () > r0);
+  (* Whoever lost its slot revalidates transparently on the next use. *)
+  let a1 = Option.get (Vmspace.ensure_asid env vm0) in
+  Alcotest.(check bool) "revalidated asid owns its slot" true
+    (Asid_pool.valid pool ~asid:a1 ~stamp:vm0.Vmspace.asid_stamp);
+  List.iter (fun vm -> Vmspace.destroy env vm) spaces;
+  (* Destroy released the slots: a fresh space allocates without
+     stealing. *)
+  let r1 = recycles () in
+  let vm =
+    Result.get_ok (Vmspace.create env ~kernel_root:k.Kernel.kernel_root)
+  in
+  Alcotest.(check int) "freed slots are reused without recycling" r1
+    (recycles ());
+  Vmspace.destroy env vm
+
+let test_no_pcid_no_asids () =
+  let k = Os.boot ~frames:4096 ~pcid:false Config.Perspicuos in
+  let p = Kernel.current_proc k in
+  Alcotest.(check bool) "no pool when pcid is off" true
+    (k.Kernel.env.Vmspace.asids = None);
+  Alcotest.(check bool) "ensure_asid yields none" true
+    (Vmspace.ensure_asid k.Kernel.env p.Proc.vm = None);
+  Alcotest.(check bool) "PCIDE stays clear" false
+    (Cr.pcid_enabled k.Kernel.machine.Machine.cr)
+
 let suite =
   [
     Alcotest.test_case "map/populate/unmap" `Quick test_map_populate_unmap;
@@ -271,4 +318,6 @@ let suite =
     Alcotest.test_case "exec-kind faults" `Quick test_exec_fault_kind;
     Alcotest.test_case "batched backend equivalence" `Quick
       test_batched_backend_equivalence;
+    Alcotest.test_case "ASID pool recycling" `Quick test_asid_pool_recycling;
+    Alcotest.test_case "no PCID, no ASIDs" `Quick test_no_pcid_no_asids;
   ]

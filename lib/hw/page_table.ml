@@ -3,6 +3,7 @@ type walk = {
   writable : bool;
   user : bool;
   nx : bool;
+  global : bool;
   level : int;
   leaf_ptp : Addr.frame;
   leaf_index : int;
@@ -36,6 +37,7 @@ let walk mem ~root va =
             writable;
             user;
             nx;
+            global = Pte.is_global pte;
             level;
             leaf_ptp = ptp;
             leaf_index = index;

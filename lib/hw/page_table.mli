@@ -11,6 +11,7 @@ type walk = {
   writable : bool;
   user : bool;
   nx : bool;
+  global : bool;  (** G bit of the leaf entry: survives CR3 reloads *)
   level : int;  (** level of the leaf entry: 1 = 4K page, 2 = 2M page *)
   leaf_ptp : Addr.frame;  (** PTP holding the leaf entry *)
   leaf_index : int;

@@ -224,11 +224,12 @@ let test_interrupt_masked_by_cli () =
 
 let test_cr3_write_flushes_tlb () =
   let m = machine_with Insn.[ Mov_ri (RAX, 0x5000); Mov_to_cr (CR3, RAX); Hlt ] in
-  Tlb.insert m.Machine.tlb ~vpage:77
+  Tlb.insert m.Machine.tlb ~asid:0 ~vpage:77
     { Tlb.frame = 1; writable = true; user = false; nx = false; global = false };
   Alcotest.check check_stop "halts" Exec.Halted (run m);
   Alcotest.(check int) "cr3 loaded" 0x5000 m.Machine.cr.Cr.cr3;
-  Alcotest.(check bool) "tlb flushed" true (Tlb.lookup m.Machine.tlb ~vpage:77 = None)
+  Alcotest.(check bool) "tlb flushed" true
+    (Tlb.lookup m.Machine.tlb ~asid:0 ~vpage:77 = None)
 
 let test_fuel () =
   let prog = Insn.[ Lbl "spin"; Ins (Jmp (Label "spin")) ] in
