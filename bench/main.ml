@@ -453,6 +453,87 @@ let extra_smp_shootdown () =
         ];
     }
 
+let extra_coherence () =
+  section "Extra: differential TLB-coherence oracle overhead";
+  (* The oracle is a debug/CI instrument: with the hook uninstalled the
+     check sites must cost literally nothing, and the enabled cost puts
+     a number on what running the fuzzer under it pays. *)
+  let workload nk f0 =
+    let module Api = Nested_kernel.Api in
+    ignore (Result.get_ok (Api.declare_ptp nk ~level:1 f0));
+    for i = 0 to 63 do
+      ignore
+        (Result.get_ok
+           (Api.write_pte nk ~ptp:f0 ~index:(i mod Nkhw.Addr.entries_per_table)
+              (Nkhw.Pte.make ~frame:(f0 + 1 + (i mod 8)) Nkhw.Pte.user_rw_nx)));
+      ignore
+        (Result.get_ok
+           (Api.write_pte nk ~ptp:f0 ~index:(i mod Nkhw.Addr.entries_per_table)
+              Nkhw.Pte.empty))
+    done;
+    ignore (Result.get_ok (Api.remove_ptp nk f0))
+  in
+  let run mode =
+    let m = Nkhw.Machine.create ~frames:2048 () in
+    let nk = Nested_kernel.Api.boot_exn m in
+    (match mode with
+    | `Baseline -> ()
+    | `Off ->
+        (* Install and immediately remove: the leftover cost must be 0. *)
+        Nested_kernel.Api.enable_coherence_check nk;
+        Nested_kernel.Api.disable_coherence_check nk
+    | `On -> Nested_kernel.Api.enable_coherence_check nk);
+    let f0 = Nested_kernel.Api.outer_first_frame nk in
+    workload nk f0;
+    Nkhw.Clock.cycles m.Nkhw.Machine.clock
+  in
+  let timed mode =
+    let t0 = Sys.time () in
+    let cycles = run mode in
+    (cycles, Sys.time () -. t0)
+  in
+  let baseline, base_s = timed `Baseline in
+  let off, off_s = timed `Off in
+  let on, on_s = timed `On in
+  json_add "coherence_oracle"
+    (json_obj
+       [
+         ("baseline_cycles", string_of_int baseline);
+         ("oracle_off_cycles", string_of_int off);
+         ("oracle_on_cycles", string_of_int on);
+         ("off_overhead_cycles", string_of_int (off - baseline));
+         ("oracle_on_wallclock_x", Printf.sprintf "%.1f" (on_s /. max 1e-9 off_s));
+       ]);
+  Stats.print
+    {
+      Stats.title =
+        "vMMU map/unmap workload under the coherence oracle";
+      columns = [ "mode"; "simulated cycles"; "host ms" ];
+      rows =
+        [
+          [
+            "baseline (never installed)";
+            string_of_int baseline;
+            Printf.sprintf "%.1f" (base_s *. 1e3);
+          ];
+          [
+            "oracle off";
+            (if off = baseline then string_of_int off ^ " (identical)"
+             else string_of_int off ^ " -- MUST EQUAL BASELINE");
+            Printf.sprintf "%.1f" (off_s *. 1e3);
+          ];
+          [ "oracle on"; string_of_int on; Printf.sprintf "%.1f" (on_s *. 1e3) ];
+        ];
+      notes =
+        [
+          "oracle-off must be cycle-identical to a machine that never \
+           installed it (the hook site is a single match on an option field)";
+          "the oracle audits out-of-band, so oracle-on charges no simulated \
+           cycles either -- its price is host wall-clock, paid only in tests \
+           and CI";
+        ];
+    }
+
 let attacks () =
   section "Security evaluation: attack x configuration matrix";
   List.iter
@@ -557,6 +638,7 @@ let experiments =
     ("ablation-granularity", ablation_granularity);
     ("extra-ctx-switch", extra_ctx_switch);
     ("extra-smp-shootdown", extra_smp_shootdown);
+    ("extra-coherence", extra_coherence);
     ("attacks", attacks);
     ("bechamel", bechamel);
   ]

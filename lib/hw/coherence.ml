@@ -1,0 +1,210 @@
+(* Differential TLB-coherence oracle.
+
+   The nested kernel's security argument assumes that after any
+   protection downgrade no CPU retains a stale, more-permissive
+   translation.  This module checks that assumption mechanically: an
+   independent reference translator walks the live page tables with no
+   caching whatsoever, and every cached TLB entry — on the active CPU
+   and on every parked peer — is cross-checked against it.
+
+   Only stale-AND-MORE-PERMISSIVE entries are violations: an entry
+   that is writable, user-accessible or executable where the tree says
+   otherwise, maps a different frame, or exists where the tree has no
+   mapping at all.  A stale but *less* permissive entry (e.g. still
+   read-only after an upgrade) merely causes a spurious fault and is
+   the software's job to tolerate, exactly as on hardware, so it is
+   not flagged.  The global bit is likewise advisory (it only affects
+   flush behaviour, not access rights) and is not compared. *)
+
+type walk = {
+  w_frame : Addr.frame;
+  w_writable : bool;
+  w_user : bool;
+  w_nx : bool;
+  w_global : bool;
+}
+
+type violation = {
+  v_cpu : int;
+  v_asid : int option;
+  v_vpage : int;
+  v_cached : Tlb.entry;
+  v_walked : walk option;
+  v_why : string;
+  v_op : string;
+}
+
+exception Violation of violation list
+
+(* Deliberately NOT Page_table.walk: the oracle must not share code
+   with the fast path it is auditing.  Same accumulation rules as the
+   hardware walk — writable/user AND down the levels, NX ORs in — and
+   a 2 MiB leaf resolves to the constituent 4 KiB frame. *)
+let reference_translate mem ~root va =
+  let rec step ptp level ~writable ~user ~nx =
+    if not (Phys_mem.valid_frame mem ptp) then None
+    else
+      let index = Addr.index_at_level ~level va in
+      let pte = Phys_mem.read_u64 mem (Addr.pa_of_frame ptp + (index * 8)) in
+      if not (Pte.is_present pte) then None
+      else
+        let writable = writable && Pte.is_writable pte in
+        let user = user && Pte.is_user pte in
+        let nx = nx || Pte.is_nx pte in
+        if level = 1 || (level = 2 && Pte.is_large pte) then
+          let frame =
+            if level = 2 then Pte.frame pte + (Addr.vpage va land 0x1ff)
+            else Pte.frame pte
+          in
+          Some
+            {
+              w_frame = frame;
+              w_writable = writable;
+              w_user = user;
+              w_nx = nx;
+              w_global = Pte.is_global pte;
+            }
+        else step (Pte.frame pte) (level - 1) ~writable ~user ~nx
+  in
+  if Phys_mem.valid_frame mem root then
+    step root 4 ~writable:true ~user:true ~nx:false
+  else None
+
+let stale_reason (e : Tlb.entry) walked =
+  match walked with
+  | None -> Some "cached translation for an unmapped VA"
+  | Some w ->
+      if e.Tlb.frame <> w.w_frame then Some "cached frame differs from walk"
+      else if e.Tlb.writable && not w.w_writable then Some "stale writable bit"
+      else if e.Tlb.user && not w.w_user then Some "stale user bit"
+      else if (not e.Tlb.nx) && w.w_nx then Some "stale executable permission"
+      else None
+
+let pp_violation ppf v =
+  Format.fprintf ppf
+    "@[<h>cpu%d %s vpage=%#x after %s: %s; cached frame=%#x w=%b u=%b nx=%b, walk=%s@]"
+    v.v_cpu
+    (match v.v_asid with
+    | None -> "global"
+    | Some a -> Printf.sprintf "asid=%d" a)
+    v.v_vpage v.v_op v.v_why v.v_cached.Tlb.frame v.v_cached.Tlb.writable
+    v.v_cached.Tlb.user v.v_cached.Tlb.nx
+    (match v.v_walked with
+    | None -> "unmapped"
+    | Some w ->
+        Printf.sprintf "frame=%#x w=%b u=%b nx=%b" w.w_frame w.w_writable
+          w.w_user w.w_nx)
+
+let () =
+  Printexc.register_printer (function
+    | Violation vs ->
+        Some
+          (Format.asprintf "Coherence.Violation [@[<v>%a@]]"
+             (Format.pp_print_list pp_violation)
+             vs)
+    | _ -> None)
+
+(* Full audit: every live entry of every TLB against the live trees.
+   [root_of_asid] resolves the root a non-active ASID's entries were
+   filled from (the vMMU's pcid bindings); an ASID it cannot resolve
+   is unreachable — rebinding the PCID flushes it first — so its
+   entries are skipped.  Global entries hit under every ASID; kernel
+   mappings are identical in every root, so the active root audits
+   them. *)
+let check_machine ?(root_of_asid = fun _ -> None) ?(op = "audit")
+    (m : Machine.t) =
+  if not (Cr.paging_enabled m.Machine.cr) then []
+  else begin
+    let active_root = Cr.root_frame m.Machine.cr in
+    let active_asid = Cr.asid m.Machine.cr in
+    let violations = ref [] in
+    let check_tlb ~cpu tlb =
+      Tlb.iter_live tlb ~f:(fun ~asid ~vpage e ->
+          let root =
+            match asid with
+            | None -> Some active_root
+            | Some a when cpu = 0 && a = active_asid -> Some active_root
+            | Some a -> root_of_asid a
+          in
+          match root with
+          | None -> ()
+          | Some root -> (
+              let walked =
+                reference_translate m.Machine.mem ~root
+                  (vpage * Addr.page_size)
+              in
+              match stale_reason e walked with
+              | None -> ()
+              | Some why ->
+                  violations :=
+                    {
+                      v_cpu = cpu;
+                      v_asid = asid;
+                      v_vpage = vpage;
+                      v_cached = e;
+                      v_walked = walked;
+                      v_why = why;
+                      v_op = op;
+                    }
+                    :: !violations))
+    in
+    check_tlb ~cpu:0 m.Machine.tlb;
+    List.iteri (fun i tlb -> check_tlb ~cpu:(i + 1) tlb) m.Machine.peer_tlbs;
+    List.rev !violations
+  end
+
+(* Targeted audit of the one translation the MMU just served: O(1), so
+   it can run after every access without making the fuzzer quadratic. *)
+let check_va ?(op = "access") (m : Machine.t) va =
+  if not (Cr.paging_enabled m.Machine.cr) then []
+  else
+    let vpage = Addr.vpage va in
+    match Tlb.peek m.Machine.tlb ~asid:(Cr.asid m.Machine.cr) ~vpage with
+    | None -> []
+    | Some e -> (
+        let walked =
+          reference_translate m.Machine.mem ~root:(Cr.root_frame m.Machine.cr)
+            va
+        in
+        match stale_reason e walked with
+        | None -> []
+        | Some why ->
+            [
+              {
+                v_cpu = 0;
+                v_asid = (if e.Tlb.global then None else Some (Cr.asid m.Machine.cr));
+                v_vpage = vpage;
+                v_cached = e;
+                v_walked = walked;
+                v_why = why;
+                v_op = op;
+              };
+            ])
+
+let enable ?root_of_asid ?on_violation (m : Machine.t) =
+  let checking = ref false in
+  let hook ~op ~va =
+    (* Mid-gate the PTE write and its shootdown are two steps; the
+       window between them is legitimately incoherent, and the gate
+       exit fires a full check.  The guard also stops the oracle from
+       auditing its own resolver's reads. *)
+    if (not !checking) && not m.Machine.in_nested_kernel then begin
+      checking := true;
+      Fun.protect
+        ~finally:(fun () -> checking := false)
+        (fun () ->
+          let vs =
+            match va with
+            | Some va -> check_va ~op m va
+            | None -> check_machine ?root_of_asid ~op m
+          in
+          if vs <> [] then
+            match on_violation with
+            | Some f -> f vs
+            | None -> raise (Violation vs))
+    end
+  in
+  m.Machine.coherence_hook <- Some hook
+
+let disable (m : Machine.t) = m.Machine.coherence_hook <- None
+let enabled (m : Machine.t) = m.Machine.coherence_hook <> None

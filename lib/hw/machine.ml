@@ -16,6 +16,7 @@ type t = {
   mutable smi_handler : (t -> unit) option;
   mutable in_nested_kernel : bool;
   mutable last_trap : (int * Fault.t option) option;
+  mutable coherence_hook : (op:string -> va:Addr.va option -> unit) option;
 }
 
 let msr_efer = 0xC0000080
@@ -37,15 +38,29 @@ let create ?(frames = 8192) ?(costs = Costs.default) () =
     smi_handler = None;
     in_nested_kernel = false;
     last_trap = None;
+    coherence_hook = None;
   }
 
 let charge t c = Clock.charge t.clock c
 let count t name = Clock.count t.clock name
 
+(* Differential-oracle hooks (see {!Coherence}).  [va = Some _] asks
+   for a targeted check of one translation just served by the MMU;
+   [va = None] asks for a full cross-check of every cached entry
+   against the live page tables.  With no hook installed both are a
+   single match — the oracle-off overhead is zero cycles and zero
+   allocation. *)
+let coherence_check t ~op =
+  match t.coherence_hook with None -> () | Some f -> f ~op ~va:None
+
+let coherence_check_va t ~op va =
+  match t.coherence_hook with None -> () | Some f -> f ~op ~va:(Some va)
+
 let translate t ~ring ~kind va =
   match Mmu.access t.mem t.cr t.tlb ~ring ~kind va with
   | Ok { pa; tlb_hit } ->
       charge t (if tlb_hit then t.costs.mem_insn else t.costs.mem_insn + t.costs.tlb_miss_walk);
+      coherence_check_va t ~op:"mmu_access" va;
       Ok pa
   | Error f -> Error f
 
@@ -86,6 +101,7 @@ let bulk t ~ring ~kind va len f =
       | Error fault -> Error fault
       | Ok { pa; tlb_hit } ->
           if not tlb_hit then charge t t.costs.tlb_miss_walk;
+          coherence_check_va t ~op:"mmu_access" va;
           let chunk = min remaining (Addr.page_size - Addr.page_offset va) in
           charge t (t.costs.byte_copy_x8 * ((chunk + 7) / 8));
           f ~pa ~off ~chunk;
@@ -113,12 +129,14 @@ let kwrite_bytes t va b = write_bytes t ~ring:Mmu.Supervisor va b
 let flush_full t =
   Tlb.flush_all t.tlb;
   charge t t.costs.Costs.tlb_flush_full;
-  count t "tlb_flush_full"
+  count t "tlb_flush_full";
+  coherence_check t ~op:"flush_full"
 
 let flush_asid t ~asid =
   Tlb.flush_asid t.tlb ~asid;
   charge t t.costs.Costs.invpcid;
-  count t "tlb_flush_asid"
+  count t "tlb_flush_asid";
+  coherence_check t ~op:"flush_asid"
 
 (* INVLPG reaches every ASID and the globals, so a single-page
    shootdown needs no extra cross-ASID work. *)
@@ -130,7 +148,23 @@ let shootdown_page t ~vpage =
     (fun tlb ->
       Tlb.flush_page tlb ~vpage;
       charge t t.costs.Costs.ipi_shootdown)
-    t.peer_tlbs
+    t.peer_tlbs;
+  coherence_check t ~op:"shootdown_page"
+
+(* Range shootdown for a large-leaf downgrade: the MMU caches each of
+   the 512 constituent 4 KiB translations separately, so one INVLPG
+   per page is the honest model — capped at the cost of a full flush,
+   which is what a real kernel would fall back to. *)
+let shootdown_span t ~vpage ~count:n =
+  Tlb.flush_span t.tlb ~vpage ~count:n;
+  charge t (min (n * t.costs.Costs.invlpg) t.costs.Costs.tlb_flush_full);
+  count t "tlb_flush_span";
+  List.iter
+    (fun tlb ->
+      Tlb.flush_span tlb ~vpage ~count:n;
+      charge t t.costs.Costs.ipi_shootdown)
+    t.peer_tlbs;
+  coherence_check t ~op:"shootdown_span"
 
 (* A broadcast shootdown backs protection downgrades whose VA is
    unknown; it must kill stale translations in every ASID {e and} the
@@ -144,7 +178,8 @@ let shootdown_all t =
     (fun tlb ->
       Tlb.flush_global_too tlb;
       charge t t.costs.Costs.ipi_shootdown)
-    t.peer_tlbs
+    t.peer_tlbs;
+  coherence_check t ~op:"shootdown_all"
 
 let raise_interrupt t vector =
   t.pending_interrupts <- t.pending_interrupts @ [ vector ]

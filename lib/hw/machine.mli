@@ -33,6 +33,10 @@ type t = {
           enforcement power *)
   mutable last_trap : (int * Fault.t option) option;
       (** vector and cause of the most recently delivered trap *)
+  mutable coherence_hook : (op:string -> va:Addr.va option -> unit) option;
+      (** differential-oracle callback (see {!Coherence}); [None] by
+          default, in which case every check site is a single match
+          with zero cost *)
 }
 
 val create : ?frames:int -> ?costs:Costs.t -> unit -> t
@@ -77,10 +81,25 @@ val shootdown_page : t -> vpage:int -> unit
 (** Flush one page from the local TLB and IPI every peer CPU to do the
     same (charging the per-peer shootdown cost). *)
 
+val shootdown_span : t -> vpage:int -> count:int -> unit
+(** Flush [count] consecutive pages locally and on every peer — the
+    shootdown a 2 MiB-leaf downgrade needs, since its constituent 4 KiB
+    translations are cached individually.  Charges per-page INVLPG cost
+    capped at one full flush, and counts ["tlb_flush_span"]. *)
+
 val shootdown_all : t -> unit
 (** Full local flush — all ASIDs {e and} global entries, since a
     downgrade with unknown VA may affect kernel mappings — plus a
     broadcast shootdown. *)
+
+val coherence_check : t -> op:string -> unit
+(** Fire the installed coherence hook (if any) for a full cross-check
+    of every cached TLB entry against the live page tables.  [op] tags
+    the event for violation reports. *)
+
+val coherence_check_va : t -> op:string -> Addr.va -> unit
+(** Fire the installed coherence hook (if any) for a targeted check of
+    the translation covering one VA on the active CPU. *)
 
 val raise_interrupt : t -> int -> unit
 (** Queue an external interrupt vector. *)

@@ -58,6 +58,26 @@ let sweep t =
   in
   List.iter (Hashtbl.remove t.globals) gdead
 
+(* Side-effect-free lookup for checkers: no hit/miss accounting, no
+   lazy reclamation.  The coherence oracle uses this so observing the
+   TLB cannot perturb the statistics it is auditing. *)
+let peek t ~asid ~vpage =
+  match Hashtbl.find_opt t.globals vpage with
+  | Some g when gslot_live t g -> Some g.g_entry
+  | _ -> (
+      match Hashtbl.find_opt t.table (asid, vpage) with
+      | Some s when slot_live t ~asid s -> Some s.s_entry
+      | _ -> None)
+
+let iter_live t ~f =
+  Hashtbl.iter
+    (fun (asid, vpage) s ->
+      if slot_live t ~asid s then f ~asid:(Some asid) ~vpage s.s_entry)
+    t.table;
+  Hashtbl.iter
+    (fun vpage g -> if gslot_live t g then f ~asid:None ~vpage g.g_entry)
+    t.globals
+
 let lookup t ~asid ~vpage =
   match Hashtbl.find_opt t.globals vpage with
   | Some g when gslot_live t g ->
@@ -103,6 +123,22 @@ let flush_page t ~vpage =
   in
   List.iter (Hashtbl.remove t.table) dead;
   Hashtbl.remove t.globals vpage
+
+(* Range variant of [flush_page]: one scan instead of [count], for the
+   shootdown of a large-leaf span (512 consecutive 4 KiB translations
+   cached individually from one 2 MiB entry). *)
+let flush_span t ~vpage ~count =
+  let last = vpage + count - 1 in
+  let dead =
+    Hashtbl.fold
+      (fun ((_, vp) as k) _ acc ->
+        if vp >= vpage && vp <= last then k :: acc else acc)
+      t.table []
+  in
+  List.iter (Hashtbl.remove t.table) dead;
+  for vp = vpage to last do
+    Hashtbl.remove t.globals vp
+  done
 
 let hits t = t.hits
 let misses t = t.misses

@@ -27,6 +27,15 @@ val create : unit -> t
 val lookup : t -> asid:int -> vpage:int -> entry option
 (** Hit only on a live entry tagged [asid] or a live global entry. *)
 
+val peek : t -> asid:int -> vpage:int -> entry option
+(** Like {!lookup} but with no side effects whatsoever: no hit/miss
+    accounting, no lazy slot reclamation.  For checkers (the coherence
+    oracle) that must observe the TLB without perturbing it. *)
+
+val iter_live : t -> f:(asid:int option -> vpage:int -> entry -> unit) -> unit
+(** Visit every live cached translation; global entries are reported
+    with [asid = None] (they hit under every ASID). *)
+
 val insert : t -> asid:int -> vpage:int -> entry -> unit
 (** Fill under the given ASID; entries with [global = true] go to the
     shared global set instead. *)
@@ -45,6 +54,12 @@ val flush_global_too : t -> unit
 
 val flush_page : t -> vpage:int -> unit
 (** INVLPG: invalidate the page in every ASID and in the global set. *)
+
+val flush_span : t -> vpage:int -> count:int -> unit
+(** Invalidate [count] consecutive pages starting at [vpage], in every
+    ASID and in the global set — the range shootdown a protection
+    downgrade of a 2 MiB leaf needs, since its 512 constituent 4 KiB
+    translations are cached individually. *)
 
 val hits : t -> int
 val misses : t -> int

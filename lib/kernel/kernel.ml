@@ -92,7 +92,8 @@ let boot_native_paging (m : Machine.t) falloc ~pcid =
   m.Machine.idtr <- Some (Addr.kva_of_frame idt_frame);
   root
 
-let boot ?(frames = 8192) ?(batched = false) ?(pcid = true) config =
+let boot ?(frames = 8192) ?(batched = false) ?(pcid = true)
+    ?(coherence = false) config =
   let m = Machine.create ~frames () in
   let nk, falloc, backend, kernel_root =
     if Config.is_nested config then begin
@@ -121,6 +122,8 @@ let boot ?(frames = 8192) ?(batched = false) ?(pcid = true) config =
       (None, falloc, backend, root)
     end
   in
+  if coherence then
+    Coherence.enable m ~root_of_asid:backend.Mmu_backend.root_of_asid;
   (* Kernel stack for the boot CPU. *)
   let kstack = Frame_alloc.alloc_exn falloc in
   Cpu_state.set m.Machine.cpu Insn.RSP (Addr.kva_of_frame (kstack + 1));

@@ -40,13 +40,19 @@ and syscall_log = {
   mutable sl_flushes : int;
 }
 
-val boot : ?frames:int -> ?batched:bool -> ?pcid:bool -> Config.t -> t
+val boot :
+  ?frames:int -> ?batched:bool -> ?pcid:bool -> ?coherence:bool ->
+  Config.t -> t
 (** Boot the machine and kernel in the given configuration.  The
     system-call table is empty; {!Syscalls.install_all} (or {!Os.boot})
     populates it.  [batched] selects the batched vMMU backend
     (section 5.4 ablation; nested configurations only).  [pcid]
     (default on) enables CR4.PCIDE and tagged address-space switching
-    backed by an ASID pool; turn it off for the ablation baseline. *)
+    backed by an ASID pool; turn it off for the ablation baseline.
+    [coherence] (default off) installs the differential TLB-coherence
+    oracle ({!Nkhw.Coherence}) for the whole run, raising
+    [Coherence.Violation] on any stale-and-more-permissive cached
+    translation. *)
 
 val load_vm_root : t -> Vmspace.t -> (unit, string) result
 (** Load an address space's root through the backend, tagged with its

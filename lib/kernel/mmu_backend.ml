@@ -10,6 +10,7 @@ type t = {
   remove_ptp : Addr.frame -> (unit, string) result;
   load_cr3 : Addr.frame -> (unit, string) result;
   load_cr3_pcid : pcid:int -> Addr.frame -> (unit, string) result;
+  root_of_asid : int -> Addr.frame option;
   batched : bool;
 }
 
@@ -81,6 +82,7 @@ let native (m : Machine.t) =
     remove_ptp = (fun _ -> Ok ());
     load_cr3;
     load_cr3_pcid;
+    root_of_asid = (fun asid -> Hashtbl.find_opt pcid_roots asid);
     batched = false;
   }
 
@@ -111,6 +113,7 @@ let nested_gen ~batched (st : Nested_kernel.State.t) =
     load_cr3 = (fun frame -> err_string (Api.load_cr3 st frame));
     load_cr3_pcid =
       (fun ~pcid frame -> err_string (Api.load_cr3_pcid st ~pcid frame));
+    root_of_asid = (fun asid -> Api.nk_root_of_asid st asid);
     batched;
   }
 

@@ -1,12 +1,16 @@
 (** One-call system bring-up: machine + nested kernel (when
     configured) + outer kernel + system-call table. *)
 
-val boot : ?frames:int -> ?batched:bool -> ?pcid:bool -> Config.t -> Kernel.t
+val boot :
+  ?frames:int -> ?batched:bool -> ?pcid:bool -> ?coherence:bool ->
+  Config.t -> Kernel.t
 (** Boot and install all system calls.  [frames] sizes physical memory
     (default 8192 = 32 MiB); [batched] enables the batched-vMMU
     ablation backend; [pcid] (default on) enables PCID-tagged
-    address-space switching. *)
+    address-space switching; [coherence] (default off) runs the whole
+    kernel under the differential TLB-coherence oracle. *)
 
-val boot_with_files : ?frames:int -> ?batched:bool -> ?pcid:bool -> Config.t ->
-  (string * int) list -> Kernel.t
+val boot_with_files :
+  ?frames:int -> ?batched:bool -> ?pcid:bool -> ?coherence:bool ->
+  Config.t -> (string * int) list -> Kernel.t
 (** Boot and pre-create sparse files (name, size) in the VFS. *)

@@ -33,6 +33,24 @@ let retire_code st ~frames = Code_integrity.retire_code st ~frames
 
 let audit = Invariants.audit
 let audit_ok = Invariants.audit_ok
+
+(* The nested kernel knows which root each PCID was bound to (the
+   clean-pair table maintained by [load_cr3_pcid]); hand that to the
+   oracle so parked-ASID entries are audited against the right tree. *)
+let nk_root_of_asid (st : t) asid = Hashtbl.find_opt st.State.pcid_roots asid
+
+let enable_coherence_check ?on_violation (st : t) =
+  Nkhw.Coherence.enable ?on_violation
+    ~root_of_asid:(nk_root_of_asid st)
+    st.State.machine
+
+let disable_coherence_check (st : t) =
+  Nkhw.Coherence.disable st.State.machine
+
+let coherence_violations (st : t) =
+  Nkhw.Coherence.check_machine
+    ~root_of_asid:(nk_root_of_asid st)
+    st.State.machine
 let machine (st : t) = st.State.machine
 let trap_gate_va (st : t) = st.State.gate.Gate.trap_va
 let outer_first_frame = Init.outer_first_frame

@@ -63,6 +63,24 @@ val retire_code : t -> frames:Addr.frame list -> (unit, Nk_error.t) result
 
 val audit : t -> Invariants.violation list
 val audit_ok : t -> bool
+
+val nk_root_of_asid : t -> int -> Addr.frame option
+(** The root a PCID is currently bound to, per the vMMU's clean-pair
+    table — the ASID resolver the coherence oracle uses. *)
+
+val enable_coherence_check :
+  ?on_violation:(Coherence.violation list -> unit) -> t -> unit
+(** Install the differential TLB-coherence oracle ({!Nkhw.Coherence})
+    on this instance's machine, resolving parked ASIDs through the
+    vMMU's PCID-root bindings.  Raises [Coherence.Violation] on any
+    stale-and-more-permissive cached translation unless
+    [on_violation] is given. *)
+
+val disable_coherence_check : t -> unit
+
+val coherence_violations : t -> Coherence.violation list
+(** One-shot full audit of every TLB against the live page tables. *)
+
 val machine : t -> Machine.t
 val trap_gate_va : t -> Addr.va
 val outer_first_frame : t -> Addr.frame

@@ -19,8 +19,9 @@ type t =
   | Reentrant_call
   | Gate_failure of string
   | Hardware of Fault.t
+  | Batch_item of { index : int; error : t }
 
-let pp ppf = function
+let rec pp ppf = function
   | Not_a_ptp f -> Format.fprintf ppf "frame %d is not a declared PTP" f
   | Wrong_level { frame; expected; actual } ->
       Format.fprintf ppf "frame %d is a level-%d PTP, expected level %d" frame
@@ -50,5 +51,8 @@ let pp ppf = function
       Format.pp_print_string ppf "nested kernel entered reentrantly"
   | Gate_failure msg -> Format.fprintf ppf "gate crossing failed: %s" msg
   | Hardware f -> Format.fprintf ppf "hardware fault: %a" Fault.pp f
+  | Batch_item { index; error } ->
+      Format.fprintf ppf "batch update %d rejected (%a); updates 0..%d applied"
+        index pp error (index - 1)
 
 let to_string t = Format.asprintf "%a" pp t

@@ -29,6 +29,9 @@ type t =
   | Reentrant_call  (** nested-kernel stack lock already held *)
   | Gate_failure of string  (** a gate crossing did not complete *)
   | Hardware of Fault.t
+  | Batch_item of { index : int; error : t }
+      (** [write_pte_batch] rejected tuple [index]; tuples before it
+          were applied, tuples after it were not *)
 
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

@@ -51,6 +51,10 @@ let with_gate t body =
         in
         let exit_result = Gate.exit_ t.machine t.gate in
         t.lock_held <- false;
+        (* The gate body may leave the TLBs transiently incoherent
+           between a PTE write and its shootdown; by exit every
+           downgrade must have been flushed, so audit here. *)
+        Machine.coherence_check t.machine ~op:"gate_exit";
         (match exit_result with
         | Ok () -> result
         | Error e -> ( match result with Error _ -> result | Ok _ -> Error (crossing_error e)))

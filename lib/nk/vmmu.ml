@@ -69,11 +69,80 @@ let is_protection_downgrade ~old ~fresh =
      || (Pte.is_user old && not (Pte.is_user fresh))
      || ((not (Pte.is_nx old)) && Pte.is_nx fresh))
 
+(* Virtual pages one entry of a level-[level] table translates:
+   1 at the PT, 512 at the PD (a 2 MiB leaf or a linked PT), and so
+   on up the hierarchy. *)
+let pages_per_entry level =
+  let rec go n l = if l <= 1 then n else go (n * Addr.entries_per_table) (l - 1) in
+  go 1 level
+
+(* Give up on targeted shootdowns once a PTP is reachable from more
+   than this many positions; a broadcast flush is cheaper than a pile
+   of span invalidations. *)
+let max_shootdown_positions = 8
+
+(* Base virtual-page numbers at which [ptp] is reachable, computed by
+   climbing the nested kernel's own reverse maps (Table_link entries)
+   up to the level-4 roots.  [None] means "couldn't bound the set":
+   too many positions, or a link cycle.  An unlinked PTP yields
+   [Some []]. *)
+let ptp_base_vpages (st : State.t) ptp =
+  let rec climb visiting frame =
+    if List.mem frame visiting then None
+    else
+      match Pgdesc.ptp_level st.descs frame with
+      | None -> None
+      | Some 4 -> Some [ 0 ]
+      | Some level ->
+          let rec fold acc = function
+            | [] -> Some acc
+            | (mp : Pgdesc.mapping) :: rest -> (
+                match climb (frame :: visiting) mp.Pgdesc.ptp with
+                | None -> None
+                | Some bases ->
+                    let span = pages_per_entry (level + 1) in
+                    let here =
+                      List.map (fun b -> b + (mp.Pgdesc.index * span)) bases
+                    in
+                    if
+                      List.length acc + List.length here
+                      > max_shootdown_positions
+                    then None
+                    else fold (here @ acc) rest)
+          in
+          fold [] (Pgdesc.table_links st.descs frame)
+  in
+  climb [] ptp
+
+(* Flush everything the entry at [index] of [ptp] can translate.  The
+   scope is derived from the reverse maps, never from the caller's
+   [~va] hint: the hint comes from the untrusted outer kernel, and a
+   wrong (or absent) one must not leave a stale translation cached —
+   in particular a 2 MiB leaf covers 512 virtual pages that the MMU
+   caches individually, so flushing the hinted page alone would leave
+   up to 511 stale-writable entries. *)
+let shootdown_entry (st : State.t) ~ptp ~index ~level =
+  let m = st.machine in
+  let span = pages_per_entry level in
+  match ptp_base_vpages st ptp with
+  | Some (_ :: _ as bases) when span <= Addr.entries_per_table ->
+      List.iter
+        (fun base ->
+          let vpage = base + (index * span) in
+          if span = 1 then Machine.shootdown_page m ~vpage
+          else Machine.shootdown_span m ~vpage ~count:span)
+        bases
+  | _ ->
+      (* Unlinked (a stale entry could still have been cached before
+         the unlink), unboundable, or a span wider than one PD entry:
+         flush everything, globals included. *)
+      Machine.shootdown_all m
+
 (* Perform one validated PTE update inside the gate: maintain reverse
    maps, write through the direct map (WP is clear, so the read-only
    PTP mapping accepts the supervisor store), and keep the TLB
    coherent on downgrades. *)
-let apply_update (st : State.t) ?va ~ptp ~index ~level fresh =
+let apply_update (st : State.t) ?va:_ ~ptp ~index ~level fresh =
   let m = st.machine in
   let old = Page_table.get_entry m.Machine.mem ~ptp ~index in
   let* () =
@@ -95,11 +164,8 @@ let apply_update (st : State.t) ?va ~ptp ~index ~level fresh =
     Pgdesc.add_mapping st.descs target
       { Pgdesc.ptp; index; kind = mapping_kind ~level fresh }
   end;
-  if is_protection_downgrade ~old ~fresh then begin
-    match va with
-    | Some va -> Machine.shootdown_page m ~vpage:(Addr.vpage va)
-    | None -> Machine.shootdown_all m
-  end;
+  if is_protection_downgrade ~old ~fresh then
+    shootdown_entry st ~ptp ~index ~level;
   Ok ()
 
 let check_ptp (st : State.t) ptp =
@@ -115,16 +181,23 @@ let write_pte st ?va ~ptp ~index pte =
 
 let write_pte_batch st updates =
   State.with_gate st (fun () ->
-      let rec go = function
+      (* Prefix-applied semantics: tuples before a rejected one stay
+         applied; the error says exactly which tuple stopped the
+         batch so the caller can resume or roll back. *)
+      let rec go i = function
         | [] -> Ok ()
-        | (ptp, index, pte, va) :: rest ->
-            let* level = check_ptp st ptp in
-            let* fresh = validate_and_adjust st ~level pte in
-            let* () = apply_update st ?va ~ptp ~index ~level fresh in
-            go rest
+        | (ptp, index, pte, va) :: rest -> (
+            let item =
+              let* level = check_ptp st ptp in
+              let* fresh = validate_and_adjust st ~level pte in
+              apply_update st ?va ~ptp ~index ~level fresh
+            in
+            match item with
+            | Ok () -> go (i + 1) rest
+            | Error error -> Error (Nk_error.Batch_item { index = i; error }))
       in
       Machine.count st.machine "pte_write_batch";
-      go updates)
+      go 0 updates)
 
 let declare_ptp st ~level frame =
   State.with_gate st (fun () ->
@@ -150,23 +223,34 @@ let declare_ptp st ~level frame =
                 (Nk_error.Not_declarable
                    { frame; why = "mapped beyond the direct map" })
             else begin
-              (* Zero stale contents, then write-protect every existing
-                 mapping (the direct-map leaf) — I5. *)
-              Phys_mem.zero_frame m.Machine.mem frame;
-              Machine.charge m m.Machine.costs.Costs.page_zero;
-              List.iter
-                (fun (mp : Pgdesc.mapping) ->
-                  let e =
-                    Page_table.get_entry m.Machine.mem ~ptp:mp.ptp ~index:mp.index
-                  in
-                  let e' = Pte.set_nx (Pte.set_writable e false) true in
-                  ignore
-                    (Machine.kwrite_u64 m
-                       (State.entry_va_of_pte ~ptp:mp.ptp ~index:mp.index)
-                       e'))
-                (Pgdesc.data_maps st.descs frame);
+              (* Write-protect every existing mapping (the direct-map
+                 leaf) — I5.  A failed write must abort the whole
+                 declaration: proceeding would register a PTP the
+                 outer kernel still has a writable alias to. *)
+              let rec protect = function
+                | [] -> Ok ()
+                | (mp : Pgdesc.mapping) :: rest ->
+                    let e =
+                      Page_table.get_entry m.Machine.mem ~ptp:mp.ptp
+                        ~index:mp.index
+                    in
+                    let e' = Pte.set_nx (Pte.set_writable e false) true in
+                    let* () =
+                      hw_result
+                        (Machine.kwrite_u64 m
+                           (State.entry_va_of_pte ~ptp:mp.ptp ~index:mp.index)
+                           e')
+                    in
+                    protect rest
+              in
+              let protected_ = protect (Pgdesc.data_maps st.descs frame) in
+              (* Flush even on the error path: mappings downgraded
+                 before the failing one must not stay cached writable. *)
               Machine.shootdown_page m
                 ~vpage:(Addr.vpage (Addr.kva_of_frame frame));
+              let* () = protected_ in
+              Phys_mem.zero_frame m.Machine.mem frame;
+              Machine.charge m m.Machine.costs.Costs.page_zero;
               Pgdesc.set_type st.descs frame (Pgdesc.Ptp level);
               Iommu.protect_frame m.Machine.iommu frame;
               Machine.count m "declare_ptp";
@@ -193,24 +277,37 @@ let remove_ptp st frame =
           if !present > 0 then
             Error (Nk_error.Ptp_in_use { frame; references = !present })
           else begin
+            (* Hand the page back to the outer kernel: its direct-map
+               mapping becomes writable (and stays non-executable).
+               The PTE writes come first — only once they all succeed
+               may the frame lose its Ptp type and IOMMU protection,
+               or a half-removed PTP would be writable via DMA while
+               still read-only via the direct map. *)
+            let rec unprotect = function
+              | [] -> Ok ()
+              | (mp : Pgdesc.mapping) :: rest ->
+                  let e =
+                    Page_table.get_entry m.Machine.mem ~ptp:mp.ptp
+                      ~index:mp.index
+                  in
+                  let e' = Pte.set_nx (Pte.set_writable e true) true in
+                  let* () =
+                    hw_result
+                      (Machine.kwrite_u64 m
+                         (State.entry_va_of_pte ~ptp:mp.ptp ~index:mp.index)
+                         e')
+                  in
+                  unprotect rest
+            in
+            let* () = unprotect (Pgdesc.data_maps st.descs frame) in
             Pgdesc.set_type st.descs frame Pgdesc.Unused;
             Iommu.unprotect_frame m.Machine.iommu frame;
-            (* Hand the page back to the outer kernel: its direct-map
-               mapping becomes writable (and stays non-executable). *)
-            List.iter
-              (fun (mp : Pgdesc.mapping) ->
-                let e =
-                  Page_table.get_entry m.Machine.mem ~ptp:mp.ptp ~index:mp.index
-                in
-                let e' = Pte.set_nx (Pte.set_writable e true) true in
-                ignore
-                  (Machine.kwrite_u64 m
-                     (State.entry_va_of_pte ~ptp:mp.ptp ~index:mp.index)
-                     e'))
-              (Pgdesc.data_maps st.descs frame);
-            Tlb.flush_page m.Machine.tlb
+            (* Shoot down everywhere, as declare_ptp does: a parked
+               peer still holding the read-only entry would take a
+               spurious WP fault on its first write to the returned
+               page. *)
+            Machine.shootdown_page m
               ~vpage:(Addr.vpage (Addr.kva_of_frame frame));
-            Machine.charge m m.Machine.costs.Costs.invlpg;
             Machine.count m "remove_ptp";
             Ok ()
           end

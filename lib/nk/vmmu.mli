@@ -33,10 +33,14 @@ val write_pte :
   index:int ->
   Pte.t ->
   (unit, Nk_error.t) result
-(** [nk_write_PTE]: update one page-table entry.  [va] is the virtual
-    page the entry translates (when the caller knows it) and scopes the
-    TLB shootdown to one page; without it a protection downgrade costs
-    a full flush. *)
+(** [nk_write_PTE]: update one page-table entry.  [va] is accepted for
+    API compatibility but no longer trusted: the shootdown scope of a
+    protection downgrade is computed from the nested kernel's own
+    reverse maps (the positions at which [ptp] is linked into live
+    trees), so a lying or absent hint cannot leave a stale translation
+    cached.  A downgrade of a level-1 entry costs one page shootdown,
+    of a 2 MiB leaf a 512-page span shootdown; unboundable scopes fall
+    back to a broadcast flush. *)
 
 val write_pte_batch :
   State.t ->
@@ -45,7 +49,9 @@ val write_pte_batch :
 (** Batched updates under a single gate crossing — the extension the
     paper's section 5.4 measures (>60% overhead reduction on
     mmap-heavy paths).  Validation is per-entry; the first rejection
-    aborts the remainder. *)
+    aborts the remainder and returns [Batch_item] carrying the failing
+    tuple's index, with every earlier tuple already applied (and none
+    after). *)
 
 val remove_ptp : State.t -> Addr.frame -> (unit, Nk_error.t) result
 (** [nk_remove_PTP]: retire a PTP.  All 512 of its entries must be

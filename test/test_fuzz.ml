@@ -3,14 +3,20 @@ open Outer_kernel
 
 (* Invariant fuzzing: drive random sequences of vMMU and
    write-protection operations against a live nested kernel, then
-   check that (a) every invariant I1..I13 still holds and (b) no
+   check that (a) every invariant I1..I13 still holds, (b) no
    frame the descriptors call protected is writable from outer-kernel
-   context.  This is the state-machine analogue of the unit tests: the
-   operations are arbitrary, only the security property is fixed. *)
+   context, and (c) — with the differential TLB-coherence oracle
+   installed — no CPU ever caches a translation more permissive than
+   the live page tables say, which turns the invariant fuzzer into a
+   state-machine differential tester.  The op stream includes CPU
+   migrations and direct-map touches so parked-peer TLBs carry live
+   entries for the oracle to audit. *)
 
 type op =
   | Declare of int * int (* frame offset, level *)
   | Write_pte of int * int * int * bool (* ptp offset, index, target offset, writable *)
+  | Write_large of int * int * int * bool
+    (* ptp offset, index, aligned-span selector, writable: a 2 MiB leaf *)
   | Clear_pte of int * int
   | Remove of int
   | Alloc of int
@@ -22,6 +28,8 @@ type op =
   | Install_code of int * bool (* frame offset, hostile? *)
   | Retire_code of int
   | Emulate of int (* byte offset into a protected frame *)
+  | Migrate of int (* activate another CPU and warm its TLB *)
+  | Touch of int (* read a frame's direct-map page, caching an entry *)
 
 let gen_op =
   QCheck2.Gen.(
@@ -31,6 +39,9 @@ let gen_op =
         map
           (fun (((p, i), t), w) -> Write_pte (p, i, t, w))
           (pair (pair (pair (int_range 0 15) (int_range 0 30)) (int_range 0 30)) bool);
+        map
+          (fun (((p, i), t), w) -> Write_large (p, i, t, w))
+          (pair (pair (pair (int_range 0 15) (int_range 0 7)) (int_range 0 1)) bool);
         map2 (fun p i -> Clear_pte (p, i)) (int_range 0 15) (int_range 0 30);
         map (fun f -> Remove f) (int_range 0 15);
         map (fun s -> Alloc (8 + s)) (int_range 0 200);
@@ -45,9 +56,11 @@ let gen_op =
         map2 (fun f h -> Install_code (f, h)) (int_range 16 23) bool;
         map (fun f -> Retire_code f) (int_range 16 23);
         map (fun off -> Emulate off) (int_range 0 4088);
+        map (fun c -> Migrate c) (int_range 0 2);
+        map (fun f -> Touch f) (int_range 0 30);
       ])
 
-let apply nk ~f0 descriptors op =
+let apply ?smp nk ~f0 descriptors op =
   let module Api = Nested_kernel.Api in
   match op with
   | Declare (f, l) -> ignore (Api.declare_ptp nk ~level:l (f0 + f))
@@ -98,11 +111,31 @@ let apply nk ~f0 descriptors op =
       ignore (Api.install_code nk ~frames:[ f0 + f ] code)
   | Retire_code f ->
       ignore (Nested_kernel.Api.retire_code nk ~frames:[ f0 + f ])
+  | Write_large (p, i, t, w) ->
+      (* A present 2 MiB leaf must be 512-frame-aligned and fit in
+         physical memory; pick a span above the fuzzed frame window. *)
+      let flags =
+        { (if w then Pte.user_rw_nx else Pte.user_ro_nx) with Pte.large = true }
+      in
+      let base =
+        ((f0 / Addr.entries_per_table) + 1 + t) * Addr.entries_per_table
+      in
+      ignore (Api.write_pte nk ~ptp:(f0 + p) ~index:i (Pte.make ~frame:base flags))
   | Emulate off ->
       ignore
         (Nested_kernel.Api.nk_emulate_colocated_write nk
            ~dest:(Addr.kva_of_frame (f0 + 24) + off)
            (Bytes.make 4 'z'))
+  | Migrate c -> (
+      match smp with
+      | None -> ()
+      | Some smp ->
+          Smp.activate smp (c mod Smp.cpu_count smp);
+          (* Warm the new CPU's TLB so that, once it parks again, the
+             oracle has peer entries to cross-check. *)
+          ignore (Machine.kread_u64 (Api.machine nk) (Addr.kva_of_frame (f0 + c))))
+  | Touch f ->
+      ignore (Machine.kread_u64 (Api.machine nk) (Addr.kva_of_frame (f0 + f)))
 
 let protected_frames_unwritable nk =
   let m = Nested_kernel.Api.machine nk in
@@ -127,11 +160,21 @@ let prop_invariants_survive_fuzzing =
   Helpers.qtest ~count:25 "random op sequences never break an invariant"
     QCheck2.Gen.(list_size (int_range 5 60) gen_op)
     (fun ops ->
-      let _, nk = Helpers.booted_nk () in
+      let m, nk = Helpers.booted_nk () in
+      let smp = Smp.create m in
+      ignore (Smp.add_cpu smp);
+      ignore (Smp.add_cpu smp);
+      (* Every op below now runs under the differential oracle: any
+         stale-and-more-permissive cached translation, on any CPU,
+         raises Coherence.Violation and fails the property. *)
+      Nested_kernel.Api.enable_coherence_check nk;
       let f0 = Nested_kernel.Api.outer_first_frame nk in
       let descriptors = ref [||] in
-      List.iter (fun op -> apply nk ~f0 descriptors op) ops;
-      Nested_kernel.Api.audit_ok nk && protected_frames_unwritable nk)
+      List.iter (fun op -> apply ~smp nk ~f0 descriptors op) ops;
+      Smp.activate smp 0;
+      Nested_kernel.Api.coherence_violations nk = []
+      && Nested_kernel.Api.audit_ok nk
+      && protected_frames_unwritable nk)
 
 let prop_kernel_survives_fuzzing =
   Helpers.qtest ~count:10 "the outer kernel keeps working after fuzzing"
@@ -139,6 +182,7 @@ let prop_kernel_survives_fuzzing =
     (fun ops ->
       let k = Helpers.kernel Config.Perspicuos in
       let nk = Option.get k.Kernel.nk in
+      Nested_kernel.Api.enable_coherence_check nk;
       (* Fuzz against frames the kernel has not allocated. *)
       let f0 = Frame_alloc.first_frame k.Kernel.falloc + 400 in
       let descriptors = ref [||] in

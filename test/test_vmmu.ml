@@ -294,6 +294,170 @@ let test_cross_asid_shootdown () =
   Alcotest.(check bool) "global entry flushed by blind downgrade" true
     (Tlb.lookup m.Machine.tlb ~asid:42 ~vpage:0x9999 = None)
 
+(* --- stale-translation regression tests --------------------------- *)
+
+(* Build a live user tree under the active root: root[0] -> PDPT f0 ->
+   PD f0+1, all links present+writable+user so leaf permissions govern. *)
+let linked_pd nk m f0 =
+  let root = Cr.root_frame m.Machine.cr in
+  declare_ok nk ~level:3 f0;
+  declare_ok nk ~level:2 (f0 + 1);
+  Helpers.check_ok_nk "link root->pdpt"
+    (Api.write_pte nk ~ptp:root ~index:0 (Pte.make ~frame:f0 Pte.user_rw_nx));
+  Helpers.check_ok_nk "link pdpt->pd"
+    (Api.write_pte nk ~ptp:f0 ~index:0 (Pte.make ~frame:(f0 + 1) Pte.user_rw_nx));
+  f0 + 1
+
+let test_large_leaf_downgrade_flushes_span () =
+  let m, nk, f0 = setup () in
+  let pd = linked_pd nk m f0 in
+  (* A 2 MiB user leaf over plain memory at VA 0: 512 frames from a
+     512-aligned span above the outer window. *)
+  let span = ((f0 + 511) / 512 * 512) + 512 in
+  Alcotest.(check bool) "span fits" true
+    (Phys_mem.valid_frame m.Machine.mem (span + 511));
+  let large flags = { flags with Pte.large = true } in
+  Helpers.check_ok_nk "map 2MiB rw"
+    (Api.write_pte nk ~ptp:pd ~index:0
+       (Pte.make ~frame:span (large Pte.user_rw_nx)));
+  (* Warm a translation for a page in the middle of the leaf — NOT the
+     page a caller's ~va hint would name. *)
+  let va = 0x1000 in
+  Helpers.check_ok "user write while rw"
+    (Machine.write_u64 m ~ring:Mmu.User va 0xAA);
+  (* Downgrade the whole leaf to read-only, hinting only VA 0.  The
+     bug: only vpage 0 was flushed, leaving 511 stale-writable
+     translations; the stale entry at vpage 1 let user writes land on
+     a read-only mapping. *)
+  Helpers.check_ok_nk "downgrade 2MiB to ro"
+    (Api.write_pte nk ~va:0 ~ptp:pd ~index:0
+       (Pte.make ~frame:span (large Pte.user_ro_nx)));
+  (* The faulting access below re-walks and re-caches the entry with
+     its new read-only permissions, so the assertion is on the cached
+     writable bit, not on absence. *)
+  Helpers.expect_fault "write now faults despite warm TLB"
+    (Machine.write_u64 m ~ring:Mmu.User (va + 8) 0xBB);
+  (match Tlb.peek m.Machine.tlb ~asid:0 ~vpage:(Addr.vpage va) with
+  | Some e ->
+      Alcotest.(check bool) "no stale writable entry" false e.Tlb.writable
+  | None -> ());
+  Alcotest.(check int) "no coherence violations" 0
+    (List.length (Api.coherence_violations nk))
+
+let test_downgrade_ignores_lying_va_hint () =
+  let m, nk, f0 = setup () in
+  let pd = linked_pd nk m f0 in
+  declare_ok nk ~level:1 (f0 + 2);
+  Helpers.check_ok_nk "link pd->pt"
+    (Api.write_pte nk ~ptp:pd ~index:0 (Pte.make ~frame:(f0 + 2) Pte.user_rw_nx));
+  let va = Addr.make_va ~pml4:0 ~pdpt:0 ~pd:0 ~pt:5 ~offset:0 in
+  Helpers.check_ok_nk "map page rw"
+    (Api.write_pte nk ~ptp:(f0 + 2) ~index:5
+       (Pte.make ~frame:(f0 + 3) Pte.user_rw_nx));
+  Helpers.check_ok "user write while rw" (Machine.write_u64 m ~ring:Mmu.User va 1);
+  (* Downgrade with a hint naming a completely different page.  The
+     shootdown scope must come from the reverse maps, not the hint. *)
+  Helpers.check_ok_nk "downgrade with lying hint"
+    (Api.write_pte nk ~va:0x9999000 ~ptp:(f0 + 2) ~index:5
+       (Pte.make ~frame:(f0 + 3) Pte.user_ro_nx));
+  Helpers.expect_fault "stale writable entry unusable"
+    (Machine.write_u64 m ~ring:Mmu.User (va + 8) 2);
+  (match Tlb.peek m.Machine.tlb ~asid:0 ~vpage:(Addr.vpage va) with
+  | Some e ->
+      Alcotest.(check bool) "no stale writable entry" false e.Tlb.writable
+  | None -> ())
+
+let test_batch_error_reports_failing_index () =
+  let m, nk, f0 = setup () in
+  declare_ok nk ~level:1 f0;
+  let item i target = (f0, i, Pte.make ~frame:target Pte.user_rw_nx, None) in
+  (match
+     Api.write_pte_batch nk
+       [
+         item 0 (f0 + 1);
+         (f0 + 9, 0, Pte.make ~frame:(f0 + 1) Pte.user_rw_nx, None);
+         item 2 (f0 + 2);
+       ]
+   with
+  | Error (Nk_error.Batch_item { index = 1; error = Nk_error.Not_a_ptp _ }) -> ()
+  | Ok () -> Alcotest.fail "batch with invalid tuple must fail"
+  | Error e -> Alcotest.failf "wrong error: %s" (Nk_error.to_string e));
+  (* Prefix-applied semantics: tuple 0 landed, tuple 2 did not. *)
+  Alcotest.(check int) "tuple 0 applied" (f0 + 1)
+    (Pte.frame (Page_table.get_entry m.Machine.mem ~ptp:f0 ~index:0));
+  Alcotest.(check bool) "tuple 2 not applied" false
+    (Pte.is_present (Page_table.get_entry m.Machine.mem ~ptp:f0 ~index:2))
+
+let test_remove_ptp_shoots_down_peers () =
+  let m, nk, f0 = setup () in
+  let smp = Smp.create m in
+  let ap = Smp.add_cpu smp in
+  declare_ok nk ~level:1 f0;
+  (* Park a read-only direct-map translation in the peer's TLB... *)
+  Smp.with_cpu smp ap (fun () ->
+      Helpers.check_ok "read on AP" (Machine.kread_u64 m (Addr.kva_of_frame f0)));
+  Helpers.check_ok_nk "remove" (Api.remove_ptp nk f0);
+  (* ...and make sure handing the frame back reached that CPU: the bug
+     flushed only the active TLB, so the AP took a spurious WP fault
+     on its first write to the returned page. *)
+  Smp.with_cpu smp ap (fun () ->
+      Helpers.check_ok "AP write after remove"
+        (Machine.kwrite_u64 m (Addr.kva_of_frame f0) 0xCD))
+
+(* Unmap the direct-map page holding [frame]'s PTEs, so that in-gate
+   writes to entries stored in [frame] fault. *)
+let unmap_dmap_of_ptes nk m frame =
+  let root = Cr.root_frame m.Machine.cr in
+  match Page_table.walk m.Machine.mem ~root (Addr.kva_of_frame frame) with
+  | Page_table.Not_mapped _ -> Alcotest.fail "direct map must cover the frame"
+  | Page_table.Mapped w ->
+      Helpers.check_ok_nk "unmap pte page"
+        (Api.write_pte nk ~ptp:w.Page_table.leaf_ptp ~index:w.Page_table.leaf_index
+           Pte.empty)
+
+let test_declare_aborts_on_failed_write_protect () =
+  let m, nk, f0 = setup () in
+  let target = f0 in
+  (* Find the PT page holding target's direct-map PTE, then unmap THAT
+     page's own mapping: the declare's write-protect store will fault. *)
+  let root = Cr.root_frame m.Machine.cr in
+  let pt =
+    match Page_table.walk m.Machine.mem ~root (Addr.kva_of_frame target) with
+    | Page_table.Mapped w -> w.Page_table.leaf_ptp
+    | Page_table.Not_mapped _ -> Alcotest.fail "dmap must cover target"
+  in
+  unmap_dmap_of_ptes nk m pt;
+  (match Api.declare_ptp nk ~level:1 target with
+  | Error (Nk_error.Hardware _) -> ()
+  | Ok () -> Alcotest.fail "declare must fail when write-protect fails"
+  | Error e -> Alcotest.failf "wrong error: %s" (Nk_error.to_string e));
+  (* The bug: the declaration went through anyway, registering a PTP
+     whose direct-map leaf was still writable. *)
+  Alcotest.(check bool) "frame not registered as PTP" false
+    (Pgdesc.is_ptp nk.State.descs target)
+
+let test_remove_aborts_on_failed_unprotect () =
+  let m, nk, f0 = setup () in
+  let target = f0 in
+  declare_ok nk ~level:1 target;
+  let root = Cr.root_frame m.Machine.cr in
+  let pt =
+    match Page_table.walk m.Machine.mem ~root (Addr.kva_of_frame target) with
+    | Page_table.Mapped w -> w.Page_table.leaf_ptp
+    | Page_table.Not_mapped _ -> Alcotest.fail "dmap must cover target"
+  in
+  unmap_dmap_of_ptes nk m pt;
+  (match Api.remove_ptp nk target with
+  | Error (Nk_error.Hardware _) -> ()
+  | Ok () -> Alcotest.fail "remove must fail when the PTE write fails"
+  | Error e -> Alcotest.failf "wrong error: %s" (Nk_error.to_string e));
+  (* The frame must still be a protected PTP — in particular still
+     IOMMU-protected, or DMA could write a page the direct map calls
+     read-only. *)
+  Alcotest.(check bool) "still a PTP" true (Pgdesc.is_ptp nk.State.descs target);
+  Alcotest.(check bool) "still IOMMU-protected" true
+    (Iommu.is_protected m.Machine.iommu target)
+
 let suite =
   [
     Alcotest.test_case "declare and write" `Quick test_declare_and_write;
@@ -327,4 +491,16 @@ let suite =
       test_load_cr3_pcid;
     Alcotest.test_case "cross-ASID shootdown on downgrade" `Quick
       test_cross_asid_shootdown;
+    Alcotest.test_case "2MiB-leaf downgrade flushes the whole span" `Quick
+      test_large_leaf_downgrade_flushes_span;
+    Alcotest.test_case "downgrade scope ignores a lying va hint" `Quick
+      test_downgrade_ignores_lying_va_hint;
+    Alcotest.test_case "batch error carries the failing index" `Quick
+      test_batch_error_reports_failing_index;
+    Alcotest.test_case "remove_ptp shoots down parked peers" `Quick
+      test_remove_ptp_shoots_down_peers;
+    Alcotest.test_case "declare aborts on failed write-protect" `Quick
+      test_declare_aborts_on_failed_write_protect;
+    Alcotest.test_case "remove aborts on failed unprotect" `Quick
+      test_remove_aborts_on_failed_unprotect;
   ]
