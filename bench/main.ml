@@ -423,14 +423,13 @@ let extra_smp_shootdown () =
     let map () =
       ignore
         (Result.get_ok
-           (Nested_kernel.Api.write_pte nk ~va:0x5000 ~ptp:f ~index:0
+           (Nested_kernel.Api.write_pte nk ~ptp:f ~index:0
               (Nkhw.Pte.make ~frame:(f + 1) Nkhw.Pte.user_rw_nx)))
     in
     let unmap () =
       ignore
         (Result.get_ok
-           (Nested_kernel.Api.write_pte nk ~va:0x5000 ~ptp:f ~index:0
-              Nkhw.Pte.empty))
+           (Nested_kernel.Api.write_pte nk ~ptp:f ~index:0 Nkhw.Pte.empty))
     in
     map ();
     unmap ();
@@ -531,6 +530,77 @@ let extra_coherence () =
           "the oracle audits out-of-band, so oracle-on charges no simulated \
            cycles either -- its price is host wall-clock, paid only in tests \
            and CI";
+        ];
+    }
+
+let extra_latency_hist () =
+  section "Extra: per-operation latency distributions (nktrace histograms)";
+  let module Tr = Nktrace in
+  let interesting = [ "null syscall"; "open/close"; "mmap"; "fork + exit" ] in
+  let snaps =
+    List.filter_map
+      (fun (b : Lmbench.bench) ->
+        if List.mem b.Lmbench.name interesting then
+          Some
+            (b.Lmbench.name,
+             Lmbench.measure_traced Config.Perspicuos ~batched:false b)
+        else None)
+      Lmbench.benches
+  in
+  let starts_with prefix s =
+    String.length s >= String.length prefix
+    && String.sub s 0 (String.length prefix) = prefix
+  in
+  let hists pred (snap : Tr.snapshot) =
+    List.filter (fun (name, _) -> pred name) snap.Tr.histograms
+  in
+  json_add "latency_hist"
+    (json_obj
+       (List.map
+          (fun (bname, snap) ->
+            ( bname,
+              json_obj
+                (List.map
+                   (fun (hname, h) -> (hname, Tr.summary_to_json h))
+                   (hists (starts_with "sys_") snap)) ))
+          snaps));
+  (* Gate-crossing span breakdown from the mmap run: its page-table
+     updates all cross the nested kernel's gates. *)
+  (match List.assoc_opt "mmap" snaps with
+  | Some snap ->
+      json_add "gate_spans"
+        (json_obj
+           (List.map
+              (fun (hname, h) -> (hname, Tr.summary_to_json h))
+              (hists (starts_with "gate") snap)))
+  | None -> ());
+  Stats.print
+    {
+      Stats.title =
+        "PerspicuOS per-operation latency (cycles; p50/p95/p99 from nktrace)";
+      columns = [ "benchmark"; "span"; "count"; "p50"; "p95"; "p99" ];
+      rows =
+        List.concat_map
+          (fun (bname, snap) ->
+            List.map
+              (fun (hname, (h : Tr.hist_summary)) ->
+                [
+                  bname;
+                  hname;
+                  string_of_int h.Tr.h_count;
+                  string_of_int h.Tr.p50;
+                  string_of_int h.Tr.p95;
+                  string_of_int h.Tr.p99;
+                ])
+              (hists
+                 (fun n -> starts_with "sys_" n || starts_with "gate" n)
+                 snap))
+          snaps;
+      notes =
+        [
+          "histograms come from the cycle-stamped tracer (zero simulated \
+           cost); spans cover dispatch+handler (sys_*) and the nested \
+           kernel's privilege-boundary sequences (gate_*)";
         ];
     }
 
@@ -639,6 +709,7 @@ let experiments =
     ("extra-ctx-switch", extra_ctx_switch);
     ("extra-smp-shootdown", extra_smp_shootdown);
     ("extra-coherence", extra_coherence);
+    ("extra-latency-hist", extra_latency_hist);
     ("attacks", attacks);
     ("bechamel", bechamel);
   ]

@@ -29,9 +29,45 @@ let config =
         ~doc:"System configuration: native, perspicuos, append-only, \
               write-once or write-log.")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt
+        ~vopt:(Some `Summary)
+        (some (enum [ ("summary", `Summary); ("json", `Json) ]))
+        None
+    & info [ "trace" ] ~docv:"FORMAT"
+        ~doc:"Enable the cycle-stamped tracer for the run and report it: \
+              $(b,summary) (default) prints event counters and latency \
+              histograms, $(b,json) dumps the full snapshot as JSON. \
+              Tracing charges no simulated cycles.")
+
+let print_trace fmt (m : Nkhw.Machine.t) =
+  let snap = Nktrace.snapshot m.Nkhw.Machine.trace in
+  match fmt with
+  | `Json -> print_endline (Nktrace.to_json snap)
+  | `Summary ->
+      Printf.printf "  trace           : %d events in ring (%d overwritten)\n"
+        (List.length snap.Nktrace.events)
+        snap.Nktrace.dropped;
+      if snap.Nktrace.counters <> [] then begin
+        print_endline "  counters:";
+        List.iter
+          (fun (name, v) -> Printf.printf "    %-28s %d\n" name v)
+          snap.Nktrace.counters
+      end;
+      if snap.Nktrace.histograms <> [] then begin
+        print_endline "  latency histograms (cycles):";
+        List.iter
+          (fun (name, (h : Nktrace.hist_summary)) ->
+            Printf.printf "    %-28s n=%-6d p50=%-6d p95=%-6d p99=%d\n" name
+              h.Nktrace.h_count h.Nktrace.p50 h.Nktrace.p95 h.Nktrace.p99)
+          snap.Nktrace.histograms
+      end
+
 let boot_cmd =
-  let run config =
-    let k = Os.boot config in
+  let run config trace =
+    let k = Os.boot ~trace:(trace <> None) config in
     let m = k.Kernel.machine in
     Printf.printf "booted %s\n" (Config.name config);
     Printf.printf "  physical frames : %d\n"
@@ -48,10 +84,11 @@ let boot_cmd =
           (Nested_kernel.Api.outer_first_frame nk)
           (if Nested_kernel.Api.audit_ok nk then "clean" else "VIOLATIONS")
     | None -> Printf.printf "  nested kernel   : (none)\n");
+    (match trace with None -> () | Some fmt -> print_trace fmt m);
     0
   in
   Cmd.v (Cmd.info "boot" ~doc:"Boot a kernel and report system state")
-    Term.(const run $ config)
+    Term.(const run $ config $ trace_arg)
 
 let attack_name =
   Arg.(

@@ -137,7 +137,7 @@ let recursive_ptp_map =
             match
               k.Kernel.backend.Mmu_backend.declare_ptp ~level:1 f
             with
-            | Error e -> Attack.Blocked e
+            | Error e -> Attack.Blocked (Nested_kernel.Nk_error.to_string e)
             | Ok () ->
                 ignore
                   (k.Kernel.backend.Mmu_backend.write_pte ~ptp:f ~index:0
@@ -259,18 +259,23 @@ let stale_tlb_across_asid =
                 backend.Mmu_backend.write_pte ~ptp:l2 ~index:0
                   (Pte.make ~frame:l1 Pte.kernel_rw)
               in
-              backend.Mmu_backend.write_pte ~va ~ptp:l1 ~index:0
+              backend.Mmu_backend.write_pte ~ptp:l1 ~index:0
                 (Pte.make ~frame:victim Pte.kernel_rw_nx)
             in
             match setup with
-            | Error e -> Attack.Blocked ("mapping setup refused: " ^ e)
+            | Error e ->
+                Attack.Blocked
+                  ("mapping setup refused: " ^ Nested_kernel.Nk_error.to_string e)
             | Ok () -> (
                 (* Park the writable translation under the home ASID. *)
                 (match Machine.kwrite_u64 m va 0x41 with
                 | Ok () -> ()
                 | Error _ -> ());
                 match backend.Mmu_backend.load_cr3_pcid ~pcid:away_pcid root with
-                | Error e -> Attack.Blocked ("pcid switch refused: " ^ e)
+                | Error e ->
+                    Attack.Blocked
+                      ("pcid switch refused: "
+                      ^ Nested_kernel.Nk_error.to_string e)
                 | Ok () -> (
                     (* The kernel revokes write access while the home ASID
                        is parked. *)
@@ -280,7 +285,7 @@ let stale_tlb_across_asid =
                         (* Mediated: the vMMU decides how far the
                            shootdown reaches. *)
                         ignore
-                          (backend.Mmu_backend.write_pte ~va ~ptp:l1 ~index:0 ro)
+                          (backend.Mmu_backend.write_pte ~ptp:l1 ~index:0 ro)
                     | None ->
                         (* Unmediated kernel: the PTE store is a plain
                            write; nothing forces a cross-ASID shootdown. *)
@@ -288,7 +293,10 @@ let stale_tlb_across_asid =
                     match
                       backend.Mmu_backend.load_cr3_pcid ~pcid:home_pcid root
                     with
-                    | Error e -> Attack.Crashed ("return switch refused: " ^ e)
+                    | Error e ->
+                        Attack.Crashed
+                          ("return switch refused: "
+                          ^ Nested_kernel.Nk_error.to_string e)
                     | Ok () -> (
                         match Machine.kwrite_u64 m va 0x42 with
                         | Ok ()
@@ -323,7 +331,7 @@ let large_page_smuggle =
         match k.Kernel.nk with
         | None -> (
             match k.Kernel.backend.Mmu_backend.declare_ptp ~level:2 f with
-            | Error e -> Attack.Blocked e
+            | Error e -> Attack.Blocked (Nested_kernel.Nk_error.to_string e)
             | Ok () ->
                 ignore
                   (k.Kernel.backend.Mmu_backend.write_pte ~ptp:f ~index:0

@@ -63,7 +63,9 @@ let rogue_cr3 =
             (* Undo so the harness can keep using the kernel. *)
             ignore (k.Kernel.backend.Mmu_backend.load_cr3 saved_root);
             Attack.Succeeded "CR3 now points at attacker-controlled tables"
-        | Error e -> Attack.Blocked ("CR3 load rejected: " ^ e));
+        | Error e ->
+            Attack.Blocked
+              ("CR3 load rejected: " ^ Nested_kernel.Nk_error.to_string e));
   }
 
 let wp_disable_gate_jump =

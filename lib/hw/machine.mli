@@ -37,6 +37,10 @@ type t = {
       (** differential-oracle callback (see {!Coherence}); [None] by
           default, in which case every check site is a single match
           with zero cost *)
+  trace : Nktrace.t;
+      (** typed event tracer, cycle source wired to [clock]; disabled
+          by default, in which case every emission site is one boolean
+          test.  Tracing never charges simulated cycles. *)
 }
 
 val create : ?frames:int -> ?costs:Costs.t -> unit -> t
@@ -46,7 +50,20 @@ val create : ?frames:int -> ?costs:Costs.t -> unit -> t
 val msr_efer : int
 
 val charge : t -> int -> unit
+
 val count : t -> string -> unit
+(** Legacy string event counter.  Deprecated in favour of {!count_ev};
+    kept as a compatibility shim for one PR. *)
+
+val count_ev : t -> Nktrace.counter -> unit
+(** Count a typed architectural event: always bumps the legacy string
+    counter under [Nktrace.counter_name] (so existing assertions keep
+    working) and, when tracing is enabled, records it in the typed
+    registry with a cycle-stamped ring entry. *)
+
+val trace_count : t -> Nktrace.counter -> unit
+(** Typed-only counter for hot paths (TLB hit/miss): no legacy string
+    mirror, a single boolean test when tracing is off. *)
 
 val translate :
   t -> ring:Mmu.ring -> kind:Fault.access_kind -> Addr.va -> (Addr.pa, Fault.t) result

@@ -48,7 +48,8 @@ let activate t id =
         t.active <- id;
         (* The peer set is every TLB except the active one. *)
         m.Machine.peer_tlbs <- List.map (fun (_, c) -> c.tlb) t.parked;
-        Machine.count m "cpu_migration";
+        Nktrace.set_cpu m.Machine.trace id;
+        Machine.count_ev m Nktrace.Cpu_migration;
         Machine.coherence_check m ~op:"smp_activate"
 
 let with_cpu t id f =

@@ -93,8 +93,9 @@ let boot_native_paging (m : Machine.t) falloc ~pcid =
   root
 
 let boot ?(frames = 8192) ?(batched = false) ?(pcid = true)
-    ?(coherence = false) config =
+    ?(coherence = false) ?(trace = false) config =
   let m = Machine.create ~frames () in
+  if trace then Nktrace.enable m.Machine.trace;
   let nk, falloc, backend, kernel_root =
     if Config.is_nested config then begin
       let nk = Nested_kernel.Api.boot_exn m in
@@ -247,7 +248,7 @@ let switch_to t pid =
       match load_vm_root t p.Proc.vm with
       | Ok () ->
           t.current <- pid;
-          Machine.count t.machine "context_switch";
+          Machine.count_ev t.machine Nktrace.Context_switch;
           Ok ()
       | Error _ -> Error Ktypes.Efault)
 
@@ -268,7 +269,7 @@ let fork_proc t (parent : Proc.t) =
   (match t.shadow with
   | Some s -> ignore (Shadow_proc.on_insert s pid ~node_va:node)
   | None -> ());
-  Machine.count t.machine "fork";
+  Machine.count_ev t.machine Nktrace.Fork;
   Ok pid
 
 let exec_proc t (p : Proc.t) ~text_pages ~data_pages ~stack_pages =
@@ -287,7 +288,7 @@ let exit_proc t (p : Proc.t) code =
   p.Proc.pstate <- Proc.Zombie;
   p.Proc.exit_code <- Some code;
   ignore (Proclist.set_state t.allproc ~node:p.Proc.node_va 1);
-  Machine.count t.machine "exit"
+  Machine.count_ev t.machine Nktrace.Exit
 
 let wait_proc t (parent : Proc.t) =
   Machine.charge t.machine cost_proc_reap;
@@ -325,7 +326,7 @@ let log_sys_event t (p : Proc.t) sysno dir =
         Nested_kernel.Policy.reset_append sl.sl_state;
         sl.sl_flushes <- sl.sl_flushes + 1;
         Machine.charge t.machine 5_000;
-        Machine.count t.machine "syslog_flush"
+        Machine.count_ev t.machine Nktrace.Syslog_flush
       end;
       let record = Bytes.create event_bytes in
       t.syscall_seq <- t.syscall_seq + 1;
@@ -339,7 +340,7 @@ let log_sys_event t (p : Proc.t) sysno dir =
       (match Nested_kernel.Api.nk_write sl.sl_nk sl.sl_wd ~dest record with
       | Ok () -> sl.sl_events <- sl.sl_events + 1
       | Error _ -> ());
-      Machine.count t.machine "syslog_event"
+      Machine.count_ev t.machine Nktrace.Syslog_event
 
 (* --- dispatch ----------------------------------------------------- *)
 
@@ -353,9 +354,15 @@ let install_syscall t ~sysno ~handler_id =
 let cost_dispatch = 140
 
 let syscall t (p : Proc.t) sysno args =
+  (* Per-syscall dispatch-latency span: covers the roundtrip charge,
+     table lookup, handler body and log events, so the histogram keyed
+     ["sys_<name>"] is the end-to-end cycle cost of one invocation. *)
+  let tr = t.machine.Machine.trace in
+  let sp = Nktrace.Syscall_dispatch (Ktypes.syscall_name sysno) in
+  Nktrace.span_begin tr sp;
   Machine.charge t.machine
     (t.machine.Machine.costs.Costs.syscall_roundtrip + cost_dispatch);
-  Machine.count t.machine "syscall";
+  Machine.count_ev t.machine Nktrace.Syscall;
   log_sys_event t p sysno `Entry;
   let result =
     match Syscall_table.get t.syscall_table ~sysno with
@@ -366,6 +373,7 @@ let syscall t (p : Proc.t) sysno args =
         | Some h -> h t p args)
   in
   log_sys_event t p sysno `Exit;
+  Nktrace.span_end tr sp;
   result
 
 (* --- user memory and faults -------------------------------------- *)
@@ -423,7 +431,7 @@ let deliver_signal t (p : Proc.t) signal =
       Machine.charge t.machine cost_sig_handler_run;
       (* sigreturn *)
       Machine.charge t.machine t.machine.Machine.costs.Costs.syscall_roundtrip;
-      Machine.count t.machine "signal_delivered";
+      Machine.count_ev t.machine Nktrace.Signal_delivered;
       Ok ()
 
 (* --- inspection --------------------------------------------------- *)

@@ -42,7 +42,7 @@ and syscall_log = {
 
 val boot :
   ?frames:int -> ?batched:bool -> ?pcid:bool -> ?coherence:bool ->
-  Config.t -> t
+  ?trace:bool -> Config.t -> t
 (** Boot the machine and kernel in the given configuration.  The
     system-call table is empty; {!Syscalls.install_all} (or {!Os.boot})
     populates it.  [batched] selects the batched vMMU backend
@@ -52,13 +52,15 @@ val boot :
     [coherence] (default off) installs the differential TLB-coherence
     oracle ({!Nkhw.Coherence}) for the whole run, raising
     [Coherence.Violation] on any stale-and-more-permissive cached
-    translation. *)
+    translation.  [trace] (default off) enables the cycle-stamped
+    {!Nktrace} tracer on the machine from the first instruction;
+    tracing charges no simulated cycles either way. *)
 
-val load_vm_root : t -> Vmspace.t -> (unit, string) result
+val load_vm_root : t -> Vmspace.t -> (unit, Nested_kernel.Nk_error.t) result
 (** Load an address space's root through the backend, tagged with its
     (revalidated) ASID when PCID is on. *)
 
-val load_kernel_root : t -> (unit, string) result
+val load_kernel_root : t -> (unit, Nested_kernel.Nk_error.t) result
 (** Switch to the kernel's own root (ASID 0 when PCID is on). *)
 
 val current_proc : t -> Proc.t

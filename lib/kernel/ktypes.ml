@@ -55,3 +55,23 @@ let sys_unlink = 14
 let sys_getppid = 15
 let sys_pipe = 16
 let max_syscall = 64
+
+(* Stable names for tracing keys and reports. *)
+let syscall_name = function
+  | 1 -> "getpid"
+  | 2 -> "open"
+  | 3 -> "close"
+  | 4 -> "read"
+  | 5 -> "write"
+  | 6 -> "mmap"
+  | 7 -> "munmap"
+  | 8 -> "fork"
+  | 9 -> "exit"
+  | 10 -> "execve"
+  | 11 -> "sigaction"
+  | 12 -> "kill"
+  | 13 -> "wait"
+  | 14 -> "unlink"
+  | 15 -> "getppid"
+  | 16 -> "pipe"
+  | n -> "sys" ^ string_of_int n

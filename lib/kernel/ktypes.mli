@@ -43,3 +43,7 @@ val sys_unlink : int
 val sys_getppid : int
 val sys_pipe : int
 val max_syscall : int
+
+val syscall_name : int -> string
+(** Stable lower-case name of a syscall number ("getpid", "mmap", ...);
+    unknown numbers render as ["sys<n>"].  Used as tracing keys. *)

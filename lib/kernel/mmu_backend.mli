@@ -8,18 +8,28 @@ open Nkhw
     update through the nested kernel's vMMU — exactly the porting
     surface the paper describes (section 3.10: "we replaced all
     instances of writes to PTPs to use the appropriate nested kernel
-    API function"). *)
+    API function").
+
+    All operations report {!Nested_kernel.Nk_error.t}; the native
+    backend wraps its few self-generated failures in
+    [Nk_error.Native], so callers never string-match errors. *)
 
 type t = {
   name : string;
-  declare_ptp : level:int -> Addr.frame -> (unit, string) result;
+  declare_ptp : level:int -> Addr.frame -> (unit, Nested_kernel.Nk_error.t) result;
   write_pte :
-    ?va:Addr.va -> ptp:Addr.frame -> index:int -> Pte.t -> (unit, string) result;
+    ptp:Addr.frame -> index:int -> Pte.t -> (unit, Nested_kernel.Nk_error.t) result;
+      (** Update one page-table entry.  There is no VA hint: the
+          nested backend derives the shootdown scope of a downgrade
+          from the vMMU's reverse maps, and the native backend locates
+          the entry in its own page tables (as a real kernel knows the
+          VA of its own PTE writes). *)
   write_pte_batch :
-    (Addr.frame * int * Pte.t * Addr.va option) list -> (unit, string) result;
-  remove_ptp : Addr.frame -> (unit, string) result;
-  load_cr3 : Addr.frame -> (unit, string) result;
-  load_cr3_pcid : pcid:int -> Addr.frame -> (unit, string) result;
+    (Addr.frame * int * Pte.t) list -> (unit, Nested_kernel.Nk_error.t) result;
+  remove_ptp : Addr.frame -> (unit, Nested_kernel.Nk_error.t) result;
+  load_cr3 : Addr.frame -> (unit, Nested_kernel.Nk_error.t) result;
+  load_cr3_pcid :
+    pcid:int -> Addr.frame -> (unit, Nested_kernel.Nk_error.t) result;
       (** PCID-tagged switch: skips the TLB flush when the (pcid, root)
           pair was the last one loaded under that tag; falls back to
           [load_cr3] semantics when CR4.PCIDE is clear *)
@@ -31,7 +41,11 @@ type t = {
 }
 
 val native : Machine.t -> t
-(** Unmediated: raw entry stores with normal TLB maintenance costs. *)
+(** Unmediated: raw entry stores with normal TLB maintenance costs.  A
+    protection downgrade of a live level-1 leaf is followed by the
+    targeted single-page flush a stock kernel issues (the VA is
+    recovered from the backend's own page tables at zero simulated
+    cost); other downgrades broadcast-flush. *)
 
 val nested : Nested_kernel.State.t -> t
 (** Every operation crosses the nested-kernel gates. *)

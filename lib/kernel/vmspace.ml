@@ -36,7 +36,9 @@ let ( let* ) = Result.bind
 
 let charge env c = Machine.charge env.machine c
 
-let oom = function Ok v -> Ok v | Error (_ : string) -> Error Ktypes.Enomem
+let oom = function
+  | Ok v -> Ok v
+  | Error (_ : Nested_kernel.Nk_error.t) -> Error Ktypes.Enomem
 
 let share_count env frame =
   Option.value ~default:1 (Hashtbl.find_opt env.share frame)
@@ -135,7 +137,7 @@ let leaf_of env vm va =
 let install_leaf env vm va pte =
   let* pt = ensure_pt env vm va in
   let index = Addr.pt_index va in
-  let* () = oom (env.backend.Mmu_backend.write_pte ~va ~ptp:pt ~index pte) in
+  let* () = oom (env.backend.Mmu_backend.write_pte ~ptp:pt ~index pte) in
   Ok ()
 
 let flags_for prot kind =
@@ -215,7 +217,7 @@ let collect_populate env vm region ~start ~len =
       let* frame = frame_result in
       let* pt = ensure_pt env vm va in
       let pte = Pte.make ~frame (flags_for region.r_prot region.r_kind) in
-      go (va + Addr.page_size) ((pt, Addr.pt_index va, pte, Some va) :: acc)
+      go (va + Addr.page_size) ((pt, Addr.pt_index va, pte) :: acc)
   in
   go start []
 
@@ -272,7 +274,7 @@ let unmap_page env vm va =
   | Some w ->
       let* () =
         oom
-          (env.backend.Mmu_backend.write_pte ~va ~ptp:w.Page_table.leaf_ptp
+          (env.backend.Mmu_backend.write_pte ~ptp:w.Page_table.leaf_ptp
              ~index:w.Page_table.leaf_index Pte.empty)
       in
       release_frame env w.Page_table.frame;
@@ -293,8 +295,7 @@ let unmap_region env vm start =
           | None -> ()
           | Some w ->
               updates :=
-                (w.Page_table.leaf_ptp, w.Page_table.leaf_index, Pte.empty,
-                 Some !va)
+                (w.Page_table.leaf_ptp, w.Page_table.leaf_index, Pte.empty)
                 :: !updates;
               release_frame env w.Page_table.frame;
               charge env cost_page_remove);
@@ -319,7 +320,7 @@ let flush_after_upgrade env va =
 
 let handle_fault env vm va kind =
   charge env cost_fault_lookup;
-  Machine.count env.machine "vm_fault";
+  Machine.count_ev env.machine Nktrace.Vm_fault;
   match find_region vm va with
   | None -> Error Ktypes.Efault
   | Some region -> (
@@ -343,18 +344,18 @@ let handle_fault env vm va kind =
                     ignore (share_decr env frame);
                     let* () =
                       oom
-                        (env.backend.Mmu_backend.write_pte ~va:va_page
+                        (env.backend.Mmu_backend.write_pte
                            ~ptp:w.Page_table.leaf_ptp
                            ~index:w.Page_table.leaf_index
                            (Pte.make ~frame:fresh (flags_for Rw region.r_kind)))
                     in
                     flush_after_upgrade env va_page;
-                    Machine.count env.machine "cow_copy";
+                    Machine.count_ev env.machine Nktrace.Cow_copy;
                     Ok ())
               else begin
                 let* () =
                   oom
-                    (env.backend.Mmu_backend.write_pte ~va:va_page
+                    (env.backend.Mmu_backend.write_pte
                        ~ptp:w.Page_table.leaf_ptp ~index:w.Page_table.leaf_index
                        (Pte.make ~frame (flags_for Rw region.r_kind)))
                 in
@@ -380,10 +381,10 @@ let fork env parent =
         if !failure = None then begin
           let ro = Pte.set_writable pte false in
           if Pte.is_writable pte then
-            downgrades := (ptp, index, ro, Some va) :: !downgrades;
+            downgrades := (ptp, index, ro) :: !downgrades;
           (match ensure_pt env child va with
           | Ok pt ->
-              installs := (pt, Addr.pt_index va, ro, Some va) :: !installs;
+              installs := (pt, Addr.pt_index va, ro) :: !installs;
               share_incr env (Pte.frame pte);
               charge env cost_page_insert
           | Error e -> failure := Some e)
@@ -397,7 +398,7 @@ let fork env parent =
         let* () =
           oom (env.backend.Mmu_backend.write_pte_batch (List.rev !installs))
         in
-        Machine.count env.machine "fork_vm";
+        Machine.count_ev env.machine Nktrace.Fork_vm;
         Ok child
   end
   else begin
@@ -410,7 +411,7 @@ let fork env parent =
           let step =
             let* () =
               if Pte.is_writable pte then
-                oom (env.backend.Mmu_backend.write_pte ~va ~ptp ~index ro)
+                oom (env.backend.Mmu_backend.write_pte ~ptp ~index ro)
               else Ok ()
             in
             let* () = install_leaf env child va ro in
@@ -423,7 +424,7 @@ let fork env parent =
     match !failure with
     | Some e -> Error e
     | None ->
-        Machine.count env.machine "fork_vm";
+        Machine.count_ev env.machine Nktrace.Fork_vm;
         Ok child
   end
 
@@ -471,7 +472,7 @@ let destroy env vm =
   (match env.asids with
   | Some pool -> Asid_pool.free pool ~asid:vm.asid ~stamp:vm.asid_stamp
   | None -> ());
-  Machine.count env.machine "vm_destroy"
+  Machine.count_ev env.machine Nktrace.Vm_destroy
 
 let exec_reset env vm ~text_pages ~data_pages ~stack_pages =
   unmap_all env vm;
@@ -494,7 +495,7 @@ let exec_reset env vm ~text_pages ~data_pages ~stack_pages =
       ~len:(stack_pages * Addr.page_size)
       Rw Stack ~populate:false
   in
-  Machine.count env.machine "exec";
+  Machine.count_ev env.machine Nktrace.Exec;
   Ok ()
 
 let populated_pages env vm =

@@ -39,18 +39,38 @@ let audit_ok = Invariants.audit_ok
    oracle so parked-ASID entries are audited against the right tree. *)
 let nk_root_of_asid (st : t) asid = Hashtbl.find_opt st.State.pcid_roots asid
 
-let enable_coherence_check ?on_violation (st : t) =
-  Nkhw.Coherence.enable ?on_violation
-    ~root_of_asid:(nk_root_of_asid st)
-    st.State.machine
+(* Uniform enable/disable/snapshot surface over the out-of-band
+   diagnostic instruments (none of them charge simulated cycles). *)
+module Diagnostics = struct
+  module Coherence = struct
+    let enable ?on_violation (st : t) =
+      Nkhw.Coherence.enable ?on_violation
+        ~root_of_asid:(nk_root_of_asid st)
+        st.State.machine
 
-let disable_coherence_check (st : t) =
-  Nkhw.Coherence.disable st.State.machine
+    let disable (st : t) = Nkhw.Coherence.disable st.State.machine
 
-let coherence_violations (st : t) =
-  Nkhw.Coherence.check_machine
-    ~root_of_asid:(nk_root_of_asid st)
-    st.State.machine
+    let snapshot (st : t) =
+      Nkhw.Coherence.check_machine
+        ~root_of_asid:(nk_root_of_asid st)
+        st.State.machine
+  end
+
+  module Tracing = struct
+    let tracer (st : t) = st.State.machine.Nkhw.Machine.trace
+    let enable (st : t) = Nktrace.enable (tracer st)
+    let disable (st : t) = Nktrace.disable (tracer st)
+    let clear (st : t) = Nktrace.clear (tracer st)
+    let snapshot (st : t) = Nktrace.snapshot (tracer st)
+  end
+end
+
+(* Deprecated aliases (one PR): use [Diagnostics.Coherence] /
+   [Diagnostics.Tracing] instead. *)
+let enable_coherence_check = Diagnostics.Coherence.enable
+let disable_coherence_check = Diagnostics.Coherence.disable
+let coherence_violations = Diagnostics.Coherence.snapshot
+let tracing = Diagnostics.Tracing.tracer
 let machine (st : t) = st.State.machine
 let trap_gate_va (st : t) = st.State.gate.Gate.trap_va
 let outer_first_frame = Init.outer_first_frame

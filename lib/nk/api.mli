@@ -15,12 +15,12 @@ val boot_exn : ?layout:Init.boot_layout -> Machine.t -> t
 val declare_ptp : t -> level:int -> Addr.frame -> (unit, Nk_error.t) result
 
 val write_pte :
-  t -> ?va:Addr.va -> ptp:Addr.frame -> index:int -> Pte.t ->
-  (unit, Nk_error.t) result
+  t -> ptp:Addr.frame -> index:int -> Pte.t -> (unit, Nk_error.t) result
+(** The former [?va] shootdown hint is gone: the vMMU derives the
+    shootdown scope from its own reverse maps (see {!Vmmu.write_pte}). *)
 
 val write_pte_batch :
-  t -> (Addr.frame * int * Pte.t * Addr.va option) list ->
-  (unit, Nk_error.t) result
+  t -> (Addr.frame * int * Pte.t) list -> (unit, Nk_error.t) result
 
 val remove_ptp : t -> Addr.frame -> (unit, Nk_error.t) result
 val load_cr0 : t -> int -> (unit, Nk_error.t) result
@@ -68,18 +68,51 @@ val nk_root_of_asid : t -> int -> Addr.frame option
 (** The root a PCID is currently bound to, per the vMMU's clean-pair
     table — the ASID resolver the coherence oracle uses. *)
 
+(** Out-of-band diagnostic instruments, behind one uniform
+    enable/disable/snapshot surface.  Neither instrument ever charges
+    simulated cycles, so they can stay on during measurement runs
+    without perturbing them. *)
+module Diagnostics : sig
+  (** The differential TLB-coherence oracle ({!Nkhw.Coherence}). *)
+  module Coherence : sig
+    val enable :
+      ?on_violation:(Coherence.violation list -> unit) -> t -> unit
+    (** Install the oracle on this instance's machine, resolving parked
+        ASIDs through the vMMU's PCID-root bindings.  Raises
+        [Coherence.Violation] on any stale-and-more-permissive cached
+        translation unless [on_violation] is given. *)
+
+    val disable : t -> unit
+
+    val snapshot : t -> Coherence.violation list
+    (** One-shot full audit of every TLB against the live page tables. *)
+  end
+
+  (** The cycle-stamped event tracer ({!Nktrace}). *)
+  module Tracing : sig
+    val tracer : t -> Nktrace.t
+    (** The machine's tracer, for direct observation calls. *)
+
+    val enable : t -> unit
+    val disable : t -> unit
+    val clear : t -> unit
+    val snapshot : t -> Nktrace.snapshot
+  end
+end
+
 val enable_coherence_check :
   ?on_violation:(Coherence.violation list -> unit) -> t -> unit
-(** Install the differential TLB-coherence oracle ({!Nkhw.Coherence})
-    on this instance's machine, resolving parked ASIDs through the
-    vMMU's PCID-root bindings.  Raises [Coherence.Violation] on any
-    stale-and-more-permissive cached translation unless
-    [on_violation] is given. *)
+(** @deprecated Alias for {!Diagnostics.Coherence.enable}; kept for
+    one PR. *)
 
 val disable_coherence_check : t -> unit
+(** @deprecated Alias for {!Diagnostics.Coherence.disable}. *)
 
 val coherence_violations : t -> Coherence.violation list
-(** One-shot full audit of every TLB against the live page tables. *)
+(** @deprecated Alias for {!Diagnostics.Coherence.snapshot}. *)
+
+val tracing : t -> Nktrace.t
+(** @deprecated Alias for {!Diagnostics.Tracing.tracer}. *)
 
 val machine : t -> Machine.t
 val trap_gate_va : t -> Addr.va

@@ -122,6 +122,7 @@ let want_interpretation t = t.strict || t.crossings < 2
 
 let enter (m : Machine.t) t =
   t.crossings <- t.crossings + 1;
+  Nktrace.span_begin m.Machine.trace Nktrace.Gate_enter;
   let cpu = m.Machine.cpu in
   let result =
     if want_interpretation t || t.entry_cost = None then begin
@@ -146,14 +147,19 @@ let enter (m : Machine.t) t =
       Ok `Fast
     end
   in
+  Nktrace.span_end m.Machine.trace Nktrace.Gate_enter;
   match result with
   | Ok _ ->
       m.Machine.in_nested_kernel <- true;
-      Machine.count m "nk_enter";
+      Machine.count_ev m Nktrace.Nk_enter;
+      (* The crossing span stays open across the nested-kernel body and
+         is closed by the matching exit. *)
+      Nktrace.span_begin m.Machine.trace Nktrace.Gate_crossing;
       Ok ()
   | Error e -> Error e
 
 let exit_ (m : Machine.t) t =
+  Nktrace.span_begin m.Machine.trace Nktrace.Gate_exit;
   let cpu = m.Machine.cpu in
   (* An exit must mirror its matching enter: a fast-path enter left no
      state in simulated memory, so its exit must be fast too — even if
@@ -184,9 +190,11 @@ let exit_ (m : Machine.t) t =
       Ok ()
     end
   in
+  Nktrace.span_end m.Machine.trace Nktrace.Gate_exit;
   match result with
   | Ok () ->
       m.Machine.in_nested_kernel <- false;
+      Nktrace.span_end m.Machine.trace Nktrace.Gate_crossing;
       Ok ()
   | Error e -> Error e
 
@@ -224,4 +232,7 @@ let trap_overhead (m : Machine.t) t =
         (Array.length saved.Cpu_state.regs);
       Clock.charge m.clock (before - Clock.cycles m.clock + cost);
       t.trap_cost <- Some cost;
+      Nktrace.observe m.Machine.trace
+        (Nktrace.span_name Nktrace.Gate_trap)
+        cost;
       cost

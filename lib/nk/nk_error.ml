@@ -20,6 +20,7 @@ type t =
   | Gate_failure of string
   | Hardware of Fault.t
   | Batch_item of { index : int; error : t }
+  | Native of string
 
 let rec pp ppf = function
   | Not_a_ptp f -> Format.fprintf ppf "frame %d is not a declared PTP" f
@@ -54,5 +55,7 @@ let rec pp ppf = function
   | Batch_item { index; error } ->
       Format.fprintf ppf "batch update %d rejected (%a); updates 0..%d applied"
         index pp error (index - 1)
+  | Native msg -> Format.pp_print_string ppf msg
 
 let to_string t = Format.asprintf "%a" pp t
+let of_string msg = Native msg

@@ -32,6 +32,15 @@ type t =
   | Batch_item of { index : int; error : t }
       (** [write_pte_batch] rejected tuple [index]; tuples before it
           were applied, tuples after it were not *)
+  | Native of string
+      (** an error reported by a non-mediating (native) MMU backend,
+          carried verbatim so [Mmu_backend] implementations share one
+          error type *)
 
 val pp : Format.formatter -> t -> unit
+
 val to_string : t -> string
+
+val of_string : string -> t
+(** Bridge for native-backend error strings: [of_string s = Native s],
+    and [to_string (of_string s) = s]. *)

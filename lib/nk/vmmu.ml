@@ -4,6 +4,17 @@ let ( let* ) = Result.bind
 
 let hw_result = function Ok v -> Ok v | Error f -> Error (Nk_error.Hardware f)
 
+(* Wrap one vMMU operation in a tracing span covering the whole call,
+   gate crossings included.  Out-of-band: charges nothing, and is a
+   single boolean test while tracing is disabled. *)
+let traced (st : State.t) op f =
+  let tr = st.machine.Machine.trace in
+  let sp = Nktrace.Vmmu_op op in
+  Nktrace.span_begin tr sp;
+  let r = f () in
+  Nktrace.span_end tr sp;
+  r
+
 (* An entry in a level-L table is a leaf translation if L = 1, or if
    L = 2 with the large-page bit set; otherwise it links a child PTP. *)
 let entry_is_leaf ~level pte = level = 1 || (level = 2 && Pte.is_large pte)
@@ -115,40 +126,48 @@ let ptp_base_vpages (st : State.t) ptp =
   climb [] ptp
 
 (* Flush everything the entry at [index] of [ptp] can translate.  The
-   scope is derived from the reverse maps, never from the caller's
-   [~va] hint: the hint comes from the untrusted outer kernel, and a
-   wrong (or absent) one must not leave a stale translation cached —
-   in particular a 2 MiB leaf covers 512 virtual pages that the MMU
-   caches individually, so flushing the hinted page alone would leave
-   up to 511 stale-writable entries. *)
+   scope is derived from the reverse maps — never from a caller hint:
+   the outer kernel is untrusted, and a wrong (or absent) hint must
+   not leave a stale translation cached — in particular a 2 MiB leaf
+   covers 512 virtual pages that the MMU caches individually, so
+   flushing one hinted page alone would leave up to 511 stale-writable
+   entries.  (The former [?va] hint was ignored for exactly this
+   reason and has been removed from the API.) *)
 let shootdown_entry (st : State.t) ~ptp ~index ~level =
   let m = st.machine in
+  let tr = m.Machine.trace in
   let span = pages_per_entry level in
   match ptp_base_vpages st ptp with
   | Some (_ :: _ as bases) when span <= Addr.entries_per_table ->
+      let sp = Nktrace.Shootdown (if span = 1 then "page" else "span") in
+      Nktrace.span_begin tr sp;
       List.iter
         (fun base ->
           let vpage = base + (index * span) in
           if span = 1 then Machine.shootdown_page m ~vpage
           else Machine.shootdown_span m ~vpage ~count:span)
-        bases
+        bases;
+      Nktrace.span_end tr sp
   | _ ->
       (* Unlinked (a stale entry could still have been cached before
          the unlink), unboundable, or a span wider than one PD entry:
          flush everything, globals included. *)
-      Machine.shootdown_all m
+      let sp = Nktrace.Shootdown "all" in
+      Nktrace.span_begin tr sp;
+      Machine.shootdown_all m;
+      Nktrace.span_end tr sp
 
 (* Perform one validated PTE update inside the gate: maintain reverse
    maps, write through the direct map (WP is clear, so the read-only
    PTP mapping accepts the supervisor store), and keep the TLB
    coherent on downgrades. *)
-let apply_update (st : State.t) ?va:_ ~ptp ~index ~level fresh =
+let apply_update (st : State.t) ~ptp ~index ~level fresh =
   let m = st.machine in
   let old = Page_table.get_entry m.Machine.mem ~ptp ~index in
   let* () =
     hw_result (Machine.kwrite_u64 m (State.entry_va_of_pte ~ptp ~index) fresh)
   in
-  Machine.count m "pte_write";
+  Machine.count_ev m Nktrace.Pte_write;
   if Pte.is_present old then begin
     let kind = mapping_kind ~level old in
     Pgdesc.remove_mapping st.descs (Pte.frame old)
@@ -173,33 +192,36 @@ let check_ptp (st : State.t) ptp =
   | Some level -> Ok level
   | None -> Error (Nk_error.Not_a_ptp ptp)
 
-let write_pte st ?va ~ptp ~index pte =
-  State.with_gate st (fun () ->
-      let* level = check_ptp st ptp in
-      let* fresh = validate_and_adjust st ~level pte in
-      apply_update st ?va ~ptp ~index ~level fresh)
+let write_pte st ~ptp ~index pte =
+  traced st "write_pte" (fun () ->
+      State.with_gate st (fun () ->
+          let* level = check_ptp st ptp in
+          let* fresh = validate_and_adjust st ~level pte in
+          apply_update st ~ptp ~index ~level fresh))
 
 let write_pte_batch st updates =
-  State.with_gate st (fun () ->
-      (* Prefix-applied semantics: tuples before a rejected one stay
-         applied; the error says exactly which tuple stopped the
-         batch so the caller can resume or roll back. *)
-      let rec go i = function
-        | [] -> Ok ()
-        | (ptp, index, pte, va) :: rest -> (
-            let item =
-              let* level = check_ptp st ptp in
-              let* fresh = validate_and_adjust st ~level pte in
-              apply_update st ?va ~ptp ~index ~level fresh
-            in
-            match item with
-            | Ok () -> go (i + 1) rest
-            | Error error -> Error (Nk_error.Batch_item { index = i; error }))
-      in
-      Machine.count st.machine "pte_write_batch";
-      go 0 updates)
+  traced st "write_pte_batch" (fun () ->
+      State.with_gate st (fun () ->
+          (* Prefix-applied semantics: tuples before a rejected one stay
+             applied; the error says exactly which tuple stopped the
+             batch so the caller can resume or roll back. *)
+          let rec go i = function
+            | [] -> Ok ()
+            | (ptp, index, pte) :: rest -> (
+                let item =
+                  let* level = check_ptp st ptp in
+                  let* fresh = validate_and_adjust st ~level pte in
+                  apply_update st ~ptp ~index ~level fresh
+                in
+                match item with
+                | Ok () -> go (i + 1) rest
+                | Error error -> Error (Nk_error.Batch_item { index = i; error }))
+          in
+          Machine.count_ev st.machine Nktrace.Pte_write_batch;
+          go 0 updates))
 
 let declare_ptp st ~level frame =
+  traced st "declare_ptp" @@ fun () ->
   State.with_gate st (fun () ->
       let m = st.machine in
       if level < 1 || level > 4 then
@@ -253,11 +275,12 @@ let declare_ptp st ~level frame =
               Machine.charge m m.Machine.costs.Costs.page_zero;
               Pgdesc.set_type st.descs frame (Pgdesc.Ptp level);
               Iommu.protect_frame m.Machine.iommu frame;
-              Machine.count m "declare_ptp";
+              Machine.count_ev m Nktrace.Declare_ptp;
               Ok ()
             end)
 
 let remove_ptp st frame =
+  traced st "remove_ptp" @@ fun () ->
   State.with_gate st (fun () ->
       let m = st.machine in
       let* level = check_ptp st frame in
@@ -308,7 +331,7 @@ let remove_ptp st frame =
                page. *)
             Machine.shootdown_page m
               ~vpage:(Addr.vpage (Addr.kva_of_frame frame));
-            Machine.count m "remove_ptp";
+            Machine.count_ev m Nktrace.Remove_ptp;
             Ok ()
           end
         end)
@@ -321,7 +344,7 @@ let load_cr0 st v =
         let m = st.machine in
         m.Machine.cr.Cr.cr0 <- v;
         Machine.charge m m.Machine.costs.Costs.cr_write;
-        Machine.count m "load_cr0";
+        Machine.count_ev m Nktrace.Load_cr0;
         Ok ()
       end)
 
@@ -344,7 +367,7 @@ let switch_untagged (st : State.t) frame =
   Machine.flush_full m;
   Hashtbl.reset st.State.pcid_roots;
   Hashtbl.replace st.State.pcid_roots 0 frame;
-  Machine.count m "load_cr3"
+  Machine.count_ev m Nktrace.Load_cr3
 
 let load_cr3 st frame =
   State.with_gate st (fun () ->
@@ -384,7 +407,7 @@ let load_cr3_pcid st ~pcid frame =
                      die before this one runs. *)
                   Machine.flush_asid m ~asid:pcid;
                   Hashtbl.replace st.State.pcid_roots pcid frame);
-              Machine.count m "load_cr3_pcid";
+              Machine.count_ev m Nktrace.Load_cr3_pcid;
               Ok ()
             end
         | Some _ | None -> Error (Nk_error.Invalid_cr3 frame))
@@ -397,7 +420,7 @@ let load_cr4 st v =
         let m = st.machine in
         m.Machine.cr.Cr.cr4 <- v;
         Machine.charge m m.Machine.costs.Costs.cr_write;
-        Machine.count m "load_cr4";
+        Machine.count_ev m Nktrace.Load_cr4;
         Ok ()
       end)
 
@@ -409,6 +432,6 @@ let load_efer st v =
         let m = st.machine in
         m.Machine.cr.Cr.efer <- v;
         Machine.charge m m.Machine.costs.Costs.wrmsr;
-        Machine.count m "load_efer";
+        Machine.count_ev m Nktrace.Load_efer;
         Ok ()
       end)

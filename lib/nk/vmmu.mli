@@ -27,25 +27,18 @@ val declare_ptp :
     write-protects every existing mapping to it. *)
 
 val write_pte :
-  State.t ->
-  ?va:Addr.va ->
-  ptp:Addr.frame ->
-  index:int ->
-  Pte.t ->
-  (unit, Nk_error.t) result
-(** [nk_write_PTE]: update one page-table entry.  [va] is accepted for
-    API compatibility but no longer trusted: the shootdown scope of a
-    protection downgrade is computed from the nested kernel's own
+  State.t -> ptp:Addr.frame -> index:int -> Pte.t -> (unit, Nk_error.t) result
+(** [nk_write_PTE]: update one page-table entry.  The shootdown scope
+    of a protection downgrade is computed from the nested kernel's own
     reverse maps (the positions at which [ptp] is linked into live
-    trees), so a lying or absent hint cannot leave a stale translation
-    cached.  A downgrade of a level-1 entry costs one page shootdown,
-    of a 2 MiB leaf a 512-page span shootdown; unboundable scopes fall
-    back to a broadcast flush. *)
+    trees) — there is no caller-supplied VA hint, because the outer
+    kernel is untrusted and a lying hint could leave a stale
+    translation cached.  A downgrade of a level-1 entry costs one page
+    shootdown, of a 2 MiB leaf a 512-page span shootdown; unboundable
+    scopes fall back to a broadcast flush. *)
 
 val write_pte_batch :
-  State.t ->
-  (Addr.frame * int * Pte.t * Addr.va option) list ->
-  (unit, Nk_error.t) result
+  State.t -> (Addr.frame * int * Pte.t) list -> (unit, Nk_error.t) result
 (** Batched updates under a single gate crossing — the extension the
     paper's section 5.4 measures (>60% overhead reduction on
     mmap-heavy paths).  Validation is per-entry; the first rejection

@@ -66,7 +66,7 @@ let declare st ~base ~size policy =
                  { frame = bad; why = "page type cannot hold protected data" })
         | None ->
             List.iter (protect_frame st) frames;
-            Machine.count st.machine "nk_declare";
+            Machine.count_ev st.machine Nktrace.Nk_declare;
             Ok (fresh_wd st ~base ~size ~policy ~from_heap:false))
 
 let alloc st ~size policy =
@@ -74,7 +74,7 @@ let alloc st ~size policy =
       match Pheap.alloc st.heap size with
       | None -> Error Nk_error.Out_of_protected_memory
       | Some va ->
-          Machine.count st.machine "nk_alloc";
+          Machine.count_ev st.machine Nktrace.Nk_alloc;
           let wd = fresh_wd st ~base:va ~size ~policy ~from_heap:true in
           Ok (wd, va))
 
@@ -84,7 +84,7 @@ let free st (wd : State.wd) =
       else begin
         wd.State.wd_active <- false;
         if wd.State.wd_from_heap then Pheap.free st.heap wd.State.wd_base;
-        Machine.count st.machine "nk_free";
+        Machine.count_ev st.machine Nktrace.Nk_free;
         Ok ()
       end)
 
@@ -95,29 +95,38 @@ let write st (wd : State.wd) ~dest data =
     size < 0 || dest < wd.State.wd_base
     || dest + size > wd.State.wd_base + wd.State.wd_size
   then Error (Nk_error.Bad_bounds { dest; size })
-  else
-    State.with_gate st (fun () ->
-        let m = st.machine in
-        let offset = dest - wd.State.wd_base in
-        let* old =
-          match Machine.kread_bytes m dest size with
-          | Ok b -> Ok b
-          | Error f -> Error (Nk_error.Hardware f)
-        in
-        match wd.State.wd_policy.Policy.mediate ~offset ~old ~data with
-        | Policy.Deny reason ->
-            st.State.denied_writes <- st.State.denied_writes + 1;
-            Machine.count m "nk_write_denied";
-            Error
-              (Nk_error.Policy_violation
-                 { policy = wd.State.wd_policy.Policy.name; reason })
-        | Policy.Allow -> (
-            match Machine.kwrite_bytes m dest data with
+  else begin
+    let tr = st.State.machine.Machine.trace in
+    Nktrace.span_begin tr Nktrace.Wp_write;
+    let r =
+      State.with_gate st (fun () ->
+          let m = st.machine in
+          let offset = dest - wd.State.wd_base in
+          let* old =
+            match Machine.kread_bytes m dest size with
+            | Ok b -> Ok b
             | Error f -> Error (Nk_error.Hardware f)
-            | Ok () ->
-                wd.State.wd_policy.Policy.commit ~offset ~old ~data;
-                Machine.count m "nk_write";
-                Ok ()))
+          in
+          match wd.State.wd_policy.Policy.mediate ~offset ~old ~data with
+          | Policy.Deny reason ->
+              st.State.denied_writes <- st.State.denied_writes + 1;
+              Machine.count_ev m Nktrace.Nk_write_denied;
+              Nktrace.mark tr
+                ("policy_denial:" ^ wd.State.wd_policy.Policy.name);
+              Error
+                (Nk_error.Policy_violation
+                   { policy = wd.State.wd_policy.Policy.name; reason })
+          | Policy.Allow -> (
+              match Machine.kwrite_bytes m dest data with
+              | Error f -> Error (Nk_error.Hardware f)
+              | Ok () ->
+                  wd.State.wd_policy.Policy.commit ~offset ~old ~data;
+                  Machine.count_ev m Nktrace.Nk_write;
+                  Ok ()))
+    in
+    Nktrace.span_end tr Nktrace.Wp_write;
+    r
+  end
 
 let read st (wd : State.wd) ~src ~len =
   if not wd.State.wd_active then Error Nk_error.Descriptor_inactive
@@ -140,7 +149,7 @@ let emulate_colocated_write st ~dest data =
   else begin
     (* The trap that brought us here. *)
     Machine.charge m m.Machine.costs.Costs.trap_roundtrip;
-    Machine.count m "colocated_trap";
+    Machine.count_ev m Nktrace.Colocated_trap;
     let on_protected_pages =
       List.for_all
         (fun f -> Pgdesc.page_type st.State.descs f = Pgdesc.Protected_data)
@@ -178,7 +187,7 @@ let emulate_colocated_write st ~dest data =
         State.with_gate st (fun () ->
             match Machine.kwrite_bytes m dest data with
             | Ok () ->
-                Machine.count m "colocated_emulated_write";
+                Machine.count_ev m Nktrace.Colocated_emulated_write;
                 Ok ()
             | Error f -> Error (Nk_error.Hardware f))
   end

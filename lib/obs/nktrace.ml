@@ -1,0 +1,383 @@
+type counter =
+  | Tlb_flush_full
+  | Tlb_flush_asid
+  | Tlb_flush_page
+  | Tlb_flush_span
+  | Tlb_hit
+  | Tlb_miss
+  | Pte_write
+  | Pte_write_batch
+  | Declare_ptp
+  | Remove_ptp
+  | Load_cr0
+  | Load_cr3
+  | Load_cr3_pcid
+  | Load_cr4
+  | Load_efer
+  | Nk_enter
+  | Nk_declare
+  | Nk_alloc
+  | Nk_free
+  | Nk_write
+  | Nk_write_denied
+  | Colocated_trap
+  | Colocated_emulated_write
+  | Syscall
+  | Context_switch
+  | Fork
+  | Fork_vm
+  | Exec
+  | Exit
+  | Vm_fault
+  | Cow_copy
+  | Vm_destroy
+  | Cpu_migration
+  | Signal_delivered
+  | Syslog_event
+  | Syslog_flush
+  | Custom of string
+
+let counter_name = function
+  | Tlb_flush_full -> "tlb_flush_full"
+  | Tlb_flush_asid -> "tlb_flush_asid"
+  | Tlb_flush_page -> "tlb_flush_page"
+  | Tlb_flush_span -> "tlb_flush_span"
+  | Tlb_hit -> "tlb_hit"
+  | Tlb_miss -> "tlb_miss"
+  | Pte_write -> "pte_write"
+  | Pte_write_batch -> "pte_write_batch"
+  | Declare_ptp -> "declare_ptp"
+  | Remove_ptp -> "remove_ptp"
+  | Load_cr0 -> "load_cr0"
+  | Load_cr3 -> "load_cr3"
+  | Load_cr3_pcid -> "load_cr3_pcid"
+  | Load_cr4 -> "load_cr4"
+  | Load_efer -> "load_efer"
+  | Nk_enter -> "nk_enter"
+  | Nk_declare -> "nk_declare"
+  | Nk_alloc -> "nk_alloc"
+  | Nk_free -> "nk_free"
+  | Nk_write -> "nk_write"
+  | Nk_write_denied -> "nk_write_denied"
+  | Colocated_trap -> "colocated_trap"
+  | Colocated_emulated_write -> "colocated_emulated_write"
+  | Syscall -> "syscall"
+  | Context_switch -> "context_switch"
+  | Fork -> "fork"
+  | Fork_vm -> "fork_vm"
+  | Exec -> "exec"
+  | Exit -> "exit"
+  | Vm_fault -> "vm_fault"
+  | Cow_copy -> "cow_copy"
+  | Vm_destroy -> "vm_destroy"
+  | Cpu_migration -> "cpu_migration"
+  | Signal_delivered -> "signal_delivered"
+  | Syslog_event -> "syslog_event"
+  | Syslog_flush -> "syslog_flush"
+  | Custom s -> s
+
+type span =
+  | Gate_crossing
+  | Gate_enter
+  | Gate_exit
+  | Gate_trap
+  | Vmmu_op of string
+  | Shootdown of string
+  | Wp_write
+  | Syscall_dispatch of string
+
+let span_name = function
+  | Gate_crossing -> "gate_crossing"
+  | Gate_enter -> "gate_enter"
+  | Gate_exit -> "gate_exit"
+  | Gate_trap -> "gate_trap"
+  | Vmmu_op op -> "vmmu_" ^ op
+  | Shootdown scope -> "shootdown_" ^ scope
+  | Wp_write -> "wp_write"
+  | Syscall_dispatch name -> "sys_" ^ name
+
+type event =
+  | Count of counter
+  | Span_begin of span
+  | Span_end of span * int
+  | Mark of string
+
+type record = { seq : int; cycles : int; cpu : int; event : event }
+
+type hist_summary = {
+  h_count : int;
+  h_min : int;
+  h_max : int;
+  h_mean : float;
+  p50 : int;
+  p95 : int;
+  p99 : int;
+}
+
+type snapshot = {
+  events : record list;
+  dropped : int;
+  counters : (string * int) list;
+  histograms : (string * hist_summary) list;
+}
+
+(* Bounded sample reservoir.  Once full, sample [total] replaces slot
+   [total mod capacity] — deterministic (no Random), and every later
+   observation still has a chance to land in the window. *)
+type hist = {
+  samples : int array;
+  mutable stored : int;
+  mutable total : int;
+  mutable sum : int;
+  mutable lo : int;
+  mutable hi : int;
+}
+
+type t = {
+  ring : record option array;
+  mutable head : int; (* next write position *)
+  mutable filled : int; (* live records in the ring *)
+  mutable dropped : int;
+  mutable seq : int;
+  mutable enabled : bool;
+  mutable now : unit -> int;
+  mutable cpu : int;
+  hist_capacity : int;
+  tcounters : (string, int ref) Hashtbl.t;
+  hists : (string, hist) Hashtbl.t;
+  open_spans : (string, int list ref) Hashtbl.t; (* begin-cycle stacks *)
+}
+
+let create ?(ring_capacity = 4096) ?(hist_capacity = 1024) () =
+  let ring_capacity = max 1 ring_capacity in
+  {
+    ring = Array.make ring_capacity None;
+    head = 0;
+    filled = 0;
+    dropped = 0;
+    seq = 0;
+    enabled = false;
+    now = (fun () -> 0);
+    cpu = 0;
+    hist_capacity = max 1 hist_capacity;
+    tcounters = Hashtbl.create 64;
+    hists = Hashtbl.create 16;
+    open_spans = Hashtbl.create 8;
+  }
+
+let set_now t f = t.now <- f
+let set_cpu t cpu = t.cpu <- cpu
+let enable t = t.enabled <- true
+let disable t = t.enabled <- false
+let enabled t = t.enabled
+
+let clear t =
+  Array.fill t.ring 0 (Array.length t.ring) None;
+  t.head <- 0;
+  t.filled <- 0;
+  t.dropped <- 0;
+  t.seq <- 0;
+  Hashtbl.reset t.tcounters;
+  Hashtbl.reset t.hists;
+  Hashtbl.reset t.open_spans
+
+let push t event =
+  let cap = Array.length t.ring in
+  if t.filled = cap then t.dropped <- t.dropped + 1
+  else t.filled <- t.filled + 1;
+  t.ring.(t.head) <-
+    Some { seq = t.seq; cycles = t.now (); cpu = t.cpu; event };
+  t.seq <- t.seq + 1;
+  t.head <- (t.head + 1) mod cap
+
+let bump t name n =
+  match Hashtbl.find_opt t.tcounters name with
+  | Some r -> r := !r + n
+  | None -> Hashtbl.add t.tcounters name (ref n)
+
+let count_n t c n =
+  if t.enabled then begin
+    bump t (counter_name c) n;
+    push t (Count c)
+  end
+
+let count t c = count_n t c 1
+
+let counter_value t c =
+  match Hashtbl.find_opt t.tcounters (counter_name c) with
+  | Some r -> !r
+  | None -> 0
+
+let hist_of t name =
+  match Hashtbl.find_opt t.hists name with
+  | Some h -> h
+  | None ->
+      let h =
+        {
+          samples = Array.make t.hist_capacity 0;
+          stored = 0;
+          total = 0;
+          sum = 0;
+          lo = max_int;
+          hi = min_int;
+        }
+      in
+      Hashtbl.add t.hists name h;
+      h
+
+let hist_observe t name v =
+  let h = hist_of t name in
+  let cap = Array.length h.samples in
+  if h.stored < cap then begin
+    h.samples.(h.stored) <- v;
+    h.stored <- h.stored + 1
+  end
+  else h.samples.(h.total mod cap) <- v;
+  h.total <- h.total + 1;
+  h.sum <- h.sum + v;
+  if v < h.lo then h.lo <- v;
+  if v > h.hi then h.hi <- v
+
+let observe t name v =
+  if t.enabled then begin
+    hist_observe t name v;
+    push t (Mark name)
+  end
+
+let mark t name = if t.enabled then push t (Mark name)
+
+let span_begin t sp =
+  if t.enabled then begin
+    let name = span_name sp in
+    let stack =
+      match Hashtbl.find_opt t.open_spans name with
+      | Some s -> s
+      | None ->
+          let s = ref [] in
+          Hashtbl.add t.open_spans name s;
+          s
+    in
+    stack := t.now () :: !stack;
+    push t (Span_begin sp)
+  end
+
+let span_end t sp =
+  if t.enabled then begin
+    let name = span_name sp in
+    match Hashtbl.find_opt t.open_spans name with
+    | Some ({ contents = started :: rest } as stack) ->
+        stack := rest;
+        let d = t.now () - started in
+        hist_observe t name d;
+        push t (Span_end (sp, d))
+    | _ -> () (* unmatched end: ignore *)
+  end
+
+let summarize h =
+  if h.total = 0 then
+    { h_count = 0; h_min = 0; h_max = 0; h_mean = 0.; p50 = 0; p95 = 0; p99 = 0 }
+  else begin
+    let sorted = Array.sub h.samples 0 h.stored in
+    Array.sort compare sorted;
+    let pct p =
+      (* nearest-rank on the stored reservoir *)
+      let n = Array.length sorted in
+      let rank = int_of_float (ceil (p *. float_of_int n /. 100.)) in
+      sorted.(max 0 (min (n - 1) (rank - 1)))
+    in
+    {
+      h_count = h.total;
+      h_min = h.lo;
+      h_max = h.hi;
+      h_mean = float_of_int h.sum /. float_of_int h.total;
+      p50 = pct 50.;
+      p95 = pct 95.;
+      p99 = pct 99.;
+    }
+  end
+
+let histogram t name =
+  match Hashtbl.find_opt t.hists name with
+  | Some h -> Some (summarize h)
+  | None -> None
+
+let sorted_bindings tbl f =
+  Hashtbl.fold (fun k v acc -> (k, f v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let snapshot t =
+  let cap = Array.length t.ring in
+  let events = ref [] in
+  (* walk backwards from the newest record so the result is oldest-first *)
+  for i = 0 to t.filled - 1 do
+    let idx = (t.head - 1 - i + (2 * cap)) mod cap in
+    match t.ring.(idx) with
+    | Some r -> events := r :: !events
+    | None -> ()
+  done;
+  {
+    events = !events;
+    dropped = t.dropped;
+    counters = sorted_bindings t.tcounters (fun r -> !r);
+    histograms = sorted_bindings t.hists summarize;
+  }
+
+(* ---- JSON rendering (dependency-free) ---- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let summary_to_json s =
+  Printf.sprintf
+    "{\"count\":%d,\"min\":%d,\"max\":%d,\"mean\":%.2f,\"p50\":%d,\"p95\":%d,\"p99\":%d}"
+    s.h_count s.h_min s.h_max s.h_mean s.p50 s.p95 s.p99
+
+let event_to_json = function
+  | Count c -> Printf.sprintf "{\"count\":\"%s\"}" (json_escape (counter_name c))
+  | Span_begin sp ->
+      Printf.sprintf "{\"begin\":\"%s\"}" (json_escape (span_name sp))
+  | Span_end (sp, d) ->
+      Printf.sprintf "{\"end\":\"%s\",\"cycles\":%d}" (json_escape (span_name sp)) d
+  | Mark m -> Printf.sprintf "{\"mark\":\"%s\"}" (json_escape m)
+
+let record_to_json (r : record) =
+  Printf.sprintf "{\"seq\":%d,\"cycles\":%d,\"cpu\":%d,\"event\":%s}" r.seq
+    r.cycles r.cpu (event_to_json r.event)
+
+let to_json (snap : snapshot) =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\"dropped\":";
+  Buffer.add_string b (string_of_int snap.dropped);
+  Buffer.add_string b ",\"counters\":{";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Printf.sprintf "\"%s\":%d" (json_escape k) v))
+    snap.counters;
+  Buffer.add_string b "},\"histograms\":{";
+  List.iteri
+    (fun i (k, s) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf "\"%s\":%s" (json_escape k) (summary_to_json s)))
+    snap.histograms;
+  Buffer.add_string b "},\"events\":[";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (record_to_json r))
+    snap.events;
+  Buffer.add_string b "]}";
+  Buffer.contents b

@@ -166,6 +166,24 @@ let measure ?iterations config ~batched bench =
   let cycles = Clock.cycles m.Machine.clock - before in
   Costs.cycles_to_us cycles /. float_of_int n
 
+let measure_traced ?iterations config ~batched bench =
+  let k = Os.boot ~batched ~trace:true config in
+  let m = k.Kernel.machine in
+  let p = Kernel.current_proc k in
+  let thunk = bench.setup k p in
+  let n = Option.value ~default:bench.iterations iterations in
+  let warm = max 2 (n / 20) in
+  for _ = 1 to warm do
+    thunk ()
+  done;
+  (* Drop warm-up samples so the histograms cover the measured
+     iterations only. *)
+  Nktrace.clear m.Machine.trace;
+  for _ = 1 to n do
+    thunk ()
+  done;
+  Nktrace.snapshot m.Machine.trace
+
 type figure4_row = {
   bench_name : string;
   native_us : float;

@@ -26,6 +26,15 @@ val measure :
   float
 (** Simulated microseconds per iteration on a freshly booted system. *)
 
+val measure_traced :
+  ?iterations:int -> Config.t -> batched:bool -> bench ->
+  Nktrace.snapshot
+(** Run the benchmark on a freshly booted system with the {!Nktrace}
+    tracer enabled and return the trace snapshot for the measured
+    iterations (warm-up samples are cleared first).  The per-syscall
+    dispatch spans and gate-crossing spans in the snapshot's
+    histograms give per-operation latency distributions. *)
+
 type figure4_row = {
   bench_name : string;
   native_us : float;

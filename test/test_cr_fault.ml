@@ -93,6 +93,22 @@ let test_nk_error_messages () =
       (Nk_error.Unvalidated_code { offset = 3 }, "protected instruction");
     ]
 
+let test_nk_error_native_roundtrip () =
+  let open Nested_kernel in
+  (* [of_string] bridges the native backend's self-generated failures
+     into the unified error type; [pp] must hand the message back
+     verbatim. *)
+  List.iter
+    (fun s ->
+      Alcotest.(check string) "to_string (of_string s) = s" s
+        (Nk_error.to_string (Nk_error.of_string s)))
+    [ ""; "plain"; "with spaces and: punctuation!"; "unicode ∀x" ];
+  (match Nk_error.of_string "boom" with
+  | Nk_error.Native "boom" -> ()
+  | _ -> Alcotest.fail "of_string must build Native");
+  Alcotest.(check string) "pp prints the raw message" "boom"
+    (Format.asprintf "%a" Nk_error.pp (Nk_error.Native "boom"))
+
 let suite =
   [
     Alcotest.test_case "cr predicates" `Quick test_cr_predicates;
@@ -104,4 +120,6 @@ let suite =
     Alcotest.test_case "errno strings" `Quick test_errno_strings;
     Alcotest.test_case "sysarg marshalling" `Quick test_sysarg_marshalling;
     Alcotest.test_case "nk error messages" `Quick test_nk_error_messages;
+    Alcotest.test_case "nk error Native round-trip" `Quick
+      test_nk_error_native_roundtrip;
   ]

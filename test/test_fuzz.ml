@@ -99,7 +99,7 @@ let apply ?smp nk ~f0 descriptors op =
            (List.map
               (fun (p, i, t, w) ->
                 let flags = if w then Pte.user_rw_nx else Pte.user_ro_nx in
-                (f0 + p, i, Pte.make ~frame:(f0 + t) flags, None))
+                (f0 + p, i, Pte.make ~frame:(f0 + t) flags))
               updates))
   | Install_code (f, hostile) ->
       let module Api = Nested_kernel.Api in

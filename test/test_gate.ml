@@ -145,6 +145,50 @@ let test_trap_during_nk_restores_wp () =
   Alcotest.(check bool) "WP restored before the outer handler (I11)" true
     (Cr.wp_enabled m.Machine.cr)
 
+let test_strict_enter_pairs_with_interpreted_exit () =
+  (* The reverse toggle of [test_strict_toggle_mid_crossing]: a strict
+     (interpreted) enter leaves no fast frame, so even if strict is
+     cleared before the exit — with a memoized exit cost sitting ready
+     to replay — the exit must interpret, not pop a stale frame. *)
+  let m, nk = setup () in
+  let g = gate_of nk in
+  let crossing () =
+    (match Gate.enter m g with Ok () -> () | Error _ -> Alcotest.fail "enter");
+    match Gate.exit_ m g with Ok () -> () | Error _ -> Alcotest.fail "exit"
+  in
+  (* Warm until both costs are memoized and the fast path is live. *)
+  crossing ();
+  crossing ();
+  crossing ();
+  Alcotest.(check bool) "exit cost memoized" true (g.Gate.exit_cost <> None);
+  g.Gate.strict <- true;
+  let rsp0 = Cpu_state.get m.Machine.cpu Insn.RSP in
+  (match Gate.enter m g with Ok () -> () | Error _ -> Alcotest.fail "enter");
+  Alcotest.(check bool) "interpreted enter left no fast frame" true
+    (g.Gate.fast_saved = []);
+  g.Gate.strict <- false;
+  (match Gate.exit_ m g with Ok () -> () | Error _ -> Alcotest.fail "exit");
+  Alcotest.(check int) "caller stack restored" rsp0
+    (Cpu_state.get m.Machine.cpu Insn.RSP);
+  Alcotest.(check bool) "WP restored" true (Cr.wp_enabled m.Machine.cr);
+  Alcotest.(check bool) "no orphaned fast frames" true (g.Gate.fast_saved = [])
+
+let test_trap_overhead_fallback_estimate () =
+  (* Clobber the trap-gate bytes so its interpretation cannot reach the
+     callout: trap_overhead must fall back to the static estimate and
+     still leave the machine state intact. *)
+  let m, nk = setup () in
+  let g = gate_of nk in
+  let trap_pa = g.Gate.trap_va - Addr.kva_of_frame 0 in
+  Phys_mem.write_bytes m.Machine.mem trap_pa (Bytes.make 8 '\255');
+  let wp0 = Cr.wp_enabled m.Machine.cr in
+  let cost = Gate.trap_overhead m g in
+  Alcotest.(check int) "static estimate"
+    (m.Machine.costs.Costs.cr_write + m.Machine.costs.Costs.cr_read + 10)
+    cost;
+  Alcotest.(check int) "memoized" cost (Gate.trap_overhead m g);
+  Alcotest.(check bool) "WP state restored" wp0 (Cr.wp_enabled m.Machine.cr)
+
 let test_trap_overhead_memoized () =
   let m, nk = setup () in
   let g = gate_of nk in
@@ -181,6 +225,10 @@ let suite =
     Alcotest.test_case "exit-gate WP verify loop" `Quick test_exit_gate_wp_loop;
     Alcotest.test_case "trap during NK restores WP (I11)" `Quick
       test_trap_during_nk_restores_wp;
+    Alcotest.test_case "strict enter pairs with interpreted exit" `Quick
+      test_strict_enter_pairs_with_interpreted_exit;
+    Alcotest.test_case "trap overhead fallback estimate" `Quick
+      test_trap_overhead_fallback_estimate;
     Alcotest.test_case "trap overhead memoized" `Quick test_trap_overhead_memoized;
     Alcotest.test_case "Table 3 calibration" `Quick test_gate_cost_calibration;
   ]

@@ -67,12 +67,12 @@ let test_native_backend_tlb_maintenance () =
   Helpers.check_ok "declare" (b.Mmu_backend.declare_ptp ~level:1 f);
   let va = 0x4000_0000 in
   Helpers.check_ok "map"
-    (b.Mmu_backend.write_pte ~va ~ptp:f ~index:0
+    (b.Mmu_backend.write_pte ~ptp:f ~index:0
        (Pte.make ~frame:(f + 1) Pte.user_rw_nx));
   Tlb.insert m.Machine.tlb ~asid:0 ~vpage:(Addr.vpage va)
     { Tlb.frame = f + 1; writable = true; user = true; nx = true; global = false };
   Helpers.check_ok "unmap (downgrade)"
-    (b.Mmu_backend.write_pte ~va ~ptp:f ~index:0 Pte.empty);
+    (b.Mmu_backend.write_pte ~ptp:f ~index:0 Pte.empty);
   Alcotest.(check bool) "stale entry flushed" true
     (Tlb.lookup m.Machine.tlb ~asid:0 ~vpage:(Addr.vpage va) = None)
 
@@ -81,8 +81,9 @@ let test_nested_backend_validates () =
   let b = k.Kernel.backend in
   let f = Frame_alloc.alloc_exn k.Kernel.falloc in
   (match b.Mmu_backend.write_pte ~ptp:f ~index:0 Pte.empty with
-  | Error msg ->
-      Alcotest.(check bool) "names the rejection" true (String.length msg > 0)
+  | Error e ->
+      Alcotest.(check bool) "names the rejection" true
+        (String.length (Nested_kernel.Nk_error.to_string e) > 0)
   | Ok () -> Alcotest.fail "write to undeclared PTP accepted");
   Helpers.check_ok "declare" (b.Mmu_backend.declare_ptp ~level:1 f);
   Helpers.check_ok "now accepted" (b.Mmu_backend.write_pte ~ptp:f ~index:0 Pte.empty)

@@ -1,0 +1,340 @@
+open Nkhw
+open Outer_kernel
+
+(* The tracer core (lib/obs) plus its wiring into the machine, the
+   gates, the syscall dispatcher and the Api.Diagnostics surface. *)
+
+let contains s fragment = Astring_contains.contains s fragment
+
+(* A hand-cranked cycle source so span durations are exact. *)
+let manual_clock () =
+  let now = ref 0 in
+  (now, fun () -> !now)
+
+let test_disabled_is_noop () =
+  let t = Nktrace.create () in
+  Nktrace.count t Nktrace.Syscall;
+  Nktrace.observe t "lat" 42;
+  Nktrace.span_begin t Nktrace.Gate_enter;
+  Nktrace.span_end t Nktrace.Gate_enter;
+  Nktrace.mark t "m";
+  let snap = Nktrace.snapshot t in
+  Alcotest.(check int) "no events" 0 (List.length snap.Nktrace.events);
+  Alcotest.(check (list (pair string int))) "no counters" []
+    snap.Nktrace.counters;
+  Alcotest.(check int) "no histograms" 0 (List.length snap.Nktrace.histograms);
+  Alcotest.(check int) "counter reads zero" 0
+    (Nktrace.counter_value t Nktrace.Syscall)
+
+let test_counters () =
+  let t = Nktrace.create () in
+  Nktrace.enable t;
+  Nktrace.count t Nktrace.Syscall;
+  Nktrace.count_n t Nktrace.Syscall 4;
+  Nktrace.count t (Nktrace.Custom "frob");
+  Alcotest.(check int) "accumulated" 5
+    (Nktrace.counter_value t Nktrace.Syscall);
+  Alcotest.(check int) "custom" 1
+    (Nktrace.counter_value t (Nktrace.Custom "frob"));
+  let snap = Nktrace.snapshot t in
+  Alcotest.(check int) "sorted counter list" 2
+    (List.length snap.Nktrace.counters);
+  Alcotest.(check (option int)) "by name" (Some 5)
+    (List.assoc_opt "syscall" snap.Nktrace.counters)
+
+let test_ring_overwrite () =
+  let t = Nktrace.create ~ring_capacity:4 () in
+  Nktrace.enable t;
+  for i = 1 to 10 do
+    Nktrace.count_n t Nktrace.Pte_write i
+  done;
+  let snap = Nktrace.snapshot t in
+  Alcotest.(check int) "ring holds capacity" 4
+    (List.length snap.Nktrace.events);
+  Alcotest.(check int) "overwrites counted" 6 snap.Nktrace.dropped;
+  (* Oldest-first, and seq survives the overwrite. *)
+  let seqs = List.map (fun r -> r.Nktrace.seq) snap.Nktrace.events in
+  Alcotest.(check (list int)) "oldest first, newest kept" [ 6; 7; 8; 9 ] seqs;
+  Alcotest.(check int) "counter unaffected by overwrite" 55
+    (Nktrace.counter_value t Nktrace.Pte_write);
+  Nktrace.clear t;
+  let snap = Nktrace.snapshot t in
+  Alcotest.(check int) "clear empties the ring" 0
+    (List.length snap.Nktrace.events);
+  Alcotest.(check int) "clear resets dropped" 0 snap.Nktrace.dropped
+
+let test_percentiles () =
+  let t = Nktrace.create () in
+  Nktrace.enable t;
+  (* 1..100 in a scrambled order: nearest-rank percentiles are exact. *)
+  for i = 0 to 99 do
+    Nktrace.observe t "lat" ((i * 37 mod 100) + 1)
+  done;
+  match Nktrace.histogram t "lat" with
+  | None -> Alcotest.fail "histogram missing"
+  | Some h ->
+      Alcotest.(check int) "count" 100 h.Nktrace.h_count;
+      Alcotest.(check int) "min" 1 h.Nktrace.h_min;
+      Alcotest.(check int) "max" 100 h.Nktrace.h_max;
+      Alcotest.(check (float 0.001)) "mean" 50.5 h.Nktrace.h_mean;
+      Alcotest.(check int) "p50" 50 h.Nktrace.p50;
+      Alcotest.(check int) "p95" 95 h.Nktrace.p95;
+      Alcotest.(check int) "p99" 99 h.Nktrace.p99
+
+let test_reservoir_bounded () =
+  let t = Nktrace.create ~hist_capacity:8 () in
+  Nktrace.enable t;
+  for i = 1 to 1000 do
+    Nktrace.observe t "lat" i
+  done;
+  match Nktrace.histogram t "lat" with
+  | None -> Alcotest.fail "histogram missing"
+  | Some h ->
+      (* count/min/max/mean cover every observation even though only 8
+         samples are stored for the percentiles. *)
+      Alcotest.(check int) "count covers all" 1000 h.Nktrace.h_count;
+      Alcotest.(check int) "min covers all" 1 h.Nktrace.h_min;
+      Alcotest.(check int) "max covers all" 1000 h.Nktrace.h_max;
+      Alcotest.(check (float 0.001)) "mean covers all" 500.5 h.Nktrace.h_mean;
+      Alcotest.(check bool) "percentile from stored window" true
+        (h.Nktrace.p50 >= 1 && h.Nktrace.p50 <= 1000)
+
+let test_span_pairing () =
+  let t = Nktrace.create () in
+  let now, src = manual_clock () in
+  Nktrace.set_now t src;
+  Nktrace.enable t;
+  (* Same-name spans nest LIFO: outer 100 cycles, inner 10. *)
+  Nktrace.span_begin t Nktrace.Gate_crossing;
+  now := 45;
+  Nktrace.span_begin t Nktrace.Gate_crossing;
+  now := 55;
+  Nktrace.span_end t Nktrace.Gate_crossing;
+  now := 100;
+  Nktrace.span_end t Nktrace.Gate_crossing;
+  (* Unmatched end is silently ignored. *)
+  Nktrace.span_end t Nktrace.Gate_crossing;
+  (match Nktrace.histogram t "gate_crossing" with
+  | None -> Alcotest.fail "histogram missing"
+  | Some h ->
+      Alcotest.(check int) "two completed spans" 2 h.Nktrace.h_count;
+      Alcotest.(check int) "inner duration" 10 h.Nktrace.h_min;
+      Alcotest.(check int) "outer duration" 100 h.Nktrace.h_max);
+  let ends =
+    List.filter
+      (fun r ->
+        match r.Nktrace.event with Nktrace.Span_end _ -> true | _ -> false)
+      (Nktrace.snapshot t).Nktrace.events
+  in
+  Alcotest.(check int) "unmatched end recorded nothing" 2 (List.length ends)
+
+let test_cycle_stamps_follow_clock () =
+  let m = Helpers.machine () in
+  Nktrace.enable m.Machine.trace;
+  let c0 = Clock.cycles m.Machine.clock in
+  Machine.charge m 123;
+  Nktrace.mark m.Machine.trace "after-charge";
+  let snap = Nktrace.snapshot m.Machine.trace in
+  let last = List.nth snap.Nktrace.events (List.length snap.Nktrace.events - 1) in
+  Alcotest.(check int) "stamped with the simulated clock" (c0 + 123)
+    last.Nktrace.cycles
+
+(* The tentpole's pinned claim: tracing charges nothing.  Same
+   discipline as the coherence oracle's delta test — identical
+   workloads, one with the tracer enabled-then-disabled, one that never
+   touched it, must end on the same simulated cycle.  And because the
+   tracer is out-of-band by construction, even leaving it ENABLED must
+   not move the clock. *)
+let test_zero_cost () =
+  let workload mode =
+    let m, nk = Helpers.booted_nk () in
+    let module Api = Nested_kernel.Api in
+    (match mode with
+    | `Baseline -> ()
+    | `Off ->
+        Api.Diagnostics.Tracing.enable nk;
+        Api.Diagnostics.Tracing.disable nk
+    | `On -> Api.Diagnostics.Tracing.enable nk);
+    let f0 = Api.outer_first_frame nk in
+    Helpers.check_ok_nk "declare" (Api.declare_ptp nk ~level:1 f0);
+    for i = 0 to 31 do
+      Helpers.check_ok_nk "map"
+        (Api.write_pte nk ~ptp:f0 ~index:(i mod Addr.entries_per_table)
+           (Pte.make ~frame:(f0 + 1 + (i mod 4)) Pte.user_rw_nx));
+      Helpers.check_ok_nk "unmap"
+        (Api.write_pte nk ~ptp:f0 ~index:(i mod Addr.entries_per_table)
+           Pte.empty)
+    done;
+    Helpers.check_ok_nk "remove" (Api.remove_ptp nk f0);
+    Clock.cycles m.Machine.clock
+  in
+  let baseline = workload `Baseline in
+  Alcotest.(check int) "enable+disable is cycle-identical" baseline
+    (workload `Off);
+  Alcotest.(check int) "even enabled tracing charges nothing" baseline
+    (workload `On)
+
+let test_syscall_zero_cost () =
+  (* End-to-end over the outer kernel: a traced boot + syscall batch
+     must cost exactly the same simulated cycles as an untraced one. *)
+  let run trace =
+    let k = Os.boot ~trace Config.Perspicuos in
+    let p = Kernel.current_proc k in
+    for _ = 1 to 50 do
+      ignore (Syscalls.getpid k p)
+    done;
+    Clock.cycles k.Kernel.machine.Machine.clock
+  in
+  Alcotest.(check int) "bit-identical cycle counts" (run false) (run true)
+
+let test_string_shim_agreement () =
+  (* Machine.count_ev keeps the legacy Clock string counters and the
+     typed registry in lockstep while tracing is on. *)
+  let k = Os.boot ~trace:true Config.Perspicuos in
+  let p = Kernel.current_proc k in
+  for _ = 1 to 7 do
+    ignore (Syscalls.getpid k p)
+  done;
+  let m = k.Kernel.machine in
+  let tr = m.Machine.trace in
+  List.iter
+    (fun ev ->
+      let name = Nktrace.counter_name ev in
+      Alcotest.(check int)
+        (name ^ " agrees with the legacy string counter")
+        (Clock.counter m.Machine.clock name)
+        (Nktrace.counter_value tr ev))
+    [ Nktrace.Syscall; Nktrace.Nk_enter; Nktrace.Pte_write;
+      Nktrace.Tlb_flush_full; Nktrace.Declare_ptp ];
+  Alcotest.(check bool) "syscalls counted" true
+    (Nktrace.counter_value tr Nktrace.Syscall >= 7)
+
+let test_syscall_spans_and_gates () =
+  let k = Os.boot ~trace:true Config.Perspicuos in
+  let p = Kernel.current_proc k in
+  Nktrace.clear k.Kernel.machine.Machine.trace;
+  for _ = 1 to 9 do
+    ignore (Syscalls.getpid k p)
+  done;
+  (* getpid never enters the nested kernel; an mmap/munmap pair drives
+     PTE writes through the gates. *)
+  (match Syscalls.mmap k p ~len:(4 * Addr.page_size) ~rw:true ~populate:true () with
+  | Ok va -> ignore (Syscalls.munmap k p va)
+  | Error e -> Alcotest.failf "mmap: %s" (Ktypes.errno_to_string e));
+  let snap = Nktrace.snapshot k.Kernel.machine.Machine.trace in
+  (match List.assoc_opt "sys_getpid" snap.Nktrace.histograms with
+  | None -> Alcotest.fail "sys_getpid histogram missing"
+  | Some h ->
+      Alcotest.(check int) "one span per dispatch" 9 h.Nktrace.h_count;
+      Alcotest.(check bool) "positive latency" true (h.Nktrace.h_min > 0));
+  Alcotest.(check bool) "gate crossings recorded" true
+    (List.mem_assoc "gate_crossing" snap.Nktrace.histograms);
+  Alcotest.(check bool) "enter-gate spans recorded" true
+    (List.mem_assoc "gate_enter" snap.Nktrace.histograms);
+  Alcotest.(check bool) "exit-gate spans recorded" true
+    (List.mem_assoc "gate_exit" snap.Nktrace.histograms)
+
+let test_json_rendering () =
+  let t = Nktrace.create () in
+  Nktrace.enable t;
+  Nktrace.count t Nktrace.Syscall;
+  Nktrace.observe t "lat\"q" 7;
+  let js = Nktrace.to_json (Nktrace.snapshot t) in
+  List.iter
+    (fun key ->
+      if not (contains js key) then Alcotest.failf "%S missing in %s" key js)
+    [
+      "\"dropped\":0";
+      "\"counters\":{";
+      "\"syscall\":1";
+      "\"histograms\":{";
+      "\"p50\":7";
+      "\"p95\":7";
+      "\"p99\":7";
+      "\"events\":[";
+      "lat\\\"q";
+    ];
+  let h =
+    match Nktrace.histogram t "lat\"q" with
+    | Some h -> h
+    | None -> Alcotest.fail "histogram missing"
+  in
+  List.iter
+    (fun key ->
+      if not (contains (Nktrace.summary_to_json h) key) then
+        Alcotest.failf "%S missing in summary" key)
+    [ "\"count\":1"; "\"min\":7"; "\"max\":7"; "\"mean\":7.00"; "\"p99\":7" ]
+
+let test_diagnostics_surface () =
+  let _, nk = Helpers.booted_nk () in
+  let module Api = Nested_kernel.Api in
+  let tr = Api.Diagnostics.Tracing.tracer nk in
+  Alcotest.(check bool) "tracer starts disabled" false (Nktrace.enabled tr);
+  Api.Diagnostics.Tracing.enable nk;
+  Alcotest.(check bool) "enabled" true (Nktrace.enabled tr);
+  Nktrace.mark tr "probe";
+  Alcotest.(check bool) "snapshot sees the mark" true
+    (List.exists
+       (fun r -> r.Nktrace.event = Nktrace.Mark "probe")
+       (Api.Diagnostics.Tracing.snapshot nk).Nktrace.events);
+  Api.Diagnostics.Tracing.clear nk;
+  Alcotest.(check int) "clear drops it" 0
+    (List.length (Api.Diagnostics.Tracing.snapshot nk).Nktrace.events);
+  Api.Diagnostics.Tracing.disable nk;
+  Alcotest.(check bool) "disabled" false (Nktrace.enabled tr);
+  (* Deprecated aliases stay wired to the same instruments for one PR. *)
+  Alcotest.(check bool) "tracing alias" true (Api.tracing nk == tr);
+  Api.enable_coherence_check nk;
+  Alcotest.(check int) "coherence alias snapshot" 0
+    (List.length (Api.coherence_violations nk));
+  Api.disable_coherence_check nk;
+  Alcotest.(check int) "Diagnostics.Coherence.snapshot" 0
+    (List.length (Api.Diagnostics.Coherence.snapshot nk))
+
+let test_cpu_tagging () =
+  let m = Helpers.machine () in
+  let smp = Smp.create m in
+  let ap = Smp.add_cpu smp in
+  Nktrace.enable m.Machine.trace;
+  Smp.with_cpu smp ap (fun () -> Nktrace.mark m.Machine.trace "on-ap");
+  Nktrace.mark m.Machine.trace "on-bsp";
+  let cpu_of name snap =
+    match
+      List.find_opt
+        (fun r -> r.Nktrace.event = Nktrace.Mark name)
+        snap.Nktrace.events
+    with
+    | Some r -> r.Nktrace.cpu
+    | None -> Alcotest.failf "mark %s missing" name
+  in
+  let snap = Nktrace.snapshot m.Machine.trace in
+  Alcotest.(check int) "AP-tagged record" ap (cpu_of "on-ap" snap);
+  Alcotest.(check int) "BSP-tagged record" 0 (cpu_of "on-bsp" snap)
+
+let suite =
+  [
+    Alcotest.test_case "disabled tracer is a no-op" `Quick test_disabled_is_noop;
+    Alcotest.test_case "typed counters" `Quick test_counters;
+    Alcotest.test_case "ring overwrite and dropped accounting" `Quick
+      test_ring_overwrite;
+    Alcotest.test_case "exact percentiles" `Quick test_percentiles;
+    Alcotest.test_case "bounded reservoir keeps global stats" `Quick
+      test_reservoir_bounded;
+    Alcotest.test_case "span pairing (LIFO, unmatched ignored)" `Quick
+      test_span_pairing;
+    Alcotest.test_case "records stamped with the simulated clock" `Quick
+      test_cycle_stamps_follow_clock;
+    Alcotest.test_case "tracing costs zero simulated cycles" `Quick
+      test_zero_cost;
+    Alcotest.test_case "traced syscalls cost zero extra cycles" `Quick
+      test_syscall_zero_cost;
+    Alcotest.test_case "typed and legacy string counters agree" `Quick
+      test_string_shim_agreement;
+    Alcotest.test_case "syscall + gate spans feed histograms" `Quick
+      test_syscall_spans_and_gates;
+    Alcotest.test_case "JSON rendering" `Quick test_json_rendering;
+    Alcotest.test_case "Api.Diagnostics surface + aliases" `Quick
+      test_diagnostics_surface;
+    Alcotest.test_case "records carry the observing CPU" `Quick
+      test_cpu_tagging;
+  ]

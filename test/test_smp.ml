@@ -101,11 +101,10 @@ let test_shootdown_cost_scales_with_cpus () =
   (* A downgrade (unmap) pays one IPI per peer CPU. *)
   ignore
     (Result.get_ok
-       (Api.write_pte nk ~va:0x5000 ~ptp:frame ~index:0
+       (Api.write_pte nk ~ptp:frame ~index:0
           (Pte.make ~frame:(frame + 1) Pte.user_rw_nx)));
   let snap = Clock.snapshot m.Machine.clock in
-  ignore
-    (Result.get_ok (Api.write_pte nk ~va:0x5000 ~ptp:frame ~index:0 Pte.empty));
+  ignore (Result.get_ok (Api.write_pte nk ~ptp:frame ~index:0 Pte.empty));
   let cost = Clock.cycles_since m.Machine.clock snap in
   Alcotest.(check bool)
     (Printf.sprintf "3 IPIs charged (got %d cycles)" cost)

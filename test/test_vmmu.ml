@@ -157,8 +157,7 @@ let test_batch_one_crossing () =
   let m, nk, f0 = setup () in
   declare_ok nk ~level:1 f0;
   let updates =
-    List.init 16 (fun i ->
-        (f0, i, Pte.make ~frame:(f0 + 1 + i) Pte.user_rw_nx, None))
+    List.init 16 (fun i -> (f0, i, Pte.make ~frame:(f0 + 1 + i) Pte.user_rw_nx))
   in
   let snap = Clock.snapshot m.Machine.clock in
   Helpers.check_ok "batch" (Api.write_pte_batch nk updates);
@@ -173,10 +172,7 @@ let test_batch_validates_each () =
   declare_ok nk ~level:2 f0;
   Helpers.expect_error "second update invalid"
     (Api.write_pte_batch nk
-       [
-         (f0, 0, Pte.empty, None);
-         (f0, 1, Pte.make ~frame:(f0 + 9) Pte.kernel_rw, None);
-       ])
+       [ (f0, 0, Pte.empty); (f0, 1, Pte.make ~frame:(f0 + 9) Pte.kernel_rw) ])
 
 let test_large_page_span_validated () =
   (* A 2 MiB leaf covers 512 frames; if any of them is protected the
@@ -216,13 +212,13 @@ let test_tlb_shootdown_on_downgrade () =
   let data = f0 + 1 in
   let va = 0x7000 in
   Helpers.check_ok "map rw"
-    (Api.write_pte nk ~va ~ptp:f0 ~index:7 (Pte.make ~frame:data Pte.user_rw_nx));
+    (Api.write_pte nk ~ptp:f0 ~index:7 (Pte.make ~frame:data Pte.user_rw_nx));
   (* Warm a TLB entry through a user-style walk of this PT; simulate by
      inserting what the MMU would cache. *)
   Tlb.insert m.Machine.tlb ~asid:0 ~vpage:(Addr.vpage va)
     { Tlb.frame = data; writable = true; user = true; nx = true; global = false };
   Helpers.check_ok "downgrade to ro"
-    (Api.write_pte nk ~va ~ptp:f0 ~index:7 (Pte.make ~frame:data Pte.user_ro_nx));
+    (Api.write_pte nk ~ptp:f0 ~index:7 (Pte.make ~frame:data Pte.user_ro_nx));
   Alcotest.(check bool) "stale entry shot down" true
     (Tlb.lookup m.Machine.tlb ~asid:0 ~vpage:(Addr.vpage va) = None)
 
@@ -272,7 +268,7 @@ let test_cross_asid_shootdown () =
   let data = f0 + 1 in
   let va = 0x7000 in
   Helpers.check_ok "map rw"
-    (Api.write_pte nk ~va ~ptp:f0 ~index:7 (Pte.make ~frame:data Pte.user_rw_nx));
+    (Api.write_pte nk ~ptp:f0 ~index:7 (Pte.make ~frame:data Pte.user_rw_nx));
   let entry =
     { Tlb.frame = data; writable = true; user = true; nx = true; global = false }
   in
@@ -280,7 +276,7 @@ let test_cross_asid_shootdown () =
   Tlb.insert m.Machine.tlb ~asid:5 ~vpage:(Addr.vpage va) entry;
   Tlb.insert m.Machine.tlb ~asid:9 ~vpage:(Addr.vpage va) entry;
   Helpers.check_ok "downgrade to ro"
-    (Api.write_pte nk ~va ~ptp:f0 ~index:7 (Pte.make ~frame:data Pte.user_ro_nx));
+    (Api.write_pte nk ~ptp:f0 ~index:7 (Pte.make ~frame:data Pte.user_ro_nx));
   (* ...must not survive the downgrade in ANY of them. *)
   Alcotest.(check bool) "asid 5 entry shot down" true
     (Tlb.lookup m.Machine.tlb ~asid:5 ~vpage:(Addr.vpage va) = None);
@@ -321,16 +317,16 @@ let test_large_leaf_downgrade_flushes_span () =
     (Api.write_pte nk ~ptp:pd ~index:0
        (Pte.make ~frame:span (large Pte.user_rw_nx)));
   (* Warm a translation for a page in the middle of the leaf — NOT the
-     page a caller's ~va hint would name. *)
+     first page of the span. *)
   let va = 0x1000 in
   Helpers.check_ok "user write while rw"
     (Machine.write_u64 m ~ring:Mmu.User va 0xAA);
-  (* Downgrade the whole leaf to read-only, hinting only VA 0.  The
-     bug: only vpage 0 was flushed, leaving 511 stale-writable
+  (* Downgrade the whole leaf to read-only.  The historical bug: only
+     the first vpage was flushed, leaving 511 stale-writable
      translations; the stale entry at vpage 1 let user writes land on
      a read-only mapping. *)
   Helpers.check_ok_nk "downgrade 2MiB to ro"
-    (Api.write_pte nk ~va:0 ~ptp:pd ~index:0
+    (Api.write_pte nk ~ptp:pd ~index:0
        (Pte.make ~frame:span (large Pte.user_ro_nx)));
   (* The faulting access below re-walks and re-caches the entry with
      its new read-only permissions, so the assertion is on the cached
@@ -344,7 +340,7 @@ let test_large_leaf_downgrade_flushes_span () =
   Alcotest.(check int) "no coherence violations" 0
     (List.length (Api.coherence_violations nk))
 
-let test_downgrade_ignores_lying_va_hint () =
+let test_downgrade_scope_from_reverse_maps () =
   let m, nk, f0 = setup () in
   let pd = linked_pd nk m f0 in
   declare_ok nk ~level:1 (f0 + 2);
@@ -355,10 +351,11 @@ let test_downgrade_ignores_lying_va_hint () =
     (Api.write_pte nk ~ptp:(f0 + 2) ~index:5
        (Pte.make ~frame:(f0 + 3) Pte.user_rw_nx));
   Helpers.check_ok "user write while rw" (Machine.write_u64 m ~ring:Mmu.User va 1);
-  (* Downgrade with a hint naming a completely different page.  The
-     shootdown scope must come from the reverse maps, not the hint. *)
-  Helpers.check_ok_nk "downgrade with lying hint"
-    (Api.write_pte nk ~va:0x9999000 ~ptp:(f0 + 2) ~index:5
+  (* No caller hint exists any more: the shootdown scope must come
+     entirely from the vMMU's reverse maps, which place this entry at
+     [va]'s vpage. *)
+  Helpers.check_ok_nk "downgrade"
+    (Api.write_pte nk ~ptp:(f0 + 2) ~index:5
        (Pte.make ~frame:(f0 + 3) Pte.user_ro_nx));
   Helpers.expect_fault "stale writable entry unusable"
     (Machine.write_u64 m ~ring:Mmu.User (va + 8) 2);
@@ -370,12 +367,12 @@ let test_downgrade_ignores_lying_va_hint () =
 let test_batch_error_reports_failing_index () =
   let m, nk, f0 = setup () in
   declare_ok nk ~level:1 f0;
-  let item i target = (f0, i, Pte.make ~frame:target Pte.user_rw_nx, None) in
+  let item i target = (f0, i, Pte.make ~frame:target Pte.user_rw_nx) in
   (match
      Api.write_pte_batch nk
        [
          item 0 (f0 + 1);
-         (f0 + 9, 0, Pte.make ~frame:(f0 + 1) Pte.user_rw_nx, None);
+         (f0 + 9, 0, Pte.make ~frame:(f0 + 1) Pte.user_rw_nx);
          item 2 (f0 + 2);
        ]
    with
@@ -493,8 +490,8 @@ let suite =
       test_cross_asid_shootdown;
     Alcotest.test_case "2MiB-leaf downgrade flushes the whole span" `Quick
       test_large_leaf_downgrade_flushes_span;
-    Alcotest.test_case "downgrade scope ignores a lying va hint" `Quick
-      test_downgrade_ignores_lying_va_hint;
+    Alcotest.test_case "downgrade scope comes from the reverse maps" `Quick
+      test_downgrade_scope_from_reverse_maps;
     Alcotest.test_case "batch error carries the failing index" `Quick
       test_batch_error_reports_failing_index;
     Alcotest.test_case "remove_ptp shoots down parked peers" `Quick
