@@ -341,14 +341,17 @@ let extra_ctx_switch () =
     ignore (Sched.yield sched);
     ignore (Sched.yield sched);
     let clock = k.Kernel.machine.Nkhw.Machine.clock in
+    let trace = k.Kernel.machine.Nkhw.Machine.trace in
     let snap = Nkhw.Clock.snapshot clock in
+    let full0 = Nktrace.counter_value trace Nktrace.Tlb_flush_full in
+    let asid0 = Nktrace.counter_value trace Nktrace.Tlb_flush_asid in
     for _ = 1 to n do
       ignore (Sched.yield sched)
     done;
     let cycles = Nkhw.Clock.cycles_since clock snap in
     let us = Nkhw.Costs.cycles_to_us cycles /. float_of_int n in
-    let full = Nkhw.Clock.counter_since clock snap "tlb_flush_full" in
-    let asid = Nkhw.Clock.counter_since clock snap "tlb_flush_asid" in
+    let full = Nktrace.counter_value trace Nktrace.Tlb_flush_full - full0 in
+    let asid = Nktrace.counter_value trace Nktrace.Tlb_flush_asid - asid0 in
     (us, cycles / n, full, asid)
   in
   let rows =
@@ -452,6 +455,41 @@ let extra_smp_shootdown () =
         ];
     }
 
+let extra_smp_scaling () =
+  section "Extra: SMP scheduler scaling (deterministic executor)";
+  let points = Smp_scale.run () in
+  let json_list items = "[" ^ String.concat ", " items ^ "]" in
+  json_add "smp_scaling"
+    (json_obj
+       [
+         ( "seed",
+           string_of_int
+             (match points with
+             | p :: _ -> p.Smp_scale.seed
+             | [] -> Smp_scale.default_seed) );
+         ( "points",
+           json_list
+             (List.map
+                (fun (p : Smp_scale.point) ->
+                  json_obj
+                    [
+                      ("cpus", string_of_int p.Smp_scale.cpus);
+                      ("steps", string_of_int p.Smp_scale.steps);
+                      ("syscalls", string_of_int p.Smp_scale.syscalls);
+                      ("cycles", string_of_int p.Smp_scale.cycles);
+                      ( "syscalls_per_mcycle",
+                        Printf.sprintf "%.1f" p.Smp_scale.throughput );
+                      ( "shootdowns_rx",
+                        json_list
+                          (List.map string_of_int p.Smp_scale.shootdowns) );
+                      ("ipi_shootdowns", string_of_int p.Smp_scale.ipis);
+                      ("steals", string_of_int p.Smp_scale.steals);
+                      ("migrations", string_of_int p.Smp_scale.migrations);
+                    ])
+                points) );
+       ]);
+  Stats.print (Smp_scale.to_table points)
+
 let extra_coherence () =
   section "Extra: differential TLB-coherence oracle overhead";
   (* The oracle is a debug/CI instrument: with the hook uninstalled the
@@ -479,9 +517,9 @@ let extra_coherence () =
     | `Baseline -> ()
     | `Off ->
         (* Install and immediately remove: the leftover cost must be 0. *)
-        Nested_kernel.Api.enable_coherence_check nk;
-        Nested_kernel.Api.disable_coherence_check nk
-    | `On -> Nested_kernel.Api.enable_coherence_check nk);
+        Nested_kernel.Api.Diagnostics.Coherence.enable nk;
+        Nested_kernel.Api.Diagnostics.Coherence.disable nk
+    | `On -> Nested_kernel.Api.Diagnostics.Coherence.enable nk);
     let f0 = Nested_kernel.Api.outer_first_frame nk in
     workload nk f0;
     Nkhw.Clock.cycles m.Nkhw.Machine.clock
@@ -708,6 +746,7 @@ let experiments =
     ("ablation-granularity", ablation_granularity);
     ("extra-ctx-switch", extra_ctx_switch);
     ("extra-smp-shootdown", extra_smp_shootdown);
+    ("extra-smp-scaling", extra_smp_scaling);
     ("extra-coherence", extra_coherence);
     ("extra-latency-hist", extra_latency_hist);
     ("attacks", attacks);

@@ -65,11 +65,69 @@ let print_trace fmt (m : Nkhw.Machine.t) =
           snap.Nktrace.histograms
       end
 
+let cpus_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "cpus" ] ~docv:"N"
+        ~doc:"Bring up $(docv) vCPUs (per-CPU kernel stacks, run queues \
+              and gate state).")
+
+let sched_seed_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "sched-seed" ] ~docv:"SEED"
+        ~doc:"After boot, drive a short multi-process run under the \
+              deterministic seeded executor and report per-CPU state. \
+              The same seed reproduces the interleaving exactly.")
+
+let smp_run k seed =
+  let sched = Sched.create k in
+  let p0 = Kernel.current_proc k in
+  let cpus = Nkhw.Smp.cpu_count k.Kernel.smp in
+  for _ = 1 to (2 * cpus) - 1 do
+    match Syscalls.fork k p0 with
+    | Ok pid -> Sched.add sched pid
+    | Error _ -> ()
+  done;
+  let tick = ref 0 in
+  let steps =
+    Sched.run_smp sched
+      ~policy:(Nkhw.Smp.Executor.Seeded seed)
+      ~steps:(50 * cpus)
+      (fun ~cpu:_ pid ->
+        incr tick;
+        (match Kernel.proc k pid with
+        | None -> ()
+        | Some p ->
+            ignore (Syscalls.getpid k p);
+            if !tick mod 4 = 0 then
+              match Syscalls.mmap k p ~len:4096 ~rw:true ~populate:true () with
+              | Ok va -> ignore (Syscalls.munmap k p va)
+              | Error _ -> ());
+        true)
+  in
+  Printf.printf "  sched seed      : %d (%d executor steps)\n" seed steps;
+  for id = 0 to cpus - 1 do
+    Printf.printf
+      "  cpu%-2d           : running=%s queue=[%s] local-cycles=%d \
+       shootdowns-rx=%d\n"
+      id
+      (match k.Kernel.running.(id) with
+      | Some pid -> string_of_int pid
+      | None -> "-")
+      (String.concat ";" (List.map string_of_int (Sched.queue_of sched id)))
+      (Nkhw.Smp.local_cycles k.Kernel.smp id)
+      (Nkhw.Smp.shootdowns_rx k.Kernel.smp id)
+  done
+
 let boot_cmd =
-  let run config trace =
-    let k = Os.boot ~trace:(trace <> None) config in
+  let run config trace cpus sched_seed =
+    let k = Os.boot ~trace:(trace <> None) ~cpus config in
     let m = k.Kernel.machine in
     Printf.printf "booted %s\n" (Config.name config);
+    Printf.printf "  vCPUs           : %d\n" cpus;
     Printf.printf "  physical frames : %d\n"
       (Nkhw.Phys_mem.num_frames m.Nkhw.Machine.mem);
     Printf.printf "  free outer pool : %d frames\n"
@@ -84,11 +142,14 @@ let boot_cmd =
           (Nested_kernel.Api.outer_first_frame nk)
           (if Nested_kernel.Api.audit_ok nk then "clean" else "VIOLATIONS")
     | None -> Printf.printf "  nested kernel   : (none)\n");
+    (match sched_seed with
+    | Some seed -> smp_run k seed
+    | None -> if cpus > 1 then smp_run k Nk_workloads.Smp_scale.default_seed);
     (match trace with None -> () | Some fmt -> print_trace fmt m);
     0
   in
   Cmd.v (Cmd.info "boot" ~doc:"Boot a kernel and report system state")
-    Term.(const run $ config $ trace_arg)
+    Term.(const run $ config $ trace_arg $ cpus_arg $ sched_seed_arg)
 
 let attack_name =
   Arg.(

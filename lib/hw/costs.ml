@@ -18,6 +18,7 @@ type t = {
   page_copy : int;
   byte_copy_x8 : int;
   call_ret : int;
+  ctx_switch : int;
 }
 
 (* The gate pair (Figures 2 and 3 of the paper) executes ~13 + ~10
@@ -45,6 +46,7 @@ let default =
     page_copy = 1100;
     byte_copy_x8 = 1;
     call_ret = 5;
+    ctx_switch = 350;
   }
 
 let ghz = 3.4

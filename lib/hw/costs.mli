@@ -28,6 +28,11 @@ type t = {
   page_copy : int;  (** copy one 4 KiB frame *)
   byte_copy_x8 : int;  (** copy 8 bytes in a bulk copy loop *)
   call_ret : int;
+  ctx_switch : int;
+      (** scheduler context-switch overhead beyond the CR3 reload:
+          register save/restore, kernel-stack swap, run-queue
+          bookkeeping.  Charged once per actual switch, never on
+          self-switch *)
 }
 
 val default : t

@@ -8,7 +8,9 @@ type t = {
   costs : Costs.t;
   iommu : Iommu.t;
   mutable cpu : Cpu_state.t;
+  mutable cur_cpu : int;
   mutable peer_tlbs : Tlb.t list;
+  mutable peer_crs : Cr.t list;
   msrs : (int, int) Hashtbl.t;
   mutable idtr : Addr.va option;
   mutable pending_interrupts : int list;
@@ -17,6 +19,7 @@ type t = {
   mutable in_nested_kernel : bool;
   mutable last_trap : (int * Fault.t option) option;
   mutable coherence_hook : (op:string -> va:Addr.va option -> unit) option;
+  mutable shootdown_notify : (unit -> unit) option;
   trace : Nktrace.t;
 }
 
@@ -34,8 +37,10 @@ let create ?(frames = 8192) ?(costs = Costs.default) () =
     costs;
     iommu = Iommu.create ();
     cpu = Cpu_state.create ();
+    cur_cpu = 0;
     msrs = Hashtbl.create 8;
     peer_tlbs = [];
+    peer_crs = [];
     idtr = None;
     pending_interrupts = [];
     smm_owner = Smm_unprotected;
@@ -43,25 +48,17 @@ let create ?(frames = 8192) ?(costs = Costs.default) () =
     in_nested_kernel = false;
     last_trap = None;
     coherence_hook = None;
+    shootdown_notify = None;
     trace;
   }
 
 let charge t c = Clock.charge t.clock c
-let count t name = Clock.count t.clock name
 
-(* Typed event accounting.  The legacy string counter in [Clock] is
-   always bumped (tests and benches assert on those names); the typed
-   [Nktrace] registry records the same event — plus a cycle-stamped
-   ring entry — only while tracing is enabled.  Tracing never calls
-   {!charge}, so simulated cycle counts are independent of it by
-   construction. *)
-let count_ev t ev =
-  Clock.count t.clock (Nktrace.counter_name ev);
-  Nktrace.count t.trace ev
-
-(* Hot-path-only typed counter: no legacy string mirror (none existed
-   before this subsystem) and no work at all when tracing is off. *)
-let trace_count t ev = Nktrace.count t.trace ev
+(* Typed event accounting.  The typed [Nktrace] registry is the single
+   counter store; its counters are always live (the ring and histograms
+   stay gated behind [Nktrace.enable]).  Tracing never calls {!charge},
+   so simulated cycle counts are independent of it by construction. *)
+let count_ev t ev = Nktrace.count t.trace ev
 
 (* Differential-oracle hooks (see {!Coherence}).  [va = Some _] asks
    for a targeted check of one translation just served by the MMU;
@@ -72,6 +69,15 @@ let trace_count t ev = Nktrace.count t.trace ev
 let coherence_check t ~op =
   match t.coherence_hook with None -> () | Some f -> f ~op ~va:None
 
+(* Host-side bookkeeping hook fired once per broadcast shootdown: the
+   SMP layer uses it to post [Shootdown] IPIs into peer mailboxes.  It
+   must never charge cycles — the per-peer [ipi_shootdown] charge at
+   the call sites already accounts for the hardware cost, and benches
+   pin oracle-off runs to be cycle-identical with the hook installed
+   or not. *)
+let shootdown_broadcast t =
+  match t.shootdown_notify with None -> () | Some f -> f ()
+
 let coherence_check_va t ~op va =
   match t.coherence_hook with None -> () | Some f -> f ~op ~va:(Some va)
 
@@ -79,7 +85,7 @@ let translate t ~ring ~kind va =
   match Mmu.access t.mem t.cr t.tlb ~ring ~kind va with
   | Ok { pa; tlb_hit } ->
       charge t (if tlb_hit then t.costs.mem_insn else t.costs.mem_insn + t.costs.tlb_miss_walk);
-      trace_count t (if tlb_hit then Nktrace.Tlb_hit else Nktrace.Tlb_miss);
+      count_ev t (if tlb_hit then Nktrace.Tlb_hit else Nktrace.Tlb_miss);
       coherence_check_va t ~op:"mmu_access" va;
       Ok pa
   | Error f -> Error f
@@ -121,7 +127,7 @@ let bulk t ~ring ~kind va len f =
       | Error fault -> Error fault
       | Ok { pa; tlb_hit } ->
           if not tlb_hit then charge t t.costs.tlb_miss_walk;
-          trace_count t (if tlb_hit then Nktrace.Tlb_hit else Nktrace.Tlb_miss);
+          count_ev t (if tlb_hit then Nktrace.Tlb_hit else Nktrace.Tlb_miss);
           coherence_check_va t ~op:"mmu_access" va;
           let chunk = min remaining (Addr.page_size - Addr.page_offset va) in
           charge t (t.costs.byte_copy_x8 * ((chunk + 7) / 8));
@@ -170,6 +176,7 @@ let shootdown_page t ~vpage =
       Tlb.flush_page tlb ~vpage;
       charge t t.costs.Costs.ipi_shootdown)
     t.peer_tlbs;
+  shootdown_broadcast t;
   coherence_check t ~op:"shootdown_page"
 
 (* Range shootdown for a large-leaf downgrade: the MMU caches each of
@@ -185,6 +192,7 @@ let shootdown_span t ~vpage ~count:n =
       Tlb.flush_span tlb ~vpage ~count:n;
       charge t t.costs.Costs.ipi_shootdown)
     t.peer_tlbs;
+  shootdown_broadcast t;
   coherence_check t ~op:"shootdown_span"
 
 (* A broadcast shootdown backs protection downgrades whose VA is
@@ -200,6 +208,7 @@ let shootdown_all t =
       Tlb.flush_global_too tlb;
       charge t t.costs.Costs.ipi_shootdown)
     t.peer_tlbs;
+  shootdown_broadcast t;
   coherence_check t ~op:"shootdown_all"
 
 let raise_interrupt t vector =

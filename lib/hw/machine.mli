@@ -19,9 +19,16 @@ type t = {
   costs : Costs.t;
   iommu : Iommu.t;
   mutable cpu : Cpu_state.t;  (** the active CPU's architectural state *)
+  mutable cur_cpu : int;
+      (** id of the CPU currently driving the machine; 0 on the boot
+          CPU, maintained by {!Smp.activate}.  Per-CPU bookkeeping
+          (gate depth, trace spans) keys off this *)
   mutable peer_tlbs : Tlb.t list;
       (** TLBs of the other (inactive) CPUs; protection downgrades
           shoot these down too *)
+  mutable peer_crs : Cr.t list;
+      (** control registers of the other (inactive) CPUs; the gate's
+          WP-isolation invariant audits these *)
   msrs : (int, int) Hashtbl.t;
   mutable idtr : Addr.va option;  (** base VA of the 256-entry IDT *)
   mutable pending_interrupts : int list;
@@ -37,6 +44,10 @@ type t = {
       (** differential-oracle callback (see {!Coherence}); [None] by
           default, in which case every check site is a single match
           with zero cost *)
+  mutable shootdown_notify : (unit -> unit) option;
+      (** fired once per broadcast shootdown so the SMP layer can post
+          [Shootdown] IPIs into peer mailboxes.  Pure host-side
+          bookkeeping: must never charge simulated cycles *)
   trace : Nktrace.t;
       (** typed event tracer, cycle source wired to [clock]; disabled
           by default, in which case every emission site is one boolean
@@ -51,19 +62,10 @@ val msr_efer : int
 
 val charge : t -> int -> unit
 
-val count : t -> string -> unit
-(** Legacy string event counter.  Deprecated in favour of {!count_ev};
-    kept as a compatibility shim for one PR. *)
-
 val count_ev : t -> Nktrace.counter -> unit
-(** Count a typed architectural event: always bumps the legacy string
-    counter under [Nktrace.counter_name] (so existing assertions keep
-    working) and, when tracing is enabled, records it in the typed
-    registry with a cycle-stamped ring entry. *)
-
-val trace_count : t -> Nktrace.counter -> unit
-(** Typed-only counter for hot paths (TLB hit/miss): no legacy string
-    mirror, a single boolean test when tracing is off. *)
+(** Count a typed architectural event in the {!Nktrace} registry.
+    Counters are always live; the cycle-stamped ring entry is recorded
+    only while tracing is enabled.  Never charges simulated cycles. *)
 
 val translate :
   t -> ring:Mmu.ring -> kind:Fault.access_kind -> Addr.va -> (Addr.pa, Fault.t) result

@@ -1,64 +1,251 @@
 type cpu_id = int
 
-type ctx = { cpu : Cpu_state.t; cr : Cr.t; tlb : Tlb.t }
+type ipi = Reschedule | Shootdown | Halt
+
+type ctx = {
+  id : cpu_id;
+  cpu : Cpu_state.t;
+  cr : Cr.t;
+  tlb : Tlb.t;
+  mailbox : ipi Queue.t;
+  mutable local_cycles : int;
+  mutable shootdowns_rx : int;
+  mutable halted : bool;
+}
 
 type t = {
   machine : Machine.t;
-  mutable parked : (cpu_id * ctx) list;
+  mutable cpus : ctx array; (* index = cpu_id; slot 0 is the boot CPU *)
   mutable active : cpu_id;
-  mutable next_id : cpu_id;
+  mutable last_stamp : int; (* clock reading when [active] last changed *)
 }
 
-let create machine = { machine; parked = []; active = 0; next_id = 1 }
+let ipi_counter = function
+  | Reschedule -> Nktrace.Ipi_reschedule
+  | Shootdown -> Nktrace.Ipi_shootdown
+  | Halt -> Nktrace.Ipi_halt
 
-let add_cpu t =
-  let id = t.next_id in
-  t.next_id <- id + 1;
-  let ctx =
+let fresh_ctx ~id ~cpu ~cr ~tlb =
+  {
+    id;
+    cpu;
+    cr;
+    tlb;
+    mailbox = Queue.create ();
+    local_cycles = 0;
+    shootdowns_rx = 0;
+    halted = false;
+  }
+
+(* Broadcast shootdowns post an acknowledgement obligation into every
+   peer mailbox.  The TLB invalidation itself already happened
+   synchronously in [Machine.shootdown_*] (which also charged the
+   per-peer IPI cost), so this hook is pure bookkeeping and must not
+   charge cycles: benches pin hook-installed runs to be
+   cycle-identical with bare ones. *)
+let install_shootdown_notify t =
+  t.machine.Machine.shootdown_notify <-
+    Some
+      (fun () ->
+        Array.iter
+          (fun c ->
+            if c.id <> t.active then begin
+              Queue.push Shootdown c.mailbox;
+              c.shootdowns_rx <- c.shootdowns_rx + 1;
+              Nktrace.count t.machine.Machine.trace Nktrace.Ipi_shootdown
+            end)
+          t.cpus)
+
+let create machine =
+  let boot =
+    fresh_ctx ~id:0 ~cpu:machine.Machine.cpu ~cr:machine.Machine.cr
+      ~tlb:machine.Machine.tlb
+  in
+  let t =
     {
-      cpu = Cpu_state.create ();
-      (* APs come up with the control registers the nested kernel (or
-         native boot) established. *)
-      cr = Cr.copy t.machine.Machine.cr;
-      tlb = Tlb.create ();
+      machine;
+      cpus = [| boot |];
+      active = 0;
+      last_stamp = Clock.cycles machine.Machine.clock;
     }
   in
-  t.parked <- (id, ctx) :: t.parked;
-  t.machine.Machine.peer_tlbs <- ctx.tlb :: t.machine.Machine.peer_tlbs;
+  machine.Machine.cur_cpu <- 0;
+  install_shootdown_notify t;
+  t
+
+let refresh_peers t =
+  let m = t.machine in
+  let others =
+    Array.to_list t.cpus |> List.filter (fun c -> c.id <> t.active)
+  in
+  m.Machine.peer_tlbs <- List.map (fun c -> c.tlb) others;
+  m.Machine.peer_crs <- List.map (fun c -> c.cr) others
+
+let add_cpu t =
+  let id = Array.length t.cpus in
+  let ctx =
+    (* APs come up with the control registers the nested kernel (or
+       native boot) established, fresh registers, an empty TLB. *)
+    fresh_ctx ~id ~cpu:(Cpu_state.create ()) ~cr:(Cr.copy t.machine.Machine.cr)
+      ~tlb:(Tlb.create ())
+  in
+  t.cpus <- Array.append t.cpus [| ctx |];
+  refresh_peers t;
   id
 
-let cpu_count t = 1 + List.length t.parked
+let cpu_count t = Array.length t.cpus
 let active t = t.active
 
-let activate t id =
-  if id = t.active then ()
-  else
-    match List.assoc_opt id t.parked with
-    | None -> invalid_arg (Printf.sprintf "Smp.activate: no CPU %d" id)
-    | Some target ->
-        let m = t.machine in
-        let parked_self =
-          { cpu = m.Machine.cpu; cr = m.Machine.cr; tlb = m.Machine.tlb }
-        in
-        m.Machine.cpu <- target.cpu;
-        m.Machine.cr <- target.cr;
-        m.Machine.tlb <- target.tlb;
-        t.parked <-
-          (t.active, parked_self) :: List.remove_assoc id t.parked;
-        t.active <- id;
-        (* The peer set is every TLB except the active one. *)
-        m.Machine.peer_tlbs <- List.map (fun (_, c) -> c.tlb) t.parked;
-        Nktrace.set_cpu m.Machine.trace id;
-        Machine.count_ev m Nktrace.Cpu_migration;
-        Machine.coherence_check m ~op:"smp_activate"
+let ctx t id =
+  if id < 0 || id >= Array.length t.cpus then
+    invalid_arg (Printf.sprintf "Smp: no CPU %d" id)
+  else t.cpus.(id)
 
+let cpu_state t id = (ctx t id).cpu
+let shootdowns_rx t id = (ctx t id).shootdowns_rx
+let pending_ipis t id = Queue.length (ctx t id).mailbox
+let halted t id = (ctx t id).halted
+
+let local_cycles t id =
+  let c = ctx t id in
+  if id = t.active then
+    c.local_cycles + (Clock.cycles t.machine.Machine.clock - t.last_stamp)
+  else c.local_cycles
+
+(* The switch itself: repoint the machine's architectural state at the
+   target context.  Contexts permanently own their cpu/cr/tlb objects,
+   so nothing is copied — parking is implicit in no longer being the
+   machine's view. *)
+let switch_to t ~count id =
+  if id <> t.active then begin
+    let target = ctx t id in
+    let m = t.machine in
+    let now = Clock.cycles m.Machine.clock in
+    t.cpus.(t.active).local_cycles <-
+      t.cpus.(t.active).local_cycles + (now - t.last_stamp);
+    t.last_stamp <- now;
+    m.Machine.cpu <- target.cpu;
+    m.Machine.cr <- target.cr;
+    m.Machine.tlb <- target.tlb;
+    m.Machine.cur_cpu <- id;
+    t.active <- id;
+    refresh_peers t;
+    Nktrace.set_cpu m.Machine.trace id;
+    (match count with None -> () | Some ev -> Machine.count_ev m ev);
+    Machine.coherence_check m ~op:"smp_activate"
+  end
+
+let activate t id = switch_to t ~count:(Some Nktrace.Cpu_migration) id
+
+(* A borrow is a temporary detour (peek at another CPU's state, run a
+   probe there) — the round trip counts once as [smp_borrow] and never
+   as a real migration, so migration counts stay meaningful. *)
 let with_cpu t id f =
   let prev = t.active in
-  activate t id;
+  switch_to t ~count:(Some Nktrace.Cpu_borrow) id;
   match f () with
   | v ->
-      activate t prev;
+      switch_to t ~count:None prev;
       v
   | exception exn ->
-      activate t prev;
+      switch_to t ~count:None prev;
       raise exn
+
+let send_ipi t ~target ipi =
+  let c = ctx t target in
+  Queue.push ipi c.mailbox;
+  (match ipi with
+  | Shootdown -> c.shootdowns_rx <- c.shootdowns_rx + 1
+  | Reschedule -> c.halted <- false (* wakes an idle CPU *)
+  | Halt -> ());
+  Nktrace.count t.machine.Machine.trace (ipi_counter ipi);
+  (* An explicit cross-CPU IPI costs a real interrupt on the sender's
+     side; broadcast shootdowns charge theirs at the flush site. *)
+  Machine.charge t.machine t.machine.Machine.costs.Costs.ipi_shootdown
+
+let drain_ipis t id =
+  let c = ctx t id in
+  let drained = List.rev (Queue.fold (fun acc i -> i :: acc) [] c.mailbox) in
+  Queue.clear c.mailbox;
+  List.iter (function Halt -> c.halted <- true | Reschedule | Shootdown -> ()) drained;
+  drained
+
+type smp = t
+
+module Executor = struct
+  type policy = Round_robin | Seeded of int
+
+  type nonrec t = {
+    smp : t;
+    policy : policy;
+    mutable rr_next : int;
+    mutable prng : int;
+    mutable steps : int;
+  }
+
+  let create smp policy =
+    let seed = match policy with Round_robin -> 0 | Seeded s -> s in
+    (* golden-ratio scramble so nearby seeds diverge immediately; the
+       xorshift below never escapes 0, so map it away *)
+    let state = ((seed * 0x9E3779B9) lxor 0x5DEECE66D) land max_int in
+    let state = if state = 0 then 0x2545F4914F6CDD1D else state in
+    { smp; policy; rr_next = 0; prng = state; steps = 0 }
+
+  (* Pure-integer xorshift over OCaml's 63-bit ints: the whole
+     interleaving is a function of the seed alone, so a run is
+     reproducible bit-for-bit from [--sched-seed]. *)
+  let next_rand e =
+    let x = e.prng in
+    let x = (x lxor (x lsl 13)) land max_int in
+    let x = x lxor (x lsr 7) in
+    let x = (x lxor (x lsl 17)) land max_int in
+    e.prng <- x;
+    x
+
+  let live_cpus e =
+    Array.to_list e.smp.cpus |> List.filter (fun c -> not c.halted)
+
+  let pick e live =
+    match e.policy with
+    | Seeded _ -> List.nth live (next_rand e mod List.length live)
+    | Round_robin ->
+        let n = Array.length e.smp.cpus in
+        let rec scan tries i =
+          if tries = 0 then List.hd live
+          else
+            let c = e.smp.cpus.(i mod n) in
+            if c.halted then scan (tries - 1) (i + 1)
+            else begin
+              e.rr_next <- (i mod n) + 1;
+              c
+            end
+        in
+        scan n e.rr_next
+
+  let steps e = e.steps
+
+  (* One scheduling step: pick a live CPU under the policy, make it
+     the machine's view, drain its mailbox (so shootdown IPIs are
+     acknowledged before any process runs there — the migration-safety
+     obligation), then hand it one quantum. *)
+  let step e ~quantum =
+    match live_cpus e with
+    | [] -> `All_halted
+    | live ->
+        let c = pick e live in
+        switch_to e.smp ~count:(Some Nktrace.Cpu_migration) c.id;
+        ignore (drain_ipis e.smp c.id);
+        e.steps <- e.steps + 1;
+        (match quantum c.id with
+        | `Ran | `Idle -> ()
+        | `Halted -> c.halted <- true);
+        `Stepped c.id
+
+  let run e ?(max_steps = max_int) ~quantum () =
+    let rec go n =
+      if n >= max_steps then n
+      else
+        match step e ~quantum with `All_halted -> n | `Stepped _ -> go (n + 1)
+    in
+    go 0
+end

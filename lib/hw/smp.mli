@@ -1,34 +1,127 @@
-(** SMP-lite: multiple logical CPUs multiplexed over one machine.
+(** SMP: multiple logical CPUs multiplexed over one machine.
 
-    Each CPU has its own architectural state — registers, control
-    registers (so CR0.WP is genuinely per-CPU, the fact Invariant I13
-    turns on), and TLB.  Exactly one CPU is {e active} at a time; the
-    rest are parked with their state saved, and their TLBs stay live as
-    shootdown targets.  This models the uniprocessor-with-SMP-hazards
-    setting the paper's section 3.6.3 reasons about: while CPU 1 runs
-    inside the nested kernel with WP clear, CPU 0 still has WP set and
-    its stores to nested-kernel memory fault. *)
+    Each CPU is a first-class context — registers, control registers
+    (so CR0.WP is genuinely per-CPU, the fact Invariant I13 turns on),
+    TLB, an IPI mailbox, and a local cycle account.  Exactly one CPU
+    drives the machine at a time; the rest stay live as shootdown and
+    IPI targets.  This models the multiprocessor setting of the
+    paper's sections 3.2 and 5: while CPU 1 runs inside the nested
+    kernel with WP clear, CPU 0 still has WP set and its stores to
+    nested-kernel memory fault.
+
+    {!Executor} advances CPUs under a deterministic interleaving
+    policy — round-robin or seeded-random — so any concurrency bug it
+    finds replays from a single seed. *)
 
 type cpu_id = int
+
+(** Inter-processor interrupts delivered through per-CPU mailboxes. *)
+type ipi =
+  | Reschedule  (** target should re-examine its run queue; wakes idle CPUs *)
+  | Shootdown
+      (** TLB-invalidation acknowledgement obligation (the flush itself
+          is synchronous in {!Machine}); must drain before the target
+          runs a migrated process *)
+  | Halt  (** target parks after draining *)
+
+type ctx = {
+  id : cpu_id;
+  cpu : Cpu_state.t;
+  cr : Cr.t;
+  tlb : Tlb.t;
+  mailbox : ipi Queue.t;
+  mutable local_cycles : int;
+      (** cycles accumulated while this CPU was driving the machine *)
+  mutable shootdowns_rx : int;  (** shootdown IPIs ever posted to this CPU *)
+  mutable halted : bool;
+}
 
 type t
 
 val create : Machine.t -> t
-(** Wrap the machine's boot CPU as CPU 0 (active). *)
+(** Wrap the machine's boot CPU as CPU 0 (active) and install the
+    shootdown-broadcast hook that posts [Shootdown] IPIs into peer
+    mailboxes (pure bookkeeping; charges nothing). *)
 
 val add_cpu : t -> cpu_id
 (** Bring up another CPU: it inherits the current control-register
     values (the nested kernel configured them at boot) but gets fresh
     registers and an empty TLB, which from now on receives
-    shootdowns. *)
+    shootdowns.  Ids are dense: 1, 2, ... *)
 
 val cpu_count : t -> int
 val active : t -> cpu_id
 
+val ctx : t -> cpu_id -> ctx
+(** The per-CPU context (live view — the active CPU's [cpu]/[cr]/[tlb]
+    are the machine's own).  Raises [Invalid_argument] for unknown
+    ids. *)
+
+val cpu_state : t -> cpu_id -> Cpu_state.t
+(** Register file of [cpu_id]; the kernel writes an AP's RSP here
+    before first dispatch. *)
+
+val local_cycles : t -> cpu_id -> int
+(** Cycles the global clock advanced while [cpu_id] was active
+    (including the current tenure). *)
+
+val shootdowns_rx : t -> cpu_id -> int
+val pending_ipis : t -> cpu_id -> int
+val halted : t -> cpu_id -> bool
+
 val activate : t -> cpu_id -> unit
-(** Park the active CPU and resume [cpu_id]: swaps register file,
-    control registers and TLB on the machine, and fixes up the peer-TLB
-    list.  Raises [Invalid_argument] for unknown ids. *)
+(** Make [cpu_id] the machine's view: repoints register file, control
+    registers and TLB, fixes up the peer TLB/CR lists, retags the
+    tracer, counts one [cpu_migration].  No-op if already active.
+    Raises [Invalid_argument] for unknown ids. *)
 
 val with_cpu : t -> cpu_id -> (unit -> 'a) -> 'a
-(** Run [f] with [cpu_id] active, then switch back. *)
+(** Run [f] with [cpu_id] active, then switch back.  The round trip
+    counts once as [smp_borrow] and never as [cpu_migration], so
+    migration counts track real scheduling moves only. *)
+
+val send_ipi : t -> target:cpu_id -> ipi -> unit
+(** Post an IPI into [target]'s mailbox and charge the sender one
+    cross-CPU interrupt.  [Reschedule] additionally un-halts the
+    target. *)
+
+val drain_ipis : t -> cpu_id -> ipi list
+(** Empty [cpu_id]'s mailbox, applying [Halt]s, and return what was
+    drained in arrival order. *)
+
+type smp = t
+(** Alias so {!Executor} can name the SMP complex alongside its own [t]. *)
+
+(** Deterministic multi-CPU executor: advances one CPU per step under
+    a policy that is a pure function of the seed, so the interleaving
+    (and therefore every trace and bench number) reproduces exactly. *)
+module Executor : sig
+  type policy =
+    | Round_robin
+    | Seeded of int  (** pseudo-random pick, reproducible from the seed *)
+
+  type t
+
+  val create : smp -> policy -> t
+
+  val step :
+    t ->
+    quantum:(cpu_id -> [ `Ran | `Idle | `Halted ]) ->
+    [ `Stepped of cpu_id | `All_halted ]
+  (** Pick a live CPU under the policy, activate it, drain its IPI
+      mailbox (shootdown acknowledgements land {e before} any process
+      runs there), then run one [quantum] on it.  [`Halted] from the
+      quantum parks the CPU until a [Reschedule] IPI wakes it. *)
+
+  val run :
+    t ->
+    ?max_steps:int ->
+    quantum:(cpu_id -> [ `Ran | `Idle | `Halted ]) ->
+    unit ->
+    int
+  (** Step until every CPU halts (or [max_steps]); returns the number
+      of steps taken. *)
+
+  val steps : t -> int
+  (** Total steps taken so far. *)
+end

@@ -30,7 +30,7 @@ let alloc t =
         let a = t.hand in
         t.hand <- (if t.hand + 1 >= n then 1 else t.hand + 1);
         Machine.flush_asid t.machine ~asid:a;
-        Machine.count t.machine "asid_recycle";
+        Machine.count_ev t.machine (Nktrace.Custom "asid_recycle");
         a
   in
   t.slots.(asid) <- stamp;

@@ -16,8 +16,9 @@ type t = {
   handlers : (int, handler) Hashtbl.t;
   syslog : syscall_log option;
   procs : (Ktypes.pid, Proc.t) Hashtbl.t;
+  smp : Smp.t;
+  running : Ktypes.pid option array;
   mutable next_pid : Ktypes.pid;
-  mutable current : Ktypes.pid;
   mutable legit_exits : Ktypes.pid list;
   mutable syscall_seq : int;
 }
@@ -93,7 +94,8 @@ let boot_native_paging (m : Machine.t) falloc ~pcid =
   root
 
 let boot ?(frames = 8192) ?(batched = false) ?(pcid = true)
-    ?(coherence = false) ?(trace = false) config =
+    ?(coherence = false) ?(trace = false) ?(cpus = 1) config =
+  if cpus < 1 then invalid_arg "Kernel.boot: cpus must be >= 1";
   let m = Machine.create ~frames () in
   if trace then Nktrace.enable m.Machine.trace;
   let nk, falloc, backend, kernel_root =
@@ -128,6 +130,16 @@ let boot ?(frames = 8192) ?(batched = false) ?(pcid = true)
   (* Kernel stack for the boot CPU. *)
   let kstack = Frame_alloc.alloc_exn falloc in
   Cpu_state.set m.Machine.cpu Insn.RSP (Addr.kva_of_frame (kstack + 1));
+  (* Bring up the application processors: each inherits the control
+     registers established above (WP and all) and gets its own kernel
+     stack; their TLBs join the shootdown target set immediately. *)
+  let smp = Smp.create m in
+  for _ = 2 to cpus do
+    let id = Smp.add_cpu smp in
+    let ap_stack = Frame_alloc.alloc_exn falloc in
+    Cpu_state.set (Smp.cpu_state smp id) Insn.RSP
+      (Addr.kva_of_frame (ap_stack + 1))
+  done;
   let kalloc = Kalloc.create m falloc ~chunk_size:64 in
   let kdata = Frame_alloc.alloc_exn falloc in
   Phys_mem.zero_frame m.Machine.mem kdata;
@@ -203,8 +215,9 @@ let boot ?(frames = 8192) ?(batched = false) ?(pcid = true)
       handlers = Hashtbl.create 64;
       syslog;
       procs = Hashtbl.create 64;
+      smp;
+      running = Array.make cpus None;
       next_pid = 1;
-      current = 1;
       legit_exits = [];
       syscall_seq = 0;
     }
@@ -221,6 +234,7 @@ let boot ?(frames = 8192) ?(batched = false) ?(pcid = true)
   | Ok (vm, node) ->
       let p = Proc.make ~pid:1 ~parent:0 ~vm ~node_va:node in
       Hashtbl.replace t.procs 1 p;
+      t.running.(0) <- Some 1;
       t.next_pid <- 2;
       (match shadow with
       | Some s -> (
@@ -234,10 +248,18 @@ let boot ?(frames = 8192) ?(batched = false) ?(pcid = true)
 
 (* --- processes --------------------------------------------------- *)
 
+(* Scheduling truth is per-CPU: [running.(c)] is the process CPU [c]
+   last dispatched.  "Current" always means the CPU driving the
+   machine right now. *)
+let cpu_current t = t.running.(Smp.active t.smp)
+
 let current_proc t =
-  match Hashtbl.find_opt t.procs t.current with
-  | Some p -> p
-  | None -> failwith "kernel: current process missing"
+  match cpu_current t with
+  | None -> failwith "kernel: no process on this CPU"
+  | Some pid -> (
+      match Hashtbl.find_opt t.procs pid with
+      | Some p -> p
+      | None -> failwith "kernel: current process missing")
 
 let proc t pid = Hashtbl.find_opt t.procs pid
 
@@ -247,7 +269,7 @@ let switch_to t pid =
   | Some p -> (
       match load_vm_root t p.Proc.vm with
       | Ok () ->
-          t.current <- pid;
+          t.running.(Smp.active t.smp) <- Some pid;
           Machine.count_ev t.machine Nktrace.Context_switch;
           Ok ()
       | Error _ -> Error Ktypes.Efault)

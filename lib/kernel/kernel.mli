@@ -23,8 +23,11 @@ type t = {
   handlers : (int, handler) Hashtbl.t;
   syslog : syscall_log option;  (** Append_only configuration *)
   procs : (Ktypes.pid, Proc.t) Hashtbl.t;
+  smp : Smp.t;  (** per-CPU contexts, mailboxes and the executor substrate *)
+  running : Ktypes.pid option array;
+      (** per-CPU dispatch slots, indexed by CPU id — the scheduling
+          source of truth; there is no global current process *)
   mutable next_pid : Ktypes.pid;
-  mutable current : Ktypes.pid;
   mutable legit_exits : Ktypes.pid list;
   mutable syscall_seq : int;
 }
@@ -42,7 +45,7 @@ and syscall_log = {
 
 val boot :
   ?frames:int -> ?batched:bool -> ?pcid:bool -> ?coherence:bool ->
-  ?trace:bool -> Config.t -> t
+  ?trace:bool -> ?cpus:int -> Config.t -> t
 (** Boot the machine and kernel in the given configuration.  The
     system-call table is empty; {!Syscalls.install_all} (or {!Os.boot})
     populates it.  [batched] selects the batched vMMU backend
@@ -54,7 +57,10 @@ val boot :
     [Coherence.Violation] on any stale-and-more-permissive cached
     translation.  [trace] (default off) enables the cycle-stamped
     {!Nktrace} tracer on the machine from the first instruction;
-    tracing charges no simulated cycles either way. *)
+    tracing charges no simulated cycles either way.  [cpus] (default 1)
+    brings up that many CPUs: CPU 0 boots init (pid 1), the application
+    processors come up idle with their own kernel stacks, control
+    registers and TLBs, ready for {!Sched} run queues. *)
 
 val load_vm_root : t -> Vmspace.t -> (unit, Nested_kernel.Nk_error.t) result
 (** Load an address space's root through the backend, tagged with its
@@ -63,7 +69,13 @@ val load_vm_root : t -> Vmspace.t -> (unit, Nested_kernel.Nk_error.t) result
 val load_kernel_root : t -> (unit, Nested_kernel.Nk_error.t) result
 (** Switch to the kernel's own root (ASID 0 when PCID is on). *)
 
+val cpu_current : t -> Ktypes.pid option
+(** The pid last dispatched on the CPU driving the machine right now. *)
+
 val current_proc : t -> Proc.t
+(** The process running on the active CPU; raises [Failure] if that
+    CPU is idle. *)
+
 val proc : t -> Ktypes.pid -> Proc.t option
 
 val register_handler : t -> int -> handler -> unit
@@ -75,7 +87,9 @@ val syscall :
     logging, table lookup, handler execution. *)
 
 val switch_to : t -> Ktypes.pid -> (unit, Ktypes.errno) result
-(** Context switch: load the target's address-space root. *)
+(** Context switch on the active CPU: load the target's address-space
+    root (through the ASID/PCID path when enabled) and update that
+    CPU's dispatch slot. *)
 
 val fork_proc : t -> Proc.t -> (Ktypes.pid, Ktypes.errno) result
 val exec_proc :

@@ -65,12 +65,6 @@ module Diagnostics = struct
   end
 end
 
-(* Deprecated aliases (one PR): use [Diagnostics.Coherence] /
-   [Diagnostics.Tracing] instead. *)
-let enable_coherence_check = Diagnostics.Coherence.enable
-let disable_coherence_check = Diagnostics.Coherence.disable
-let coherence_violations = Diagnostics.Coherence.snapshot
-let tracing = Diagnostics.Tracing.tracer
 let machine (st : t) = st.State.machine
 let trap_gate_va (st : t) = st.State.gate.Gate.trap_va
 let outer_first_frame = Init.outer_first_frame

@@ -100,20 +100,6 @@ module Diagnostics : sig
   end
 end
 
-val enable_coherence_check :
-  ?on_violation:(Coherence.violation list -> unit) -> t -> unit
-(** @deprecated Alias for {!Diagnostics.Coherence.enable}; kept for
-    one PR. *)
-
-val disable_coherence_check : t -> unit
-(** @deprecated Alias for {!Diagnostics.Coherence.disable}. *)
-
-val coherence_violations : t -> Coherence.violation list
-(** @deprecated Alias for {!Diagnostics.Coherence.snapshot}. *)
-
-val tracing : t -> Nktrace.t
-(** @deprecated Alias for {!Diagnostics.Tracing.tracer}. *)
-
 val machine : t -> Machine.t
 val trap_gate_va : t -> Addr.va
 val outer_first_frame : t -> Addr.frame

@@ -11,7 +11,8 @@ type t = {
   mutable exit_cost : int option;
   mutable trap_cost : int option;
   mutable crossings : int;
-  mutable fast_saved : (Addr.va * int) list;
+  fast_saved : (int, (Addr.va * int) list) Hashtbl.t;
+  mutable wp_isolation_failures : int;
 }
 
 let callout_entry_done = 1
@@ -99,7 +100,8 @@ let install mem ~code_base_pa ~code_base_va ~secure_stack_top =
     exit_cost = None;
     trap_cost = None;
     crossings = 0;
-    fast_saved = [];
+    fast_saved = Hashtbl.create 4;
+    wp_isolation_failures = 0;
   }
 
 type crossing_error = Unexpected_stop of Exec.stop
@@ -120,6 +122,26 @@ let interpret (m : Machine.t) va ~expect =
    cold during boot. *)
 let want_interpretation t = t.strict || t.crossings < 2
 
+(* Fast-path crossings pair per CPU: a frame pushed while CPU 2 drove
+   the machine can only be popped by CPU 2's exit, so interleaved
+   crossings on different CPUs each restore their own caller state. *)
+let fast_frames (m : Machine.t) t =
+  Option.value (Hashtbl.find_opt t.fast_saved m.Machine.cur_cpu) ~default:[]
+
+let set_fast_frames (m : Machine.t) t frames =
+  Hashtbl.replace t.fast_saved m.Machine.cur_cpu frames
+
+(* CR0.WP is per-CPU state: this CPU crossing its gate must never be
+   observable as a relaxation on any peer.  Audited at every enter and
+   exit; a nonzero count means the isolation argument of paper §3.2 is
+   broken in the model. *)
+let audit_peer_wp (m : Machine.t) t =
+  List.iter
+    (fun cr ->
+      if cr.Cr.cr0 land wp = 0 then
+        t.wp_isolation_failures <- t.wp_isolation_failures + 1)
+    m.Machine.peer_crs
+
 let enter (m : Machine.t) t =
   t.crossings <- t.crossings + 1;
   Nktrace.span_begin m.Machine.trace Nktrace.Gate_enter;
@@ -138,9 +160,9 @@ let enter (m : Machine.t) t =
     else begin
       let cost = Option.get t.entry_cost in
       Machine.charge m cost;
-      t.fast_saved <-
-        (Cpu_state.get cpu Insn.RSP, Cpu_state.flags_word cpu)
-        :: t.fast_saved;
+      set_fast_frames m t
+        ((Cpu_state.get cpu Insn.RSP, Cpu_state.flags_word cpu)
+        :: fast_frames m t);
       m.cr.Cr.cr0 <- m.cr.Cr.cr0 land lnot wp;
       cpu.Cpu_state.intf <- false;
       Cpu_state.set cpu Insn.RSP (t.secure_stack_top - 8);
@@ -151,6 +173,7 @@ let enter (m : Machine.t) t =
   match result with
   | Ok _ ->
       m.Machine.in_nested_kernel <- true;
+      audit_peer_wp m t;
       Machine.count_ev m Nktrace.Nk_enter;
       (* The crossing span stays open across the nested-kernel body and
          is closed by the matching exit. *)
@@ -161,11 +184,11 @@ let enter (m : Machine.t) t =
 let exit_ (m : Machine.t) t =
   Nktrace.span_begin m.Machine.trace Nktrace.Gate_exit;
   let cpu = m.Machine.cpu in
-  (* An exit must mirror its matching enter: a fast-path enter left no
-     state in simulated memory, so its exit must be fast too — even if
-     [strict] was flipped in between. *)
+  (* An exit must mirror its matching enter {e on this CPU}: a
+     fast-path enter left no state in simulated memory, so its exit
+     must be fast too — even if [strict] was flipped in between. *)
   let fast_frame, interpreted =
-    match t.fast_saved with
+    match fast_frames m t with
     | frame :: rest -> (Some (frame, rest), false)
     | [] -> (None, true)
   in
@@ -183,7 +206,7 @@ let exit_ (m : Machine.t) t =
     else begin
       let (rsp, flags), rest = Option.get fast_frame in
       Machine.charge m (Option.get t.exit_cost);
-      t.fast_saved <- rest;
+      set_fast_frames m t rest;
       m.cr.Cr.cr0 <- m.cr.Cr.cr0 lor wp;
       Cpu_state.set cpu Insn.RSP rsp;
       Cpu_state.set_flags_word cpu flags;
@@ -194,6 +217,7 @@ let exit_ (m : Machine.t) t =
   match result with
   | Ok () ->
       m.Machine.in_nested_kernel <- false;
+      audit_peer_wp m t;
       Nktrace.span_end m.Machine.trace Nktrace.Gate_crossing;
       Ok ()
   | Error e -> Error e

@@ -30,8 +30,14 @@ type t = {
   mutable exit_cost : int option;
   mutable trap_cost : int option;
   mutable crossings : int;
-  mutable fast_saved : (Addr.va * int) list;
-      (** (caller rsp, caller flags) stack for fast-path crossings *)
+  fast_saved : (int, (Addr.va * int) list) Hashtbl.t;
+      (** per-CPU (caller rsp, caller flags) stacks for fast-path
+          crossings, keyed by [Machine.cur_cpu]: concurrent syscalls on
+          different CPUs pair their enters and exits independently *)
+  mutable wp_isolation_failures : int;
+      (** times a peer CPU was observed with CR0.WP clear while this
+          CPU crossed a gate; must stay 0 — one CPU's open gate never
+          relaxes another CPU's protection *)
 }
 
 val callout_entry_done : int

@@ -32,6 +32,11 @@ type counter =
   | Cow_copy
   | Vm_destroy
   | Cpu_migration
+  | Cpu_borrow
+  | Ipi_reschedule
+  | Ipi_shootdown
+  | Ipi_halt
+  | Sched_steal
   | Signal_delivered
   | Syslog_event
   | Syslog_flush
@@ -71,6 +76,11 @@ let counter_name = function
   | Cow_copy -> "cow_copy"
   | Vm_destroy -> "vm_destroy"
   | Cpu_migration -> "cpu_migration"
+  | Cpu_borrow -> "smp_borrow"
+  | Ipi_reschedule -> "ipi_reschedule"
+  | Ipi_shootdown -> "ipi_shootdown"
+  | Ipi_halt -> "ipi_halt"
+  | Sched_steal -> "sched_steal"
   | Signal_delivered -> "signal_delivered"
   | Syslog_event -> "syslog_event"
   | Syslog_flush -> "syslog_flush"
@@ -195,11 +205,12 @@ let bump t name n =
   | Some r -> r := !r + n
   | None -> Hashtbl.add t.tcounters name (ref n)
 
+(* Counters are always live — they are the simulator's single event
+   registry, asserted on by tests and benches that never enable the
+   ring.  Only the cycle-stamped ring entry stays gated. *)
 let count_n t c n =
-  if t.enabled then begin
-    bump t (counter_name c) n;
-    push t (Count c)
-  end
+  bump t (counter_name c) n;
+  if t.enabled then push t (Count c)
 
 let count t c = count_n t c 1
 
@@ -246,15 +257,22 @@ let observe t name v =
 
 let mark t name = if t.enabled then push t (Mark name)
 
+(* Open spans pair per CPU: a span begun on CPU 2 can only be closed
+   by an end observed on CPU 2, so concurrent gate crossings on
+   different CPUs each time their own enter/exit pair even when the
+   executor interleaves them.  Durations still land in one shared
+   histogram per span name. *)
+let span_key t sp = span_name sp ^ "#" ^ string_of_int t.cpu
+
 let span_begin t sp =
   if t.enabled then begin
-    let name = span_name sp in
+    let key = span_key t sp in
     let stack =
-      match Hashtbl.find_opt t.open_spans name with
+      match Hashtbl.find_opt t.open_spans key with
       | Some s -> s
       | None ->
           let s = ref [] in
-          Hashtbl.add t.open_spans name s;
+          Hashtbl.add t.open_spans key s;
           s
     in
     stack := t.now () :: !stack;
@@ -263,12 +281,11 @@ let span_begin t sp =
 
 let span_end t sp =
   if t.enabled then begin
-    let name = span_name sp in
-    match Hashtbl.find_opt t.open_spans name with
+    match Hashtbl.find_opt t.open_spans (span_key t sp) with
     | Some ({ contents = started :: rest } as stack) ->
         stack := rest;
         let d = t.now () - started in
-        hist_observe t name d;
+        hist_observe t (span_name sp) d;
         push t (Span_end (sp, d))
     | _ -> () (* unmatched end: ignore *)
   end

@@ -6,18 +6,18 @@
     and a fixed-capacity ring buffer of cycle-stamped event records.
 
     The tracer is strictly out-of-band: it never charges simulated
-    cycles, and every entry point is a no-op while the tracer is
-    disabled, so enabling-then-disabling tracing leaves the simulated
+    cycles, so enabling-then-disabling tracing leaves the simulated
     clock bit-identical to never having touched it (pinned by a delta
-    test, the same discipline as the TLB-coherence oracle).
+    test, the same discipline as the TLB-coherence oracle).  Counters
+    accumulate whether or not the tracer is enabled; the ring,
+    histograms and spans are active only while enabled.
 
     The library is dependency-free; the host wires the cycle source in
     with {!set_now} (the simulator points it at its [Clock]). *)
 
-(** Typed architectural event counters.  [counter_name] yields the
-    exact legacy string used by [Machine.count] so the two registries
-    agree while the string API is kept as a one-PR compatibility
-    shim. *)
+(** Typed architectural event counters — the simulator's single event
+    registry.  Counters are {e always} live (see {!count}); only the
+    cycle-stamped ring is gated behind {!enable}. *)
 type counter =
   | Tlb_flush_full
   | Tlb_flush_asid
@@ -51,7 +51,14 @@ type counter =
   | Vm_fault
   | Cow_copy
   | Vm_destroy
-  | Cpu_migration
+  | Cpu_migration  (** a real scheduling move of execution to another CPU *)
+  | Cpu_borrow
+      (** temporary [Smp.with_cpu] activate/restore pair — counted once
+          per borrow, never as a migration *)
+  | Ipi_reschedule
+  | Ipi_shootdown  (** shootdown IPIs {e received} into a mailbox *)
+  | Ipi_halt
+  | Sched_steal  (** run-queue work steal by an idle CPU *)
   | Signal_delivered
   | Syslog_event
   | Syslog_flush
@@ -130,15 +137,19 @@ val clear : t -> unit
     the enabled state, CPU tag or cycle source). *)
 
 val count : t -> counter -> unit
+(** Bump a counter.  Always live — counters accumulate even while the
+    tracer is disabled; only the ring entry is skipped then. *)
+
 val count_n : t -> counter -> int -> unit
 val counter_value : t -> counter -> int
 
 val span_begin : t -> span -> unit
 
 val span_end : t -> span -> unit
-(** Close the innermost open span with the same name; its duration is
-    recorded into the histogram keyed by [span_name].  Unmatched ends
-    are ignored. *)
+(** Close the innermost open span with the same name begun {e on the
+    current CPU} (spans pair per CPU, so interleaved crossings on
+    different CPUs time independently); its duration is recorded into
+    the histogram keyed by [span_name].  Unmatched ends are ignored. *)
 
 val observe : t -> string -> int -> unit
 (** Record one sample into the named histogram directly (for latencies

@@ -49,7 +49,7 @@ let run ?(iterations = 100_000) () =
   let vmcall_us =
     measure (fun () ->
         Machine.charge m m.Machine.costs.Costs.vmcall_roundtrip;
-        Machine.count m "vmcall")
+        Machine.count_ev m (Nktrace.Custom "vmcall"))
   in
   { nk_call_us; syscall_us; vmcall_us; iterations }
 

@@ -1,0 +1,35 @@
+(** SMP scaling workload: a fixed process mix scheduled across 1, 2, 4
+    and 8 vCPUs by the deterministic seeded executor.  All metrics are
+    simulated-cycle arithmetic — the same seed reproduces every number
+    exactly. *)
+
+type point = {
+  cpus : int;
+  seed : int;
+  steps : int;  (** executor steps actually taken *)
+  syscalls : int;  (** syscalls retired during the run *)
+  cycles : int;  (** simulated cycles consumed *)
+  throughput : float;  (** syscalls per million cycles *)
+  shootdowns : int list;  (** shootdown IPIs received, per CPU id *)
+  ipis : int;  (** shootdown IPIs posted in total *)
+  steals : int;  (** work-stealing events *)
+  migrations : int;  (** CPU activations (executor CPU switches) *)
+}
+
+val default_seed : int
+
+val env_seed : unit -> int
+(** [NKSIM_SCHED_SEED] if set and numeric, else {!default_seed}. *)
+
+val cpu_counts : int list
+(** The sweep: [1; 2; 4; 8]. *)
+
+val run_one : ?seed:int -> ?procs:int -> ?steps:int -> int -> point
+(** Boot Perspicuos with that many CPUs, fork [procs] (default 8)
+    processes, drive [steps] (default 400) executor quanta of
+    getpid + periodic mmap/munmap churn. *)
+
+val run : ?seed:int -> ?procs:int -> ?steps:int -> unit -> point list
+(** {!run_one} across {!cpu_counts}; seed defaults to {!env_seed}. *)
+
+val to_table : point list -> Stats.table

@@ -86,7 +86,7 @@ let test_unresolvable_asid_skipped () =
 
 let test_enabled_oracle_raises_on_rogue_pte_write () =
   let m, nk, f0 = setup () in
-  Api.enable_coherence_check nk;
+  Api.Diagnostics.Coherence.enable nk;
   (* Warm the direct-map translation of a plain outer frame... *)
   Helpers.check_ok "warm" (Machine.kread_u64 m (Addr.kva_of_frame f0));
   (* ...then clear its writable bit behind the vMMU's back (a raw DRAM
@@ -107,7 +107,7 @@ let test_enabled_oracle_raises_on_rogue_pte_write () =
       Alcotest.(check int) "active cpu" 0 v.Coherence.v_cpu
   | exception exn -> raise exn
   | Ok () | Error _ -> Alcotest.fail "oracle should have flagged the write");
-  Api.disable_coherence_check nk
+  Api.Diagnostics.Coherence.disable nk
 
 let test_flags_stale_peer_entry () =
   let m, nk, f0 = setup () in
@@ -127,17 +127,17 @@ let test_flags_stale_peer_entry () =
       let e = Phys_mem.read_u64 m.Machine.mem pa in
       Phys_mem.write_u64 m.Machine.mem pa (Pte.set_writable e false)
   | Page_table.Not_mapped _ -> Alcotest.fail "dmap page must be mapped");
-  (match Api.coherence_violations nk with
+  (match Api.Diagnostics.Coherence.snapshot nk with
   | [ v ] -> Alcotest.(check int) "parked peer flagged" 1 v.Coherence.v_cpu
   | vs -> Alcotest.failf "expected 1 violation, got %d" (List.length vs));
   (* A proper broadcast shootdown clears the incoherence. *)
   Machine.shootdown_page m ~vpage:(Addr.vpage (Addr.kva_of_frame f0));
   Alcotest.(check int) "clean after shootdown" 0
-    (List.length (Api.coherence_violations nk))
+    (List.length (Api.Diagnostics.Coherence.snapshot nk))
 
 let test_api_lifecycle_clean_under_oracle () =
   let m, nk, f0 = setup () in
-  Api.enable_coherence_check nk;
+  Api.Diagnostics.Coherence.enable nk;
   (* A full declare/map/downgrade/unmap/remove cycle with warm TLBs on
      two CPUs: the vMMU's shootdown discipline must keep the oracle
      silent throughout (it raises from the hooks otherwise). *)
@@ -158,8 +158,8 @@ let test_api_lifecycle_clean_under_oracle () =
   touch f0;
   Smp.with_cpu smp ap (fun () -> touch f0);
   Alcotest.(check int) "no violations" 0
-    (List.length (Api.coherence_violations nk));
-  Api.disable_coherence_check nk
+    (List.length (Api.Diagnostics.Coherence.snapshot nk));
+  Api.Diagnostics.Coherence.disable nk
 
 let test_oracle_off_costs_nothing () =
   (* With no hook installed the check sites must not charge cycles or
@@ -168,8 +168,8 @@ let test_oracle_off_costs_nothing () =
   let run enable =
     let m, nk, f0 = setup () in
     if enable then begin
-      Api.enable_coherence_check nk;
-      Api.disable_coherence_check nk
+      Api.Diagnostics.Coherence.enable nk;
+      Api.Diagnostics.Coherence.disable nk
     end;
     Helpers.check_ok_nk "declare" (Api.declare_ptp nk ~level:1 f0);
     Helpers.check_ok_nk "map"

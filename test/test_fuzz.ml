@@ -167,12 +167,12 @@ let prop_invariants_survive_fuzzing =
       (* Every op below now runs under the differential oracle: any
          stale-and-more-permissive cached translation, on any CPU,
          raises Coherence.Violation and fails the property. *)
-      Nested_kernel.Api.enable_coherence_check nk;
+      Nested_kernel.Api.Diagnostics.Coherence.enable nk;
       let f0 = Nested_kernel.Api.outer_first_frame nk in
       let descriptors = ref [||] in
       List.iter (fun op -> apply ~smp nk ~f0 descriptors op) ops;
       Smp.activate smp 0;
-      Nested_kernel.Api.coherence_violations nk = []
+      Nested_kernel.Api.Diagnostics.Coherence.snapshot nk = []
       && Nested_kernel.Api.audit_ok nk
       && protected_frames_unwritable nk)
 
@@ -182,7 +182,7 @@ let prop_kernel_survives_fuzzing =
     (fun ops ->
       let k = Helpers.kernel Config.Perspicuos in
       let nk = Option.get k.Kernel.nk in
-      Nested_kernel.Api.enable_coherence_check nk;
+      Nested_kernel.Api.Diagnostics.Coherence.enable nk;
       (* Fuzz against frames the kernel has not allocated. *)
       let f0 = Frame_alloc.first_frame k.Kernel.falloc + 400 in
       let descriptors = ref [||] in

@@ -89,7 +89,7 @@ let test_signal_roundtrip () =
       Alcotest.(check int)
         (name ^ ": delivery counted")
         1
-        (Clock.counter k.Kernel.machine.Machine.clock "signal_delivered"))
+        (Nktrace.counter_value k.Kernel.machine.Machine.trace Nktrace.Signal_delivered))
 
 let test_signal_to_missing_process () =
   let k = Helpers.kernel Config.Native in
@@ -109,7 +109,7 @@ let test_touch_user_faults_and_retries () =
   | Error Ktypes.Efault -> ()
   | _ -> Alcotest.fail "wild touch succeeded");
   Alcotest.(check int) "vm faults counted" 2
-    (Clock.counter k.Kernel.machine.Machine.clock "vm_fault")
+    (Nktrace.counter_value k.Kernel.machine.Machine.trace Nktrace.Vm_fault)
 
 let test_syslog_only_append_only_config () =
   List.iter

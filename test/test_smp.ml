@@ -130,6 +130,103 @@ let test_nk_lock_excludes_second_cpu () =
   | Ok () -> ()
   | Error _ -> Alcotest.fail "exit"
 
+let test_ipi_mailbox () =
+  let _, _, smp = setup () in
+  let ap = Smp.add_cpu smp in
+  Smp.send_ipi smp ~target:ap Smp.Reschedule;
+  Smp.send_ipi smp ~target:ap Smp.Shootdown;
+  Smp.send_ipi smp ~target:ap Smp.Halt;
+  Alcotest.(check int) "three pending" 3 (Smp.pending_ipis smp ap);
+  Alcotest.(check int) "shootdown acknowledged on receipt" 1
+    (Smp.shootdowns_rx smp ap);
+  let drained = Smp.drain_ipis smp ap in
+  Alcotest.(check bool) "drained in arrival order" true
+    (drained = [ Smp.Reschedule; Smp.Shootdown; Smp.Halt ]);
+  Alcotest.(check int) "mailbox empty" 0 (Smp.pending_ipis smp ap);
+  Alcotest.(check bool) "halt applied at drain" true (Smp.halted smp ap);
+  Smp.send_ipi smp ~target:ap Smp.Reschedule;
+  Alcotest.(check bool) "reschedule wakes a halted CPU" false
+    (Smp.halted smp ap)
+
+let test_borrow_is_not_migration () =
+  let m, _, smp = setup () in
+  let ap = Smp.add_cpu smp in
+  let mig () = Nktrace.counter_value m.Machine.trace Nktrace.Cpu_migration in
+  let bor () = Nktrace.counter_value m.Machine.trace Nktrace.Cpu_borrow in
+  let m0 = mig () and b0 = bor () in
+  Smp.with_cpu smp ap (fun () -> ());
+  Alcotest.(check int) "borrow round trip counts no migration" m0 (mig ());
+  Alcotest.(check int) "borrow counted once" (b0 + 1) (bor ());
+  Smp.activate smp ap;
+  Alcotest.(check int) "real migration still counted" (m0 + 1) (mig ())
+
+let exec_sequence policy steps =
+  let _, _, smp = setup () in
+  for _ = 2 to 4 do
+    ignore (Smp.add_cpu smp)
+  done;
+  let seq = ref [] in
+  let e = Smp.Executor.create smp policy in
+  ignore
+    (Smp.Executor.run e ~max_steps:steps
+       ~quantum:(fun cpu ->
+         seq := cpu :: !seq;
+         `Ran)
+       ());
+  List.rev !seq
+
+let test_executor_round_robin () =
+  Alcotest.(check (list int))
+    "strict rotation over live CPUs"
+    [ 0; 1; 2; 3; 0; 1; 2; 3 ]
+    (exec_sequence Smp.Executor.Round_robin 8)
+
+let test_executor_seeded_deterministic () =
+  let a = exec_sequence (Smp.Executor.Seeded 42) 32 in
+  let b = exec_sequence (Smp.Executor.Seeded 42) 32 in
+  Alcotest.(check (list int)) "same seed, same interleaving" a b;
+  let c = exec_sequence (Smp.Executor.Seeded 43) 32 in
+  Alcotest.(check bool) "neighbouring seed diverges" true (a <> c)
+
+let test_executor_halts () =
+  let _, _, smp = setup () in
+  ignore (Smp.add_cpu smp);
+  let e = Smp.Executor.create smp Smp.Executor.Round_robin in
+  let n = Smp.Executor.run e ~quantum:(fun _ -> `Halted) () in
+  Alcotest.(check int) "each CPU halted after one quantum" 2 n;
+  Alcotest.(check int) "steps recorded" 2 (Smp.Executor.steps e);
+  Alcotest.(check bool) "all halted" true
+    (Smp.halted smp 0 && Smp.halted smp 1)
+
+let test_wp_isolation_invariant () =
+  (* Serialized gate crossings on two CPUs never relax the other CPU's
+     WP; an attacker clearing a parked CPU's WP is flagged by the
+     audit at the next crossing. *)
+  let m, nk, smp = setup () in
+  let ap = Smp.add_cpu smp in
+  let g = nk.State.gate in
+  let cross who =
+    (match Gate.enter m g with
+    | Ok () -> ()
+    | Error _ -> Alcotest.failf "enter on %s" who);
+    match Gate.exit_ m g with
+    | Ok () -> ()
+    | Error _ -> Alcotest.failf "exit on %s" who
+  in
+  cross "bsp";
+  Smp.activate smp ap;
+  give_stack m ~id:ap;
+  cross "ap";
+  Alcotest.(check int) "no cross-CPU WP relaxation" 0
+    g.Gate.wp_isolation_failures;
+  Smp.with_cpu smp 0 (fun () ->
+      m.Machine.cr.Cr.cr0 <- m.Machine.cr.Cr.cr0 land lnot Cr.cr0_wp);
+  (match Gate.enter m g with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "enter with a relaxed peer");
+  Alcotest.(check bool) "relaxed peer WP is flagged" true
+    (g.Gate.wp_isolation_failures > 0)
+
 let suite =
   [
     Alcotest.test_case "bring-up" `Quick test_bring_up;
@@ -143,4 +240,14 @@ let suite =
       test_shootdown_cost_scales_with_cpus;
     Alcotest.test_case "NK stack lock excludes other CPUs" `Quick
       test_nk_lock_excludes_second_cpu;
+    Alcotest.test_case "IPI mailbox semantics" `Quick test_ipi_mailbox;
+    Alcotest.test_case "with_cpu borrow is not a migration" `Quick
+      test_borrow_is_not_migration;
+    Alcotest.test_case "executor: round-robin rotation" `Quick
+      test_executor_round_robin;
+    Alcotest.test_case "executor: seeded and deterministic" `Quick
+      test_executor_seeded_deterministic;
+    Alcotest.test_case "executor: halt protocol" `Quick test_executor_halts;
+    Alcotest.test_case "I13: open gate never relaxes a peer's WP" `Quick
+      test_wp_isolation_invariant;
   ]

@@ -159,12 +159,14 @@ let test_batch_one_crossing () =
   let updates =
     List.init 16 (fun i -> (f0, i, Pte.make ~frame:(f0 + 1 + i) Pte.user_rw_nx))
   in
-  let snap = Clock.snapshot m.Machine.clock in
+  let trace = m.Machine.trace in
+  let enters0 = Nktrace.counter_value trace Nktrace.Nk_enter in
+  let writes0 = Nktrace.counter_value trace Nktrace.Pte_write in
   Helpers.check_ok "batch" (Api.write_pte_batch nk updates);
   Alcotest.(check int) "one gate crossing" 1
-    (Clock.counter_since m.Machine.clock snap "nk_enter");
+    (Nktrace.counter_value trace Nktrace.Nk_enter - enters0);
   Alcotest.(check int) "all entries written" 16
-    (Clock.counter_since m.Machine.clock snap "pte_write");
+    (Nktrace.counter_value trace Nktrace.Pte_write - writes0);
   Alcotest.(check bool) "audit clean" true (Api.audit_ok nk)
 
 let test_batch_validates_each () =
@@ -237,9 +239,9 @@ let test_load_cr3_pcid () =
     (Api.load_cr3_pcid nk ~pcid:(Cr.max_pcid + 1) f0);
   Helpers.expect_error "undeclared root rejected (I6)"
     (Api.load_cr3_pcid nk ~pcid:3 (f0 + 1));
-  let clock = m.Machine.clock in
-  let asid_flushes () = Clock.counter clock "tlb_flush_asid" in
-  let full_flushes () = Clock.counter clock "tlb_flush_full" in
+  let trace = m.Machine.trace in
+  let asid_flushes () = Nktrace.counter_value trace Nktrace.Tlb_flush_asid in
+  let full_flushes () = Nktrace.counter_value trace Nktrace.Tlb_flush_full in
   let a0 = asid_flushes () in
   let full0 = full_flushes () in
   Helpers.check_ok "first tagged switch" (Api.load_cr3_pcid nk ~pcid:3 f0);
@@ -338,7 +340,7 @@ let test_large_leaf_downgrade_flushes_span () =
       Alcotest.(check bool) "no stale writable entry" false e.Tlb.writable
   | None -> ());
   Alcotest.(check int) "no coherence violations" 0
-    (List.length (Api.coherence_violations nk))
+    (List.length (Api.Diagnostics.Coherence.snapshot nk))
 
 let test_downgrade_scope_from_reverse_maps () =
   let m, nk, f0 = setup () in

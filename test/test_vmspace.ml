@@ -266,8 +266,8 @@ let test_asid_pool_recycling () =
     (a0 <> Asid_pool.kernel_asid);
   Alcotest.(check int) "asid stable while the slot is ours" a0
     (Option.get (Vmspace.ensure_asid env vm0));
-  let clock = k.Kernel.machine.Machine.clock in
-  let recycles () = Clock.counter clock "asid_recycle" in
+  let trace = k.Kernel.machine.Machine.trace in
+  let recycles () = Nktrace.counter_value trace (Nktrace.Custom "asid_recycle") in
   let r0 = recycles () in
   (* Exhaust the pool: each new space takes a slot, and once the free
      slots run out the pool steals one (flushing the stolen ASID). *)
