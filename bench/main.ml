@@ -642,6 +642,32 @@ let extra_latency_hist () =
         ];
     }
 
+let fault_soak () =
+  section "Extra: fault-injection soak (graceful degradation)";
+  let r = Fault_soak.run ~seed:7 () in
+  json_add "fault_soak"
+    (json_obj
+       [
+         ("seed", string_of_int r.Fault_soak.seed);
+         ("rate", Printf.sprintf "%g" r.Fault_soak.rate);
+         ("ops", string_of_int r.Fault_soak.ops);
+         ("completed", string_of_int r.Fault_soak.completed);
+         ("degraded", string_of_int r.Fault_soak.degraded);
+         ("total_injected", string_of_int r.Fault_soak.total_injected);
+         ( "injected",
+           json_obj
+             (List.map
+                (fun (site, n) -> (site, string_of_int n))
+                r.Fault_soak.injected) );
+         ("escaped_exceptions", string_of_int r.Fault_soak.escaped_exceptions);
+         ( "coherence_violations",
+           string_of_int r.Fault_soak.coherence_violations );
+         ("invariant_failures", string_of_int r.Fault_soak.invariant_failures);
+         ("survived", string_of_bool (Fault_soak.survived r));
+         ("cycles", string_of_int r.Fault_soak.cycles);
+       ]);
+  Stats.print (Fault_soak.to_table r)
+
 let attacks () =
   section "Security evaluation: attack x configuration matrix";
   List.iter
@@ -749,6 +775,7 @@ let experiments =
     ("extra-smp-scaling", extra_smp_scaling);
     ("extra-coherence", extra_coherence);
     ("extra-latency-hist", extra_latency_hist);
+    ("fault-soak", fault_soak);
     ("attacks", attacks);
     ("bechamel", bechamel);
   ]

@@ -65,6 +65,72 @@ let print_trace fmt (m : Nkhw.Machine.t) =
           snap.Nktrace.histograms
       end
 
+(* --inject sites=frame+gate+ipi-drop,rate=0.01,seed=42 — any field
+   may be omitted; [sites=all] is the default. *)
+let inject_spec =
+  let parse s =
+    try
+      let sites = ref Nkinject.all_sites in
+      let rate = ref 0.01 and seed = ref 42 in
+      List.iter
+        (fun field ->
+          if field <> "" then
+            match String.index_opt field '=' with
+            | None ->
+                failwith (Printf.sprintf "bad field %S (want key=value)" field)
+            | Some i ->
+                let key = String.sub field 0 i in
+                let v = String.sub field (i + 1) (String.length field - i - 1) in
+                (match key with
+                | "sites" ->
+                    if v = "all" then sites := Nkinject.all_sites
+                    else
+                      sites :=
+                        List.map
+                          (fun n ->
+                            match Nkinject.site_of_name n with
+                            | Some site -> site
+                            | None ->
+                                failwith
+                                  (Printf.sprintf
+                                     "unknown site %S (try: %s or all)" n
+                                     (String.concat ", "
+                                        (List.map Nkinject.site_name
+                                           Nkinject.all_sites))))
+                          (String.split_on_char '+' v)
+                | "rate" -> (
+                    match float_of_string_opt v with
+                    | Some r when r >= 0.0 && r <= 1.0 -> rate := r
+                    | _ -> failwith (Printf.sprintf "bad rate %S" v))
+                | "seed" -> (
+                    match int_of_string_opt v with
+                    | Some n -> seed := n
+                    | None -> failwith (Printf.sprintf "bad seed %S" v))
+                | k -> failwith (Printf.sprintf "unknown key %S" k)))
+        (String.split_on_char ',' s);
+      Ok (!sites, !rate, !seed)
+    with Failure msg -> Error (`Msg msg)
+  in
+  let print ppf (sites, rate, seed) =
+    Format.fprintf ppf "sites=%s,rate=%g,seed=%d"
+      (String.concat "+" (List.map Nkinject.site_name sites))
+      rate seed
+  in
+  Arg.conv (parse, print)
+
+let inject_arg =
+  Arg.(
+    value
+    & opt (some inject_spec) None
+    & info [ "inject" ] ~docv:"SPEC"
+        ~doc:"Attach the deterministic fault injector: \
+              $(b,sites=frame+gate+ipi-drop,rate=0.01,seed=42).  Sites \
+              are $(b,+)-separated injection-site names (or $(b,all)); \
+              $(b,rate) is the per-site probability per decision point; \
+              the same $(b,seed) reproduces the same fault schedule \
+              exactly.  Injected counts and the invariant audit are \
+              reported after the run.")
+
 let cpus_arg =
   Arg.(
     value
@@ -123,8 +189,13 @@ let smp_run k seed =
   done
 
 let boot_cmd =
-  let run config trace cpus sched_seed =
-    let k = Os.boot ~trace:(trace <> None) ~cpus config in
+  let run config trace cpus sched_seed inject_spec =
+    let inject =
+      Option.map
+        (fun (sites, rate, seed) -> Nkinject.create ~sites ~seed ~rate ())
+        inject_spec
+    in
+    let k = Os.boot ~trace:(trace <> None) ~cpus ?inject config in
     let m = k.Kernel.machine in
     Printf.printf "booted %s\n" (Config.name config);
     Printf.printf "  vCPUs           : %d\n" cpus;
@@ -144,12 +215,33 @@ let boot_cmd =
     | None -> Printf.printf "  nested kernel   : (none)\n");
     (match sched_seed with
     | Some seed -> smp_run k seed
-    | None -> if cpus > 1 then smp_run k Nk_workloads.Smp_scale.default_seed);
+    | None ->
+        if cpus > 1 || inject <> None then
+          smp_run k Nk_workloads.Smp_scale.default_seed);
+    (match inject with
+    | None -> ()
+    | Some inj ->
+        Printf.printf "  fault injection : seed=%d rate=%g — %d injected\n"
+          (Nkinject.seed inj) (Nkinject.rate inj)
+          (Nkinject.total_injected inj);
+        List.iter
+          (fun (site, n) ->
+            if n > 0 then Printf.printf "    %-14s %d\n" site n)
+          (Nkinject.counts inj);
+        let audit_line =
+          match k.Kernel.nk with
+          | Some nk ->
+              if Nested_kernel.Api.audit_ok nk then "invariants clean"
+              else "INVARIANT VIOLATIONS"
+          | None -> "no nested kernel"
+        in
+        Printf.printf "  post-fault audit: %s\n" audit_line);
     (match trace with None -> () | Some fmt -> print_trace fmt m);
     0
   in
   Cmd.v (Cmd.info "boot" ~doc:"Boot a kernel and report system state")
-    Term.(const run $ config $ trace_arg $ cpus_arg $ sched_seed_arg)
+    Term.(
+      const run $ config $ trace_arg $ cpus_arg $ sched_seed_arg $ inject_arg)
 
 let attack_name =
   Arg.(

@@ -63,11 +63,13 @@ let () =
   | Error f -> Format.printf "  direct label overwrite -> %a@." Fault.pp f
   | Ok () -> print_endline "  BUG: label overwritten");
   (match Mac.set_subject mac 2 15 with
-  | Error e -> Printf.printf "  mediated re-elevation  -> %s\n" e
+  | Error e ->
+      Printf.printf "  mediated re-elevation  -> %s\n" (Ktypes.errno_to_string e)
   | Ok () -> print_endline "  BUG: re-elevation accepted");
   (match Mac.set_subject mac 2 1 with
   | Ok () -> print_endline "  lowering the label is still allowed (monotone policy)"
-  | Error e -> Printf.printf "  BUG: lowering refused: %s\n" e);
+  | Error e ->
+      Printf.printf "  BUG: lowering refused: %s\n" (Ktypes.errno_to_string e));
 
   banner "Cost of the protection";
   let per_op allocator =

@@ -26,6 +26,7 @@ let attacks =
     Extensions.stale_tlb_window;
     Extensions.stale_tlb_across_asid;
     Extensions.large_page_smuggle;
+    Extensions.pheap_double_free;
   ]
 
 (* The policy-specific attacks are only stopped by their policy, as in

@@ -112,7 +112,8 @@ let mac_label_elevation =
                 Attack.Blocked
                   (Format.asprintf
                      "direct store faulted (%a); mediated raise refused: %s"
-                     Fault.pp f e)
+                     Fault.pp f
+                     (Ktypes.errno_to_string e))
             | Error _, Ok () -> (
                 match Mac.check_write mac 2 "/etc/trusted" with
                 | Ok () -> Attack.Succeeded "policy allowed re-elevation"
@@ -354,4 +355,54 @@ let large_page_smuggle =
                     else
                       Attack.Blocked
                         "span validated: the large page was forced read-only")));
+  }
+
+let pheap_double_free =
+  {
+    Attack.name = "pheap-double-free";
+    description =
+      "free the same protected-heap allocation twice, then free a forged \
+       base address, hunting for allocator-state corruption";
+    paper_ref = "3.6 (protected heap); CWE-415";
+    run =
+      (fun k ->
+        match k.Kernel.nk with
+        | None ->
+            Attack.Succeeded
+              "no protected heap: a double free splices the inline free \
+               list into an arbitrary-allocation primitive"
+        | Some nk -> (
+            match
+              Nested_kernel.Api.nk_alloc nk ~size:128
+                Nested_kernel.Policy.unrestricted
+            with
+            | Error e -> Attack.Blocked (Nested_kernel.Nk_error.to_string e)
+            | Ok (wd, va) -> (
+                (match Nested_kernel.Api.nk_free nk wd with
+                | Ok () -> ()
+                | Error _ -> ());
+                let second = Nested_kernel.Api.nk_free nk wd in
+                (* A base the heap never handed out (mid-allocation). *)
+                let forged =
+                  Nested_kernel.Pheap.free nk.Nested_kernel.State.heap (va + 8)
+                in
+                match (second, forged) with
+                | Ok (), _ ->
+                    Attack.Succeeded
+                      "second free of the same descriptor accepted"
+                | _, Ok () ->
+                    Attack.Succeeded "forged base accepted by the heap"
+                | Error _, Error _ -> (
+                    (* Both rejected; the allocator must still be sound. *)
+                    match
+                      Nested_kernel.Api.nk_alloc nk ~size:128
+                        Nested_kernel.Policy.unrestricted
+                    with
+                    | Ok _ when Nested_kernel.Api.audit_ok nk ->
+                        Attack.Blocked
+                          "double and forged frees rejected with errors; \
+                           allocator state intact"
+                    | _ ->
+                        Attack.Crashed
+                          "allocator degraded after rejected frees"))));
   }

@@ -35,3 +35,9 @@ val large_page_smuggle : Attack.t
 (** Install a writable 2 MiB mapping whose 512-frame span covers
     nested-kernel memory even though its first frame is harmless; the
     vMMU must validate the whole span. *)
+
+val pheap_double_free : Attack.t
+(** Double-free and forged-base-free probes against the protected
+    heap: both must be rejected as ordinary errors ([Descriptor_inactive],
+    [Invalid_free]) — never an exception mid-kernel — and must leave
+    the allocator's accounting intact. *)

@@ -4,21 +4,26 @@ type t = {
   free_set : Bytes.t; (* 1 = free *)
   mutable free_list : Addr.frame list;
   mutable free_count : int;
+  mutable inject : Nkinject.t option;
 }
 
 let create ~first ~count =
   if first < 0 || count <= 0 then invalid_arg "Frame_alloc.create";
   let free_set = Bytes.make count '\001' in
   let free_list = List.init count (fun i -> first + i) in
-  { first; count; free_set; free_list; free_count = count }
+  { first; count; free_set; free_list; free_count = count; inject = None }
+
+let set_inject t inj = t.inject <- inj
 
 let owns t f = f >= t.first && f < t.first + t.count
 let is_free t f = owns t f && Bytes.get t.free_set (f - t.first) = '\001'
 
 let alloc t =
-  match t.free_list with
-  | [] -> None
-  | f :: rest ->
+  if Nkinject.fire_opt t.inject Nkinject.Frame_exhausted then None
+  else
+    match t.free_list with
+    | [] -> None
+    | f :: rest ->
       t.free_list <- rest;
       Bytes.set t.free_set (f - t.first) '\000';
       t.free_count <- t.free_count - 1;

@@ -11,7 +11,12 @@ val create : first:Addr.frame -> count:int -> t
 (** Allocator owning frames [first .. first + count - 1], all free. *)
 
 val alloc : t -> Addr.frame option
-(** Pop a free frame; [None] when exhausted. *)
+(** Pop a free frame; [None] when exhausted — or when an attached
+    {!Nkinject} injector fires [Frame_exhausted] (boot wires this,
+    simulating a transiently empty pool; callers must already cope
+    with [None]). *)
+
+val set_inject : t -> Nkinject.t option -> unit
 
 val alloc_exn : t -> Addr.frame
 

@@ -8,6 +8,7 @@ type ctx = {
   cr : Cr.t;
   tlb : Tlb.t;
   mailbox : ipi Queue.t;
+  delayed : ipi Queue.t; (* injected-delay IPIs; land at the next drain *)
   mutable local_cycles : int;
   mutable shootdowns_rx : int;
   mutable halted : bool;
@@ -18,6 +19,7 @@ type t = {
   mutable cpus : ctx array; (* index = cpu_id; slot 0 is the boot CPU *)
   mutable active : cpu_id;
   mutable last_stamp : int; (* clock reading when [active] last changed *)
+  mutable inject : Nkinject.t option;
 }
 
 let ipi_counter = function
@@ -32,10 +34,25 @@ let fresh_ctx ~id ~cpu ~cr ~tlb =
     cr;
     tlb;
     mailbox = Queue.create ();
+    delayed = Queue.create ();
     local_cycles = 0;
     shootdowns_rx = 0;
     halted = false;
   }
+
+(* Delivery side effects, shared between the immediate path and the
+   deferred one: posting a shootdown into a mailbox is what the rx
+   counter tracks, and a reschedule wakes an idle CPU.  The wake-up
+   line is level-triggered, so an injected-delay [Reschedule] un-halts
+   the target at send time (see [send_ipi]) — otherwise a delayed wake
+   to a halted CPU could never be drained and would wedge the run. *)
+let deliver t c ipi =
+  Queue.push ipi c.mailbox;
+  (match ipi with
+  | Shootdown -> c.shootdowns_rx <- c.shootdowns_rx + 1
+  | Reschedule -> c.halted <- false
+  | Halt -> ());
+  Nktrace.count t.machine.Machine.trace (ipi_counter ipi)
 
 (* Broadcast shootdowns post an acknowledgement obligation into every
    peer mailbox.  The TLB invalidation itself already happened
@@ -49,11 +66,15 @@ let install_shootdown_notify t =
       (fun () ->
         Array.iter
           (fun c ->
-            if c.id <> t.active then begin
-              Queue.push Shootdown c.mailbox;
-              c.shootdowns_rx <- c.shootdowns_rx + 1;
-              Nktrace.count t.machine.Machine.trace Nktrace.Ipi_shootdown
-            end)
+            if c.id <> t.active then
+              (* The TLB invalidation was synchronous, so a dropped or
+                 delayed acknowledgement IPI degrades bookkeeping only
+                 — exactly the hardware situation the drain-before-
+                 dispatch obligation must survive. *)
+              if Nkinject.fire_opt t.inject Nkinject.Ipi_drop then ()
+              else if Nkinject.fire_opt t.inject Nkinject.Ipi_delay then
+                Queue.push Shootdown c.delayed
+              else deliver t c Shootdown)
           t.cpus)
 
 let create machine =
@@ -67,6 +88,7 @@ let create machine =
       cpus = [| boot |];
       active = 0;
       last_stamp = Clock.cycles machine.Machine.clock;
+      inject = None;
     }
   in
   machine.Machine.cur_cpu <- 0;
@@ -153,14 +175,15 @@ let with_cpu t id f =
 
 let send_ipi t ~target ipi =
   let c = ctx t target in
-  Queue.push ipi c.mailbox;
-  (match ipi with
-  | Shootdown -> c.shootdowns_rx <- c.shootdowns_rx + 1
-  | Reschedule -> c.halted <- false (* wakes an idle CPU *)
-  | Halt -> ());
-  Nktrace.count t.machine.Machine.trace (ipi_counter ipi);
+  (if Nkinject.fire_opt t.inject Nkinject.Ipi_drop then ()
+   else if Nkinject.fire_opt t.inject Nkinject.Ipi_delay then begin
+     Queue.push ipi c.delayed;
+     if ipi = Reschedule then c.halted <- false (* level-triggered wake *)
+   end
+   else deliver t c ipi);
   (* An explicit cross-CPU IPI costs a real interrupt on the sender's
-     side; broadcast shootdowns charge theirs at the flush site. *)
+     side whether or not delivery succeeds; broadcast shootdowns
+     charge theirs at the flush site. *)
   Machine.charge t.machine t.machine.Machine.costs.Costs.ipi_shootdown
 
 let drain_ipis t id =
@@ -168,7 +191,14 @@ let drain_ipis t id =
   let drained = List.rev (Queue.fold (fun acc i -> i :: acc) [] c.mailbox) in
   Queue.clear c.mailbox;
   List.iter (function Halt -> c.halted <- true | Reschedule | Shootdown -> ()) drained;
+  (* Injected-delay IPIs land now, after this drain collected the
+     mailbox — visible one drain later than an undelayed send. *)
+  Queue.iter (fun ipi -> deliver t c ipi) c.delayed;
+  Queue.clear c.delayed;
   drained
+
+let set_inject t inj = t.inject <- inj
+let pending_delayed t id = Queue.length (ctx t id).delayed
 
 type smp = t
 

@@ -30,6 +30,10 @@ type ctx = {
   cr : Cr.t;
   tlb : Tlb.t;
   mailbox : ipi Queue.t;
+  delayed : ipi Queue.t;
+      (** IPIs an {!Nkinject.Ipi_delay} fault deferred; they enter the
+          mailbox at the next drain, one drain later than an undelayed
+          send *)
   mutable local_cycles : int;
       (** cycles accumulated while this CPU was driving the machine *)
   mutable shootdowns_rx : int;  (** shootdown IPIs ever posted to this CPU *)
@@ -83,11 +87,22 @@ val with_cpu : t -> cpu_id -> (unit -> 'a) -> 'a
 val send_ipi : t -> target:cpu_id -> ipi -> unit
 (** Post an IPI into [target]'s mailbox and charge the sender one
     cross-CPU interrupt.  [Reschedule] additionally un-halts the
-    target. *)
+    target.  Under an attached injector, [Ipi_drop] loses the IPI and
+    [Ipi_delay] defers it to the target's next mailbox drain (a
+    delayed [Reschedule] still un-halts immediately — the wake-up
+    line is level-triggered); the sender is charged either way. *)
 
 val drain_ipis : t -> cpu_id -> ipi list
 (** Empty [cpu_id]'s mailbox, applying [Halt]s, and return what was
-    drained in arrival order. *)
+    drained in arrival order.  Injected-delay IPIs then move from the
+    delay queue into the (now empty) mailbox for the next drain. *)
+
+val set_inject : t -> Nkinject.t option -> unit
+(** Attach a fault injector to the IPI fabric ([Ipi_drop] /
+    [Ipi_delay] sites, covering both explicit sends and the broadcast
+    shootdown-notify hook). *)
+
+val pending_delayed : t -> cpu_id -> int
 
 type smp = t
 (** Alias so {!Executor} can name the SMP complex alongside its own [t]. *)

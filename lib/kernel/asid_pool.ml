@@ -5,23 +5,31 @@ type t = {
   slots : int array; (* stamp owning each ASID; 0 = free *)
   mutable next_stamp : int;
   mutable hand : int;
+  mutable inject : Nkinject.t option;
 }
 
 let kernel_asid = 0
 
 let create ?(size = 8) machine =
   if size < 2 then invalid_arg "Asid_pool.create: size must be at least 2";
-  { machine; slots = Array.make size 0; next_stamp = 1; hand = 1 }
+  { machine; slots = Array.make size 0; next_stamp = 1; hand = 1; inject = None }
 
 let size t = Array.length t.slots
+let set_inject t inj = t.inject <- inj
 
 let alloc t =
   let stamp = t.next_stamp in
   t.next_stamp <- stamp + 1;
   let n = Array.length t.slots in
   let rec find i = if i >= n then None else if t.slots.(i) = 0 then Some i else find (i + 1) in
+  (* An injected exhaustion pretends every slot is taken, forcing the
+     recycle path (flush + steal) that a busy system only reaches
+     under real ASID pressure. *)
+  let found =
+    if Nkinject.fire_opt t.inject Nkinject.Asid_exhausted then None else find 1
+  in
   let asid =
-    match find 1 with
+    match found with
     | Some a -> a
     | None ->
         (* Steal the slot under the clock hand.  The previous owner's

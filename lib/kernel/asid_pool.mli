@@ -30,3 +30,7 @@ val valid : t -> asid:int -> stamp:int -> bool
 
 val free : t -> asid:int -> stamp:int -> unit
 (** Release the slot if the pair still owns it. *)
+
+val set_inject : t -> Nkinject.t option -> unit
+(** Attach a fault injector; the [Asid_exhausted] site forces the
+    steal path (flush + recycle) even when free slots remain. *)

@@ -18,6 +18,7 @@ type t = {
   procs : (Ktypes.pid, Proc.t) Hashtbl.t;
   smp : Smp.t;
   running : Ktypes.pid option array;
+  inject : Nkinject.t option;
   mutable next_pid : Ktypes.pid;
   mutable legit_exits : Ktypes.pid list;
   mutable syscall_seq : int;
@@ -94,10 +95,24 @@ let boot_native_paging (m : Machine.t) falloc ~pcid =
   root
 
 let boot ?(frames = 8192) ?(batched = false) ?(pcid = true)
-    ?(coherence = false) ?(trace = false) ?(cpus = 1) config =
+    ?(coherence = false) ?(trace = false) ?(cpus = 1) ?inject config =
   if cpus < 1 then invalid_arg "Kernel.boot: cpus must be >= 1";
   let m = Machine.create ~frames () in
   if trace then Nktrace.enable m.Machine.trace;
+  (* Boot itself is not a fault target: allocations and PTE writes
+     before the kernel is up would turn an injected fault into a
+     failed boot, not a degraded run.  The injector is disarmed for
+     the duration and re-armed (to its prior state) just before
+     [boot] returns. *)
+  let inject_was_armed =
+    match inject with
+    | None -> false
+    | Some inj ->
+        let was = Nkinject.armed inj in
+        Nkinject.set_armed inj false;
+        Nkinject.set_trace inj (Some m.Machine.trace);
+        was
+  in
   let nk, falloc, backend, kernel_root =
     if Config.is_nested config then begin
       let nk = Nested_kernel.Api.boot_exn m in
@@ -125,6 +140,22 @@ let boot ?(frames = 8192) ?(batched = false) ?(pcid = true)
       (None, falloc, backend, root)
     end
   in
+  (* Every fallible subsystem holds the same injector, so one seed
+     drives one global, reproducible schedule of faults across frame
+     allocation, the IPI fabric, the ASID pool, the gates, the
+     protected heap and the MMU backend. *)
+  let backend =
+    match inject with
+    | Some inj -> Mmu_backend.with_inject inj backend
+    | None -> backend
+  in
+  (match inject with
+  | Some inj -> (
+      Frame_alloc.set_inject falloc (Some inj);
+      match nk with
+      | Some nk -> Nested_kernel.Api.set_inject nk (Some inj)
+      | None -> ())
+  | None -> ());
   if coherence then
     Coherence.enable m ~root_of_asid:backend.Mmu_backend.root_of_asid;
   (* Kernel stack for the boot CPU. *)
@@ -134,6 +165,7 @@ let boot ?(frames = 8192) ?(batched = false) ?(pcid = true)
      registers established above (WP and all) and gets its own kernel
      stack; their TLBs join the shootdown target set immediately. *)
   let smp = Smp.create m in
+  Smp.set_inject smp inject;
   for _ = 2 to cpus do
     let id = Smp.add_cpu smp in
     let ap_stack = Frame_alloc.alloc_exn falloc in
@@ -198,6 +230,9 @@ let boot ?(frames = 8192) ?(batched = false) ?(pcid = true)
       asids = (if pcid then Some (Asid_pool.create m) else None);
     }
   in
+  (match (env.Vmspace.asids, inject) with
+  | Some pool, Some _ -> Asid_pool.set_inject pool inject
+  | _ -> ());
   let t =
     {
       machine = m;
@@ -217,6 +252,7 @@ let boot ?(frames = 8192) ?(batched = false) ?(pcid = true)
       procs = Hashtbl.create 64;
       smp;
       running = Array.make cpus None;
+      inject;
       next_pid = 1;
       legit_exits = [];
       syscall_seq = 0;
@@ -244,6 +280,9 @@ let boot ?(frames = 8192) ?(batched = false) ?(pcid = true)
       | None -> ());
       ignore (load_vm_root t vm)
   | Error e -> failwith ("boot: init process: " ^ Ktypes.errno_to_string e));
+  (match inject with
+  | Some inj -> Nkinject.set_armed inj inject_was_armed
+  | None -> ());
   t
 
 (* --- processes --------------------------------------------------- *)
@@ -253,13 +292,19 @@ let boot ?(frames = 8192) ?(batched = false) ?(pcid = true)
    machine right now. *)
 let cpu_current t = t.running.(Smp.active t.smp)
 
-let current_proc t =
+(* An idle CPU has no current process — an ordinary state under the
+   SMP executor (an AP before its first dispatch, or after its queue
+   drained), not an error.  Trap and IPI handlers running there must
+   get [None], never an abort. *)
+let current_proc_opt t =
   match cpu_current t with
+  | None -> None
+  | Some pid -> Hashtbl.find_opt t.procs pid
+
+let current_proc t =
+  match current_proc_opt t with
+  | Some p -> p
   | None -> failwith "kernel: no process on this CPU"
-  | Some pid -> (
-      match Hashtbl.find_opt t.procs pid with
-      | Some p -> p
-      | None -> failwith "kernel: current process missing")
 
 let proc t pid = Hashtbl.find_opt t.procs pid
 
@@ -386,13 +431,26 @@ let syscall t (p : Proc.t) sysno args =
     (t.machine.Machine.costs.Costs.syscall_roundtrip + cost_dispatch);
   Machine.count_ev t.machine Nktrace.Syscall;
   log_sys_event t p sysno `Entry;
+  (* Dispatcher-level faults: a transient kernel failure surfaces to
+     the caller as a plain errno before the handler runs — the coarse
+     model of any mid-syscall allocation the handler would have made
+     failing at its first step. *)
+  let injected =
+    if Nkinject.fire_opt t.inject Nkinject.Sys_enomem then Some Ktypes.Enomem
+    else if Nkinject.fire_opt t.inject Nkinject.Sys_efault then
+      Some Ktypes.Efault
+    else None
+  in
   let result =
-    match Syscall_table.get t.syscall_table ~sysno with
-    | Error e -> Error e
-    | Ok id -> (
-        match Hashtbl.find_opt t.handlers id with
-        | None -> Error Ktypes.Enosys
-        | Some h -> h t p args)
+    match injected with
+    | Some e -> Error e
+    | None -> (
+        match Syscall_table.get t.syscall_table ~sysno with
+        | Error e -> Error e
+        | Ok id -> (
+            match Hashtbl.find_opt t.handlers id with
+            | None -> Error Ktypes.Enosys
+            | Some h -> h t p args))
   in
   log_sys_event t p sysno `Exit;
   Nktrace.span_end tr sp;

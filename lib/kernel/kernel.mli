@@ -27,6 +27,8 @@ type t = {
   running : Ktypes.pid option array;
       (** per-CPU dispatch slots, indexed by CPU id — the scheduling
           source of truth; there is no global current process *)
+  inject : Nkinject.t option;
+      (** the run's fault injector, shared by every wired subsystem *)
   mutable next_pid : Ktypes.pid;
   mutable legit_exits : Ktypes.pid list;
   mutable syscall_seq : int;
@@ -45,7 +47,7 @@ and syscall_log = {
 
 val boot :
   ?frames:int -> ?batched:bool -> ?pcid:bool -> ?coherence:bool ->
-  ?trace:bool -> ?cpus:int -> Config.t -> t
+  ?trace:bool -> ?cpus:int -> ?inject:Nkinject.t -> Config.t -> t
 (** Boot the machine and kernel in the given configuration.  The
     system-call table is empty; {!Syscalls.install_all} (or {!Os.boot})
     populates it.  [batched] selects the batched vMMU backend
@@ -60,7 +62,13 @@ val boot :
     tracing charges no simulated cycles either way.  [cpus] (default 1)
     brings up that many CPUs: CPU 0 boots init (pid 1), the application
     processors come up idle with their own kernel stacks, control
-    registers and TLBs, ready for {!Sched} run queues. *)
+    registers and TLBs, ready for {!Sched} run queues.  [inject]
+    attaches a deterministic fault injector ({!Nkinject}) to every
+    wired subsystem — frame allocator, IPI fabric, ASID pool, nested-
+    kernel gate and heap, MMU backend, syscall dispatcher; it is
+    disarmed for the duration of boot itself, then restored, so boot
+    always succeeds and faults start with the first post-boot
+    operation. *)
 
 val load_vm_root : t -> Vmspace.t -> (unit, Nested_kernel.Nk_error.t) result
 (** Load an address space's root through the backend, tagged with its
@@ -72,9 +80,15 @@ val load_kernel_root : t -> (unit, Nested_kernel.Nk_error.t) result
 val cpu_current : t -> Ktypes.pid option
 (** The pid last dispatched on the CPU driving the machine right now. *)
 
+val current_proc_opt : t -> Proc.t option
+(** The process running on the active CPU, or [None] when that CPU is
+    idle — an ordinary state under the SMP executor; trap and IPI
+    handlers on an idle CPU must use this, never {!current_proc}. *)
+
 val current_proc : t -> Proc.t
-(** The process running on the active CPU; raises [Failure] if that
-    CPU is idle. *)
+(** [current_proc_opt] for contexts that know a process is running
+    (e.g. right after boot on the boot CPU); raises [Failure] if the
+    CPU is in fact idle. *)
 
 val proc : t -> Ktypes.pid -> Proc.t option
 

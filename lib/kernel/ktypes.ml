@@ -12,6 +12,7 @@ type errno =
   | Eexist
   | Eacces
   | Esrch
+  | Enospc
 
 let errno_to_string = function
   | Enoent -> "ENOENT"
@@ -24,6 +25,7 @@ let errno_to_string = function
   | Eexist -> "EEXIST"
   | Eacces -> "EACCES"
   | Esrch -> "ESRCH"
+  | Enospc -> "ENOSPC"
 
 type sysarg = Int of int | Str of string | Buf of bytes
 

@@ -15,6 +15,7 @@ type errno =
   | Eexist
   | Eacces
   | Esrch
+  | Enospc  (** a fixed kernel table (e.g. the MAC label table) is full *)
 
 val errno_to_string : errno -> string
 

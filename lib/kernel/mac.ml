@@ -69,17 +69,23 @@ let subject_label_va t pid =
   if pid < 0 || pid >= max_subjects then invalid_arg "Mac: pid out of range";
   t.base + pid
 
+(* A full object table is an ordinary resource-exhaustion condition a
+   syscall must surface as ENOSPC, never a [Failure] that unwinds the
+   dispatcher mid-syscall. *)
 let object_slot t name =
   match Hashtbl.find_opt t.objects name with
-  | Some slot -> slot
+  | Some slot -> Ok slot
   | None ->
       let slot = t.next_object in
-      if max_subjects + slot >= table_bytes then failwith "Mac: object table full";
-      t.next_object <- slot + 1;
-      Hashtbl.replace t.objects name slot;
-      slot
+      if max_subjects + slot >= table_bytes then Error Ktypes.Enospc
+      else begin
+        t.next_object <- slot + 1;
+        Hashtbl.replace t.objects name slot;
+        Ok slot
+      end
 
-let object_label_va t name = t.base + max_subjects + object_slot t name
+let object_label_va t name =
+  Result.map (fun slot -> t.base + max_subjects + slot) (object_slot t name)
 
 let read_label t va =
   Machine.charge t.machine 25;
@@ -88,26 +94,39 @@ let read_label t va =
   | Error _ -> 0
 
 let write_label t va level =
-  if level < 0 || level > 15 then Error "Mac: level out of range"
+  if level < 0 || level > 15 then Error Ktypes.Einval
   else
     match t.store with
     | Plain m -> (
         (* Convention only: the code path lowers, nothing enforces it. *)
         match Machine.write_u8 m ~ring:Mmu.Supervisor va level with
         | Ok () -> Ok ()
-        | Error f -> Error (Fault.to_string f))
+        | Error _ -> Error Ktypes.Efault)
     | Protected (nk, wd) -> (
         match
           Nested_kernel.Api.nk_write nk wd ~dest:va
             (Bytes.make 1 (Char.chr level))
         with
         | Ok () -> Ok ()
-        | Error e -> Error (Nested_kernel.Nk_error.to_string e))
+        | Error (Nested_kernel.Nk_error.Policy_violation _) ->
+            Error Ktypes.Eacces
+        | Error _ -> Error Ktypes.Efault)
 
 let set_subject t pid level = write_label t (subject_label_va t pid) level
-let set_object t name level = write_label t (object_label_va t name) level
+
+let set_object t name level =
+  match object_label_va t name with
+  | Error e -> Error e
+  | Ok va -> write_label t va level
+
 let subject_level t pid = read_label t (subject_label_va t pid)
-let object_level t name = read_label t (object_label_va t name)
+
+(* Reading never allocates a slot: an unknown object is simply
+   unlabelled (level 0), even when the table is full. *)
+let object_level t name =
+  match Hashtbl.find_opt t.objects name with
+  | None -> 0
+  | Some slot -> read_label t (t.base + max_subjects + slot)
 
 let check_write t pid name =
   Machine.charge t.machine 60;

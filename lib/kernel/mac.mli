@@ -25,22 +25,30 @@ val create_protected : Nested_kernel.State.t -> (t, Nested_kernel.Nk_error.t) re
 
 val protected_labels : t -> bool
 
-val set_subject : t -> Ktypes.pid -> level -> (unit, string) result
+val set_subject : t -> Ktypes.pid -> level -> (unit, Ktypes.errno) result
 (** Through the legitimate path: levels may only be lowered once set
     (no re-elevation), mirroring integrity-model discipline.  The
-    protected variant enforces this in a mediation function; the
-    unprotected variant merely follows convention. *)
+    protected variant enforces this in a mediation function
+    ([Eacces]); the unprotected variant merely follows convention.
+    [Einval] for a level outside [0, 15], [Efault] if the label store
+    itself is unwritable. *)
 
-val set_object : t -> string -> level -> (unit, string) result
+val set_object : t -> string -> level -> (unit, Ktypes.errno) result
+(** Additionally [Enospc] when the object table is full and [name] is
+    new — a proper errno to the caller, never a mid-syscall
+    [Failure]. *)
 
 val subject_level : t -> Ktypes.pid -> level
 val object_level : t -> string -> level
-(** Unlabelled subjects/objects default to level 0. *)
+(** Unlabelled subjects/objects default to level 0.  [object_level]
+    never allocates a table slot, so it stays total even when the
+    object table is full. *)
 
 val subject_label_va : t -> Ktypes.pid -> Addr.va
-val object_label_va : t -> string -> Addr.va
+val object_label_va : t -> string -> (Addr.va, Ktypes.errno) result
 (** Where a pid's / object's label byte lives — what an attacker aims
-    a kernel write at. *)
+    a kernel write at.  Allocates the object's slot on first use;
+    [Enospc] when the table is full. *)
 
 val check_write : t -> Ktypes.pid -> string -> (unit, Ktypes.errno) result
 (** No write-up: [Eacces] when the object outranks the subject. *)

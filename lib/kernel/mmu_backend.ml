@@ -204,3 +204,23 @@ let nested_gen ~batched (st : Nested_kernel.State.t) =
 
 let nested st = nested_gen ~batched:false st
 let nested_batched st = nested_gen ~batched:true st
+
+(* Fault-injection shim: same record type, so it drops in anywhere a
+   backend goes.  Only the PTE-write operations are fallible here —
+   they are the calls a real kernel sees fail (vMMU rejection, remote
+   hypercall timeout); control-register loads stay untouched so a
+   faulted run can still switch address spaces and make progress. *)
+let with_inject inj t =
+  {
+    t with
+    write_pte =
+      (fun ~ptp ~index pte ->
+        if Nkinject.fire inj Nkinject.Pte_write_error then
+          Error (Nested_kernel.Nk_error.Injected "write_pte")
+        else t.write_pte ~ptp ~index pte);
+    write_pte_batch =
+      (fun updates ->
+        if Nkinject.fire inj Nkinject.Pte_batch_error then
+          Error (Nested_kernel.Nk_error.Injected "write_pte_batch")
+        else t.write_pte_batch updates);
+  }

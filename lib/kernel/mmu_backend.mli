@@ -53,3 +53,10 @@ val nested : Nested_kernel.State.t -> t
 val nested_batched : Nested_kernel.State.t -> t
 (** The section-5.4 extension: callers that present batches get a
     single gate crossing per batch. *)
+
+val with_inject : Nkinject.t -> t -> t
+(** Wrap any backend so [write_pte] / [write_pte_batch] can fail with
+    [Nk_error.Injected] at the injector's [Pte_write_error] /
+    [Pte_batch_error] sites.  Control-register loads, declares and
+    removes pass through untouched, so a degraded run keeps making
+    progress. *)

@@ -52,6 +52,15 @@ let share_decr env frame =
   else Hashtbl.replace env.share frame n;
   n
 
+(* Retire a PTP: the frame may only return to the allocator once the
+   vMMU has dropped its type; otherwise a later reuse as an ordinary
+   data page would alias a table the vMMU still tracks.  On a failed
+   remove the frame is leaked instead — safe, merely lost. *)
+let retire_ptp env ptp =
+  match env.backend.Mmu_backend.remove_ptp ptp with
+  | Ok () -> if Frame_alloc.owns env.falloc ptp then Frame_alloc.free env.falloc ptp
+  | Error (_ : Nested_kernel.Nk_error.t) -> ()
+
 let create env ~kernel_root =
   match Frame_alloc.alloc env.falloc with
   | None -> Error Ktypes.Enomem
@@ -78,7 +87,22 @@ let create env ~kernel_root =
                 copy (index + 1)
               else copy (index + 1)
           in
-          let* () = copy 256 in
+          match copy 256 with
+          | Error e ->
+              (* Unwind the half-copied kernel half so the root is
+                 empty again, then retire it. *)
+              for index = 256 to Addr.entries_per_table - 1 do
+                let pe =
+                  Page_table.get_entry env.machine.Machine.mem ~ptp:root ~index
+                in
+                if Pte.is_present pe then
+                  ignore
+                    (env.backend.Mmu_backend.write_pte ~ptp:root ~index
+                       Pte.empty)
+              done;
+              retire_ptp env root;
+              Error e
+          | Ok () ->
           charge env cost_region_setup;
           let asid, asid_stamp =
             match env.asids with
@@ -114,18 +138,24 @@ let ensure_pt env vm va =
       else
         match Frame_alloc.alloc env.falloc with
         | None -> Error Ktypes.Enomem
-        | Some child ->
-            let* () =
+        | Some child -> (
+            match
               oom (env.backend.Mmu_backend.declare_ptp ~level:(level - 1) child)
-            in
-            let link =
-              Pte.make ~frame:child
-                { Pte.kernel_rw with user = not (Addr.is_kernel_va va) }
-            in
-            let* () =
-              oom (env.backend.Mmu_backend.write_pte ~ptp ~index link)
-            in
-            descend child (level - 1)
+            with
+            | Error e ->
+                (* Never declared: the frame is still ordinary memory. *)
+                Frame_alloc.free env.falloc child;
+                Error e
+            | Ok () -> (
+                let link =
+                  Pte.make ~frame:child
+                    { Pte.kernel_rw with user = not (Addr.is_kernel_va va) }
+                in
+                match oom (env.backend.Mmu_backend.write_pte ~ptp ~index link) with
+                | Error e ->
+                    retire_ptp env child;
+                    Error e
+                | Ok () -> descend child (level - 1)))
   in
   descend vm.root 4
 
@@ -139,6 +169,15 @@ let install_leaf env vm va pte =
   let index = Addr.pt_index va in
   let* () = oom (env.backend.Mmu_backend.write_pte ~ptp:pt ~index pte) in
   Ok ()
+
+(* Install a freshly-allocated (unshared) frame at [va]; if the PTE
+   never lands, the frame goes straight back to the allocator. *)
+let install_fresh env vm va frame flags =
+  match install_leaf env vm va (Pte.make ~frame flags) with
+  | Ok () -> Ok ()
+  | Error e ->
+      Frame_alloc.free env.falloc frame;
+      Error e
 
 let flags_for prot kind =
   match (prot, kind) with
@@ -170,8 +209,7 @@ let populate_page env vm va region =
         | Some f -> Ok f
       in
       charge env (cost_page_insert + 100);
-      install_leaf env vm va
-        (Pte.make ~frame (flags_for region.r_prot region.r_kind))
+      install_fresh env vm va frame (flags_for region.r_prot region.r_kind)
   | Text ->
       (* Program text comes from the page cache on a warm system. *)
       let* frame =
@@ -180,18 +218,24 @@ let populate_page env vm va region =
         | Some f -> Ok f
       in
       charge env (cost_page_insert + 150);
-      install_leaf env vm va
-        (Pte.make ~frame (flags_for region.r_prot region.r_kind))
+      install_fresh env vm va frame (flags_for region.r_prot region.r_kind)
   | Anon | Stack ->
   let zero = true in
   let* frame = alloc_user_page env ~zero in
   charge env cost_page_insert;
-  install_leaf env vm va (Pte.make ~frame (flags_for region.r_prot region.r_kind))
+  install_fresh env vm va frame (flags_for region.r_prot region.r_kind)
 
 (* Batched population (section 5.4 extension): allocate and charge for
    every page first, then install all leaf entries under a single gate
    crossing. *)
 let collect_populate env vm region ~start ~len =
+  (* Frames in [acc] are allocated but not yet visible in any PTE, so
+     an unwind just hands them back. *)
+  let free_collected acc =
+    List.iter
+      (fun (_, _, pte) -> Frame_alloc.free env.falloc (Pte.frame pte))
+      acc
+  in
   let rec go va acc =
     if va >= start + len then Ok (List.rev acc)
     else
@@ -214,10 +258,21 @@ let collect_populate env vm region ~start ~len =
             charge env cost_page_insert;
             Ok f
       in
-      let* frame = frame_result in
-      let* pt = ensure_pt env vm va in
-      let pte = Pte.make ~frame (flags_for region.r_prot region.r_kind) in
-      go (va + Addr.page_size) ((pt, Addr.pt_index va, pte) :: acc)
+      match frame_result with
+      | Error e ->
+          free_collected acc;
+          Error e
+      | Ok frame -> (
+          match ensure_pt env vm va with
+          | Error e ->
+              Frame_alloc.free env.falloc frame;
+              free_collected acc;
+              Error e
+          | Ok pt ->
+              let pte =
+                Pte.make ~frame (flags_for region.r_prot region.r_kind)
+              in
+              go (va + Addr.page_size) ((pt, Addr.pt_index va, pte) :: acc))
   in
   go start []
 
@@ -230,39 +285,6 @@ let region_overlaps vm start len =
   List.exists
     (fun r -> start < r.r_start + r.r_len && r.r_start < start + len)
     vm.regions
-
-let map_region env vm ?at ~len prot kind ~populate =
-  if len <= 0 || len land (Addr.page_size - 1) <> 0 then Error Ktypes.Einval
-  else begin
-    let start =
-      match at with
-      | Some va -> va
-      | None ->
-          let va = vm.next_mmap in
-          vm.next_mmap <- va + len + Addr.page_size;
-          va
-    in
-    if (not (Addr.is_page_aligned start)) || region_overlaps vm start len then
-      Error Ktypes.Einval
-    else begin
-      let region = { r_start = start; r_len = len; r_prot = prot; r_kind = kind } in
-      vm.regions <- region :: vm.regions;
-      charge env cost_region_setup;
-      if not populate then Ok start
-      else if env.backend.Mmu_backend.batched then
-        let* updates = collect_populate env vm region ~start ~len in
-        let* () = oom (env.backend.Mmu_backend.write_pte_batch updates) in
-        Ok start
-      else
-        let rec fill va =
-          if va >= start + len then Ok start
-          else
-            let* () = populate_page env vm va region in
-            fill (va + Addr.page_size)
-        in
-        fill start
-    end
-  end
 
 let release_frame env frame =
   if share_count env frame > 1 then ignore (share_decr env frame)
@@ -312,6 +334,56 @@ let unmap_region env vm start =
         in
         drop r.r_start
 
+let map_region env vm ?at ~len prot kind ~populate =
+  if len <= 0 || len land (Addr.page_size - 1) <> 0 then Error Ktypes.Einval
+  else begin
+    let start =
+      match at with
+      | Some va -> va
+      | None ->
+          let va = vm.next_mmap in
+          vm.next_mmap <- va + len + Addr.page_size;
+          va
+    in
+    if (not (Addr.is_page_aligned start)) || region_overlaps vm start len then
+      Error Ktypes.Einval
+    else begin
+      let region = { r_start = start; r_len = len; r_prot = prot; r_kind = kind } in
+      vm.regions <- region :: vm.regions;
+      charge env cost_region_setup;
+      (* A failed populate must not leave a half-filled region behind:
+         drop the region and whatever pages did land, then report. *)
+      let unwind e =
+        ignore (unmap_region env vm start);
+        Error e
+      in
+      if not populate then Ok start
+      else if env.backend.Mmu_backend.batched then
+        match collect_populate env vm region ~start ~len with
+        | Error e -> unwind e
+        | Ok updates -> (
+            match oom (env.backend.Mmu_backend.write_pte_batch updates) with
+            | Ok () -> Ok start
+            | Error e ->
+                (* The batch never landed: the collected frames are
+                   invisible, so hand them back before unwinding. *)
+                List.iter
+                  (fun (_, _, pte) ->
+                    Frame_alloc.free env.falloc (Pte.frame pte))
+                  updates;
+                unwind e)
+      else
+        let rec fill va =
+          if va >= start + len then Ok start
+          else
+            match populate_page env vm va region with
+            | Ok () -> fill (va + Addr.page_size)
+            | Error e -> unwind e
+        in
+        fill start
+    end
+  end
+
 (* After a permission upgrade the TLB may still hold the stale
    read-only entry; flush it or the fault repeats forever. *)
 let flush_after_upgrade env va =
@@ -337,21 +409,28 @@ let handle_fault env vm va kind =
               if share_count env frame > 1 then (
                 match Frame_alloc.alloc env.falloc with
                 | None -> Error Ktypes.Enomem
-                | Some fresh ->
+                | Some fresh -> (
                     Phys_mem.frame_copy env.machine.Machine.mem ~src:frame
                       ~dst:fresh;
                     charge env env.machine.Machine.costs.Costs.page_copy;
-                    ignore (share_decr env frame);
-                    let* () =
+                    (* Swing the PTE before dropping the share: if the
+                       write fails, the old mapping is still intact and
+                       the copy goes back to the allocator. *)
+                    match
                       oom
                         (env.backend.Mmu_backend.write_pte
                            ~ptp:w.Page_table.leaf_ptp
                            ~index:w.Page_table.leaf_index
                            (Pte.make ~frame:fresh (flags_for Rw region.r_kind)))
-                    in
-                    flush_after_upgrade env va_page;
-                    Machine.count_ev env.machine Nktrace.Cow_copy;
-                    Ok ())
+                    with
+                    | Error e ->
+                        Frame_alloc.free env.falloc fresh;
+                        Error e
+                    | Ok () ->
+                        ignore (share_decr env frame);
+                        flush_after_upgrade env va_page;
+                        Machine.count_ev env.machine Nktrace.Cow_copy;
+                        Ok ()))
               else begin
                 let* () =
                   oom
@@ -367,67 +446,6 @@ let handle_fault env vm va kind =
           else if kind = Fault.Write then Error Ktypes.Efault
           else Ok ())
 
-let fork env parent =
-  let* child = create env ~kernel_root:parent.root in
-  child.regions <- parent.regions;
-  child.next_mmap <- parent.next_mmap;
-  if env.backend.Mmu_backend.batched then begin
-    (* Collect the parent downgrades and the child's shared read-only
-       installs, then apply each set under one gate crossing. *)
-    let downgrades = ref [] and installs = ref [] in
-    let failure = ref None in
-    Page_table.iter_user_leaves env.machine.Machine.mem ~root:parent.root
-      (fun ~va ~ptp ~index pte ->
-        if !failure = None then begin
-          let ro = Pte.set_writable pte false in
-          if Pte.is_writable pte then
-            downgrades := (ptp, index, ro) :: !downgrades;
-          (match ensure_pt env child va with
-          | Ok pt ->
-              installs := (pt, Addr.pt_index va, ro) :: !installs;
-              share_incr env (Pte.frame pte);
-              charge env cost_page_insert
-          | Error e -> failure := Some e)
-        end);
-    match !failure with
-    | Some e -> Error e
-    | None ->
-        let* () =
-          oom (env.backend.Mmu_backend.write_pte_batch (List.rev !downgrades))
-        in
-        let* () =
-          oom (env.backend.Mmu_backend.write_pte_batch (List.rev !installs))
-        in
-        Machine.count_ev env.machine Nktrace.Fork_vm;
-        Ok child
-  end
-  else begin
-    let failure = ref None in
-    Page_table.iter_user_leaves env.machine.Machine.mem ~root:parent.root
-      (fun ~va ~ptp ~index pte ->
-        if !failure = None then begin
-          let frame = Pte.frame pte in
-          let ro = Pte.set_writable pte false in
-          let step =
-            let* () =
-              if Pte.is_writable pte then
-                oom (env.backend.Mmu_backend.write_pte ~ptp ~index ro)
-              else Ok ()
-            in
-            let* () = install_leaf env child va ro in
-            share_incr env frame;
-            charge env cost_page_insert;
-            Ok ()
-          in
-          match step with Ok () -> () | Error e -> failure := Some e
-        end);
-    match !failure with
-    | Some e -> Error e
-    | None ->
-        Machine.count_ev env.machine Nktrace.Fork_vm;
-        Ok child
-  end
-
 (* Tear down the user half of the tree bottom-up, retiring PTPs. *)
 let retire_user_tables env vm =
   let mem = env.machine.Machine.mem in
@@ -440,9 +458,7 @@ let retire_user_tables env vm =
         if not leaf then begin
           teardown child (level - 1) ~first:0 ~last:(Addr.entries_per_table - 1);
           ignore (env.backend.Mmu_backend.write_pte ~ptp ~index Pte.empty);
-          ignore (env.backend.Mmu_backend.remove_ptp child);
-          if Frame_alloc.owns env.falloc child then
-            Frame_alloc.free env.falloc child
+          retire_ptp env child
         end
         else begin
           (* Stray leaf outside any region (shouldn't happen): drop it. *)
@@ -467,12 +483,90 @@ let destroy env vm =
     if Pte.is_present e then
       ignore (env.backend.Mmu_backend.write_pte ~ptp:vm.root ~index Pte.empty)
   done;
-  ignore (env.backend.Mmu_backend.remove_ptp vm.root);
-  if Frame_alloc.owns env.falloc vm.root then Frame_alloc.free env.falloc vm.root;
+  retire_ptp env vm.root;
   (match env.asids with
   | Some pool -> Asid_pool.free pool ~asid:vm.asid ~stamp:vm.asid_stamp
   | None -> ());
   Machine.count_ev env.machine Nktrace.Vm_destroy
+
+let fork env parent =
+  let* child = create env ~kernel_root:parent.root in
+  child.regions <- parent.regions;
+  child.next_mmap <- parent.next_mmap;
+  if env.backend.Mmu_backend.batched then begin
+    (* Collect the parent downgrades and the child's shared read-only
+       installs, then apply each set under one gate crossing. *)
+    let downgrades = ref [] and installs = ref [] in
+    let failure = ref None in
+    Page_table.iter_user_leaves env.machine.Machine.mem ~root:parent.root
+      (fun ~va ~ptp ~index pte ->
+        if !failure = None then begin
+          let ro = Pte.set_writable pte false in
+          if Pte.is_writable pte then
+            downgrades := (ptp, index, ro) :: !downgrades;
+          (match ensure_pt env child va with
+          | Ok pt ->
+              installs := (pt, Addr.pt_index va, ro) :: !installs;
+              share_incr env (Pte.frame pte);
+              charge env cost_page_insert
+          | Error e -> failure := Some e)
+        end);
+    (* Unwind a half-built child: the collected installs were never
+       written (the batch is all-or-nothing here), so their share
+       counts roll back first, then the skeleton is destroyed.  Parent
+       downgrades that did land are harmless — writes re-upgrade via
+       the spurious-COW path. *)
+    let fail e =
+      List.iter
+        (fun (_, _, pte) -> ignore (share_decr env (Pte.frame pte)))
+        !installs;
+      destroy env child;
+      Error e
+    in
+    match !failure with
+    | Some e -> fail e
+    | None -> (
+        match
+          let* () =
+            oom (env.backend.Mmu_backend.write_pte_batch (List.rev !downgrades))
+          in
+          oom (env.backend.Mmu_backend.write_pte_batch (List.rev !installs))
+        with
+        | Error e -> fail e
+        | Ok () ->
+            Machine.count_ev env.machine Nktrace.Fork_vm;
+            Ok child)
+  end
+  else begin
+    let failure = ref None in
+    Page_table.iter_user_leaves env.machine.Machine.mem ~root:parent.root
+      (fun ~va ~ptp ~index pte ->
+        if !failure = None then begin
+          let frame = Pte.frame pte in
+          let ro = Pte.set_writable pte false in
+          let step =
+            let* () =
+              if Pte.is_writable pte then
+                oom (env.backend.Mmu_backend.write_pte ~ptp ~index ro)
+              else Ok ()
+            in
+            let* () = install_leaf env child va ro in
+            share_incr env frame;
+            charge env cost_page_insert;
+            Ok ()
+          in
+          match step with Ok () -> () | Error e -> failure := Some e
+        end);
+    match !failure with
+    | Some e ->
+        (* Leaves already installed in the child carry their own share
+           counts; destroy releases them one by one. *)
+        destroy env child;
+        Error e
+    | None ->
+        Machine.count_ev env.machine Nktrace.Fork_vm;
+        Ok child
+  end
 
 let exec_reset env vm ~text_pages ~data_pages ~stack_pages =
   unmap_all env vm;

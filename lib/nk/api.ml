@@ -72,3 +72,7 @@ let denied_writes (st : t) = st.State.denied_writes
 let trap_overhead (st : t) = Gate.trap_overhead st.State.machine st.State.gate
 let nk_null st = State.with_gate st (fun () -> Ok ())
 let strict_gates (st : t) v = st.State.gate.Gate.strict <- v
+
+let set_inject (st : t) inj =
+  st.State.gate.Gate.inject <- inj;
+  Pheap.set_inject st.State.heap inj

@@ -116,3 +116,9 @@ val strict_gates : t -> bool -> unit
 (** Force every gate crossing to be interpreted instruction by
     instruction (slower, used by security tests), or allow the
     measured-cost fast path (default). *)
+
+val set_inject : t -> Nkinject.t option -> unit
+(** Attach (or detach) a fault injector to the nested kernel's own
+    fallible internals: the entry gate ([Gate_denied]) and the
+    protected heap ([Pheap_exhausted]).  Mediated PTE writes are
+    injected one layer up, in the outer kernel's [Mmu_backend]. *)

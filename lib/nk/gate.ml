@@ -13,6 +13,7 @@ type t = {
   mutable crossings : int;
   fast_saved : (int, (Addr.va * int) list) Hashtbl.t;
   mutable wp_isolation_failures : int;
+  mutable inject : Nkinject.t option;
 }
 
 let callout_entry_done = 1
@@ -102,12 +103,15 @@ let install mem ~code_base_pa ~code_base_va ~secure_stack_top =
     crossings = 0;
     fast_saved = Hashtbl.create 4;
     wp_isolation_failures = 0;
+    inject = None;
   }
 
-type crossing_error = Unexpected_stop of Exec.stop
+type crossing_error = Unexpected_stop of Exec.stop | Denied
 
-let pp_crossing_error ppf (Unexpected_stop s) =
-  Format.fprintf ppf "gate crossing stopped unexpectedly: %a" Exec.pp_stop s
+let pp_crossing_error ppf = function
+  | Unexpected_stop s ->
+      Format.fprintf ppf "gate crossing stopped unexpectedly: %a" Exec.pp_stop s
+  | Denied -> Format.pp_print_string ppf "gate entry denied (injected fault)"
 
 let interpret (m : Machine.t) va ~expect =
   m.Machine.cpu.Cpu_state.rip <- va;
@@ -142,7 +146,13 @@ let audit_peer_wp (m : Machine.t) t =
         t.wp_isolation_failures <- t.wp_isolation_failures + 1)
     m.Machine.peer_crs
 
+(* The denial fires before any crossing state is touched: no span is
+   opened, no crossing counted, WP and the stack are exactly as the
+   caller left them — the refused call simply never happened, which is
+   what lets [State.with_gate] surface it as an ordinary error. *)
 let enter (m : Machine.t) t =
+  if Nkinject.fire_opt t.inject Nkinject.Gate_denied then Error Denied
+  else begin
   t.crossings <- t.crossings + 1;
   Nktrace.span_begin m.Machine.trace Nktrace.Gate_enter;
   let cpu = m.Machine.cpu in
@@ -180,6 +190,7 @@ let enter (m : Machine.t) t =
       Nktrace.span_begin m.Machine.trace Nktrace.Gate_crossing;
       Ok ()
   | Error e -> Error e
+  end
 
 let exit_ (m : Machine.t) t =
   Nktrace.span_begin m.Machine.trace Nktrace.Gate_exit;

@@ -38,6 +38,9 @@ type t = {
       (** times a peer CPU was observed with CR0.WP clear while this
           CPU crossed a gate; must stay 0 — one CPU's open gate never
           relaxes another CPU's protection *)
+  mutable inject : Nkinject.t option;
+      (** fault injector for the [Gate_denied] site; a denied entry
+          refuses the crossing before touching any state *)
 }
 
 val callout_entry_done : int
@@ -60,11 +63,15 @@ val install :
     [code_base_pa] (boot-time, pre-paging); their virtual addresses are
     offsets from [code_base_va]. *)
 
-type crossing_error = Unexpected_stop of Exec.stop
+type crossing_error =
+  | Unexpected_stop of Exec.stop
+  | Denied  (** injected gate-entry refusal; no state was touched *)
 
 val enter : Machine.t -> t -> (unit, crossing_error) result
 (** Cross into the nested kernel.  On success the machine has WP clear,
-    interrupts disabled, and the CPU on the secure stack. *)
+    interrupts disabled, and the CPU on the secure stack.  Under an
+    attached injector the [Gate_denied] site refuses the crossing
+    up-front: WP, stack and crossing counters are untouched. *)
 
 val exit_ : Machine.t -> t -> (unit, crossing_error) result
 (** Cross back out.  On success WP is set and the caller's stack and

@@ -21,6 +21,8 @@ type t =
   | Hardware of Fault.t
   | Batch_item of { index : int; error : t }
   | Native of string
+  | Invalid_free of Addr.va
+  | Injected of string
 
 let rec pp ppf = function
   | Not_a_ptp f -> Format.fprintf ppf "frame %d is not a declared PTP" f
@@ -56,6 +58,10 @@ let rec pp ppf = function
       Format.fprintf ppf "batch update %d rejected (%a); updates 0..%d applied"
         index pp error (index - 1)
   | Native msg -> Format.pp_print_string ppf msg
+  | Invalid_free va ->
+      Format.fprintf ppf "free of %a: not the base of a live allocation"
+        Addr.pp_va va
+  | Injected op -> Format.fprintf ppf "injected fault: %s" op
 
 let to_string t = Format.asprintf "%a" pp t
 let of_string msg = Native msg

@@ -36,6 +36,13 @@ type t =
       (** an error reported by a non-mediating (native) MMU backend,
           carried verbatim so [Mmu_backend] implementations share one
           error type *)
+  | Invalid_free of Addr.va
+      (** [nk_free]/[Pheap.free] of an address that is not the base of
+          a live allocation — a double free or a forged pointer from a
+          compromised outer kernel; rejected, never fatal *)
+  | Injected of string
+      (** a fault injected by {!Nkinject} at the named operation —
+          only ever seen under deterministic fault-injection runs *)
 
 val pp : Format.formatter -> t -> unit
 

@@ -6,6 +6,7 @@ type t = {
   mutable free_list : (Addr.va * int) list; (* (start, len), address order *)
   live : (Addr.va, int) Hashtbl.t;
   mutable allocated : int;
+  mutable inject : Nkinject.t option;
 }
 
 let align8 n = (n + 7) land lnot 7
@@ -18,10 +19,15 @@ let create ~base ~size =
     free_list = [ (base, size) ];
     live = Hashtbl.create 64;
     allocated = 0;
+    inject = None;
   }
+
+let set_inject t inj = t.inject <- inj
 
 let alloc t req =
   if req <= 0 then invalid_arg "Pheap.alloc: non-positive size";
+  if Nkinject.fire_opt t.inject Nkinject.Pheap_exhausted then None
+  else
   let need = align8 req in
   let rec take = function
     | [] -> None
@@ -53,13 +59,18 @@ let rec insert_block blocks (start, len) =
       else if start < s then (start, len) :: blocks
       else (s, l) :: insert_block rest (start, len)
 
+(* A double free — or a forged base from a compromised outer kernel —
+   must be rejected, not fatal: the heap's metadata lives in protected
+   memory the attacker cannot have corrupted, so the lookup itself is
+   trustworthy evidence the address is bogus. *)
 let free t va =
   match Hashtbl.find_opt t.live va with
-  | None -> invalid_arg "Pheap.free: not a live allocation"
+  | None -> Error (Nk_error.Invalid_free va)
   | Some len ->
       Hashtbl.remove t.live va;
       t.allocated <- t.allocated - len;
-      t.free_list <- insert_block t.free_list (va, len)
+      t.free_list <- insert_block t.free_list (va, len);
+      Ok ()
 
 let block_size t va = Hashtbl.find_opt t.live va
 let allocated_bytes t = t.allocated

@@ -13,11 +13,15 @@ type t
 
 val create : base:Addr.va -> size:int -> t
 val alloc : t -> int -> Addr.va option
-(** 8-byte aligned blocks; [None] when no block fits. *)
+(** 8-byte aligned blocks; [None] when no block fits — or when an
+    attached injector fires [Pheap_exhausted]. *)
 
-val free : t -> Addr.va -> unit
-(** Raises [Invalid_argument] if [va] is not the base of a live
-    allocation. *)
+val free : t -> Addr.va -> (unit, Nk_error.t) result
+(** [Error (Invalid_free va)] if [va] is not the base of a live
+    allocation (double free, or a forged base handed up by a
+    compromised outer kernel) — rejected, never fatal. *)
+
+val set_inject : t -> Nkinject.t option -> unit
 
 val block_size : t -> Addr.va -> int option
 (** Size of the live allocation starting at [va]. *)

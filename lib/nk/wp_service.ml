@@ -83,7 +83,13 @@ let free st (wd : State.wd) =
       if not wd.State.wd_active then Error Nk_error.Descriptor_inactive
       else begin
         wd.State.wd_active <- false;
-        if wd.State.wd_from_heap then Pheap.free st.heap wd.State.wd_base;
+        (* The [wd_active] guard means a live descriptor frees its heap
+           block exactly once; an [Invalid_free] here is surfaced, not
+           fatal, and the descriptor stays retired either way. *)
+        let* () =
+          if wd.State.wd_from_heap then Pheap.free st.heap wd.State.wd_base
+          else Ok ()
+        in
         Machine.count_ev st.machine Nktrace.Nk_free;
         Ok ()
       end)

@@ -198,4 +198,50 @@ let prop_kernel_survives_fuzzing =
       | Error _ -> ());
       Nested_kernel.Api.audit_ok nk)
 
-let suite = [ prop_invariants_survive_fuzzing; prop_kernel_survives_fuzzing ]
+let prop_fuzzing_under_injection =
+  Helpers.qtest ~count:10 "fuzzing under fault injection stays graceful"
+    QCheck2.Gen.(pair (int_range 0 1000) (list_size (int_range 5 40) gen_op))
+    (fun (seed, ops) ->
+      (* The usual op mix, but every mediated path can now also fail on
+         purpose: the injector trips allocations, PTE writes and gate
+         entries at 5% while the coherence oracle watches.  Graceful
+         degradation means no exception ever escapes an op and the
+         oracle and invariant audit both stay silent. *)
+      let inj = Nkinject.create ~seed ~rate:0.05 () in
+      let k =
+        Os.boot ~frames:4096 ~coherence:true ~inject:inj Config.Perspicuos
+      in
+      let nk = Option.get k.Kernel.nk in
+      let f0 = Frame_alloc.first_frame k.Kernel.falloc + 400 in
+      let descriptors = ref [||] in
+      let escaped = ref 0 and violations = ref 0 in
+      List.iter
+        (fun op ->
+          try apply nk ~f0 descriptors op with
+          | Coherence.Violation vs -> violations := !violations + List.length vs
+          | _ -> incr escaped)
+        ops;
+      (let p = Kernel.current_proc k in
+       try
+         match Syscalls.fork k p with
+         | Ok pid ->
+             let c = Option.get (Kernel.proc k pid) in
+             ignore (Kernel.switch_to k pid);
+             (match Syscalls.exit_ k c 0 with
+             | Ok _ -> ()
+             | Error _ -> Kernel.exit_proc k c 0);
+             ignore (Kernel.switch_to k 1);
+             ignore (Syscalls.wait k p)
+         | Error _ -> ()
+       with
+       | Coherence.Violation vs -> violations := !violations + List.length vs
+       | _ -> incr escaped);
+      Nkinject.set_armed inj false;
+      !escaped = 0 && !violations = 0 && Nested_kernel.Api.audit_ok nk)
+
+let suite =
+  [
+    prop_invariants_survive_fuzzing;
+    prop_kernel_survives_fuzzing;
+    prop_fuzzing_under_injection;
+  ]

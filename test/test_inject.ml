@@ -1,0 +1,271 @@
+open Nkhw
+open Outer_kernel
+
+(* --- injector core ------------------------------------------------ *)
+
+let test_same_seed_same_schedule () =
+  let a = Nkinject.create ~seed:42 ~rate:0.2 () in
+  let b = Nkinject.create ~seed:42 ~rate:0.2 () in
+  let fire inj =
+    List.concat_map
+      (fun site -> List.init 50 (fun _ -> Nkinject.fire inj site))
+      Nkinject.all_sites
+  in
+  Alcotest.(check (list bool)) "identical firing schedule" (fire a) (fire b);
+  Alcotest.(check int) "identical totals" (Nkinject.total_injected a)
+    (Nkinject.total_injected b);
+  Alcotest.(check bool) "something actually fired" true
+    (Nkinject.total_injected a > 0)
+
+let test_masked_sites_draw_nothing () =
+  (* A decision at a masked site must not advance the PRNG: an enabled
+     site's schedule is byte-identical no matter what else is masked. *)
+  let a =
+    Nkinject.create ~sites:[ Nkinject.Frame_exhausted ] ~seed:99 ~rate:0.3 ()
+  in
+  let b =
+    Nkinject.create ~sites:[ Nkinject.Frame_exhausted ] ~seed:99 ~rate:0.3 ()
+  in
+  let hits_a =
+    List.init 64 (fun _ ->
+        (* Masked: returns false, draws nothing, counts nothing. *)
+        assert (not (Nkinject.fire a Nkinject.Gate_denied));
+        Nkinject.fire a Nkinject.Frame_exhausted)
+  in
+  let hits_b = List.init 64 (fun _ -> Nkinject.fire b Nkinject.Frame_exhausted) in
+  Alcotest.(check (list bool)) "masked draws nothing" hits_b hits_a;
+  Alcotest.(check int) "masked site never injects" 0
+    (Nkinject.injected a Nkinject.Gate_denied);
+  Alcotest.(check int) "masked site never decides" 0
+    (Nkinject.decisions a Nkinject.Gate_denied)
+
+let test_rate_extremes_and_disarm () =
+  let never = Nkinject.create ~seed:5 ~rate:0.0 () in
+  let always = Nkinject.create ~seed:5 ~rate:1.0 () in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "rate 0 never fires" false
+      (Nkinject.fire never Nkinject.Sys_enomem);
+    Alcotest.(check bool) "rate 1 always fires" true
+      (Nkinject.fire always Nkinject.Sys_enomem)
+  done;
+  Alcotest.(check int) "rate 0 still counts decisions" 100
+    (Nkinject.decisions never Nkinject.Sys_enomem);
+  let inj = Nkinject.create ~seed:5 ~rate:1.0 () in
+  Nkinject.set_armed inj false;
+  Alcotest.(check bool) "disarmed never fires" false
+    (Nkinject.fire inj Nkinject.Sys_enomem);
+  Alcotest.(check int) "disarmed never decides" 0
+    (Nkinject.decisions inj Nkinject.Sys_enomem);
+  Alcotest.(check bool) "fire_opt None is false" false
+    (Nkinject.fire_opt None Nkinject.Sys_enomem)
+
+let test_site_names_round_trip () =
+  List.iter
+    (fun site ->
+      match Nkinject.site_of_name (Nkinject.site_name site) with
+      | Some s ->
+          Alcotest.(check string) "round trip" (Nkinject.site_name site)
+            (Nkinject.site_name s)
+      | None -> Alcotest.failf "site %s unparsable" (Nkinject.site_name site))
+    Nkinject.all_sites;
+  Alcotest.(check bool) "unknown name rejected" true
+    (Nkinject.site_of_name "definitely-not-a-site" = None)
+
+(* --- zero simulated cost ------------------------------------------ *)
+
+let workload_cycles k =
+  let p = Kernel.current_proc k in
+  Helpers.check_ok_errno "execve"
+    (Syscalls.execve k p ~text_pages:8 ~data_pages:4 "/bin/sh");
+  for _ = 1 to 20 do
+    ignore (Syscalls.getpid k p)
+  done;
+  (match Syscalls.mmap k p ~len:(8 * Addr.page_size) ~rw:true ~populate:true ()
+   with
+  | Ok va -> ignore (Syscalls.munmap k p va)
+  | Error _ -> ());
+  (match Syscalls.fork k p with
+  | Ok pid ->
+      let c = Option.get (Kernel.proc k pid) in
+      ignore (Kernel.switch_to k pid);
+      ignore (Syscalls.exit_ k c 0);
+      ignore (Kernel.switch_to k p.Proc.pid);
+      ignore (Syscalls.wait k p)
+  | Error _ -> ());
+  Clock.cycles k.Kernel.machine.Machine.clock
+
+let test_rate_zero_is_cycle_free () =
+  let base = workload_cycles (Os.boot ~frames:2048 Config.Perspicuos) in
+  let inj = Nkinject.create ~seed:3 ~rate:0.0 () in
+  let wired = workload_cycles (Os.boot ~frames:2048 ~inject:inj Config.Perspicuos) in
+  Alcotest.(check int) "a silent injector charges no simulated cycles" base
+    wired;
+  Alcotest.(check bool) "but it did make decisions" true
+    (List.exists (fun s -> Nkinject.decisions inj s > 0) Nkinject.all_sites)
+
+(* --- wired sites -------------------------------------------------- *)
+
+let test_gate_denial_is_graceful () =
+  let inj = Nkinject.create ~sites:[ Nkinject.Gate_denied ] ~seed:1 ~rate:1.0 () in
+  let k = Os.boot ~frames:2048 ~inject:inj Config.Perspicuos in
+  let nk = Option.get k.Kernel.nk in
+  (match Nested_kernel.Api.nk_null nk with
+  | Ok () -> Alcotest.fail "gate denial should surface as an error"
+  | Error _ -> ());
+  let p = Kernel.current_proc k in
+  (match Syscalls.mmap k p ~len:(4 * Addr.page_size) ~rw:true ~populate:true ()
+   with
+  | Ok _ -> Alcotest.fail "populate needs the gate; expected errno"
+  | Error (_ : Ktypes.errno) -> ());
+  Alcotest.(check bool) "invariants intact under total denial" true
+    (Nested_kernel.Api.audit_ok nk);
+  Nkinject.set_armed inj false;
+  Helpers.check_ok_nk "gate works again once disarmed"
+    (Nested_kernel.Api.nk_null nk)
+
+let test_ipi_drop_and_delay () =
+  let m = Helpers.machine () in
+  let smp = Smp.create m in
+  ignore (Smp.add_cpu smp);
+  let delay = Nkinject.create ~sites:[ Nkinject.Ipi_delay ] ~seed:2 ~rate:1.0 () in
+  Smp.set_inject smp (Some delay);
+  Smp.send_ipi smp ~target:1 Smp.Reschedule;
+  Alcotest.(check int) "delayed, not in the mailbox" 0 (Smp.pending_ipis smp 1);
+  Alcotest.(check int) "parked in the delay queue" 1 (Smp.pending_delayed smp 1);
+  Alcotest.(check bool) "wake is level-triggered despite the delay" false
+    (Smp.halted smp 1);
+  (* First drain sees nothing but transfers the delayed IPIs... *)
+  Alcotest.(check int) "first drain empty" 0
+    (List.length (Smp.drain_ipis smp 1));
+  Alcotest.(check int) "transferred to the mailbox" 1 (Smp.pending_ipis smp 1);
+  (* ...so the next drain delivers them. *)
+  Alcotest.(check int) "second drain delivers" 1
+    (List.length (Smp.drain_ipis smp 1));
+  let drop = Nkinject.create ~sites:[ Nkinject.Ipi_drop ] ~seed:2 ~rate:1.0 () in
+  Smp.set_inject smp (Some drop);
+  Smp.send_ipi smp ~target:1 Smp.Reschedule;
+  Alcotest.(check int) "dropped: no mailbox entry" 0 (Smp.pending_ipis smp 1);
+  Alcotest.(check int) "dropped: no delayed entry" 0 (Smp.pending_delayed smp 1)
+
+(* --- satellite regressions ---------------------------------------- *)
+
+let test_frame_exhaustion_returns_enomem () =
+  let k = Os.boot ~frames:1024 Config.Perspicuos in
+  let p = Kernel.current_proc k in
+  let first_error = ref None in
+  (try
+     for _ = 1 to 100 do
+       match
+         Syscalls.mmap k p ~len:(64 * Addr.page_size) ~rw:true ~populate:true ()
+       with
+       | Ok _ -> ()
+       | Error e ->
+           first_error := Some e;
+           raise Exit
+     done
+   with Exit -> ());
+  (match !first_error with
+  | Some Ktypes.Enomem -> ()
+  | Some e ->
+      Alcotest.failf "expected ENOMEM, got %s" (Ktypes.errno_to_string e)
+  | None -> Alcotest.fail "1024 frames cannot back 100 x 64-page mmaps");
+  (* A failed mmap unwinds and returns its frames, so drain the last
+     of the pool with single-page mappings that stay mapped... *)
+  (try
+     for _ = 1 to 200 do
+       match Syscalls.mmap k p ~len:Addr.page_size ~rw:true ~populate:true ()
+       with
+       | Ok _ -> ()
+       | Error _ -> raise Exit
+     done
+   with Exit -> ());
+  (* ...then fork on the exhausted system must degrade the same way. *)
+  (match Syscalls.fork k p with
+  | Ok _ -> Alcotest.fail "fork should fail with no frames left"
+  | Error Ktypes.Enomem -> ()
+  | Error e ->
+      Alcotest.failf "fork: expected ENOMEM, got %s" (Ktypes.errno_to_string e));
+  Alcotest.(check bool) "invariants hold after exhaustion" true
+    (Nested_kernel.Api.audit_ok (Option.get k.Kernel.nk))
+
+let test_mac_object_table_full_is_enospc () =
+  let _, nk = Helpers.booted_nk () in
+  let mac = Result.get_ok (Mac.create_protected nk) in
+  let first_error = ref None in
+  (try
+     for i = 0 to 2100 do
+       match Mac.set_object mac (Printf.sprintf "obj-%d" i) 7 with
+       | Ok () -> ()
+       | Error e ->
+           first_error := Some (i, e);
+           raise Exit
+     done
+   with Exit -> ());
+  match !first_error with
+  | Some (i, Ktypes.Enospc) ->
+      Alcotest.(check int) "table capacity" 2048 i;
+      (* Existing labels still work after the table filled up. *)
+      Helpers.check_ok_errno "update of an existing object"
+        (Mac.set_object mac "obj-0" 3)
+  | Some (_, e) ->
+      Alcotest.failf "expected ENOSPC, got %s" (Ktypes.errno_to_string e)
+  | None -> Alcotest.fail "object table never filled"
+
+let test_current_proc_opt_idle_cpu () =
+  let k = Os.boot ~cpus:2 Config.Perspicuos in
+  Smp.activate k.Kernel.smp 1;
+  Alcotest.(check bool) "idle AP has no current process" true
+    (Kernel.current_proc_opt k = None);
+  (match Kernel.current_proc k with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "current_proc on an idle CPU must raise");
+  Smp.activate k.Kernel.smp 0;
+  match Kernel.current_proc_opt k with
+  | Some p -> Alcotest.(check int) "boot CPU still runs init" 1 p.Proc.pid
+  | None -> Alcotest.fail "boot CPU lost its process"
+
+(* --- the soak ----------------------------------------------------- *)
+
+let test_soak_deterministic () =
+  let r1 = Nk_workloads.Fault_soak.run ~ops:400 ~seed:11 () in
+  let r2 = Nk_workloads.Fault_soak.run ~ops:400 ~seed:11 () in
+  Alcotest.(check bool)
+    "same seed reproduces the identical result record (counts, per-site \
+     injections, cycles)"
+    true (r1 = r2)
+
+let test_soak_survives () =
+  let r = Nk_workloads.Fault_soak.run ~ops:800 ~rate:0.02 ~seed:5 () in
+  Alcotest.(check bool) "faults were actually injected" true
+    (r.Nk_workloads.Fault_soak.total_injected > 0);
+  Alcotest.(check int) "zero escaped exceptions" 0
+    r.Nk_workloads.Fault_soak.escaped_exceptions;
+  Alcotest.(check int) "zero coherence violations" 0
+    r.Nk_workloads.Fault_soak.coherence_violations;
+  Alcotest.(check int) "zero invariant failures" 0
+    r.Nk_workloads.Fault_soak.invariant_failures
+
+let suite =
+  [
+    Alcotest.test_case "same seed, same schedule" `Quick
+      test_same_seed_same_schedule;
+    Alcotest.test_case "masked sites draw nothing" `Quick
+      test_masked_sites_draw_nothing;
+    Alcotest.test_case "rate extremes and disarm" `Quick
+      test_rate_extremes_and_disarm;
+    Alcotest.test_case "site names round-trip" `Quick
+      test_site_names_round_trip;
+    Alcotest.test_case "rate-0 injector is cycle-free" `Quick
+      test_rate_zero_is_cycle_free;
+    Alcotest.test_case "gate denial degrades gracefully" `Quick
+      test_gate_denial_is_graceful;
+    Alcotest.test_case "IPI drop and delay" `Quick test_ipi_drop_and_delay;
+    Alcotest.test_case "frame exhaustion returns ENOMEM" `Quick
+      test_frame_exhaustion_returns_enomem;
+    Alcotest.test_case "full MAC object table returns ENOSPC" `Quick
+      test_mac_object_table_full_is_enospc;
+    Alcotest.test_case "current_proc_opt on an idle CPU" `Quick
+      test_current_proc_opt_idle_cpu;
+    Alcotest.test_case "soak is deterministic" `Quick test_soak_deterministic;
+    Alcotest.test_case "soak survives injection" `Slow test_soak_survives;
+  ]

@@ -9,7 +9,7 @@ let test_alloc_free () =
   Alcotest.(check (option int)) "block size aligned" (Some 104)
     (Pheap.block_size h a);
   Alcotest.(check int) "allocated" 104 (Pheap.allocated_bytes h);
-  Pheap.free h a;
+  Helpers.check_ok "free" (Pheap.free h a);
   Alcotest.(check int) "all free again" 1024 (Pheap.free_bytes h)
 
 let test_exhaustion () =
@@ -35,19 +35,29 @@ let test_coalescing () =
   let c = Option.get (Pheap.alloc h 88) in
   Alcotest.(check (option int)) "full" None
     (Option.map (fun _ -> 0) (Pheap.alloc h 8));
-  Pheap.free h a;
-  Pheap.free h b;
+  Helpers.check_ok "free a" (Pheap.free h a);
+  Helpers.check_ok "free b" (Pheap.free h b);
   (* Freed neighbours coalesce into one 208-byte block. *)
   let big = Pheap.alloc h 200 in
   Alcotest.(check bool) "coalesced block serves 200 bytes" true (big <> None);
-  Pheap.free h c;
-  Pheap.free h (Option.get big)
+  Helpers.check_ok "free c" (Pheap.free h c);
+  Helpers.check_ok "free big" (Pheap.free h (Option.get big))
 
 let test_bad_free () =
   let h = Pheap.create ~base ~size:128 in
-  Alcotest.check_raises "free of non-allocation"
-    (Invalid_argument "Pheap.free: not a live allocation") (fun () ->
-      Pheap.free h (base + 8))
+  (match Pheap.free h (base + 8) with
+  | Error (Nk_error.Invalid_free va) ->
+      Alcotest.(check int) "reports the bogus base" (base + 8) va
+  | Error e -> Alcotest.failf "wrong error: %s" (Nk_error.to_string e)
+  | Ok () -> Alcotest.fail "free of non-allocation accepted");
+  (* A double free is rejected the same way and leaves accounting intact. *)
+  let a = Option.get (Pheap.alloc h 16) in
+  Helpers.check_ok "first free" (Pheap.free h a);
+  (match Pheap.free h a with
+  | Error (Nk_error.Invalid_free _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Nk_error.to_string e)
+  | Ok () -> Alcotest.fail "double free accepted");
+  Alcotest.(check int) "nothing live" 0 (Pheap.allocated_bytes h)
 
 let prop_random_alloc_free =
   Helpers.qtest "random alloc/free keeps accounting exact"
@@ -60,7 +70,7 @@ let prop_random_alloc_free =
           if i mod 3 = 2 then (
             match !live with
             | (va, _) :: rest ->
-                Pheap.free h va;
+                Helpers.check_ok "free" (Pheap.free h va);
                 live := rest
             | [] -> ())
           else
