@@ -457,7 +457,19 @@ let extra_smp_shootdown () =
 
 let extra_smp_scaling () =
   section "Extra: SMP scheduler scaling (deterministic executor)";
-  let points = Smp_scale.run () in
+  (* The oracle and the invariant audit are cycle-free, so running the
+     sweep checked costs nothing in simulated time; host time around
+     the sweep gives the wallclock rate (simulated cycles per host
+     second) the JSON reports. *)
+  let host0 = Sys.time () in
+  let points = Smp_scale.run ~coherence:true () in
+  let host_secs = Sys.time () -. host0 in
+  let total_cycles =
+    List.fold_left (fun a p -> a + p.Smp_scale.cycles) 0 points
+  in
+  let wallclock =
+    if host_secs > 0. then float_of_int total_cycles /. host_secs else 0.
+  in
   let json_list items = "[" ^ String.concat ", " items ^ "]" in
   json_add "smp_scaling"
     (json_obj
@@ -467,6 +479,7 @@ let extra_smp_scaling () =
              (match points with
              | p :: _ -> p.Smp_scale.seed
              | [] -> Smp_scale.default_seed) );
+         ("wallclock", Printf.sprintf "%.0f" wallclock);
          ( "points",
            json_list
              (List.map
@@ -483,8 +496,19 @@ let extra_smp_scaling () =
                         json_list
                           (List.map string_of_int p.Smp_scale.shootdowns) );
                       ("ipi_shootdowns", string_of_int p.Smp_scale.ipis);
+                      ("shootdown_sent", string_of_int p.Smp_scale.sent);
+                      ( "shootdown_filtered",
+                        string_of_int p.Smp_scale.filtered );
+                      ( "shootdown_coalesced",
+                        string_of_int p.Smp_scale.coalesced );
+                      ("flush_deferred", string_of_int p.Smp_scale.deferred);
+                      ("flush_on_reuse", string_of_int p.Smp_scale.reuse);
                       ("steals", string_of_int p.Smp_scale.steals);
                       ("migrations", string_of_int p.Smp_scale.migrations);
+                      ( "oracle_violations",
+                        string_of_int p.Smp_scale.oracle_violations );
+                      ( "audit_failures",
+                        string_of_int p.Smp_scale.audit_failures );
                     ])
                 points) );
        ]);

@@ -186,7 +186,18 @@ let smp_run k seed =
       (String.concat ";" (List.map string_of_int (Sched.queue_of sched id)))
       (Nkhw.Smp.local_cycles k.Kernel.smp id)
       (Nkhw.Smp.shootdowns_rx k.Kernel.smp id)
-  done
+  done;
+  let counter ev =
+    Nktrace.counter_value k.Kernel.machine.Nkhw.Machine.trace ev
+  in
+  Printf.printf
+    "  shootdowns      : sent=%d filtered=%d coalesced=%d\n"
+    (counter Nktrace.Shootdown_sent)
+    (counter Nktrace.Shootdown_filtered)
+    (counter Nktrace.Shootdown_coalesced);
+  Printf.printf "  lazy flushes    : deferred=%d fired-on-reuse=%d\n"
+    (counter Nktrace.Flush_deferred)
+    (counter Nktrace.Flush_on_reuse)
 
 let boot_cmd =
   let run config trace cpus sched_seed inject_spec =

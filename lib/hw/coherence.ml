@@ -111,8 +111,10 @@ let () =
    entries are skipped.  Global entries hit under every ASID; kernel
    mappings are identical in every root, so the active root audits
    them. *)
-let check_machine ?(root_of_asid = fun _ -> None) ?(op = "audit")
-    (m : Machine.t) =
+let no_deferred ~vpage:_ (_ : Tlb.entry) = false
+
+let check_machine ?(root_of_asid = fun _ -> None)
+    ?(deferred = no_deferred) ?(op = "audit") (m : Machine.t) =
   if not (Cr.paging_enabled m.Machine.cr) then []
   else begin
     let active_root = Cr.root_frame m.Machine.cr in
@@ -135,6 +137,12 @@ let check_machine ?(root_of_asid = fun _ -> None) ?(op = "audit")
               in
               match stale_reason e walked with
               | None -> ()
+              (* A pending lazy invalidation is a declared, bounded
+                 staleness: the nested kernel queued the flush and
+                 guarantees it fires before the frame is reused.  The
+                 exemption is as narrow as the queue entry — (vpage,
+                 old frame) must both match. *)
+              | Some _ when deferred ~vpage e -> ()
               | Some why ->
                   violations :=
                     {
@@ -155,7 +163,7 @@ let check_machine ?(root_of_asid = fun _ -> None) ?(op = "audit")
 
 (* Targeted audit of the one translation the MMU just served: O(1), so
    it can run after every access without making the fuzzer quadratic. *)
-let check_va ?(op = "access") (m : Machine.t) va =
+let check_va ?(deferred = no_deferred) ?(op = "access") (m : Machine.t) va =
   if not (Cr.paging_enabled m.Machine.cr) then []
   else
     let vpage = Addr.vpage va in
@@ -168,6 +176,7 @@ let check_va ?(op = "access") (m : Machine.t) va =
         in
         match stale_reason e walked with
         | None -> []
+        | Some _ when deferred ~vpage e -> []
         | Some why ->
             [
               {
@@ -181,7 +190,7 @@ let check_va ?(op = "access") (m : Machine.t) va =
               };
             ])
 
-let enable ?root_of_asid ?on_violation (m : Machine.t) =
+let enable ?root_of_asid ?deferred ?on_violation (m : Machine.t) =
   let checking = ref false in
   let hook ~op ~va =
     (* Mid-gate the PTE write and its shootdown are two steps; the
@@ -195,8 +204,8 @@ let enable ?root_of_asid ?on_violation (m : Machine.t) =
         (fun () ->
           let vs =
             match va with
-            | Some va -> check_va ~op m va
-            | None -> check_machine ?root_of_asid ~op m
+            | Some va -> check_va ?deferred ~op m va
+            | None -> check_machine ?root_of_asid ?deferred ~op m
           in
           if vs <> [] then
             match on_violation with

@@ -44,6 +44,7 @@ val reference_translate :
 
 val check_machine :
   ?root_of_asid:(int -> Addr.frame option) ->
+  ?deferred:(vpage:int -> Tlb.entry -> bool) ->
   ?op:string ->
   Machine.t ->
   violation list
@@ -51,24 +52,34 @@ val check_machine :
     the active ASID (and globals) are checked against the CR3 root;
     other ASIDs are resolved via [root_of_asid] and skipped when it
     returns [None] — an unresolvable ASID is unreachable, since
-    rebinding a PCID flushes it first.  Returns all violations found
-    (never raises). *)
+    rebinding a PCID flushes it first.  [deferred] exempts entries the
+    nested kernel has a pending lazy invalidation for (it guarantees
+    the flush fires before the frame is reused); the predicate should
+    match as narrowly as the queue entry — vpage {e and} cached frame.
+    Returns all violations found (never raises). *)
 
-val check_va : ?op:string -> Machine.t -> Addr.va -> violation list
+val check_va :
+  ?deferred:(vpage:int -> Tlb.entry -> bool) ->
+  ?op:string ->
+  Machine.t ->
+  Addr.va ->
+  violation list
 (** Targeted check of the cached translation covering [va] on the
     active CPU, against the CR3 root.  O(1). *)
 
 val enable :
   ?root_of_asid:(int -> Addr.frame option) ->
+  ?deferred:(vpage:int -> Tlb.entry -> bool) ->
   ?on_violation:(violation list -> unit) ->
   Machine.t ->
   unit
 (** Install the oracle on [m]'s hooks.  Checks are suppressed while
     [m.in_nested_kernel] is set — mid-gate, a PTE write and its
     shootdown are two steps with a legitimately incoherent window
-    between them; the gate exit fires a full audit instead.  On a
-    violation, calls [on_violation] if given, otherwise raises
-    {!Violation}. *)
+    between them; the gate exit fires a full audit instead.
+    [deferred] exempts declared lazy-invalidation entries (see
+    {!check_machine}).  On a violation, calls [on_violation] if given,
+    otherwise raises {!Violation}. *)
 
 val disable : Machine.t -> unit
 val enabled : Machine.t -> bool

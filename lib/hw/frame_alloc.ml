@@ -5,15 +5,28 @@ type t = {
   mutable free_list : Addr.frame list;
   mutable free_count : int;
   mutable inject : Nkinject.t option;
+  mutable on_alloc : (Addr.frame -> unit) option;
+      (* fired after a frame is handed out: the nested kernel hooks
+         this to flush deferred TLB invalidations before the frame can
+         gain new content *)
 }
 
 let create ~first ~count =
   if first < 0 || count <= 0 then invalid_arg "Frame_alloc.create";
   let free_set = Bytes.make count '\001' in
   let free_list = List.init count (fun i -> first + i) in
-  { first; count; free_set; free_list; free_count = count; inject = None }
+  {
+    first;
+    count;
+    free_set;
+    free_list;
+    free_count = count;
+    inject = None;
+    on_alloc = None;
+  }
 
 let set_inject t inj = t.inject <- inj
+let set_on_alloc t f = t.on_alloc <- f
 
 let owns t f = f >= t.first && f < t.first + t.count
 let is_free t f = owns t f && Bytes.get t.free_set (f - t.first) = '\001'
@@ -27,6 +40,7 @@ let alloc t =
       t.free_list <- rest;
       Bytes.set t.free_set (f - t.first) '\000';
       t.free_count <- t.free_count - 1;
+      (match t.on_alloc with None -> () | Some hook -> hook f);
       Some f
 
 let alloc_exn t =

@@ -18,6 +18,13 @@ val alloc : t -> Addr.frame option
 
 val set_inject : t -> Nkinject.t option -> unit
 
+val set_on_alloc : t -> (Addr.frame -> unit) option -> unit
+(** Hook fired with each frame as {!alloc}/{!alloc_exn} hands it out,
+    after the allocator's own bookkeeping.  The nested kernel uses it
+    to flush any deferred TLB invalidation still pending on the frame
+    {e before} the new owner can give it content — the reuse barrier
+    lazy unmap invalidation relies on. *)
+
 val alloc_exn : t -> Addr.frame
 
 val free : t -> Addr.frame -> unit

@@ -1,5 +1,15 @@
 type smm_owner = Smm_nested_kernel | Smm_unprotected
 
+(* Shootdown target scope.  [Broadcast] is the legacy behaviour: every
+   peer CPU is flushed and charged an IPI.  [Asids asids] targets only
+   the CPUs the residency table says have run one of those ASIDs since
+   their last flush of it — plus any parked TLB whose occupancy probe
+   still finds a live entry in the flushed range, so filtering can
+   never skip a CPU that actually caches the translation (the
+   parked-peer guarantee is preserved unconditionally, not just when
+   the residency bookkeeping is right). *)
+type shootdown_scope = Broadcast | Asids of int list
+
 type t = {
   mem : Phys_mem.t;
   mutable cr : Cr.t;
@@ -11,6 +21,11 @@ type t = {
   mutable cur_cpu : int;
   mutable peer_tlbs : Tlb.t list;
   mutable peer_crs : Cr.t list;
+  mutable peer_ids : int list;
+  asid_residency : (int, int) Hashtbl.t;
+  mutable global_residency : int;
+  mutable res_memo_asid : int;
+  mutable res_memo_cpu : int;
   msrs : (int, int) Hashtbl.t;
   mutable idtr : Addr.va option;
   mutable pending_interrupts : int list;
@@ -19,7 +34,7 @@ type t = {
   mutable in_nested_kernel : bool;
   mutable last_trap : (int * Fault.t option) option;
   mutable coherence_hook : (op:string -> va:Addr.va option -> unit) option;
-  mutable shootdown_notify : (unit -> unit) option;
+  mutable shootdown_notify : (targets:int list -> unit) option;
   trace : Nktrace.t;
 }
 
@@ -41,6 +56,11 @@ let create ?(frames = 8192) ?(costs = Costs.default) () =
     msrs = Hashtbl.create 8;
     peer_tlbs = [];
     peer_crs = [];
+    peer_ids = [];
+    asid_residency = Hashtbl.create 16;
+    global_residency = 0;
+    res_memo_asid = -1;
+    res_memo_cpu = -1;
     idtr = None;
     pending_interrupts = [];
     smm_owner = Smm_unprotected;
@@ -69,19 +89,93 @@ let count_ev t ev = Nktrace.count t.trace ev
 let coherence_check t ~op =
   match t.coherence_hook with None -> () | Some f -> f ~op ~va:None
 
-(* Host-side bookkeeping hook fired once per broadcast shootdown: the
-   SMP layer uses it to post [Shootdown] IPIs into peer mailboxes.  It
-   must never charge cycles — the per-peer [ipi_shootdown] charge at
-   the call sites already accounts for the hardware cost, and benches
-   pin oracle-off runs to be cycle-identical with the hook installed
-   or not. *)
-let shootdown_broadcast t =
-  match t.shootdown_notify with None -> () | Some f -> f ()
+(* Host-side bookkeeping hook fired once per shootdown with the list
+   of peer CPU ids that were actually flushed: the SMP layer uses it
+   to post [Shootdown] IPIs into exactly those mailboxes.  It must
+   never charge cycles — the per-peer [ipi_shootdown] charge at the
+   call sites already accounts for the hardware cost, and benches pin
+   oracle-off runs to be cycle-identical with the hook installed or
+   not. *)
+let shootdown_notify_targets t targets =
+  if targets <> [] then
+    match t.shootdown_notify with None -> () | Some f -> f ~targets
+
+(* --- per-ASID CPU residency --------------------------------------- *)
+
+(* [asid_residency] maps ASID -> bitmask of CPUs that have run under
+   that ASID since their last flush of it; [global_residency] is the
+   mask of CPUs that may cache global entries.  The tables are updated
+   from the access path (memoized per (asid, active CPU), so the hot
+   path is two integer compares) and cleared by the flush operations,
+   which is what lets ASID-scoped shootdowns skip CPUs a process never
+   visited.  Over-approximation is always sound — a spurious bit costs
+   one extra IPI, never a stale translation — and the occupancy probe
+   in the shootdown paths backstops any under-approximation. *)
+
+let reset_residency_memo t =
+  t.res_memo_asid <- -1;
+  t.res_memo_cpu <- -1
+
+let note_residency t =
+  if Cr.paging_enabled t.cr then begin
+    let asid = Cr.asid t.cr in
+    if asid <> t.res_memo_asid || t.cur_cpu <> t.res_memo_cpu then begin
+      let bit = 1 lsl t.cur_cpu in
+      let cur =
+        Option.value (Hashtbl.find_opt t.asid_residency asid) ~default:0
+      in
+      Hashtbl.replace t.asid_residency asid (cur lor bit);
+      t.global_residency <- t.global_residency lor bit;
+      t.res_memo_asid <- asid;
+      t.res_memo_cpu <- t.cur_cpu
+    end
+  end
+
+(* Explicit residency note at a CR3 load: the CPU is about to run
+   under this ASID, so it joins the target set before the first access
+   fills anything. *)
+let note_asid_active t =
+  reset_residency_memo t;
+  note_residency t
+
+let resident t ~asid cpu =
+  match Hashtbl.find_opt t.asid_residency asid with
+  | Some mask -> mask land (1 lsl cpu) <> 0
+  | None -> false
+
+let residency t ~asid =
+  Option.value (Hashtbl.find_opt t.asid_residency asid) ~default:0
+
+(* CPU [cpu] just lost its non-global entries (CR3-reload-style flush):
+   drop its bit from every ASID mask; [globals_too] also clears its
+   global-residency bit. *)
+let clear_cpu_residency t ~globals_too cpu =
+  let bit = lnot (1 lsl cpu) in
+  let keys = Hashtbl.fold (fun k mask acc -> (k, mask) :: acc) t.asid_residency [] in
+  List.iter
+    (fun (k, mask) ->
+      let mask = mask land bit in
+      if mask = 0 then Hashtbl.remove t.asid_residency k
+      else Hashtbl.replace t.asid_residency k mask)
+    keys;
+  if globals_too then t.global_residency <- t.global_residency land bit;
+  reset_residency_memo t
+
+let clear_asid_residency t ~asid cpu =
+  let bit = lnot (1 lsl cpu) in
+  (match Hashtbl.find_opt t.asid_residency asid with
+  | None -> ()
+  | Some mask ->
+      let mask = mask land bit in
+      if mask = 0 then Hashtbl.remove t.asid_residency asid
+      else Hashtbl.replace t.asid_residency asid mask);
+  reset_residency_memo t
 
 let coherence_check_va t ~op va =
   match t.coherence_hook with None -> () | Some f -> f ~op ~va:(Some va)
 
 let translate t ~ring ~kind va =
+  note_residency t;
   match Mmu.access t.mem t.cr t.tlb ~ring ~kind va with
   | Ok { pa; tlb_hit } ->
       charge t (if tlb_hit then t.costs.mem_insn else t.costs.mem_insn + t.costs.tlb_miss_walk);
@@ -120,6 +214,7 @@ let write_u64 t ~ring va v =
    once and charging bulk-copy costs rather than per-word costs. *)
 let bulk t ~ring ~kind va len f =
   if len < 0 then invalid_arg "Machine: negative length";
+  note_residency t;
   let rec go va remaining off =
     if remaining = 0 then Ok ()
     else
@@ -155,61 +250,126 @@ let kwrite_bytes t va b = write_bytes t ~ring:Mmu.Supervisor va b
 
 let flush_full t =
   Tlb.flush_all t.tlb;
+  clear_cpu_residency t ~globals_too:false t.cur_cpu;
   charge t t.costs.Costs.tlb_flush_full;
   count_ev t Nktrace.Tlb_flush_full;
   coherence_check t ~op:"flush_full"
 
 let flush_asid t ~asid =
   Tlb.flush_asid t.tlb ~asid;
+  clear_asid_residency t ~asid t.cur_cpu;
   charge t t.costs.Costs.invpcid;
   count_ev t Nktrace.Tlb_flush_asid;
   coherence_check t ~op:"flush_asid"
 
+(* Shared peer loop for the shootdown family: flush (and charge the
+   IPI for) exactly the peers the scope targets.  Under [Broadcast]
+   that is every peer; under [Asids asids] a peer is targeted when the
+   residency table says it ran one of those ASIDs — or, the soundness
+   backstop, when its TLB demonstrably still holds a live entry the
+   flush must kill ([occupied]).  A peer whose id is unknown (a
+   hand-assembled peer list outside {!Smp}) is always targeted.
+   Returns the flushed peer ids for the notify hook. *)
+let shoot_peers t ~scope ~occupied ~flush =
+  let rec zip tlbs ids =
+    match (tlbs, ids) with
+    | [], _ -> []
+    | tlb :: ts, [] -> (tlb, None) :: zip ts []
+    | tlb :: ts, id :: is -> (tlb, Some id) :: zip ts is
+  in
+  let targets = ref [] in
+  List.iter
+    (fun (tlb, id) ->
+      let targeted =
+        match scope with
+        | Broadcast -> true
+        | Asids asids -> (
+            match id with
+            | None -> true
+            | Some id ->
+                List.exists (fun a -> resident t ~asid:a id) asids
+                || occupied tlb)
+      in
+      if targeted then begin
+        flush tlb;
+        charge t t.costs.Costs.ipi_shootdown;
+        count_ev t Nktrace.Shootdown_sent;
+        match id with Some id -> targets := id :: !targets | None -> ()
+      end
+      else count_ev t Nktrace.Shootdown_filtered)
+    (zip t.peer_tlbs t.peer_ids);
+  List.rev !targets
+
 (* INVLPG reaches every ASID and the globals, so a single-page
    shootdown needs no extra cross-ASID work. *)
-let shootdown_page t ~vpage =
+let shootdown_page ?(scope = Broadcast) t ~vpage =
   Tlb.flush_page t.tlb ~vpage;
   charge t t.costs.Costs.invlpg;
   count_ev t Nktrace.Tlb_flush_page;
-  List.iter
-    (fun tlb ->
-      Tlb.flush_page tlb ~vpage;
-      charge t t.costs.Costs.ipi_shootdown)
-    t.peer_tlbs;
-  shootdown_broadcast t;
+  let targets =
+    shoot_peers t ~scope
+      ~occupied:(fun tlb -> Tlb.holds_span tlb ~vpage ~count:1)
+      ~flush:(fun tlb -> Tlb.flush_page tlb ~vpage)
+  in
+  shootdown_notify_targets t targets;
   coherence_check t ~op:"shootdown_page"
 
 (* Range shootdown for a large-leaf downgrade: the MMU caches each of
    the 512 constituent 4 KiB translations separately, so one INVLPG
    per page is the honest model — capped at the cost of a full flush,
    which is what a real kernel would fall back to. *)
-let shootdown_span t ~vpage ~count:n =
+let shootdown_span ?(scope = Broadcast) t ~vpage ~count:n =
   Tlb.flush_span t.tlb ~vpage ~count:n;
   charge t (min (n * t.costs.Costs.invlpg) t.costs.Costs.tlb_flush_full);
   count_ev t Nktrace.Tlb_flush_span;
-  List.iter
-    (fun tlb ->
-      Tlb.flush_span tlb ~vpage ~count:n;
-      charge t t.costs.Costs.ipi_shootdown)
-    t.peer_tlbs;
-  shootdown_broadcast t;
+  let targets =
+    shoot_peers t ~scope
+      ~occupied:(fun tlb -> Tlb.holds_span tlb ~vpage ~count:n)
+      ~flush:(fun tlb -> Tlb.flush_span tlb ~vpage ~count:n)
+  in
+  shootdown_notify_targets t targets;
   coherence_check t ~op:"shootdown_span"
 
 (* A broadcast shootdown backs protection downgrades whose VA is
    unknown; it must kill stale translations in every ASID {e and} the
    global set, or a downgraded kernel mapping could survive in the
-   TLB. *)
+   TLB.  Residency filtering never applies here — with no VA there is
+   nothing to probe occupancy against. *)
 let shootdown_all t =
   Tlb.flush_global_too t.tlb;
+  clear_cpu_residency t ~globals_too:true t.cur_cpu;
   charge t t.costs.Costs.tlb_flush_full;
   count_ev t Nktrace.Tlb_flush_full;
-  List.iter
-    (fun tlb ->
-      Tlb.flush_global_too tlb;
-      charge t t.costs.Costs.ipi_shootdown)
-    t.peer_tlbs;
-  shootdown_broadcast t;
+  let targets =
+    shoot_peers t ~scope:Broadcast
+      ~occupied:(fun _ -> true)
+      ~flush:(fun tlb -> Tlb.flush_global_too tlb)
+  in
+  (* Every flushed peer lost all entries, globals included. *)
+  List.iter (fun id -> clear_cpu_residency t ~globals_too:true id) targets;
+  shootdown_notify_targets t targets;
   coherence_check t ~op:"shootdown_all"
+
+(* ASID-wide shootdown: the remote-capable [flush_asid] a PCID rebind
+   or ASID-pool steal needs.  A local-only INVPCID would leave a
+   parked peer's entries under this ASID live; when the ASID is then
+   re-bound to another root, those entries alias the wrong address
+   space — so flush the ASID on every CPU that is resident for it (or
+   whose TLB demonstrably still holds it), then retire the residency
+   mask entirely. *)
+let shootdown_asid t ~asid =
+  Tlb.flush_asid t.tlb ~asid;
+  charge t t.costs.Costs.invpcid;
+  count_ev t Nktrace.Tlb_flush_asid;
+  let targets =
+    shoot_peers t ~scope:(Asids [ asid ])
+      ~occupied:(fun tlb -> Tlb.holds_asid tlb ~asid)
+      ~flush:(fun tlb -> Tlb.flush_asid tlb ~asid)
+  in
+  Hashtbl.remove t.asid_residency asid;
+  reset_residency_memo t;
+  shootdown_notify_targets t targets;
+  coherence_check t ~op:"shootdown_asid"
 
 let raise_interrupt t vector =
   t.pending_interrupts <- t.pending_interrupts @ [ vector ]

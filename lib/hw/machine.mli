@@ -11,6 +11,16 @@ type smm_owner =
   | Smm_nested_kernel  (** the nested kernel controls the SMI handler *)
   | Smm_unprotected  (** anybody may install an SMI handler (native) *)
 
+(** Shootdown target scope.  [Broadcast] flushes (and charges an IPI
+    for) every peer CPU — the legacy behaviour, and the only sound
+    choice when the affected VA range may carry kernel/global
+    mappings.  [Asids asids] targets only the CPUs the residency
+    bookkeeping says have run one of those ASIDs since last flushing
+    it, {e plus} any parked TLB whose occupancy probe still finds a
+    live entry in the flushed range — so filtering can never skip a
+    CPU that actually caches the translation. *)
+type shootdown_scope = Broadcast | Asids of int list
+
 type t = {
   mem : Phys_mem.t;
   mutable cr : Cr.t;  (** the {e active} CPU's control registers *)
@@ -29,6 +39,21 @@ type t = {
   mutable peer_crs : Cr.t list;
       (** control registers of the other (inactive) CPUs; the gate's
           WP-isolation invariant audits these *)
+  mutable peer_ids : int list;
+      (** CPU ids matching [peer_tlbs] position-for-position; {!Smp}
+          maintains it so scoped shootdowns can consult residency and
+          report which peers were actually IPI'd *)
+  asid_residency : (int, int) Hashtbl.t;
+      (** ASID -> bitmask of CPUs that have run under that ASID since
+          their last flush of it; drives ASID-scoped shootdown
+          targeting.  Over-approximation is sound (costs an IPI, never
+          a stale entry) *)
+  mutable global_residency : int;
+      (** bitmask of CPUs that may cache global entries *)
+  mutable res_memo_asid : int;
+      (** memo of the last (asid, cpu) noted, so the hot access path
+          pays two integer compares; [-1] = invalid *)
+  mutable res_memo_cpu : int;
   msrs : (int, int) Hashtbl.t;
   mutable idtr : Addr.va option;  (** base VA of the 256-entry IDT *)
   mutable pending_interrupts : int list;
@@ -44,10 +69,12 @@ type t = {
       (** differential-oracle callback (see {!Coherence}); [None] by
           default, in which case every check site is a single match
           with zero cost *)
-  mutable shootdown_notify : (unit -> unit) option;
-      (** fired once per broadcast shootdown so the SMP layer can post
-          [Shootdown] IPIs into peer mailboxes.  Pure host-side
-          bookkeeping: must never charge simulated cycles *)
+  mutable shootdown_notify : (targets:int list -> unit) option;
+      (** fired once per shootdown with the peer CPU ids actually
+          flushed, so the SMP layer can post [Shootdown] IPIs into
+          exactly those mailboxes.  Not fired when filtering leaves no
+          targets.  Pure host-side bookkeeping: must never charge
+          simulated cycles *)
   trace : Nktrace.t;
       (** typed event tracer, cycle source wired to [clock]; disabled
           by default, in which case every emission site is one boolean
@@ -90,26 +117,51 @@ val kwrite_bytes : t -> Addr.va -> bytes -> (unit, Fault.t) result
 
 val flush_full : t -> unit
 (** Local CR3-reload-style flush: non-global entries of every ASID.
-    Charges [tlb_flush_full] and counts ["tlb_flush_full"]. *)
+    Charges [tlb_flush_full], counts ["tlb_flush_full"] and drops the
+    current CPU from every ASID's residency mask. *)
 
 val flush_asid : t -> asid:int -> unit
-(** Local INVPCID single-context flush.  Charges [invpcid] and counts
-    ["tlb_flush_asid"]. *)
+(** Local INVPCID single-context flush.  Charges [invpcid], counts
+    ["tlb_flush_asid"] and drops the current CPU from that ASID's
+    residency mask. *)
 
-val shootdown_page : t -> vpage:int -> unit
-(** Flush one page from the local TLB and IPI every peer CPU to do the
-    same (charging the per-peer shootdown cost). *)
+val shootdown_page : ?scope:shootdown_scope -> t -> vpage:int -> unit
+(** Flush one page from the local TLB and IPI the peer CPUs in [scope]
+    (default [Broadcast]) to do the same, charging the per-peer
+    shootdown cost for each peer actually flushed and counting
+    ["shootdown_sent"]/["shootdown_filtered"] per peer. *)
 
-val shootdown_span : t -> vpage:int -> count:int -> unit
-(** Flush [count] consecutive pages locally and on every peer — the
-    shootdown a 2 MiB-leaf downgrade needs, since its constituent 4 KiB
-    translations are cached individually.  Charges per-page INVLPG cost
-    capped at one full flush, and counts ["tlb_flush_span"]. *)
+val shootdown_span : ?scope:shootdown_scope -> t -> vpage:int -> count:int -> unit
+(** Flush [count] consecutive pages locally and on every targeted peer
+    — the shootdown a 2 MiB-leaf downgrade needs, since its constituent
+    4 KiB translations are cached individually.  Charges per-page
+    INVLPG cost capped at one full flush, and counts
+    ["tlb_flush_span"]. *)
 
 val shootdown_all : t -> unit
 (** Full local flush — all ASIDs {e and} global entries, since a
     downgrade with unknown VA may affect kernel mappings — plus a
-    broadcast shootdown. *)
+    broadcast shootdown.  Always broadcast: with no VA there is
+    nothing to filter against.  Clears residency (globals included)
+    for the local CPU and every flushed peer. *)
+
+val shootdown_asid : t -> asid:int -> unit
+(** Remote-capable {!flush_asid}: flush the ASID locally and on every
+    peer CPU that is resident for it (or whose parked TLB still holds
+    a live entry under it), then retire the ASID's residency mask.
+    Required before re-binding an ASID to a different root — a
+    local-only INVPCID would leave parked peers caching translations
+    for the old address space under the recycled tag. *)
+
+val note_asid_active : t -> unit
+(** Record the active (CPU, ASID) pair in the residency table —
+    called at CR3 loads so the CPU joins the shootdown target set
+    before its first access fills anything.  Free of simulated cost. *)
+
+val residency : t -> asid:int -> int
+(** Current residency bitmask for [asid] (bit [i] = CPU [i]); [0] when
+    no CPU has run it since its last ASID-wide flush.  For tests and
+    diagnostics. *)
 
 val coherence_check : t -> op:string -> unit
 (** Fire the installed coherence hook (if any) for a full cross-check

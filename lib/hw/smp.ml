@@ -54,19 +54,22 @@ let deliver t c ipi =
   | Halt -> ());
   Nktrace.count t.machine.Machine.trace (ipi_counter ipi)
 
-(* Broadcast shootdowns post an acknowledgement obligation into every
-   peer mailbox.  The TLB invalidation itself already happened
-   synchronously in [Machine.shootdown_*] (which also charged the
-   per-peer IPI cost), so this hook is pure bookkeeping and must not
-   charge cycles: benches pin hook-installed runs to be
+(* Shootdowns post an acknowledgement obligation into the mailbox of
+   every peer the machine actually flushed — residency filtering means
+   that may be a strict subset of the CPUs, and a filtered peer gets
+   neither the flush nor the obligation.  The TLB invalidation itself
+   already happened synchronously in [Machine.shootdown_*] (which also
+   charged the per-peer IPI cost), so this hook is pure bookkeeping
+   and must not charge cycles: benches pin hook-installed runs to be
    cycle-identical with bare ones. *)
 let install_shootdown_notify t =
   t.machine.Machine.shootdown_notify <-
     Some
-      (fun () ->
-        Array.iter
-          (fun c ->
-            if c.id <> t.active then
+      (fun ~targets ->
+        List.iter
+          (fun id ->
+            if id <> t.active && id >= 0 && id < Array.length t.cpus then
+              let c = t.cpus.(id) in
               (* The TLB invalidation was synchronous, so a dropped or
                  delayed acknowledgement IPI degrades bookkeeping only
                  — exactly the hardware situation the drain-before-
@@ -75,7 +78,7 @@ let install_shootdown_notify t =
               else if Nkinject.fire_opt t.inject Nkinject.Ipi_delay then
                 Queue.push Shootdown c.delayed
               else deliver t c Shootdown)
-          t.cpus)
+          targets)
 
 let create machine =
   let boot =
@@ -101,7 +104,8 @@ let refresh_peers t =
     Array.to_list t.cpus |> List.filter (fun c -> c.id <> t.active)
   in
   m.Machine.peer_tlbs <- List.map (fun c -> c.tlb) others;
-  m.Machine.peer_crs <- List.map (fun c -> c.cr) others
+  m.Machine.peer_crs <- List.map (fun c -> c.cr) others;
+  m.Machine.peer_ids <- List.map (fun c -> c.id) others
 
 let add_cpu t =
   let id = Array.length t.cpus in

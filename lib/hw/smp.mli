@@ -44,8 +44,10 @@ type t
 
 val create : Machine.t -> t
 (** Wrap the machine's boot CPU as CPU 0 (active) and install the
-    shootdown-broadcast hook that posts [Shootdown] IPIs into peer
-    mailboxes (pure bookkeeping; charges nothing). *)
+    shootdown-notify hook that posts [Shootdown] IPIs into the
+    mailboxes of exactly the peers the machine flushed — under scoped
+    shootdowns a residency-filtered peer receives nothing (pure
+    bookkeeping; charges nothing). *)
 
 val add_cpu : t -> cpu_id
 (** Bring up another CPU: it inherits the current control-register
@@ -99,7 +101,7 @@ val drain_ipis : t -> cpu_id -> ipi list
 
 val set_inject : t -> Nkinject.t option -> unit
 (** Attach a fault injector to the IPI fabric ([Ipi_drop] /
-    [Ipi_delay] sites, covering both explicit sends and the broadcast
+    [Ipi_delay] sites, covering both explicit sends and the
     shootdown-notify hook). *)
 
 val pending_delayed : t -> cpu_id -> int

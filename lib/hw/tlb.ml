@@ -140,6 +140,34 @@ let flush_span t ~vpage ~count =
     Hashtbl.remove t.globals vp
   done
 
+(* Occupancy probes: does this TLB hold any live translation in the
+   span (any ASID, globals included) / any live entry under [asid]?
+   Host-side bookkeeping for shootdown targeting — the simulator plays
+   the omniscient interconnect here, so probing charges nothing and
+   must stay side-effect-free (no reclamation, no hit/miss counts). *)
+let holds_span t ~vpage ~count =
+  let last = vpage + count - 1 in
+  let in_globals =
+    try
+      for vp = vpage to last do
+        match Hashtbl.find_opt t.globals vp with
+        | Some g when gslot_live t g -> raise Exit
+        | _ -> ()
+      done;
+      false
+    with Exit -> true
+  in
+  in_globals
+  || Hashtbl.fold
+       (fun (asid, vp) s acc ->
+         acc || (vp >= vpage && vp <= last && slot_live t ~asid s))
+       t.table false
+
+let holds_asid t ~asid =
+  Hashtbl.fold
+    (fun (a, _) s acc -> acc || (a = asid && slot_live t ~asid:a s))
+    t.table false
+
 let hits t = t.hits
 let misses t = t.misses
 let record_miss t = t.misses <- t.misses + 1

@@ -61,6 +61,16 @@ val flush_span : t -> vpage:int -> count:int -> unit
     downgrade of a 2 MiB leaf needs, since its 512 constituent 4 KiB
     translations are cached individually. *)
 
+val holds_span : t -> vpage:int -> count:int -> bool
+(** Does any live entry (any ASID, globals included) cover a page in
+    [vpage .. vpage + count - 1]?  Side-effect-free, charges nothing:
+    shootdown targeting uses it as the parked-TLB occupancy backstop,
+    so filtering can never skip a CPU that still caches the span. *)
+
+val holds_asid : t -> asid:int -> bool
+(** Does any live non-global entry exist under [asid]?  Side-effect-free
+    occupancy probe for ASID-scoped shootdowns. *)
+
 val hits : t -> int
 val misses : t -> int
 val record_miss : t -> unit

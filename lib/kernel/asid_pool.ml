@@ -34,10 +34,11 @@ let alloc t =
     | None ->
         (* Steal the slot under the clock hand.  The previous owner's
            stamp stops validating, and the ASID's stale translations
-           are flushed before it serves a new address space. *)
+           are flushed — on every CPU still resident for the tag, not
+           just this one — before it serves a new address space. *)
         let a = t.hand in
         t.hand <- (if t.hand + 1 >= n then 1 else t.hand + 1);
-        Machine.flush_asid t.machine ~asid:a;
+        Machine.shootdown_asid t.machine ~asid:a;
         Machine.count_ev t.machine (Nktrace.Custom "asid_recycle");
         a
   in

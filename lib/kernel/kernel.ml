@@ -156,8 +156,21 @@ let boot ?(frames = 8192) ?(batched = false) ?(pcid = true)
       | Some nk -> Nested_kernel.Api.set_inject nk (Some inj)
       | None -> ())
   | None -> ());
+  (* Reuse barrier for lazy unmap invalidation: the instant the outer
+     allocator hands a frame out again, any deferred shootdown still
+     pending on it fires — before the new owner can zero or fill it. *)
+  (match nk with
+  | Some nk ->
+      Frame_alloc.set_on_alloc falloc
+        (Some (fun frame -> Nested_kernel.Api.nk_flush_deferred nk frame))
+  | None -> ());
   if coherence then
-    Coherence.enable m ~root_of_asid:backend.Mmu_backend.root_of_asid;
+    Coherence.enable m
+      ~root_of_asid:backend.Mmu_backend.root_of_asid
+      ?deferred:
+        (Option.map
+           (fun nk -> Nested_kernel.Api.nk_is_deferred nk)
+           nk);
   (* Kernel stack for the boot CPU. *)
   let kstack = Frame_alloc.alloc_exn falloc in
   Cpu_state.set m.Machine.cpu Insn.RSP (Addr.kva_of_frame (kstack + 1));

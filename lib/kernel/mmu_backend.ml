@@ -111,6 +111,7 @@ let native (m : Machine.t) =
     Hashtbl.reset pcid_roots;
     Hashtbl.replace pcid_roots 0 frame;
     Hashtbl.replace roots_seen frame ();
+    Machine.note_asid_active m;
     Machine.count_ev m Nktrace.Load_cr3;
     Ok ()
   in
@@ -124,9 +125,13 @@ let native (m : Machine.t) =
       (match Hashtbl.find_opt pcid_roots pcid with
       | Some bound when bound = frame -> ()
       | _ ->
-          Machine.flush_asid m ~asid:pcid;
+          (* Rebind: kill the tag's stale entries on every CPU still
+             resident for it, or a parked peer would keep serving the
+             old address space under the recycled tag. *)
+          Machine.shootdown_asid m ~asid:pcid;
           Hashtbl.replace pcid_roots pcid frame);
       Hashtbl.replace roots_seen frame ();
+      Machine.note_asid_active m;
       Machine.count_ev m Nktrace.Load_cr3_pcid;
       Ok ()
     end

@@ -290,49 +290,31 @@ let release_frame env frame =
   if share_count env frame > 1 then ignore (share_decr env frame)
   else if Frame_alloc.owns env.falloc frame then Frame_alloc.free env.falloc frame
 
-let unmap_page env vm va =
-  match leaf_of env vm va with
-  | None -> Ok ()
-  | Some w ->
-      let* () =
-        oom
-          (env.backend.Mmu_backend.write_pte ~ptp:w.Page_table.leaf_ptp
-             ~index:w.Page_table.leaf_index Pte.empty)
-      in
-      release_frame env w.Page_table.frame;
-      charge env cost_page_remove;
-      Ok ()
-
 let unmap_region env vm start =
   match List.find_opt (fun r -> r.r_start = start) vm.regions with
   | None -> Error Ktypes.Einval
   | Some r ->
       vm.regions <- List.filter (fun r' -> r' != r) vm.regions;
-      if env.backend.Mmu_backend.batched then begin
-        (* Gather every present leaf and clear them in one crossing. *)
-        let updates = ref [] in
-        let va = ref r.r_start in
-        while !va < r.r_start + r.r_len do
-          (match leaf_of env vm !va with
-          | None -> ()
-          | Some w ->
-              updates :=
-                (w.Page_table.leaf_ptp, w.Page_table.leaf_index, Pte.empty)
-                :: !updates;
-              release_frame env w.Page_table.frame;
-              charge env cost_page_remove);
-          va := !va + Addr.page_size
-        done;
-        oom (env.backend.Mmu_backend.write_pte_batch (List.rev !updates))
-      end
-      else
-        let rec drop va =
-          if va >= r.r_start + r.r_len then Ok ()
-          else
-            let* () = unmap_page env vm va in
-            drop (va + Addr.page_size)
-        in
-        drop r.r_start
+      (* Gather every present leaf and clear them through one
+         write_pte_batch call.  Even for a non-batched backend (which
+         splits the batch into per-PTE calls) this keeps the span
+         together, so a batching backend gets its shootdowns coalesced
+         and a splitting one behaves exactly as the old per-page
+         loop. *)
+      let updates = ref [] in
+      let va = ref r.r_start in
+      while !va < r.r_start + r.r_len do
+        (match leaf_of env vm !va with
+        | None -> ()
+        | Some w ->
+            updates :=
+              (w.Page_table.leaf_ptp, w.Page_table.leaf_index, Pte.empty)
+              :: !updates;
+            release_frame env w.Page_table.frame;
+            charge env cost_page_remove);
+        va := !va + Addr.page_size
+      done;
+      oom (env.backend.Mmu_backend.write_pte_batch (List.rev !updates))
 
 let map_region env vm ?at ~len prot kind ~populate =
   if len <= 0 || len land (Addr.page_size - 1) <> 0 then Error Ktypes.Einval

@@ -39,6 +39,11 @@ let audit_ok = Invariants.audit_ok
    oracle so parked-ASID entries are audited against the right tree. *)
 let nk_root_of_asid (st : t) asid = Hashtbl.find_opt st.State.pcid_roots asid
 
+let nk_flush_deferred = Vmmu.flush_deferred_frame
+let nk_flush_all_deferred = Vmmu.flush_all_deferred
+let nk_deferred_live (st : t) = State.deferred_live st
+let nk_is_deferred (st : t) = State.is_deferred st
+
 (* Uniform enable/disable/snapshot surface over the out-of-band
    diagnostic instruments (none of them charge simulated cycles). *)
 module Diagnostics = struct
@@ -46,14 +51,14 @@ module Diagnostics = struct
     let enable ?on_violation (st : t) =
       Nkhw.Coherence.enable ?on_violation
         ~root_of_asid:(nk_root_of_asid st)
-        st.State.machine
+        ~deferred:(State.is_deferred st) st.State.machine
 
     let disable (st : t) = Nkhw.Coherence.disable st.State.machine
 
-    let snapshot (st : t) =
+    let snapshot ?op (st : t) =
       Nkhw.Coherence.check_machine
         ~root_of_asid:(nk_root_of_asid st)
-        st.State.machine
+        ~deferred:(State.is_deferred st) ?op st.State.machine
   end
 
   module Tracing = struct

@@ -68,6 +68,21 @@ val nk_root_of_asid : t -> int -> Addr.frame option
 (** The root a PCID is currently bound to, per the vMMU's clean-pair
     table — the ASID resolver the coherence oracle uses. *)
 
+val nk_flush_deferred : t -> Addr.frame -> unit
+(** Fire any lazy unmap invalidations still pending on this frame —
+    the reuse barrier kernel boot wires into the outer frame
+    allocator's [on_alloc] hook.  See {!Vmmu.flush_deferred_frame}. *)
+
+val nk_flush_all_deferred : t -> unit
+(** Drain the whole deferred-invalidation queue. *)
+
+val nk_deferred_live : t -> int
+(** Number of pending lazy-invalidation records. *)
+
+val nk_is_deferred : t -> vpage:int -> Tlb.entry -> bool
+(** The oracle exemption predicate: is this cached translation one of
+    the declared pending lazy invalidations?  See {!State.is_deferred}. *)
+
 (** Out-of-band diagnostic instruments, behind one uniform
     enable/disable/snapshot surface.  Neither instrument ever charges
     simulated cycles, so they can stay on during measurement runs
@@ -78,14 +93,17 @@ module Diagnostics : sig
     val enable :
       ?on_violation:(Coherence.violation list -> unit) -> t -> unit
     (** Install the oracle on this instance's machine, resolving parked
-        ASIDs through the vMMU's PCID-root bindings.  Raises
-        [Coherence.Violation] on any stale-and-more-permissive cached
-        translation unless [on_violation] is given. *)
+        ASIDs through the vMMU's PCID-root bindings and exempting the
+        declared pending lazy invalidations ({!nk_is_deferred}).
+        Raises [Coherence.Violation] on any stale-and-more-permissive
+        cached translation unless [on_violation] is given. *)
 
     val disable : t -> unit
 
-    val snapshot : t -> Coherence.violation list
-    (** One-shot full audit of every TLB against the live page tables. *)
+    val snapshot : ?op:string -> t -> Coherence.violation list
+    (** One-shot full audit of every TLB against the live page tables,
+        under the same resolver and deferred exemption as {!enable};
+        [op] tags any violations found. *)
   end
 
   (** The cycle-stamped event tracer ({!Nktrace}). *)

@@ -9,6 +9,20 @@ type wd = {
   wd_from_heap : bool;
 }
 
+(* One lazily-invalidated unmap: the PTE is already gone from the tree
+   but the TLB shootdown was queued instead of issued.  The record is
+   the whole soundness story — it names exactly which stale cached
+   translations are tolerated (old frame + the vpage spans the entry
+   translated), the scope the eventual flush must use, and the slot it
+   came through (so re-installing through the same slot can trigger
+   the flush even when the frame never revisits the allocator). *)
+type pending_flush = {
+  pf_frame : Addr.frame;  (* the frame the unmapped leaf pointed at *)
+  pf_slot : Addr.frame * int;  (* (ptp, index) the unmap went through *)
+  pf_scope : Machine.shootdown_scope;
+  pf_spans : (int * int) list;  (* (vpage, count) still possibly cached *)
+}
+
 type t = {
   machine : Machine.t;
   gate : Gate.t;
@@ -20,6 +34,9 @@ type t = {
   nk_frame_count : int;
   write_descriptors : (int, wd) Hashtbl.t;
   pcid_roots : (int, Addr.frame) Hashtbl.t;
+  deferred_frames : (Addr.frame, pending_flush list) Hashtbl.t;
+  deferred_slots : (Addr.frame * int, Addr.frame) Hashtbl.t;
+  mutable deferred_count : int;
   mutable next_wd_id : int;
   mutable lock_held : bool;
   mutable denied_writes : int;
@@ -59,6 +76,24 @@ let with_gate t body =
         | Ok () -> result
         | Error e -> ( match result with Error _ -> result | Ok _ -> Error (crossing_error e)))
   end
+
+(* Is a cached TLB entry one of the tolerated stale translations?  As
+   narrow as the queue: the cached frame must be the unmapped frame
+   and the vpage must fall inside one of its recorded spans.  The
+   coherence oracle's [deferred] exemption is exactly this predicate. *)
+let is_deferred t ~vpage (e : Tlb.entry) =
+  Hashtbl.length t.deferred_frames > 0
+  && (match Hashtbl.find_opt t.deferred_frames e.Tlb.frame with
+     | None -> false
+     | Some recs ->
+         List.exists
+           (fun r ->
+             List.exists
+               (fun (vp, n) -> vpage >= vp && vpage < vp + n)
+               r.pf_spans)
+           recs)
+
+let deferred_live t = t.deferred_count
 
 let register_wd t wd = Hashtbl.replace t.write_descriptors wd.wd_id wd
 let find_wd t id = Hashtbl.find_opt t.write_descriptors id

@@ -18,6 +18,17 @@ type wd = {
 }
 (** A write descriptor (paper Table 1). *)
 
+type pending_flush = {
+  pf_frame : Addr.frame;  (** the frame the unmapped leaf pointed at *)
+  pf_slot : Addr.frame * int;  (** (ptp, index) the unmap went through *)
+  pf_scope : Machine.shootdown_scope;
+      (** scope the eventual flush must use, fixed at defer time *)
+  pf_spans : (int * int) list;
+      (** (vpage, count) ranges possibly still cached *)
+}
+(** One lazily-invalidated unmap: PTE gone from the tree, shootdown
+    queued for the frame's next reuse instead of issued eagerly. *)
+
 type t = {
   machine : Machine.t;
   gate : Gate.t;
@@ -31,6 +42,13 @@ type t = {
   pcid_roots : (int, Addr.frame) Hashtbl.t;
       (** last root loaded under each PCID; a tagged switch back to the
           same (pcid, root) pair needs no TLB flush *)
+  deferred_frames : (Addr.frame, pending_flush list) Hashtbl.t;
+      (** frame -> its pending lazy invalidations ({!Vmmu} maintains
+          this; flushed before the frame can be reused) *)
+  deferred_slots : (Addr.frame * int, Addr.frame) Hashtbl.t;
+      (** (ptp, index) -> unmapped frame, so re-installing a leaf
+          through the same slot triggers the pending flush *)
+  mutable deferred_count : int;  (** live [pending_flush] records *)
   mutable next_wd_id : int;
   mutable lock_held : bool;
   mutable denied_writes : int;
@@ -46,6 +64,15 @@ val with_gate :
     exit-gate crossing, holding the nested-kernel stack lock.  Fails
     with [Reentrant_call] if the lock is already held and
     [Gate_failure] if a crossing does not complete. *)
+
+val is_deferred : t -> vpage:int -> Tlb.entry -> bool
+(** Is this cached translation one of the declared, tolerated stale
+    entries — the cached frame matches a pending lazy invalidation and
+    the vpage falls inside one of its spans?  The coherence oracle's
+    [deferred] exemption; O(1) when the queue is empty. *)
+
+val deferred_live : t -> int
+(** Number of pending lazy-invalidation records. *)
 
 val register_wd : t -> wd -> unit
 val find_wd : t -> int -> wd option

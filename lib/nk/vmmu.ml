@@ -92,18 +92,20 @@ let pages_per_entry level =
    of span invalidations. *)
 let max_shootdown_positions = 8
 
-(* Base virtual-page numbers at which [ptp] is reachable, computed by
-   climbing the nested kernel's own reverse maps (Table_link entries)
-   up to the level-4 roots.  [None] means "couldn't bound the set":
+(* (root, base) pairs at which [ptp] is reachable: the level-4 root
+   the path climbs to, and the base virtual-page number the path
+   accumulates.  Computed by climbing the nested kernel's own reverse
+   maps (Table_link entries); [None] means "couldn't bound the set":
    too many positions, or a link cycle.  An unlinked PTP yields
-   [Some []]. *)
+   [Some []].  The root is what ASID scoping keys on — it identifies
+   which address spaces can reach the flushed range at all. *)
 let ptp_base_vpages (st : State.t) ptp =
   let rec climb visiting frame =
     if List.mem frame visiting then None
     else
       match Pgdesc.ptp_level st.descs frame with
       | None -> None
-      | Some 4 -> Some [ 0 ]
+      | Some 4 -> Some [ (frame, 0) ]
       | Some level ->
           let rec fold acc = function
             | [] -> Some acc
@@ -113,7 +115,10 @@ let ptp_base_vpages (st : State.t) ptp =
                 | Some bases ->
                     let span = pages_per_entry (level + 1) in
                     let here =
-                      List.map (fun b -> b + (mp.Pgdesc.index * span)) bases
+                      List.map
+                        (fun (root, b) ->
+                          (root, b + (mp.Pgdesc.index * span)))
+                        bases
                     in
                     if
                       List.length acc + List.length here
@@ -125,43 +130,214 @@ let ptp_base_vpages (st : State.t) ptp =
   in
   climb [] ptp
 
-(* Flush everything the entry at [index] of [ptp] can translate.  The
-   scope is derived from the reverse maps — never from a caller hint:
-   the outer kernel is untrusted, and a wrong (or absent) hint must
-   not leave a stale translation cached — in particular a 2 MiB leaf
-   covers 512 virtual pages that the MMU caches individually, so
-   flushing one hinted page alone would leave up to 511 stale-writable
-   entries.  (The former [?va] hint was ignored for exactly this
-   reason and has been removed from the API.) *)
-let shootdown_entry (st : State.t) ~ptp ~index ~level =
-  let m = st.machine in
-  let tr = m.Machine.trace in
+(* ASID scope for a set of (root, vpage) flush targets.  A kernel-half
+   vpage may be cached as a global entry under any tag, so it forces a
+   broadcast.  User-half targets can only have been filled under the
+   ASIDs currently bound (per the clean-pair table) to one of the
+   roots involved: rebinding a PCID shoots the old tag down first (see
+   [load_cr3_pcid]), so entries cached under any other tag cannot
+   alias these roots.  [Asids []] — no bound ASID at all — is sound
+   for the same reason, and the occupancy probe inside
+   [Machine.shoot_peers] independently backstops every case.  The
+   ASID list is sorted so equal scopes compare equal structurally
+   (batch coalescing groups by scope). *)
+let scope_of_targets (st : State.t) targets =
+  if
+    List.exists
+      (fun (_, vpage) -> Addr.is_kernel_va (vpage * Addr.page_size))
+      targets
+  then Machine.Broadcast
+  else
+    let asids =
+      Hashtbl.fold
+        (fun pcid root acc ->
+          if
+            List.exists (fun (r, _) -> r = root) targets
+            && not (List.mem pcid acc)
+          then pcid :: acc
+          else acc)
+        st.State.pcid_roots []
+    in
+    Machine.Asids (List.sort compare asids)
+
+(* Everything the entry at [index] of [ptp] can translate, as concrete
+   flush work: [`Spans (scope, (vpage, count) list)], or [`All] when
+   the position set is unboundable.  The scope is derived from the
+   reverse maps — never from a caller hint: the outer kernel is
+   untrusted, and a wrong (or absent) hint must not leave a stale
+   translation cached — in particular a 2 MiB leaf covers 512 virtual
+   pages that the MMU caches individually, so flushing one hinted page
+   alone would leave up to 511 stale-writable entries. *)
+let entry_invalidations (st : State.t) ~ptp ~index ~level =
   let span = pages_per_entry level in
   match ptp_base_vpages st ptp with
   | Some (_ :: _ as bases) when span <= Addr.entries_per_table ->
-      let sp = Nktrace.Shootdown (if span = 1 then "page" else "span") in
-      Nktrace.span_begin tr sp;
-      List.iter
-        (fun base ->
-          let vpage = base + (index * span) in
-          if span = 1 then Machine.shootdown_page m ~vpage
-          else Machine.shootdown_span m ~vpage ~count:span)
-        bases;
-      Nktrace.span_end tr sp
+      let targets =
+        List.map (fun (root, base) -> (root, base + (index * span))) bases
+      in
+      `Spans
+        ( scope_of_targets st targets,
+          List.map (fun (_, vpage) -> (vpage, span)) targets )
   | _ ->
       (* Unlinked (a stale entry could still have been cached before
          the unlink), unboundable, or a span wider than one PD entry:
          flush everything, globals included. *)
-      let sp = Nktrace.Shootdown "all" in
+      `All
+
+let issue_spans (st : State.t) ~scope spans =
+  let m = st.machine in
+  let tr = m.Machine.trace in
+  List.iter
+    (fun (vpage, count) ->
+      let sp = Nktrace.Shootdown (if count = 1 then "page" else "span") in
       Nktrace.span_begin tr sp;
-      Machine.shootdown_all m;
-      Nktrace.span_end tr sp
+      if count = 1 then Machine.shootdown_page ~scope m ~vpage
+      else Machine.shootdown_span ~scope m ~vpage ~count;
+      Nktrace.span_end tr sp)
+    spans
+
+let issue_all (st : State.t) =
+  let m = st.machine in
+  let tr = m.Machine.trace in
+  let sp = Nktrace.Shootdown "all" in
+  Nktrace.span_begin tr sp;
+  Machine.shootdown_all m;
+  Nktrace.span_end tr sp
+
+(* --- deferred (lazy) unmap invalidation --------------------------- *)
+
+(* A pure 4 KiB unmap of an ordinary data frame does not need its
+   shootdown immediately: the stale translation only reaches content
+   the process could already access, and becomes dangerous solely when
+   the frame is handed to a new owner.  So the flush is queued and
+   fired at the reuse barriers instead — frame re-allocation
+   ([Frame_alloc.set_on_alloc], wired at kernel boot), a new mapping
+   of the frame or through the same slot ([apply_update]), and PTP
+   declaration ([declare_ptp]).  Every queued record is visible to the
+   coherence oracle via [State.is_deferred], so the tolerated
+   staleness is declared, bounded, and audited. *)
+
+let deferred_cap = 128
+
+let flush_pending (st : State.t) (r : State.pending_flush) =
+  Machine.count_ev st.machine Nktrace.Flush_on_reuse;
+  issue_spans st ~scope:r.State.pf_scope r.State.pf_spans
+
+let flush_deferred_frame (st : State.t) frame =
+  match Hashtbl.find_opt st.State.deferred_frames frame with
+  | None -> ()
+  | Some recs ->
+      (* Issue first, retire after: the records stay visible to the
+         oracle (which fires from inside each shootdown) until every
+         span is actually flushed. *)
+      List.iter (flush_pending st) recs;
+      Hashtbl.remove st.State.deferred_frames frame;
+      st.State.deferred_count <- st.State.deferred_count - List.length recs;
+      List.iter
+        (fun (r : State.pending_flush) ->
+          match Hashtbl.find_opt st.State.deferred_slots r.State.pf_slot with
+          | Some f when f = frame ->
+              Hashtbl.remove st.State.deferred_slots r.State.pf_slot
+          | _ -> ())
+        recs
+
+let flush_deferred_slot (st : State.t) ~ptp ~index =
+  match Hashtbl.find_opt st.State.deferred_slots (ptp, index) with
+  | None -> ()
+  | Some frame -> flush_deferred_frame st frame
+
+let flush_all_deferred (st : State.t) =
+  let frames =
+    Hashtbl.fold (fun f _ acc -> f :: acc) st.State.deferred_frames []
+  in
+  List.iter (flush_deferred_frame st) (List.sort compare frames)
+
+let defer_unmap (st : State.t) ~frame ~slot ~scope spans =
+  if st.State.deferred_count >= deferred_cap then flush_all_deferred st;
+  let r =
+    { State.pf_frame = frame; pf_slot = slot; pf_scope = scope; pf_spans = spans }
+  in
+  let cur =
+    Option.value (Hashtbl.find_opt st.State.deferred_frames frame) ~default:[]
+  in
+  Hashtbl.replace st.State.deferred_frames frame (r :: cur);
+  Hashtbl.replace st.State.deferred_slots slot frame;
+  st.State.deferred_count <- st.State.deferred_count + 1;
+  Machine.count_ev st.machine Nktrace.Flush_deferred
+
+(* Deferral never applies to anything that could carry kernel, PTP or
+   protected mappings: only a present 4 KiB leaf over an ordinary
+   data frame, removed outright (not downgraded in place), qualifies.
+   Everything else keeps the eager shootdown. *)
+let defer_eligible (st : State.t) ~level ~old ~fresh =
+  level = 1
+  && Pte.is_present old
+  && (not (Pte.is_present fresh))
+  && (not (Pte.is_global old))
+  &&
+  match Pgdesc.page_type st.descs (Pte.frame old) with
+  | Pgdesc.User | Pgdesc.Outer_data | Pgdesc.Unused -> true
+  | Pgdesc.Ptp _ | Pgdesc.Nk_code | Pgdesc.Nk_data | Pgdesc.Nk_stack
+  | Pgdesc.Protected_data | Pgdesc.Outer_code ->
+      false
+
+(* --- batch shootdown coalescing ----------------------------------- *)
+
+(* Per-PTE shootdowns accumulated across one [write_pte_batch] and
+   issued together at the end: contiguous or overlapping spans with
+   the same scope merge into single range shootdowns, and any [`All]
+   collapses the whole batch into one broadcast.  Sound because the
+   entire batch runs inside one gate crossing — the TLBs only need to
+   be coherent again by gate exit, exactly when the flush fires. *)
+type batch_acc = {
+  mutable ba_alls : int;
+  mutable ba_invals : (Machine.shootdown_scope * int * int) list;
+}
+
+let accumulate acc = function
+  | `All -> acc.ba_alls <- acc.ba_alls + 1
+  | `Spans (scope, spans) ->
+      List.iter
+        (fun (vpage, count) ->
+          acc.ba_invals <- (scope, vpage, count) :: acc.ba_invals)
+        spans
+
+let flush_batch_acc (st : State.t) acc =
+  let tr = st.machine.Machine.trace in
+  let raw = acc.ba_alls + List.length acc.ba_invals in
+  if raw = 0 then ()
+  else if acc.ba_alls > 0 then begin
+    issue_all st;
+    if raw > 1 then Nktrace.count_n tr Nktrace.Shootdown_coalesced (raw - 1)
+  end
+  else begin
+    (* Sort by (scope, vpage) so same-scope runs are adjacent, then
+       merge contiguous/overlapping spans. *)
+    let sorted = List.sort compare acc.ba_invals in
+    let merged =
+      List.fold_left
+        (fun groups (scope, vp, n) ->
+          match groups with
+          | (scope', vp', n') :: tl when scope' = scope && vp <= vp' + n' ->
+              (scope', vp', max (vp' + n') (vp + n) - vp') :: tl
+          | _ -> (scope, vp, n) :: groups)
+        [] sorted
+    in
+    List.iter
+      (fun (scope, vpage, count) -> issue_spans st ~scope [ (vpage, count) ])
+      (List.rev merged);
+    let saved = raw - List.length merged in
+    if saved > 0 then Nktrace.count_n tr Nktrace.Shootdown_coalesced saved
+  end;
+  acc.ba_alls <- 0;
+  acc.ba_invals <- []
 
 (* Perform one validated PTE update inside the gate: maintain reverse
    maps, write through the direct map (WP is clear, so the read-only
    PTP mapping accepts the supervisor store), and keep the TLB
-   coherent on downgrades. *)
-let apply_update (st : State.t) ~ptp ~index ~level fresh =
+   coherent on downgrades — eagerly, coalesced into [batch], or
+   deferred to the frame's reuse when the unmap qualifies. *)
+let apply_update ?batch (st : State.t) ~ptp ~index ~level fresh =
   let m = st.machine in
   let old = Page_table.get_entry m.Machine.mem ~ptp ~index in
   let* () =
@@ -175,6 +351,11 @@ let apply_update (st : State.t) ~ptp ~index ~level fresh =
   end;
   if Pte.is_present fresh then begin
     let target = Pte.frame fresh in
+    (* Reuse barriers: a fresh leaf through a slot with a pending lazy
+       invalidation, or a new mapping of a frame that still has one,
+       must flush before the new mapping becomes reachable. *)
+    flush_deferred_slot st ~ptp ~index;
+    flush_deferred_frame st target;
     (match Pgdesc.page_type st.descs target with
     | Pgdesc.Unused ->
         Pgdesc.set_type st.descs target
@@ -183,8 +364,19 @@ let apply_update (st : State.t) ~ptp ~index ~level fresh =
     Pgdesc.add_mapping st.descs target
       { Pgdesc.ptp; index; kind = mapping_kind ~level fresh }
   end;
-  if is_protection_downgrade ~old ~fresh then
-    shootdown_entry st ~ptp ~index ~level;
+  if is_protection_downgrade ~old ~fresh then begin
+    match entry_invalidations st ~ptp ~index ~level with
+    | `Spans ((Machine.Asids _ as scope), spans)
+      when defer_eligible st ~level ~old ~fresh ->
+        defer_unmap st ~frame:(Pte.frame old) ~slot:(ptp, index) ~scope spans
+    | inval -> (
+        match batch with
+        | Some acc -> accumulate acc inval
+        | None -> (
+            match inval with
+            | `All -> issue_all st
+            | `Spans (scope, spans) -> issue_spans st ~scope spans))
+  end;
   Ok ()
 
 let check_ptp (st : State.t) ptp =
@@ -204,21 +396,28 @@ let write_pte_batch st updates =
       State.with_gate st (fun () ->
           (* Prefix-applied semantics: tuples before a rejected one stay
              applied; the error says exactly which tuple stopped the
-             batch so the caller can resume or roll back. *)
+             batch so the caller can resume or roll back.  Per-entry
+             shootdowns coalesce into [acc] and fire together before
+             the gate is left — including on the error and exception
+             paths, since the applied prefix's downgrades must not stay
+             cached past gate exit. *)
+          let acc = { ba_alls = 0; ba_invals = [] } in
           let rec go i = function
             | [] -> Ok ()
             | (ptp, index, pte) :: rest -> (
                 let item =
                   let* level = check_ptp st ptp in
                   let* fresh = validate_and_adjust st ~level pte in
-                  apply_update st ~ptp ~index ~level fresh
+                  apply_update ~batch:acc st ~ptp ~index ~level fresh
                 in
                 match item with
                 | Ok () -> go (i + 1) rest
                 | Error error -> Error (Nk_error.Batch_item { index = i; error }))
           in
           Machine.count_ev st.machine Nktrace.Pte_write_batch;
-          go 0 updates))
+          Fun.protect
+            ~finally:(fun () -> flush_batch_acc st acc)
+            (fun () -> go 0 updates)))
 
 let declare_ptp st ~level frame =
   traced st "declare_ptp" @@ fun () ->
@@ -245,6 +444,10 @@ let declare_ptp st ~level frame =
                 (Nk_error.Not_declarable
                    { frame; why = "mapped beyond the direct map" })
             else begin
+              (* Reuse barrier: a pending lazy invalidation on this
+                 frame would be a stale user-writable alias to the
+                 about-to-be PTP — flush it before protecting. *)
+              flush_deferred_frame st frame;
               (* Write-protect every existing mapping (the direct-map
                  leaf) — I5.  A failed write must abort the whole
                  declaration: proceeding would register a PTP the
@@ -367,6 +570,7 @@ let switch_untagged (st : State.t) frame =
   Machine.flush_full m;
   Hashtbl.reset st.State.pcid_roots;
   Hashtbl.replace st.State.pcid_roots 0 frame;
+  Machine.note_asid_active m;
   Machine.count_ev m Nktrace.Load_cr3
 
 let load_cr3 st frame =
@@ -404,9 +608,14 @@ let load_cr3_pcid st ~pcid frame =
               | _ ->
                   (* First use or rebind of the tag: entries cached
                      under it belong to another address space and must
-                     die before this one runs. *)
-                  Machine.flush_asid m ~asid:pcid;
+                     die before this one runs — on {e every} CPU, not
+                     just this one.  A parked peer still holding
+                     entries under the tag would otherwise serve them
+                     (audited against the wrong tree) when it next
+                     runs this ASID. *)
+                  Machine.shootdown_asid m ~asid:pcid;
                   Hashtbl.replace st.State.pcid_roots pcid frame);
+              Machine.note_asid_active m;
               Machine.count_ev m Nktrace.Load_cr3_pcid;
               Ok ()
             end

@@ -35,7 +35,12 @@ val write_pte :
     kernel is untrusted and a lying hint could leave a stale
     translation cached.  A downgrade of a level-1 entry costs one page
     shootdown, of a 2 MiB leaf a 512-page span shootdown; unboundable
-    scopes fall back to a broadcast flush. *)
+    scopes fall back to a broadcast flush.  User-half downgrades carry
+    an ASID scope (derived from the clean-pair table), so peer CPUs
+    that never ran the affected address spaces — and whose parked TLBs
+    hold nothing in the range — are skipped instead of IPI'd.  A pure
+    4 KiB unmap of an ordinary data frame defers its shootdown to the
+    frame's next reuse (see {!flush_deferred_frame}). *)
 
 val write_pte_batch :
   State.t -> (Addr.frame * int * Pte.t) list -> (unit, Nk_error.t) result
@@ -44,7 +49,22 @@ val write_pte_batch :
     mmap-heavy paths).  Validation is per-entry; the first rejection
     aborts the remainder and returns [Batch_item] carrying the failing
     tuple's index, with every earlier tuple already applied (and none
-    after). *)
+    after).  Per-entry shootdowns are coalesced: they accumulate
+    across the batch and fire once before the gate is left (error
+    paths included), with contiguous same-scope spans merged into
+    single range shootdowns — counted as ["shootdown_coalesced"]. *)
+
+val flush_deferred_frame : State.t -> Addr.frame -> unit
+(** Fire (and retire) any lazy unmap invalidations still pending on
+    this frame.  The reuse barrier: kernel boot wires it into the
+    outer frame allocator's [on_alloc] hook, and the vMMU calls it
+    internally before a frame is re-mapped or declared as a PTP.
+    Counted as ["flush_on_reuse"] per pending record; a no-op when
+    nothing is queued. *)
+
+val flush_all_deferred : State.t -> unit
+(** Drain the whole deferred-invalidation queue (shutdown/audit aid;
+    also fired internally when the queue hits its cap). *)
 
 val remove_ptp : State.t -> Addr.frame -> (unit, Nk_error.t) result
 (** [nk_remove_PTP]: retire a PTP.  All 512 of its entries must be

@@ -36,6 +36,11 @@ type counter =
   | Ipi_reschedule
   | Ipi_shootdown
   | Ipi_halt
+  | Shootdown_sent
+  | Shootdown_filtered
+  | Shootdown_coalesced
+  | Flush_deferred
+  | Flush_on_reuse
   | Sched_steal
   | Signal_delivered
   | Syslog_event
@@ -80,6 +85,11 @@ let counter_name = function
   | Ipi_reschedule -> "ipi_reschedule"
   | Ipi_shootdown -> "ipi_shootdown"
   | Ipi_halt -> "ipi_halt"
+  | Shootdown_sent -> "shootdown_sent"
+  | Shootdown_filtered -> "shootdown_filtered"
+  | Shootdown_coalesced -> "shootdown_coalesced"
+  | Flush_deferred -> "flush_deferred"
+  | Flush_on_reuse -> "flush_on_reuse"
   | Sched_steal -> "sched_steal"
   | Signal_delivered -> "signal_delivered"
   | Syslog_event -> "syslog_event"

@@ -58,6 +58,19 @@ type counter =
   | Ipi_reschedule
   | Ipi_shootdown  (** shootdown IPIs {e received} into a mailbox *)
   | Ipi_halt
+  | Shootdown_sent
+      (** per-peer shootdown actually delivered (flush + IPI charge) *)
+  | Shootdown_filtered
+      (** peer skipped by residency/occupancy filtering: no flush, no
+          IPI charge — the win this counter makes visible *)
+  | Shootdown_coalesced
+      (** per-PTE invalidations a batch merged away into span flushes *)
+  | Flush_deferred
+      (** unmap whose invalidation was queued for frame reuse instead
+          of being issued immediately *)
+  | Flush_on_reuse
+      (** deferred invalidation finally issued because the unmapped
+          frame was handed out (or re-mapped) again *)
   | Sched_steal  (** run-queue work steal by an idle CPU *)
   | Signal_delivered
   | Syslog_event

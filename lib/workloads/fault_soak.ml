@@ -131,7 +131,9 @@ let run ?(ops = 2000) ?(rate = 0.01) ?(sites = Nkinject.all_sites)
      behind, and must not themselves be perturbed. *)
   Nkinject.set_armed inj false;
   let invariant_failures = List.length (Nested_kernel.Api.audit nk) in
-  let final_violations = Coherence.check_machine ~op:"soak-final" m in
+  let final_violations =
+    Nested_kernel.Api.Diagnostics.Coherence.snapshot ~op:"soak-final" nk
+  in
   violations := !violations + List.length final_violations;
   {
     seed;

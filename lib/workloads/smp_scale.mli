@@ -12,8 +12,16 @@ type point = {
   throughput : float;  (** syscalls per million cycles *)
   shootdowns : int list;  (** shootdown IPIs received, per CPU id *)
   ipis : int;  (** shootdown IPIs posted in total *)
+  sent : int;  (** per-peer shootdown IPIs actually sent *)
+  filtered : int;  (** peers skipped by residency/occupancy filtering *)
+  coalesced : int;  (** per-PTE invalidations merged away by batching *)
+  deferred : int;  (** unmap invalidations parked on the lazy queue *)
+  reuse : int;  (** deferred invalidations fired by frame reuse *)
   steals : int;  (** work-stealing events *)
   migrations : int;  (** CPU activations (executor CPU switches) *)
+  oracle_violations : int;
+      (** coherence-oracle violations (0 unless [coherence] was set) *)
+  audit_failures : int;  (** nested-kernel invariant violations at the end *)
 }
 
 val default_seed : int
@@ -24,12 +32,18 @@ val env_seed : unit -> int
 val cpu_counts : int list
 (** The sweep: [1; 2; 4; 8]. *)
 
-val run_one : ?seed:int -> ?procs:int -> ?steps:int -> int -> point
+val run_one :
+  ?seed:int -> ?procs:int -> ?steps:int -> ?coherence:bool -> int -> point
 (** Boot Perspicuos with that many CPUs, fork [procs] (default 8)
-    processes, drive [steps] (default 400) executor quanta of
-    getpid + periodic mmap/munmap churn. *)
+    processes onto the boot CPU (idle APs must steal their share),
+    drive [steps] (default 400) executor quanta of getpid + periodic
+    mmap/munmap churn.  [coherence] (default off) runs the whole sweep
+    under the differential TLB oracle — cycle-free, so the measured
+    numbers do not move — and reports violations in the point. *)
 
-val run : ?seed:int -> ?procs:int -> ?steps:int -> unit -> point list
+val run :
+  ?seed:int -> ?procs:int -> ?steps:int -> ?coherence:bool -> unit ->
+  point list
 (** {!run_one} across {!cpu_counts}; seed defaults to {!env_seed}. *)
 
 val to_table : point list -> Stats.table
