@@ -338,6 +338,114 @@ let audit_cmd =
   Cmd.v (Cmd.info "audit" ~doc:"Boot, stress the kernel, audit invariants")
     Term.(const run $ config)
 
+(* nksim check: the exhaustive small-scope model checker (nkcheck). *)
+
+let vocab_arg =
+  let parse s =
+    match Nkcheck.vocab_of_name s with
+    | Some v -> Ok v
+    | None -> Error (`Msg (Printf.sprintf "unknown vocabulary %S (try: core, full)" s))
+  in
+  let print ppf v = Format.pp_print_string ppf (Nkcheck.vocab_name v) in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Nkcheck.default.Nkcheck.vocab
+    & info [ "vocab" ] ~docv:"VOCAB"
+        ~doc:"Op vocabulary: $(b,core) (12 ops, exhaustible to depth 5) or \
+              $(b,full) (every op the checker knows).")
+
+let depth_arg =
+  Arg.(
+    value
+    & opt int Nkcheck.default.Nkcheck.depth
+    & info [ "depth" ] ~docv:"N" ~doc:"Maximum op-sequence length to exhaust.")
+
+let check_inject_arg =
+  Arg.(
+    value & flag
+    & info [ "inject" ]
+        ~doc:"Add the deterministic (rate-1.0) fault-injector toggle ops to \
+              the vocabulary, so gate-denial and IPI-fault error paths are \
+              exhausted too.")
+
+let max_states_arg =
+  Arg.(
+    value
+    & opt int Nkcheck.default.Nkcheck.max_states
+    & info [ "max-states" ] ~docv:"N"
+        ~doc:"Safety valve on the visited-state set; hitting it marks the run \
+              truncated (and the bound not exhausted).")
+
+let out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "out" ] ~docv:"DIR"
+        ~doc:"Write each shrunk counterexample as a replayable script \
+              $(i,DIR)/cx-$(i,N)-$(i,SIGNATURE).nkcheck.")
+
+let replay_file_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "replay" ] ~docv:"FILE"
+        ~doc:"Instead of exploring, replay the op script in $(i,FILE) with \
+              full per-step checks and report any violations.")
+
+let check_cmd =
+  let run depth vocab inject max_states out replay =
+    match replay with
+    | Some path ->
+        let ic = open_in_bin path in
+        let len = in_channel_length ic in
+        let content = really_input_string ic len in
+        close_in ic;
+        let outcome = Nkcheck.replay_script content in
+        Printf.printf "replay %s: %d ops\n" path
+          (List.length outcome.Nkcheck.ro_ops);
+        if outcome.Nkcheck.ro_failures = [] then begin
+          print_endline "clean: no invariant, oracle or shutdown violations";
+          0
+        end
+        else begin
+          List.iter
+            (fun (step, detail) -> Printf.printf "  step %d: %s\n" step detail)
+            outcome.Nkcheck.ro_failures;
+          1
+        end
+    | None ->
+        let cfg = { Nkcheck.depth; vocab; inject; max_states } in
+        let report = Nkcheck.run cfg in
+        Format.printf "%a" Nkcheck.pp_report report;
+        (match out with
+        | None -> ()
+        | Some dir ->
+            if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+            List.iteri
+              (fun i cx ->
+                let path =
+                  Filename.concat dir
+                    (Printf.sprintf "cx-%d-%s.nkcheck" i cx.Nkcheck.cx_signature)
+                in
+                let oc = open_out path in
+                output_string oc (Nkcheck.script_of_counterexample cfg cx);
+                close_out oc;
+                Printf.printf "wrote %s\n" path)
+              report.Nkcheck.rp_counterexamples);
+        if
+          report.Nkcheck.rp_counterexamples = []
+          && not report.Nkcheck.rp_truncated
+        then 0
+        else 1
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Exhaust all op interleavings up to a depth bound, checking \
+             invariants I1-I13 and the TLB-coherence oracle at every step")
+    Term.(
+      const run $ depth_arg $ vocab_arg $ check_inject_arg $ max_states_arg
+      $ out_arg $ replay_file_arg)
+
 let list_cmd =
   let run () =
     print_endline "configurations:";
@@ -358,4 +466,6 @@ let () =
     Cmd.info "nksim" ~version:"1.0.0"
       ~doc:"Nested Kernel (ASPLOS'15) simulator driver"
   in
-  exit (Cmd.eval' (Cmd.group info [ boot_cmd; attacks_cmd; audit_cmd; list_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info [ boot_cmd; attacks_cmd; audit_cmd; check_cmd; list_cmd ]))

@@ -53,7 +53,13 @@ module Diagnostics = struct
         ~root_of_asid:(nk_root_of_asid st)
         ~deferred:(State.is_deferred st) st.State.machine
 
-    let disable (st : t) = Nkhw.Coherence.disable st.State.machine
+    (* Drain the deferred-unmap queue before the oracle goes away:
+       records still queued here are staleness the oracle was told to
+       tolerate, and uninstalling while they linger would let the last
+       deferred flush silently never happen. *)
+    let disable (st : t) =
+      Vmmu.flush_all_deferred st;
+      Nkhw.Coherence.disable st.State.machine
 
     let snapshot ?op (st : t) =
       Nkhw.Coherence.check_machine

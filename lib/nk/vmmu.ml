@@ -64,7 +64,18 @@ let validate_and_adjust (st : State.t) ~level pte =
           | Pgdesc.Unused ->
               if Pte.is_user pte then pte else Pte.set_nx pte true
         in
-        let adjusted = ref pte in
+        (* A global leaf would survive CR3 reloads and single-ASID
+           (INVPCID) shootdowns — in particular the one [load_cr3_pcid]
+           issues when a PCID is rebound to a different root — serving
+           a stale translation under an address space that never mapped
+           it.  That is only sound for mappings the nested kernel knows
+           are identical in every address space (its own boot-time
+           direct map); a leaf supplied by the untrusted outer kernel
+           never qualifies, so the G bit is stripped like any other
+           over-permission. *)
+        let adjusted =
+          ref (Pte.with_flags pte { (Pte.flags pte) with Pte.global = false })
+        in
         for f = target to target + span - 1 do
           adjusted := adjust_for f !adjusted
         done;
@@ -131,22 +142,28 @@ let ptp_base_vpages (st : State.t) ptp =
   climb [] ptp
 
 (* ASID scope for a set of (root, vpage) flush targets.  A kernel-half
-   vpage may be cached as a global entry under any tag, so it forces a
-   broadcast.  User-half targets can only have been filled under the
-   ASIDs currently bound (per the clean-pair table) to one of the
-   roots involved: rebinding a PCID shoots the old tag down first (see
+   vpage may be cached as a global entry or under any tag — no
+   residency table narrows that down, so its scope carries no ASIDs
+   and targeting falls entirely to the occupancy probe inside
+   [Machine.shoot_peers]: [Tlb.holds_span] sees globals and every
+   ASID, and the page/span flushes kill both, so a peer is flushed
+   exactly when it still holds a live translation of the span.  (The
+   alternative — [Broadcast] — IPIs every peer for every PTP declare's
+   direct-map downgrade, a cost that grows with the CPU count.)
+   User-half targets can only have been filled under the ASIDs
+   currently bound (per the clean-pair table) to one of the roots
+   involved: rebinding a PCID shoots the old tag down first (see
    [load_cr3_pcid]), so entries cached under any other tag cannot
    alias these roots.  [Asids []] — no bound ASID at all — is sound
-   for the same reason, and the occupancy probe inside
-   [Machine.shoot_peers] independently backstops every case.  The
-   ASID list is sorted so equal scopes compare equal structurally
-   (batch coalescing groups by scope). *)
+   for the same reason, and the occupancy probe independently
+   backstops every case.  The ASID list is sorted so equal scopes
+   compare equal structurally (batch coalescing groups by scope). *)
 let scope_of_targets (st : State.t) targets =
   if
     List.exists
       (fun (_, vpage) -> Addr.is_kernel_va (vpage * Addr.page_size))
       targets
-  then Machine.Broadcast
+  then Machine.Asids []
   else
     let asids =
       Hashtbl.fold
@@ -470,8 +487,16 @@ let declare_ptp st ~level frame =
               in
               let protected_ = protect (Pgdesc.data_maps st.descs frame) in
               (* Flush even on the error path: mappings downgraded
-                 before the failing one must not stay cached writable. *)
-              Machine.shootdown_page m
+                 before the failing one must not stay cached writable.
+                 Occupancy-scoped, not broadcast: the only peers that
+                 need the IPI are those whose TLB still holds a (now
+                 stale-writable) translation of this direct-map page,
+                 and [Machine.shoot_peers]'s probe sees every ASID and
+                 the globals.  A peer without one refills from the
+                 already-downgraded PTE.  Broadcasting here would IPI
+                 every CPU for every page-table page the outer kernel
+                 ever declares — fork alone declares a handful. *)
+              Machine.shootdown_page ~scope:(Machine.Asids []) m
                 ~vpage:(Addr.vpage (Addr.kva_of_frame frame));
               let* () = protected_ in
               Phys_mem.zero_frame m.Machine.mem frame;
@@ -528,11 +553,11 @@ let remove_ptp st frame =
             let* () = unprotect (Pgdesc.data_maps st.descs frame) in
             Pgdesc.set_type st.descs frame Pgdesc.Unused;
             Iommu.unprotect_frame m.Machine.iommu frame;
-            (* Shoot down everywhere, as declare_ptp does: a parked
-               peer still holding the read-only entry would take a
-               spurious WP fault on its first write to the returned
-               page. *)
-            Machine.shootdown_page m
+            (* Occupancy-scoped, as declare_ptp now is: a parked peer
+               still holding the read-only entry would take a spurious
+               WP fault on its first write to the returned page, and
+               the occupancy probe targets exactly those peers. *)
+            Machine.shootdown_page ~scope:(Machine.Asids []) m
               ~vpage:(Addr.vpage (Addr.kva_of_frame frame));
             Machine.count_ev m Nktrace.Remove_ptp;
             Ok ()
@@ -568,6 +593,18 @@ let switch_untagged (st : State.t) frame =
   m.Machine.cr.Cr.cr3 <- Addr.pa_of_frame frame;
   Machine.charge m m.Machine.costs.Costs.cr_write;
   Machine.flush_full m;
+  (* Forgetting a (pcid, root) pairing is only sound if no CPU still
+     holds entries under that tag: [scope_of_targets] keys downgrade
+     shootdowns on this table, so a peer's surviving entries under a
+     forgotten tag would never be targeted again and could serve a
+     stale translation indefinitely.  Shoot every dropped tag down on
+     all CPUs before forgetting it; only an unchanged 0 -> [frame]
+     binding may be kept quietly. *)
+  Hashtbl.iter
+    (fun pcid root ->
+      if not (pcid = 0 && root = frame) then
+        Machine.shootdown_asid m ~asid:pcid)
+    st.State.pcid_roots;
   Hashtbl.reset st.State.pcid_roots;
   Hashtbl.replace st.State.pcid_roots 0 frame;
   Machine.note_asid_active m;
@@ -623,10 +660,23 @@ let load_cr3_pcid st ~pcid frame =
 
 let load_cr4 st v =
   State.with_gate st (fun () ->
+      let m = st.machine in
       let required = Cr.cr4_smep lor Cr.cr4_pae in
+      let clears_pcide =
+        Cr.pcid_enabled m.Machine.cr && v land Cr.cr4_pcide = 0
+      in
       if v land required <> required then Error (Nk_error.Invalid_cr4 v)
+      else if clears_pcide && Cr.pcid m.Machine.cr <> 0 then
+        (* Hardware #GPs a mov to CR4 that clears PCIDE while CR3[11:0]
+           is nonzero — and for good reason: the ASID tag would collapse
+           to 0 mid-address-space, so the TLB would start serving
+           entries filled for whatever root PCID 0 last named.  Model
+           the fault as a rejected load. *)
+        Error (Nk_error.Invalid_cr4 v)
       else begin
-        let m = st.machine in
+        (* Clearing PCIDE (legally, with PCID 0 active) invalidates all
+           non-global entries on this logical CPU, as hardware does. *)
+        if clears_pcide then Machine.flush_full m;
         m.Machine.cr.Cr.cr4 <- v;
         Machine.charge m m.Machine.costs.Costs.cr_write;
         Machine.count_ev m Nktrace.Load_cr4;

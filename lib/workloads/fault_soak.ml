@@ -13,6 +13,9 @@ type result = {
   escapes : string list;
   coherence_violations : int;
   invariant_failures : int;
+  flush_deferred : int;  (** unmaps that took the lazy path *)
+  flush_drained : int;  (** deferred records actually flushed *)
+  deferred_live : int;  (** records still queued after the final drain *)
   cycles : int;
 }
 
@@ -130,6 +133,14 @@ let run ?(ops = 2000) ?(rate = 0.01) ?(sites = Nkinject.all_sites)
   (* Disarm for the final audits: they judge the state the faults left
      behind, and must not themselves be perturbed. *)
   Nkinject.set_armed inj false;
+  (* Drain the deferred-unmap queue so the final audit covers a fully
+     settled machine: every lazily deferred flush must by now have
+     been issued (deferred = drained), or the last batch was lost. *)
+  Nested_kernel.Api.nk_flush_all_deferred nk;
+  let counter ev = Nktrace.counter_value m.Machine.trace ev in
+  let flush_deferred = counter Nktrace.Flush_deferred in
+  let flush_drained = counter Nktrace.Flush_on_reuse in
+  let deferred_live = Nested_kernel.Api.nk_deferred_live nk in
   let invariant_failures = List.length (Nested_kernel.Api.audit nk) in
   let final_violations =
     Nested_kernel.Api.Diagnostics.Coherence.snapshot ~op:"soak-final" nk
@@ -147,12 +158,17 @@ let run ?(ops = 2000) ?(rate = 0.01) ?(sites = Nkinject.all_sites)
     escapes = List.rev !escapes;
     coherence_violations = !violations;
     invariant_failures;
+    flush_deferred;
+    flush_drained;
+    deferred_live;
     cycles = Clock.cycles m.Machine.clock;
   }
 
 let survived r =
   r.escaped_exceptions = 0 && r.coherence_violations = 0
   && r.invariant_failures = 0
+  && r.flush_deferred = r.flush_drained
+  && r.deferred_live = 0
 
 let to_table r =
   {
@@ -167,6 +183,10 @@ let to_table r =
         [ "escaped exceptions"; string_of_int r.escaped_exceptions ];
         [ "coherence violations"; string_of_int r.coherence_violations ];
         [ "invariant failures"; string_of_int r.invariant_failures ];
+        [
+          "deferred flushes (queued/drained)";
+          Printf.sprintf "%d/%d" r.flush_deferred r.flush_drained;
+        ];
         [ "cycles"; string_of_int r.cycles ];
       ]
       @ List.filter_map

@@ -21,6 +21,9 @@ type result = {
   escapes : string list;  (** first few escaped exceptions, for triage *)
   coherence_violations : int;  (** must be 0 *)
   invariant_failures : int;  (** must be 0 *)
+  flush_deferred : int;  (** unmaps that took the lazy-flush path *)
+  flush_drained : int;  (** deferred records flushed; must equal the above *)
+  deferred_live : int;  (** records left after the final drain; must be 0 *)
   cycles : int;  (** final simulated-clock reading *)
 }
 
@@ -33,6 +36,9 @@ val run :
     (default 0.01) over [sites] (default: all). *)
 
 val survived : result -> bool
-(** Zero escapes, zero oracle violations, zero invariant failures. *)
+(** Zero escapes, zero oracle violations, zero invariant failures, and
+    the deferred-unmap books balance: every lazily deferred flush was
+    eventually drained ([flush_deferred = flush_drained]) with nothing
+    left queued. *)
 
 val to_table : result -> Stats.table

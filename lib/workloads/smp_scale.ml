@@ -34,7 +34,10 @@ let env_seed () =
 
 let run_one ?(seed = default_seed) ?(procs = 8) ?(steps = 400)
     ?(coherence = false) cpus =
-  let k = Os.boot ~cpus Config.Perspicuos in
+  (* The batched vMMU backend is the whole point at scale: without it
+     fork's COW downgrades go through per-PTE writes and the per-batch
+     shootdown coalescer never runs at all. *)
+  let k = Os.boot ~batched:true ~cpus Config.Perspicuos in
   let violations = ref 0 in
   (match k.Kernel.nk with
   | Some nk when coherence ->
@@ -81,11 +84,42 @@ let run_one ?(seed = default_seed) ?(procs = 8) ?(steps = 400)
             (* Every few quanta, an mmap/munmap pair: the unmap's TLB
                shootdown is what the extra CPUs have to absorb. *)
             if !tick mod 4 = 0 then
-              match Syscalls.mmap k p ~len:4096 ~rw:true ~populate:true () with
+              (match Syscalls.mmap k p ~len:4096 ~rw:true ~populate:true () with
               | Ok va -> ignore (Syscalls.munmap k p va)
               | Error _ -> ());
+            (* Forks on the first quanta of the measured window: the
+               COW downgrade walks the parent's writable pages rw ->
+               ro in one batch, which is the traffic the per-batch
+               shootdown coalescer exists for (unmaps take the
+               deferred path instead and never reach it).  The 8-page
+               rw region mapped first guarantees contiguous downgrades
+               to merge.  The very first ticks, because the forking
+               ASID is then still resident on at most the boot CPU —
+               a few quanta later every proc has migrated, and each
+               downgrade span fans out to all the CPUs it visited, a
+               cost that grows with the CPU count and drowns the
+               scaling signal.  Like the setup forks, the children are
+               never scheduled (and never exit): reaping one tears its
+               tables down through broadcast flushes on every CPU.
+               The region stays mapped for the same reason — its
+               frames are share-held by the child, so an unmap would
+               defer 8 flushes that can never hit a reuse barrier and
+               all fire (cross-CPU) in the final drain instead. *)
+            if !tick <= 2 then
+              match
+                Syscalls.mmap k p ~len:(8 * 4096) ~rw:true ~populate:true ()
+              with
+              | Error _ -> ()
+              | Ok _ -> ignore (Syscalls.fork k p));
         true)
   in
+  (* Drain the deferred-unmap queue before the books close: whatever
+     is still queued was deferred but never reached a reuse barrier,
+     and the final defer/reuse counters must account for every record
+     (defer = reuse), not all-but-the-last-batch. *)
+  (match k.Kernel.nk with
+  | Some nk -> Nested_kernel.Api.nk_flush_all_deferred nk
+  | None -> ());
   (match k.Kernel.nk with
   | Some nk when coherence ->
       violations :=

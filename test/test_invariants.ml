@@ -67,6 +67,16 @@ let test_detects_smm_theft () =
   m.Machine.smm_owner <- Machine.Smm_unprotected;
   Alcotest.(check bool) "I10 flagged" true (violated nk "I10")
 
+let test_smm_restore_clears_i10 () =
+  let m, nk = Helpers.booted_nk () in
+  m.Machine.smm_owner <- Machine.Smm_unprotected;
+  Alcotest.(check bool) "I10 flagged" true (violated nk "I10");
+  (* The audit judges current state, not history: re-securing SMM must
+     clear the complaint (and only that complaint). *)
+  m.Machine.smm_owner <- Machine.Smm_nested_kernel;
+  Alcotest.(check bool) "I10 clear after restore" false (violated nk "I10");
+  Alcotest.(check int) "audit clean again" 0 (List.length (Api.audit nk))
+
 let test_detects_idt_redirect () =
   let m, nk = Helpers.booted_nk () in
   m.Machine.idtr <- Some (Addr.kva_of_frame (Api.outer_first_frame nk));
@@ -81,6 +91,32 @@ let test_detects_idt_vector_patch () =
       Phys_mem.write_u64 m.Machine.mem (pa + (14 * 8)) 0xbad
   | None -> Alcotest.fail "no idt");
   Alcotest.(check bool) "I12 flagged" true (violated nk "I12")
+
+let test_detects_idt_missing () =
+  let m, nk = Helpers.booted_nk () in
+  (* The None branch: an attacker (or a buggy outer kernel) tears the
+     IDTR down entirely rather than redirecting it. *)
+  m.Machine.idtr <- None;
+  Alcotest.(check bool) "I12 flagged with no IDT" true (violated nk "I12")
+
+let test_detects_idt_unreadable () =
+  let m, nk = Helpers.booted_nk () in
+  (* The Error branch of the vector sweep: IDTR still names the
+     nested kernel's IDT, but the mapping under it is gone, so every
+     kread of a vector fails.  Blank the leaf below the vMMU — raw
+     table surgery, exactly what the audit exists to catch. *)
+  (match m.Machine.idtr with
+  | Some va -> (
+      match
+        Page_table.walk m.Machine.mem ~root:(Cr.root_frame m.Machine.cr) va
+      with
+      | Page_table.Mapped w ->
+          Page_table.set_entry m.Machine.mem ~ptp:w.Page_table.leaf_ptp
+            ~index:w.Page_table.leaf_index Pte.empty
+      | Page_table.Not_mapped _ -> Alcotest.fail "idt leaf missing")
+  | None -> Alcotest.fail "no idt");
+  Alcotest.(check bool) "I12 flagged when IDT unreadable" true
+    (violated nk "I12")
 
 let test_detects_iommu_disabled () =
   let m, nk = Helpers.booted_nk () in
@@ -122,10 +158,16 @@ let suite =
     Alcotest.test_case "detects undeclared link (I4)" `Quick
       test_detects_undeclared_table_link;
     Alcotest.test_case "detects SMM theft (I10)" `Quick test_detects_smm_theft;
+    Alcotest.test_case "SMM restore clears I10" `Quick
+      test_smm_restore_clears_i10;
     Alcotest.test_case "detects IDTR redirect (I12)" `Quick
       test_detects_idt_redirect;
     Alcotest.test_case "detects IDT vector patch (I12)" `Quick
       test_detects_idt_vector_patch;
+    Alcotest.test_case "detects missing IDT (I12)" `Quick
+      test_detects_idt_missing;
+    Alcotest.test_case "detects unreadable IDT (I12)" `Quick
+      test_detects_idt_unreadable;
     Alcotest.test_case "detects IOMMU disabled" `Quick test_detects_iommu_disabled;
     Alcotest.test_case "detects IOMMU coverage gap" `Quick test_detects_iommu_gap;
     Alcotest.test_case "clean after vMMU churn" `Quick test_clean_after_heavy_use;

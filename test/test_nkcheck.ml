@@ -1,0 +1,63 @@
+(* The model checker itself, plus the regression scripts for the bugs
+   it flushed out: each script is a shrunk counterexample that failed
+   before its fix and must replay clean forever after. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let replay_clean name () =
+  let outcome = Nkcheck.replay_script (read_file ("regress/" ^ name)) in
+  Alcotest.(check bool) "script has ops" true (outcome.Nkcheck.ro_ops <> []);
+  Alcotest.(check (list (pair int string)))
+    "replays clean" [] outcome.Nkcheck.ro_failures
+
+let test_small_bound_clean () =
+  let report =
+    Nkcheck.run { Nkcheck.default with depth = 2; vocab = Nkcheck.Core }
+  in
+  Alcotest.(check bool) "not truncated" false report.Nkcheck.rp_truncated;
+  Alcotest.(check int) "no counterexamples" 0
+    (List.length report.Nkcheck.rp_counterexamples);
+  Alcotest.(check bool) "explored more than the initial state" true
+    (report.Nkcheck.rp_states > 1)
+
+let test_inject_bound_clean () =
+  let report =
+    Nkcheck.run
+      { Nkcheck.default with depth = 2; vocab = Nkcheck.Core; inject = true }
+  in
+  Alcotest.(check bool) "not truncated" false report.Nkcheck.rp_truncated;
+  Alcotest.(check int) "no counterexamples" 0
+    (List.length report.Nkcheck.rp_counterexamples)
+
+let test_deterministic () =
+  let run () =
+    let r = Nkcheck.run { Nkcheck.default with depth = 2 } in
+    Format.asprintf "%a" Nkcheck.pp_report r
+  in
+  Alcotest.(check string) "two runs render identically" (run ()) (run ())
+
+let test_unknown_op_reported () =
+  let outcome = Nkcheck.replay_script "op no-such-op\n" in
+  Alcotest.(check bool) "unknown op is a failure" true
+    (outcome.Nkcheck.ro_failures <> [])
+
+let suite =
+  [
+    Alcotest.test_case "regress: G-bit global leak" `Quick
+      (replay_clean "gbit-global-leak.nkcheck");
+    Alcotest.test_case "regress: CR4.PCIDE clear with PCID set" `Quick
+      (replay_clean "cr4-pcide-clear-nonzero-pcid.nkcheck");
+    Alcotest.test_case "regress: untagged switch stale tags" `Quick
+      (replay_clean "untagged-switch-stale-tags.nkcheck");
+    Alcotest.test_case "depth-2 core bound is clean" `Quick
+      test_small_bound_clean;
+    Alcotest.test_case "depth-2 core bound clean under injection" `Quick
+      test_inject_bound_clean;
+    Alcotest.test_case "exploration is deterministic" `Quick test_deterministic;
+    Alcotest.test_case "unknown op reported, not crashed" `Quick
+      test_unknown_op_reported;
+  ]

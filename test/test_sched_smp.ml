@@ -147,7 +147,12 @@ let test_shootdowns_drain_before_dispatch () =
        (fun ~cpu pid' ->
          Alcotest.(check int) "mailbox drained before the quantum" 0
            (Nkhw.Smp.pending_ipis k.Kernel.smp cpu);
-         if pid' = pid then churn k p 0 (fun () -> ());
+         (* Hop mid-churn so the ASID is genuinely resident on both
+            CPUs: shootdowns are residency/occupancy-targeted, so a
+            process that never leaves its CPU posts no IPIs at all. *)
+         if pid' = pid then
+           churn k p 0 (fun () ->
+               ignore (Sched.migrate s pid ~to_cpu:(1 - cpu)));
          true));
   Alcotest.(check bool) "shootdown IPIs were actually posted" true
     (Nktrace.counter_value trace Nktrace.Ipi_shootdown > ipi0)

@@ -257,11 +257,16 @@ let test_load_cr3_pcid () =
     (asid_flushes ());
   Alcotest.(check int) "tagged switches never flush everything" full0
     (full_flushes ());
-  (* An untagged switch forgets every binding: the old clean pair must
-     re-flush on its next use. *)
+  (* An untagged switch forgets every binding — and must shoot each
+     dropped tag down first (one ASID flush here for pcid 3), or a
+     parked peer could keep entries under a tag the clean-pair table
+     no longer accounts for.  The old pair then re-flushes on its
+     next use, as any first use of a dirty pair does. *)
   Helpers.check_ok "untagged switch" (Api.load_cr3 nk old_root);
+  Alcotest.(check int) "dropped binding shot down at the switch" (a0 + 3)
+    (asid_flushes ());
   Helpers.check_ok "re-tagged switch" (Api.load_cr3_pcid nk ~pcid:3 f0);
-  Alcotest.(check int) "binding was dropped" (a0 + 3) (asid_flushes ());
+  Alcotest.(check int) "binding was dropped" (a0 + 4) (asid_flushes ());
   Alcotest.(check bool) "audit clean" true (Api.audit_ok nk)
 
 let test_cross_asid_shootdown () =
