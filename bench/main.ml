@@ -514,6 +514,61 @@ let extra_smp_scaling () =
        ]);
   Stats.print (Smp_scale.to_table points)
 
+let extra_server_scale () =
+  section "Extra: event-driven serving at 1k..100k live connections (E15)";
+  let host0 = Sys.time () in
+  let points = Server_scale.run () in
+  let host_secs = Sys.time () -. host0 in
+  let json_list items = "[" ^ String.concat ", " items ^ "]" in
+  json_add "server_scale"
+    (json_obj
+       [
+         ( "seed",
+           string_of_int
+             (match points with
+             | p :: _ -> p.Server_scale.seed
+             | [] -> Server_scale.default_seed) );
+         ("cpus", string_of_int Server_scale.cpus);
+         ("host_secs", Printf.sprintf "%.1f" host_secs);
+         ( "points",
+           json_list
+             (List.map
+                (fun (p : Server_scale.point) ->
+                  json_obj
+                    [
+                      ("config", Printf.sprintf "%S" (Config.name p.Server_scale.config));
+                      ("conns", string_of_int p.Server_scale.conns);
+                      ("steps", string_of_int p.Server_scale.steps);
+                      ("live_peak", string_of_int p.Server_scale.live_peak);
+                      ("accepted", string_of_int p.Server_scale.accepted);
+                      ("completed", string_of_int p.Server_scale.completed);
+                      ("gets", string_of_int p.Server_scale.gets);
+                      ("sets", string_of_int p.Server_scale.sets);
+                      ("p50", string_of_int p.Server_scale.p50);
+                      ("p99", string_of_int p.Server_scale.p99);
+                      ("p999", string_of_int p.Server_scale.p999);
+                      ("fd_op_cycles", string_of_int p.Server_scale.fd_op_cycles);
+                      ( "accepts_local",
+                        string_of_int p.Server_scale.accepts_local );
+                      ( "accepts_steal",
+                        string_of_int p.Server_scale.accepts_steal );
+                      ( "backlog_drops",
+                        string_of_int p.Server_scale.backlog_drops );
+                      ( "epoll_wakeups",
+                        string_of_int p.Server_scale.epoll_wakeups );
+                      ("slab_hits", string_of_int p.Server_scale.slab_hits);
+                      ( "slab_refills",
+                        string_of_int p.Server_scale.slab_refills );
+                      ("cycles", string_of_int p.Server_scale.cycles);
+                      ( "oracle_violations",
+                        string_of_int p.Server_scale.oracle_violations );
+                      ( "audit_failures",
+                        string_of_int p.Server_scale.audit_failures );
+                    ])
+                points) );
+       ]);
+  Stats.print (Server_scale.to_table points)
+
 let extra_coherence () =
   section "Extra: differential TLB-coherence oracle overhead";
   (* The oracle is a debug/CI instrument: with the hook uninstalled the
@@ -797,6 +852,7 @@ let experiments =
     ("extra-ctx-switch", extra_ctx_switch);
     ("extra-smp-shootdown", extra_smp_shootdown);
     ("extra-smp-scaling", extra_smp_scaling);
+    ("server-scale", extra_server_scale);
     ("extra-coherence", extra_coherence);
     ("extra-latency-hist", extra_latency_hist);
     ("fault-soak", fault_soak);

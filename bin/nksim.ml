@@ -3,6 +3,7 @@
      nksim boot    [-c CONFIG]          boot and report system state
      nksim attacks [-c CONFIG] [-a NAME] run the attack suite
      nksim audit   [-c CONFIG]          boot, stress, audit invariants
+     nksim serve   [-c CONFIG] [--conns N] event-driven server under load
      nksim list                         list configurations and attacks *)
 
 open Cmdliner
@@ -446,6 +447,62 @@ let check_cmd =
       const run $ depth_arg $ vocab_arg $ check_inject_arg $ max_states_arg
       $ out_arg $ replay_file_arg)
 
+(* nksim serve: one cell of the event-driven server scaling sweep. *)
+
+let conns_arg =
+  Arg.(
+    value
+    & opt int 10_000
+    & info [ "conns" ] ~docv:"N"
+        ~doc:"Live-connection target for the load generator (the full \
+              bench sweeps 1k..100k).")
+
+let serve_seed_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "seed" ] ~docv:"SEED"
+        ~doc:"Executor/load-generator seed (default: NKSIM_SCHED_SEED or \
+              42); the same seed reproduces every number.")
+
+let et_arg =
+  Arg.(
+    value & flag
+    & info [ "et" ]
+        ~doc:"Run the workers' connections edge-triggered instead of \
+              level-triggered.")
+
+let serve_cmd =
+  let run config conns seed et =
+    let module S = Nk_workloads.Server_scale in
+    let seed = match seed with Some s -> s | None -> S.env_seed () in
+    let p = S.run_one ~seed ~et ~config conns in
+    Printf.printf "kv server: %s, %d vCPUs, %d-connection target (seed %d%s)\n"
+      (Config.name config) S.cpus conns seed
+      (if et then ", edge-triggered" else "");
+    Printf.printf "  live peak       : %d connections\n" p.S.live_peak;
+    Printf.printf "  accepted        : %d (%d local, %d stolen, %d dropped)\n"
+      p.S.accepted p.S.accepts_local p.S.accepts_steal p.S.backlog_drops;
+    Printf.printf "  requests        : %d (%d GET / %d SET)\n" p.S.completed
+      p.S.gets p.S.sets;
+    Printf.printf "  latency (cycles): p50=%d p99=%d p999=%d\n" p.S.p50 p.S.p99
+      p.S.p999;
+    Printf.printf "  fd open/close   : %d cycles at peak table size\n"
+      p.S.fd_op_cycles;
+    Printf.printf "  epoll wakeups   : %d\n" p.S.epoll_wakeups;
+    Printf.printf "  slab magazines  : %d hits / %d refills\n" p.S.slab_hits
+      p.S.slab_refills;
+    Printf.printf "  oracle/audit    : %d violations, %d failures\n"
+      p.S.oracle_violations p.S.audit_failures;
+    if p.S.oracle_violations = 0 && p.S.audit_failures = 0 then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the event-driven kv server under open-loop load on 8 vCPUs \
+             and report latency percentiles, fd-op cost and accept/steal \
+             behaviour")
+    Term.(const run $ config $ conns_arg $ serve_seed_arg $ et_arg)
+
 let list_cmd =
   let run () =
     print_endline "configurations:";
@@ -468,4 +525,5 @@ let () =
   in
   exit
     (Cmd.eval'
-       (Cmd.group info [ boot_cmd; attacks_cmd; audit_cmd; check_cmd; list_cmd ]))
+       (Cmd.group info
+          [ boot_cmd; attacks_cmd; audit_cmd; check_cmd; serve_cmd; list_cmd ]))

@@ -19,6 +19,8 @@ type t = {
   byte_copy_x8 : int;
   call_ret : int;
   ctx_switch : int;
+  sock_dma_setup : int;
+  nic_irq : int;
 }
 
 (* The gate pair (Figures 2 and 3 of the paper) executes ~13 + ~10
@@ -47,6 +49,10 @@ let default =
     byte_copy_x8 = 1;
     call_ret = 5;
     ctx_switch = 350;
+    (* NIC descriptor-ring DMA: posting one send/receive descriptor and
+       reaping its completion, amortized over interrupt coalescing. *)
+    sock_dma_setup = 450;
+    nic_irq = 900;
   }
 
 let ghz = 3.4

@@ -33,6 +33,12 @@ type t = {
           register save/restore, kernel-stack swap, run-queue
           bookkeeping.  Charged once per actual switch, never on
           self-switch *)
+  sock_dma_setup : int;
+      (** post one NIC descriptor (send or receive) and reap its
+          completion: the per-block DMA cost of the socket path *)
+  nic_irq : int;
+      (** one coalesced NIC interrupt: delivery plus softirq-style
+          demux into the socket buffers *)
 }
 
 val default : t

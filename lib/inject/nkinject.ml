@@ -9,6 +9,7 @@ type site =
   | Ipi_delay
   | Sys_enomem
   | Sys_efault
+  | Accept_overflow
 
 let all_sites =
   [
@@ -22,6 +23,7 @@ let all_sites =
     Ipi_delay;
     Sys_enomem;
     Sys_efault;
+    Accept_overflow;
   ]
 
 let nsites = List.length all_sites
@@ -37,6 +39,7 @@ let index = function
   | Ipi_delay -> 7
   | Sys_enomem -> 8
   | Sys_efault -> 9
+  | Accept_overflow -> 10
 
 let site_name = function
   | Frame_exhausted -> "frame"
@@ -49,6 +52,7 @@ let site_name = function
   | Ipi_delay -> "ipi-delay"
   | Sys_enomem -> "sys-enomem"
   | Sys_efault -> "sys-efault"
+  | Accept_overflow -> "accept"
 
 let site_of_name s =
   List.find_opt (fun site -> site_name site = s) all_sites

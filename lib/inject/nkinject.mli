@@ -29,6 +29,9 @@ type site =
   | Ipi_delay  (** a sent IPI is deferred to the next mailbox drain *)
   | Sys_enomem  (** syscall dispatcher returns [ENOMEM] *)
   | Sys_efault  (** syscall dispatcher returns [EFAULT] *)
+  | Accept_overflow
+      (** an incoming connection is dropped as if the listen backlog
+          were full, exercising the server's overload path *)
 
 val all_sites : site list
 (** Every site, in declaration order. *)

@@ -1,0 +1,169 @@
+open Nkhw
+
+let ep_in = 1
+let ep_out = 2
+let ep_hup = 4
+
+(* Kernel-path costs: interest-list update, wait setup, per-event
+   copyout.  All constants — nothing scales with the watched count. *)
+let cost_ctl = 250
+let cost_wait_base = 300
+let cost_per_event = 120
+
+type entry = {
+  e_fd : int;
+  e_desc : Fdesc.t;
+  mask : int;
+  et : bool;
+  mutable queued : bool;
+  mutable last_edge : int;  (* readiness bits at last ET delivery *)
+  mutable wid : int;
+  mutable dead : bool;
+}
+
+type t = {
+  machine : Machine.t;
+  entries : (int, entry) Hashtbl.t;  (* keyed by the caller's fd *)
+  readyq : entry Queue.t;
+  mutable delivered : (int * int) list;
+  mutable self : Fdesc.t option;
+}
+
+type Fdesc.priv += Epoll of t
+
+let bits_of entry =
+  let r = Fdesc.ready entry.e_desc in
+  ((if r.Fdesc.readable then ep_in else 0)
+  lor (if r.Fdesc.writable then ep_out else 0))
+  land entry.mask
+  lor if r.Fdesc.hangup then ep_hup else 0
+
+let enqueue t entry =
+  entry.queued <- true;
+  Queue.push entry t.readyq;
+  match t.self with Some d -> Fdesc.poke d | None -> ()
+
+(* The watcher callback: runs whenever the watched description pokes.
+   Level-triggered entries queue whenever ready and not yet queued;
+   edge-triggered entries only on a bit that rose since the last
+   delivery. *)
+let on_poke t entry () =
+  if not entry.dead then begin
+    let bits = bits_of entry in
+    if entry.et then begin
+      let rising = bits land lnot entry.last_edge in
+      entry.last_edge <- bits;
+      if rising <> 0 && not entry.queued then enqueue t entry
+    end
+    else if bits <> 0 && not entry.queued then enqueue t entry
+  end
+
+let add t ~fd desc ~mask ~et =
+  Machine.charge t.machine cost_ctl;
+  if Hashtbl.mem t.entries fd then Error Ktypes.Eexist
+  else begin
+    let entry =
+      {
+        e_fd = fd;
+        e_desc = desc;
+        mask;
+        et;
+        queued = false;
+        last_edge = 0;
+        wid = 0;
+        dead = false;
+      }
+    in
+    entry.wid <- Fdesc.watch desc (on_poke t entry);
+    Hashtbl.replace t.entries fd entry;
+    (* Initial readiness counts as the first edge. *)
+    on_poke t entry ();
+    Ok ()
+  end
+
+let del t ~fd =
+  Machine.charge t.machine cost_ctl;
+  match Hashtbl.find_opt t.entries fd with
+  | None -> Error Ktypes.Ebadf
+  | Some entry ->
+      Fdesc.unwatch entry.e_desc entry.wid;
+      entry.dead <- true;
+      Hashtbl.remove t.entries fd;
+      Ok ()
+
+let wait t ~max =
+  Machine.charge t.machine cost_wait_base;
+  let out = ref [] and nout = ref 0 in
+  let requeue = ref [] in
+  let rec drain () =
+    if !nout < max && not (Queue.is_empty t.readyq) then begin
+      let entry = Queue.pop t.readyq in
+      if entry.dead then entry.queued <- false
+      else begin
+        let bits = bits_of entry in
+        if bits = 0 then begin
+          (* Stale: consumed between poke and wait. *)
+          entry.queued <- false;
+          if entry.et then entry.last_edge <- 0
+        end
+        else begin
+          Machine.charge t.machine cost_per_event;
+          out := (entry.e_fd, bits) :: !out;
+          incr nout;
+          if entry.et then begin
+            entry.queued <- false;
+            entry.last_edge <- bits
+          end
+          else
+            (* Level-triggered: still ready, report again next time.
+               Re-queued after the loop so one wait never sees the
+               same entry twice. *)
+            requeue := entry :: !requeue
+        end
+      end;
+      drain ()
+    end
+  in
+  drain ();
+  List.iter (fun e -> Queue.push e t.readyq) (List.rev !requeue);
+  let events = List.rev !out in
+  t.delivered <- events;
+  if events <> [] then Machine.count_ev t.machine Nktrace.Epoll_wakeup;
+  events
+
+let watched t = Hashtbl.length t.entries
+let ready_len t = Queue.length t.readyq
+let last_delivered t = t.delivered
+
+let create machine =
+  let t =
+    {
+      machine;
+      entries = Hashtbl.create 64;
+      readyq = Queue.create ();
+      delivered = [];
+      self = None;
+    }
+  in
+  let d =
+    Fdesc.make ~kind:"epoll" ~priv:(Epoll t) ~read:Fdesc.not_readable
+      ~write:Fdesc.not_writable
+      ~ready:(fun () ->
+        {
+          Fdesc.readable = not (Queue.is_empty t.readyq);
+          writable = false;
+          hangup = false;
+        })
+      ~close:(fun () ->
+        Hashtbl.iter (fun _ e -> Fdesc.unwatch e.e_desc e.wid) t.entries;
+        Hashtbl.reset t.entries;
+        Queue.clear t.readyq;
+        t.self <- None;
+        Ok ())
+      ()
+  in
+  t.self <- Some d;
+  d
+
+let of_fdesc (d : Fdesc.t) =
+  match d.Fdesc.priv with Epoll t -> Some t | _ -> None

@@ -1,0 +1,67 @@
+type ready = { readable : bool; writable : bool; hangup : bool }
+type priv = ..
+type priv += No_priv
+
+type t = {
+  kind : string;
+  uid : int;
+  priv : priv;
+  mutable refs : int;
+  mutable closed : bool;
+  mutable watchers : (int * (unit -> unit)) list;
+  op_read : int -> (int, Ktypes.errno) result;
+  op_write : bytes -> (int, Ktypes.errno) result;
+  op_ready : unit -> ready;
+  op_close : unit -> (unit, Ktypes.errno) result;
+}
+
+let next_uid = ref 0
+let next_wid = ref 0
+
+let make ~kind ?(priv = No_priv) ~read ~write ~ready ~close () =
+  incr next_uid;
+  {
+    kind;
+    uid = !next_uid;
+    priv;
+    refs = 1;
+    closed = false;
+    watchers = [];
+    op_read = read;
+    op_write = write;
+    op_ready = ready;
+    op_close = close;
+  }
+
+let get t = t.refs <- t.refs + 1
+
+let release t =
+  if t.closed then Ok ()
+  else begin
+    t.refs <- t.refs - 1;
+    if t.refs > 0 then Ok ()
+    else begin
+      t.closed <- true;
+      t.watchers <- [];
+      t.op_close ()
+    end
+  end
+
+let read t n = if t.closed then Error Ktypes.Ebadf else t.op_read n
+let write t b = if t.closed then Error Ktypes.Ebadf else t.op_write b
+
+let ready t =
+  if t.closed then { readable = false; writable = false; hangup = true }
+  else t.op_ready ()
+
+let poke t = List.iter (fun (_, f) -> f ()) t.watchers
+
+let watch t f =
+  incr next_wid;
+  let wid = !next_wid in
+  t.watchers <- (wid, f) :: t.watchers;
+  wid
+
+let unwatch t wid = t.watchers <- List.remove_assoc wid t.watchers
+let not_readable (_ : int) = Error Ktypes.Ebadf
+let not_writable (_ : bytes) = Error Ktypes.Ebadf

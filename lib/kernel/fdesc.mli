@@ -1,0 +1,84 @@
+(** Open file descriptions as an ops table.
+
+    [Fdesc.t] is what a file-descriptor slot refers to: a record of
+    operation closures (read/write/readiness/close) built by the
+    implementing object — regular files ({!Vfs.fdesc_open}), pipe ends
+    ({!Pipe.fdesc_pair}), sockets and listen queues ({!Socket}), and
+    epoll instances ({!Epoll.create}).  The kernel's fd paths dispatch
+    through the ops blindly; adding a new descriptor kind never touches
+    the syscall layer.
+
+    A description is shared ([dup]-style) by reference counting: every
+    fd-table slot holding it owns one reference ({!get}), and the
+    underlying object's close operation runs exactly once, when the
+    last reference is released ({!release}).
+
+    Readiness is edge-propagated: whenever an operation changes what a
+    descriptor can do (data arrived, buffer drained, peer hung up),
+    the implementation calls {!poke}, which notifies every registered
+    watcher.  Epoll instances are watchers; this is what makes
+    [epoll_wait] O(ready) rather than a scan of the watched set. *)
+
+type ready = { readable : bool; writable : bool; hangup : bool }
+
+type priv = ..
+(** Implementation-private payload, extended by each implementing
+    module (e.g. [Pipe.Pipe_end], [Socket.Listener]) so handlers that
+    genuinely need the concrete object (epoll_ctl on an epoll fd,
+    accept on a listener) can recover it. *)
+
+type priv += No_priv
+
+type t = private {
+  kind : string;  (** "file", "pipe", "socket", "listener", "epoll" *)
+  uid : int;  (** unique per description, for watcher bookkeeping *)
+  priv : priv;
+  mutable refs : int;
+  mutable closed : bool;
+  mutable watchers : (int * (unit -> unit)) list;
+  op_read : int -> (int, Ktypes.errno) result;
+  op_write : bytes -> (int, Ktypes.errno) result;
+  op_ready : unit -> ready;
+  op_close : unit -> (unit, Ktypes.errno) result;
+}
+
+val make :
+  kind:string ->
+  ?priv:priv ->
+  read:(int -> (int, Ktypes.errno) result) ->
+  write:(bytes -> (int, Ktypes.errno) result) ->
+  ready:(unit -> ready) ->
+  close:(unit -> (unit, Ktypes.errno) result) ->
+  unit ->
+  t
+(** A fresh description with one reference. *)
+
+val get : t -> unit
+(** Take another reference (a second fd-table slot, a fork). *)
+
+val release : t -> (unit, Ktypes.errno) result
+(** Drop one reference; the implementation's close runs when the count
+    reaches zero.  Releasing an already-closed description is [Ok] —
+    the close happened, there is nothing left to do. *)
+
+val read : t -> int -> (int, Ktypes.errno) result
+val write : t -> bytes -> (int, Ktypes.errno) result
+
+val ready : t -> ready
+(** Current readiness; closed descriptions report hangup only. *)
+
+val poke : t -> unit
+(** Notify watchers that readiness may have changed.  Called by the
+    implementation after any state change; cheap when nobody
+    watches. *)
+
+val watch : t -> (unit -> unit) -> int
+(** Register a readiness watcher; returns its id for {!unwatch}. *)
+
+val unwatch : t -> int -> unit
+
+val not_readable : int -> (int, Ktypes.errno) result
+val not_writable : bytes -> (int, Ktypes.errno) result
+(** Ops for descriptions that don't support the direction ([Ebadf]) —
+    the write end of a pipe can't be read, a listener can't do
+    either. *)

@@ -14,6 +14,7 @@ type t = {
   shadow : Shadow_proc.t option;
   syscall_table : Syscall_table.t;
   handlers : (int, handler) Hashtbl.t;
+  arg_specs : (int, Ktypes.arg_kind list) Hashtbl.t;
   syslog : syscall_log option;
   procs : (Ktypes.pid, Proc.t) Hashtbl.t;
   smp : Smp.t;
@@ -261,6 +262,7 @@ let boot ?(frames = 8192) ?(batched = false) ?(pcid = true)
       shadow;
       syscall_table;
       handlers = Hashtbl.create 64;
+      arg_specs = Hashtbl.create 64;
       syslog;
       procs = Hashtbl.create 64;
       smp;
@@ -281,7 +283,7 @@ let boot ?(frames = 8192) ?(batched = false) ?(pcid = true)
      Ok (vm, node)
    with
   | Ok (vm, node) ->
-      let p = Proc.make ~pid:1 ~parent:0 ~vm ~node_va:node in
+      let p = Proc.make ~pid:1 ~parent:0 ~vm ~node_va:node () in
       Hashtbl.replace t.procs 1 p;
       t.running.(0) <- Some 1;
       t.next_pid <- 2;
@@ -344,7 +346,7 @@ let fork_proc t (parent : Proc.t) =
         Vmspace.destroy t.env vm;
         Error e
   in
-  let child = Proc.make ~pid ~parent:parent.Proc.pid ~vm ~node_va:node in
+  let child = Proc.make ~pid ~parent:parent.Proc.pid ~vm ~node_va:node () in
   Hashtbl.replace t.procs pid child;
   (match t.shadow with
   | Some s -> ignore (Shadow_proc.on_insert s pid ~node_va:node)
@@ -358,8 +360,11 @@ let exec_proc t (p : Proc.t) ~text_pages ~data_pages ~stack_pages =
 
 let exit_proc t (p : Proc.t) code =
   Machine.charge t.machine cost_proc_exit;
-  Hashtbl.iter (fun _ h -> ignore (Kfd.close t.vfs h)) p.Proc.fds;
-  Hashtbl.reset p.Proc.fds;
+  (* One close path for every descriptor kind: drop the table's
+     reference and let each description's own close op run when the
+     count hits zero. *)
+  Fdtable.iter (fun _ d -> ignore (Fdesc.release d)) p.Proc.fds;
+  Fdtable.clear p.Proc.fds;
   (* Switch to the kernel pmap before tearing down the dying address
      space — CR3 must never point into retired page tables. *)
   if Cr.root_frame t.machine.Machine.cr = p.Proc.vm.Vmspace.root then
@@ -429,6 +434,8 @@ let register_handler t id fn = Hashtbl.replace t.handlers id fn
 let install_syscall t ~sysno ~handler_id =
   Syscall_table.set t.syscall_table ~sysno ~handler_id
 
+let register_argspec t ~sysno spec = Hashtbl.replace t.arg_specs sysno spec
+
 (* Dispatcher work beyond the bare SYSCALL/SYSRET boundary: argument
    copyin, credential checks, table indexing. *)
 let cost_dispatch = 140
@@ -454,9 +461,19 @@ let syscall t (p : Proc.t) sysno args =
       Some Ktypes.Efault
     else None
   in
+  (* Table-driven argument validation: a handler with a registered
+     spec never sees a malformed vector — wrong arity or a mistyped
+     position is EINVAL here, uniformly, instead of each handler
+     silently substituting defaults. *)
+  let args_ok =
+    match Hashtbl.find_opt t.arg_specs sysno with
+    | Some spec -> Ktypes.check_args spec args
+    | None -> true
+  in
   let result =
     match injected with
     | Some e -> Error e
+    | None when not args_ok -> Error Ktypes.Einval
     | None -> (
         match Syscall_table.get t.syscall_table ~sysno with
         | Error e -> Error e

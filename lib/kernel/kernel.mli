@@ -21,6 +21,8 @@ type t = {
   shadow : Shadow_proc.t option;  (** Write_log configuration *)
   syscall_table : Syscall_table.t;
   handlers : (int, handler) Hashtbl.t;
+  arg_specs : (int, Ktypes.arg_kind list) Hashtbl.t;
+      (** per-syscall argument specs checked by the dispatcher *)
   syslog : syscall_log option;  (** Append_only configuration *)
   procs : (Ktypes.pid, Proc.t) Hashtbl.t;
   smp : Smp.t;  (** per-CPU contexts, mailboxes and the executor substrate *)
@@ -94,6 +96,11 @@ val proc : t -> Ktypes.pid -> Proc.t option
 
 val register_handler : t -> int -> handler -> unit
 val install_syscall : t -> sysno:int -> handler_id:int -> (unit, string) result
+
+val register_argspec : t -> sysno:int -> Ktypes.arg_kind list -> unit
+(** Declare the argument vector the syscall accepts; the dispatcher
+    rejects any call that doesn't match with [Einval] before the
+    handler runs. *)
 
 val syscall :
   t -> Proc.t -> int -> Ktypes.sysarg list -> (int, Ktypes.errno) result

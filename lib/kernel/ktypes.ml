@@ -13,6 +13,8 @@ type errno =
   | Eacces
   | Esrch
   | Enospc
+  | Eagain
+  | Emfile
 
 let errno_to_string = function
   | Enoent -> "ENOENT"
@@ -26,6 +28,8 @@ let errno_to_string = function
   | Eacces -> "EACCES"
   | Esrch -> "ESRCH"
   | Enospc -> "ENOSPC"
+  | Eagain -> "EAGAIN"
+  | Emfile -> "EMFILE"
 
 type sysarg = Int of int | Str of string | Buf of bytes
 
@@ -39,6 +43,28 @@ let arg_str args i =
 
 let arg_buf args i =
   match nth args i with Some (Buf b) -> Ok b | _ -> Error Einval
+
+(* Table-driven argument validation: each installed syscall declares
+   its arity and per-position kinds once, and the dispatcher rejects
+   malformed calls with EINVAL before any handler runs — no handler
+   ever sees (or silently defaults) a missing or mistyped argument. *)
+type arg_kind = Aint | Astr | Abuf
+
+let arg_kind_matches kind arg =
+  match (kind, arg) with
+  | Aint, Int _ -> true
+  | Astr, Str _ -> true
+  | Abuf, Buf _ -> true
+  | (Aint | Astr | Abuf), _ -> false
+
+let check_args spec args =
+  let rec go spec args =
+    match (spec, args) with
+    | [], [] -> true
+    | k :: spec, a :: args -> arg_kind_matches k a && go spec args
+    | [], _ :: _ | _ :: _, [] -> false
+  in
+  go spec args
 
 let sys_getpid = 1
 let sys_open = 2
@@ -56,6 +82,13 @@ let sys_wait = 13
 let sys_unlink = 14
 let sys_getppid = 15
 let sys_pipe = 16
+let sys_listen = 17
+let sys_accept = 18
+let sys_send = 19
+let sys_recv = 20
+let sys_epoll_create = 21
+let sys_epoll_ctl = 22
+let sys_epoll_wait = 23
 let max_syscall = 64
 
 (* Stable names for tracing keys and reports. *)
@@ -76,4 +109,11 @@ let syscall_name = function
   | 14 -> "unlink"
   | 15 -> "getppid"
   | 16 -> "pipe"
+  | 17 -> "listen"
+  | 18 -> "accept"
+  | 19 -> "send"
+  | 20 -> "recv"
+  | 21 -> "epoll_create"
+  | 22 -> "epoll_ctl"
+  | 23 -> "epoll_wait"
   | n -> "sys" ^ string_of_int n

@@ -16,6 +16,8 @@ type errno =
   | Eacces
   | Esrch
   | Enospc  (** a fixed kernel table (e.g. the MAC label table) is full *)
+  | Eagain  (** operation would block (empty queue, full buffer) *)
+  | Emfile  (** the per-process file-descriptor table is full *)
 
 val errno_to_string : errno -> string
 
@@ -24,6 +26,16 @@ type sysarg = Int of int | Str of string | Buf of bytes
 val arg_int : sysarg list -> int -> (int, errno) result
 val arg_str : sysarg list -> int -> (string, errno) result
 val arg_buf : sysarg list -> int -> (bytes, errno) result
+
+(** Per-syscall argument specifications.  A handler's spec is declared
+    alongside its table entry; the dispatcher checks the incoming
+    argument vector against it and rejects arity or kind mismatches
+    with [Einval] before the handler runs. *)
+type arg_kind = Aint | Astr | Abuf
+
+val check_args : arg_kind list -> sysarg list -> bool
+(** [check_args spec args] is [true] iff [args] has exactly the length
+    of [spec] and each argument matches its declared kind. *)
 
 (** Syscall numbers (indices into the system-call table). *)
 
@@ -43,6 +55,13 @@ val sys_wait : int
 val sys_unlink : int
 val sys_getppid : int
 val sys_pipe : int
+val sys_listen : int
+val sys_accept : int
+val sys_send : int
+val sys_recv : int
+val sys_epoll_create : int
+val sys_epoll_ctl : int
+val sys_epoll_wait : int
 val max_syscall : int
 
 val syscall_name : int -> string

@@ -74,3 +74,68 @@ let release t =
     t.released <- true;
     Frame_alloc.free t.falloc t.frame
   end
+
+(* --- file-description view ---------------------------------------- *)
+
+type role = R | W
+type Fdesc.priv += Pipe_end of t * role
+
+let fdesc_pair machine falloc =
+  match create machine falloc with
+  | Error e -> Error e
+  | Ok p ->
+      (* Each end pokes its peer after any state change: a write makes
+         the read end readable, a read frees space for the write end,
+         a close hangs the survivor up. *)
+      let rd = ref None and wr = ref None in
+      let poke_opt r = match !r with None -> () | Some d -> Fdesc.poke d in
+      (* Both ends close through this one path: drop this role's count,
+         wake the peer, and free the buffer frame once both are gone —
+         no per-variant drop_reader/drop_writer duplication. *)
+      let close_end role () =
+        (match role with R -> drop_reader p | W -> drop_writer p);
+        (match role with R -> poke_opt wr | W -> poke_opt rd);
+        release p;
+        Ok ()
+      in
+      let r =
+        Fdesc.make ~kind:"pipe" ~priv:(Pipe_end (p, R))
+          ~read:(fun n ->
+            if buffered p = 0 then
+              if p.writers = 0 then Ok 0 (* EOF *) else Error Ktypes.Eagain
+            else begin
+              let got = Bytes.length (read p n) in
+              poke_opt wr;
+              Ok got
+            end)
+          ~write:Fdesc.not_writable
+          ~ready:(fun () ->
+            {
+              Fdesc.readable = buffered p > 0 || p.writers = 0;
+              writable = false;
+              hangup = p.writers = 0;
+            })
+          ~close:(close_end R) ()
+      in
+      let w =
+        Fdesc.make ~kind:"pipe" ~priv:(Pipe_end (p, W))
+          ~read:Fdesc.not_readable
+          ~write:(fun data ->
+            if p.readers = 0 then Error Ktypes.Ebadf (* EPIPE, coarsely *)
+            else if space p = 0 then Error Ktypes.Eagain
+            else begin
+              let n = write p data in
+              poke_opt rd;
+              Ok n
+            end)
+          ~ready:(fun () ->
+            {
+              Fdesc.readable = false;
+              writable = space p > 0 && p.readers > 0;
+              hangup = p.readers = 0;
+            })
+          ~close:(close_end W) ()
+      in
+      rd := Some r;
+      wr := Some w;
+      Ok (r, w)

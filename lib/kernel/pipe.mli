@@ -31,3 +31,14 @@ val writers : t -> int
 
 val release : t -> unit
 (** Return the buffer frame to the pool once both ends are closed. *)
+
+type role = R | W
+type Fdesc.priv += Pipe_end of t * role
+
+val fdesc_pair :
+  Machine.t -> Frame_alloc.t -> (Fdesc.t * Fdesc.t, Ktypes.errno) result
+(** [(read_end, write_end)] as file descriptions.  The ends poke each
+    other on every state change (write -> reader readable, read ->
+    writer writable, close -> peer hangup) and share a single
+    role-parametrized close path; the buffer frame is freed when the
+    second end closes. *)

@@ -6,33 +6,27 @@ type t = {
   mutable pstate : pstate;
   vm : Vmspace.t;
   node_va : Nkhw.Addr.va;
-  fds : (Ktypes.fd, Kfd.t) Hashtbl.t;
-  mutable next_fd : int;
+  fds : Fdesc.t Fdtable.t;
   sighandlers : (int, string) Hashtbl.t;
   mutable exit_code : int option;
 }
 
-let make ~pid ~parent ~vm ~node_va =
+let make ?fd_limit ~pid ~parent ~vm ~node_va () =
   {
     pid;
     parent;
     pstate = Running;
     vm;
     node_va;
-    fds = Hashtbl.create 8;
-    next_fd = 3;
+    fds = Fdtable.create ?limit:fd_limit ();
     sighandlers = Hashtbl.create 4;
     exit_code = None;
   }
 
-let add_fd t h =
-  let fd = t.next_fd in
-  t.next_fd <- fd + 1;
-  Hashtbl.replace t.fds fd h;
-  fd
-
-let fd_handle t fd = Hashtbl.find_opt t.fds fd
-let drop_fd t fd = Hashtbl.remove t.fds fd
+let add_fd t d = Fdtable.alloc t.fds d
+let fd_handle t fd = Fdtable.get t.fds fd
+let drop_fd t fd = ignore (Fdtable.remove t.fds fd)
+let fd_count t = Fdtable.count t.fds
 
 let pp_state ppf s =
   Format.pp_print_string ppf

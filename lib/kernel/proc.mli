@@ -11,14 +11,25 @@ type t = {
   mutable pstate : pstate;
   vm : Vmspace.t;
   node_va : Addr.va;  (** this process's allproc node *)
-  fds : (Ktypes.fd, Kfd.t) Hashtbl.t;
-  mutable next_fd : int;
+  fds : Fdesc.t Fdtable.t;
+      (** descriptor table: lowest-free numbering, O(1) lookup/close *)
   sighandlers : (int, string) Hashtbl.t;  (** signal -> handler tag *)
   mutable exit_code : int option;
 }
 
-val make : pid:Ktypes.pid -> parent:Ktypes.pid -> vm:Vmspace.t -> node_va:Addr.va -> t
-val add_fd : t -> Kfd.t -> Ktypes.fd
-val fd_handle : t -> Ktypes.fd -> Kfd.t option
+val make :
+  ?fd_limit:int ->
+  pid:Ktypes.pid ->
+  parent:Ktypes.pid ->
+  vm:Vmspace.t ->
+  node_va:Addr.va ->
+  unit ->
+  t
+
+val add_fd : t -> Fdesc.t -> (Ktypes.fd, Ktypes.errno) result
+(** Lowest free descriptor number, [Emfile] at the table limit. *)
+
+val fd_handle : t -> Ktypes.fd -> Fdesc.t option
 val drop_fd : t -> Ktypes.fd -> unit
+val fd_count : t -> int
 val pp_state : Format.formatter -> pstate -> unit

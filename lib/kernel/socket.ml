@@ -1,0 +1,235 @@
+open Nkhw
+
+(* Send-window credit per connection: how many response bytes the
+   server may buffer before the (simulated) NIC drains them. *)
+let tx_window = 64 * 1024
+
+(* Kernel-path costs beyond the DMA/IRQ constants in [Costs]. *)
+let cost_accept = 450
+let cost_conn_close = 300
+
+type conn = {
+  machine : Machine.t;
+  kalloc : Kalloc.t;
+  chunk : Addr.va option;  (* per-connection kernel buffer *)
+  mutable rx : int;  (* request bytes awaiting recv *)
+  mutable tx : int;  (* response bytes awaiting NIC drain *)
+  mutable peer_closed : bool;
+  mutable srv_closed : bool;
+  mutable desc : Fdesc.t option;  (* set at accept *)
+  mutable cookie : int;
+      (* application tag standing in for the request payload, which
+         the model never materializes (e.g. the kv op code) *)
+}
+
+type listener = {
+  l_machine : Machine.t;
+  l_kalloc : Kalloc.t;
+  l_inject : Nkinject.t option;
+  backlog : int;
+  shards : conn Queue.t array;  (* one accept queue per CPU *)
+  mutable pending : int;
+  mutable dropped : int;
+  accepts_local : int array;
+  accepts_steal : int array;
+  mutable l_desc : Fdesc.t option;
+}
+
+type Fdesc.priv += Listener of listener | Conn of conn
+
+let charge_copy (m : Machine.t) n =
+  Machine.charge m (m.Machine.costs.Costs.byte_copy_x8 * ((n + 7) / 8))
+
+let conn_close c () =
+  if not c.srv_closed then begin
+    c.srv_closed <- true;
+    c.desc <- None;
+    Machine.charge c.machine cost_conn_close;
+    (match c.chunk with Some va -> Kalloc.free c.kalloc va | None -> ());
+    Machine.count_ev c.machine Nktrace.Sock_conn_close
+  end;
+  Ok ()
+
+let conn_fdesc c =
+  let d =
+    Fdesc.make ~kind:"socket" ~priv:(Conn c)
+      ~read:(fun n ->
+        if c.rx = 0 then
+          if c.peer_closed then Ok 0 (* EOF *) else Error Ktypes.Eagain
+        else begin
+          let got = min n c.rx in
+          c.rx <- c.rx - got;
+          Machine.charge c.machine c.machine.Machine.costs.Costs.sock_dma_setup;
+          charge_copy c.machine got;
+          Ok got
+        end)
+      ~write:(fun data ->
+        if c.peer_closed then Error Ktypes.Ebadf (* EPIPE, coarsely *)
+        else
+          let room = tx_window - c.tx in
+          if room = 0 then Error Ktypes.Eagain
+          else begin
+            let n = min (Bytes.length data) room in
+            c.tx <- c.tx + n;
+            Machine.charge c.machine
+              c.machine.Machine.costs.Costs.sock_dma_setup;
+            charge_copy c.machine n;
+            Ok n
+          end)
+      ~ready:(fun () ->
+        {
+          Fdesc.readable = c.rx > 0 || c.peer_closed;
+          writable = c.tx < tx_window && not c.peer_closed;
+          hangup = c.peer_closed;
+        })
+      ~close:(conn_close c) ()
+  in
+  c.desc <- Some d;
+  d
+
+(* --- listener ----------------------------------------------------- *)
+
+let listener_close l () =
+  Array.iter
+    (fun q ->
+      Queue.iter (fun c -> ignore (conn_close c ())) q;
+      Queue.clear q)
+    l.shards;
+  l.pending <- 0;
+  l.l_desc <- None;
+  Ok ()
+
+let listen machine kalloc ?inject ~cpus ~backlog () =
+  let l =
+    {
+      l_machine = machine;
+      l_kalloc = kalloc;
+      l_inject = inject;
+      backlog;
+      shards = Array.init (max 1 cpus) (fun _ -> Queue.create ());
+      pending = 0;
+      dropped = 0;
+      accepts_local = Array.make (max 1 cpus) 0;
+      accepts_steal = Array.make (max 1 cpus) 0;
+      l_desc = None;
+    }
+  in
+  let d =
+    Fdesc.make ~kind:"listener" ~priv:(Listener l) ~read:Fdesc.not_readable
+      ~write:Fdesc.not_writable
+      ~ready:(fun () ->
+        { Fdesc.readable = l.pending > 0; writable = false; hangup = false })
+      ~close:(listener_close l) ()
+  in
+  l.l_desc <- Some d;
+  d
+
+let drop_arrival l =
+  l.dropped <- l.dropped + 1;
+  Machine.count_ev l.l_machine Nktrace.Sock_backlog_drop
+
+let connect l ~cpu =
+  (* SYN arrival: one coalesced interrupt's worth of work whether the
+     connection is admitted or dropped. *)
+  Machine.charge l.l_machine l.l_machine.Machine.costs.Costs.nic_irq;
+  if l.pending >= l.backlog || Nkinject.fire_opt l.l_inject Nkinject.Accept_overflow
+  then begin
+    drop_arrival l;
+    None
+  end
+  else
+    match Kalloc.alloc l.l_kalloc with
+    | None ->
+        drop_arrival l;
+        None
+    | Some va ->
+        let c =
+          {
+            machine = l.l_machine;
+            kalloc = l.l_kalloc;
+            chunk = Some va;
+            rx = 0;
+            tx = 0;
+            peer_closed = false;
+            srv_closed = false;
+            desc = None;
+            cookie = 0;
+          }
+        in
+        Queue.push c l.shards.(cpu mod Array.length l.shards);
+        l.pending <- l.pending + 1;
+        (match l.l_desc with Some d -> Fdesc.poke d | None -> ());
+        Some c
+
+let accept l ~cpu =
+  let nshards = Array.length l.shards in
+  let cpu = cpu mod nshards in
+  let pop_from shard =
+    let c = Queue.pop l.shards.(shard) in
+    l.pending <- l.pending - 1;
+    Machine.charge l.l_machine cost_accept;
+    Machine.count_ev l.l_machine Nktrace.Sock_conn_open;
+    Ok (conn_fdesc c)
+  in
+  if not (Queue.is_empty l.shards.(cpu)) then begin
+    l.accepts_local.(cpu) <- l.accepts_local.(cpu) + 1;
+    Machine.count_ev l.l_machine Nktrace.Accept_local;
+    pop_from cpu
+  end
+  else begin
+    (* Local shard dry: steal from the most loaded peer, the same
+       victim choice the scheduler's work stealing makes. *)
+    let victim = ref (-1) and best = ref 0 in
+    Array.iteri
+      (fun i q ->
+        if i <> cpu && Queue.length q > !best then begin
+          victim := i;
+          best := Queue.length q
+        end)
+      l.shards;
+    if !victim < 0 then Error Ktypes.Eagain
+    else begin
+      l.accepts_steal.(cpu) <- l.accepts_steal.(cpu) + 1;
+      Machine.count_ev l.l_machine Nktrace.Accept_steal;
+      pop_from !victim
+    end
+  end
+
+(* --- load-generator side ------------------------------------------ *)
+
+let send_request c n =
+  if not c.srv_closed then begin
+    Machine.charge c.machine c.machine.Machine.costs.Costs.nic_irq;
+    c.rx <- c.rx + n;
+    match c.desc with Some d -> Fdesc.poke d | None -> ()
+  end
+
+let drain_response c =
+  let n = c.tx in
+  c.tx <- 0;
+  if n > 0 then begin
+    Machine.charge c.machine c.machine.Machine.costs.Costs.sock_dma_setup;
+    match c.desc with Some d -> Fdesc.poke d | None -> ()
+  end;
+  n
+
+let client_close c =
+  if not c.peer_closed then begin
+    c.peer_closed <- true;
+    match c.desc with Some d -> Fdesc.poke d | None -> ()
+  end
+
+let server_closed c = c.srv_closed
+let set_cookie c v = c.cookie <- v
+let cookie c = c.cookie
+
+let conn_of_fdesc (d : Fdesc.t) =
+  match d.Fdesc.priv with Conn c -> Some c | _ -> None
+
+let listener_of_fdesc (d : Fdesc.t) =
+  match d.Fdesc.priv with Listener l -> Some l | _ -> None
+
+let pending l = l.pending
+let dropped l = l.dropped
+let accepts_local l = Array.copy l.accepts_local
+let accepts_steal l = Array.copy l.accepts_steal

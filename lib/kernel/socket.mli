@@ -1,0 +1,80 @@
+open Nkhw
+
+(** Stream sockets and listen queues for the event-driven server path.
+
+    The "network" is the load generator on the OCaml side: it injects
+    connections and request bytes into a listener and drains response
+    bytes out of connections, while the kernel side (accept, recv,
+    send, close) runs over file descriptions and charges NIC
+    descriptor-ring DMA and interrupt costs.  Payload content is not
+    materialized — like {!Vfs} sized files, only byte counts move —
+    so 100k live connections cost one small kernel buffer each.
+
+    A listener shards its accept queue per CPU: an arriving connection
+    lands on the shard the (simulated) interrupt was steered to, and
+    [accept] pops the accepting CPU's own shard first, stealing from
+    the most loaded peer only when the local shard is empty.  The
+    local/steal split is exported as counters. *)
+
+type conn
+type listener
+
+type Fdesc.priv += Listener of listener | Conn of conn
+
+val listen :
+  Machine.t ->
+  Kalloc.t ->
+  ?inject:Nkinject.t ->
+  cpus:int ->
+  backlog:int ->
+  unit ->
+  Fdesc.t
+(** A listening description ([kind = "listener"]); readable iff a
+    connection is waiting.  [backlog] bounds the total queued (not yet
+    accepted) connections across all shards. *)
+
+val connect : listener -> cpu:int -> conn option
+(** Load-generator side: a connection arrives, steered to [cpu]'s
+    shard.  [None] when the backlog is full, the per-connection kernel
+    buffer cannot be allocated, or the [Accept_overflow] fault
+    injector fires — the connection is dropped (counted as
+    [sock_backlog_drop]) exactly as a SYN-flooded kernel would. *)
+
+val accept : listener -> cpu:int -> (Fdesc.t, Ktypes.errno) result
+(** Pop a queued connection ([kind = "socket"]); [Eagain] when every
+    shard is empty.  The description reads request bytes, writes
+    response bytes against a bounded send window, and reports
+    readable/writable/hangup accordingly. *)
+
+(** Load-generator side of an established connection: *)
+
+val send_request : conn -> int -> unit
+(** [n] request bytes arrive from the wire (charges the coalesced NIC
+    interrupt; wakes readers). *)
+
+val drain_response : conn -> int
+(** The NIC transmits everything the server has written; returns the
+    byte count and reopens the send window (wakes writers). *)
+
+val client_close : conn -> unit
+(** FIN from the client: the server side observes hangup/EOF. *)
+
+val server_closed : conn -> bool
+(** Has the kernel side fully closed this connection? *)
+
+val set_cookie : conn -> int -> unit
+(** Application tag standing in for the request payload, which the
+    model never materializes — e.g. the kv op code the server would
+    otherwise parse out of the request bytes. *)
+
+val cookie : conn -> int
+
+val conn_of_fdesc : Fdesc.t -> conn option
+val listener_of_fdesc : Fdesc.t -> listener option
+
+(** Introspection for benches and tests: *)
+
+val pending : listener -> int
+val dropped : listener -> int
+val accepts_local : listener -> int array
+val accepts_steal : listener -> int array

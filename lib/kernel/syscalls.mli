@@ -8,9 +8,9 @@ val handler_id : int -> int
 (** Identifier conventionally registered for a syscall number. *)
 
 val install_all : Kernel.t -> unit
-(** Register every handler and populate the system-call table.  In the
-    Write_once configuration this performs the single permitted write
-    of each table entry. *)
+(** Register every handler, its argument spec, and populate the
+    system-call table.  In the Write_once configuration this performs
+    the single permitted write of each table entry. *)
 
 (** Convenience wrappers used by workloads, examples and tests; each
     goes through the full dispatch path. *)
@@ -41,3 +41,37 @@ val wait : Kernel.t -> Proc.t -> (int, Ktypes.errno) result
 val pipe : Kernel.t -> Proc.t -> (int * int, Ktypes.errno) result
 val unlink : Kernel.t -> Proc.t -> string -> (int, Ktypes.errno) result
 val getppid : Kernel.t -> Proc.t -> (int, Ktypes.errno) result
+
+(** Event-driven serving: listen queues, connections, readiness. *)
+
+val listen : Kernel.t -> Proc.t -> backlog:int -> (int, Ktypes.errno) result
+(** A listening descriptor whose accept queue is sharded per CPU. *)
+
+val accept : Kernel.t -> Proc.t -> int -> (int, Ktypes.errno) result
+(** Pop a queued connection from the accepting CPU's shard (stealing
+    if it's dry); [Eagain] when nothing is pending. *)
+
+val send : Kernel.t -> Proc.t -> int -> int -> (int, Ktypes.errno) result
+(** [send k p fd n]: write [n] response bytes; short counts and
+    [Eagain] reflect the connection's send window. *)
+
+val recv : Kernel.t -> Proc.t -> int -> int -> (int, Ktypes.errno) result
+(** [recv k p fd n]: read up to [n] request bytes; [Ok 0] is EOF after
+    peer hangup, [Eagain] means nothing buffered yet. *)
+
+val epoll_create : Kernel.t -> Proc.t -> (int, Ktypes.errno) result
+
+val epoll_ctl_add :
+  Kernel.t -> Proc.t -> epfd:int -> fd:int -> ?et:bool -> mask:int -> unit ->
+  (int, Ktypes.errno) result
+(** [mask] combines {!Epoll.ep_in}/{!Epoll.ep_out}; [et] selects
+    edge-triggered delivery. *)
+
+val epoll_ctl_del :
+  Kernel.t -> Proc.t -> epfd:int -> fd:int -> (int, Ktypes.errno) result
+
+val epoll_wait :
+  Kernel.t -> Proc.t -> epfd:int -> maxev:int ->
+  ((int * int) list, Ktypes.errno) result
+(** Up to [maxev] [(fd, events)] pairs off the instance's ready list;
+    O(delivered), not O(watched). *)

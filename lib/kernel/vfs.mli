@@ -5,7 +5,13 @@ open Nkhw
     File {e data} is held on the OCaml side (so multi-gigabyte
     benchmark files don't need simulated DRAM) while every operation
     charges realistic kernel-path cycle costs: name lookup, descriptor
-    management, and per-byte copy costs on read/write. *)
+    management, and per-byte copy costs on read/write.
+
+    An open handle references the file record directly — the name is
+    resolved exactly once, at open — and handle ids are recycled, so a
+    server churning through millions of opens neither pays a second
+    lookup per I/O nor leaks id space.  Open handles keep their file
+    alive across {!unlink} (POSIX orphan semantics). *)
 
 type t
 type handle
@@ -35,3 +41,13 @@ val write : t -> handle -> bytes -> (int, Ktypes.errno) result
 val seek : t -> handle -> int -> (unit, Ktypes.errno) result
 val unlink : t -> string -> (unit, Ktypes.errno) result
 val file_count : t -> int
+
+val open_handles : t -> int
+(** Currently open handles (id-recycling makes this the live count,
+    not a high-water mark). *)
+
+type Fdesc.priv += File_handle of handle
+
+val fdesc_open : t -> string -> create:bool -> (Fdesc.t, Ktypes.errno) result
+(** Open as a file description: the ops table the fd layer dispatches
+    through.  Regular files are always readable and writable. *)

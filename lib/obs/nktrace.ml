@@ -45,6 +45,15 @@ type counter =
   | Signal_delivered
   | Syslog_event
   | Syslog_flush
+  | Sock_conn_open
+  | Sock_conn_close
+  | Sock_backlog_drop
+  | Accept_local
+  | Accept_steal
+  | Epoll_wakeup
+  | Slab_cpu_hit
+  | Slab_cpu_refill
+  | Slab_cpu_flush
   | Custom of string
 
 let counter_name = function
@@ -94,6 +103,15 @@ let counter_name = function
   | Signal_delivered -> "signal_delivered"
   | Syslog_event -> "syslog_event"
   | Syslog_flush -> "syslog_flush"
+  | Sock_conn_open -> "sock_conn_open"
+  | Sock_conn_close -> "sock_conn_close"
+  | Sock_backlog_drop -> "sock_backlog_drop"
+  | Accept_local -> "accept_local"
+  | Accept_steal -> "accept_steal"
+  | Epoll_wakeup -> "epoll_wakeup"
+  | Slab_cpu_hit -> "slab_cpu_hit"
+  | Slab_cpu_refill -> "slab_cpu_refill"
+  | Slab_cpu_flush -> "slab_cpu_flush"
   | Custom s -> s
 
 type span =
@@ -132,6 +150,7 @@ type hist_summary = {
   p50 : int;
   p95 : int;
   p99 : int;
+  p999 : int;
 }
 
 type snapshot = {
@@ -302,7 +321,16 @@ let span_end t sp =
 
 let summarize h =
   if h.total = 0 then
-    { h_count = 0; h_min = 0; h_max = 0; h_mean = 0.; p50 = 0; p95 = 0; p99 = 0 }
+    {
+      h_count = 0;
+      h_min = 0;
+      h_max = 0;
+      h_mean = 0.;
+      p50 = 0;
+      p95 = 0;
+      p99 = 0;
+      p999 = 0;
+    }
   else begin
     let sorted = Array.sub h.samples 0 h.stored in
     Array.sort compare sorted;
@@ -320,6 +348,7 @@ let summarize h =
       p50 = pct 50.;
       p95 = pct 95.;
       p99 = pct 99.;
+      p999 = pct 99.9;
     }
   end
 
@@ -368,8 +397,8 @@ let json_escape s =
 
 let summary_to_json s =
   Printf.sprintf
-    "{\"count\":%d,\"min\":%d,\"max\":%d,\"mean\":%.2f,\"p50\":%d,\"p95\":%d,\"p99\":%d}"
-    s.h_count s.h_min s.h_max s.h_mean s.p50 s.p95 s.p99
+    "{\"count\":%d,\"min\":%d,\"max\":%d,\"mean\":%.2f,\"p50\":%d,\"p95\":%d,\"p99\":%d,\"p999\":%d}"
+    s.h_count s.h_min s.h_max s.h_mean s.p50 s.p95 s.p99 s.p999
 
 let event_to_json = function
   | Count c -> Printf.sprintf "{\"count\":\"%s\"}" (json_escape (counter_name c))

@@ -75,6 +75,17 @@ type counter =
   | Signal_delivered
   | Syslog_event
   | Syslog_flush
+  | Sock_conn_open  (** connection accepted into the server *)
+  | Sock_conn_close  (** connection torn down (either side) *)
+  | Sock_backlog_drop
+      (** incoming connection dropped: listen backlog full (or the
+          accept-overflow fault injector fired) *)
+  | Accept_local  (** accept served from the CPU's own shard *)
+  | Accept_steal  (** accept had to pull from another CPU's shard *)
+  | Epoll_wakeup  (** ready events delivered by one [epoll_wait] *)
+  | Slab_cpu_hit  (** kalloc served from the per-CPU magazine *)
+  | Slab_cpu_refill  (** per-CPU magazine refilled from the global list *)
+  | Slab_cpu_flush  (** per-CPU magazine overflow flushed back *)
   | Custom of string
 
 val counter_name : counter -> string
@@ -117,6 +128,7 @@ type hist_summary = {
   p50 : int;
   p95 : int;
   p99 : int;
+  p999 : int;
 }
 
 type snapshot = {

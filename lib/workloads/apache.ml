@@ -1,3 +1,13 @@
+(* Figure 6 workload, served the way a 2015 Apache event MPM actually
+   works: a worker process running the epoll readiness loop over 32
+   keep-alive client connections.  Each request costs a parse, an
+   open, and a sendfile-style block loop (file read + DMA setup per
+   block) streamed against the connection's send window; every 16th
+   request recycles the worker's scratch buffers with a demand-paged
+   mmap — the only vMMU traffic on the serving path, and the place a
+   nested-kernel configuration can show up.  Bandwidth is then the
+   measured CPU seconds overlapped against the modelled wire. *)
+
 open Nkhw
 open Outer_kernel
 
@@ -15,6 +25,7 @@ let concurrency = 32
 let wire_bytes_per_sec = 112.0e6
 let per_request_rtt_s = 120.0e-6 (* connection turn-around on the LAN *)
 let sendfile_block = 64 * 1024
+let req_wire_bytes = 256 (* one GET on the wire *)
 
 let ok = function
   | Ok v -> v
@@ -22,46 +33,102 @@ let ok = function
 
 let request_counter = ref 0
 
-let serve_once k (worker : Proc.t) ~path ~size =
-  (* accept(2) and request parse *)
-  Machine.charge k.Kernel.machine 1500;
-  ignore (ok (Syscalls.getpid k worker));
-  (* Occasionally the worker recycles its scratch buffers: a demand-
-     paged allocation whose faults are the only vMMU traffic on the
-     serving path. *)
-  incr request_counter;
-  if !request_counter mod 16 = 0 then begin
-    let buf =
-      ok
-        (Syscalls.mmap k worker ~len:(4 * Nkhw.Addr.page_size) ~rw:true
-           ~populate:false ())
-    in
-    for i = 0 to 3 do
-      ok (Kernel.touch_user k worker (buf + (i * Nkhw.Addr.page_size)) Nkhw.Fault.Write)
-    done;
-    ignore (ok (Syscalls.munmap k worker buf))
-  end;
-  let fd = ok (Syscalls.open_ k worker path) in
-  let remaining = ref size in
-  while !remaining > 0 do
-    let n = min sendfile_block !remaining in
-    let got = ok (Syscalls.read k worker fd n) in
-    (* zero-copy-ish send: DMA setup per block *)
-    Machine.charge k.Kernel.machine 900;
-    remaining := !remaining - got
-  done;
-  ignore (ok (Syscalls.close k worker fd))
+type client = {
+  conn : Socket.conn;
+  mutable busy : bool;
+  mutable got : int;
+}
+
+(* One worker serving [path] over the readiness loop. *)
+let make_server k (worker : Proc.t) ~path ~size =
+  let m = k.Kernel.machine in
+  let files = Hashtbl.create concurrency in
+  (* conn fd -> file fd *)
+  let respond ~fd _conn =
+    (* request parse *)
+    Machine.charge m 1500;
+    ignore (ok (Syscalls.getpid k worker));
+    (* Occasionally the worker recycles its scratch buffers: a demand-
+       paged allocation whose faults are the only vMMU traffic on the
+       serving path. *)
+    incr request_counter;
+    if !request_counter mod 16 = 0 then begin
+      let buf =
+        ok
+          (Syscalls.mmap k worker ~len:(4 * Addr.page_size) ~rw:true
+             ~populate:false ())
+      in
+      for i = 0 to 3 do
+        ok (Kernel.touch_user k worker (buf + (i * Addr.page_size)) Fault.Write)
+      done;
+      ignore (ok (Syscalls.munmap k worker buf))
+    end;
+    let ffd = ok (Syscalls.open_ k worker path) in
+    Hashtbl.replace files fd ffd;
+    size
+  in
+  let on_block ~fd n =
+    (* sendfile: pull the next file block, then DMA setup for the
+       zero-copy-ish transmit. *)
+    (match Hashtbl.find_opt files fd with
+    | Some ffd -> ignore (ok (Syscalls.read k worker ffd n))
+    | None -> ());
+    Machine.charge m 900
+  in
+  let release ~fd =
+    match Hashtbl.find_opt files fd with
+    | Some ffd ->
+        ignore (Syscalls.close k worker ffd);
+        Hashtbl.remove files fd
+    | None -> ()
+  in
+  Evloop.create ~backlog:(2 * concurrency) ~tx_block:sendfile_block k worker
+    (Evloop.app ~req_size:req_wire_bytes ~on_block ~on_done:release
+       ~on_close:release respond)
 
 let measure_cpu config ~requests ~size =
   let path = "/srv/doc" in
   let k = Os.boot_with_files config [ (path, size) ] in
   let m = k.Kernel.machine in
   let worker = Kernel.current_proc k in
-  serve_once k worker ~path ~size;
-  let before = Clock.cycles m.Machine.clock in
-  for _ = 1 to requests do
-    serve_once k worker ~path ~size
+  let ev = make_server k worker ~path ~size in
+  let clients =
+    Array.init concurrency (fun _ ->
+        match Socket.connect (Evloop.listener ev) ~cpu:0 with
+        | Some conn -> { conn; busy = false; got = 0 }
+        | None -> failwith "apache: connect refused during setup")
+  in
+  while Evloop.accepted ev < concurrency do
+    ignore (Evloop.step ev)
   done;
+  let serve n =
+    let issued = ref 0 and completed = ref 0 in
+    while !completed < n do
+      Array.iter
+        (fun cl ->
+          if (not cl.busy) && !issued < n then begin
+            Socket.send_request cl.conn req_wire_bytes;
+            cl.busy <- true;
+            cl.got <- 0;
+            incr issued
+          end)
+        clients;
+      ignore (Evloop.step ev ~maxev:(2 * concurrency));
+      Array.iter
+        (fun cl ->
+          if cl.busy then begin
+            cl.got <- cl.got + Socket.drain_response cl.conn;
+            if cl.got >= size then begin
+              cl.busy <- false;
+              incr completed
+            end
+          end)
+        clients
+    done
+  in
+  serve 1 (* warm-up, as before *);
+  let before = Clock.cycles m.Machine.clock in
+  serve requests;
   Costs.cycles_to_s (Clock.cycles m.Machine.clock - before)
 
 let bandwidth ~requests ~size ~cpu_s =
@@ -128,5 +195,7 @@ let to_table points =
       [
         "paper reports overheads within measurement stddev at all sizes";
         "hidden CPU ovh: extra server CPU absorbed by network overlap";
+        "served by the epoll readiness loop (event MPM): keep-alive \
+         connections, sendfile block streaming against the send window";
       ];
   }

@@ -3,12 +3,14 @@ open Outer_kernel
 (** Apache/ab throughput model (paper Figure 6).
 
     [ab]-style load: many requests over 32 concurrent keep-alive
-    connections on a 1 Gbps network.  Per request the pre-forked server
-    performs accept, open, a sendfile-style read/copy loop and close —
-    no fork, which is why Apache shows negligible nested-kernel
-    overhead in the paper.  With 32-way concurrency the server CPU
-    overlaps the wire, so elapsed time is the max of aggregate wire
-    time and aggregate (single-core) CPU time. *)
+    connections on a 1 Gbps network, served by a worker running the
+    {!Evloop} readiness loop (the event MPM shape).  Per request the
+    worker parses, opens the file and streams it sendfile-style —
+    block reads against the connection's send window — no fork, which
+    is why Apache shows negligible nested-kernel overhead in the
+    paper.  With 32-way concurrency the server CPU overlaps the wire,
+    so elapsed time is the max of aggregate wire time and aggregate
+    (single-core) CPU time. *)
 
 type point = {
   size_kb : int;

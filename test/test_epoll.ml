@@ -1,0 +1,182 @@
+open Outer_kernel
+
+(* The readiness core, driven through toy descriptors so every edge is
+   under the test's control: level- vs edge-triggered delivery, ready
+   lists that are O(delivered) rather than O(watched), and stale
+   entries. *)
+
+type toy = {
+  desc : Fdesc.t;
+  readable : bool ref;
+  writable : bool ref;
+  hangup : bool ref;
+}
+
+let toy () =
+  let readable = ref false and writable = ref true and hangup = ref false in
+  let desc =
+    Fdesc.make ~kind:"toy"
+      ~read:(fun n -> if !readable then Ok n else Error Ktypes.Eagain)
+      ~write:(fun b -> Ok (Bytes.length b))
+      ~ready:(fun () ->
+        {
+          Fdesc.readable = !readable;
+          writable = !writable;
+          hangup = !hangup;
+        })
+      ~close:(fun () -> Ok ())
+      ()
+  in
+  { desc; readable; writable; hangup }
+
+let instance () =
+  let m = Helpers.machine () in
+  let edesc = Epoll.create m in
+  (Option.get (Epoll.of_fdesc edesc), edesc)
+
+let ok = Helpers.check_ok_errno
+
+let test_level_triggered () =
+  let ep, _ = instance () in
+  let t = toy () in
+  ok "add" (Epoll.add ep ~fd:7 t.desc ~mask:Epoll.ep_in ~et:false);
+  Alcotest.(check (list (pair int int))) "not ready yet" []
+    (Epoll.wait ep ~max:16);
+  t.readable := true;
+  Fdesc.poke t.desc;
+  Alcotest.(check (list (pair int int)))
+    "delivered"
+    [ (7, Epoll.ep_in) ]
+    (Epoll.wait ep ~max:16);
+  (* Still readable, never consumed: LT reports it on every wait. *)
+  Alcotest.(check (list (pair int int)))
+    "LT re-delivers"
+    [ (7, Epoll.ep_in) ]
+    (Epoll.wait ep ~max:16);
+  t.readable := false;
+  Fdesc.poke t.desc;
+  Alcotest.(check (list (pair int int))) "drained, silent" []
+    (Epoll.wait ep ~max:16)
+
+let test_edge_triggered () =
+  let ep, _ = instance () in
+  let t = toy () in
+  t.readable := true;
+  (* add delivers the current state as the first edge... *)
+  ok "add" (Epoll.add ep ~fd:3 t.desc ~mask:Epoll.ep_in ~et:true);
+  Alcotest.(check (list (pair int int)))
+    "first edge"
+    [ (3, Epoll.ep_in) ]
+    (Epoll.wait ep ~max:16);
+  (* ...and while the level stays high, ET stays quiet. *)
+  Fdesc.poke t.desc;
+  Alcotest.(check (list (pair int int))) "no re-delivery while high" []
+    (Epoll.wait ep ~max:16);
+  (* Falling then rising edge re-arms. *)
+  t.readable := false;
+  Fdesc.poke t.desc;
+  t.readable := true;
+  Fdesc.poke t.desc;
+  Alcotest.(check (list (pair int int)))
+    "rising edge re-arms"
+    [ (3, Epoll.ep_in) ]
+    (Epoll.wait ep ~max:16)
+
+let test_eexist_and_del () =
+  let ep, _ = instance () in
+  let t = toy () in
+  ok "add" (Epoll.add ep ~fd:4 t.desc ~mask:Epoll.ep_in ~et:false);
+  Alcotest.(check (result unit Helpers.errno))
+    "duplicate add" (Error Ktypes.Eexist)
+    (Epoll.add ep ~fd:4 t.desc ~mask:Epoll.ep_in ~et:false);
+  ok "del" (Epoll.del ep ~fd:4);
+  Alcotest.(check (result unit Helpers.errno))
+    "del again" (Error Ktypes.Ebadf)
+    (Epoll.del ep ~fd:4);
+  ok "re-add after del" (Epoll.add ep ~fd:4 t.desc ~mask:Epoll.ep_in ~et:false)
+
+let test_stale_entries () =
+  let ep, _ = instance () in
+  let t = toy () in
+  ok "add" (Epoll.add ep ~fd:9 t.desc ~mask:Epoll.ep_in ~et:false);
+  t.readable := true;
+  Fdesc.poke t.desc;
+  (* Queued ready, then deleted before the wait: the stale entry is
+     skipped, not delivered. *)
+  ok "del" (Epoll.del ep ~fd:9);
+  Alcotest.(check (list (pair int int))) "stale skipped" []
+    (Epoll.wait ep ~max:16);
+  (* Same race, but consumed (readiness gone) rather than deleted. *)
+  let u = toy () in
+  ok "add 2" (Epoll.add ep ~fd:10 u.desc ~mask:Epoll.ep_in ~et:false);
+  u.readable := true;
+  Fdesc.poke u.desc;
+  u.readable := false;
+  Alcotest.(check (list (pair int int))) "consumed-before-wait skipped" []
+    (Epoll.wait ep ~max:16)
+
+let test_hup_always_reported () =
+  let ep, _ = instance () in
+  let t = toy () in
+  (* Watch for writability only; hangup must still break through. *)
+  ok "add" (Epoll.add ep ~fd:5 t.desc ~mask:Epoll.ep_out ~et:false);
+  ignore (Epoll.wait ep ~max:16);
+  t.writable := false;
+  t.hangup := true;
+  Fdesc.poke t.desc;
+  match Epoll.wait ep ~max:16 with
+  | [ (5, ev) ] ->
+      Alcotest.(check bool) "hup bit" true (ev land Epoll.ep_hup <> 0)
+  | other ->
+      Alcotest.failf "expected one hup event, got %d" (List.length other)
+
+let test_o_delivered () =
+  let ep, _ = instance () in
+  (* 10k watched, 3 ready: the ready list holds 3 entries, and wait
+     pops exactly those — never a scan of the watched set. *)
+  let toys = Array.init 10_000 (fun _ -> toy ()) in
+  Array.iteri
+    (fun i t -> ok "add" (Epoll.add ep ~fd:i t.desc ~mask:Epoll.ep_in ~et:false))
+    toys;
+  Alcotest.(check int) "watched" 10_000 (Epoll.watched ep);
+  Alcotest.(check int) "ready list empty" 0 (Epoll.ready_len ep);
+  List.iter
+    (fun i ->
+      toys.(i).readable := true;
+      Fdesc.poke toys.(i).desc)
+    [ 17; 4_242; 9_999 ];
+  Alcotest.(check int) "ready list holds the ready" 3 (Epoll.ready_len ep);
+  let evs = Epoll.wait ep ~max:64 in
+  Alcotest.(check (list int))
+    "exactly the ready fds"
+    [ 17; 4_242; 9_999 ]
+    (List.sort compare (List.map fst evs));
+  Alcotest.(check (list (pair int int)))
+    "last_delivered mirrors the wait" evs (Epoll.last_delivered ep)
+
+let test_close_unwatches () =
+  let ep, edesc = instance () in
+  let t = toy () in
+  ok "add" (Epoll.add ep ~fd:2 t.desc ~mask:Epoll.ep_in ~et:false);
+  ok "close instance" (Fdesc.release edesc);
+  (* The watcher is gone: poking the toy must not touch the dead
+     instance (no exception, no growth). *)
+  t.readable := true;
+  Fdesc.poke t.desc;
+  Alcotest.(check int) "no watchers left" 0 (List.length t.desc.Fdesc.watchers)
+
+let suite =
+  [
+    Alcotest.test_case "level-triggered re-delivery" `Quick
+      test_level_triggered;
+    Alcotest.test_case "edge-triggered rising edge only" `Quick
+      test_edge_triggered;
+    Alcotest.test_case "Eexist / del / re-add" `Quick test_eexist_and_del;
+    Alcotest.test_case "stale ready entries skipped" `Quick test_stale_entries;
+    Alcotest.test_case "hangup breaks through the mask" `Quick
+      test_hup_always_reported;
+    Alcotest.test_case "wait is O(delivered) at 10k watched" `Quick
+      test_o_delivered;
+    Alcotest.test_case "closing the instance unwatches" `Quick
+      test_close_unwatches;
+  ]

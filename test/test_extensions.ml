@@ -128,7 +128,8 @@ let test_pipe_roundtrip () =
   Alcotest.(check int) "all written" 16 n;
   Alcotest.(check (result int Helpers.errno)) "read back" (Ok 16)
     (Syscalls.read k p rfd 64);
-  Alcotest.(check (result int Helpers.errno)) "empty now" (Ok 0)
+  Alcotest.(check (result int Helpers.errno)) "empty now"
+    (Error Ktypes.Eagain)
     (Syscalls.read k p rfd 64)
 
 let test_pipe_direction () =
@@ -148,7 +149,7 @@ let test_pipe_capacity () =
   let _, wfd = Result.get_ok (Syscalls.pipe k p) in
   let n = Result.get_ok (Syscalls.write k p wfd (Bytes.make 6000 'x')) in
   Alcotest.(check int) "bounded by capacity" Pipe.capacity n;
-  Alcotest.(check (result int Helpers.errno)) "full" (Ok 0)
+  Alcotest.(check (result int Helpers.errno)) "full" (Error Ktypes.Eagain)
     (Syscalls.write k p wfd (Bytes.make 1 'y'))
 
 let test_pipe_frame_released_on_close () =
@@ -171,8 +172,11 @@ let prop_pipe_fifo =
       ignore rfd;
       let pipe =
         match Proc.fd_handle p wfd with
-        | Some (Kfd.Pipe_write pipe) -> pipe
-        | _ -> Alcotest.fail "no pipe"
+        | Some d -> (
+            match d.Fdesc.priv with
+            | Pipe.Pipe_end (pipe, Pipe.W) -> pipe
+            | _ -> Alcotest.fail "no pipe")
+        | None -> Alcotest.fail "no pipe"
       in
       List.for_all
         (fun s ->

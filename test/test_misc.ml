@@ -39,13 +39,16 @@ let test_fault_during_delivery () =
 let test_proc_bookkeeping () =
   let k = Helpers.kernel Config.Native in
   let p = Kernel.current_proc k in
-  let h = Result.get_ok (Vfs.open_ k.Kernel.vfs "/bin/sh" ~create:false) in
-  let fd1 = Proc.add_fd p (Kfd.File h) in
-  let fd2 = Proc.add_fd p (Kfd.File h) in
+  let d1 = Result.get_ok (Vfs.fdesc_open k.Kernel.vfs "/bin/sh" ~create:false) in
+  let d2 = Result.get_ok (Vfs.fdesc_open k.Kernel.vfs "/bin/sh" ~create:false) in
+  let fd1 = Result.get_ok (Proc.add_fd p d1) in
+  let fd2 = Result.get_ok (Proc.add_fd p d2) in
   Alcotest.(check bool) "fds ascend" true (fd2 = fd1 + 1);
   Alcotest.(check bool) "lookup" true (Proc.fd_handle p fd1 <> None);
   Proc.drop_fd p fd1;
   Alcotest.(check bool) "dropped" true (Proc.fd_handle p fd1 = None);
+  let fd3 = Result.get_ok (Proc.add_fd p d1) in
+  Alcotest.(check int) "lowest free slot reused" fd1 fd3;
   Alcotest.(check string) "state printer" "running"
     (Format.asprintf "%a" Proc.pp_state p.Proc.pstate)
 

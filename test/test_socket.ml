@@ -1,0 +1,148 @@
+open Outer_kernel
+open Nk_workloads
+
+(* Listen queues and connections: per-CPU accept sharding, stealing
+   only when the local shard runs dry, backlog pressure, the
+   data-before-EOF half-close rule, and Accept_overflow injection
+   degrading gracefully.  The scale sweep itself lives in
+   {!Server_scale}; the last test here runs its smallest point under
+   the seeded SMP executor as a regression anchor. *)
+
+let ok = Helpers.check_ok_errno
+
+let listener ?inject ?(cpus = 4) ?(backlog = 64) () =
+  let k = Helpers.kernel Config.Native in
+  let m = k.Kernel.machine in
+  let ldesc = Socket.listen m k.Kernel.kalloc ?inject ~cpus ~backlog () in
+  (k, Option.get (Socket.listener_of_fdesc ldesc))
+
+let test_local_shards () =
+  let _, l = listener () in
+  (* One arrival steered to each CPU; each CPU accepts its own. *)
+  for cpu = 0 to 3 do
+    Alcotest.(check bool)
+      "connect lands" true
+      (Socket.connect l ~cpu <> None)
+  done;
+  Alcotest.(check int) "pending across shards" 4 (Socket.pending l);
+  for cpu = 0 to 3 do
+    ok "accept" (Socket.accept l ~cpu)
+  done;
+  Alcotest.(check (array int))
+    "all accepts local"
+    [| 1; 1; 1; 1 |]
+    (Socket.accepts_local l);
+  Alcotest.(check (array int))
+    "no steals" [| 0; 0; 0; 0 |]
+    (Socket.accepts_steal l);
+  Alcotest.(check (result reject Helpers.errno))
+    "empty shards are Eagain" (Error Ktypes.Eagain)
+    (Result.map (fun (_ : Fdesc.t) -> ()) (Socket.accept l ~cpu:0))
+
+let test_steal_when_dry () =
+  let _, l = listener () in
+  (* Everything arrives on CPU 0's shard; CPU 3 accepts anyway. *)
+  for _ = 1 to 6 do
+    ignore (Socket.connect l ~cpu:0)
+  done;
+  for _ = 1 to 6 do
+    ok "accept" (Socket.accept l ~cpu:3)
+  done;
+  Alcotest.(check int) "drained" 0 (Socket.pending l);
+  Alcotest.(check (array int))
+    "all six stolen by cpu 3"
+    [| 0; 0; 0; 6 |]
+    (Socket.accepts_steal l);
+  Alcotest.(check (array int))
+    "none local" [| 0; 0; 0; 0 |]
+    (Socket.accepts_local l)
+
+let test_backlog_pressure () =
+  let _, l = listener ~backlog:2 () in
+  Alcotest.(check bool) "first" true (Socket.connect l ~cpu:0 <> None);
+  Alcotest.(check bool) "second" true (Socket.connect l ~cpu:1 <> None);
+  (* The backlog bounds the total across shards, so a third arrival is
+     dropped no matter where it is steered. *)
+  Alcotest.(check (option reject))
+    "third dropped" None
+    (Option.map (fun (_ : Socket.conn) -> ()) (Socket.connect l ~cpu:2));
+  Alcotest.(check int) "drop counted" 1 (Socket.dropped l);
+  ok "accept frees a slot" (Socket.accept l ~cpu:0);
+  Alcotest.(check bool) "room again" true (Socket.connect l ~cpu:0 <> None)
+
+let test_data_before_eof () =
+  let _, l = listener () in
+  let conn = Option.get (Socket.connect l ~cpu:0) in
+  let desc = Result.get_ok (Socket.accept l ~cpu:0) in
+  Alcotest.(check (result int Helpers.errno))
+    "no data yet" (Error Ktypes.Eagain) (Fdesc.read desc 4096);
+  Socket.send_request conn 64;
+  Socket.client_close conn;
+  (* Bytes that raced the FIN are delivered before EOF. *)
+  Alcotest.(check (result int Helpers.errno))
+    "buffered bytes first" (Ok 64) (Fdesc.read desc 4096);
+  Alcotest.(check (result int Helpers.errno))
+    "then EOF" (Ok 0) (Fdesc.read desc 4096);
+  Alcotest.(check bool) "hangup visible" true (Fdesc.ready desc).Fdesc.hangup;
+  ok "server close" (Fdesc.release desc);
+  Alcotest.(check bool) "fully closed" true (Socket.server_closed conn)
+
+let test_accept_overflow_injection () =
+  let inject =
+    Nkinject.create ~sites:[ Nkinject.Accept_overflow ] ~seed:7 ~rate:1.0 ()
+  in
+  let _, l = listener ~inject () in
+  (* Every arrival is shot down at the accept-overflow site: connects
+     fail cleanly, drops are counted, nothing crashes. *)
+  for cpu = 0 to 3 do
+    Alcotest.(check (option reject))
+      "injected drop" None
+      (Option.map (fun (_ : Socket.conn) -> ()) (Socket.connect l ~cpu))
+  done;
+  Alcotest.(check int) "drops counted" 4 (Socket.dropped l);
+  Alcotest.(check int) "nothing queued" 0 (Socket.pending l);
+  Alcotest.(check int) "injector saw them" 4
+    (Nkinject.injected inject Nkinject.Accept_overflow);
+  (* The storm passes: disarm and the listener serves normally. *)
+  Nkinject.set_armed inject false;
+  let conn = Option.get (Socket.connect l ~cpu:1) in
+  let desc = Result.get_ok (Socket.accept l ~cpu:1) in
+  Socket.send_request conn 32;
+  Alcotest.(check (result int Helpers.errno))
+    "survivor serves" (Ok 32) (Fdesc.read desc 4096);
+  ok "close" (Fdesc.release desc)
+
+(* The smallest scale-sweep point, end to end under the seeded SMP
+   executor: 8 workers behind one listener, open-loop load, oracle
+   enabled.  Accept accounting must balance and nothing may drop. *)
+let test_smp_sharded_accept () =
+  let p =
+    Server_scale.run_one ~seed:Helpers.sched_seed ~config:Config.Perspicuos
+      1_000
+  in
+  Alcotest.(check bool)
+    "population connected" true
+    (p.Server_scale.live_peak >= 900);
+  Alcotest.(check int)
+    "accept accounting balances" p.Server_scale.accepted
+    (p.Server_scale.accepts_local + p.Server_scale.accepts_steal);
+  Alcotest.(check bool)
+    "requests completed" true
+    (p.Server_scale.completed > 0);
+  Alcotest.(check int) "no drops" 0 p.Server_scale.backlog_drops;
+  Alcotest.(check int) "oracle clean" 0 p.Server_scale.oracle_violations;
+  Alcotest.(check int) "audit clean" 0 p.Server_scale.audit_failures
+
+let suite =
+  [
+    Alcotest.test_case "accepts stay CPU-local" `Quick test_local_shards;
+    Alcotest.test_case "steal only when local shard dry" `Quick
+      test_steal_when_dry;
+    Alcotest.test_case "backlog bounds total queued" `Quick
+      test_backlog_pressure;
+    Alcotest.test_case "data delivered before EOF" `Quick test_data_before_eof;
+    Alcotest.test_case "Accept_overflow degrades gracefully" `Quick
+      test_accept_overflow_injection;
+    Alcotest.test_case "sharded accept under SMP executor" `Slow
+      test_smp_sharded_accept;
+  ]
