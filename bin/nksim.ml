@@ -200,8 +200,23 @@ let smp_run k seed =
     (counter Nktrace.Flush_deferred)
     (counter Nktrace.Flush_on_reuse)
 
+(* Host-side wallclock and GC stats go to stderr: stdout is the
+   deterministic report (CI diffs reruns byte-for-byte), and these
+   numbers legitimately vary with the host. *)
+let host_report ~host_secs ~cycles =
+  let wallclock =
+    if host_secs > 0. then float_of_int cycles /. host_secs else 0.
+  in
+  let g = Gc.quick_stat () in
+  Printf.eprintf "  host wallclock  : %.0f sim cycles/host sec (%.3fs host)\n"
+    wallclock host_secs;
+  Printf.eprintf "  GC              : %.0f minor words, %d minor / %d major \
+                  collections\n"
+    g.Gc.minor_words g.Gc.minor_collections g.Gc.major_collections
+
 let boot_cmd =
   let run config trace cpus sched_seed inject_spec =
+    let host0 = Sys.time () in
     let inject =
       Option.map
         (fun (sites, rate, seed) -> Nkinject.create ~sites ~seed ~rate ())
@@ -249,6 +264,8 @@ let boot_cmd =
         in
         Printf.printf "  post-fault audit: %s\n" audit_line);
     (match trace with None -> () | Some fmt -> print_trace fmt m);
+    host_report ~host_secs:(Sys.time () -. host0)
+      ~cycles:(Nkhw.Clock.cycles m.Nkhw.Machine.clock);
     0
   in
   Cmd.v (Cmd.info "boot" ~doc:"Boot a kernel and report system state")
@@ -494,6 +511,7 @@ let serve_cmd =
       p.S.slab_refills;
     Printf.printf "  oracle/audit    : %d violations, %d failures\n"
       p.S.oracle_violations p.S.audit_failures;
+    host_report ~host_secs:p.S.host_secs ~cycles:p.S.cycles;
     if p.S.oracle_violations = 0 && p.S.audit_failures = 0 then 0 else 1
   in
   Cmd.v

@@ -396,11 +396,12 @@ let fingerprint (u : u) : fp =
   h := fp_bool !h m.Machine.in_nested_kernel;
   h := fp_list !h fp_mix m.Machine.pending_interrupts;
   mix m.Machine.global_residency;
-  let res =
-    Hashtbl.fold (fun a mask acc -> if mask = 0 then acc else (a, mask) :: acc)
-      m.Machine.asid_residency []
-  in
-  h := fp_list !h (fun h (a, mk) -> fp_mix (fp_mix h a) mk) (List.sort compare res);
+  let res = ref [] in
+  for a = Array.length m.Machine.asid_residency - 1 downto 0 do
+    let mask = m.Machine.asid_residency.(a) in
+    if mask <> 0 then res := (a, mask) :: !res
+  done;
+  h := fp_list !h (fun h (a, mk) -> fp_mix (fp_mix h a) mk) !res;
   for f = 0 to hi do
     h := fp_bool !h (Iommu.is_protected m.Machine.iommu f)
   done;

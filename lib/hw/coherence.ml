@@ -39,14 +39,20 @@ exception Violation of violation list
 (* Deliberately NOT Page_table.walk: the oracle must not share code
    with the fast path it is auditing.  Same accumulation rules as the
    hardware walk — writable/user AND down the levels, NX ORs in — and
-   a 2 MiB leaf resolves to the constituent 4 KiB frame. *)
-let reference_translate mem ~root va =
+   a 2 MiB leaf resolves to the constituent 4 KiB frame.
+
+   The result is one packed word in the {!Pte} bit layout (0 =
+   unmapped; P is always set on a successful walk, so 0 is never
+   ambiguous): the oracle fires after {e every} MMU access on a
+   fuzzing run, so the walk itself must not allocate.  The [walk]
+   record is only built for violation reports. *)
+let reference_translate_packed mem ~root va =
   let rec step ptp level ~writable ~user ~nx =
-    if not (Phys_mem.valid_frame mem ptp) then None
+    if not (Phys_mem.valid_frame mem ptp) then 0
     else
       let index = Addr.index_at_level ~level va in
-      let pte = Phys_mem.read_u64 mem (Addr.pa_of_frame ptp + (index * 8)) in
-      if not (Pte.is_present pte) then None
+      let pte = Phys_mem.read_table_word mem ~frame:ptp ~index in
+      if not (Pte.is_present pte) then 0
       else
         let writable = writable && Pte.is_writable pte in
         let user = user && Pte.is_user pte in
@@ -56,29 +62,40 @@ let reference_translate mem ~root va =
             if level = 2 then Pte.frame pte + (Addr.vpage va land 0x1ff)
             else Pte.frame pte
           in
-          Some
-            {
-              w_frame = frame;
-              w_writable = writable;
-              w_user = user;
-              w_nx = nx;
-              w_global = Pte.is_global pte;
-            }
+          Tlb.pack_entry ~frame ~writable ~user ~nx
+            ~global:(Pte.is_global pte)
         else step (Pte.frame pte) (level - 1) ~writable ~user ~nx
   in
   if Phys_mem.valid_frame mem root then
     step root 4 ~writable:true ~user:true ~nx:false
-  else None
+  else 0
 
-let stale_reason (e : Tlb.entry) walked =
-  match walked with
-  | None -> Some "cached translation for an unmapped VA"
-  | Some w ->
-      if e.Tlb.frame <> w.w_frame then Some "cached frame differs from walk"
-      else if e.Tlb.writable && not w.w_writable then Some "stale writable bit"
-      else if e.Tlb.user && not w.w_user then Some "stale user bit"
-      else if (not e.Tlb.nx) && w.w_nx then Some "stale executable permission"
-      else None
+let walk_of_packed w =
+  {
+    w_frame = Tlb.packed_frame w;
+    w_writable = Tlb.packed_writable w;
+    w_user = Tlb.packed_user w;
+    w_nx = Tlb.packed_nx w;
+    w_global = Tlb.packed_global w;
+  }
+
+let reference_translate mem ~root va =
+  let w = reference_translate_packed mem ~root va in
+  if w = 0 then None else Some (walk_of_packed w)
+
+(* Both sides in the packed layout; returns the violation string only
+   when the cached entry is stale AND more permissive. *)
+let stale_reason_packed cached walked =
+  if walked = 0 then Some "cached translation for an unmapped VA"
+  else if Tlb.packed_frame cached <> Tlb.packed_frame walked then
+    Some "cached frame differs from walk"
+  else if Tlb.packed_writable cached && not (Tlb.packed_writable walked) then
+    Some "stale writable bit"
+  else if Tlb.packed_user cached && not (Tlb.packed_user walked) then
+    Some "stale user bit"
+  else if (not (Tlb.packed_nx cached)) && Tlb.packed_nx walked then
+    Some "stale executable permission"
+  else None
 
 let pp_violation ppf v =
   Format.fprintf ppf
@@ -121,43 +138,45 @@ let check_machine ?(root_of_asid = fun _ -> None)
     let active_asid = Cr.asid m.Machine.cr in
     let violations = ref [] in
     let check_tlb ~cpu tlb =
-      Tlb.iter_live tlb ~f:(fun ~asid ~vpage e ->
+      (* Packed iteration: the clean path (no stale entry) touches no
+         heap at all — entries, walks and comparisons are all single
+         ints; records are built only to report a violation or consult
+         the [deferred] exemption. *)
+      Tlb.iter_live_packed tlb ~f:(fun ~asid ~vpage p ->
           let root =
-            match asid with
-            | None -> Some active_root
-            | Some a when cpu = 0 && a = active_asid -> Some active_root
-            | Some a -> root_of_asid a
+            if asid = -1 then active_root
+            else if cpu = 0 && asid = active_asid then active_root
+            else match root_of_asid asid with Some r -> r | None -> -1
           in
-          match root with
-          | None -> ()
-          | Some root -> (
-              let walked =
-                reference_translate m.Machine.mem ~root
-                  (vpage * Addr.page_size)
-              in
-              match stale_reason e walked with
-              | None -> ()
-              (* A pending lazy invalidation is a declared, bounded
-                 staleness: the nested kernel queued the flush and
-                 guarantees it fires before the frame is reused.  The
-                 exemption is as narrow as the queue entry — (vpage,
-                 old frame) must both match. *)
-              | Some _ when deferred ~vpage e -> ()
-              | Some why ->
-                  violations :=
-                    {
-                      v_cpu = cpu;
-                      v_asid = asid;
-                      v_vpage = vpage;
-                      v_cached = e;
-                      v_walked = walked;
-                      v_why = why;
-                      v_op = op;
-                    }
-                    :: !violations))
+          if root >= 0 then
+            let walked =
+              reference_translate_packed m.Machine.mem ~root
+                (vpage * Addr.page_size)
+            in
+            match stale_reason_packed p walked with
+            | None -> ()
+            (* A pending lazy invalidation is a declared, bounded
+               staleness: the nested kernel queued the flush and
+               guarantees it fires before the frame is reused.  The
+               exemption is as narrow as the queue entry — (vpage,
+               old frame) must both match. *)
+            | Some _ when deferred ~vpage (Tlb.unpack p) -> ()
+            | Some why ->
+                violations :=
+                  {
+                    v_cpu = cpu;
+                    v_asid = (if asid = -1 then None else Some asid);
+                    v_vpage = vpage;
+                    v_cached = Tlb.unpack p;
+                    v_walked =
+                      (if walked = 0 then None else Some (walk_of_packed walked));
+                    v_why = why;
+                    v_op = op;
+                  }
+                  :: !violations)
     in
     check_tlb ~cpu:0 m.Machine.tlb;
-    List.iteri (fun i tlb -> check_tlb ~cpu:(i + 1) tlb) m.Machine.peer_tlbs;
+    Array.iteri (fun i tlb -> check_tlb ~cpu:(i + 1) tlb) m.Machine.peer_tlbs;
     List.rev !violations
   end
 
@@ -167,50 +186,142 @@ let check_va ?(deferred = no_deferred) ?(op = "access") (m : Machine.t) va =
   if not (Cr.paging_enabled m.Machine.cr) then []
   else
     let vpage = Addr.vpage va in
-    match Tlb.peek m.Machine.tlb ~asid:(Cr.asid m.Machine.cr) ~vpage with
-    | None -> []
-    | Some e -> (
-        let walked =
-          reference_translate m.Machine.mem ~root:(Cr.root_frame m.Machine.cr)
-            va
-        in
-        match stale_reason e walked with
-        | None -> []
-        | Some _ when deferred ~vpage e -> []
-        | Some why ->
-            [
-              {
-                v_cpu = 0;
-                v_asid = (if e.Tlb.global then None else Some (Cr.asid m.Machine.cr));
-                v_vpage = vpage;
-                v_cached = e;
-                v_walked = walked;
-                v_why = why;
-                v_op = op;
-              };
-            ])
+    let p = Tlb.peek_packed m.Machine.tlb ~asid:(Cr.asid m.Machine.cr) ~vpage in
+    if p = Tlb.miss then []
+    else
+      let walked =
+        reference_translate_packed m.Machine.mem
+          ~root:(Cr.root_frame m.Machine.cr) va
+      in
+      match stale_reason_packed p walked with
+      | None -> []
+      | Some _ when deferred ~vpage (Tlb.unpack p) -> []
+      | Some why ->
+          [
+            {
+              v_cpu = 0;
+              v_asid =
+                (if Tlb.packed_global p then None
+                 else Some (Cr.asid m.Machine.cr));
+              v_vpage = vpage;
+              v_cached = Tlb.unpack p;
+              v_walked =
+                (if walked = 0 then None else Some (walk_of_packed walked));
+              v_why = why;
+              v_op = op;
+            };
+          ]
+
+(* Machine-wide mutation stamp: the sum of the monotone phys-memory
+   store count, every TLB's insert and flush counts, and the peer-TLB
+   count.  Every component only grows, so the sum is itself monotone
+   and changes exactly when some component does.  An unchanged stamp
+   proves no PTE changed (no store of any kind happened) and no TLB's
+   live set changed (no fill, no flush; lazy tombstone reclamation
+   never changes liveness). *)
+let mutation_stamp (m : Machine.t) =
+  let s =
+    ref
+      (Phys_mem.writes m.Machine.mem
+      + Tlb.inserts m.Machine.tlb
+      + Tlb.flushes m.Machine.tlb)
+  in
+  let peers = m.Machine.peer_tlbs in
+  for i = 0 to Array.length peers - 1 do
+    s := !s + Tlb.inserts peers.(i) + Tlb.flushes peers.(i)
+  done;
+  !s + Array.length peers
 
 let enable ?root_of_asid ?deferred ?on_violation (m : Machine.t) =
   let checking = ref false in
+  (* Clean-audit cache, one slot per CPU id: the mutation stamp, root
+     and ASID under which that CPU's last full audit came back clean
+     and exemption-free.  While they all still match, both the full
+     audit and the per-access targeted check are provably no-ops — a
+     clean verdict can only be invalidated by a store (possibly to a
+     PTE), a TLB fill or flush (the protocol flushes before every
+     rebinding, so resolver changes are always preceded by one), a
+     root/ASID switch, or a CPU coming online, and every one of those
+     moves the stamp or the stored registers.  A clean-but-exempted
+     audit is never cached: a deferred exemption is only as durable as
+     the queue entry behind it. *)
+  let cap = ref 8 in
+  let cstamp = ref (Array.make !cap min_int) in
+  let croot = ref (Array.make !cap (-1)) in
+  let casid = ref (Array.make !cap (-1)) in
+  let ensure cpu =
+    if cpu >= !cap then begin
+      let n = ref (!cap * 2) in
+      while cpu >= !n do
+        n := !n * 2
+      done;
+      let grow a d =
+        let b = Array.make !n d in
+        Array.blit !a 0 b 0 !cap;
+        a := b
+      in
+      grow cstamp min_int;
+      grow croot (-1);
+      grow casid (-1);
+      cap := !n
+    end
+  in
+  let exempt = ref false in
+  let deferred =
+    match deferred with
+    | None -> None
+    | Some d ->
+        Some
+          (fun ~vpage e ->
+            let r = d ~vpage e in
+            if r then exempt := true;
+            r)
+  in
   let hook ~op ~va =
     (* Mid-gate the PTE write and its shootdown are two steps; the
        window between them is legitimately incoherent, and the gate
        exit fires a full check.  The guard also stops the oracle from
        auditing its own resolver's reads. *)
     if (not !checking) && not m.Machine.in_nested_kernel then begin
-      checking := true;
-      Fun.protect
-        ~finally:(fun () -> checking := false)
-        (fun () ->
-          let vs =
-            match va with
-            | Some va -> check_va ?deferred ~op m va
-            | None -> check_machine ?root_of_asid ?deferred ~op m
-          in
-          if vs <> [] then
-            match on_violation with
-            | Some f -> f vs
-            | None -> raise (Violation vs))
+      let cpu = m.Machine.cur_cpu in
+      ensure cpu;
+      let stamp = mutation_stamp m in
+      let root = Cr.root_frame m.Machine.cr in
+      let asid = Cr.asid m.Machine.cr in
+      if
+        not
+          ((!cstamp).(cpu) = stamp
+          && (!croot).(cpu) = root
+          && (!casid).(cpu) = asid)
+      then begin
+        checking := true;
+        (* Hand-rolled Fun.protect: the hook fires after every access
+           on a fuzzing run, and the two closures Fun.protect builds
+           per call are measurable there. *)
+        (try
+           (let vs =
+              if va >= 0 then check_va ?deferred ~op m va
+              else begin
+                exempt := false;
+                let vs = check_machine ?root_of_asid ?deferred ~op m in
+                if vs = [] && not !exempt then begin
+                  (!cstamp).(cpu) <- stamp;
+                  (!croot).(cpu) <- root;
+                  (!casid).(cpu) <- asid
+                end
+                else (!cstamp).(cpu) <- min_int;
+                vs
+              end
+            in
+            if vs <> [] then
+              match on_violation with
+              | Some f -> f vs
+              | None -> raise (Violation vs));
+           checking := false
+         with e ->
+           checking := false;
+           raise e)
+      end
     end
   in
   m.Machine.coherence_hook <- Some hook

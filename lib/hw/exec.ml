@@ -42,24 +42,25 @@ let deliver_trap (m : Machine.t) ~vector ~fault =
 let fetch_window (m : Machine.t) rip max =
   let cpu = m.Machine.cpu in
   let ring = cpu.Cpu_state.ring in
-  match Mmu.access m.mem m.cr m.tlb ~ring ~kind:Fault.Exec rip with
-  | Error f -> Error f
-  | Ok { pa; tlb_hit } ->
-      Machine.charge m
-        (if tlb_hit then m.costs.Costs.simple_insn
-         else m.costs.Costs.simple_insn + m.costs.Costs.tlb_miss_walk);
-      let buf = Buffer.create max in
-      Buffer.add_char buf (Char.chr (Phys_mem.read_u8 m.mem pa));
-      let i = ref 1 and stop = ref false in
-      while (not !stop) && !i < max do
-        let va = rip + !i in
-        (match Mmu.access m.mem m.cr m.tlb ~ring ~kind:Fault.Exec va with
-        | Error _ -> stop := true
-        | Ok { pa; _ } ->
-            Buffer.add_char buf (Char.chr (Phys_mem.read_u8 m.mem pa)));
-        incr i
-      done;
-      Ok (Buffer.to_bytes buf)
+  let fault = m.Machine.mmu_fault in
+  let r = Mmu.access_fast m.mem m.cr m.tlb ~ring ~kind:Fault.Exec rip ~fault in
+  if r < 0 then Error !fault
+  else begin
+    Machine.charge m
+      (if r land 1 = 1 then m.costs.Costs.simple_insn
+       else m.costs.Costs.simple_insn + m.costs.Costs.tlb_miss_walk);
+    let buf = Buffer.create max in
+    Buffer.add_char buf (Char.chr (Phys_mem.read_u8 m.mem (r lsr 1)));
+    let i = ref 1 and stop = ref false in
+    while (not !stop) && !i < max do
+      let va = rip + !i in
+      let r = Mmu.access_fast m.mem m.cr m.tlb ~ring ~kind:Fault.Exec va ~fault in
+      if r < 0 then stop := true
+      else Buffer.add_char buf (Char.chr (Phys_mem.read_u8 m.mem (r lsr 1)));
+      incr i
+    done;
+    Ok (Buffer.to_bytes buf)
+  end
 
 let exec_one (m : Machine.t) : (stop option, Fault.t) result =
   let cpu = m.Machine.cpu in

@@ -19,13 +19,17 @@ type t = {
   iommu : Iommu.t;
   mutable cpu : Cpu_state.t;
   mutable cur_cpu : int;
-  mutable peer_tlbs : Tlb.t list;
-  mutable peer_crs : Cr.t list;
-  mutable peer_ids : int list;
-  asid_residency : (int, int) Hashtbl.t;
+  mutable peer_tlbs : Tlb.t array;
+  mutable peer_crs : Cr.t array;
+  mutable peer_ids : int array;
+  asid_residency : int array;
+  mutable max_res_asid : int;
   mutable global_residency : int;
   mutable res_memo_asid : int;
   mutable res_memo_cpu : int;
+  mutable shoot_targets : int array;
+  mutable shoot_ntargets : int;
+  mmu_fault : Fault.t ref;
   msrs : (int, int) Hashtbl.t;
   mutable idtr : Addr.va option;
   mutable pending_interrupts : int list;
@@ -33,8 +37,8 @@ type t = {
   mutable smi_handler : (t -> unit) option;
   mutable in_nested_kernel : bool;
   mutable last_trap : (int * Fault.t option) option;
-  mutable coherence_hook : (op:string -> va:Addr.va option -> unit) option;
-  mutable shootdown_notify : (targets:int list -> unit) option;
+  mutable coherence_hook : (op:string -> va:Addr.va -> unit) option;
+  mutable shootdown_notify : (unit -> unit) option;
   trace : Nktrace.t;
 }
 
@@ -54,13 +58,17 @@ let create ?(frames = 8192) ?(costs = Costs.default) () =
     cpu = Cpu_state.create ();
     cur_cpu = 0;
     msrs = Hashtbl.create 8;
-    peer_tlbs = [];
-    peer_crs = [];
-    peer_ids = [];
-    asid_residency = Hashtbl.create 16;
+    peer_tlbs = [||];
+    peer_crs = [||];
+    peer_ids = [||];
+    asid_residency = Array.make (Cr.max_pcid + 1) 0;
+    max_res_asid = -1;
     global_residency = 0;
     res_memo_asid = -1;
     res_memo_cpu = -1;
+    shoot_targets = Array.make 8 0;
+    shoot_ntargets = 0;
+    mmu_fault = ref Mmu.fault_none;
     idtr = None;
     pending_interrupts = [];
     smm_owner = Smm_unprotected;
@@ -80,37 +88,43 @@ let charge t c = Clock.charge t.clock c
    so simulated cycle counts are independent of it by construction. *)
 let count_ev t ev = Nktrace.count t.trace ev
 
-(* Differential-oracle hooks (see {!Coherence}).  [va = Some _] asks
-   for a targeted check of one translation just served by the MMU;
-   [va = None] asks for a full cross-check of every cached entry
-   against the live page tables.  With no hook installed both are a
-   single match — the oracle-off overhead is zero cycles and zero
-   allocation. *)
+(* Differential-oracle hooks (see {!Coherence}).  [va >= 0] asks for a
+   targeted check of one translation just served by the MMU; [va = -1]
+   asks for a full cross-check of every cached entry against the live
+   page tables.  An int sentinel, not an option: the targeted check
+   fires after every MMU access on an oracle run and a [Some va] box
+   per access is exactly the kind of steady-state garbage the hot
+   paths exclude.  With no hook installed both are a single match —
+   the oracle-off overhead is zero cycles and zero allocation. *)
 let coherence_check t ~op =
-  match t.coherence_hook with None -> () | Some f -> f ~op ~va:None
+  match t.coherence_hook with None -> () | Some f -> f ~op ~va:(-1)
 
-(* Host-side bookkeeping hook fired once per shootdown with the list
-   of peer CPU ids that were actually flushed: the SMP layer uses it
-   to post [Shootdown] IPIs into exactly those mailboxes.  It must
-   never charge cycles — the per-peer [ipi_shootdown] charge at the
-   call sites already accounts for the hardware cost, and benches pin
-   oracle-off runs to be cycle-identical with the hook installed or
-   not. *)
-let shootdown_notify_targets t targets =
-  if targets <> [] then
-    match t.shootdown_notify with None -> () | Some f -> f ~targets
+(* Host-side bookkeeping hook fired once per shootdown; the peer CPU
+   ids actually flushed are in [shoot_targets.(0 .. shoot_ntargets-1)]
+   (a preallocated scratch array — no list is built per IPI round).
+   The SMP layer uses it to post [Shootdown] IPIs into exactly those
+   mailboxes.  It must never charge cycles — the per-peer
+   [ipi_shootdown] charge at the call sites already accounts for the
+   hardware cost, and benches pin oracle-off runs to be
+   cycle-identical with the hook installed or not. *)
+let shootdown_notify_targets t =
+  if t.shoot_ntargets > 0 then
+    match t.shootdown_notify with None -> () | Some f -> f ()
 
 (* --- per-ASID CPU residency --------------------------------------- *)
 
-(* [asid_residency] maps ASID -> bitmask of CPUs that have run under
-   that ASID since their last flush of it; [global_residency] is the
-   mask of CPUs that may cache global entries.  The tables are updated
-   from the access path (memoized per (asid, active CPU), so the hot
-   path is two integer compares) and cleared by the flush operations,
-   which is what lets ASID-scoped shootdowns skip CPUs a process never
-   visited.  Over-approximation is always sound — a spurious bit costs
-   one extra IPI, never a stale translation — and the occupancy probe
-   in the shootdown paths backstops any under-approximation. *)
+(* [asid_residency.(asid)] is the bitmask of CPUs that have run under
+   that ASID since their last flush of it — a flat array indexed by
+   the 12-bit PCID, so the note is two loads and two stores;
+   [max_res_asid] bounds the sweep a CPU-wide clear must make.
+   [global_residency] is the mask of CPUs that may cache global
+   entries.  The tables are updated from the access path (memoized per
+   (asid, active CPU), so the hot path is two integer compares) and
+   cleared by the flush operations, which is what lets ASID-scoped
+   shootdowns skip CPUs a process never visited.  Over-approximation
+   is always sound — a spurious bit costs one extra IPI, never a stale
+   translation — and the occupancy probe in the shootdown paths
+   backstops any under-approximation. *)
 
 let reset_residency_memo t =
   t.res_memo_asid <- -1;
@@ -121,10 +135,8 @@ let note_residency t =
     let asid = Cr.asid t.cr in
     if asid <> t.res_memo_asid || t.cur_cpu <> t.res_memo_cpu then begin
       let bit = 1 lsl t.cur_cpu in
-      let cur =
-        Option.value (Hashtbl.find_opt t.asid_residency asid) ~default:0
-      in
-      Hashtbl.replace t.asid_residency asid (cur lor bit);
+      t.asid_residency.(asid) <- t.asid_residency.(asid) lor bit;
+      if asid > t.max_res_asid then t.max_res_asid <- asid;
       t.global_residency <- t.global_residency lor bit;
       t.res_memo_asid <- asid;
       t.res_memo_cpu <- t.cur_cpu
@@ -138,96 +150,100 @@ let note_asid_active t =
   reset_residency_memo t;
   note_residency t
 
-let resident t ~asid cpu =
-  match Hashtbl.find_opt t.asid_residency asid with
-  | Some mask -> mask land (1 lsl cpu) <> 0
-  | None -> false
-
-let residency t ~asid =
-  Option.value (Hashtbl.find_opt t.asid_residency asid) ~default:0
+let resident t ~asid cpu = t.asid_residency.(asid) land (1 lsl cpu) <> 0
+let residency t ~asid = t.asid_residency.(asid)
 
 (* CPU [cpu] just lost its non-global entries (CR3-reload-style flush):
    drop its bit from every ASID mask; [globals_too] also clears its
-   global-residency bit. *)
+   global-residency bit.  [max_res_asid] stays an upper bound — never
+   lowered, only reset when everything below it is provably zero. *)
 let clear_cpu_residency t ~globals_too cpu =
   let bit = lnot (1 lsl cpu) in
-  let keys = Hashtbl.fold (fun k mask acc -> (k, mask) :: acc) t.asid_residency [] in
-  List.iter
-    (fun (k, mask) ->
-      let mask = mask land bit in
-      if mask = 0 then Hashtbl.remove t.asid_residency k
-      else Hashtbl.replace t.asid_residency k mask)
-    keys;
+  for a = 0 to t.max_res_asid do
+    t.asid_residency.(a) <- t.asid_residency.(a) land bit
+  done;
   if globals_too then t.global_residency <- t.global_residency land bit;
   reset_residency_memo t
 
 let clear_asid_residency t ~asid cpu =
-  let bit = lnot (1 lsl cpu) in
-  (match Hashtbl.find_opt t.asid_residency asid with
-  | None -> ()
-  | Some mask ->
-      let mask = mask land bit in
-      if mask = 0 then Hashtbl.remove t.asid_residency asid
-      else Hashtbl.replace t.asid_residency asid mask);
+  t.asid_residency.(asid) <- t.asid_residency.(asid) land lnot (1 lsl cpu);
   reset_residency_memo t
 
 let coherence_check_va t ~op va =
-  match t.coherence_hook with None -> () | Some f -> f ~op ~va:(Some va)
+  match t.coherence_hook with None -> () | Some f -> f ~op ~va
+
+(* The packed translation path everything below runs on: a
+   non-negative result is [(pa lsl 1) lor hit], a negative one means
+   the fault is in [t.mmu_fault].  Charges and event counts are
+   identical to the historical record path; a steady-state TLB hit
+   allocates nothing. *)
+let translate_fast t ~ring ~kind va =
+  note_residency t;
+  let r = Mmu.access_fast t.mem t.cr t.tlb ~ring ~kind va ~fault:t.mmu_fault in
+  if r >= 0 then begin
+    let hit = r land 1 = 1 in
+    charge t
+      (if hit then t.costs.mem_insn else t.costs.mem_insn + t.costs.tlb_miss_walk);
+    count_ev t (if hit then Nktrace.Tlb_hit else Nktrace.Tlb_miss);
+    coherence_check_va t ~op:"mmu_access" va
+  end;
+  r
 
 let translate t ~ring ~kind va =
-  note_residency t;
-  match Mmu.access t.mem t.cr t.tlb ~ring ~kind va with
-  | Ok { pa; tlb_hit } ->
-      charge t (if tlb_hit then t.costs.mem_insn else t.costs.mem_insn + t.costs.tlb_miss_walk);
-      count_ev t (if tlb_hit then Nktrace.Tlb_hit else Nktrace.Tlb_miss);
-      coherence_check_va t ~op:"mmu_access" va;
-      Ok pa
-  | Error f -> Error f
+  let r = translate_fast t ~ring ~kind va in
+  if r >= 0 then Ok (r lsr 1) else Error !(t.mmu_fault)
+
+let read_u8 t ~ring va =
+  let r = translate_fast t ~ring ~kind:Fault.Read va in
+  if r >= 0 then Ok (Phys_mem.read_u8 t.mem (r lsr 1)) else Error !(t.mmu_fault)
+
+let write_u8 t ~ring va v =
+  let r = translate_fast t ~ring ~kind:Fault.Write va in
+  if r >= 0 then Ok (Phys_mem.write_u8 t.mem (r lsr 1) v)
+  else Error !(t.mmu_fault)
+
+(* A word access that straddles a page boundary must check both pages;
+   negative results propagate the fault left in [t.mmu_fault]. *)
+let word_pa_fast t ~ring ~kind va =
+  let r = translate_fast t ~ring ~kind va in
+  if r < 0 then r
+  else if Addr.page_offset va <= Addr.page_size - 8 then r
+  else
+    let r2 = translate_fast t ~ring ~kind (Addr.align_up (va + 1)) in
+    if r2 < 0 then r2 else r
+
+let read_u64 t ~ring va =
+  let r = word_pa_fast t ~ring ~kind:Fault.Read va in
+  if r >= 0 then Ok (Phys_mem.read_u64 t.mem (r lsr 1)) else Error !(t.mmu_fault)
+
+let write_u64 t ~ring va v =
+  let r = word_pa_fast t ~ring ~kind:Fault.Write va in
+  if r >= 0 then Ok (Phys_mem.write_u64 t.mem (r lsr 1) v)
+  else Error !(t.mmu_fault)
 
 let ( let* ) = Result.bind
 
-let read_u8 t ~ring va =
-  let* pa = translate t ~ring ~kind:Fault.Read va in
-  Ok (Phys_mem.read_u8 t.mem pa)
-
-let write_u8 t ~ring va v =
-  let* pa = translate t ~ring ~kind:Fault.Write va in
-  Ok (Phys_mem.write_u8 t.mem pa v)
-
-(* A word access that straddles a page boundary must check both pages. *)
-let word_pa t ~ring ~kind va =
-  let* pa = translate t ~ring ~kind va in
-  if Addr.page_offset va <= Addr.page_size - 8 then Ok pa
-  else
-    let* _ = translate t ~ring ~kind (Addr.align_up (va + 1)) in
-    Ok pa
-
-let read_u64 t ~ring va =
-  let* pa = word_pa t ~ring ~kind:Fault.Read va in
-  Ok (Phys_mem.read_u64 t.mem pa)
-
-let write_u64 t ~ring va v =
-  let* pa = word_pa t ~ring ~kind:Fault.Write va in
-  Ok (Phys_mem.write_u64 t.mem pa v)
-
 (* Bulk access: process page by page, permission-checking each page
-   once and charging bulk-copy costs rather than per-word costs. *)
+   once and charging bulk-copy costs rather than per-word costs (no
+   [mem_insn] per page — only the walk cost on a miss). *)
 let bulk t ~ring ~kind va len f =
   if len < 0 then invalid_arg "Machine: negative length";
   note_residency t;
   let rec go va remaining off =
     if remaining = 0 then Ok ()
     else
-      match Mmu.access t.mem t.cr t.tlb ~ring ~kind va with
-      | Error fault -> Error fault
-      | Ok { pa; tlb_hit } ->
-          if not tlb_hit then charge t t.costs.tlb_miss_walk;
-          count_ev t (if tlb_hit then Nktrace.Tlb_hit else Nktrace.Tlb_miss);
-          coherence_check_va t ~op:"mmu_access" va;
-          let chunk = min remaining (Addr.page_size - Addr.page_offset va) in
-          charge t (t.costs.byte_copy_x8 * ((chunk + 7) / 8));
-          f ~pa ~off ~chunk;
-          go (va + chunk) (remaining - chunk) (off + chunk)
+      let r = Mmu.access_fast t.mem t.cr t.tlb ~ring ~kind va ~fault:t.mmu_fault in
+      if r < 0 then Error !(t.mmu_fault)
+      else begin
+        let hit = r land 1 = 1 in
+        if not hit then charge t t.costs.tlb_miss_walk;
+        count_ev t (if hit then Nktrace.Tlb_hit else Nktrace.Tlb_miss);
+        coherence_check_va t ~op:"mmu_access" va;
+        let chunk = min remaining (Addr.page_size - Addr.page_offset va) in
+        charge t (t.costs.byte_copy_x8 * ((chunk + 7) / 8));
+        f ~pa:(r lsr 1) ~off ~chunk;
+        go (va + chunk) (remaining - chunk) (off + chunk)
+      end
   in
   go va len 0
 
@@ -244,6 +260,13 @@ let write_bytes t ~ring va buf =
     (fun ~pa ~off ~chunk -> Phys_mem.blit_from_bytes buf off t.mem pa chunk)
 
 let kread_u64 t va = read_u64 t ~ring:Mmu.Supervisor va
+
+(* Packed supervisor word read: the value (>= 0) or -1 when translation
+   faults — same charges and TLB traffic as [kread_u64], no result box.
+   Dispatch-path lookups (e.g. the syscall table) read through this. *)
+let kread_word t va =
+  let r = word_pa_fast t ~ring:Mmu.Supervisor ~kind:Fault.Read va in
+  if r >= 0 then Phys_mem.read_u64 t.mem (r lsr 1) else -1
 let kwrite_u64 t va v = write_u64 t ~ring:Mmu.Supervisor va v
 let kread_bytes t va len = read_bytes t ~ring:Mmu.Supervisor va len
 let kwrite_bytes t va b = write_bytes t ~ring:Mmu.Supervisor va b
@@ -268,37 +291,37 @@ let flush_asid t ~asid =
    residency table says it ran one of those ASIDs — or, the soundness
    backstop, when its TLB demonstrably still holds a live entry the
    flush must kill ([occupied]).  A peer whose id is unknown (a
-   hand-assembled peer list outside {!Smp}) is always targeted.
-   Returns the flushed peer ids for the notify hook. *)
+   hand-assembled peer array outside {!Smp}) is always targeted.
+   Leaves the flushed peer ids in the [shoot_targets] scratch for the
+   notify hook — no per-shootdown list is built. *)
 let shoot_peers t ~scope ~occupied ~flush =
-  let rec zip tlbs ids =
-    match (tlbs, ids) with
-    | [], _ -> []
-    | tlb :: ts, [] -> (tlb, None) :: zip ts []
-    | tlb :: ts, id :: is -> (tlb, Some id) :: zip ts is
-  in
-  let targets = ref [] in
-  List.iter
-    (fun (tlb, id) ->
-      let targeted =
-        match scope with
-        | Broadcast -> true
-        | Asids asids -> (
-            match id with
-            | None -> true
-            | Some id ->
-                List.exists (fun a -> resident t ~asid:a id) asids
-                || occupied tlb)
-      in
-      if targeted then begin
-        flush tlb;
-        charge t t.costs.Costs.ipi_shootdown;
-        count_ev t Nktrace.Shootdown_sent;
-        match id with Some id -> targets := id :: !targets | None -> ()
+  let n = Array.length t.peer_tlbs in
+  if Array.length t.shoot_targets < n then t.shoot_targets <- Array.make n 0;
+  let nids = Array.length t.peer_ids in
+  let nt = ref 0 in
+  for i = 0 to n - 1 do
+    let tlb = t.peer_tlbs.(i) in
+    let id = if i < nids then t.peer_ids.(i) else -1 in
+    let targeted =
+      match scope with
+      | Broadcast -> true
+      | Asids asids ->
+          id < 0
+          || List.exists (fun a -> resident t ~asid:a id) asids
+          || occupied tlb
+    in
+    if targeted then begin
+      flush tlb;
+      charge t t.costs.Costs.ipi_shootdown;
+      count_ev t Nktrace.Shootdown_sent;
+      if id >= 0 then begin
+        t.shoot_targets.(!nt) <- id;
+        incr nt
       end
-      else count_ev t Nktrace.Shootdown_filtered)
-    (zip t.peer_tlbs t.peer_ids);
-  List.rev !targets
+    end
+    else count_ev t Nktrace.Shootdown_filtered
+  done;
+  t.shoot_ntargets <- !nt
 
 (* INVLPG reaches every ASID and the globals, so a single-page
    shootdown needs no extra cross-ASID work. *)
@@ -306,12 +329,10 @@ let shootdown_page ?(scope = Broadcast) t ~vpage =
   Tlb.flush_page t.tlb ~vpage;
   charge t t.costs.Costs.invlpg;
   count_ev t Nktrace.Tlb_flush_page;
-  let targets =
-    shoot_peers t ~scope
-      ~occupied:(fun tlb -> Tlb.holds_span tlb ~vpage ~count:1)
-      ~flush:(fun tlb -> Tlb.flush_page tlb ~vpage)
-  in
-  shootdown_notify_targets t targets;
+  shoot_peers t ~scope
+    ~occupied:(fun tlb -> Tlb.holds_span tlb ~vpage ~count:1)
+    ~flush:(fun tlb -> Tlb.flush_page tlb ~vpage);
+  shootdown_notify_targets t;
   coherence_check t ~op:"shootdown_page"
 
 (* Range shootdown for a large-leaf downgrade: the MMU caches each of
@@ -322,12 +343,10 @@ let shootdown_span ?(scope = Broadcast) t ~vpage ~count:n =
   Tlb.flush_span t.tlb ~vpage ~count:n;
   charge t (min (n * t.costs.Costs.invlpg) t.costs.Costs.tlb_flush_full);
   count_ev t Nktrace.Tlb_flush_span;
-  let targets =
-    shoot_peers t ~scope
-      ~occupied:(fun tlb -> Tlb.holds_span tlb ~vpage ~count:n)
-      ~flush:(fun tlb -> Tlb.flush_span tlb ~vpage ~count:n)
-  in
-  shootdown_notify_targets t targets;
+  shoot_peers t ~scope
+    ~occupied:(fun tlb -> Tlb.holds_span tlb ~vpage ~count:n)
+    ~flush:(fun tlb -> Tlb.flush_span tlb ~vpage ~count:n);
+  shootdown_notify_targets t;
   coherence_check t ~op:"shootdown_span"
 
 (* A broadcast shootdown backs protection downgrades whose VA is
@@ -340,14 +359,14 @@ let shootdown_all t =
   clear_cpu_residency t ~globals_too:true t.cur_cpu;
   charge t t.costs.Costs.tlb_flush_full;
   count_ev t Nktrace.Tlb_flush_full;
-  let targets =
-    shoot_peers t ~scope:Broadcast
-      ~occupied:(fun _ -> true)
-      ~flush:(fun tlb -> Tlb.flush_global_too tlb)
-  in
+  shoot_peers t ~scope:Broadcast
+    ~occupied:(fun _ -> true)
+    ~flush:(fun tlb -> Tlb.flush_global_too tlb);
   (* Every flushed peer lost all entries, globals included. *)
-  List.iter (fun id -> clear_cpu_residency t ~globals_too:true id) targets;
-  shootdown_notify_targets t targets;
+  for i = 0 to t.shoot_ntargets - 1 do
+    clear_cpu_residency t ~globals_too:true t.shoot_targets.(i)
+  done;
+  shootdown_notify_targets t;
   coherence_check t ~op:"shootdown_all"
 
 (* ASID-wide shootdown: the remote-capable [flush_asid] a PCID rebind
@@ -361,14 +380,12 @@ let shootdown_asid t ~asid =
   Tlb.flush_asid t.tlb ~asid;
   charge t t.costs.Costs.invpcid;
   count_ev t Nktrace.Tlb_flush_asid;
-  let targets =
-    shoot_peers t ~scope:(Asids [ asid ])
-      ~occupied:(fun tlb -> Tlb.holds_asid tlb ~asid)
-      ~flush:(fun tlb -> Tlb.flush_asid tlb ~asid)
-  in
-  Hashtbl.remove t.asid_residency asid;
+  shoot_peers t ~scope:(Asids [ asid ])
+    ~occupied:(fun tlb -> Tlb.holds_asid tlb ~asid)
+    ~flush:(fun tlb -> Tlb.flush_asid tlb ~asid);
+  t.asid_residency.(asid) <- 0;
   reset_residency_memo t;
-  shootdown_notify_targets t targets;
+  shootdown_notify_targets t;
   coherence_check t ~op:"shootdown_asid"
 
 let raise_interrupt t vector =

@@ -33,27 +33,40 @@ type t = {
       (** id of the CPU currently driving the machine; 0 on the boot
           CPU, maintained by {!Smp.activate}.  Per-CPU bookkeeping
           (gate depth, trace spans) keys off this *)
-  mutable peer_tlbs : Tlb.t list;
+  mutable peer_tlbs : Tlb.t array;
       (** TLBs of the other (inactive) CPUs; protection downgrades
           shoot these down too *)
-  mutable peer_crs : Cr.t list;
+  mutable peer_crs : Cr.t array;
       (** control registers of the other (inactive) CPUs; the gate's
           WP-isolation invariant audits these *)
-  mutable peer_ids : int list;
+  mutable peer_ids : int array;
       (** CPU ids matching [peer_tlbs] position-for-position; {!Smp}
-          maintains it so scoped shootdowns can consult residency and
-          report which peers were actually IPI'd *)
-  asid_residency : (int, int) Hashtbl.t;
-      (** ASID -> bitmask of CPUs that have run under that ASID since
-          their last flush of it; drives ASID-scoped shootdown
-          targeting.  Over-approximation is sound (costs an IPI, never
-          a stale entry) *)
+          maintains it (refilled in place on context switch) so scoped
+          shootdowns can consult residency and report which peers were
+          actually IPI'd *)
+  asid_residency : int array;
+      (** per-ASID bitmask of CPUs that have run under that ASID since
+          their last flush of it, indexed by the 12-bit PCID; drives
+          ASID-scoped shootdown targeting.  Over-approximation is
+          sound (costs an IPI, never a stale entry) *)
+  mutable max_res_asid : int;
+      (** upper bound on ASIDs with a possibly-nonzero residency mask;
+          bounds the sweep of CPU-wide clears *)
   mutable global_residency : int;
       (** bitmask of CPUs that may cache global entries *)
   mutable res_memo_asid : int;
       (** memo of the last (asid, cpu) noted, so the hot access path
           pays two integer compares; [-1] = invalid *)
   mutable res_memo_cpu : int;
+  mutable shoot_targets : int array;
+      (** scratch holding the peer CPU ids flushed by the shootdown in
+          progress — valid in [0 .. shoot_ntargets-1] when the notify
+          hook fires; reused across shootdowns so none allocates *)
+  mutable shoot_ntargets : int;
+  mmu_fault : Fault.t ref;
+      (** fault cell the packed translation path writes through; holds
+          the cause of the most recent negative {!translate_fast}
+          result *)
   msrs : (int, int) Hashtbl.t;
   mutable idtr : Addr.va option;  (** base VA of the 256-entry IDT *)
   mutable pending_interrupts : int list;
@@ -65,16 +78,19 @@ type t = {
           enforcement power *)
   mutable last_trap : (int * Fault.t option) option;
       (** vector and cause of the most recently delivered trap *)
-  mutable coherence_hook : (op:string -> va:Addr.va option -> unit) option;
-      (** differential-oracle callback (see {!Coherence}); [None] by
-          default, in which case every check site is a single match
-          with zero cost *)
-  mutable shootdown_notify : (targets:int list -> unit) option;
-      (** fired once per shootdown with the peer CPU ids actually
-          flushed, so the SMP layer can post [Shootdown] IPIs into
-          exactly those mailboxes.  Not fired when filtering leaves no
-          targets.  Pure host-side bookkeeping: must never charge
-          simulated cycles *)
+  mutable coherence_hook : (op:string -> va:Addr.va -> unit) option;
+      (** differential-oracle callback (see {!Coherence}): [va >= 0]
+          targets one translation, [va = -1] asks for a full audit (an
+          int sentinel so the per-access fire allocates nothing).
+          [None] by default, in which case every check site is a
+          single match with zero cost *)
+  mutable shootdown_notify : (unit -> unit) option;
+      (** fired once per shootdown; the peer CPU ids actually flushed
+          are in [shoot_targets.(0 .. shoot_ntargets-1)], so the SMP
+          layer can post [Shootdown] IPIs into exactly those mailboxes
+          without a per-shootdown list.  Not fired when filtering
+          leaves no targets.  Pure host-side bookkeeping: must never
+          charge simulated cycles *)
   trace : Nktrace.t;
       (** typed event tracer, cycle source wired to [clock]; disabled
           by default, in which case every emission site is one boolean
@@ -99,6 +115,12 @@ val translate :
 (** Permission-checked translation; charges a memory access and any
     walk cost. *)
 
+val translate_fast :
+  t -> ring:Mmu.ring -> kind:Fault.access_kind -> Addr.va -> int
+(** Allocation-free {!translate}: returns [(pa lsl 1) lor hit], or a
+    negative value with the fault left in [mmu_fault].  Identical
+    charges, event counts and coherence checks. *)
+
 val read_u8 : t -> ring:Mmu.ring -> Addr.va -> (int, Fault.t) result
 val write_u8 : t -> ring:Mmu.ring -> Addr.va -> int -> (unit, Fault.t) result
 val read_u64 : t -> ring:Mmu.ring -> Addr.va -> (int, Fault.t) result
@@ -114,6 +136,12 @@ val kwrite_u64 : t -> Addr.va -> int -> (unit, Fault.t) result
 val kread_bytes : t -> Addr.va -> int -> (bytes, Fault.t) result
 val kwrite_bytes : t -> Addr.va -> bytes -> (unit, Fault.t) result
 (** Supervisor-ring shorthands: accesses issued by kernel code. *)
+
+val kread_word : t -> Addr.va -> int
+(** [kread_u64] packed into a bare int: the word value ([>= 0]) or [-1]
+    when the translation faults.  Identical cycle charges and TLB
+    traffic; allocates nothing — the steady-state read for dispatch
+    hot paths like the syscall vector table. *)
 
 val flush_full : t -> unit
 (** Local CR3-reload-style flush: non-global entries of every ASID.

@@ -31,6 +31,25 @@ val access :
   kind:Fault.access_kind ->
   Addr.va ->
   (ok, Fault.t) result
-(** Translate and permission-check a 1-byte access at [va]. *)
+(** Translate and permission-check a 1-byte access at [va].  Record
+    wrapper over {!access_fast} for tests and cold callers. *)
+
+val access_fast :
+  Phys_mem.t ->
+  Cr.t ->
+  Tlb.t ->
+  ring:ring ->
+  kind:Fault.access_kind ->
+  Addr.va ->
+  fault:Fault.t ref ->
+  int
+(** Allocation-free translation: returns [(pa lsl 1) lor hit] with
+    bit 0 set iff the TLB served the translation, or a negative value
+    after storing the fault in [fault].  A steady-state TLB hit
+    allocates nothing; only fills that walk the tree and the fault
+    paths allocate. *)
+
+val fault_none : Fault.t
+(** Inert placeholder for initializing [fault] cells. *)
 
 val pp_ring : Format.formatter -> ring -> unit

@@ -19,6 +19,16 @@ val write_u8 : t -> Addr.pa -> int -> unit
 val read_u64 : t -> Addr.pa -> int
 (** Read 8 little-endian bytes as an OCaml int (bit 63 discarded). *)
 
+val read_table_word : t -> frame:Addr.frame -> index:int -> int
+(** Unchecked aligned word read of table entry [index] (< 512) of page
+    [frame], for the page-table walkers.  The caller must have
+    validated [frame] with {!valid_frame}; same result as {!read_u64}
+    of the entry's address. *)
+
+val writes : t -> int
+(** Monotone count of stores of any width — a cheap mutation stamp: if
+    it is unchanged, no byte of memory (hence no PTE) has changed. *)
+
 val write_u64 : t -> Addr.pa -> int -> unit
 
 val read_bytes : t -> Addr.pa -> int -> bytes

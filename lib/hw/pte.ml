@@ -85,6 +85,7 @@ let set_bit t bit v = if v then t lor bit else t land lnot bit
 let set_writable t v = set_bit t bit_rw v
 let set_present t v = set_bit t bit_p v
 let set_nx t v = set_bit t bit_nx v
+let set_global t v = set_bit t bit_g v
 let set_accessed t = t lor bit_a
 let set_dirty t = t lor bit_d
 

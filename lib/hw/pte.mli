@@ -58,10 +58,24 @@ val is_large : t -> bool
 val is_global : t -> bool
 val is_nx : t -> bool
 
+(** Raw layout constants, for code that works on packed words directly
+    (the TLB's flat table reuses this layout for cached entries). *)
+
+val bit_p : int
+val bit_rw : int
+val bit_us : int
+val bit_a : int
+val bit_d : int
+val bit_ps : int
+val bit_g : int
+val bit_nx : int
+val frame_mask : int
+
 val with_flags : t -> flags -> t
 val set_writable : t -> bool -> t
 val set_present : t -> bool -> t
 val set_nx : t -> bool -> t
+val set_global : t -> bool -> t
 val set_accessed : t -> t
 val set_dirty : t -> t
 

@@ -65,20 +65,23 @@ let deliver t c ipi =
 let install_shootdown_notify t =
   t.machine.Machine.shootdown_notify <-
     Some
-      (fun ~targets ->
-        List.iter
-          (fun id ->
-            if id <> t.active && id >= 0 && id < Array.length t.cpus then
-              let c = t.cpus.(id) in
-              (* The TLB invalidation was synchronous, so a dropped or
-                 delayed acknowledgement IPI degrades bookkeeping only
-                 — exactly the hardware situation the drain-before-
-                 dispatch obligation must survive. *)
-              if Nkinject.fire_opt t.inject Nkinject.Ipi_drop then ()
-              else if Nkinject.fire_opt t.inject Nkinject.Ipi_delay then
-                Queue.push Shootdown c.delayed
-              else deliver t c Shootdown)
-          targets)
+      (fun () ->
+        let m = t.machine in
+        let targets = m.Machine.shoot_targets in
+        for i = 0 to m.Machine.shoot_ntargets - 1 do
+          let id = targets.(i) in
+          if id <> t.active && id >= 0 && id < Array.length t.cpus then begin
+            let c = t.cpus.(id) in
+            (* The TLB invalidation was synchronous, so a dropped or
+               delayed acknowledgement IPI degrades bookkeeping only
+               — exactly the hardware situation the drain-before-
+               dispatch obligation must survive. *)
+            if Nkinject.fire_opt t.inject Nkinject.Ipi_drop then ()
+            else if Nkinject.fire_opt t.inject Nkinject.Ipi_delay then
+              Queue.push Shootdown c.delayed
+            else deliver t c Shootdown
+          end
+        done)
 
 let create machine =
   let boot =
@@ -98,14 +101,28 @@ let create machine =
   install_shootdown_notify t;
   t
 
+(* Repoint the machine's peer arrays at everyone but the active CPU,
+   in cpu-id order.  The arrays are preallocated and refilled in place
+   — this runs on every context switch, so it must not cons. *)
 let refresh_peers t =
   let m = t.machine in
-  let others =
-    Array.to_list t.cpus |> List.filter (fun c -> c.id <> t.active)
-  in
-  m.Machine.peer_tlbs <- List.map (fun c -> c.tlb) others;
-  m.Machine.peer_crs <- List.map (fun c -> c.cr) others;
-  m.Machine.peer_ids <- List.map (fun c -> c.id) others
+  let n = Array.length t.cpus - 1 in
+  if Array.length m.Machine.peer_ids <> n then begin
+    let tmpl = t.cpus.(0) in
+    m.Machine.peer_tlbs <- Array.make n tmpl.tlb;
+    m.Machine.peer_crs <- Array.make n tmpl.cr;
+    m.Machine.peer_ids <- Array.make n 0
+  end;
+  let j = ref 0 in
+  for i = 0 to Array.length t.cpus - 1 do
+    let c = t.cpus.(i) in
+    if c.id <> t.active then begin
+      m.Machine.peer_tlbs.(!j) <- c.tlb;
+      m.Machine.peer_crs.(!j) <- c.cr;
+      m.Machine.peer_ids.(!j) <- c.id;
+      incr j
+    end
+  done
 
 let add_cpu t =
   let id = Array.length t.cpus in
@@ -201,6 +218,17 @@ let drain_ipis t id =
   Queue.clear c.delayed;
   drained
 
+(* Same drain without materializing the drained list — the executor
+   runs this every scheduling step and discards the contents anyway. *)
+let drain_ipis_quiet t id =
+  let c = ctx t id in
+  Queue.iter
+    (function Halt -> c.halted <- true | Reschedule | Shootdown -> ())
+    c.mailbox;
+  Queue.clear c.mailbox;
+  Queue.iter (fun ipi -> deliver t c ipi) c.delayed;
+  Queue.clear c.delayed
+
 let set_inject t inj = t.inject <- inj
 let pending_delayed t id = Queue.length (ctx t id).delayed
 
@@ -236,16 +264,32 @@ module Executor = struct
     e.prng <- x;
     x
 
-  let live_cpus e =
-    Array.to_list e.smp.cpus |> List.filter (fun c -> not c.halted)
+  let live_count e =
+    let n = ref 0 in
+    Array.iter (fun c -> if not c.halted then incr n) e.smp.cpus;
+    !n
 
-  let pick e live =
+  (* The [k]-th non-halted CPU in cpu-id order — the same element
+     [List.nth live k] selected when a live list was materialized, so
+     seeded schedules are unchanged. *)
+  let nth_live e k =
+    let cpus = e.smp.cpus in
+    let n = Array.length cpus in
+    let rec go i k =
+      if i >= n then invalid_arg "Smp.Executor: live CPU index out of range"
+      else if cpus.(i).halted then go (i + 1) k
+      else if k = 0 then cpus.(i)
+      else go (i + 1) (k - 1)
+    in
+    go 0 k
+
+  let pick e nlive =
     match e.policy with
-    | Seeded _ -> List.nth live (next_rand e mod List.length live)
+    | Seeded _ -> nth_live e (next_rand e mod nlive)
     | Round_robin ->
         let n = Array.length e.smp.cpus in
         let rec scan tries i =
-          if tries = 0 then List.hd live
+          if tries = 0 then nth_live e 0
           else
             let c = e.smp.cpus.(i mod n) in
             if c.halted then scan (tries - 1) (i + 1)
@@ -261,19 +305,21 @@ module Executor = struct
   (* One scheduling step: pick a live CPU under the policy, make it
      the machine's view, drain its mailbox (so shootdown IPIs are
      acknowledged before any process runs there — the migration-safety
-     obligation), then hand it one quantum. *)
+     obligation), then hand it one quantum.  Allocation-free: the live
+     set is counted, not materialized, and the drain discards. *)
   let step e ~quantum =
-    match live_cpus e with
-    | [] -> `All_halted
-    | live ->
-        let c = pick e live in
-        switch_to e.smp ~count:(Some Nktrace.Cpu_migration) c.id;
-        ignore (drain_ipis e.smp c.id);
-        e.steps <- e.steps + 1;
-        (match quantum c.id with
-        | `Ran | `Idle -> ()
-        | `Halted -> c.halted <- true);
-        `Stepped c.id
+    let nlive = live_count e in
+    if nlive = 0 then `All_halted
+    else begin
+      let c = pick e nlive in
+      switch_to e.smp ~count:(Some Nktrace.Cpu_migration) c.id;
+      drain_ipis_quiet e.smp c.id;
+      e.steps <- e.steps + 1;
+      (match quantum c.id with
+      | `Ran | `Idle -> ()
+      | `Halted -> c.halted <- true);
+      `Stepped c.id
+    end
 
   let run e ?(max_steps = max_int) ~quantum () =
     let rec go n =

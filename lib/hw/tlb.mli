@@ -10,7 +10,13 @@
     Entries are tagged with the address-space identifier (the PCID on
     x86 with CR4.PCIDE) active when they were filled; global entries
     are shared across all ASIDs and survive [flush_all].  Flushes are
-    O(1) generation bumps; stale slots are reclaimed lazily. *)
+    O(1) generation bumps; stale slots are reclaimed lazily.
+
+    The store is an open-addressed flat [int array] table — keys are
+    [asid lsl 36 lor vpage], cached translations single words in the
+    {!Pte} bit layout — so the hot lookup/insert pair allocates
+    nothing.  The [entry]-record API below is a convenience wrapper
+    over the packed one for tests and checkers. *)
 
 type entry = {
   frame : Addr.frame;
@@ -22,7 +28,11 @@ type entry = {
 
 type t
 
-val create : unit -> t
+val create : ?epoch_limit:int -> unit -> t
+(** [epoch_limit] bounds the epoch / generation counters before they
+    wrap (physically purging what they guarded, so equality tagging
+    stays sound).  Default [max_int]; tests bound it low to exercise
+    the wraparound path. *)
 
 val lookup : t -> asid:int -> vpage:int -> entry option
 (** Hit only on a live entry tagged [asid] or a live global entry. *)
@@ -39,6 +49,46 @@ val iter_live : t -> f:(asid:int option -> vpage:int -> entry -> unit) -> unit
 val insert : t -> asid:int -> vpage:int -> entry -> unit
 (** Fill under the given ASID; entries with [global = true] go to the
     shared global set instead. *)
+
+(** {2 Packed fast path}
+
+    The allocation-free interface the MMU runs on.  A packed entry is
+    one word in the {!Pte} bit layout (P always set, RW/US/G permission
+    bits, NX in bit 62, frame in bits 12..47); [miss] (= 0) is never a
+    valid entry because P is always set. *)
+
+val miss : int
+
+val lookup_packed : t -> asid:int -> vpage:int -> int
+(** {!lookup}, returning the packed entry or [miss].  Same hit/miss
+    accounting and lazy reclamation as {!lookup}. *)
+
+val peek_packed : t -> asid:int -> vpage:int -> int
+(** {!peek}, returning the packed entry or [miss]. *)
+
+val insert_packed : t -> asid:int -> vpage:int -> int -> unit
+
+val iter_live_packed : t -> f:(asid:int -> vpage:int -> int -> unit) -> unit
+(** {!iter_live} without the record boxing; global entries are
+    reported with [asid = -1]. *)
+
+val pack_entry :
+  frame:Addr.frame ->
+  writable:bool ->
+  user:bool ->
+  nx:bool ->
+  global:bool ->
+  int
+
+val pack : entry -> int
+val unpack : int -> entry
+val packed_frame : int -> Addr.frame
+val packed_writable : int -> bool
+val packed_user : int -> bool
+val packed_nx : int -> bool
+val packed_global : int -> bool
+
+(** {2 Flushes} *)
 
 val flush_all : t -> unit
 (** Full flush, as a CR3 reload performs: invalidates every non-global
@@ -74,6 +124,14 @@ val holds_asid : t -> asid:int -> bool
 val hits : t -> int
 val misses : t -> int
 val record_miss : t -> unit
+
+val inserts : t -> int
+(** Monotone count of fills; together with {!flushes} it stamps the
+    TLB's mutation history — unchanged counts mean unchanged content
+    (lazy tombstone reclamation never changes the live set). *)
+
+val flushes : t -> int
+(** Monotone count of flush operations of any scope. *)
 
 val size : t -> int
 (** Number of live entries (all ASIDs plus globals). *)

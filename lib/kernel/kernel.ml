@@ -14,7 +14,8 @@ type t = {
   shadow : Shadow_proc.t option;
   syscall_table : Syscall_table.t;
   handlers : (int, handler) Hashtbl.t;
-  arg_specs : (int, Ktypes.arg_kind list) Hashtbl.t;
+  arg_specs : Ktypes.arg_kind list option array;
+  span_cache : Nktrace.span array;
   syslog : syscall_log option;
   procs : (Ktypes.pid, Proc.t) Hashtbl.t;
   smp : Smp.t;
@@ -32,6 +33,7 @@ and syscall_log = {
   sl_wd : Nested_kernel.State.wd;
   sl_base : Addr.va;
   sl_state : Nested_kernel.Policy.append_state;
+  sl_record : Bytes.t;
   mutable sl_events : int;
   mutable sl_flushes : int;
 }
@@ -226,6 +228,7 @@ let boot ?(frames = 8192) ?(batched = false) ?(pcid = true)
                 sl_wd = wd;
                 sl_base = base;
                 sl_state = st;
+                sl_record = Bytes.create event_bytes;
                 sl_events = 0;
                 sl_flushes = 0;
               }
@@ -262,7 +265,10 @@ let boot ?(frames = 8192) ?(batched = false) ?(pcid = true)
       shadow;
       syscall_table;
       handlers = Hashtbl.create 64;
-      arg_specs = Hashtbl.create 64;
+      arg_specs = Array.make Ktypes.max_syscall None;
+      span_cache =
+        Array.init Ktypes.max_syscall (fun i ->
+            Nktrace.Syscall_dispatch (Ktypes.syscall_name i));
       syslog;
       procs = Hashtbl.create 64;
       smp;
@@ -413,7 +419,10 @@ let log_sys_event t (p : Proc.t) sysno dir =
         Machine.charge t.machine 5_000;
         Machine.count_ev t.machine Nktrace.Syslog_flush
       end;
-      let record = Bytes.create event_bytes in
+      (* [sl_record] is a reused scratch: the mediated write path (and
+         any write-log policy) copies the bytes before returning, so no
+         one retains the buffer across events. *)
+      let record = sl.sl_record in
       t.syscall_seq <- t.syscall_seq + 1;
       Bytes.set_int64_le record 0 (Int64.of_int t.syscall_seq);
       let tag =
@@ -434,7 +443,9 @@ let register_handler t id fn = Hashtbl.replace t.handlers id fn
 let install_syscall t ~sysno ~handler_id =
   Syscall_table.set t.syscall_table ~sysno ~handler_id
 
-let register_argspec t ~sysno spec = Hashtbl.replace t.arg_specs sysno spec
+let register_argspec t ~sysno spec =
+  if sysno >= 0 && sysno < Array.length t.arg_specs then
+    t.arg_specs.(sysno) <- Some spec
 
 (* Dispatcher work beyond the bare SYSCALL/SYSRET boundary: argument
    copyin, credential checks, table indexing. *)
@@ -443,9 +454,15 @@ let cost_dispatch = 140
 let syscall t (p : Proc.t) sysno args =
   (* Per-syscall dispatch-latency span: covers the roundtrip charge,
      table lookup, handler body and log events, so the histogram keyed
-     ["sys_<name>"] is the end-to-end cycle cost of one invocation. *)
+     ["sys_<name>"] is the end-to-end cycle cost of one invocation.
+     Span values for in-range numbers come from the boot-time cache —
+     no per-call variant or name allocation. *)
   let tr = t.machine.Machine.trace in
-  let sp = Nktrace.Syscall_dispatch (Ktypes.syscall_name sysno) in
+  let sp =
+    if sysno >= 0 && sysno < Array.length t.span_cache then
+      t.span_cache.(sysno)
+    else Nktrace.Syscall_dispatch (Ktypes.syscall_name sysno)
+  in
   Nktrace.span_begin tr sp;
   Machine.charge t.machine
     (t.machine.Machine.costs.Costs.syscall_roundtrip + cost_dispatch);
@@ -466,21 +483,27 @@ let syscall t (p : Proc.t) sysno args =
      position is EINVAL here, uniformly, instead of each handler
      silently substituting defaults. *)
   let args_ok =
-    match Hashtbl.find_opt t.arg_specs sysno with
-    | Some spec -> Ktypes.check_args spec args
-    | None -> true
+    if sysno >= 0 && sysno < Array.length t.arg_specs then
+      match t.arg_specs.(sysno) with
+      | Some spec -> Ktypes.check_args spec args
+      | None -> true
+    else true
   in
+  (* The errno path threads through shared constants ([Ktypes.err] and
+     the packed [Syscall_table.lookup]) — a failing syscall allocates
+     nothing between dispatch entry and the caller's [Error]. *)
   let result =
     match injected with
-    | Some e -> Error e
+    | Some e -> Ktypes.err e
     | None when not args_ok -> Error Ktypes.Einval
     | None -> (
-        match Syscall_table.get t.syscall_table ~sysno with
-        | Error e -> Error e
-        | Ok id -> (
-            match Hashtbl.find_opt t.handlers id with
-            | None -> Error Ktypes.Enosys
-            | Some h -> h t p args))
+        let id = Syscall_table.lookup t.syscall_table ~sysno in
+        if id < 0 then Error Ktypes.Efault
+        else if id = 0 then Error Ktypes.Enosys
+        else
+          match Hashtbl.find t.handlers id with
+          | exception Not_found -> Error Ktypes.Enosys
+          | h -> h t p args)
   in
   log_sys_event t p sysno `Exit;
   Nktrace.span_end tr sp;

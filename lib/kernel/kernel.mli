@@ -21,8 +21,14 @@ type t = {
   shadow : Shadow_proc.t option;  (** Write_log configuration *)
   syscall_table : Syscall_table.t;
   handlers : (int, handler) Hashtbl.t;
-  arg_specs : (int, Ktypes.arg_kind list) Hashtbl.t;
-      (** per-syscall argument specs checked by the dispatcher *)
+  arg_specs : Ktypes.arg_kind list option array;
+      (** per-syscall argument specs checked by the dispatcher, indexed
+          by syscall number (flat array: the steady-state lookup
+          allocates nothing) *)
+  span_cache : Nktrace.span array;
+      (** boot-built [Syscall_dispatch] span per syscall number, so
+          dispatch tracing reuses one span value instead of consing a
+          variant (and its name) per call *)
   syslog : syscall_log option;  (** Append_only configuration *)
   procs : (Ktypes.pid, Proc.t) Hashtbl.t;
   smp : Smp.t;  (** per-CPU contexts, mailboxes and the executor substrate *)
@@ -43,6 +49,9 @@ and syscall_log = {
   sl_wd : Nested_kernel.State.wd;
   sl_base : Addr.va;
   sl_state : Nested_kernel.Policy.append_state;
+  sl_record : Bytes.t;
+      (** reused 16-byte event scratch; every consumer of the mediated
+          write path copies before returning *)
   mutable sl_events : int;
   mutable sl_flushes : int;
 }

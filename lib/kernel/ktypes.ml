@@ -31,6 +31,41 @@ let errno_to_string = function
   | Eagain -> "EAGAIN"
   | Emfile -> "EMFILE"
 
+(* Shared error results, one per errno.  [Error e] with a variable [e]
+   conses a fresh box per failure; the dispatcher's errno path returns
+   these statically-allocated values instead, so an error return
+   allocates nothing in steady state.  (Literal [Error Enoent] in
+   source is already lifted to static data by the compiler — [err] is
+   the bridge for the dynamic case.) *)
+let err_enoent : (int, errno) result = Error Enoent
+let err_ebadf : (int, errno) result = Error Ebadf
+let err_enomem : (int, errno) result = Error Enomem
+let err_einval : (int, errno) result = Error Einval
+let err_efault : (int, errno) result = Error Efault
+let err_echild : (int, errno) result = Error Echild
+let err_enosys : (int, errno) result = Error Enosys
+let err_eexist : (int, errno) result = Error Eexist
+let err_eacces : (int, errno) result = Error Eacces
+let err_esrch : (int, errno) result = Error Esrch
+let err_enospc : (int, errno) result = Error Enospc
+let err_eagain : (int, errno) result = Error Eagain
+let err_emfile : (int, errno) result = Error Emfile
+
+let err : errno -> (int, errno) result = function
+  | Enoent -> err_enoent
+  | Ebadf -> err_ebadf
+  | Enomem -> err_enomem
+  | Einval -> err_einval
+  | Efault -> err_efault
+  | Echild -> err_echild
+  | Enosys -> err_enosys
+  | Eexist -> err_eexist
+  | Eacces -> err_eacces
+  | Esrch -> err_esrch
+  | Enospc -> err_enospc
+  | Eagain -> err_eagain
+  | Emfile -> err_emfile
+
 type sysarg = Int of int | Str of string | Buf of bytes
 
 let nth args i = List.nth_opt args i

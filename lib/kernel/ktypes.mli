@@ -21,6 +21,12 @@ type errno =
 
 val errno_to_string : errno -> string
 
+val err : errno -> (int, errno) result
+(** The shared, statically-allocated [Error] result for an errno.
+    Returning [err e] instead of [Error e] keeps a dynamic error path
+    allocation-free; all thirteen results are built once at module
+    initialisation. *)
+
 type sysarg = Int of int | Str of string | Buf of bytes
 
 val arg_int : sysarg list -> int -> (int, errno) result

@@ -57,4 +57,11 @@ let get t ~sysno =
     | Ok id -> Ok id
     | Error _ -> Error Ktypes.Efault
 
+(* [get] packed into a bare int for the dispatcher's steady state:
+   the handler id (>= 1), 0 for an empty/out-of-range entry (ENOSYS),
+   -1 when the table read faults (EFAULT).  Same charges as [get]. *)
+let lookup t ~sysno =
+  if sysno < 0 || sysno >= Ktypes.max_syscall then 0
+  else Machine.kread_word t.machine (entry_va t sysno)
+
 let is_write_once t = match t.writer with Mediated _ -> true | Direct _ -> false

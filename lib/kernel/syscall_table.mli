@@ -29,4 +29,9 @@ val set : t -> sysno:int -> handler_id:int -> (unit, string) result
 val get : t -> sysno:int -> (int, Ktypes.errno) result
 (** Read an entry as the dispatcher does (plain kernel read). *)
 
+val lookup : t -> sysno:int -> int
+(** [get] as a packed int — the handler id ([>= 1]), [0] for an empty
+    or out-of-range entry (ENOSYS), [-1] when the table read faults
+    (EFAULT).  Same cycle charges; allocates nothing. *)
+
 val is_write_once : t -> bool

@@ -11,7 +11,14 @@ type t = {
   mutable exit_cost : int option;
   mutable trap_cost : int option;
   mutable crossings : int;
-  fast_saved : (int, (Addr.va * int) list) Hashtbl.t;
+  (* Per-CPU stacks of fast-path caller frames (saved RSP and RFLAGS),
+     parallel int arrays indexed by cpu id: a steady-state crossing
+     pushes and pops plain ints, no tuple, no list cell, no hash
+     lookup.  [fast_depth.(cpu)] is the live depth of that CPU's
+     stack; the arrays grow (rarely) and never shrink. *)
+  mutable fast_rsp : int array array;
+  mutable fast_flags : int array array;
+  mutable fast_depth : int array;
   mutable wp_isolation_failures : int;
   mutable inject : Nkinject.t option;
 }
@@ -101,7 +108,9 @@ let install mem ~code_base_pa ~code_base_va ~secure_stack_top =
     exit_cost = None;
     trap_cost = None;
     crossings = 0;
-    fast_saved = Hashtbl.create 4;
+    fast_rsp = [||];
+    fast_flags = [||];
+    fast_depth = [||];
     wp_isolation_failures = 0;
     inject = None;
   }
@@ -129,18 +138,52 @@ let want_interpretation t = t.strict || t.crossings < 2
 (* Fast-path crossings pair per CPU: a frame pushed while CPU 2 drove
    the machine can only be popped by CPU 2's exit, so interleaved
    crossings on different CPUs each restore their own caller state. *)
-let fast_frames (m : Machine.t) t =
-  Option.value (Hashtbl.find_opt t.fast_saved m.Machine.cur_cpu) ~default:[]
+let ensure_cpu t cpu =
+  let n = Array.length t.fast_depth in
+  if cpu >= n then begin
+    let n' = max 4 (cpu + 1) in
+    let grow rows =
+      let a = Array.make n' [||] in
+      Array.blit rows 0 a 0 n;
+      a
+    in
+    t.fast_rsp <- grow t.fast_rsp;
+    t.fast_flags <- grow t.fast_flags;
+    let d = Array.make n' 0 in
+    Array.blit t.fast_depth 0 d 0 n;
+    t.fast_depth <- d
+  end
 
-let set_fast_frames (m : Machine.t) t frames =
-  Hashtbl.replace t.fast_saved m.Machine.cur_cpu frames
+let push_fast_frame (m : Machine.t) t ~rsp ~flags =
+  let cpu = m.Machine.cur_cpu in
+  ensure_cpu t cpu;
+  let d = t.fast_depth.(cpu) in
+  if d >= Array.length t.fast_rsp.(cpu) then begin
+    let n' = max 4 (2 * d) in
+    let grow a =
+      let b = Array.make n' 0 in
+      Array.blit a 0 b 0 d;
+      b
+    in
+    t.fast_rsp.(cpu) <- grow t.fast_rsp.(cpu);
+    t.fast_flags.(cpu) <- grow t.fast_flags.(cpu)
+  end;
+  t.fast_rsp.(cpu).(d) <- rsp;
+  t.fast_flags.(cpu).(d) <- flags;
+  t.fast_depth.(cpu) <- d + 1
+
+let fast_depth (m : Machine.t) t =
+  let cpu = m.Machine.cur_cpu in
+  if cpu < Array.length t.fast_depth then t.fast_depth.(cpu) else 0
+
+let pending_fast_frames t = Array.fold_left ( + ) 0 t.fast_depth
 
 (* CR0.WP is per-CPU state: this CPU crossing its gate must never be
    observable as a relaxation on any peer.  Audited at every enter and
    exit; a nonzero count means the isolation argument of paper §3.2 is
    broken in the model. *)
 let audit_peer_wp (m : Machine.t) t =
-  List.iter
+  Array.iter
     (fun cr ->
       if cr.Cr.cr0 land wp = 0 then
         t.wp_isolation_failures <- t.wp_isolation_failures + 1)
@@ -170,9 +213,9 @@ let enter (m : Machine.t) t =
     else begin
       let cost = Option.get t.entry_cost in
       Machine.charge m cost;
-      set_fast_frames m t
-        ((Cpu_state.get cpu Insn.RSP, Cpu_state.flags_word cpu)
-        :: fast_frames m t);
+      push_fast_frame m t
+        ~rsp:(Cpu_state.get cpu Insn.RSP)
+        ~flags:(Cpu_state.flags_word cpu);
       m.cr.Cr.cr0 <- m.cr.Cr.cr0 land lnot wp;
       cpu.Cpu_state.intf <- false;
       Cpu_state.set cpu Insn.RSP (t.secure_stack_top - 8);
@@ -198,11 +241,7 @@ let exit_ (m : Machine.t) t =
   (* An exit must mirror its matching enter {e on this CPU}: a
      fast-path enter left no state in simulated memory, so its exit
      must be fast too — even if [strict] was flipped in between. *)
-  let fast_frame, interpreted =
-    match fast_frames m t with
-    | frame :: rest -> (Some (frame, rest), false)
-    | [] -> (None, true)
-  in
+  let interpreted = fast_depth m t = 0 in
   let result =
     if interpreted || t.exit_cost = None then begin
       let before = Clock.cycles m.clock in
@@ -215,12 +254,13 @@ let exit_ (m : Machine.t) t =
       | Error e -> Error e
     end
     else begin
-      let (rsp, flags), rest = Option.get fast_frame in
+      let id = m.Machine.cur_cpu in
+      let d = t.fast_depth.(id) - 1 in
+      t.fast_depth.(id) <- d;
       Machine.charge m (Option.get t.exit_cost);
-      set_fast_frames m t rest;
       m.cr.Cr.cr0 <- m.cr.Cr.cr0 lor wp;
-      Cpu_state.set cpu Insn.RSP rsp;
-      Cpu_state.set_flags_word cpu flags;
+      Cpu_state.set cpu Insn.RSP t.fast_rsp.(id).(d);
+      Cpu_state.set_flags_word cpu t.fast_flags.(id).(d);
       Ok ()
     end
   in

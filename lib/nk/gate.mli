@@ -30,10 +30,15 @@ type t = {
   mutable exit_cost : int option;
   mutable trap_cost : int option;
   mutable crossings : int;
-  fast_saved : (int, (Addr.va * int) list) Hashtbl.t;
+  mutable fast_rsp : int array array;
+  mutable fast_flags : int array array;
+  mutable fast_depth : int array;
       (** per-CPU (caller rsp, caller flags) stacks for fast-path
-          crossings, keyed by [Machine.cur_cpu]: concurrent syscalls on
-          different CPUs pair their enters and exits independently *)
+          crossings as parallel int arrays indexed by
+          [Machine.cur_cpu], live depth in [fast_depth]: concurrent
+          syscalls on different CPUs pair their enters and exits
+          independently, and a steady-state crossing allocates
+          nothing *)
   mutable wp_isolation_failures : int;
       (** times a peer CPU was observed with CR0.WP clear while this
           CPU crossed a gate; must stay 0 — one CPU's open gate never
@@ -76,6 +81,11 @@ val enter : Machine.t -> t -> (unit, crossing_error) result
 val exit_ : Machine.t -> t -> (unit, crossing_error) result
 (** Cross back out.  On success WP is set and the caller's stack and
     flags are restored. *)
+
+val pending_fast_frames : t -> int
+(** Total fast-path frames currently pushed across all CPUs; 0 whenever
+    every fast enter has been paired with its exit (tests assert
+    this). *)
 
 val trap_overhead : Machine.t -> t -> int
 (** Cycle cost of the trap gate's WP-restore preamble, measured by

@@ -159,6 +159,8 @@ let boot ?layout (m : Machine.t) =
         next_wd_id = 1;
         lock_held = false;
         denied_writes = 0;
+        sc_roots = Array.make 8 0;
+        sc_bases = Array.make 8 0;
       }
   end
 

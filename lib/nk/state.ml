@@ -40,6 +40,14 @@ type t = {
   mutable next_wd_id : int;
   mutable lock_held : bool;
   mutable denied_writes : int;
+  (* Scratch for the vMMU's shootdown scope derivation (the (root,
+     base-vpage) pairs a PTP is reachable at): sized to the
+     max-shootdown-positions bound of 8, filled in place on every
+     downgrade instead of consing a fresh pair list per write_pte.
+     Gate-serialized ([lock_held]), so one scratch per State is
+     enough. *)
+  sc_roots : int array;
+  sc_bases : int array;
 }
 
 let is_nk_frame t f =

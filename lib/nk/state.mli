@@ -53,6 +53,11 @@ type t = {
   mutable lock_held : bool;
   mutable denied_writes : int;
       (** mediation rejections observed (diagnostics) *)
+  sc_roots : int array;
+  sc_bases : int array;
+      (** scratch for {!Vmmu}'s shootdown scope derivation (reachable
+          (root, base-vpage) pairs, bound 8), refilled in place per
+          downgrade; gate-serialized so one per State suffices *)
 }
 
 val is_nk_frame : t -> Addr.frame -> bool

@@ -73,9 +73,7 @@ let validate_and_adjust (st : State.t) ~level pte =
            direct map); a leaf supplied by the untrusted outer kernel
            never qualifies, so the G bit is stripped like any other
            over-permission. *)
-        let adjusted =
-          ref (Pte.with_flags pte { (Pte.flags pte) with Pte.global = false })
-        in
+        let adjusted = ref (Pte.set_global pte false) in
         for f = target to target + span - 1 do
           adjusted := adjust_for f !adjusted
         done;
@@ -106,40 +104,37 @@ let max_shootdown_positions = 8
 (* (root, base) pairs at which [ptp] is reachable: the level-4 root
    the path climbs to, and the base virtual-page number the path
    accumulates.  Computed by climbing the nested kernel's own reverse
-   maps (Table_link entries); [None] means "couldn't bound the set":
-   too many positions, or a link cycle.  An unlinked PTP yields
-   [Some []].  The root is what ASID scoping keys on — it identifies
-   which address spaces can reach the flushed range at all. *)
+   maps (Table_link entries) and written into the State's scratch
+   arrays ([sc_roots]/[sc_bases]) instead of consing a pair list per
+   write_pte.  Returns the number of pairs, or [-1] for "couldn't
+   bound the set": too many positions, or a climb that cannot be a
+   consistent link chain (deeper than the 4-level hierarchy allows, as
+   a link cycle would be).  An unlinked PTP yields [0].  The root is
+   what ASID scoping keys on — it identifies which address spaces can
+   reach the flushed range at all. *)
+exception Unbounded_positions
+
 let ptp_base_vpages (st : State.t) ptp =
-  let rec climb visiting frame =
-    if List.mem frame visiting then None
+  let roots = st.State.sc_roots and bases = st.State.sc_bases in
+  let n = ref 0 in
+  let rec climb depth frame off =
+    if depth > 4 then raise Unbounded_positions
     else
       match Pgdesc.ptp_level st.descs frame with
-      | None -> None
-      | Some 4 -> Some [ (frame, 0) ]
+      | None -> raise Unbounded_positions
+      | Some 4 ->
+          if !n >= max_shootdown_positions then raise Unbounded_positions;
+          roots.(!n) <- frame;
+          bases.(!n) <- off;
+          incr n
       | Some level ->
-          let rec fold acc = function
-            | [] -> Some acc
-            | (mp : Pgdesc.mapping) :: rest -> (
-                match climb (frame :: visiting) mp.Pgdesc.ptp with
-                | None -> None
-                | Some bases ->
-                    let span = pages_per_entry (level + 1) in
-                    let here =
-                      List.map
-                        (fun (root, b) ->
-                          (root, b + (mp.Pgdesc.index * span)))
-                        bases
-                    in
-                    if
-                      List.length acc + List.length here
-                      > max_shootdown_positions
-                    then None
-                    else fold (here @ acc) rest)
-          in
-          fold [] (Pgdesc.table_links st.descs frame)
+          List.iter
+            (fun (mp : Pgdesc.mapping) ->
+              climb (depth + 1) mp.Pgdesc.ptp
+                (off + (mp.Pgdesc.index * pages_per_entry (level + 1))))
+            (Pgdesc.table_links st.descs frame)
   in
-  climb [] ptp
+  match climb 0 ptp 0 with () -> !n | exception Unbounded_positions -> -1
 
 (* ASID scope for a set of (root, vpage) flush targets.  A kernel-half
    vpage may be cached as a global entry or under any tag — no
@@ -158,24 +153,28 @@ let ptp_base_vpages (st : State.t) ptp =
    for the same reason, and the occupancy probe independently
    backstops every case.  The ASID list is sorted so equal scopes
    compare equal structurally (batch coalescing groups by scope). *)
-let scope_of_targets (st : State.t) targets =
-  if
-    List.exists
-      (fun (_, vpage) -> Addr.is_kernel_va (vpage * Addr.page_size))
-      targets
-  then Machine.Asids []
+let scope_no_asids = Machine.Asids []
+
+let scope_of_targets (st : State.t) n =
+  let roots = st.State.sc_roots and bases = st.State.sc_bases in
+  let kernel = ref false in
+  for i = 0 to n - 1 do
+    if Addr.is_kernel_va (bases.(i) * Addr.page_size) then kernel := true
+  done;
+  if !kernel then scope_no_asids
   else
     let asids =
       Hashtbl.fold
         (fun pcid root acc ->
-          if
-            List.exists (fun (r, _) -> r = root) targets
-            && not (List.mem pcid acc)
-          then pcid :: acc
-          else acc)
+          let reaches = ref false in
+          for i = 0 to n - 1 do
+            if roots.(i) = root then reaches := true
+          done;
+          if !reaches && not (List.mem pcid acc) then pcid :: acc else acc)
         st.State.pcid_roots []
     in
-    Machine.Asids (List.sort compare asids)
+    if asids = [] then scope_no_asids
+    else Machine.Asids (List.sort compare asids)
 
 (* Everything the entry at [index] of [ptp] can translate, as concrete
    flush work: [`Spans (scope, (vpage, count) list)], or [`All] when
@@ -187,19 +186,26 @@ let scope_of_targets (st : State.t) targets =
    alone would leave up to 511 stale-writable entries. *)
 let entry_invalidations (st : State.t) ~ptp ~index ~level =
   let span = pages_per_entry level in
-  match ptp_base_vpages st ptp with
-  | Some (_ :: _ as bases) when span <= Addr.entries_per_table ->
-      let targets =
-        List.map (fun (root, base) -> (root, base + (index * span))) bases
-      in
-      `Spans
-        ( scope_of_targets st targets,
-          List.map (fun (_, vpage) -> (vpage, span)) targets )
-  | _ ->
-      (* Unlinked (a stale entry could still have been cached before
-         the unlink), unboundable, or a span wider than one PD entry:
-         flush everything, globals included. *)
-      `All
+  let n = if span <= Addr.entries_per_table then ptp_base_vpages st ptp else 0 in
+  if n <= 0 then
+    (* Unlinked (a stale entry could still have been cached before
+       the unlink), unboundable, or a span wider than one PD entry:
+       flush everything, globals included. *)
+    `All
+  else begin
+    let bases = st.State.sc_bases in
+    for i = 0 to n - 1 do
+      bases.(i) <- bases.(i) + (index * span)
+    done;
+    (* The spans list is the one allocation kept: it outlives the
+       scratch (deferred-flush records and batch accumulators hold on
+       to it), and it is bounded by the 8-position cap. *)
+    let spans = ref [] in
+    for i = n - 1 downto 0 do
+      spans := (bases.(i), span) :: !spans
+    done;
+    `Spans (scope_of_targets st n, !spans)
+  end
 
 let issue_spans (st : State.t) ~scope spans =
   let m = st.machine in

@@ -33,7 +33,7 @@ let next_rand state =
   state := x;
   x
 
-let run ?(ops = 2000) ?(rate = 0.01) ?(sites = Nkinject.all_sites)
+let run ?(ops = 20000) ?(rate = 0.01) ?(sites = Nkinject.all_sites)
     ?(frames = 4096) ~seed () =
   let inj = Nkinject.create ~sites ~seed ~rate () in
   let k =

@@ -32,7 +32,7 @@ val run :
   seed:int -> unit -> result
 (** Boot Perspicuos with [frames] physical frames (default 4096, small
     enough that genuine exhaustion joins the injected faults), run
-    [ops] operations (default 2000) at per-site probability [rate]
+    [ops] operations (default 20000) at per-site probability [rate]
     (default 0.01) over [sites] (default: all). *)
 
 val survived : result -> bool

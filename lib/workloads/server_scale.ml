@@ -34,6 +34,7 @@ type point = {
   slab_hits : int;
   slab_refills : int;
   cycles : int;
+  host_secs : float;
   oracle_violations : int;
   audit_failures : int;
 }
@@ -67,6 +68,7 @@ let fd_op_probe k p =
   (Clock.cycles m.Machine.clock - before) / rounds
 
 let run_one ?(seed = default_seed) ?(et = false) ~config conns =
+  let host0 = Sys.time () in
   let k =
     Os.boot ~batched:true ~trace:true ~cpus ~frames:16384 config
   in
@@ -196,6 +198,7 @@ let run_one ?(seed = default_seed) ?(et = false) ~config conns =
     slab_hits = counter Nktrace.Slab_cpu_hit - hit0;
     slab_refills = counter Nktrace.Slab_cpu_refill - refill0;
     cycles = Clock.cycles m.Machine.clock - cyc0;
+    host_secs = Sys.time () -. host0;
     oracle_violations = !violations;
     audit_failures;
   }

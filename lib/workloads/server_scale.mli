@@ -33,6 +33,10 @@ type point = {
   slab_hits : int;
   slab_refills : int;
   cycles : int;
+  host_secs : float;
+      (** host wall-clock for the whole cell, boot included — the
+          denominator of the point's simulated-cycles-per-host-second
+          wallclock rate; the one field that varies run to run *)
   oracle_violations : int;
   audit_failures : int;
 }

@@ -32,7 +32,7 @@ let env_seed () =
   | Some s -> ( match int_of_string_opt s with Some n -> n | None -> default_seed)
   | None -> default_seed
 
-let run_one ?(seed = default_seed) ?(procs = 8) ?(steps = 400)
+let run_one ?(seed = default_seed) ?(procs = 8) ?(steps = 4000)
     ?(coherence = false) cpus =
   (* The batched vMMU backend is the whole point at scale: without it
      fork's COW downgrades go through per-PTE writes and the per-batch

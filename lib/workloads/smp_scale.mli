@@ -36,7 +36,7 @@ val run_one :
   ?seed:int -> ?procs:int -> ?steps:int -> ?coherence:bool -> int -> point
 (** Boot Perspicuos with that many CPUs, fork [procs] (default 8)
     processes onto the boot CPU (idle APs must steal their share),
-    drive [steps] (default 400) executor quanta of getpid + periodic
+    drive [steps] (default 4000) executor quanta of getpid + periodic
     mmap/munmap churn.  [coherence] (default off) runs the whole sweep
     under the differential TLB oracle — cycle-free, so the measured
     numbers do not move — and reports violations in the point. *)

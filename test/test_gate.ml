@@ -66,7 +66,7 @@ let test_strict_mode_interprets () =
     (match Gate.enter m g with Ok () -> () | Error _ -> Alcotest.fail "enter");
     match Gate.exit_ m g with Ok () -> () | Error _ -> Alcotest.fail "exit"
   done;
-  Alcotest.(check bool) "no fast frames accumulated" true (Hashtbl.fold (fun _ fs acc -> acc && fs = []) g.Gate.fast_saved true)
+  Alcotest.(check bool) "no fast frames accumulated" true (Gate.pending_fast_frames g = 0)
 
 let test_strict_toggle_mid_crossing () =
   (* Flipping strict between a fast enter and its exit must not desync
@@ -88,7 +88,7 @@ let test_strict_toggle_mid_crossing () =
   Alcotest.(check int) "caller stack restored" rsp0
     (Cpu_state.get m.Machine.cpu Insn.RSP);
   Alcotest.(check bool) "WP restored" true (Cr.wp_enabled m.Machine.cr);
-  Alcotest.(check bool) "no orphaned fast frames" true (Hashtbl.fold (fun _ fs acc -> acc && fs = []) g.Gate.fast_saved true)
+  Alcotest.(check bool) "no orphaned fast frames" true (Gate.pending_fast_frames g = 0)
 
 let test_writes_to_protected_inside_gate () =
   let m, nk = setup () in
@@ -165,13 +165,13 @@ let test_strict_enter_pairs_with_interpreted_exit () =
   let rsp0 = Cpu_state.get m.Machine.cpu Insn.RSP in
   (match Gate.enter m g with Ok () -> () | Error _ -> Alcotest.fail "enter");
   Alcotest.(check bool) "interpreted enter left no fast frame" true
-    (Hashtbl.fold (fun _ fs acc -> acc && fs = []) g.Gate.fast_saved true);
+    (Gate.pending_fast_frames g = 0);
   g.Gate.strict <- false;
   (match Gate.exit_ m g with Ok () -> () | Error _ -> Alcotest.fail "exit");
   Alcotest.(check int) "caller stack restored" rsp0
     (Cpu_state.get m.Machine.cpu Insn.RSP);
   Alcotest.(check bool) "WP restored" true (Cr.wp_enabled m.Machine.cr);
-  Alcotest.(check bool) "no orphaned fast frames" true (Hashtbl.fold (fun _ fs acc -> acc && fs = []) g.Gate.fast_saved true)
+  Alcotest.(check bool) "no orphaned fast frames" true (Gate.pending_fast_frames g = 0)
 
 let test_trap_overhead_fallback_estimate () =
   (* Clobber the trap-gate bytes so its interpretation cannot reach the

@@ -209,9 +209,37 @@ let test_frames_conserved_across_lifecycle () =
   Alcotest.(check int) "no frame leak over 10 fork cycles" free0
     (Frame_alloc.free_count k.Kernel.falloc)
 
+(* Regression bound for the zero-allocation dispatch path: a warmed
+   null syscall allocates only its Ok result box.  Exact minor-word
+   accounting makes this a hard ceiling, not a timing heuristic — if
+   dispatch regrows a per-call closure, option, or list, this jumps
+   well past the bound. *)
+let test_steady_state_allocation () =
+  let measure k =
+    let p = Kernel.current_proc k in
+    for _ = 1 to 1000 do
+      ignore (Syscalls.getpid k p)
+    done;
+    let ops = 10_000 in
+    let w0 = Gc.minor_words () in
+    for _ = 1 to ops do
+      ignore (Syscalls.getpid k p)
+    done;
+    (Gc.minor_words () -. w0) /. float_of_int ops
+  in
+  List.iter
+    (fun config ->
+      let per = measure (Helpers.kernel config) in
+      if per > 8.0 then
+        Alcotest.failf "%s: %.2f minor words per steady-state syscall (bound 8)"
+          (Config.name config) per)
+    [ Config.Native; Config.Perspicuos ]
+
 let suite =
   [
     Alcotest.test_case "dispatch on every config" `Quick test_dispatch_basic;
+    Alcotest.test_case "steady-state syscall allocation bounded" `Quick
+      test_steady_state_allocation;
     Alcotest.test_case "unknown syscalls" `Quick test_unknown_syscall;
     Alcotest.test_case "fd lifecycle" `Quick test_fd_lifecycle;
     Alcotest.test_case "fork tree" `Quick test_fork_tree;

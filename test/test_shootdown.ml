@@ -128,9 +128,8 @@ let test_parked_peer_occupancy () =
   let m = k.Kernel.machine in
   let asid = 7 and vpage = 0x1234 in
   let t1 =
-    match m.Machine.peer_tlbs with
-    | t1 :: _ -> t1
-    | [] -> Alcotest.fail "no parked peers"
+    if Array.length m.Machine.peer_tlbs > 0 then m.Machine.peer_tlbs.(0)
+    else Alcotest.fail "no parked peers"
   in
   Tlb.insert t1 ~asid ~vpage
     { Tlb.frame = 42; writable = true; user = true; nx = false; global = false };

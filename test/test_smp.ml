@@ -18,7 +18,7 @@ let test_bring_up () =
   let ap = Smp.add_cpu smp in
   Alcotest.(check int) "two cpus" 2 (Smp.cpu_count smp);
   Alcotest.(check int) "bsp active" 0 (Smp.active smp);
-  Alcotest.(check int) "one peer tlb" 1 (List.length m.Machine.peer_tlbs);
+  Alcotest.(check int) "one peer tlb" 1 (Array.length m.Machine.peer_tlbs);
   Smp.activate smp ap;
   Alcotest.(check int) "ap active" ap (Smp.active smp);
   Alcotest.(check bool) "ap inherited paging-on CRs" true
