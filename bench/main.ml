@@ -575,6 +575,68 @@ let extra_server_scale () =
        ]);
   Stats.print (Server_scale.to_table points)
 
+let extra_multitenant () =
+  section
+    "Extra: multi-tenant serving — N tenant domains vs native vs \
+     simulated hypervisor (E17)";
+  let host0 = Sys.time () in
+  let points = Multitenant.run () in
+  let host_secs = Sys.time () -. host0 in
+  let json_list items = "[" ^ String.concat ", " items ^ "]" in
+  json_add "multitenant"
+    (json_obj
+       [
+         ( "seed",
+           string_of_int
+             (match points with
+             | p :: _ -> p.Multitenant.seed
+             | [] -> Multitenant.default_seed) );
+         ("cpus", string_of_int Multitenant.cpus);
+         ("scratch_pages", string_of_int Multitenant.scratch_pages);
+         ("scratch_iters", string_of_int Multitenant.scratch_iters);
+         ("host_secs", Printf.sprintf "%.1f" host_secs);
+         ( "points",
+           json_list
+             (List.map
+                (fun (p : Multitenant.point) ->
+                  json_obj
+                    [
+                      ( "config",
+                        Printf.sprintf "%S" (Config.name p.Multitenant.config)
+                      );
+                      ("tenants", string_of_int p.Multitenant.tenants);
+                      ("conns", string_of_int p.Multitenant.conns);
+                      ("steps", string_of_int p.Multitenant.steps);
+                      ("completed", string_of_int p.Multitenant.completed);
+                      ( "throughput",
+                        Printf.sprintf "%.3f" p.Multitenant.throughput );
+                      ("p50", string_of_int p.Multitenant.p50);
+                      ("p99", string_of_int p.Multitenant.p99);
+                      ("p999", string_of_int p.Multitenant.p999);
+                      ( "xdom_denials",
+                        string_of_int p.Multitenant.xdom_denials );
+                      ("vmcalls", string_of_int p.Multitenant.vmcalls);
+                      ( "sched_epochs",
+                        string_of_int p.Multitenant.sched_epochs );
+                      ("pipe_words", string_of_int p.Multitenant.pipe_words);
+                      ( "teardown_leaks",
+                        string_of_int p.Multitenant.teardown_leaks );
+                      ("cycles", string_of_int p.Multitenant.cycles);
+                      ( "per_tenant_completed",
+                        json_list
+                          (List.map
+                             (fun (t : Multitenant.tenant) ->
+                               string_of_int t.Multitenant.t_completed)
+                             p.Multitenant.per_tenant) );
+                      ( "oracle_violations",
+                        string_of_int p.Multitenant.oracle_violations );
+                      ( "audit_failures",
+                        string_of_int p.Multitenant.audit_failures );
+                    ])
+                points) );
+       ]);
+  Stats.print (Multitenant.to_table points)
+
 let extra_coherence () =
   section "Extra: differential TLB-coherence oracle overhead";
   (* The oracle is a debug/CI instrument: with the hook uninstalled the
@@ -932,6 +994,7 @@ let experiments =
     ("extra-smp-shootdown", extra_smp_shootdown);
     ("extra-smp-scaling", extra_smp_scaling);
     ("server-scale", extra_server_scale);
+    ("multitenant", extra_multitenant);
     ("extra-coherence", extra_coherence);
     ("extra-latency-hist", extra_latency_hist);
     ("fault-soak", fault_soak);

@@ -362,15 +362,19 @@ let vocab_arg =
   let parse s =
     match Nkcheck.vocab_of_name s with
     | Some v -> Ok v
-    | None -> Error (`Msg (Printf.sprintf "unknown vocabulary %S (try: core, full)" s))
+    | None ->
+        Error
+          (`Msg (Printf.sprintf "unknown vocabulary %S (try: core, full, domains)" s))
   in
   let print ppf v = Format.pp_print_string ppf (Nkcheck.vocab_name v) in
   Arg.(
     value
     & opt (conv (parse, print)) Nkcheck.default.Nkcheck.vocab
     & info [ "vocab" ] ~docv:"VOCAB"
-        ~doc:"Op vocabulary: $(b,core) (12 ops, exhaustible to depth 5) or \
-              $(b,full) (every op the checker knows).")
+        ~doc:"Op vocabulary: $(b,core) (12 ops, exhaustible to depth 5), \
+              $(b,full) (every op the checker knows) or $(b,domains) (two \
+              tenant domains plus cross-domain traffic, checking the \
+              ownership lattice).")
 
 let depth_arg =
   Arg.(
@@ -459,7 +463,7 @@ let check_cmd =
   Cmd.v
     (Cmd.info "check"
        ~doc:"Exhaust all op interleavings up to a depth bound, checking \
-             invariants I1-I13 and the TLB-coherence oracle at every step")
+             invariants I1-I14 and the TLB-coherence oracle at every step")
     Term.(
       const run $ depth_arg $ vocab_arg $ check_inject_arg $ max_states_arg
       $ out_arg $ replay_file_arg)
@@ -489,8 +493,55 @@ let et_arg =
         ~doc:"Run the workers' connections edge-triggered instead of \
               level-triggered.")
 
+let domains_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "domains" ] ~docv:"N"
+        ~doc:"Partition the serving load across $(docv) mutually \
+              distrusting tenant domains (each with its own kv server, \
+              listener, ASID partition and run-queue credit account) \
+              instead of one shared kernel tenancy.")
+
+let serve_tenants config tenants conns seed =
+  let module M = Nk_workloads.Multitenant in
+  let seed = match seed with Some s -> s | None -> M.default_seed in
+  let conns = match conns with 10_000 -> M.default_conns | n -> n in
+  let p = M.run_one ~seed ~tenants ~conns ~config () in
+  Printf.printf
+    "multi-tenant kv: %s, %d vCPUs, %d tenants x %d connections (seed %d)\n"
+    (Config.name config) M.cpus tenants conns seed;
+  List.iteri
+    (fun i (t : M.tenant) ->
+      Printf.printf
+        "  tenant %-2d       : %d requests (%d GET / %d SET), live peak %d%s\n"
+        (i + 1) t.M.t_completed t.M.t_gets t.M.t_sets t.M.t_live_peak
+        (if t.M.t_domain > 0 then Printf.sprintf " [domain %d]" t.M.t_domain
+         else ""))
+    p.M.per_tenant;
+  Printf.printf "  requests        : %d total\n" p.M.completed;
+  Printf.printf "  latency (cycles): p50=%d p99=%d p999=%d\n" p.M.p50 p.M.p99
+    p.M.p999;
+  Printf.printf "  throughput      : %.2f req/Mcycle\n" p.M.throughput;
+  Printf.printf "  isolation       : %d cross-domain denials, %d pipe words, \
+                  %d teardown leaks\n"
+    p.M.xdom_denials p.M.pipe_words p.M.teardown_leaks;
+  Printf.printf "  scheduler       : %d credit epochs\n" p.M.sched_epochs;
+  if p.M.vmcalls > 0 then
+    Printf.printf "  vmcalls         : %d\n" p.M.vmcalls;
+  Printf.printf "  oracle/audit    : %d violations, %d failures\n"
+    p.M.oracle_violations p.M.audit_failures;
+  host_report ~host_secs:p.M.host_secs ~cycles:p.M.cycles;
+  if
+    p.M.oracle_violations = 0 && p.M.audit_failures = 0
+    && p.M.teardown_leaks = 0
+  then 0
+  else 1
+
 let serve_cmd =
-  let run config conns seed et =
+  let run config conns seed et domains =
+    if domains > 0 then serve_tenants config domains conns seed
+    else begin
     let module S = Nk_workloads.Server_scale in
     let seed = match seed with Some s -> s | None -> S.env_seed () in
     let p = S.run_one ~seed ~et ~config conns in
@@ -513,13 +564,16 @@ let serve_cmd =
       p.S.oracle_violations p.S.audit_failures;
     host_report ~host_secs:p.S.host_secs ~cycles:p.S.cycles;
     if p.S.oracle_violations = 0 && p.S.audit_failures = 0 then 0 else 1
+    end
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run the event-driven kv server under open-loop load on 8 vCPUs \
              and report latency percentiles, fd-op cost and accept/steal \
-             behaviour")
-    Term.(const run $ config $ conns_arg $ serve_seed_arg $ et_arg)
+             behaviour; with $(b,--domains) $(i,N), split the load across \
+             $(i,N) isolated tenant domains instead")
+    Term.(
+      const run $ config $ conns_arg $ serve_seed_arg $ et_arg $ domains_arg)
 
 let list_cmd =
   let run () =

@@ -27,6 +27,10 @@ let attacks =
     Extensions.stale_tlb_across_asid;
     Extensions.large_page_smuggle;
     Extensions.pheap_double_free;
+    Tenant.forge_pte;
+    Tenant.remove_peer_ptp;
+    Tenant.shrink_shootdown;
+    Tenant.sched_storm;
   ]
 
 (* The policy-specific attacks are only stopped by their policy, as in

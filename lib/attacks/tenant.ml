@@ -1,0 +1,270 @@
+open Nkhw
+open Outer_kernel
+
+(* Cross-tenant attacks: two mutually distrusting domains above one
+   kernel, domain A hostile, domain B the victim.  Under the nested
+   kernel every attempt must come back as a typed cross-domain error
+   with the denial counter bumped — never an abort, never a landed
+   write.  Under native there is no ownership lattice and each attack
+   goes through. *)
+
+(* Walk one address-space tree to the 4 KiB leaf for [va]: the leaf
+   page table, the index within it, and the mapped frame. *)
+let walk_leaf m root va =
+  let vpage = Addr.vpage va in
+  let idx l = (vpage lsr (9 * (l - 1))) land (Addr.entries_per_table - 1) in
+  let child ptp l =
+    let e = Page_table.get_entry m.Machine.mem ~ptp ~index:(idx l) in
+    if Pte.is_present e && not (Pte.is_large e) then Some (Pte.frame e)
+    else None
+  in
+  match child root 4 with
+  | None -> None
+  | Some pdpt -> (
+      match child pdpt 3 with
+      | None -> None
+      | Some pd -> (
+          match child pd 2 with
+          | None -> None
+          | Some pt ->
+              let e =
+                Page_table.get_entry m.Machine.mem ~ptp:pt ~index:(idx 1)
+              in
+              if Pte.is_present e then Some (pt, idx 1, Pte.frame e) else None))
+
+type tenants = {
+  dom_a : int;
+  dom_b : int;
+  proc_a : Proc.t;
+  a_pt : Addr.frame; (* a leaf table A owns *)
+  a_index : int; (* a slot in it A legitimately uses *)
+  b_pt : Addr.frame; (* a leaf table B owns *)
+  b_frame : Addr.frame; (* a data frame B owns *)
+}
+
+(* Stand up hostile A and victim B: fork one process per tenant, adopt
+   each tree into its domain, then let each tenant map one populated
+   page from inside its own domain (which is what claims the frame for
+   it).  Leaves A's process current — the attacker's vantage point. *)
+let setup_tenants k =
+  let ( let* ) = Result.bind in
+  let m = k.Kernel.machine in
+  let p0 = Kernel.current_proc k in
+  let* dom_a = Kernel.create_domain k in
+  let* dom_b = Kernel.create_domain k in
+  let* pid_a = Syscalls.fork k p0 in
+  let* pid_b = Syscalls.fork k p0 in
+  let proc_a = Option.get (Kernel.proc k pid_a) in
+  let proc_b = Option.get (Kernel.proc k pid_b) in
+  let* () = Kernel.adopt_domain k proc_a ~domain:dom_a in
+  let* () = Kernel.adopt_domain k proc_b ~domain:dom_b in
+  let* () = Kernel.switch_to k pid_b in
+  let* vb = Syscalls.mmap k proc_b ~len:Addr.page_size ~rw:true ~populate:true () in
+  let* () = Kernel.switch_to k pid_a in
+  let* va = Syscalls.mmap k proc_a ~len:Addr.page_size ~rw:true ~populate:true () in
+  match
+    ( walk_leaf m proc_a.Proc.vm.Vmspace.root va,
+      walk_leaf m proc_b.Proc.vm.Vmspace.root vb )
+  with
+  | Some (a_pt, a_index, _), Some (b_pt, _, b_frame) ->
+      Ok { dom_a; dom_b; proc_a; a_pt; a_index; b_pt; b_frame }
+  | _ -> Error Ktypes.Efault
+
+(* Undo the vantage point so the harness keeps running as pid 1. *)
+let rehost k outcome =
+  ignore (Kernel.switch_to k 1);
+  outcome
+
+let denials k dom =
+  match k.Kernel.nk with
+  | Some nk -> Nested_kernel.Api.nk_domain_denials nk dom
+  | None -> 0
+
+let forge_pte =
+  {
+    Attack.name = "xdom-forge-pte";
+    description =
+      "from inside tenant A, write a PTE into A's own leaf table that maps \
+       a frame tenant B owns";
+    paper_ref = "multi-tenant extension of 2.3/3.4 (I14)";
+    run =
+      (fun k ->
+        match setup_tenants k with
+        | Error _ -> Attack.Crashed "tenant setup failed"
+        | Ok t ->
+            rehost k
+              (let d0 = denials k t.dom_a in
+               match
+                 k.Kernel.backend.Mmu_backend.write_pte ~ptp:t.a_pt
+                   ~index:t.a_index
+                   (Pte.make ~frame:t.b_frame Pte.user_rw_nx)
+               with
+               | Ok () ->
+                   Attack.Succeeded
+                     "tenant A now maps tenant B's frame read-write"
+               | Error (Nested_kernel.Nk_error.Cross_domain _) ->
+                   if denials k t.dom_a > d0 then
+                     Attack.Blocked
+                       "vMMU rejected the foreign frame and counted the \
+                        denial"
+                   else Attack.Blocked "vMMU rejected the foreign frame"
+               | Error e ->
+                   Attack.Blocked
+                     ("write_pte refused: " ^ Nested_kernel.Nk_error.to_string e)));
+  }
+
+let remove_peer_ptp =
+  {
+    Attack.name = "xdom-remove-ptp";
+    description =
+      "from inside tenant A, retire one of tenant B's live leaf page tables";
+    paper_ref = "multi-tenant extension of 3.4 (I1/I14)";
+    run =
+      (fun k ->
+        match setup_tenants k with
+        | Error _ -> Attack.Crashed "tenant setup failed"
+        | Ok t ->
+            rehost k
+              (match k.Kernel.backend.Mmu_backend.remove_ptp t.b_pt with
+               | Ok () ->
+                   Attack.Succeeded
+                     "tenant B's page table dropped from tracking while its \
+                      address space is live"
+               | Error (Nested_kernel.Nk_error.Cross_domain _) ->
+                   Attack.Blocked
+                     "vMMU refused to retire a peer domain's page table"
+               | Error e ->
+                   Attack.Blocked
+                     ("remove_ptp refused: "
+                     ^ Nested_kernel.Nk_error.to_string e)));
+  }
+
+let shrink_shootdown =
+  {
+    Attack.name = "xdom-shrink-shootdown";
+    description =
+      "from inside tenant A, request a TLB shootdown scoped to exclude \
+       tenant B's resident CPUs (then try pinning an explicit CPU set)";
+    paper_ref = "multi-tenant extension of 3.5";
+    run =
+      (fun k ->
+        match setup_tenants k with
+        | Error _ -> Attack.Crashed "tenant setup failed"
+        | Ok t ->
+            rehost k
+              (match k.Kernel.nk with
+               | None ->
+                   (* Unmediated kernel code flushes whatever scope it
+                      likes; B's CPUs simply keep their stale entries. *)
+                   Machine.flush_full k.Kernel.machine;
+                   ignore t.b_frame;
+                   Attack.Succeeded
+                     "local-only flush issued; peer CPUs keep serving stale \
+                      translations"
+               | Some nk -> (
+                   let narrow =
+                     Nested_kernel.Api.nk_request_shootdown nk
+                       (Machine.Asids [])
+                   in
+                   let pinned =
+                     Nested_kernel.Api.nk_request_shootdown nk
+                       (Machine.Cpuset 1)
+                   in
+                   match (narrow, pinned) with
+                   | Error (Nested_kernel.Nk_error.Cross_domain _), Error _ ->
+                       Attack.Blocked
+                         "scope shrink denied (peer ASID missing) and CPU-set \
+                          pinning denied; nothing was flushed"
+                   | Ok (), _ ->
+                       Attack.Succeeded
+                         "shootdown ran with tenant B's ASIDs excluded"
+                   | _, Ok () ->
+                       Attack.Succeeded
+                         "tenant pinned the shootdown audience by CPU mask"
+                   | Error e, _ ->
+                       Attack.Blocked
+                         ("shootdown request refused: "
+                         ^ Nested_kernel.Nk_error.to_string e))));
+  }
+
+(* Scheduler storm: the hostile tenant floods the run queue with
+   workers (the accept-flood shape) and churns mediated unmaps from
+   every one (the shootdown-storm shape).  Per-domain run-queue
+   credits must keep the victim's dispatch share within 2x of its fair
+   share; without them the victim is starved to its per-process
+   rotation slice. *)
+let sched_storm =
+  {
+    Attack.name = "xdom-sched-storm";
+    description =
+      "hostile tenant floods the run queue with shootdown-churning workers \
+       to starve the victim tenant's scheduler share";
+    paper_ref = "multi-tenant extension of 3.9 (availability)";
+    run =
+      (fun k ->
+        let ( let* ) = Result.bind in
+        let p0 = Kernel.current_proc k in
+        let setup =
+          let* dom_h = Kernel.create_domain k in
+          let* dom_v = Kernel.create_domain k in
+          let adopt_new domain =
+            let* pid = Syscalls.fork k p0 in
+            let p = Option.get (Kernel.proc k pid) in
+            let* () = Kernel.adopt_domain k p ~domain in
+            Ok pid
+          in
+          let rec spawn n acc =
+            if n = 0 then Ok (List.rev acc)
+            else
+              let* pid = adopt_new dom_h in
+              spawn (n - 1) (pid :: acc)
+          in
+          let* hostiles = spawn 7 [] in
+          let* victim = adopt_new dom_v in
+          Ok (dom_h, dom_v, hostiles, victim)
+        in
+        match setup with
+        | Error _ -> Attack.Crashed "tenant setup failed"
+        | Ok (_, dom_v, hostiles, victim) ->
+            let sched = Sched.create k in
+            (* The credits meter domains, and only the nested kernel's
+               adoption gives domain identity any integrity — so the
+               defense exists exactly when the nested kernel does. *)
+            if k.Kernel.nk <> None then
+              Sched.set_domain_credits sched ~quantum:2;
+            List.iter (fun pid -> Sched.add sched pid) hostiles;
+            Sched.add sched victim;
+            let victim_runs = ref 0 and total = ref 0 in
+            let steps = 160 in
+            ignore
+              (Sched.run_until sched ~steps (fun pid ->
+                   incr total;
+                   (match Kernel.proc k pid with
+                   | Some p when Kernel.proc_domain p <> dom_v ->
+                       (* each hostile quantum churns a mediated
+                          unmap: the storm itself *)
+                       (match
+                          Syscalls.mmap k p ~len:Addr.page_size ~rw:true
+                            ~populate:true ()
+                        with
+                       | Ok va -> ignore (Syscalls.munmap k p va)
+                       | Error _ -> ())
+                   | Some _ -> incr victim_runs
+                   | None -> ());
+                   true));
+            rehost k
+              (let fair = !total / 2 in
+               if !total = 0 then Attack.Crashed "scheduler made no progress"
+               else if !victim_runs * 2 >= fair then
+                 Attack.Blocked
+                   (Printf.sprintf
+                      "contained: victim ran %d/%d quanta (within 2x of its \
+                       fair share %d)"
+                      !victim_runs !total fair)
+               else
+                 Attack.Succeeded
+                   (Printf.sprintf
+                      "victim starved to %d/%d quanta against a fair share \
+                       of %d"
+                      !victim_runs !total fair)));
+  }

@@ -1,0 +1,18 @@
+(** Cross-tenant attacks: hostile domain A against victim domain B
+    above one kernel.  Under any nested configuration each must come
+    back denied with a typed cross-domain error and the denial counter
+    bumped; under native each goes through. *)
+
+val forge_pte : Attack.t
+(** A writes a PTE into its own leaf table mapping a frame B owns. *)
+
+val remove_peer_ptp : Attack.t
+(** A retires one of B's live leaf page tables. *)
+
+val shrink_shootdown : Attack.t
+(** A requests a shootdown scoped to exclude B's resident CPUs, then
+    tries pinning an explicit CPU set. *)
+
+val sched_storm : Attack.t
+(** A floods the run queue with shootdown-churning workers; per-domain
+    credits must bound the victim's starvation. *)

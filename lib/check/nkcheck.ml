@@ -30,7 +30,7 @@ open Nested_kernel
 
 (* --- configuration ------------------------------------------------ *)
 
-type vocab = Core | Full
+type vocab = Core | Full | Domains
 
 type config = {
   depth : int;
@@ -41,11 +41,12 @@ type config = {
 
 let default = { depth = 4; vocab = Core; inject = false; max_states = 200_000 }
 
-let vocab_name = function Core -> "core" | Full -> "full"
+let vocab_name = function Core -> "core" | Full -> "full" | Domains -> "domains"
 
 let vocab_of_name = function
   | "core" -> Some Core
   | "full" -> Some Full
+  | "domains" -> Some Domains
   | _ -> None
 
 (* --- the universe ------------------------------------------------- *)
@@ -76,6 +77,16 @@ type u = {
   f_d1 : Addr.frame;
   f_root2 : Addr.frame;
   f_large : Addr.frame;  (* first frame of the 2 MiB leaf's 512-frame span *)
+  (* tenant playground, only populated when the universe boots with
+     [~domains:true] (the [Domains] vocabulary) *)
+  f_pta : Addr.frame;  (* leaf table tenant A owns *)
+  f_ptb : Addr.frame;  (* leaf table tenant B owns *)
+  f_da : Addr.frame;  (* data frame tenant A claims *)
+  f_db : Addr.frame;  (* data frame tenant B claims *)
+  mutable dom_a : int;  (* tenant A's id, 0 when domains are off *)
+  mutable dom_b : int;
+  mutable tok_a : int;  (* entry tokens, handed out once at create *)
+  mutable tok_b : int;
   mutable inj_mode : int;  (* 0 off, 1 gate-denied, 2 ipi-drop, 3 ipi-delay *)
   mutable oracle : string list;  (* collected coherence violations *)
 }
@@ -94,8 +105,13 @@ let fail_nk what = function
    pt[0] mapping d0 user-rw, a second root sharing only the kernel
    half, CR4.PCIDE on with PCID 0 bound to the main root, and both
    CPUs' TLBs warmed with the u0 translation. *)
-let boot_universe () =
-  let m = Machine.create ~frames:total_frames () in
+let boot_universe ?(domains = false) () =
+  (* The domain universe carries four more playground frames (two
+     tenant-owned leaf tables, two claimed data frames); core/full get
+     the historical machine so their explored-state counts and
+     fingerprints are untouched. *)
+  let frames = if domains then total_frames + 8 else total_frames in
+  let m = Machine.create ~frames () in
   let st = Api.boot_exn ~layout m in
   let smp = Smp.create m in
   let o = Api.outer_first_frame st in
@@ -110,12 +126,20 @@ let boot_universe () =
       f_d0 = o + 4;
       f_d1 = o + 5;
       f_root2 = o + 6;
-      f_large = total_frames - Addr.entries_per_table;
+      f_large = frames - Addr.entries_per_table;
+      f_pta = o + 7;
+      f_ptb = o + 8;
+      f_da = o + 9;
+      f_db = o + 10;
+      dom_a = 0;
+      dom_b = 0;
+      tok_a = 0;
+      tok_b = 0;
       inj_mode = 0;
       oracle = [];
     }
   in
-  assert (u.f_large > u.f_root2);
+  assert (u.f_large > if domains then u.f_db else u.f_root2);
   fail_nk "declare pdpt" (Api.declare_ptp st ~level:3 u.f_pdpt);
   fail_nk "declare pd" (Api.declare_ptp st ~level:2 u.f_pd);
   fail_nk "declare pt" (Api.declare_ptp st ~level:1 u.f_pt);
@@ -140,10 +164,35 @@ let boot_universe () =
   (* PCIDs on; PCID 0 stays bound to the boot root. *)
   fail_nk "cr4.pcide" (Api.load_cr4 st (m.Machine.cr.Cr.cr4 lor Cr.cr4_pcide));
   fail_nk "cr3 pcid0" (Api.load_cr3_pcid st ~pcid:0 st.State.root_pml4);
+  (* Two tenant domains for the [Domains] vocabulary: each declares
+     its own leaf table (declaring claims it), links it under the
+     shared pd, and maps one fresh data frame (the first leaf map of a
+     free frame claims it).  One bounded pipe A->B is the only channel
+     between them.  Ends back under host authority. *)
+  if domains then begin
+    let dom_a, tok_a = fail_nk "create dom A" (Api.nk_domain_create st) in
+    let dom_b, tok_b = fail_nk "create dom B" (Api.nk_domain_create st) in
+    u.dom_a <- dom_a;
+    u.dom_b <- dom_b;
+    u.tok_a <- tok_a;
+    u.tok_b <- tok_b;
+    fail_nk "pipe a->b" (Api.nk_pipe_open st ~cap:2 ~src:dom_a ~dst:dom_b ());
+    fail_nk "enter A" (Api.nk_domain_enter st ~domain:dom_a ~token:tok_a);
+    fail_nk "declare pta" (Api.declare_ptp st ~level:1 u.f_pta);
+    link ~ptp:u.f_pd ~index:3 u.f_pta;
+    fail_nk "map da"
+      (Api.write_pte st ~ptp:u.f_pta ~index:0 (Pte.make ~frame:u.f_da Pte.user_rw_nx));
+    fail_nk "enter B" (Api.nk_domain_enter st ~domain:dom_b ~token:tok_b);
+    fail_nk "declare ptb" (Api.declare_ptp st ~level:1 u.f_ptb);
+    link ~ptp:u.f_pd ~index:4 u.f_ptb;
+    fail_nk "map db"
+      (Api.write_pte st ~ptp:u.f_ptb ~index:0 (Pte.make ~frame:u.f_db Pte.user_rw_nx));
+    fail_nk "rehost" (Api.nk_domain_enter st ~domain:0 ~token:0)
+  end;
   (* Second CPU, brought up after CR4 so it inherits PCIDE, with the
      same boot stack (the two never run concurrently in this model). *)
   let cpu1 = Smp.add_cpu smp in
-  Cpu_state.set (Smp.cpu_state smp cpu1) Insn.RSP (Addr.kva_of_frame total_frames);
+  Cpu_state.set (Smp.cpu_state smp cpu1) Insn.RSP (Addr.kva_of_frame frames);
   (* Warm both TLBs with the u0 translation. *)
   ignore (Machine.write_u8 m ~ring:Mmu.User u_va 0x5a);
   Smp.activate smp cpu1;
@@ -193,7 +242,7 @@ let set_inject u mode site =
 (* Every op the checker knows, in fixed order; [`Core] marks the
    depth-5 exhaustive vocabulary, [`Full] the wider one, [`Inject] the
    fault-schedule toggles added by [config.inject]. *)
-let op_table u : (string * [ `Core | `Full | `Inject ] * (unit -> unit)) list =
+let op_table u : (string * [ `Core | `Full | `Inject | `Domains ] * (unit -> unit)) list =
   let st = u.st in
   let m = st.State.machine in
   let w ~ptp ~index pte = ign (Api.write_pte st ~ptp ~index pte) in
@@ -282,6 +331,30 @@ let op_table u : (string * [ `Core | `Full | `Inject ] * (unit -> unit)) list =
     ("dma-pt2", `Full, fun () -> ignore (Dma.write m ~pa:(Addr.pa_of_frame u.f_pt2) pte_garbage));
     (* A bare gate crossing. *)
     ("gate-null", `Full, fun () -> ign (Api.nk_null st));
+    (* Tenant domains: authority switches, writes whose legality
+       depends on who is current (the ownership lattice, I14),
+       deferred unmaps carrying a domain mark, the pipe, and victim
+       teardown.  Only meaningful after the [~domains:true] prelude. *)
+    ("dom-enter-a", `Domains, fun () -> ign (Api.nk_domain_enter st ~domain:u.dom_a ~token:u.tok_a));
+    ("dom-enter-b", `Domains, fun () -> ign (Api.nk_domain_enter st ~domain:u.dom_b ~token:u.tok_b));
+    ("dom-host", `Domains, fun () -> ign (Api.nk_domain_enter st ~domain:0 ~token:0));
+    ("dom-enter-bad", `Domains, fun () -> ign (Api.nk_domain_enter st ~domain:u.dom_b ~token:u.tok_a));
+    ("dom-map-a", `Domains, fun () -> w ~ptp:u.f_pta ~index:1 (Pte.make ~frame:u.f_da Pte.user_rw_nx));
+    ("dom-map-xdb", `Domains, fun () -> w ~ptp:u.f_pta ~index:1 (Pte.make ~frame:u.f_db Pte.user_rw_nx));
+    ("dom-unmap-a", `Domains, fun () -> w ~ptp:u.f_pta ~index:0 Pte.empty);
+    ("dom-unmap-b", `Domains, fun () -> w ~ptp:u.f_ptb ~index:0 Pte.empty);
+    ("dom-unlink-ptb", `Domains, fun () -> w ~ptp:u.f_pd ~index:4 Pte.empty);
+    ("dom-remove-ptb", `Domains, fun () -> ign (Api.remove_ptp st u.f_ptb));
+    ("dom-pipe-send", `Domains, fun () -> ign (Api.nk_pipe_send st ~dst:u.dom_b 0x2a));
+    ( "dom-pipe-recv",
+      `Domains,
+      fun () ->
+        match Api.nk_pipe_recv st ~src:u.dom_a with Ok _ | Error _ -> () );
+    ( "dom-destroy-b",
+      `Domains,
+      fun () ->
+        match Api.nk_domain_destroy st ~domain:u.dom_b with
+        | Ok _ | Error _ -> () );
     (* Deterministic fault schedules (rate 1.0, single site). *)
     ("inject-gate", `Inject, fun () -> set_inject u 1 Nkinject.Gate_denied);
     ("inject-ipi-drop", `Inject, fun () -> set_inject u 2 Nkinject.Ipi_drop);
@@ -295,12 +368,15 @@ let vocab_ops cfg u =
       match (cls, cfg.vocab, cfg.inject) with
       | `Core, _, _ -> Some (name, f)
       | `Full, Full, _ -> Some (name, f)
-      | `Full, Core, _ -> None
+      | `Full, (Core | Domains), _ -> None
+      | `Domains, Domains, _ -> Some (name, f)
+      | `Domains, (Core | Full), _ -> None
       | `Inject, _, true -> Some (name, f)
       | `Inject, _, false -> None)
     (op_table u)
 
-let op_names cfg = List.map fst (vocab_ops cfg (boot_universe ()))
+let op_names cfg =
+  List.map fst (vocab_ops cfg (boot_universe ~domains:(cfg.vocab = Domains) ()))
 
 (* --- state fingerprint -------------------------------------------- *)
 
@@ -360,6 +436,7 @@ let fp_tlb h tlb =
 let fp_scope h = function
   | Machine.Broadcast -> fp_mix h (-2)
   | Machine.Asids l -> fp_list h fp_mix l
+  | Machine.Cpuset mask -> fp_mix (fp_mix h (-3)) mask
 
 let fingerprint (u : u) : fp =
   let st = u.st in
@@ -409,6 +486,7 @@ let fingerprint (u : u) : fp =
   for f = 0 to hi do
     let d = Pgdesc.get st.State.descs f in
     mix (ptype_tag d.Pgdesc.ptype);
+    mix d.Pgdesc.owner;
     h := fp_bool !h d.Pgdesc.validated_code;
     h :=
       fp_list !h
@@ -420,6 +498,32 @@ let fingerprint (u : u) : fp =
   (* Nested-kernel bookkeeping. *)
   let roots = Hashtbl.fold (fun p r acc -> (p, r) :: acc) st.State.pcid_roots [] in
   h := fp_list !h (fun h (p, r) -> fp_mix (fp_mix h p) r) (List.sort compare roots);
+  (* Tenant-domain state: who is current, which domains are live, and
+     every pipe's queued words.  All constant (0 / empty) when the
+     universe booted without domains, so core/full fingerprints keep
+     their historical equivalence classes.  Tokens are a deterministic
+     function of the id and denial counters are diagnostics; neither
+     is hashed. *)
+  mix st.State.cur_domain;
+  let doms =
+    Hashtbl.fold
+      (fun id (d : State.domain) acc -> (id, d.State.dom_live) :: acc)
+      st.State.domains []
+  in
+  h :=
+    fp_list !h
+      (fun h (id, live) -> fp_bool (fp_mix h id) live)
+      (List.sort compare doms);
+  let pipes =
+    Hashtbl.fold
+      (fun (s, d) (p : State.pipe) acc ->
+        (s, d, Queue.fold (fun ws w -> w :: ws) [] p.State.pipe_buf) :: acc)
+      st.State.pipes []
+  in
+  h :=
+    fp_list !h
+      (fun h (s, d, ws) -> fp_list (fp_mix (fp_mix h s) d) fp_mix ws)
+      (List.sort compare pipes);
   mix st.State.deferred_count;
   let defer =
     Hashtbl.fold
@@ -428,7 +532,11 @@ let fingerprint (u : u) : fp =
           List.sort compare
             (List.map
                (fun (r : State.pending_flush) ->
-                 (r.State.pf_frame, r.State.pf_slot, r.State.pf_scope, r.State.pf_spans))
+                 ( r.State.pf_frame,
+                   r.State.pf_slot,
+                   r.State.pf_scope,
+                   r.State.pf_spans,
+                   r.State.pf_domain ))
                recs) )
         :: acc)
       st.State.deferred_frames []
@@ -437,9 +545,10 @@ let fingerprint (u : u) : fp =
     fp_list !h
       (fun h (f, recs) ->
         fp_list (fp_mix h f)
-          (fun h (pf, (sp, si), scope, spans) ->
+          (fun h (pf, (sp, si), scope, spans, dom) ->
             let h = fp_mix (fp_mix (fp_mix h pf) sp) si in
             let h = fp_scope h scope in
+            let h = fp_mix h dom in
             fp_list h (fun h (v, n) -> fp_mix (fp_mix h v) n) spans)
           recs)
       (List.sort compare defer);
@@ -543,10 +652,16 @@ let replay_prefix u names =
     names;
   ignore (drain_oracle u)
 
+(* A sequence touching any dom-* op needs the two-tenant prelude; the
+   op names themselves carry that bit, so replayed scripts and shrink
+   candidates boot the right universe without out-of-band state. *)
+let needs_domains names =
+  List.exists (fun n -> String.length n >= 4 && String.sub n 0 4 = "dom-") names
+
 (* Run [names] from boot with full per-step checks and the shutdown
    check at the end; the result is every failure, step-indexed. *)
 let run_checked names =
-  let u = boot_universe () in
+  let u = boot_universe ~domains:(needs_domains names) () in
   ignore (drain_oracle u);
   let fails = ref [] in
   List.iteri
@@ -631,7 +746,8 @@ let run cfg =
     end
   in
   (* Seed state. *)
-  let u0 = boot_universe () in
+  let domains = cfg.vocab = Domains in
+  let u0 = boot_universe ~domains () in
   ignore (drain_oracle u0);
   let names = List.map fst (vocab_ops cfg u0) in
   Hashtbl.replace visited (fingerprint u0) ();
@@ -646,7 +762,7 @@ let run cfg =
         (fun name ->
           if not !truncated then begin
             incr transitions;
-            let u = boot_universe () in
+            let u = boot_universe ~domains () in
             replay_prefix u (List.rev prefix_rev);
             let ops = List.rev (name :: prefix_rev) in
             match

@@ -3,11 +3,15 @@
     Drives every interleaving of a small op vocabulary — PTE
     up/downgrades (4 KiB and 2 MiB leaves), batched updates, PTP
     declare/remove, CR3/CR4 loads, TLB-filling touches, CPU migration,
-    DMA writes, frame reuse, and deterministic fault-injector toggles
-    — over a tiny two-CPU universe, checking invariants I1–I13
-    ({!Nested_kernel.Invariants}) and the differential TLB-coherence
-    oracle ({!Nkhw.Coherence}) after every step, plus a destructive
-    drain-then-re-audit shutdown check on every newly reached state.
+    DMA writes, frame reuse, deterministic fault-injector toggles,
+    and (under the [Domains] vocabulary) two-tenant domain traffic:
+    authority switches, cross-domain writes against the ownership
+    lattice, domain-marked deferred unmaps, the inter-tenant pipe, and
+    victim teardown — over a tiny two-CPU universe, checking
+    invariants I1–I14 ({!Nested_kernel.Invariants}) and the
+    differential TLB-coherence oracle ({!Nkhw.Coherence}) after every
+    step, plus a destructive drain-then-re-audit shutdown check on
+    every newly reached state.
 
     Exploration is breadth-first over {e canonical states}: two
     sequences landing on semantically identical machine/nested-kernel
@@ -16,11 +20,14 @@
     same report, byte for byte.  Counterexamples are shrunk to
     1-minimal op sequences and serialize to replayable scripts. *)
 
-type vocab = Core | Full
+type vocab = Core | Full | Domains
 
 type config = {
   depth : int;  (** maximum op-sequence length *)
-  vocab : vocab;  (** [Core]: the 12-op depth-5 vocabulary; [Full]: all ops *)
+  vocab : vocab;
+      (** [Core]: the 12-op depth-5 vocabulary; [Full]: all ops;
+          [Domains]: core plus two-tenant domain ops over a universe
+          booted with two live tenant domains *)
   inject : bool;  (** add the rate-1.0 injector-toggle ops *)
   max_states : int;  (** safety valve; exceeding it marks the report truncated *)
 }

@@ -9,6 +9,10 @@ type t = {
       (* fired after a frame is handed out: the nested kernel hooks
          this to flush deferred TLB invalidations before the frame can
          gain new content *)
+  mutable on_free : (Addr.frame -> unit) option;
+      (* fired after a frame is returned: the nested kernel hooks this
+         to drop the frame's domain-ownership mark so a freed frame
+         never carries a dead tenant's claim into its next life *)
 }
 
 let create ~first ~count =
@@ -23,10 +27,12 @@ let create ~first ~count =
     free_count = count;
     inject = None;
     on_alloc = None;
+    on_free = None;
   }
 
 let set_inject t inj = t.inject <- inj
 let set_on_alloc t f = t.on_alloc <- f
+let set_on_free t f = t.on_free <- f
 
 let owns t f = f >= t.first && f < t.first + t.count
 let is_free t f = owns t f && Bytes.get t.free_set (f - t.first) = '\001'
@@ -54,7 +60,8 @@ let free t f =
   if is_free t f then invalid_arg "Frame_alloc.free: double free";
   Bytes.set t.free_set (f - t.first) '\001';
   t.free_list <- f :: t.free_list;
-  t.free_count <- t.free_count + 1
+  t.free_count <- t.free_count + 1;
+  match t.on_free with None -> () | Some hook -> hook f
 
 let free_count t = t.free_count
 let total t = t.count

@@ -25,6 +25,12 @@ val set_on_alloc : t -> (Addr.frame -> unit) option -> unit
     {e before} the new owner can give it content — the reuse barrier
     lazy unmap invalidation relies on. *)
 
+val set_on_free : t -> (Addr.frame -> unit) option -> unit
+(** Hook fired with each frame as {!free} takes it back, after the
+    allocator's own bookkeeping.  The nested kernel uses it to clear
+    the frame's domain-ownership mark so the next owner starts
+    unclaimed. *)
+
 val alloc_exn : t -> Addr.frame
 
 val free : t -> Addr.frame -> unit

@@ -7,8 +7,13 @@ type smm_owner = Smm_nested_kernel | Smm_unprotected
    still finds a live entry in the flushed range, so filtering can
    never skip a CPU that actually caches the translation (the
    parked-peer guarantee is preserved unconditionally, not just when
-   the residency bookkeeping is right). *)
-type shootdown_scope = Broadcast | Asids of int list
+   the residency bookkeeping is right).  [Cpuset mask] targets exactly
+   the CPUs whose bit is set — for flushes whose audience was pinned
+   down when the invalidation was decided (a deferred unmap can only
+   be cached by CPUs that were resident when the PTE was cleared;
+   later arrivals walked the cleared entry) — again with the occupancy
+   backstop. *)
+type shootdown_scope = Broadcast | Asids of int list | Cpuset of int
 
 type t = {
   mem : Phys_mem.t;
@@ -309,6 +314,7 @@ let shoot_peers t ~scope ~occupied ~flush =
           id < 0
           || List.exists (fun a -> resident t ~asid:a id) asids
           || occupied tlb
+      | Cpuset mask -> id < 0 || mask land (1 lsl id) <> 0 || occupied tlb
     in
     if targeted then begin
       flush tlb;

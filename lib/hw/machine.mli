@@ -19,7 +19,13 @@ type smm_owner =
     it, {e plus} any parked TLB whose occupancy probe still finds a
     live entry in the flushed range — so filtering can never skip a
     CPU that actually caches the translation. *)
-type shootdown_scope = Broadcast | Asids of int list
+type shootdown_scope =
+  | Broadcast
+  | Asids of int list
+  | Cpuset of int
+      (** exact CPU bitmask pinned down when the invalidation was
+          decided (deferred unmaps: later-resident CPUs walked the
+          already-cleared PTE), still occupancy-backstopped *)
 
 type t = {
   mem : Phys_mem.t;

@@ -1,5 +1,8 @@
-type t = Native | Perspicuos | Append_only | Write_once | Write_log
+type t = Native | Perspicuos | Append_only | Write_once | Write_log | Hyper
 
+(* [Hyper] is a measurement baseline, not a paper configuration: it
+   stays out of [all] so the attack matrix, ctx-switch sweeps and CLI
+   listings keep exactly the five evaluated systems. *)
 let all = [ Native; Perspicuos; Append_only; Write_once; Write_log ]
 
 let name = function
@@ -8,10 +11,13 @@ let name = function
   | Append_only -> "append-only"
   | Write_once -> "write-once"
   | Write_log -> "write-log"
+  | Hyper -> "hyper"
 
 let is_nested = function
-  | Native -> false
+  | Native | Hyper -> false
   | Perspicuos | Append_only | Write_once | Write_log -> true
 
 let of_name s =
-  List.find_opt (fun c -> name c = String.lowercase_ascii s) all
+  let s = String.lowercase_ascii s in
+  if s = name Hyper then Some Hyper
+  else List.find_opt (fun c -> name c = s) all

@@ -10,8 +10,16 @@ type t =
           protected buffer *)
   | Write_once  (** + system-call table under the write-once policy *)
   | Write_log  (** + shadow process list with write logging *)
+  | Hyper
+      (** simulated hypervisor baseline: every MMU update pays a
+          VMCALL round trip ({!Mmu_backend.hypervisor}).  A
+          measurement point for the multi-tenant bench, not a paper
+          configuration — deliberately absent from {!all} *)
 
 val all : t list
+(** The five paper configurations; [Hyper] is deliberately absent. *)
+
+
 val name : t -> string
 val is_nested : t -> bool
 val of_name : string -> t option

@@ -21,6 +21,8 @@ type t = {
   smp : Smp.t;
   running : Ktypes.pid option array;
   inject : Nkinject.t option;
+  domain_tokens : (int, int) Hashtbl.t;
+  mutable next_domain : int;
   mutable next_pid : Ktypes.pid;
   mutable legit_exits : Ktypes.pid list;
   mutable syscall_seq : int;
@@ -98,8 +100,10 @@ let boot_native_paging (m : Machine.t) falloc ~pcid =
   root
 
 let boot ?(frames = 8192) ?(batched = false) ?(pcid = true)
-    ?(coherence = false) ?(trace = false) ?(cpus = 1) ?inject config =
+    ?(coherence = false) ?(trace = false) ?(cpus = 1) ?(domains = 0) ?inject
+    config =
   if cpus < 1 then invalid_arg "Kernel.boot: cpus must be >= 1";
+  if domains < 0 then invalid_arg "Kernel.boot: domains must be >= 0";
   let m = Machine.create ~frames () in
   if trace then Nktrace.enable m.Machine.trace;
   (* Boot itself is not a fault target: allocations and PTE writes
@@ -138,7 +142,10 @@ let boot ?(frames = 8192) ?(batched = false) ?(pcid = true)
     end
     else begin
       let falloc = Frame_alloc.create ~first:1 ~count:(frames - 1) in
-      let backend = Mmu_backend.native m in
+      let backend =
+        if config = Config.Hyper then Mmu_backend.hypervisor m
+        else Mmu_backend.native m
+      in
       let root = boot_native_paging m falloc ~pcid in
       (None, falloc, backend, root)
     end
@@ -165,7 +172,12 @@ let boot ?(frames = 8192) ?(batched = false) ?(pcid = true)
   (match nk with
   | Some nk ->
       Frame_alloc.set_on_alloc falloc
-        (Some (fun frame -> Nested_kernel.Api.nk_flush_deferred nk frame))
+        (Some (fun frame -> Nested_kernel.Api.nk_flush_deferred nk frame));
+      (* Ownership-release barrier: a frame going back to the allocator
+         sheds its tenant's claim, so the next owner starts unclaimed
+         (one integer compare on host-owned frames). *)
+      Frame_alloc.set_on_free falloc
+        (Some (fun frame -> Nested_kernel.Api.nk_frame_released nk frame))
   | None -> ());
   if coherence then
     Coherence.enable m
@@ -244,7 +256,18 @@ let boot ?(frames = 8192) ?(batched = false) ?(pcid = true)
       backend;
       falloc;
       share = Hashtbl.create 256;
-      asids = (if pcid then Some (Asid_pool.create m) else None);
+      asids =
+        (if pcid then
+           Some
+             (if domains = 0 then Asid_pool.create m
+              else
+                (* Host partition plus one per expected tenant, two
+                   slots each, so a tenant's recycling stays inside its
+                   own range. *)
+                Asid_pool.create
+                  ~size:(1 + (2 * (domains + 1)))
+                  ~domains:(domains + 1) m)
+         else None);
     }
   in
   (match (env.Vmspace.asids, inject) with
@@ -274,6 +297,8 @@ let boot ?(frames = 8192) ?(batched = false) ?(pcid = true)
       smp;
       running = Array.make cpus None;
       inject;
+      domain_tokens = Hashtbl.create 8;
+      next_domain = 1;
       next_pid = 1;
       legit_exits = [];
       syscall_seq = 0;
@@ -329,10 +354,84 @@ let current_proc t =
 
 let proc t pid = Hashtbl.find_opt t.procs pid
 
+(* --- tenant domains ----------------------------------------------- *)
+
+(* The outer kernel is the host trust anchor: it holds every tenant's
+   entry token and switches the nested kernel's current domain as it
+   dispatches processes.  Without a nested kernel, domains are plain
+   scheduling/ASID labels — creation still hands out ids so the same
+   workload code runs in every configuration. *)
+
+let proc_domain (p : Proc.t) = p.Proc.vm.Vmspace.domain
+
+let create_domain t =
+  match t.nk with
+  | None ->
+      let id = t.next_domain in
+      t.next_domain <- id + 1;
+      Hashtbl.replace t.domain_tokens id 0;
+      Ok id
+  | Some nk -> (
+      match Nested_kernel.Api.nk_domain_create nk with
+      | Ok (id, token) ->
+          Hashtbl.replace t.domain_tokens id token;
+          t.next_domain <- id + 1;
+          Ok id
+      | Error _ -> Error Ktypes.Enomem)
+
+(* Make the nested kernel's current domain match the address space
+   about to run; a same-domain dispatch is one integer compare. *)
+let enter_vm_domain t (vm : Vmspace.t) =
+  match t.nk with
+  | None -> Ok ()
+  | Some nk ->
+      let d = vm.Vmspace.domain in
+      if Nested_kernel.Api.nk_domain_current nk = d then Ok ()
+      else
+        let token =
+          if d = 0 then 0
+          else Option.value ~default:(-1) (Hashtbl.find_opt t.domain_tokens d)
+        in
+        (match Nested_kernel.Api.nk_domain_enter nk ~domain:d ~token with
+        | Ok () -> Ok ()
+        | Error _ -> Error Ktypes.Eacces)
+
+let enter_host_domain t =
+  match t.nk with
+  | None -> ()
+  | Some nk ->
+      if Nested_kernel.Api.nk_domain_current nk <> 0 then
+        ignore (Nested_kernel.Api.nk_domain_enter nk ~domain:0 ~token:0)
+
+(* Hand a process (and its whole page-table tree) to a tenant: the
+   nested kernel claims the user half, and the space's next ASID comes
+   from the tenant's own partition. *)
+let adopt_domain t (p : Proc.t) ~domain =
+  let vm = p.Proc.vm in
+  let* () =
+    match t.nk with
+    | None -> Ok ()
+    | Some nk -> (
+        match
+          Nested_kernel.Api.nk_domain_adopt nk ~domain ~root:vm.Vmspace.root
+        with
+        | Ok () -> Ok ()
+        | Error _ -> Error Ktypes.Eacces)
+  in
+  vm.Vmspace.domain <- domain;
+  (match t.env.Vmspace.asids with
+  | Some pool when vm.Vmspace.asid <> 0 ->
+      Asid_pool.free pool ~asid:vm.Vmspace.asid ~stamp:vm.Vmspace.asid_stamp;
+      vm.Vmspace.asid <- 0;
+      vm.Vmspace.asid_stamp <- 0
+  | _ -> ());
+  Ok ()
+
 let switch_to t pid =
   match Hashtbl.find_opt t.procs pid with
   | None -> Error Ktypes.Esrch
   | Some p -> (
+      let* () = enter_vm_domain t p.Proc.vm in
       match load_vm_root t p.Proc.vm with
       | Ok () ->
           t.running.(Smp.active t.smp) <- Some pid;
@@ -405,6 +504,45 @@ let wait_proc t (parent : Proc.t) =
       t.legit_exits <- child.Proc.pid :: t.legit_exits;
       Hashtbl.remove t.procs child.Proc.pid;
       Ok child.Proc.pid
+
+(* Full tenant teardown, host-driven: exit and reap every process the
+   domain still owns (descriptors released exactly once through the
+   normal exit path), then have the nested kernel drain the domain's
+   deferred unmaps, dissolve its pipes and clear leftover owner marks.
+   Returns the number of frames whose owner mark the nested kernel had
+   to clear itself — nonzero means the outer kernel leaked frames. *)
+let destroy_domain t ~domain =
+  if domain = 0 then Error Ktypes.Einval
+  else begin
+    enter_host_domain t;
+    let victims =
+      Hashtbl.fold
+        (fun _ (p : Proc.t) acc ->
+          if proc_domain p = domain then p :: acc else acc)
+        t.procs []
+      |> List.sort (fun a b -> compare a.Proc.pid b.Proc.pid)
+    in
+    List.iter
+      (fun (p : Proc.t) ->
+        if p.Proc.pstate = Proc.Running then exit_proc t p 0;
+        if p.Proc.pstate = Proc.Zombie then begin
+          p.Proc.pstate <- Proc.Reaped;
+          ignore (Proclist.remove t.allproc ~node:p.Proc.node_va);
+          (match t.shadow with
+          | Some s -> ignore (Shadow_proc.on_remove s p.Proc.pid)
+          | None -> ());
+          t.legit_exits <- p.Proc.pid :: t.legit_exits;
+          Hashtbl.remove t.procs p.Proc.pid
+        end)
+      victims;
+    Hashtbl.remove t.domain_tokens domain;
+    match t.nk with
+    | None -> Ok 0
+    | Some nk -> (
+        match Nested_kernel.Api.nk_domain_destroy nk ~domain with
+        | Ok leaked -> Ok leaked
+        | Error _ -> Error Ktypes.Einval)
+  end
 
 (* --- syscall logging (Append_only) -------------------------------- *)
 

@@ -37,6 +37,9 @@ type t = {
           source of truth; there is no global current process *)
   inject : Nkinject.t option;
       (** the run's fault injector, shared by every wired subsystem *)
+  domain_tokens : (int, int) Hashtbl.t;
+      (** tenant entry tokens — the host's capability store *)
+  mutable next_domain : int;
   mutable next_pid : Ktypes.pid;
   mutable legit_exits : Ktypes.pid list;
   mutable syscall_seq : int;
@@ -58,7 +61,7 @@ and syscall_log = {
 
 val boot :
   ?frames:int -> ?batched:bool -> ?pcid:bool -> ?coherence:bool ->
-  ?trace:bool -> ?cpus:int -> ?inject:Nkinject.t -> Config.t -> t
+  ?trace:bool -> ?cpus:int -> ?domains:int -> ?inject:Nkinject.t -> Config.t -> t
 (** Boot the machine and kernel in the given configuration.  The
     system-call table is empty; {!Syscalls.install_all} (or {!Os.boot})
     populates it.  [batched] selects the batched vMMU backend
@@ -79,7 +82,41 @@ val boot :
     kernel gate and heap, MMU backend, syscall dispatcher; it is
     disarmed for the duration of boot itself, then restored, so boot
     always succeeds and faults start with the first post-boot
-    operation. *)
+    operation.  [domains] (default 0) sizes the ASID pool for that many
+    tenant domains — each tenant (and the host) gets its own
+    partition, so a recycled tag never crosses domains. *)
+
+(** {1 Tenant domains}
+
+    The outer kernel is the host (domain 0): it creates tenants, holds
+    their entry tokens, and switches the nested kernel's current
+    domain as it dispatches.  Without a nested kernel, domains are
+    plain scheduling/ASID labels, so the same multi-tenant workload
+    runs in every configuration. *)
+
+val proc_domain : Proc.t -> int
+
+val create_domain : t -> (int, Ktypes.errno) result
+(** Register a new tenant; its entry token stays in [domain_tokens]. *)
+
+val adopt_domain : t -> Proc.t -> domain:int -> (unit, Ktypes.errno) result
+(** Hand a process to a tenant: the nested kernel claims its page-table
+    tree's user half, and its next ASID comes from the tenant's own
+    partition. *)
+
+val destroy_domain : t -> domain:int -> (int, Ktypes.errno) result
+(** Exit and reap every process of the tenant, then tear the domain
+    down in the nested kernel (deferred unmaps drained, pipes
+    dissolved, token killed).  Returns the count of frames whose owner
+    mark the nested kernel had to clear — nonzero means the outer
+    kernel leaked frames. *)
+
+val enter_vm_domain : t -> Vmspace.t -> (unit, Ktypes.errno) result
+(** Make the nested kernel's current domain match the space's owner (a
+    same-domain dispatch is one integer compare); {!switch_to} calls
+    this before every address-space load. *)
+
+val enter_host_domain : t -> unit
 
 val load_vm_root : t -> Vmspace.t -> (unit, Nested_kernel.Nk_error.t) result
 (** Load an address space's root through the backend, tagged with its

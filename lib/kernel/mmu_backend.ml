@@ -145,9 +145,24 @@ let native (m : Machine.t) =
       (* A downgraded level-1 leaf in a live tree gets the targeted
          single-page flush a stock kernel would issue for the VA it
          tracks; upper-level or unlinked entries fall back to a
-         broadcast flush. *)
+         broadcast flush.  A stock kernel also knows which CPUs ever
+         ran this address space (mm_cpumask) and IPIs only those —
+         model that by scoping the flush to the tags bound to this
+         tree's root; the machine's occupancy backstop keeps a parked
+         peer that demonstrably still holds the entry targeted. *)
       match locate_leaf_table ptp with
-      | Some base -> Machine.shootdown_page m ~vpage:(base + index)
+      | Some base ->
+          let scope =
+            match Hashtbl.find_opt pt_bases ptp with
+            | Some (root, _) ->
+                Machine.Asids
+                  (Hashtbl.fold
+                     (fun pcid bound acc ->
+                       if bound = root then pcid :: acc else acc)
+                     pcid_roots [])
+            | None -> Machine.Broadcast
+          in
+          Machine.shootdown_page ~scope m ~vpage:(base + index)
       | None -> Machine.shootdown_all m
     end;
     Ok ()
@@ -209,6 +224,55 @@ let nested_gen ~batched (st : Nested_kernel.State.t) =
 
 let nested st = nested_gen ~batched:false st
 let nested_batched st = nested_gen ~batched:true st
+
+(* Simulated hypervisor mediation (the paper's Table 3 comparison
+   point): every MMU update leaves the guest through a VMCALL and
+   re-enters, so each operation is charged the measured VM exit +
+   dispatch + entry round trip on top of the native work.  Batch items
+   each pay their own exit — a trap-and-emulate VMM sees one faulting
+   store at a time.  Used by the multi-tenant bench as the
+   full-address-space-worlds baseline. *)
+let hypervisor (m : Machine.t) =
+  let base = native m in
+  let vmexit () =
+    Machine.charge m m.Machine.costs.Costs.vmcall_roundtrip;
+    Machine.count_ev m (Nktrace.Custom "vmcall")
+  in
+  {
+    base with
+    name = "hyper";
+    declare_ptp =
+      (fun ~level frame ->
+        vmexit ();
+        base.declare_ptp ~level frame);
+    write_pte =
+      (fun ~ptp ~index pte ->
+        vmexit ();
+        base.write_pte ~ptp ~index pte);
+    write_pte_batch =
+      (fun updates ->
+        let rec go = function
+          | [] -> Ok ()
+          | (ptp, index, pte) :: rest -> (
+              vmexit ();
+              match base.write_pte ~ptp ~index pte with
+              | Ok () -> go rest
+              | Error e -> Error e)
+        in
+        go updates);
+    remove_ptp =
+      (fun frame ->
+        vmexit ();
+        base.remove_ptp frame);
+    load_cr3 =
+      (fun frame ->
+        vmexit ();
+        base.load_cr3 frame);
+    load_cr3_pcid =
+      (fun ~pcid frame ->
+        vmexit ();
+        base.load_cr3_pcid ~pcid frame);
+  }
 
 (* Fault-injection shim: same record type, so it drops in anywhere a
    backend goes.  Only the PTE-write operations are fallible here —

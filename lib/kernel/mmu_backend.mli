@@ -54,6 +54,13 @@ val nested_batched : Nested_kernel.State.t -> t
 (** The section-5.4 extension: callers that present batches get a
     single gate crossing per batch. *)
 
+val hypervisor : Machine.t -> t
+(** Simulated hypervisor mediation: native semantics, but every MMU
+    operation pays the measured VMCALL round trip (Table 3's
+    [vmcall]) and counts a ["vmcall"] event — batch items each pay
+    their own exit.  The multi-tenant bench's per-tenant
+    full-address-space-worlds baseline. *)
+
 val with_inject : Nkinject.t -> t -> t
 (** Wrap any backend so [write_pte] / [write_pte_batch] can fail with
     [Nk_error.Injected] at the injector's [Pte_write_error] /

@@ -1,6 +1,8 @@
-let boot ?frames ?batched ?pcid ?coherence ?trace ?cpus ?inject config =
+let boot ?frames ?batched ?pcid ?coherence ?trace ?cpus ?domains ?inject config
+    =
   let k =
-    Kernel.boot ?frames ?batched ?pcid ?coherence ?trace ?cpus ?inject config
+    Kernel.boot ?frames ?batched ?pcid ?coherence ?trace ?cpus ?domains ?inject
+      config
   in
   Syscalls.install_all k;
   Vfs.add_sized_file k.Kernel.vfs "/bin/sh" (16 * 4096);
@@ -8,8 +10,10 @@ let boot ?frames ?batched ?pcid ?coherence ?trace ?cpus ?inject config =
   Vfs.add_sized_file k.Kernel.vfs "/dev/null" 0;
   k
 
-let boot_with_files ?frames ?batched ?pcid ?coherence ?trace ?cpus ?inject
-    config files =
-  let k = boot ?frames ?batched ?pcid ?coherence ?trace ?cpus ?inject config in
+let boot_with_files ?frames ?batched ?pcid ?coherence ?trace ?cpus ?domains
+    ?inject config files =
+  let k =
+    boot ?frames ?batched ?pcid ?coherence ?trace ?cpus ?domains ?inject config
+  in
   List.iter (fun (name, size) -> Vfs.add_sized_file k.Kernel.vfs name size) files;
   k

@@ -4,6 +4,8 @@ type t = {
   k : Kernel.t;
   queues : Ktypes.pid Queue.t array; (* index = CPU id; O(1) deque ops *)
   affinity : (Ktypes.pid, int) Hashtbl.t; (* allowed-CPU bitmask; absent = all *)
+  credits : (int, int ref) Hashtbl.t; (* domain -> dispatches left this epoch *)
+  mutable credit_quantum : int; (* 0 = credits off (single-tenant default) *)
 }
 
 let ncpus t = Array.length t.queues
@@ -22,6 +24,8 @@ let create k =
       k;
       queues = Array.init n (fun _ -> Queue.create ());
       affinity = Hashtbl.create 16;
+      credits = Hashtbl.create 8;
+      credit_quantum = 0;
     }
   in
   let boot_cpu = Smp.active k.Kernel.smp in
@@ -92,6 +96,60 @@ let alive t pid =
   | Some p -> p.Proc.pstate = Proc.Running
   | None -> false
 
+(* --- per-domain run-queue credits --------------------------------- *)
+
+(* Deficit round-robin across tenant domains: with a quantum set, each
+   domain may take at most [quantum] dispatches per epoch on a CPU
+   while any co-queued domain still holds credit, so a shootdown-storm
+   or accept-flood tenant cannot starve its peers.  With the quantum
+   at 0 (the default) dispatch order is exactly the classic rotation —
+   single-tenant runs are untouched. *)
+
+let set_domain_credits t ~quantum =
+  if quantum < 0 then invalid_arg "Sched.set_domain_credits";
+  t.credit_quantum <- quantum;
+  Hashtbl.reset t.credits
+
+let domain_of t pid =
+  match Kernel.proc t.k pid with
+  | Some p -> Kernel.proc_domain p
+  | None -> 0
+
+let credit_of t domain =
+  match Hashtbl.find_opt t.credits domain with
+  | Some c -> c
+  | None ->
+      let c = ref t.credit_quantum in
+      Hashtbl.add t.credits domain c;
+      c
+
+let credit_refill t =
+  Hashtbl.iter (fun _ c -> c := t.credit_quantum) t.credits
+
+(* Rotate [q] until its front belongs to a domain with credit left; if
+   a full lap finds every queued domain exhausted, the epoch ends and
+   all credits refill.  Charges the dispatched domain one credit. *)
+let credit_select t q =
+  if t.credit_quantum > 0 && Queue.length q > 1 then begin
+    let len = Queue.length q in
+    let rec rotate i =
+      if i >= len then begin
+        credit_refill t;
+        Machine.count_ev t.k.Kernel.machine (Nktrace.Custom "sched_epoch")
+      end
+      else if !(credit_of t (domain_of t (Queue.peek q))) > 0 then ()
+      else begin
+        Queue.push (Queue.pop q) q;
+        rotate (i + 1)
+      end
+    in
+    rotate 0
+  end;
+  if t.credit_quantum > 0 then begin
+    let c = credit_of t (domain_of t (Queue.peek q)) in
+    if !c > 0 then decr c
+  end
+
 (* Pull work from the most-loaded peer (lowest id breaks ties).  Only
    queues holding more than one process are victims — a length-one
    queue is just that CPU's running process — and the stolen pid must
@@ -161,6 +219,7 @@ let rec yield_on t cpu =
     end
     else begin
       Queue.push pid q;
+      credit_select t q;
       let next = Queue.peek q in
       if Some next <> t.k.Kernel.running.(cpu) && alive t next then begin
         Machine.charge t.k.Kernel.machine
@@ -169,7 +228,17 @@ let rec yield_on t cpu =
         | Ok () -> Ok next
         | Error _ -> Error Ktypes.Esrch
       end
-      else Ok next
+      else begin
+        (* Same front, same CPU: no context switch — but domain
+           identity is machine-global state like CR3, and a peer CPU's
+           dispatch may have entered another tenant's domain in
+           between.  Re-assert it (a no-op when already current), or
+           this quantum would run under the wrong tenant's authority. *)
+        (match Kernel.proc t.k next with
+        | Some p -> ignore (Kernel.enter_vm_domain t.k p.Proc.vm)
+        | None -> ());
+        Ok next
+      end
     end
   end
 

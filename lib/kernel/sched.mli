@@ -30,6 +30,15 @@ val queue : t -> Ktypes.pid list
 val queue_of : t -> int -> Ktypes.pid list
 (** One CPU's queue, front first. *)
 
+val set_domain_credits : t -> quantum:int -> unit
+(** Enable deficit-round-robin across tenant domains: each domain may
+    take at most [quantum] consecutive dispatches per epoch on a CPU
+    while any co-queued domain still holds credit (so a hostile tenant
+    is bounded to its fair share); when every queued domain is
+    exhausted the epoch ends, all credits refill and a ["sched_epoch"]
+    event is counted.  [quantum = 0] (the default) disables credits —
+    dispatch order is then exactly the classic rotation. *)
+
 val set_affinity : t -> Ktypes.pid -> int -> unit
 (** Restrict a process to the CPUs set in the bitmask (bit [c] = CPU
     [c]); re-places the process if it currently queues on a forbidden

@@ -19,6 +19,7 @@ type t = {
   mutable next_mmap : Addr.va;
   mutable asid : int;
   mutable asid_stamp : int;
+  mutable domain : int; (* tenant the space belongs to; 0 = host *)
 }
 
 let user_text_base = 0x0040_0000
@@ -61,7 +62,7 @@ let retire_ptp env ptp =
   | Ok () -> if Frame_alloc.owns env.falloc ptp then Frame_alloc.free env.falloc ptp
   | Error (_ : Nested_kernel.Nk_error.t) -> ()
 
-let create env ~kernel_root =
+let create ?(domain = 0) env ~kernel_root =
   match Frame_alloc.alloc env.falloc with
   | None -> Error Ktypes.Enomem
   | Some root -> (
@@ -102,14 +103,43 @@ let create env ~kernel_root =
               done;
               retire_ptp env root;
               Error e
-          | Ok () ->
+          | Ok () -> (
           charge env cost_region_setup;
-          let asid, asid_stamp =
+          let asid_pair =
             match env.asids with
-            | Some pool -> Asid_pool.alloc pool
-            | None -> (0, 0)
+            | Some pool -> (
+                (* A domain draws only from its own ASID partition; an
+                   exhausted partition is EAGAIN, never a peer's tag. *)
+                match Asid_pool.alloc ~domain pool with
+                | Some pair -> Ok pair
+                | None -> Error Ktypes.Eagain)
+            | None -> Ok (0, 0)
           in
-          Ok { root; regions = []; next_mmap = user_mmap_base; asid; asid_stamp })
+          match asid_pair with
+          | Error e ->
+              (* Clear the freshly-copied kernel half so the root is
+                 empty again, then retire it. *)
+              for index = 256 to Addr.entries_per_table - 1 do
+                let pe =
+                  Page_table.get_entry env.machine.Machine.mem ~ptp:root ~index
+                in
+                if Pte.is_present pe then
+                  ignore
+                    (env.backend.Mmu_backend.write_pte ~ptp:root ~index
+                       Pte.empty)
+              done;
+              retire_ptp env root;
+              Error e
+          | Ok (asid, asid_stamp) ->
+              Ok
+                {
+                  root;
+                  regions = [];
+                  next_mmap = user_mmap_base;
+                  asid;
+                  asid_stamp;
+                  domain;
+                }))
 
 (* The ASID to switch under, revalidated against the pool: if the slot
    was stolen since the last switch, take a fresh one (the steal
@@ -120,11 +150,18 @@ let ensure_asid env vm =
   | None -> None
   | Some pool ->
       if not (Asid_pool.valid pool ~asid:vm.asid ~stamp:vm.asid_stamp) then begin
-        let asid, stamp = Asid_pool.alloc pool in
-        vm.asid <- asid;
-        vm.asid_stamp <- stamp
+        match Asid_pool.alloc ~domain:vm.domain pool with
+        | Some (asid, stamp) ->
+            vm.asid <- asid;
+            vm.asid_stamp <- stamp
+        | None ->
+            (* Partition exhausted: switch untagged rather than borrow
+               a peer's ASID.  The stale pair stays invalid, so the
+               next switch retries. *)
+            vm.asid <- 0;
+            vm.asid_stamp <- 0
       end;
-      Some vm.asid
+      if vm.asid = 0 then None else Some vm.asid
 
 (* Walk down to the page table covering [va], allocating and declaring
    intermediate PTPs as needed.  Returns the level-1 PTP. *)

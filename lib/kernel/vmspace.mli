@@ -34,19 +34,25 @@ type t = {
   mutable next_mmap : Addr.va;
   mutable asid : int;  (** PCID this space last switched under *)
   mutable asid_stamp : int;  (** pool stamp proving [asid] is still ours *)
+  mutable domain : int;  (** tenant domain owning the space; 0 = host *)
 }
 
 val user_text_base : Addr.va
 val user_mmap_base : Addr.va
 val user_stack_top : Addr.va
 
-val create : env -> kernel_root:Addr.frame -> (t, Ktypes.errno) result
+val create :
+  ?domain:int -> env -> kernel_root:Addr.frame -> (t, Ktypes.errno) result
 (** New address space sharing the kernel half of [kernel_root];
-    allocates an ASID when the env carries a pool. *)
+    allocates an ASID from [domain]'s partition (default 0, the host)
+    when the env carries a pool.  [Error Eagain] when the domain's
+    partition is empty — the pool never borrows a peer's tag. *)
 
 val ensure_asid : env -> t -> int option
-(** The ASID to tag the next switch with, re-allocating if the pool
-    recycled this space's slot.  [None] when tagged switching is off. *)
+(** The ASID to tag the next switch with, re-allocating from the
+    space's own domain partition if the pool recycled this space's
+    slot.  [None] when tagged switching is off or the partition is
+    exhausted (untagged switch, fail closed). *)
 
 val map_region :
   env ->

@@ -44,6 +44,25 @@ let nk_flush_all_deferred = Vmmu.flush_all_deferred
 let nk_deferred_live (st : t) = State.deferred_live st
 let nk_is_deferred (st : t) = State.is_deferred st
 
+(* Tenant domains (ROADMAP item 5): lifecycle, entry, ownership
+   adoption, the only inter-tenant channel, and the mediated shootdown
+   request — see {!Domain}. *)
+let nk_domain_create = Domain.create
+let nk_domain_enter st ~domain ~token = Domain.enter st ~domain ~token
+let nk_domain_destroy st ~domain = Domain.destroy st ~domain
+let nk_domain_adopt st ~domain ~root = Domain.adopt_tree st ~domain ~root
+let nk_domain_current = Domain.current
+let nk_domain_live = Domain.live
+let nk_domain_denials = Domain.denials
+let nk_domain_set_policies st ~domain names = Domain.set_policies st ~domain names
+let nk_pipe_open st ?cap ~src ~dst () = Domain.pipe_open st ?cap ~src ~dst ()
+let nk_pipe_send st ~dst word = Domain.pipe_send st ~dst word
+let nk_pipe_recv st ~src = Domain.pipe_recv st ~src
+let nk_request_shootdown = Domain.request_shootdown
+let nk_frame_released = Domain.frame_released
+let nk_frame_owner (st : t) f = Pgdesc.owner st.State.descs f
+let nk_flush_domain_deferred = Vmmu.flush_domain_deferred
+
 (* Uniform enable/disable/snapshot surface over the out-of-band
    diagnostic instruments (none of them charge simulated cycles). *)
 module Diagnostics = struct

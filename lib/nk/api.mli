@@ -83,6 +83,40 @@ val nk_is_deferred : t -> vpage:int -> Tlb.entry -> bool
 (** The oracle exemption predicate: is this cached translation one of
     the declared pending lazy invalidations?  See {!State.is_deferred}. *)
 
+(** {1 Tenant domains}
+
+    N mutually distrusting outer domains above one nested kernel
+    (ROADMAP item 5).  Domain 0 is the host; see {!Domain} for the
+    model.  Every mediated MMU operation above also enforces the
+    ownership lattice (I14) against the current domain. *)
+
+val nk_domain_create : t -> (int * int, Nk_error.t) result
+val nk_domain_enter : t -> domain:int -> token:int -> (unit, Nk_error.t) result
+val nk_domain_destroy : t -> domain:int -> (int, Nk_error.t) result
+val nk_domain_adopt :
+  t -> domain:int -> root:Addr.frame -> (unit, Nk_error.t) result
+
+val nk_domain_current : t -> int
+val nk_domain_live : t -> int -> bool
+val nk_domain_denials : t -> int -> int
+val nk_domain_set_policies :
+  t -> domain:int -> string list option -> (unit, Nk_error.t) result
+
+val nk_pipe_open :
+  t -> ?cap:int -> src:int -> dst:int -> unit -> (unit, Nk_error.t) result
+
+val nk_pipe_send : t -> dst:int -> int -> (unit, Nk_error.t) result
+val nk_pipe_recv : t -> src:int -> (int option, Nk_error.t) result
+
+val nk_request_shootdown :
+  t -> Machine.shootdown_scope -> (unit, Nk_error.t) result
+
+val nk_frame_released : t -> Addr.frame -> unit
+(** Owner-release hook for the outer frame allocator's on-free path. *)
+
+val nk_frame_owner : t -> Addr.frame -> int
+val nk_flush_domain_deferred : t -> int -> unit
+
 (** Out-of-band diagnostic instruments, behind one uniform
     enable/disable/snapshot surface.  Neither instrument ever charges
     simulated cycles, so they can stay on during measurement runs

@@ -161,6 +161,10 @@ let boot ?layout (m : Machine.t) =
         denied_writes = 0;
         sc_roots = Array.make 8 0;
         sc_bases = Array.make 8 0;
+        domains = Hashtbl.create 8;
+        pipes = Hashtbl.create 8;
+        next_domain = 1;
+        cur_domain = 0;
       }
   end
 

@@ -80,6 +80,52 @@ let audit (st : State.t) =
       then
         fail "RMAP" "entry %d[%d] -> frame %d missing from reverse map" ptp
           index target);
+  (* I14: no PTE installed under one tenant domain reaches a frame
+     owned by another.  Walk every tenant-owned PTP's live entries; a
+     leaf frame or linked child owned by a different live tenant is a
+     breach of the ownership lattice (host-owned frames are shared). *)
+  Pgdesc.iter descs (fun ptp d ->
+      let owner = d.Pgdesc.owner in
+      match d.Pgdesc.ptype with
+      | Pgdesc.Unused when owner <> 0 ->
+          (* Ownership is a claim on a live resource; a free frame
+             still carrying a tenant's mark poisons its next use (the
+             recycled frame is denied to everyone else) and inflates
+             that tenant's teardown leak count. *)
+          fail "I14" "free frame %d still carries domain %d's owner mark" ptp
+            owner
+      | Pgdesc.Ptp level when owner <> 0 ->
+          for index = 0 to Addr.entries_per_table - 1 do
+            let pte = Page_table.get_entry mem ~ptp ~index in
+            if Pte.is_present pte then begin
+              let leaf = level = 1 || (level = 2 && Pte.is_large pte) in
+              let span =
+                if level = 2 && Pte.is_large pte then Addr.entries_per_table
+                else 1
+              in
+              let check covered =
+                if covered < Pgdesc.frames descs then
+                  let fo = Pgdesc.owner descs covered in
+                  if fo <> 0 && fo <> owner then
+                    fail "I14"
+                      "domain %d's PTP %d[%d] reaches frame %d owned by \
+                       domain %d"
+                      owner ptp index covered fo
+              in
+              if leaf then
+                for covered = Pte.frame pte to Pte.frame pte + span - 1 do
+                  check covered
+                done
+              else begin
+                (* Skip kernel-half links of a root: shared by design. *)
+                let kernel_half =
+                  level = 4 && index >= Addr.entries_per_table / 2
+                in
+                if not kernel_half then check (Pte.frame pte)
+              end
+            end
+          done
+      | _ -> ());
   (* I10: SMM ownership. *)
   (match m.Machine.smm_owner with
   | Machine.Smm_nested_kernel -> ()

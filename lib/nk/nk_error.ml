@@ -23,6 +23,9 @@ type t =
   | Native of string
   | Invalid_free of Addr.va
   | Injected of string
+  | Cross_domain of { domain : int; owner : int; frame : Addr.frame; op : string }
+  | Bad_domain of { domain : int; why : string }
+  | Eagain of string
 
 let rec pp ppf = function
   | Not_a_ptp f -> Format.fprintf ppf "frame %d is not a declared PTP" f
@@ -62,6 +65,13 @@ let rec pp ppf = function
       Format.fprintf ppf "free of %a: not the base of a live allocation"
         Addr.pp_va va
   | Injected op -> Format.fprintf ppf "injected fault: %s" op
+  | Cross_domain { domain; owner; frame; op } ->
+      Format.fprintf ppf
+        "I14: domain %d may not %s frame %d owned by domain %d" domain op
+        frame owner
+  | Bad_domain { domain; why } ->
+      Format.fprintf ppf "domain %d: %s" domain why
+  | Eagain what -> Format.fprintf ppf "resource temporarily exhausted: %s" what
 
 let to_string t = Format.asprintf "%a" pp t
 let of_string msg = Native msg

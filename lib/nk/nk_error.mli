@@ -43,6 +43,15 @@ type t =
   | Injected of string
       (** a fault injected by {!Nkinject} at the named operation —
           only ever seen under deterministic fault-injection runs *)
+  | Cross_domain of { domain : int; owner : int; frame : Addr.frame; op : string }
+      (** I14: a tenant domain tried to operate on a frame or PTP owned
+          by a peer domain; denied, never fatal *)
+  | Bad_domain of { domain : int; why : string }
+      (** domain id unknown, dead, or the entry token did not match *)
+  | Eagain of string
+      (** a partitioned resource (e.g. a tenant's ASID range) is
+          temporarily exhausted; the caller must retry, never steal
+          across the partition *)
 
 val pp : Format.formatter -> t -> unit
 

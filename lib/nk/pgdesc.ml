@@ -19,13 +19,14 @@ type desc = {
   mutable ptype : page_type;
   mutable mappings : mapping list;
   mutable validated_code : bool;
+  mutable owner : int;
 }
 
 type t = desc array
 
 let create ~frames =
   Array.init frames (fun _ ->
-      { ptype = Unused; mappings = []; validated_code = false })
+      { ptype = Unused; mappings = []; validated_code = false; owner = 0 })
 
 let frames = Array.length
 
@@ -36,6 +37,8 @@ let get t f =
 
 let page_type t f = (get t f).ptype
 let set_type t f ty = (get t f).ptype <- ty
+let owner t f = (get t f).owner
+let set_owner t f d = (get t f).owner <- d
 let set_validated t f v = (get t f).validated_code <- v
 let is_validated t f = (get t f).validated_code
 

@@ -31,6 +31,8 @@ type desc = {
   mutable mappings : mapping list;
   mutable validated_code : bool;
       (** scanned free of protected instructions *)
+  mutable owner : int;
+      (** owning domain: 0 = host/shared, >0 = a tenant domain *)
 }
 
 type t
@@ -40,6 +42,11 @@ val frames : t -> int
 val get : t -> Addr.frame -> desc
 val page_type : t -> Addr.frame -> page_type
 val set_type : t -> Addr.frame -> page_type -> unit
+
+val owner : t -> Addr.frame -> int
+(** Owning domain of the frame (0 = host/shared). *)
+
+val set_owner : t -> Addr.frame -> int -> unit
 val set_validated : t -> Addr.frame -> bool -> unit
 val is_validated : t -> Addr.frame -> bool
 

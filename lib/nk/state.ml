@@ -21,6 +21,29 @@ type pending_flush = {
   pf_slot : Addr.frame * int;  (* (ptp, index) the unmap went through *)
   pf_scope : Machine.shootdown_scope;
   pf_spans : (int * int) list;  (* (vpage, count) still possibly cached *)
+  pf_domain : int;  (* domain whose unmap was deferred (teardown drain) *)
+}
+
+(* A tenant domain above the one nested kernel.  Domain 0 is the host:
+   always live, never registered here.  The entry token is the
+   capability the outer kernel must present to run mediated operations
+   on the domain's behalf; it is handed out exactly once, at create. *)
+type domain = {
+  dom_id : int;
+  dom_token : int;
+  mutable dom_live : bool;
+  mutable dom_denials : int;  (* cross-domain rejections attributed to it *)
+  mutable dom_policies : string list option;
+      (* write-protection policies the domain may declare; None = any *)
+}
+
+(* A gate-mediated cross-domain pipe: the only inter-tenant channel.
+   Bounded; words only, so no shared memory ever crosses domains. *)
+type pipe = {
+  pipe_src : int;
+  pipe_dst : int;
+  pipe_buf : int Queue.t;
+  pipe_cap : int;
 }
 
 type t = {
@@ -48,7 +71,35 @@ type t = {
      enough. *)
   sc_roots : int array;
   sc_bases : int array;
+  domains : (int, domain) Hashtbl.t;
+  pipes : (int * int, pipe) Hashtbl.t;
+  mutable next_domain : int;
+  mutable cur_domain : int;
 }
+
+(* Deterministic entry tokens (Knuth multiplicative hash of the id):
+   unguessable only in the model's sense -- a tenant that never saw the
+   token cannot present it, and the attack suite checks a forged one is
+   rejected. *)
+let token_of_id id = id * 2654435761 land 0x3fffffff
+
+let find_domain t id = Hashtbl.find_opt t.domains id
+
+let domain_live t id =
+  id = 0
+  || match find_domain t id with Some d -> d.dom_live | None -> false
+
+(* The ownership lattice: the host (domain 0) may touch anything;
+   host-owned (shared) frames are usable by every domain; a tenant may
+   otherwise only touch its own frames. *)
+let owner_ok t owner =
+  t.cur_domain = 0 || owner = 0 || owner = t.cur_domain
+
+let count_denial t =
+  (match find_domain t t.cur_domain with
+  | Some d -> d.dom_denials <- d.dom_denials + 1
+  | None -> ());
+  Machine.count_ev t.machine (Nktrace.Custom "xdom_denied")
 
 let is_nk_frame t f =
   f >= t.nk_first_frame && f < t.nk_first_frame + t.nk_frame_count

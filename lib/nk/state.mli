@@ -25,9 +25,32 @@ type pending_flush = {
       (** scope the eventual flush must use, fixed at defer time *)
   pf_spans : (int * int) list;
       (** (vpage, count) ranges possibly still cached *)
+  pf_domain : int;
+      (** domain the deferring unmap ran under; domain teardown drains
+          its records so no tenant staleness survives the tenant *)
 }
 (** One lazily-invalidated unmap: PTE gone from the tree, shootdown
     queued for the frame's next reuse instead of issued eagerly. *)
+
+type domain = {
+  dom_id : int;
+  dom_token : int;  (** entry capability, handed out once at create *)
+  mutable dom_live : bool;
+  mutable dom_denials : int;
+      (** cross-domain rejections attributed to this domain *)
+  mutable dom_policies : string list option;
+      (** write-protection policies it may declare; [None] = any *)
+}
+(** A tenant domain above the one nested kernel; domain 0 is the host
+    and is never registered. *)
+
+type pipe = {
+  pipe_src : int;
+  pipe_dst : int;
+  pipe_buf : int Queue.t;
+  pipe_cap : int;
+}
+(** A gate-mediated bounded word pipe — the only inter-tenant channel. *)
 
 type t = {
   machine : Machine.t;
@@ -58,10 +81,30 @@ type t = {
       (** scratch for {!Vmmu}'s shootdown scope derivation (reachable
           (root, base-vpage) pairs, bound 8), refilled in place per
           downgrade; gate-serialized so one per State suffices *)
+  domains : (int, domain) Hashtbl.t;
+  pipes : (int * int, pipe) Hashtbl.t;  (** (src, dst) -> pipe *)
+  mutable next_domain : int;
+  mutable cur_domain : int;
+      (** domain the outer kernel currently runs on behalf of *)
 }
 
 val is_nk_frame : t -> Addr.frame -> bool
 (** Frame inside the nested kernel's reserved physical range. *)
+
+val token_of_id : int -> int
+(** Deterministic entry token for a domain id. *)
+
+val find_domain : t -> int -> domain option
+val domain_live : t -> int -> bool
+
+val owner_ok : t -> int -> bool
+(** The ownership lattice: the host (domain 0) may touch any frame,
+    host-owned frames are usable by every domain, and a tenant may
+    otherwise only touch frames it owns. *)
+
+val count_denial : t -> unit
+(** Record a cross-domain rejection against the current domain (its
+    [dom_denials] plus the ["xdom_denied"] trace counter). *)
 
 val with_gate :
   t -> (unit -> ('a, Nk_error.t) result) -> ('a, Nk_error.t) result

@@ -19,6 +19,72 @@ let traced (st : State.t) op f =
    L = 2 with the large-page bit set; otherwise it links a child PTP. *)
 let entry_is_leaf ~level pte = level = 1 || (level = 2 && Pte.is_large pte)
 
+(* --- domain ownership (I14) --------------------------------------- *)
+
+(* Every mediated operation names frames; none may cross the ownership
+   lattice: the host (domain 0) touches anything, host-owned frames
+   are shared, and a tenant otherwise only touches its own.  Denials
+   are typed errors plus counters — never aborts — so a hostile tenant
+   learns nothing and damages nothing. *)
+let check_owner (st : State.t) ~op frame =
+  let owner = Pgdesc.owner st.descs frame in
+  if State.owner_ok st owner then Ok ()
+  else begin
+    State.count_denial st;
+    Machine.count_ev st.machine (Nktrace.Custom ("xdom_denied_" ^ op));
+    Error
+      (Nk_error.Cross_domain
+         { domain = st.State.cur_domain; owner; frame; op })
+  end
+
+(* Ownership of everything a fresh PTE would reach: the linked child
+   PTP for a non-leaf, every frame of the span for a leaf (a 2 MiB
+   leaf covers 512 frames and one stolen frame in the middle is just
+   as much a breach as the first).
+
+   Targets are judged against the PTE's *effective* domain: the
+   current tenant, or — when the host writes into a tenant-owned
+   table — that table's owner.  I14 is a property of the installed
+   state ("no PTE under domain A's tables reaches domain B's frame"),
+   so host authority does not license installing one tenant's frame
+   where another tenant's walks will find it.  Host writes into host
+   tables stay unrestricted. *)
+let check_pte_targets (st : State.t) ~ptp ~level pte =
+  let eff =
+    if st.State.cur_domain <> 0 then st.State.cur_domain
+    else Pgdesc.owner st.descs ptp
+  in
+  if eff = 0 || not (Pte.is_present pte) then Ok ()
+  else
+    let check ~op frame =
+      let owner = Pgdesc.owner st.descs frame in
+      if owner = 0 || owner = eff then Ok ()
+      else begin
+        State.count_denial st;
+        Machine.count_ev st.machine (Nktrace.Custom ("xdom_denied_" ^ op));
+        Error (Nk_error.Cross_domain { domain = eff; owner; frame; op })
+      end
+    in
+    let target = Pte.frame pte in
+    if not (Phys_mem.valid_frame st.machine.Machine.mem target) then
+      Ok () (* validate_and_adjust rejects out-of-range targets *)
+    else if not (entry_is_leaf ~level pte) then check ~op:"link" target
+    else begin
+      let span = if Pte.is_large pte then Addr.entries_per_table else 1 in
+      let last =
+        min (target + span - 1)
+          (Phys_mem.num_frames st.machine.Machine.mem - 1)
+      in
+      let rec go f =
+        if f > last then Ok ()
+        else
+          match check ~op:"write_pte" f with
+          | Ok () -> go (f + 1)
+          | Error _ as e -> e
+      in
+      go target
+    end
+
 let mapping_kind ~level pte : Pgdesc.mapping_kind =
   if entry_is_leaf ~level pte then Pgdesc.Data_map else Pgdesc.Table_link
 
@@ -275,10 +341,40 @@ let flush_all_deferred (st : State.t) =
   in
   List.iter (flush_deferred_frame st) (List.sort compare frames)
 
+(* Drain every record queued by one domain's unmaps: the teardown
+   barrier.  Whole frames flush at once (a peer's records on the same
+   frame go too — conservative, never unsound). *)
+let flush_domain_deferred (st : State.t) domain =
+  let frames =
+    Hashtbl.fold
+      (fun f recs acc ->
+        if List.exists (fun (r : State.pending_flush) -> r.State.pf_domain = domain) recs
+        then f :: acc
+        else acc)
+      st.State.deferred_frames []
+  in
+  List.iter (flush_deferred_frame st) (List.sort compare frames)
+
 let defer_unmap (st : State.t) ~frame ~slot ~scope spans =
   if st.State.deferred_count >= deferred_cap then flush_all_deferred st;
+  (* Pin the flush audience down now: a stale copy of this translation
+     can only live in a TLB that was resident when the PTE was cleared
+     — a CPU that becomes resident later walks the already-cleared
+     entry and can never cache it.  Resolving the ASID scope at reuse
+     time instead would target every CPU the address space visits in
+     between (it only grows), so snapshot the residency mask here. *)
+  let scope =
+    match scope with
+    | Machine.Asids asids ->
+        Machine.Cpuset
+          (List.fold_left
+             (fun acc a -> acc lor Machine.residency st.machine ~asid:a)
+             0 asids)
+    | s -> s
+  in
   let r =
-    { State.pf_frame = frame; pf_slot = slot; pf_scope = scope; pf_spans = spans }
+    { State.pf_frame = frame; pf_slot = slot; pf_scope = scope; pf_spans = spans;
+      pf_domain = st.State.cur_domain }
   in
   let cur =
     Option.value (Hashtbl.find_opt st.State.deferred_frames frame) ~default:[]
@@ -382,7 +478,11 @@ let apply_update ?batch (st : State.t) ~ptp ~index ~level fresh =
     (match Pgdesc.page_type st.descs target with
     | Pgdesc.Unused ->
         Pgdesc.set_type st.descs target
-          (if Pte.is_user fresh then Pgdesc.User else Pgdesc.Outer_data)
+          (if Pte.is_user fresh then Pgdesc.User else Pgdesc.Outer_data);
+        (* A tenant's first mapping of a free frame claims it: from
+           here on, every peer's attempt to reach it is denied. *)
+        if st.State.cur_domain <> 0 && Pgdesc.owner st.descs target = 0 then
+          Pgdesc.set_owner st.descs target st.State.cur_domain
     | _ -> ());
     Pgdesc.add_mapping st.descs target
       { Pgdesc.ptp; index; kind = mapping_kind ~level fresh }
@@ -411,6 +511,8 @@ let write_pte st ~ptp ~index pte =
   traced st "write_pte" (fun () ->
       State.with_gate st (fun () ->
           let* level = check_ptp st ptp in
+          let* () = check_owner st ~op:"write_pte" ptp in
+          let* () = check_pte_targets st ~ptp ~level pte in
           let* fresh = validate_and_adjust st ~level pte in
           apply_update st ~ptp ~index ~level fresh))
 
@@ -430,6 +532,8 @@ let write_pte_batch st updates =
             | (ptp, index, pte) :: rest -> (
                 let item =
                   let* level = check_ptp st ptp in
+                  let* () = check_owner st ~op:"write_pte" ptp in
+                  let* () = check_pte_targets st ~ptp ~level pte in
                   let* fresh = validate_and_adjust st ~level pte in
                   apply_update ~batch:acc st ~ptp ~index ~level fresh
                 in
@@ -459,6 +563,7 @@ let declare_ptp st ~level frame =
         | Pgdesc.Protected_data | Pgdesc.Outer_code ->
             Error (Nk_error.Not_declarable { frame; why = "protected page type" })
         | Pgdesc.Unused | Pgdesc.Outer_data | Pgdesc.User ->
+            let* () = check_owner st ~op:"declare_ptp" frame in
             if Pgdesc.table_links st.descs frame <> [] then
               Error
                 (Nk_error.Not_declarable { frame; why = "still linked in a page table" })
@@ -508,6 +613,9 @@ let declare_ptp st ~level frame =
               Phys_mem.zero_frame m.Machine.mem frame;
               Machine.charge m m.Machine.costs.Costs.page_zero;
               Pgdesc.set_type st.descs frame (Pgdesc.Ptp level);
+              (* Declaring claims the PTP for the declaring tenant. *)
+              if st.State.cur_domain <> 0 && Pgdesc.owner st.descs frame = 0
+              then Pgdesc.set_owner st.descs frame st.State.cur_domain;
               Iommu.protect_frame m.Machine.iommu frame;
               Machine.count_ev m Nktrace.Declare_ptp;
               Ok ()
@@ -519,6 +627,7 @@ let remove_ptp st frame =
       let m = st.machine in
       let* level = check_ptp st frame in
       ignore level;
+      let* () = check_owner st ~op:"remove_ptp" frame in
       if Cr.root_frame m.Machine.cr = frame then
         Error (Nk_error.Ptp_in_use { frame; references = 1 })
       else
@@ -558,6 +667,11 @@ let remove_ptp st frame =
             in
             let* () = unprotect (Pgdesc.data_maps st.descs frame) in
             Pgdesc.set_type st.descs frame Pgdesc.Unused;
+            (* Retiring is the release point of the declarer's claim:
+               the page returns to the outer kernel's free pool, and a
+               stale owner mark would deny the recycled frame to its
+               next user and count as a teardown leak it is not. *)
+            Pgdesc.set_owner st.descs frame 0;
             Iommu.unprotect_frame m.Machine.iommu frame;
             (* Occupancy-scoped, as declare_ptp now is: a parked peer
                still holding the read-only entry would take a spurious
@@ -620,6 +734,7 @@ let load_cr3 st frame =
   State.with_gate st (fun () ->
       match Pgdesc.ptp_level st.descs frame with
       | Some 4 ->
+          let* () = check_owner st ~op:"load_cr3" frame in
           switch_untagged st frame;
           Ok ()
       | Some _ | None -> Error (Nk_error.Invalid_cr3 frame))
@@ -631,6 +746,7 @@ let load_cr3_pcid st ~pcid frame =
       else
         match Pgdesc.ptp_level st.descs frame with
         | Some 4 ->
+            let* () = check_owner st ~op:"load_cr3" frame in
             if not (Cr.pcid_enabled m.Machine.cr) then begin
               (* Tag is inert without CR4.PCIDE: legacy semantics. *)
               switch_untagged st frame;

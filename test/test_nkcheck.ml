@@ -33,6 +33,16 @@ let test_inject_bound_clean () =
   Alcotest.(check int) "no counterexamples" 0
     (List.length report.Nkcheck.rp_counterexamples)
 
+let test_domains_bound_clean () =
+  let report =
+    Nkcheck.run { Nkcheck.default with depth = 2; vocab = Nkcheck.Domains }
+  in
+  Alcotest.(check bool) "not truncated" false report.Nkcheck.rp_truncated;
+  Alcotest.(check int) "no counterexamples" 0
+    (List.length report.Nkcheck.rp_counterexamples);
+  Alcotest.(check bool) "domain ops in the vocabulary" true
+    (List.mem "dom-destroy-b" report.Nkcheck.rp_op_names)
+
 let test_deterministic () =
   let run () =
     let r = Nkcheck.run { Nkcheck.default with depth = 2 } in
@@ -53,6 +63,12 @@ let suite =
       (replay_clean "cr4-pcide-clear-nonzero-pcid.nkcheck");
     Alcotest.test_case "regress: untagged switch stale tags" `Quick
       (replay_clean "untagged-switch-stale-tags.nkcheck");
+    Alcotest.test_case "regress: host write crosses tenant lattice" `Quick
+      (replay_clean "host-xdom-map.nkcheck");
+    Alcotest.test_case "regress: retired PTP owner residue" `Quick
+      (replay_clean "retired-ptp-owner-residue.nkcheck");
+    Alcotest.test_case "depth-2 domains bound is clean" `Quick
+      test_domains_bound_clean;
     Alcotest.test_case "depth-2 core bound is clean" `Quick
       test_small_bound_clean;
     Alcotest.test_case "depth-2 core bound clean under injection" `Quick
